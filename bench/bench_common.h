@@ -1,0 +1,60 @@
+// Shared plumbing for the experiment binaries in bench/.
+//
+// Every binary regenerates one table or figure of the paper's evaluation
+// (Section 4); see DESIGN.md §4 for the experiment index. Configuration
+// comes from the environment: GA_SCALE_DIVISOR (default 1024) and GA_SEED.
+#ifndef GRAPHALYTICS_BENCH_BENCH_COMMON_H_
+#define GRAPHALYTICS_BENCH_BENCH_COMMON_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/report.h"
+#include "harness/runner.h"
+#include "harness/scale.h"
+
+namespace ga::bench {
+
+inline void PrintHeader(const std::string& artifact,
+                        const std::string& description,
+                        const harness::BenchmarkConfig& config) {
+  std::printf("================================================================\n");
+  std::printf("LDBC Graphalytics reproduction — %s\n", artifact.c_str());
+  std::printf("%s\n", description.c_str());
+  std::printf("scale divisor: 1/%lld of paper-scale datasets; "
+              "times projected back to paper scale; SLA %.0fs\n",
+              static_cast<long long>(config.scale_divisor),
+              config.sla_projected_seconds);
+  std::printf("================================================================\n\n");
+}
+
+/// Cell text for a job outcome: formatted time, or the paper's failure
+/// markers — "F" (crash / SLA breach), "NA" (not implemented).
+inline std::string OutcomeCell(const harness::JobReport& report,
+                               double seconds) {
+  switch (report.outcome) {
+    case harness::JobOutcome::kCompleted:
+      return harness::FormatSeconds(seconds);
+    case harness::JobOutcome::kCrashed:
+    case harness::JobOutcome::kTimedOut:
+      return "F";
+    case harness::JobOutcome::kUnsupported:
+      return "NA";
+    case harness::JobOutcome::kFailed:
+      return "ERR";
+  }
+  return "?";
+}
+
+/// The display names the paper's figures use for the platforms, in the
+/// same order as platform::AllPlatformIds().
+inline std::vector<std::string> PaperPlatformNames() {
+  return {"Giraph~bsplite",   "GraphX~dataflow",
+          "P'Graph~gaslite",  "G'Mat~spmat",
+          "OpenG~nativekernel", "PGX.D~pushpull"};
+}
+
+}  // namespace ga::bench
+
+#endif  // GRAPHALYTICS_BENCH_BENCH_COMMON_H_

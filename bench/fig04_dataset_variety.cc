@@ -1,0 +1,62 @@
+// Figure 4 (paper §4.1, "Dataset variety"): processing time (T_proc) of
+// BFS and PageRank for all six platforms on all datasets up to class L,
+// on a single machine.
+//
+// Paper findings this should reproduce: GraphMat and PGX.D fastest;
+// PowerGraph and OpenG ~an order of magnitude slower; Giraph and GraphX
+// ~two orders of magnitude slower.
+#include "bench/bench_common.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Figure 4 — Dataset variety",
+              "T_proc for BFS and PR, all datasets up to class L, 1 machine",
+              config);
+
+  // Datasets of Figure 4, ordered by scale (paper y-axis, bottom-up).
+  const std::vector<std::string> datasets = {"R1", "R2", "R3",
+                                             "R4", "G23", "D300"};
+  const auto platform_ids = platform::AllPlatformIds();
+
+  for (Algorithm algorithm : {Algorithm::kBfs, Algorithm::kPageRank}) {
+    std::vector<std::string> headers = {"dataset", "class"};
+    for (const std::string& name : PaperPlatformNames()) {
+      headers.push_back(name);
+    }
+    harness::TextTable table(
+        std::string("T_proc, ") + std::string(AlgorithmName(algorithm)),
+        headers);
+    for (const std::string& dataset : datasets) {
+      auto spec = runner.registry().Find(dataset);
+      if (!spec.ok()) continue;
+      std::vector<std::string> row = {
+          dataset + "(" + spec->scale_label + ")",
+          spec->scale_label};
+      for (const std::string& platform_id : platform_ids) {
+        harness::JobSpec job;
+        job.platform_id = platform_id;
+        job.dataset_id = dataset;
+        job.algorithm = algorithm;
+        auto report = runner.Run(job);
+        if (!report.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        row.push_back(OutcomeCell(*report, report->tproc_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

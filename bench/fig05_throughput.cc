@@ -1,0 +1,61 @@
+// Figure 5 (paper §4.1): EPS (edges per second) and EVPS (edges+vertices
+// per second) for BFS on all datasets up to class L — normalised
+// performance, exposing each platform's sensitivity to the dataset.
+//
+// Paper finding: ideally the normalised throughput would be constant per
+// platform; in practice all platforms vary noticeably across datasets.
+#include "bench/bench_common.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Figure 5 — Normalised throughput",
+              "EPS and EVPS for BFS, all datasets up to class L, 1 machine",
+              config);
+
+  const std::vector<std::string> datasets = {"R1", "R2", "R3",
+                                             "R4", "G23", "D300"};
+  const auto platform_ids = platform::AllPlatformIds();
+
+  for (bool use_evps : {false, true}) {
+    std::vector<std::string> headers = {"dataset"};
+    for (const std::string& name : PaperPlatformNames()) {
+      headers.push_back(name);
+    }
+    harness::TextTable table(
+        use_evps ? "Edges and vertices per second (BFS)"
+                 : "Edges per second (BFS)",
+        headers);
+    for (const std::string& dataset : datasets) {
+      auto spec = runner.registry().Find(dataset);
+      if (!spec.ok()) continue;
+      std::vector<std::string> row = {dataset + "(" + spec->scale_label +
+                                      ")"};
+      for (const std::string& platform_id : platform_ids) {
+        harness::JobSpec job;
+        job.platform_id = platform_id;
+        job.dataset_id = dataset;
+        job.algorithm = Algorithm::kBfs;
+        auto report = runner.Run(job);
+        if (!report.ok() || !report->completed()) {
+          row.push_back("F");
+          continue;
+        }
+        row.push_back(harness::FormatThroughput(use_evps ? report->evps
+                                                          : report->eps));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

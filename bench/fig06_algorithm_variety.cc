@@ -1,0 +1,60 @@
+// Figure 6 (paper §4.2, "Algorithm variety"): T_proc of all six core
+// algorithms on the two weighted graphs R4(S) and D300(L).
+//
+// Paper findings: relative platform order is similar for BFS/WCC/PR/SSSP;
+// LCC is much more demanding — only OpenG and PowerGraph complete it;
+// CDLP times are much closer across platforms, OpenG best, GraphX unable
+// to complete; PGX.D has no LCC implementation (NA).
+#include "bench/bench_common.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Figure 6 — Algorithm variety",
+              "T_proc for all six algorithms on R4(S) and D300(L), "
+              "1 machine ('F' = failed, 'NA' = not implemented)",
+              config);
+
+  for (const std::string& dataset : {std::string("R4"),
+                                     std::string("D300")}) {
+    auto spec = runner.registry().Find(dataset);
+    if (!spec.ok()) continue;
+    std::vector<std::string> headers = {"algorithm"};
+    for (const std::string& name : PaperPlatformNames()) {
+      headers.push_back(name);
+    }
+    harness::TextTable table(dataset + "(" + spec->scale_label + ")",
+                             headers);
+    // Paper's row order: bfs, wcc, cdlp, pr, lcc, sssp.
+    for (Algorithm algorithm :
+         {Algorithm::kBfs, Algorithm::kWcc, Algorithm::kCdlp,
+          Algorithm::kPageRank, Algorithm::kLcc, Algorithm::kSssp}) {
+      std::vector<std::string> row = {
+          std::string(AlgorithmName(algorithm))};
+      for (const std::string& platform_id : platform::AllPlatformIds()) {
+        harness::JobSpec job;
+        job.platform_id = platform_id;
+        job.dataset_id = dataset;
+        job.algorithm = algorithm;
+        auto report = runner.Run(job);
+        if (!report.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        row.push_back(OutcomeCell(*report, report->tproc_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

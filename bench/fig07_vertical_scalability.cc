@@ -1,0 +1,82 @@
+// Figure 7 + Table 9 (paper §4.3, "Vertical scalability"): T_proc of BFS
+// and PageRank on D300(L) with 1..32 threads on one machine, plus the
+// maximum speedup per platform (Table 9 is derived from the same runs).
+//
+// Paper findings: all platforms gain from more cores; only PGX.D and
+// GraphMat approach optimal efficiency (max speedups 15.0 / 11.3); most
+// platforms gain little from hyper-threading (threads 17..32).
+#include "bench/bench_common.h"
+#include "harness/metrics.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Figure 7 + Table 9 — Vertical scalability",
+              "T_proc vs #threads (1-32) for BFS and PR on D300(L), "
+              "1 machine", config);
+
+  const int thread_counts[] = {1, 2, 4, 8, 16, 32};
+  const auto platform_ids = platform::AllPlatformIds();
+  const auto names = PaperPlatformNames();
+
+  std::vector<std::string> speedup_headers = {"algorithm"};
+  for (const std::string& name : names) speedup_headers.push_back(name);
+  harness::TextTable speedups(
+      "Table 9 — max speedup on D300(L), 1-32 threads", speedup_headers);
+
+  for (Algorithm algorithm : {Algorithm::kBfs, Algorithm::kPageRank}) {
+    std::vector<std::string> headers = {"threads"};
+    for (const std::string& name : names) headers.push_back(name);
+    harness::TextTable table(
+        std::string("T_proc vs threads, ") +
+            std::string(AlgorithmName(algorithm)),
+        headers);
+
+    std::vector<double> baseline(platform_ids.size(), 0.0);
+    std::vector<double> best_speedup(platform_ids.size(), 0.0);
+    for (int threads : thread_counts) {
+      std::vector<std::string> row = {std::to_string(threads)};
+      for (std::size_t p = 0; p < platform_ids.size(); ++p) {
+        harness::JobSpec job;
+        job.platform_id = platform_ids[p];
+        job.dataset_id = "D300";
+        job.algorithm = algorithm;
+        job.threads_per_machine = threads;
+        auto report = runner.Run(job);
+        if (!report.ok() || !report->completed()) {
+          row.push_back("F");
+          continue;
+        }
+        if (threads == 1) baseline[p] = report->tproc_seconds;
+        if (baseline[p] > 0) {
+          best_speedup[p] = std::max(
+              best_speedup[p],
+              harness::Speedup(baseline[p], report->tproc_seconds));
+        }
+        row.push_back(harness::FormatSeconds(report->tproc_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+
+    std::vector<std::string> speedup_row = {
+        std::string(AlgorithmName(algorithm))};
+    for (double s : best_speedup) {
+      char text[32];
+      std::snprintf(text, sizeof(text), "%.1f", s);
+      speedup_row.push_back(text);
+    }
+    speedups.AddRow(std::move(speedup_row));
+  }
+  std::printf("%s\n", speedups.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

@@ -1,0 +1,66 @@
+// Figure 8 (paper §4.4, "Strong horizontal scalability"): T_proc of BFS
+// and PageRank on D1000(XL) while growing the cluster from 1 to 16
+// machines (dataset constant).
+//
+// Paper findings: PGX.D and GraphMat show reasonable speedup; Giraph's
+// performance degrades sharply from 1 to 2 machines (network activation)
+// then recovers with more machines; PowerGraph and GraphX scale poorly;
+// PGX.D cannot run D1000 on a single machine (memory); GraphX needs
+// 2 machines for BFS and 4 for PR; GraphMat's single-machine run is a
+// swapping outlier.
+#include "bench/bench_common.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Figure 8 — Strong horizontal scalability",
+              "T_proc vs #machines (1-16) for BFS and PR on D1000(XL); "
+              "distributed platforms only", config);
+
+  const int machine_counts[] = {1, 2, 4, 8, 16};
+
+  for (Algorithm algorithm : {Algorithm::kBfs, Algorithm::kPageRank}) {
+    std::vector<std::string> headers = {"machines"};
+    std::vector<std::string> ids;
+    for (const std::string& platform_id : platform::AllPlatformIds()) {
+      auto platform = platform::CreatePlatform(platform_id);
+      if (platform.ok() && (*platform)->info().distributed) {
+        ids.push_back(platform_id);
+      }
+    }
+    for (const std::string& id : ids) headers.push_back(id);
+    harness::TextTable table(
+        std::string("T_proc vs machines, ") +
+            std::string(AlgorithmName(algorithm)) + " on D1000(XL)",
+        headers);
+    for (int machines : machine_counts) {
+      std::vector<std::string> row = {std::to_string(machines)};
+      for (const std::string& platform_id : ids) {
+        harness::JobSpec job;
+        job.platform_id = platform_id;
+        job.dataset_id = "D1000";
+        job.algorithm = algorithm;
+        job.num_machines = machines;
+        job.prefer_distributed_backend = true;
+        auto report = runner.Run(job);
+        if (!report.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        row.push_back(OutcomeCell(*report, report->tproc_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

@@ -1,0 +1,66 @@
+// Figure 9 (paper §4.5, "Weak horizontal scalability"): BFS and PageRank
+// on Graph500 G22(S)..G26(XL) with 1..16 machines — each doubling of the
+// cluster also doubles the dataset, so ideal T_proc is constant.
+//
+// Paper findings: no platform achieves flat weak scaling; Giraph dips at
+// 2 machines then stabilises; GraphMat and PowerGraph scale reasonably;
+// GraphX poorly; PGX.D fails several configurations on memory.
+#include "bench/bench_common.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Figure 9 — Weak horizontal scalability",
+              "G22..G26 on 1..16 machines (work per machine ~constant)",
+              config);
+
+  const std::pair<std::string, int> series[] = {
+      {"G22", 1}, {"G23", 2}, {"G24", 4}, {"G25", 8}, {"G26", 16}};
+
+  std::vector<std::string> ids;
+  for (const std::string& platform_id : platform::AllPlatformIds()) {
+    auto platform = platform::CreatePlatform(platform_id);
+    if (platform.ok() && (*platform)->info().distributed) {
+      ids.push_back(platform_id);
+    }
+  }
+
+  for (Algorithm algorithm : {Algorithm::kBfs, Algorithm::kPageRank}) {
+    std::vector<std::string> headers = {"dataset@machines"};
+    for (const std::string& id : ids) headers.push_back(id);
+    harness::TextTable table(
+        std::string("T_proc, weak scaling, ") +
+            std::string(AlgorithmName(algorithm)),
+        headers);
+    for (const auto& [dataset, machines] : series) {
+      std::vector<std::string> row = {dataset + "@" +
+                                      std::to_string(machines)};
+      for (const std::string& platform_id : ids) {
+        harness::JobSpec job;
+        job.platform_id = platform_id;
+        job.dataset_id = dataset;
+        job.algorithm = algorithm;
+        job.num_machines = machines;
+        job.prefer_distributed_backend = true;
+        auto report = runner.Run(job);
+        if (!report.ok()) {
+          row.push_back("ERR");
+          continue;
+        }
+        row.push_back(OutcomeCell(*report, report->tproc_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

@@ -1,0 +1,134 @@
+// Figure 10 (paper §4.8, "Data generation"): Datagen execution time.
+//   Left panel : old flow (v0.2.1) vs new flow (v0.2.6) on 16 machines,
+//                scale factors 30..3000 (millions of edges).
+//   Right panel: new flow on 4/8/16 machines, scale factors up to 10000.
+//
+// Paper findings: the new flow wins at every scale factor and its
+// advantage grows with scale (1.16x at SF30 up to 2.9x at SF3000;
+// ~44 min for a billion-edge graph on 16 machines vs 95 min before);
+// horizontal speedup 4->16 machines also grows with the scale factor
+// (1.1, 1.4, 2.0, 3.0 for SF 30..1000) because Hadoop's fixed job
+// overhead dominates small runs.
+//
+// Generation cost is computed from the same ledger the real generator
+// produces (validated against real runs below and in tests); paper-sized
+// scale factors are evaluated analytically because 10^10 edges cannot be
+// materialised (DESIGN.md §1).
+#include <cmath>
+
+#include "bench/bench_common.h"
+#include "datagen/socialnet.h"
+
+namespace ga::bench {
+namespace {
+
+using datagen::DatagenFlow;
+using datagen::GenerationCost;
+using datagen::SocialNetConfig;
+
+// Datagen's person-to-edge ratio at SF100 (1.67M persons, 102M edges).
+constexpr double kEdgesPerPerson = 61.0;
+
+SocialNetConfig ConfigForScaleFactor(double millions_of_edges,
+                                     DatagenFlow flow) {
+  SocialNetConfig config;
+  config.num_persons = static_cast<std::int64_t>(
+      millions_of_edges * 1e6 / kEdgesPerPerson);
+  config.avg_degree = 2.0 * kEdgesPerPerson;
+  config.target_clustering = 0.10;
+  config.flow = flow;
+  config.seed = 1;
+  return config;
+}
+
+// Simulated Hadoop 2.4 on DAS-4 (paper §4.8): one master plus workers
+// running 6 reducers each; every generation step is one MapReduce job
+// with a fixed spawn overhead, a parallel sort/shuffle phase, and a
+// master-side coordination component that does not parallelise.
+double SimulateHadoopSeconds(const GenerationCost& cost, int machines) {
+  const int reducers = 6 * std::max(machines - 1, 1);
+  constexpr double kJobOverheadSeconds = 40.0;       // job spawn (Hadoop)
+  constexpr double kSortRecordsPerSecond = 280e3;    // per reducer
+  constexpr double kIoRecordsPerSecond = 500e3;      // per reducer
+  constexpr double kMasterRecordsPerSecond = 1.8e6;  // serial component
+
+  double total = 0.0;
+  for (const datagen::StepCost& step : cost.steps) {
+    const double sorted = static_cast<double>(step.records_sorted);
+    const double io = static_cast<double>(step.records_in +
+                                          step.records_out);
+    total += kJobOverheadSeconds;
+    total += sorted * std::log2(sorted + 2.0) /
+             (reducers * kSortRecordsPerSecond);
+    total += io / (reducers * kIoRecordsPerSecond);
+    total += io / kMasterRecordsPerSecond;
+  }
+  return total;
+}
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Figure 10 — Datagen generation time",
+              "old (v0.2.1) vs new (v0.2.6) execution flow, simulated "
+              "Hadoop on DAS-4", config);
+
+  // Left panel: old vs new on 16 machines.
+  harness::TextTable left("SF (M edges) on 16 machines",
+                          {"SF", "v0.2.1 (old)", "v0.2.6 (new)",
+                           "speedup"});
+  for (double sf : {30.0, 100.0, 300.0, 1000.0, 3000.0}) {
+    GenerationCost old_cost = datagen::EstimateGenerationCost(
+        ConfigForScaleFactor(sf, DatagenFlow::kOldSequential));
+    GenerationCost new_cost = datagen::EstimateGenerationCost(
+        ConfigForScaleFactor(sf, DatagenFlow::kNewIndependent));
+    const double old_seconds = SimulateHadoopSeconds(old_cost, 16);
+    const double new_seconds = SimulateHadoopSeconds(new_cost, 16);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx",
+                  old_seconds / new_seconds);
+    left.AddRow({harness::FormatCount(static_cast<std::int64_t>(sf)) + "M",
+                 harness::FormatSeconds(old_seconds),
+                 harness::FormatSeconds(new_seconds), speedup});
+  }
+  std::printf("%s\n", left.Render().c_str());
+
+  // Right panel: new flow on 4 / 8 / 16 machines.
+  harness::TextTable right("v0.2.6 by cluster size",
+                           {"SF", "4 machines", "8 machines", "16 machines",
+                            "speedup 4->16"});
+  for (double sf : {30.0, 100.0, 300.0, 1000.0, 3000.0, 10000.0}) {
+    GenerationCost cost = datagen::EstimateGenerationCost(
+        ConfigForScaleFactor(sf, DatagenFlow::kNewIndependent));
+    const double t4 = SimulateHadoopSeconds(cost, 4);
+    const double t8 = SimulateHadoopSeconds(cost, 8);
+    const double t16 = SimulateHadoopSeconds(cost, 16);
+    char speedup[32];
+    std::snprintf(speedup, sizeof(speedup), "%.2fx", t4 / t16);
+    right.AddRow({harness::FormatCount(static_cast<std::int64_t>(sf)) + "M",
+                  harness::FormatSeconds(t4), harness::FormatSeconds(t8),
+                  harness::FormatSeconds(t16), speedup});
+  }
+  std::printf("%s\n", right.Render().c_str());
+
+  // Ground the analytic ledgers: really generate a small instance with
+  // both flows and compare measured vs estimated sort volumes.
+  SocialNetConfig small =
+      ConfigForScaleFactor(0.5, DatagenFlow::kNewIndependent);
+  auto generated = datagen::GenerateSocialNetwork(small);
+  if (generated.ok()) {
+    GenerationCost estimate = datagen::EstimateGenerationCost(small);
+    std::printf("ledger check (SF0.5, really generated): measured sorted "
+                "records %lld vs estimated %lld; |V|=%lld |E|=%lld\n",
+                static_cast<long long>(generated->cost.TotalSorted()),
+                static_cast<long long>(estimate.TotalSorted()),
+                static_cast<long long>(generated->graph.num_vertices()),
+                static_cast<long long>(generated->graph.num_edges()));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

@@ -1,0 +1,126 @@
+// Engineering microbenchmarks (google-benchmark) for the hot kernels
+// underneath the harness: graph construction, reference algorithms,
+// generators and partitioners. Not a paper artifact — used to keep the
+// substrate fast enough that the experiment binaries stay interactive.
+#include <benchmark/benchmark.h>
+
+#include "algo/reference.h"
+#include "core/partition.h"
+#include "datagen/graph500.h"
+#include "datagen/socialnet.h"
+
+namespace ga {
+namespace {
+
+Graph MakeBenchGraph(int scale, std::int64_t edges) {
+  datagen::Graph500Config config;
+  config.scale = scale;
+  config.num_edges = edges;
+  config.weighted = true;
+  config.seed = 1;
+  auto graph = datagen::GenerateGraph500(config);
+  if (!graph.ok()) std::abort();
+  return std::move(graph).value();
+}
+
+void BM_GraphBuild(benchmark::State& state) {
+  datagen::Graph500Config config;
+  config.scale = 14;
+  config.num_edges = state.range(0);
+  config.seed = 2;
+  for (auto _ : state) {
+    auto graph = datagen::GenerateGraph500(config);
+    benchmark::DoNotOptimize(graph);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_GraphBuild)->Arg(10000)->Arg(100000);
+
+void BM_ReferenceBfs(benchmark::State& state) {
+  Graph graph = MakeBenchGraph(15, state.range(0));
+  const VertexId source = graph.ExternalId(0);
+  for (auto _ : state) {
+    auto output = reference::Bfs(graph, source);
+    benchmark::DoNotOptimize(output);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReferenceBfs)->Arg(100000)->Arg(400000);
+
+void BM_ReferencePageRank(benchmark::State& state) {
+  Graph graph = MakeBenchGraph(15, state.range(0));
+  for (auto _ : state) {
+    auto output = reference::PageRank(graph, 10, 0.85);
+    benchmark::DoNotOptimize(output);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 10);
+}
+BENCHMARK(BM_ReferencePageRank)->Arg(100000);
+
+void BM_ReferenceWcc(benchmark::State& state) {
+  Graph graph = MakeBenchGraph(15, state.range(0));
+  for (auto _ : state) {
+    auto output = reference::Wcc(graph);
+    benchmark::DoNotOptimize(output);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReferenceWcc)->Arg(400000);
+
+void BM_ReferenceCdlp(benchmark::State& state) {
+  Graph graph = MakeBenchGraph(14, state.range(0));
+  for (auto _ : state) {
+    auto output = reference::Cdlp(graph, 5);
+    benchmark::DoNotOptimize(output);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0) * 5);
+}
+BENCHMARK(BM_ReferenceCdlp)->Arg(100000);
+
+void BM_ReferenceLcc(benchmark::State& state) {
+  Graph graph = MakeBenchGraph(13, state.range(0));
+  for (auto _ : state) {
+    auto output = reference::Lcc(graph);
+    benchmark::DoNotOptimize(output);
+  }
+}
+BENCHMARK(BM_ReferenceLcc)->Arg(50000);
+
+void BM_ReferenceSssp(benchmark::State& state) {
+  Graph graph = MakeBenchGraph(15, state.range(0));
+  const VertexId source = graph.ExternalId(0);
+  for (auto _ : state) {
+    auto output = reference::Sssp(graph, source);
+    benchmark::DoNotOptimize(output);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ReferenceSssp)->Arg(100000);
+
+void BM_GreedyVertexCut(benchmark::State& state) {
+  Graph graph = MakeBenchGraph(14, 100000);
+  for (auto _ : state) {
+    auto partition = GreedyVertexCut(graph, static_cast<int>(state.range(0)));
+    benchmark::DoNotOptimize(partition);
+  }
+  state.SetItemsProcessed(state.iterations() * 100000);
+}
+BENCHMARK(BM_GreedyVertexCut)->Arg(4)->Arg(16);
+
+void BM_SocialNetGen(benchmark::State& state) {
+  datagen::SocialNetConfig config;
+  config.num_persons = state.range(0);
+  config.avg_degree = 16;
+  config.seed = 3;
+  for (auto _ : state) {
+    auto network = datagen::GenerateSocialNetwork(config);
+    benchmark::DoNotOptimize(network);
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_SocialNetGen)->Arg(5000)->Arg(20000);
+
+}  // namespace
+}  // namespace ga
+
+BENCHMARK_MAIN();

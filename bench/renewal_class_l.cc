@@ -1,0 +1,59 @@
+// Renewal process (paper §2.4): re-evaluates the reference class L from
+// the current platform and dataset catalogue — "class L is redefined as
+// the largest class of graphs such that a state-of-the-art platform can
+// complete the BFS algorithm within one hour on all graphs in class L
+// using a single common-off-the-shelf machine."
+//
+// With the default configuration the procedure lands on class L itself,
+// matching the paper's own calibration of the reference point.
+#include "bench/bench_common.h"
+#include "harness/renewal.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Renewal process — class L re-evaluation",
+              "BFS capacity of the state-of-the-art platform per dataset "
+              "(1 machine, 1-hour SLA)", config);
+
+  auto renewal = harness::EvaluateClassL(runner);
+  if (!renewal.ok()) {
+    std::fprintf(stderr, "%s\n", renewal.status().ToString().c_str());
+    return 1;
+  }
+
+  harness::TextTable table(
+      "per-dataset capacity evidence",
+      {"dataset", "class", "best platform", "best T_proc"});
+  for (const harness::DatasetEvidence& evidence : renewal->evidence) {
+    table.AddRow({evidence.dataset_id, evidence.scale_label,
+                  evidence.best_platform.empty() ? "(none — unprocessable)"
+                                                 : evidence.best_platform,
+                  evidence.best_platform.empty()
+                      ? "-"
+                      : harness::FormatSeconds(
+                            evidence.best_tproc_seconds)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  std::printf("recommended reference class L: %s\n",
+              renewal->recommended_class_l.c_str());
+  std::printf("fully processable classes:");
+  for (const std::string& label : renewal->passing_classes) {
+    std::printf(" %s", label.c_str());
+  }
+  std::printf("\nclasses with unprocessable graphs:");
+  for (const std::string& label : renewal->failing_classes) {
+    std::printf(" %s", label.c_str());
+  }
+  std::printf("\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

@@ -1,0 +1,35 @@
+// Table 2 (paper §2.2.4): the mapping of dataset scale ranges to
+// "T-shirt size" labels, printed from the implementation so the table in
+// the paper can be compared directly against the code's behaviour.
+#include "bench/bench_common.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  PrintHeader("Table 2 — Scale classes",
+              "mapping of graph scale to T-shirt labels", config);
+
+  harness::TextTable table("scale -> class",
+                           {"scale range", "label (from code)"});
+  struct Range {
+    const char* text;
+    double sample;
+  };
+  const Range ranges[] = {
+      {"< 7", 6.9},      {"[7.0, 7.5)", 7.2}, {"[7.5, 8.0)", 7.7},
+      {"[8.0, 8.5)", 8.3}, {"[8.5, 9.0)", 8.7}, {"[9.0, 9.5)", 9.3},
+      {">= 9.5", 9.6},   {">= 10.0", 10.2},   {"< 6.5", 6.3},
+  };
+  for (const Range& range : ranges) {
+    table.AddRow({range.text, harness::ScaleClassLabel(range.sample)});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

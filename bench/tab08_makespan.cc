@@ -1,0 +1,71 @@
+// Table 8 (paper §4.1): makespan vs T_proc for BFS on D300(L), exposing
+// per-platform overhead (resource allocation, graph loading, ...).
+//
+// Paper values: overhead ranges from 66% (OpenG) to 99.8% (PGX.D) of the
+// makespan; the breakdown itself comes from the Granula archive.
+#include "bench/bench_common.h"
+#include "granula/archive.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Table 8 — Makespan vs T_proc",
+              "BFS on D300(L), 1 machine; ratio = T_proc / makespan",
+              config);
+
+  harness::TextTable table(
+      "BFS on D300(L)",
+      {"metric", "Giraph~bsplite", "GraphX~dataflow", "P'Graph~gaslite",
+       "G'Mat~spmat", "OpenG~nativekernel", "PGX.D~pushpull"});
+  std::vector<std::string> makespan_row = {"Makespan"};
+  std::vector<std::string> tproc_row = {"T_proc"};
+  std::vector<std::string> ratio_row = {"Ratio"};
+  for (const std::string& platform_id : platform::AllPlatformIds()) {
+    harness::JobSpec job;
+    job.platform_id = platform_id;
+    job.dataset_id = "D300";
+    job.algorithm = Algorithm::kBfs;
+    auto report = runner.Run(job);
+    if (!report.ok() || !report->completed()) {
+      makespan_row.push_back("F");
+      tproc_row.push_back("F");
+      ratio_row.push_back("-");
+      continue;
+    }
+    makespan_row.push_back(
+        harness::FormatSeconds(report->makespan_seconds));
+    tproc_row.push_back(harness::FormatSeconds(report->tproc_seconds));
+    char ratio[32];
+    std::snprintf(ratio, sizeof(ratio), "%.1f%%",
+                  100.0 * report->tproc_seconds / report->makespan_seconds);
+    ratio_row.push_back(ratio);
+  }
+  table.AddRow(std::move(makespan_row));
+  table.AddRow(std::move(tproc_row));
+  table.AddRow(std::move(ratio_row));
+  std::printf("%s\n", table.Render().c_str());
+
+  // Granula drill-down for one platform, as the visualizer would show it.
+  auto platform = platform::CreatePlatform("bsplite");
+  auto graph = runner.registry().Load("D300");
+  auto params = runner.registry().ParamsFor("D300");
+  if (platform.ok() && graph.ok() && params.ok()) {
+    platform::ExecutionEnvironment env;
+    env.memory_budget_bytes = config.ScaledMemoryBudget();
+    auto run = (*platform)->RunJob(**graph, Algorithm::kBfs, *params, env);
+    if (run.ok()) {
+      std::printf("Granula phase breakdown (bsplite, simulated seconds):\n%s\n",
+                  granula::RenderText(run->archive.root()).c_str());
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

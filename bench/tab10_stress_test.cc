@@ -1,0 +1,71 @@
+// Table 10 (paper §4.6, "Stress test"): the smallest dataset (by scale)
+// on which each platform fails to complete BFS on a single machine.
+//
+// Paper results: Giraph -> G26(9.0), GraphX -> G25(8.7),
+// PowerGraph -> R5(9.3), GraphMat -> G26(9.0), OpenG -> R5(9.3),
+// PGX.D -> G25(8.7). Most platforms fail on a Graph500 graph while
+// passing the Datagen graph of equal scale — skew sensitivity that
+// Graph500 itself cannot reveal.
+#include <algorithm>
+
+#include "bench/bench_common.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Table 10 — Stress test",
+              "smallest dataset failing BFS on one machine, per platform",
+              config);
+
+  // Datasets ordered by paper scale (ascending), catalogue order breaking
+  // ties — so "smallest failing" resolves exactly as in the paper.
+  std::vector<harness::DatasetSpec> ordered(
+      runner.registry().specs().begin(), runner.registry().specs().end());
+  std::stable_sort(ordered.begin(), ordered.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.paper_scale < b.paper_scale;
+                   });
+
+  harness::TextTable table("Stress test (BFS, 1 machine)",
+                           {"platform", "analogue of", "smallest failing",
+                            "scale", "failure"});
+  for (const std::string& platform_id : platform::AllPlatformIds()) {
+    auto platform = platform::CreatePlatform(platform_id);
+    if (!platform.ok()) continue;
+    std::string failing = "none";
+    std::string scale = "-";
+    std::string failure = "-";
+    for (const harness::DatasetSpec& spec : ordered) {
+      harness::JobSpec job;
+      job.platform_id = platform_id;
+      job.dataset_id = spec.id;
+      job.algorithm = Algorithm::kBfs;
+      auto report = runner.Run(job);
+      if (!report.ok()) continue;
+      if (report->outcome == harness::JobOutcome::kCrashed ||
+          report->outcome == harness::JobOutcome::kTimedOut) {
+        failing = spec.id + "(" + spec.scale_label + ")";
+        char buffer[16];
+        std::snprintf(buffer, sizeof(buffer), "%.1f", spec.paper_scale);
+        scale = buffer;
+        failure = std::string(JobOutcomeName(report->outcome));
+        break;
+      }
+      // Free memory between the large datasets.
+      runner.registry().Evict(spec.id);
+    }
+    table.AddRow({platform_id, (*platform)->info().analogue_of, failing,
+                  scale, failure});
+  }
+  std::printf("%s\n", table.Render().c_str());
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

@@ -1,0 +1,71 @@
+// Table 11 (paper §4.7, "Variability"): mean and coefficient of variation
+// of T_proc over 10 repeated BFS runs — on D300(L) with 1 machine (S) and
+// on D1000(XL) with 16 machines (D, distributed platforms only).
+//
+// Paper findings: all platforms stay below 10% CV; PowerGraph is the most
+// stable; GraphMat and PGX.D vary the most relatively, but their absolute
+// deviations are tiny because their means are tiny.
+#include "bench/bench_common.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+int Main() {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  harness::BenchmarkRunner runner(config);
+  PrintHeader("Table 11 — Performance variability",
+              "mean T_proc and CV over n=10 BFS runs", config);
+
+  struct Setup {
+    std::string label;
+    std::string dataset;
+    int machines;
+  };
+  const Setup setups[] = {{"S (D300, 1 machine)", "D300", 1},
+                          {"D (D1000, 16 machines)", "D1000", 16}};
+
+  for (const Setup& setup : setups) {
+    std::vector<std::string> headers = {"metric"};
+    for (const std::string& name : PaperPlatformNames()) {
+      headers.push_back(name);
+    }
+    harness::TextTable table(setup.label, headers);
+    std::vector<std::string> mean_row = {"mean"};
+    std::vector<std::string> cv_row = {"CV"};
+    for (const std::string& platform_id : platform::AllPlatformIds()) {
+      auto platform = platform::CreatePlatform(platform_id);
+      if (setup.machines > 1 && platform.ok() &&
+          !(*platform)->info().distributed) {
+        mean_row.push_back("-");
+        cv_row.push_back("-");
+        continue;
+      }
+      harness::JobSpec job;
+      job.platform_id = platform_id;
+      job.dataset_id = setup.dataset;
+      job.algorithm = Algorithm::kBfs;
+      job.num_machines = setup.machines;
+      job.repetitions = 10;
+      auto report = runner.Run(job);
+      if (!report.ok() || !report->completed()) {
+        mean_row.push_back("F");
+        cv_row.push_back("-");
+        continue;
+      }
+      mean_row.push_back(harness::FormatSeconds(report->tproc_seconds));
+      char cv[32];
+      std::snprintf(cv, sizeof(cv), "%.1f%%", 100.0 * report->tproc_cv);
+      cv_row.push_back(cv);
+    }
+    table.AddRow(std::move(mean_row));
+    table.AddRow(std::move(cv_row));
+    std::printf("%s\n", table.Render().c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main() { return ga::bench::Main(); }

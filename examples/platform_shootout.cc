@@ -1,0 +1,94 @@
+// Platform shootout: run the full Graphalytics harness on a user-chosen
+// dataset and print a compact comparison of all six platform analogues,
+// including the Granula phase breakdown of the winner — the workflow a
+// benchmark user follows to choose a platform (paper Section 2.3).
+//
+// Usage:  ./build/examples/platform_shootout [dataset-id] [algorithm]
+// e.g.    ./build/examples/platform_shootout D300 pr
+#include <cstdio>
+#include <string>
+
+#include "granula/archive.h"
+#include "harness/report.h"
+#include "harness/runner.h"
+
+int main(int argc, char** argv) {
+  const std::string dataset = argc > 1 ? argv[1] : "R2";
+  ga::Algorithm algorithm = ga::Algorithm::kBfs;
+  if (argc > 2 && !ga::ParseAlgorithm(argv[2], &algorithm)) {
+    std::fprintf(stderr,
+                 "unknown algorithm '%s' (use bfs, pr, wcc, cdlp, lcc, "
+                 "sssp)\n",
+                 argv[2]);
+    return 1;
+  }
+
+  ga::harness::BenchmarkConfig config =
+      ga::harness::BenchmarkConfig::FromEnv();
+  ga::harness::BenchmarkRunner runner(config);
+  auto spec = runner.registry().Find(dataset);
+  if (!spec.ok()) {
+    std::fprintf(stderr, "unknown dataset '%s'; available:", dataset.c_str());
+    for (const auto& candidate : runner.registry().specs()) {
+      std::fprintf(stderr, " %s", candidate.id.c_str());
+    }
+    std::fprintf(stderr, "\n");
+    return 1;
+  }
+
+  std::printf("shootout: %s on %s(%s) — projected paper-scale seconds\n\n",
+              std::string(ga::AlgorithmName(algorithm)).c_str(),
+              dataset.c_str(), spec->scale_label.c_str());
+
+  ga::harness::TextTable table(
+      "results",
+      {"platform", "analogue of", "outcome", "T_proc", "makespan", "EPS",
+       "validated"});
+  std::string best_platform;
+  double best_tproc = 1e300;
+  for (const std::string& platform_id : ga::platform::AllPlatformIds()) {
+    auto platform = ga::platform::CreatePlatform(platform_id);
+    ga::harness::JobSpec job;
+    job.platform_id = platform_id;
+    job.dataset_id = dataset;
+    job.algorithm = algorithm;
+    auto report = runner.Run(job);
+    if (!report.ok()) {
+      table.AddRow({platform_id, (*platform)->info().analogue_of, "error",
+                    "-", "-", "-", "-"});
+      continue;
+    }
+    const bool completed = report->completed();
+    if (completed && report->tproc_seconds < best_tproc) {
+      best_tproc = report->tproc_seconds;
+      best_platform = platform_id;
+    }
+    table.AddRow(
+        {platform_id, (*platform)->info().analogue_of,
+         std::string(ga::harness::JobOutcomeName(report->outcome)),
+         completed ? ga::harness::FormatSeconds(report->tproc_seconds) : "-",
+         completed ? ga::harness::FormatSeconds(report->makespan_seconds)
+                   : "-",
+         completed ? ga::harness::FormatThroughput(report->eps) : "-",
+         report->output_validated ? "yes" : "-"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  if (!best_platform.empty()) {
+    std::printf("fastest platform: %s — Granula phase breakdown:\n",
+                best_platform.c_str());
+    auto platform = ga::platform::CreatePlatform(best_platform);
+    auto graph = runner.registry().Load(dataset);
+    auto params = runner.registry().ParamsFor(dataset);
+    ga::platform::ExecutionEnvironment environment;
+    environment.memory_budget_bytes = config.ScaledMemoryBudget();
+    environment.overhead_scale =
+        1.0 / static_cast<double>(config.scale_divisor);
+    auto run =
+        (*platform)->RunJob(**graph, algorithm, *params, environment);
+    if (run.ok()) {
+      std::printf("%s", ga::granula::RenderText(run->archive.root()).c_str());
+    }
+  }
+  return 0;
+}

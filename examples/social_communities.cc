@@ -1,0 +1,80 @@
+// Social-network community analysis — the scenario behind the paper's
+// Figure 2: generate two social networks with different target clustering
+// coefficients (0.05 vs 0.30), detect communities with CDLP, and show how
+// the clustering knob changes the measured coefficient and the community
+// structure.
+//
+// Build & run:  ./build/examples/social_communities
+#include <cstdio>
+#include <unordered_set>
+
+#include "algo/reference.h"
+#include "datagen/socialnet.h"
+#include "datagen/stats.h"
+#include "platforms/platform.h"
+
+namespace {
+
+void AnalyzeNetwork(double target_clustering) {
+  ga::datagen::SocialNetConfig config;
+  config.num_persons = 4000;
+  config.avg_degree = 18;
+  config.target_clustering = target_clustering;
+  config.seed = 2026;
+  auto network = ga::datagen::GenerateSocialNetwork(config);
+  if (!network.ok()) {
+    std::fprintf(stderr, "generation failed: %s\n",
+                 network.status().ToString().c_str());
+    return;
+  }
+  const ga::Graph& graph = network->graph;
+
+  auto measured = ga::datagen::AverageClusteringCoefficient(graph);
+  auto degrees = ga::datagen::ComputeDegreeStats(graph);
+
+  // Detect communities on the GAS engine (PowerGraph analogue), which is
+  // one of the platforms that handles community workloads robustly.
+  auto platform = ga::platform::CreatePlatform("gaslite");
+  ga::AlgorithmParams params;
+  params.cdlp_iterations = 10;
+  ga::platform::ExecutionEnvironment environment;
+  environment.memory_budget_bytes = 1LL << 30;
+  auto run = (*platform)->RunJob(graph, ga::Algorithm::kCdlp, params,
+                                 environment);
+  if (!run.ok()) {
+    std::fprintf(stderr, "CDLP failed: %s\n",
+                 run.status().ToString().c_str());
+    return;
+  }
+  std::unordered_set<std::int64_t> communities(
+      run->output.int_values.begin(), run->output.int_values.end());
+
+  std::printf("target CC %.2f:\n", target_clustering);
+  std::printf("  vertices/edges      : %lld / %lld\n",
+              static_cast<long long>(graph.num_vertices()),
+              static_cast<long long>(graph.num_edges()));
+  std::printf("  measured avg CC     : %.3f\n",
+              measured.ok() ? *measured : -1.0);
+  std::printf("  degree mean/max/gini: %.1f / %lld / %.2f\n", degrees.mean,
+              static_cast<long long>(degrees.max), degrees.gini);
+  std::printf("  CDLP communities    : %zu  (ground truth blocks: %lld)\n",
+              communities.size(),
+              static_cast<long long>(network->community_of.back() + 1));
+  std::printf("  CDLP T_proc         : %.4f simulated s\n\n",
+              run->metrics.processing_sim_seconds);
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "Datagen with a tunable clustering coefficient (paper Figure 2):\n"
+      "the same block structure, two very different community densities.\n\n");
+  AnalyzeNetwork(0.05);
+  AnalyzeNetwork(0.30);
+  std::printf(
+      "A higher target coefficient yields denser, better-defined\n"
+      "communities — fewer, larger CDLP labels — exactly the contrast\n"
+      "the paper's Figure 2 visualises.\n");
+  return 0;
+}

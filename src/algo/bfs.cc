@@ -1,0 +1,34 @@
+#include <queue>
+
+#include "algo/reference.h"
+
+namespace ga::reference {
+
+Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source) {
+  const VertexIndex root = graph.IndexOf(source);
+  if (root == kInvalidVertex) {
+    return Status::InvalidArgument("BFS source vertex " +
+                                   std::to_string(source) + " not in graph");
+  }
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kBfs;
+  output.int_values.assign(graph.num_vertices(), kUnreachableHops);
+  output.int_values[root] = 0;
+
+  std::queue<VertexIndex> frontier;
+  frontier.push(root);
+  while (!frontier.empty()) {
+    const VertexIndex v = frontier.front();
+    frontier.pop();
+    const std::int64_t next_hops = output.int_values[v] + 1;
+    for (VertexIndex u : graph.OutNeighbors(v)) {
+      if (output.int_values[u] == kUnreachableHops) {
+        output.int_values[u] = next_hops;
+        frontier.push(u);
+      }
+    }
+  }
+  return output;
+}
+
+}  // namespace ga::reference

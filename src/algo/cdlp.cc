@@ -1,0 +1,56 @@
+#include <unordered_map>
+#include <vector>
+
+#include "algo/reference.h"
+
+namespace ga::reference {
+
+Result<AlgorithmOutput> Cdlp(const Graph& graph, int iterations) {
+  if (iterations < 0) {
+    return Status::InvalidArgument("CDLP iterations must be >= 0");
+  }
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kCdlp;
+  output.int_values.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    output.int_values[v] = graph.ExternalId(v);
+  }
+
+  std::vector<std::int64_t> next(n);
+  std::unordered_map<std::int64_t, std::int64_t> histogram;
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    for (VertexIndex v = 0; v < n; ++v) {
+      histogram.clear();
+      // Directed graphs: in- and out-neighbours each contribute one vote
+      // (a reciprocal pair therefore votes twice). Undirected graphs:
+      // InNeighbors aliases OutNeighbors, so count only one side.
+      for (VertexIndex u : graph.OutNeighbors(v)) {
+        ++histogram[output.int_values[u]];
+      }
+      if (graph.is_directed()) {
+        for (VertexIndex u : graph.InNeighbors(v)) {
+          ++histogram[output.int_values[u]];
+        }
+      }
+      if (histogram.empty()) {
+        next[v] = output.int_values[v];
+        continue;
+      }
+      std::int64_t best_label = 0;
+      std::int64_t best_count = -1;
+      for (const auto& [label, count] : histogram) {
+        if (count > best_count ||
+            (count == best_count && label < best_label)) {
+          best_label = label;
+          best_count = count;
+        }
+      }
+      next[v] = best_label;
+    }
+    output.int_values.swap(next);
+  }
+  return output;
+}
+
+}  // namespace ga::reference

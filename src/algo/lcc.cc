@@ -1,0 +1,53 @@
+#include <algorithm>
+#include <vector>
+
+#include "algo/reference.h"
+
+namespace ga::reference {
+
+Result<AlgorithmOutput> Lcc(const Graph& graph) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kLcc;
+  output.double_values.assign(n, 0.0);
+
+  // flag[w] marks membership of w in the current neighbourhood N(v).
+  std::vector<char> flag(n, 0);
+  std::vector<VertexIndex> neighborhood;
+  for (VertexIndex v = 0; v < n; ++v) {
+    // N(v) = distinct union of in- and out-neighbours, excluding v.
+    neighborhood.clear();
+    for (VertexIndex u : graph.OutNeighbors(v)) {
+      if (u != v && !flag[u]) {
+        flag[u] = 1;
+        neighborhood.push_back(u);
+      }
+    }
+    if (graph.is_directed()) {
+      for (VertexIndex u : graph.InNeighbors(v)) {
+        if (u != v && !flag[u]) {
+          flag[u] = 1;
+          neighborhood.push_back(u);
+        }
+      }
+    }
+    const double degree = static_cast<double>(neighborhood.size());
+    if (neighborhood.size() >= 2) {
+      // Count directed edges u -> w with both u, w in N(v). For undirected
+      // graphs each triangle edge is counted in both directions, matching
+      // the undirected denominator convention d*(d-1).
+      std::int64_t links = 0;
+      for (VertexIndex u : neighborhood) {
+        for (VertexIndex w : graph.OutNeighbors(u)) {
+          if (w != v && flag[w]) ++links;
+        }
+      }
+      output.double_values[v] =
+          static_cast<double>(links) / (degree * (degree - 1.0));
+    }
+    for (VertexIndex u : neighborhood) flag[u] = 0;
+  }
+  return output;
+}
+
+}  // namespace ga::reference

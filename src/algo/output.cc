@@ -1,0 +1,133 @@
+#include "algo/output.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <unordered_map>
+
+namespace ga {
+
+namespace {
+
+std::string VertexLabel(const Graph& graph, std::size_t index) {
+  return "vertex " + std::to_string(graph.ExternalId(
+                         static_cast<VertexIndex>(index)));
+}
+
+Status ValidateExactInts(const Graph& graph,
+                         const std::vector<std::int64_t>& reference,
+                         const std::vector<std::int64_t>& actual) {
+  if (reference.size() != actual.size()) {
+    return Status::InvalidArgument("output size mismatch");
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    if (reference[i] != actual[i]) {
+      return Status::InvalidArgument(
+          VertexLabel(graph, i) + ": expected " +
+          std::to_string(reference[i]) + ", got " + std::to_string(actual[i]));
+    }
+  }
+  return Status::Ok();
+}
+
+Status ValidateEpsilonDoubles(const Graph& graph,
+                              const std::vector<double>& reference,
+                              const std::vector<double>& actual,
+                              double epsilon) {
+  if (reference.size() != actual.size()) {
+    return Status::InvalidArgument("output size mismatch");
+  }
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    const double expected = reference[i];
+    const double got = actual[i];
+    if (std::isinf(expected) || std::isinf(got)) {
+      if (std::isinf(expected) && std::isinf(got)) continue;
+      return Status::InvalidArgument(VertexLabel(graph, i) +
+                                     ": infinity mismatch");
+    }
+    const double scale = std::max({std::fabs(expected), std::fabs(got), 1e-30});
+    if (std::fabs(expected - got) > epsilon * scale &&
+        std::fabs(expected - got) > 1e-12) {
+      char buffer[128];
+      std::snprintf(buffer, sizeof(buffer), ": expected %.12g, got %.12g",
+                    expected, got);
+      return Status::InvalidArgument(VertexLabel(graph, i) + buffer);
+    }
+  }
+  return Status::Ok();
+}
+
+// Two labellings are equivalent iff they induce the same partition of the
+// vertex set: there must be a bijection between reference labels and actual
+// labels.
+Status ValidateEquivalence(const Graph& graph,
+                           const std::vector<std::int64_t>& reference,
+                           const std::vector<std::int64_t>& actual) {
+  if (reference.size() != actual.size()) {
+    return Status::InvalidArgument("output size mismatch");
+  }
+  std::unordered_map<std::int64_t, std::int64_t> forward;
+  std::unordered_map<std::int64_t, std::int64_t> backward;
+  for (std::size_t i = 0; i < reference.size(); ++i) {
+    auto [fit, finserted] = forward.emplace(reference[i], actual[i]);
+    if (!finserted && fit->second != actual[i]) {
+      return Status::InvalidArgument(
+          VertexLabel(graph, i) +
+          ": splits reference component " + std::to_string(reference[i]));
+    }
+    auto [bit, binserted] = backward.emplace(actual[i], reference[i]);
+    if (!binserted && bit->second != reference[i]) {
+      return Status::InvalidArgument(
+          VertexLabel(graph, i) + ": merges reference components " +
+          std::to_string(bit->second) + " and " +
+          std::to_string(reference[i]));
+    }
+  }
+  return Status::Ok();
+}
+
+}  // namespace
+
+Status ValidateOutput(const Graph& graph, const AlgorithmOutput& reference,
+                      const AlgorithmOutput& actual,
+                      const ValidationOptions& options) {
+  if (reference.algorithm != actual.algorithm) {
+    return Status::InvalidArgument("algorithm mismatch");
+  }
+  switch (reference.algorithm) {
+    case Algorithm::kBfs:
+    case Algorithm::kCdlp:
+      return ValidateExactInts(graph, reference.int_values,
+                               actual.int_values);
+    case Algorithm::kWcc:
+      return ValidateEquivalence(graph, reference.int_values,
+                                 actual.int_values);
+    case Algorithm::kPageRank:
+    case Algorithm::kLcc:
+    case Algorithm::kSssp:
+      return ValidateEpsilonDoubles(graph, reference.double_values,
+                                    actual.double_values, options.epsilon);
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+std::string FormatOutput(const Graph& graph, const AlgorithmOutput& output) {
+  std::string text;
+  const bool integral = !output.int_values.empty();
+  const std::size_t n = output.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    text += std::to_string(graph.ExternalId(static_cast<VertexIndex>(i)));
+    text += ' ';
+    if (integral) {
+      text += std::to_string(output.int_values[i]);
+    } else {
+      char buffer[64];
+      std::snprintf(buffer, sizeof(buffer), "%.12g", output.double_values[i]);
+      text += buffer;
+    }
+    text += '\n';
+  }
+  return text;
+}
+
+}  // namespace ga

@@ -1,0 +1,68 @@
+// Algorithm output container and output-equivalence validation.
+//
+// The paper defines platform correctness as "output equivalence to the
+// provided reference implementation" (Section 2.2.3). Equivalence is
+// algorithm-specific:
+//   * BFS  : exact hop counts (unreachable = kUnreachableHops);
+//   * PR   : element-wise match within relative epsilon (summation order
+//            differs across engines);
+//   * WCC  : component labellings must induce the same partition (labels
+//            themselves are platform-specific);
+//   * CDLP : exact labels (the selected variant is deterministic);
+//   * LCC  : element-wise match within epsilon;
+//   * SSSP : distances within epsilon, infinities matching exactly.
+#ifndef GRAPHALYTICS_ALGO_OUTPUT_H_
+#define GRAPHALYTICS_ALGO_OUTPUT_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace ga {
+
+/// Hop count reported by BFS for unreachable vertices (Graphalytics uses
+/// the maximum representable integer).
+inline constexpr std::int64_t kUnreachableHops =
+    std::numeric_limits<std::int64_t>::max();
+
+/// Distance reported by SSSP for unreachable vertices.
+inline constexpr double kUnreachableDistance =
+    std::numeric_limits<double>::infinity();
+
+/// One value per vertex, indexed by internal vertex index. Which vector is
+/// populated depends on the algorithm: BFS/WCC/CDLP produce integers,
+/// PR/LCC/SSSP produce doubles.
+struct AlgorithmOutput {
+  Algorithm algorithm = Algorithm::kBfs;
+  std::vector<std::int64_t> int_values;
+  std::vector<double> double_values;
+
+  std::size_t size() const {
+    return int_values.empty() ? double_values.size() : int_values.size();
+  }
+};
+
+struct ValidationOptions {
+  /// Relative tolerance for floating-point outputs.
+  double epsilon = 1e-4;
+};
+
+/// Checks `actual` against `reference` under the algorithm's equivalence
+/// rule. Returns OK on match; otherwise an InvalidArgument status naming
+/// the first offending vertex (by external id, resolved through `graph`).
+Status ValidateOutput(const Graph& graph, const AlgorithmOutput& reference,
+                      const AlgorithmOutput& actual,
+                      const ValidationOptions& options = {});
+
+/// Renders the output in the Graphalytics reference-output file format:
+/// one "<external vertex id> <value>" line per vertex.
+std::string FormatOutput(const Graph& graph, const AlgorithmOutput& output);
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_ALGO_OUTPUT_H_

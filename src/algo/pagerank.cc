@@ -1,0 +1,42 @@
+#include <vector>
+
+#include "algo/reference.h"
+
+namespace ga::reference {
+
+Result<AlgorithmOutput> PageRank(const Graph& graph, int iterations,
+                                 double damping) {
+  if (iterations < 0) {
+    return Status::InvalidArgument("PageRank iterations must be >= 0");
+  }
+  if (damping < 0.0 || damping > 1.0) {
+    return Status::InvalidArgument("damping factor must be in [0, 1]");
+  }
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kPageRank;
+  if (n == 0) return output;
+
+  std::vector<double> rank(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    double dangling_mass = 0.0;
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling_mass += rank[v];
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling_mass / static_cast<double>(n);
+    for (VertexIndex v = 0; v < n; ++v) {
+      double incoming = 0.0;
+      for (VertexIndex u : graph.InNeighbors(v)) {
+        incoming += rank[u] / static_cast<double>(graph.OutDegree(u));
+      }
+      next[v] = base + damping * incoming;
+    }
+    rank.swap(next);
+  }
+  output.double_values = std::move(rank);
+  return output;
+}
+
+}  // namespace ga::reference

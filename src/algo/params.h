@@ -1,0 +1,24 @@
+// Per-algorithm parameters, as defined by the Graphalytics benchmark
+// description (Figure 1, component 1: "the algorithm parameters for each
+// graph (e.g., the root for BFS or number of iterations for PR)").
+#ifndef GRAPHALYTICS_ALGO_PARAMS_H_
+#define GRAPHALYTICS_ALGO_PARAMS_H_
+
+#include "core/types.h"
+
+namespace ga {
+
+struct AlgorithmParams {
+  /// Source vertex (external id) for BFS and SSSP.
+  VertexId source_vertex = 0;
+  /// Fixed iteration count for PageRank.
+  int pagerank_iterations = 20;
+  /// Damping factor for PageRank.
+  double damping_factor = 0.85;
+  /// Fixed iteration count for CDLP.
+  int cdlp_iterations = 10;
+};
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_ALGO_PARAMS_H_

@@ -1,0 +1,65 @@
+#include <numeric>
+#include <vector>
+
+#include "algo/reference.h"
+
+namespace ga::reference {
+
+namespace {
+
+// Union-find with path halving and union by size.
+class DisjointSets {
+ public:
+  explicit DisjointSets(VertexIndex n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), VertexIndex{0});
+  }
+
+  VertexIndex Find(VertexIndex v) {
+    while (parent_[v] != v) {
+      parent_[v] = parent_[parent_[v]];
+      v = parent_[v];
+    }
+    return v;
+  }
+
+  void Union(VertexIndex a, VertexIndex b) {
+    VertexIndex ra = Find(a);
+    VertexIndex rb = Find(b);
+    if (ra == rb) return;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+  }
+
+ private:
+  std::vector<VertexIndex> parent_;
+  std::vector<VertexIndex> size_;
+};
+
+}  // namespace
+
+Result<AlgorithmOutput> Wcc(const Graph& graph) {
+  const VertexIndex n = graph.num_vertices();
+  DisjointSets sets(n);
+  for (const Edge& edge : graph.edges()) {
+    sets.Union(edge.source, edge.target);
+  }
+
+  // Canonical label: smallest external id in the component. External ids
+  // are sorted ascending by construction, so the first vertex index seen
+  // per root has the smallest external id.
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kWcc;
+  output.int_values.assign(n, -1);
+  std::vector<std::int64_t> label_of_root(n, -1);
+  for (VertexIndex v = 0; v < n; ++v) {
+    const VertexIndex root = sets.Find(v);
+    if (label_of_root[root] == -1) {
+      label_of_root[root] = graph.ExternalId(v);
+    }
+    output.int_values[v] = label_of_root[root];
+  }
+  return output;
+}
+
+}  // namespace ga::reference

@@ -1,0 +1,70 @@
+// Dense dynamic bitset used for BFS frontiers and visited sets.
+#ifndef GRAPHALYTICS_CORE_BITSET_H_
+#define GRAPHALYTICS_CORE_BITSET_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace ga {
+
+class Bitset {
+ public:
+  Bitset() = default;
+  explicit Bitset(std::size_t size)
+      : size_(size), words_((size + 63) / 64, 0) {}
+
+  std::size_t size() const { return size_; }
+
+  void Set(std::size_t i) { words_[i >> 6] |= 1ULL << (i & 63); }
+  void Reset(std::size_t i) { words_[i >> 6] &= ~(1ULL << (i & 63)); }
+  bool Test(std::size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1ULL;
+  }
+
+  /// Sets bit i; returns true iff the bit was previously clear.
+  bool TestAndSet(std::size_t i) {
+    std::uint64_t& word = words_[i >> 6];
+    std::uint64_t mask = 1ULL << (i & 63);
+    if (word & mask) return false;
+    word |= mask;
+    return true;
+  }
+
+  void Clear() { words_.assign(words_.size(), 0); }
+
+  std::size_t Count() const {
+    std::size_t total = 0;
+    for (std::uint64_t word : words_) total += std::popcount(word);
+    return total;
+  }
+
+  bool Any() const {
+    for (std::uint64_t word : words_) {
+      if (word != 0) return true;
+    }
+    return false;
+  }
+
+  /// Calls fn(index) for every set bit, in increasing index order.
+  template <typename Fn>
+  void ForEachSet(Fn&& fn) const {
+    for (std::size_t w = 0; w < words_.size(); ++w) {
+      std::uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+ private:
+  std::size_t size_ = 0;
+  std::vector<std::uint64_t> words_;
+};
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_BITSET_H_

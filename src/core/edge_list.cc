@@ -1,0 +1,134 @@
+#include "core/edge_list.h"
+
+#include <cerrno>
+#include <charconv>
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+#include <string_view>
+
+namespace ga {
+
+namespace {
+
+// Parses one whitespace-separated token as T starting at *pos; advances *pos.
+template <typename T>
+bool ParseToken(std::string_view line, std::size_t* pos, T* out) {
+  while (*pos < line.size() && (line[*pos] == ' ' || line[*pos] == '\t')) {
+    ++*pos;
+  }
+  if (*pos >= line.size()) return false;
+  const char* begin = line.data() + *pos;
+  const char* end = line.data() + line.size();
+  std::from_chars_result result;
+  if constexpr (std::is_floating_point_v<T>) {
+    // std::from_chars for double is available in libstdc++ 11+.
+    result = std::from_chars(begin, end, *out);
+  } else {
+    result = std::from_chars(begin, end, *out);
+  }
+  if (result.ec != std::errc()) return false;
+  *pos = static_cast<std::size_t>(result.ptr - line.data());
+  return true;
+}
+
+Status ParseVertexLines(const std::string& text, GraphBuilder* builder) {
+  std::size_t line_start = 0;
+  int line_number = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    std::string_view line(text.data() + line_start, line_end - line_start);
+    ++line_number;
+    line_start = line_end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t pos = 0;
+    VertexId id = 0;
+    if (!ParseToken(line, &pos, &id)) {
+      return Status::IoError("malformed vertex line " +
+                             std::to_string(line_number));
+    }
+    builder->AddVertex(id);
+  }
+  return Status::Ok();
+}
+
+Status ParseEdgeLines(const std::string& text, bool weighted,
+                      GraphBuilder* builder) {
+  std::size_t line_start = 0;
+  int line_number = 0;
+  while (line_start < text.size()) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos) line_end = text.size();
+    std::string_view line(text.data() + line_start, line_end - line_start);
+    ++line_number;
+    line_start = line_end + 1;
+    if (line.empty() || line[0] == '#') continue;
+    std::size_t pos = 0;
+    VertexId source = 0;
+    VertexId target = 0;
+    if (!ParseToken(line, &pos, &source) ||
+        !ParseToken(line, &pos, &target)) {
+      return Status::IoError("malformed edge line " +
+                             std::to_string(line_number));
+    }
+    Weight weight = 1.0;
+    if (weighted && !ParseToken(line, &pos, &weight)) {
+      return Status::IoError("missing weight on edge line " +
+                             std::to_string(line_number));
+    }
+    builder->AddEdge(source, target, weight);
+  }
+  return Status::Ok();
+}
+
+Result<std::string> ReadFile(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open " + path);
+  std::ostringstream contents;
+  contents << in.rdbuf();
+  return contents.str();
+}
+
+}  // namespace
+
+Status WriteGraphFiles(const Graph& graph, const std::string& path_prefix) {
+  {
+    std::ofstream vfile(path_prefix + ".v");
+    if (!vfile) return Status::IoError("cannot write " + path_prefix + ".v");
+    for (VertexIndex v = 0; v < graph.num_vertices(); ++v) {
+      vfile << graph.ExternalId(v) << '\n';
+    }
+  }
+  {
+    std::ofstream efile(path_prefix + ".e");
+    if (!efile) return Status::IoError("cannot write " + path_prefix + ".e");
+    for (const Edge& edge : graph.edges()) {
+      efile << graph.ExternalId(edge.source) << ' '
+            << graph.ExternalId(edge.target);
+      if (graph.is_weighted()) efile << ' ' << edge.weight;
+      efile << '\n';
+    }
+  }
+  return Status::Ok();
+}
+
+Result<Graph> ReadGraphFiles(const std::string& path_prefix,
+                             Directedness directedness, bool weighted) {
+  GA_ASSIGN_OR_RETURN(std::string vertex_text,
+                      ReadFile(path_prefix + ".v"));
+  GA_ASSIGN_OR_RETURN(std::string edge_text, ReadFile(path_prefix + ".e"));
+  return ParseGraphText(vertex_text, edge_text, directedness, weighted);
+}
+
+Result<Graph> ParseGraphText(const std::string& vertex_text,
+                             const std::string& edge_text,
+                             Directedness directedness, bool weighted) {
+  GraphBuilder builder(directedness, weighted,
+                       GraphBuilder::AnomalyPolicy::kReject);
+  GA_RETURN_IF_ERROR(ParseVertexLines(vertex_text, &builder));
+  GA_RETURN_IF_ERROR(ParseEdgeLines(edge_text, weighted, &builder));
+  return std::move(builder).Build();
+}
+
+}  // namespace ga

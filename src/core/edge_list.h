@@ -1,0 +1,36 @@
+// Reader/writer for the Graphalytics on-disk graph format.
+//
+// A dataset consists of two text files:
+//   <name>.v : one vertex id per line
+//   <name>.e : "<source> <target>[ <weight>]" per line
+// plus (by convention) reference-output files "<name>-<algo>" with
+// "<vertex id> <value>" per line, handled by algo/output.h.
+#ifndef GRAPHALYTICS_CORE_EDGE_LIST_H_
+#define GRAPHALYTICS_CORE_EDGE_LIST_H_
+
+#include <string>
+
+#include "core/graph.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace ga {
+
+/// Writes `graph` as `<path_prefix>.v` and `<path_prefix>.e`.
+/// Weighted graphs emit a third column with the edge weight.
+Status WriteGraphFiles(const Graph& graph, const std::string& path_prefix);
+
+/// Loads a graph from `<path_prefix>.v` + `<path_prefix>.e`.
+Result<Graph> ReadGraphFiles(const std::string& path_prefix,
+                             Directedness directedness, bool weighted);
+
+/// Parses an in-memory edge-list text (the `.e` format). Vertices present
+/// only in `vertex_text` (the `.v` format) are added as isolated vertices;
+/// pass an empty string to derive vertices from edges alone.
+Result<Graph> ParseGraphText(const std::string& vertex_text,
+                             const std::string& edge_text,
+                             Directedness directedness, bool weighted);
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_EDGE_LIST_H_

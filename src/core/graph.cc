@@ -1,0 +1,152 @@
+#include "core/graph.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+namespace ga {
+
+namespace {
+
+// Builds a CSR structure from (source-sorted) index pairs.
+// entries must be sorted by `key` ascending.
+struct AdjacencyEntry {
+  VertexIndex key;    // vertex owning the adjacency list
+  VertexIndex other;  // neighbour
+  Weight weight;
+};
+
+void BuildCsr(const std::vector<AdjacencyEntry>& entries, VertexIndex n,
+              bool weighted, std::vector<EdgeIndex>* offsets,
+              std::vector<VertexIndex>* neighbors,
+              std::vector<Weight>* weights) {
+  offsets->assign(static_cast<std::size_t>(n) + 1, 0);
+  neighbors->resize(entries.size());
+  if (weighted) weights->resize(entries.size());
+  for (const AdjacencyEntry& entry : entries) {
+    ++(*offsets)[static_cast<std::size_t>(entry.key) + 1];
+  }
+  for (VertexIndex v = 0; v < n; ++v) {
+    (*offsets)[static_cast<std::size_t>(v) + 1] +=
+        (*offsets)[static_cast<std::size_t>(v)];
+  }
+  std::vector<EdgeIndex> cursor(offsets->begin(), offsets->end() - 1);
+  for (const AdjacencyEntry& entry : entries) {
+    EdgeIndex slot = cursor[static_cast<std::size_t>(entry.key)]++;
+    (*neighbors)[static_cast<std::size_t>(slot)] = entry.other;
+    if (weighted) (*weights)[static_cast<std::size_t>(slot)] = entry.weight;
+  }
+}
+
+EdgeIndex MaxDegree(const std::vector<EdgeIndex>& offsets) {
+  EdgeIndex max_degree = 0;
+  for (std::size_t v = 0; v + 1 < offsets.size(); ++v) {
+    max_degree = std::max(max_degree, offsets[v + 1] - offsets[v]);
+  }
+  return max_degree;
+}
+
+}  // namespace
+
+Result<Graph> GraphBuilder::Build() && {
+  Graph graph;
+  graph.directedness_ = directedness_;
+  graph.weighted_ = weighted_;
+
+  // 1. Collect and densify vertex ids.
+  std::vector<VertexId> ids = std::move(vertices_);
+  ids.reserve(ids.size() + raw_edges_.size() * 2);
+  for (const RawEdge& edge : raw_edges_) {
+    ids.push_back(edge.source);
+    ids.push_back(edge.target);
+  }
+  std::sort(ids.begin(), ids.end());
+  ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
+  graph.external_ids_ = std::move(ids);
+  graph.index_of_.reserve(graph.external_ids_.size() * 2);
+  for (std::size_t i = 0; i < graph.external_ids_.size(); ++i) {
+    graph.index_of_.emplace(graph.external_ids_[i],
+                            static_cast<VertexIndex>(i));
+  }
+  const VertexIndex n = graph.num_vertices();
+
+  // 2. Canonicalise edges: remap ids, orient undirected edges low->high,
+  //    drop or reject self-loops, sort, dedupe.
+  const bool undirected = directedness_ == Directedness::kUndirected;
+  std::vector<Edge> edges;
+  edges.reserve(raw_edges_.size());
+  for (const RawEdge& raw : raw_edges_) {
+    VertexIndex s = graph.index_of_.at(raw.source);
+    VertexIndex t = graph.index_of_.at(raw.target);
+    if (s == t) {
+      if (policy_ == AnomalyPolicy::kReject) {
+        return Status::InvalidArgument(
+            "self-loop on vertex " + std::to_string(raw.source) +
+            " violates the Graphalytics data model");
+      }
+      continue;
+    }
+    if (undirected && s > t) std::swap(s, t);
+    edges.push_back(Edge{s, t, raw.weight});
+  }
+  raw_edges_.clear();
+  raw_edges_.shrink_to_fit();
+
+  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+    return a.source != b.source ? a.source < b.source : a.target < b.target;
+  });
+  auto duplicate = [](const Edge& a, const Edge& b) {
+    return a.source == b.source && a.target == b.target;
+  };
+  auto first_dup = std::adjacent_find(edges.begin(), edges.end(), duplicate);
+  if (first_dup != edges.end()) {
+    if (policy_ == AnomalyPolicy::kReject) {
+      return Status::InvalidArgument(
+          "duplicate edge violates the Graphalytics data model");
+    }
+    edges.erase(std::unique(edges.begin(), edges.end(), duplicate),
+                edges.end());
+  }
+  graph.edges_ = std::move(edges);
+
+  // 3. Materialise adjacency.
+  std::vector<AdjacencyEntry> out_entries;
+  out_entries.reserve(graph.edges_.size() * (undirected ? 2 : 1));
+  for (const Edge& edge : graph.edges_) {
+    out_entries.push_back({edge.source, edge.target, edge.weight});
+    if (undirected) out_entries.push_back({edge.target, edge.source, edge.weight});
+  }
+  std::sort(out_entries.begin(), out_entries.end(),
+            [](const AdjacencyEntry& a, const AdjacencyEntry& b) {
+              return a.key != b.key ? a.key < b.key : a.other < b.other;
+            });
+  BuildCsr(out_entries, n, weighted_, &graph.out_offsets_,
+           &graph.out_targets_, &graph.out_weights_);
+  graph.max_out_degree_ = MaxDegree(graph.out_offsets_);
+
+  if (!undirected) {
+    std::vector<AdjacencyEntry> in_entries;
+    in_entries.reserve(graph.edges_.size());
+    for (const Edge& edge : graph.edges_) {
+      in_entries.push_back({edge.target, edge.source, edge.weight});
+    }
+    std::sort(in_entries.begin(), in_entries.end(),
+              [](const AdjacencyEntry& a, const AdjacencyEntry& b) {
+                return a.key != b.key ? a.key < b.key : a.other < b.other;
+              });
+    BuildCsr(in_entries, n, weighted_, &graph.in_offsets_, &graph.in_sources_,
+             &graph.in_weights_);
+    graph.max_in_degree_ = MaxDegree(graph.in_offsets_);
+  } else {
+    graph.max_in_degree_ = graph.max_out_degree_;
+  }
+
+  return graph;
+}
+
+double GraphScale(std::int64_t num_vertices, std::int64_t num_edges) {
+  double scale = std::log10(static_cast<double>(num_vertices + num_edges));
+  return std::round(scale * 10.0) / 10.0;
+}
+
+}  // namespace ga

@@ -1,0 +1,198 @@
+// Immutable in-memory property graph with CSR/CSC adjacency.
+//
+// Data model per the Graphalytics specification (Section 2.2.1): a graph is
+// a set of vertices identified by unique integers plus a set of unique edges
+// between distinct vertices; directed or undirected; optionally carrying
+// double-precision edge weights (required by SSSP).
+//
+// Graphs are constructed through GraphBuilder, which remaps the sparse
+// external vertex identifiers to dense internal indices [0, n), sorts and
+// deduplicates edges, and materialises:
+//   * a canonical edge array (each logical edge once),
+//   * out-adjacency in CSR form (undirected graphs include both directions),
+//   * in-adjacency in CSC form (directed graphs only; undirected aliases out).
+#ifndef GRAPHALYTICS_CORE_GRAPH_H_
+#define GRAPHALYTICS_CORE_GRAPH_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace ga {
+
+/// One logical edge in canonical form (for undirected graphs,
+/// source <= target after canonicalisation).
+struct Edge {
+  VertexIndex source;
+  VertexIndex target;
+  Weight weight;
+};
+
+class Graph {
+ public:
+  Graph() = default;
+
+  // Movable but not copyable: graphs can be large.
+  Graph(Graph&&) = default;
+  Graph& operator=(Graph&&) = default;
+  Graph(const Graph&) = delete;
+  Graph& operator=(const Graph&) = delete;
+
+  VertexIndex num_vertices() const {
+    return static_cast<VertexIndex>(external_ids_.size());
+  }
+  /// Number of logical edges (an undirected edge counts once).
+  EdgeIndex num_edges() const {
+    return static_cast<EdgeIndex>(edges_.size());
+  }
+  Directedness directedness() const { return directedness_; }
+  bool is_directed() const {
+    return directedness_ == Directedness::kDirected;
+  }
+  bool is_weighted() const { return weighted_; }
+
+  /// The canonical edge array (each logical edge exactly once).
+  std::span<const Edge> edges() const { return edges_; }
+
+  /// Out-neighbours of v. For undirected graphs this is all neighbours.
+  std::span<const VertexIndex> OutNeighbors(VertexIndex v) const {
+    return {&out_targets_[out_offsets_[v]],
+            static_cast<std::size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+  }
+  /// Weights parallel to OutNeighbors(v). Empty span if unweighted.
+  std::span<const Weight> OutWeights(VertexIndex v) const {
+    if (!weighted_) return {};
+    return {&out_weights_[out_offsets_[v]],
+            static_cast<std::size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+  }
+  EdgeIndex OutDegree(VertexIndex v) const {
+    return out_offsets_[v + 1] - out_offsets_[v];
+  }
+
+  /// In-neighbours of v (== OutNeighbors for undirected graphs).
+  std::span<const VertexIndex> InNeighbors(VertexIndex v) const {
+    const auto& offsets = is_directed() ? in_offsets_ : out_offsets_;
+    const auto& sources = is_directed() ? in_sources_ : out_targets_;
+    return {&sources[offsets[v]],
+            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+  }
+  std::span<const Weight> InWeights(VertexIndex v) const {
+    if (!weighted_) return {};
+    const auto& offsets = is_directed() ? in_offsets_ : out_offsets_;
+    const auto& weights = is_directed() ? in_weights_ : out_weights_;
+    return {&weights[offsets[v]],
+            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+  }
+  EdgeIndex InDegree(VertexIndex v) const {
+    const auto& offsets = is_directed() ? in_offsets_ : out_offsets_;
+    return offsets[v + 1] - offsets[v];
+  }
+
+  /// Raw CSR arrays, for engines that operate on the matrix directly.
+  std::span<const EdgeIndex> out_offsets() const { return out_offsets_; }
+  std::span<const VertexIndex> out_targets() const { return out_targets_; }
+  std::span<const Weight> out_weights() const { return out_weights_; }
+  std::span<const EdgeIndex> in_offsets() const {
+    return is_directed() ? std::span<const EdgeIndex>(in_offsets_)
+                         : std::span<const EdgeIndex>(out_offsets_);
+  }
+  std::span<const VertexIndex> in_sources() const {
+    return is_directed() ? std::span<const VertexIndex>(in_sources_)
+                         : std::span<const VertexIndex>(out_targets_);
+  }
+
+  /// External (dataset) id of an internal index.
+  VertexId ExternalId(VertexIndex v) const { return external_ids_[v]; }
+  std::span<const VertexId> external_ids() const { return external_ids_; }
+
+  /// Internal index of an external id, or kInvalidVertex if absent.
+  VertexIndex IndexOf(VertexId id) const {
+    auto it = index_of_.find(id);
+    return it == index_of_.end() ? kInvalidVertex : it->second;
+  }
+
+  /// Maximum out-degree (0 for an empty graph). Used by the memory model:
+  /// skewed graphs stress per-vertex message buffers.
+  EdgeIndex max_out_degree() const { return max_out_degree_; }
+  EdgeIndex max_in_degree() const { return max_in_degree_; }
+
+  /// Total directed adjacency entries: m for directed, 2m for undirected.
+  EdgeIndex num_adjacency_entries() const {
+    return static_cast<EdgeIndex>(out_targets_.size());
+  }
+
+ private:
+  friend class GraphBuilder;
+
+  Directedness directedness_ = Directedness::kDirected;
+  bool weighted_ = false;
+
+  std::vector<VertexId> external_ids_;            // index -> external id
+  std::unordered_map<VertexId, VertexIndex> index_of_;
+
+  std::vector<Edge> edges_;  // canonical logical edges
+
+  std::vector<EdgeIndex> out_offsets_;   // size n+1
+  std::vector<VertexIndex> out_targets_;
+  std::vector<Weight> out_weights_;
+
+  // Directed graphs only (undirected aliases the out arrays).
+  std::vector<EdgeIndex> in_offsets_;
+  std::vector<VertexIndex> in_sources_;
+  std::vector<Weight> in_weights_;
+
+  EdgeIndex max_out_degree_ = 0;
+  EdgeIndex max_in_degree_ = 0;
+};
+
+/// Accumulates vertices and edges, then Build()s an immutable Graph.
+class GraphBuilder {
+ public:
+  /// Policy for duplicate edges and self-loops encountered during Build.
+  /// The Graphalytics data model forbids both; generators commonly produce
+  /// them and expect silent dropping (kDrop), file loaders reject (kReject).
+  enum class AnomalyPolicy { kDrop, kReject };
+
+  explicit GraphBuilder(Directedness directedness, bool weighted = false,
+                        AnomalyPolicy policy = AnomalyPolicy::kDrop)
+      : directedness_(directedness), weighted_(weighted), policy_(policy) {}
+
+  /// Registers a vertex (needed for isolated vertices; edge endpoints are
+  /// registered automatically).
+  void AddVertex(VertexId id) { vertices_.push_back(id); }
+
+  void AddEdge(VertexId source, VertexId target, Weight weight = 1.0) {
+    raw_edges_.push_back(RawEdge{source, target, weight});
+  }
+
+  std::size_t num_pending_edges() const { return raw_edges_.size(); }
+
+  /// Builds the immutable graph. Consumes the builder's buffers.
+  Result<Graph> Build() &&;
+
+ private:
+  struct RawEdge {
+    VertexId source;
+    VertexId target;
+    Weight weight;
+  };
+
+  Directedness directedness_;
+  bool weighted_;
+  AnomalyPolicy policy_;
+  std::vector<VertexId> vertices_;
+  std::vector<RawEdge> raw_edges_;
+};
+
+/// Graphalytics graph scale: log10(|V| + |E|) rounded to one decimal
+/// (Section 2.2.4).
+double GraphScale(std::int64_t num_vertices, std::int64_t num_edges);
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_GRAPH_H_

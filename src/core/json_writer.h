@@ -1,0 +1,60 @@
+// Minimal streaming JSON writer (no external dependencies).
+//
+// Used by the Granula archiver and harness reporters. Produces compact,
+// valid JSON; the caller is responsible for matching Begin/End calls.
+#ifndef GRAPHALYTICS_CORE_JSON_WRITER_H_
+#define GRAPHALYTICS_CORE_JSON_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ga {
+
+class JsonWriter {
+ public:
+  JsonWriter() = default;
+
+  JsonWriter& BeginObject();
+  JsonWriter& EndObject();
+  JsonWriter& BeginArray();
+  JsonWriter& EndArray();
+
+  /// Writes an object key; must be followed by a value or Begin*.
+  JsonWriter& Key(std::string_view key);
+
+  JsonWriter& Value(std::string_view value);
+  JsonWriter& Value(const char* value);
+  JsonWriter& Value(double value);
+  JsonWriter& Value(std::int64_t value);
+  JsonWriter& Value(std::uint64_t value);
+  JsonWriter& Value(int value);
+  JsonWriter& Value(bool value);
+  JsonWriter& Null();
+
+  /// Shorthand for Key(key).Value(value).
+  template <typename T>
+  JsonWriter& Field(std::string_view key, T&& value) {
+    Key(key);
+    return Value(std::forward<T>(value));
+  }
+
+  /// The document built so far. Valid once all scopes are closed.
+  const std::string& str() const { return out_; }
+
+  static std::string Escape(std::string_view raw);
+
+ private:
+  void MaybeComma();
+
+  std::string out_;
+  // Tracks whether a value has been emitted in each open scope (for commas)
+  // and whether we are immediately after a key.
+  std::vector<bool> scope_has_value_;
+  bool after_key_ = false;
+};
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_JSON_WRITER_H_

@@ -1,0 +1,60 @@
+// Graph partitioners used by the distributed platform analogues.
+//
+// Three strategies, matching the systems the paper evaluates:
+//   * hash edge-cut   : vertices hashed to machines (Pregel/Giraph, GraphX,
+//                       GraphMat-D, PGX.D default);
+//   * balanced range  : contiguous vertex ranges with ~equal edge counts;
+//   * greedy vertex-cut: edges assigned to machines, vertices replicated as
+//                       master + mirrors (PowerGraph).
+#ifndef GRAPHALYTICS_CORE_PARTITION_H_
+#define GRAPHALYTICS_CORE_PARTITION_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace ga {
+
+/// Assignment of vertices to `num_parts` machines (edge-cut family).
+struct VertexPartition {
+  int num_parts = 1;
+  std::vector<int> part_of;  // vertex index -> machine
+
+  /// Per-part vertex counts.
+  std::vector<std::int64_t> VertexCounts() const;
+  /// Per-part out-adjacency entry counts (work proxy).
+  std::vector<std::int64_t> EdgeCounts(const Graph& graph) const;
+  /// Number of cut adjacency entries (endpoints on different machines).
+  std::int64_t CountCutEdges(const Graph& graph) const;
+};
+
+/// Hash partition: part(v) = Mix64(external_id) % p. Deterministic and
+/// oblivious to structure, like Giraph's default.
+VertexPartition HashPartition(const Graph& graph, int num_parts);
+
+/// Contiguous ranges chosen so each part holds ~equal out-adjacency entries.
+VertexPartition BalancedRangePartition(const Graph& graph, int num_parts);
+
+/// Vertex-cut: each *edge* lives on exactly one machine; a vertex has one
+/// master and mirrors on every other machine that holds one of its edges.
+struct EdgePartition {
+  int num_parts = 1;
+  std::vector<int> part_of_edge;  // canonical edge index -> machine
+  std::vector<int> master_of;     // vertex -> master machine
+  // replication_factor = (sum over vertices of #machines hosting it) / n.
+  double replication_factor = 1.0;
+  std::vector<std::int64_t> edge_counts;  // per machine
+
+  std::int64_t NumMirrors(const Graph& graph) const;
+};
+
+/// Greedy vertex-cut in the spirit of PowerGraph's "greedy" heuristic:
+/// place each edge on a machine already hosting one of its endpoints,
+/// preferring the least-loaded candidate.
+EdgePartition GreedyVertexCut(const Graph& graph, int num_parts);
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_PARTITION_H_

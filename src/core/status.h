@@ -1,0 +1,136 @@
+// Minimal Status / Result<T> error model (RocksDB / Arrow idiom).
+//
+// The library reports recoverable failures through values rather than
+// exceptions. `Status` carries an error code plus a human-readable message;
+// `Result<T>` is a Status-or-value union.
+#ifndef GRAPHALYTICS_CORE_STATUS_H_
+#define GRAPHALYTICS_CORE_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace ga {
+
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kAlreadyExists,
+  kOutOfMemory,      // Simulated-machine memory budget exceeded (job crash).
+  kDeadlineExceeded, // SLA / makespan limit breach.
+  kUnsupported,      // Platform does not implement the requested algorithm.
+  kIoError,
+  kInternal,
+  kFailedPrecondition,
+};
+
+std::string_view StatusCodeName(StatusCode code);
+
+/// Value-semantic status. Cheap to copy in the OK case.
+class Status {
+ public:
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+  static Status InvalidArgument(std::string message) {
+    return Status(StatusCode::kInvalidArgument, std::move(message));
+  }
+  static Status NotFound(std::string message) {
+    return Status(StatusCode::kNotFound, std::move(message));
+  }
+  static Status AlreadyExists(std::string message) {
+    return Status(StatusCode::kAlreadyExists, std::move(message));
+  }
+  static Status OutOfMemory(std::string message) {
+    return Status(StatusCode::kOutOfMemory, std::move(message));
+  }
+  static Status DeadlineExceeded(std::string message) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(message));
+  }
+  static Status Unsupported(std::string message) {
+    return Status(StatusCode::kUnsupported, std::move(message));
+  }
+  static Status IoError(std::string message) {
+    return Status(StatusCode::kIoError, std::move(message));
+  }
+  static Status Internal(std::string message) {
+    return Status(StatusCode::kInternal, std::move(message));
+  }
+  static Status FailedPrecondition(std::string message) {
+    return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// "OK" or "<CODE>: <message>".
+  std::string ToString() const;
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+/// Status-or-value. Accessing value() on an error aborts in debug builds.
+template <typename T>
+class Result {
+ public:
+  // Intentionally implicit: allows `return SomeStatus;` and `return value;`.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    assert(!status_.ok() && "OK Result must carry a value");
+  }
+  Result(T value) : value_(std::move(value)) {}  // NOLINT
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace ga
+
+// Propagates a non-OK Status from an expression.
+#define GA_RETURN_IF_ERROR(expr)          \
+  do {                                    \
+    ::ga::Status ga_status_ = (expr);     \
+    if (!ga_status_.ok()) return ga_status_; \
+  } while (false)
+
+#define GA_CONCAT_IMPL(a, b) a##b
+#define GA_CONCAT(a, b) GA_CONCAT_IMPL(a, b)
+
+// Assigns the value of a Result<T> expression to `lhs`, or propagates the
+// error. Usage: GA_ASSIGN_OR_RETURN(auto graph, LoadGraph(path));
+#define GA_ASSIGN_OR_RETURN(lhs, expr)                             \
+  auto GA_CONCAT(ga_result_, __LINE__) = (expr);                   \
+  if (!GA_CONCAT(ga_result_, __LINE__).ok())                       \
+    return GA_CONCAT(ga_result_, __LINE__).status();               \
+  lhs = std::move(GA_CONCAT(ga_result_, __LINE__)).value()
+
+#endif  // GRAPHALYTICS_CORE_STATUS_H_

@@ -1,0 +1,30 @@
+// Wall-clock timer for measuring real (host) execution time.
+//
+// Note: paper-shaped metrics use the *simulated* clock from ga::sysmodel;
+// WallTimer measures actual host time for engineering/reporting purposes.
+#ifndef GRAPHALYTICS_CORE_TIMER_H_
+#define GRAPHALYTICS_CORE_TIMER_H_
+
+#include <chrono>
+
+namespace ga {
+
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_TIMER_H_

@@ -1,0 +1,37 @@
+#include "core/types.h"
+
+namespace ga {
+
+std::string_view AlgorithmName(Algorithm algorithm) {
+  switch (algorithm) {
+    case Algorithm::kBfs:
+      return "bfs";
+    case Algorithm::kPageRank:
+      return "pr";
+    case Algorithm::kWcc:
+      return "wcc";
+    case Algorithm::kCdlp:
+      return "cdlp";
+    case Algorithm::kLcc:
+      return "lcc";
+    case Algorithm::kSssp:
+      return "sssp";
+  }
+  return "unknown";
+}
+
+bool ParseAlgorithm(std::string_view name, Algorithm* out) {
+  for (Algorithm algorithm : kAllAlgorithms) {
+    if (AlgorithmName(algorithm) == name) {
+      *out = algorithm;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::string_view DirectednessName(Directedness directedness) {
+  return directedness == Directedness::kDirected ? "directed" : "undirected";
+}
+
+}  // namespace ga

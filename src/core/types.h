@@ -1,0 +1,60 @@
+// Core identifier and enum types shared across all graphalytics-cpp modules.
+#ifndef GRAPHALYTICS_CORE_TYPES_H_
+#define GRAPHALYTICS_CORE_TYPES_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ga {
+
+/// External vertex identifier as it appears in datasets (sparse, arbitrary).
+using VertexId = std::int64_t;
+
+/// Dense internal vertex index in [0, num_vertices).
+using VertexIndex = std::int64_t;
+
+/// Dense edge index in [0, num_edges).
+using EdgeIndex = std::int64_t;
+
+/// Edge weight type mandated by the Graphalytics specification (SSSP uses
+/// double-precision floating-point weights).
+using Weight = double;
+
+/// Sentinel for "no vertex" (e.g., unreachable in BFS parent arrays).
+inline constexpr VertexIndex kInvalidVertex = -1;
+
+/// The six core algorithms of the Graphalytics benchmark (Section 2.2.3).
+enum class Algorithm {
+  kBfs,   // Breadth-first search: minimum hop count from a source.
+  kPageRank,   // PageRank with fixed iteration count.
+  kWcc,   // Weakly connected components.
+  kCdlp,  // Community detection via deterministic label propagation.
+  kLcc,   // Local clustering coefficient.
+  kSssp,  // Single-source shortest paths (double weights).
+};
+
+/// All algorithms, in the order the paper lists them.
+inline constexpr Algorithm kAllAlgorithms[] = {
+    Algorithm::kBfs, Algorithm::kPageRank, Algorithm::kWcc,
+    Algorithm::kCdlp, Algorithm::kLcc, Algorithm::kSssp};
+
+/// Short lowercase name used in reports ("bfs", "pr", ...), mirroring the
+/// labels in the paper's Figure 6.
+std::string_view AlgorithmName(Algorithm algorithm);
+
+/// Parses an algorithm name produced by AlgorithmName. Returns false if the
+/// name is not recognised.
+bool ParseAlgorithm(std::string_view name, Algorithm* out);
+
+/// Whether a graph's edges are ordered pairs (directed) or not.
+enum class Directedness {
+  kDirected,
+  kUndirected,
+};
+
+std::string_view DirectednessName(Directedness directedness);
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_TYPES_H_

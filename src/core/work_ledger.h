@@ -1,0 +1,40 @@
+// WorkLedger: per-worker counters of real work performed by an engine.
+//
+// The platform analogues execute algorithms for real, and account every
+// unit of work they perform into a ledger: edges relaxed, messages sent,
+// bytes that would cross the network, rows joined, objects allocated.
+// The simulated cluster (ga::sysmodel) converts ledgers into simulated
+// time; see DESIGN.md §5 "Simulated time vs wall time".
+#ifndef GRAPHALYTICS_CORE_WORK_LEDGER_H_
+#define GRAPHALYTICS_CORE_WORK_LEDGER_H_
+
+#include <cstdint>
+
+namespace ga {
+
+struct WorkLedger {
+  // Computation (unit: abstract machine operations; engines charge their
+  // cost-profile multiple of touched vertices/edges).
+  std::uint64_t compute_ops = 0;
+  // Messages handed to the communication layer (local or remote).
+  std::uint64_t messages = 0;
+  // Bytes crossing machine boundaries (0 on one machine).
+  std::uint64_t remote_bytes = 0;
+  // Heap allocations performed (managed-runtime engines box messages).
+  std::uint64_t allocations = 0;
+  // Rows materialised by dataflow joins/shuffles.
+  std::uint64_t rows_materialized = 0;
+
+  WorkLedger& operator+=(const WorkLedger& other) {
+    compute_ops += other.compute_ops;
+    messages += other.messages;
+    remote_bytes += other.remote_bytes;
+    allocations += other.allocations;
+    rows_materialized += other.rows_materialized;
+    return *this;
+  }
+};
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_WORK_LEDGER_H_

@@ -1,0 +1,110 @@
+#include "datagen/graph500.h"
+
+#include <algorithm>
+#include <unordered_set>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ga::datagen {
+
+namespace {
+
+// One R-MAT edge sample: descend `scale` levels of the recursive matrix.
+// Noise (+-10% per level, renormalised) follows the Graph500 reference
+// implementation's "noise" refinement to avoid exact self-similarity.
+std::pair<std::uint64_t, std::uint64_t> SampleRmatEdge(
+    int scale, double a, double b, double c, SplitMix64* rng) {
+  std::uint64_t row = 0;
+  std::uint64_t col = 0;
+  for (int level = 0; level < scale; ++level) {
+    const double noise = 0.9 + 0.2 * rng->NextDouble();  // in [0.9, 1.1)
+    const double la = a * noise;
+    const double lb = b * (2.0 - noise);
+    const double lc = c * (2.0 - noise);
+    const double ld = (1.0 - a - b - c) * noise;
+    const double total = la + lb + lc + ld;
+    const double pick = rng->NextDouble() * total;
+    row <<= 1;
+    col <<= 1;
+    if (pick < la) {
+      // top-left: nothing to add
+    } else if (pick < la + lb) {
+      col |= 1;
+    } else if (pick < la + lb + lc) {
+      row |= 1;
+    } else {
+      row |= 1;
+      col |= 1;
+    }
+  }
+  return {row, col};
+}
+
+}  // namespace
+
+Result<Graph> GenerateGraph500(const Graph500Config& config) {
+  // Scale is capped at 31 so the (lo << scale) | hi dedup key fits in 64
+  // bits; benchmark-sized graphs use far smaller scales.
+  if (config.scale < 1 || config.scale > 31) {
+    return Status::InvalidArgument("graph500 scale out of range [1, 31]");
+  }
+  if (config.a <= 0 || config.b < 0 || config.c < 0 ||
+      config.a + config.b + config.c >= 1.0) {
+    return Status::InvalidArgument("invalid R-MAT probabilities");
+  }
+  const std::uint64_t n = 1ULL << config.scale;
+  const std::int64_t target_edges =
+      config.num_edges > 0
+          ? config.num_edges
+          : static_cast<std::int64_t>(config.edge_factor) *
+                static_cast<std::int64_t>(n);
+  // A scale-s id space holds at most n*(n-1)/2 undirected edges; leave
+  // headroom so the dedup loop can terminate.
+  const double max_unique = 0.25 * static_cast<double>(n) *
+                            (static_cast<double>(n) - 1.0);
+  if (static_cast<double>(target_edges) > max_unique) {
+    return Status::InvalidArgument(
+        "requested edge count too dense for scale");
+  }
+
+  SplitMix64 rng = SplitMix64(config.seed).Split(0x6500);
+  SplitMix64 weight_rng = SplitMix64(config.seed).Split(0x6501);
+
+  // Deterministic vertex-label permutation, as mandated by Graph500 (labels
+  // must not encode the recursive structure).
+  const std::uint64_t permute_salt = SplitMix64(config.seed).Split(2).Next();
+
+  const bool undirected = config.directedness == Directedness::kUndirected;
+  std::unordered_set<std::uint64_t> seen;
+  seen.reserve(static_cast<std::size_t>(target_edges) * 2);
+  GraphBuilder builder(config.directedness, config.weighted);
+  const std::int64_t max_attempts = target_edges * 64 + 4096;
+  std::int64_t generated = 0;
+  for (std::int64_t attempt = 0;
+       attempt < max_attempts && generated < target_edges; ++attempt) {
+    auto [row, col] = SampleRmatEdge(config.scale, config.a, config.b,
+                                     config.c, &rng);
+    if (row == col) continue;
+    std::uint64_t u = Mix64(row ^ permute_salt) & (n - 1);
+    std::uint64_t v = Mix64(col ^ permute_salt) & (n - 1);
+    if (u == v) continue;
+    std::uint64_t lo = undirected ? std::min(u, v) : u;
+    std::uint64_t hi = undirected ? std::max(u, v) : v;
+    const std::uint64_t key = (lo << config.scale) | hi;
+    if (!seen.insert(key).second) continue;
+    const Weight weight =
+        config.weighted ? weight_rng.NextDouble() + 1e-3 : 1.0;
+    builder.AddEdge(static_cast<VertexId>(u), static_cast<VertexId>(v),
+                    weight);
+    ++generated;
+  }
+  if (generated < target_edges) {
+    return Status::Internal(
+        "graph500 generator exhausted attempts before reaching " +
+        std::to_string(target_edges) + " edges");
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace ga::datagen

@@ -1,0 +1,47 @@
+// Graph500-style Kronecker (R-MAT) graph generator.
+//
+// Implements the Graph500 specification's recursive-matrix edge sampler:
+// scale s gives 2^s candidate vertices, edge factor f gives f * 2^s edges;
+// each edge picks a quadrant per level with probabilities (A, B, C, D) =
+// (0.57, 0.19, 0.19, 0.05), with multiplicative noise per level, and vertex
+// labels are deterministically permuted. Duplicate edges and self-loops are
+// discarded and regenerated so the requested edge count is exact (the
+// Graphalytics data model requires unique edges between distinct vertices).
+//
+// Only vertices incident to at least one edge are part of the final graph,
+// matching the vertex counts Graphalytics reports for Graph500 datasets
+// (e.g. graph500-22 has 2.40M vertices < 2^22).
+#ifndef GRAPHALYTICS_DATAGEN_GRAPH500_H_
+#define GRAPHALYTICS_DATAGEN_GRAPH500_H_
+
+#include <cstdint>
+
+#include "core/graph.h"
+#include "core/status.h"
+
+namespace ga::datagen {
+
+struct Graph500Config {
+  /// log2 of the candidate vertex-id space.
+  int scale = 16;
+  /// Requested number of unique edges. If 0, edge_factor * 2^scale is used.
+  std::int64_t num_edges = 0;
+  /// Edges per vertex when num_edges == 0 (Graph500 default 16).
+  int edge_factor = 16;
+  /// R-MAT quadrant probabilities; D = 1 - a - b - c.
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;
+  /// Attach uniform random weights in (0, 1] (for SSSP workloads).
+  bool weighted = false;
+  /// Graph500 proper is undirected; the directed variant is used by the
+  /// real-graph proxies (wiki-talk, cit-patents, twitter are directed).
+  Directedness directedness = Directedness::kUndirected;
+  std::uint64_t seed = 1;
+};
+
+Result<Graph> GenerateGraph500(const Graph500Config& config);
+
+}  // namespace ga::datagen
+
+#endif  // GRAPHALYTICS_DATAGEN_GRAPH500_H_

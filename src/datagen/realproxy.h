@@ -1,0 +1,48 @@
+// Synthetic proxies for the six real-world Graphalytics datasets (Table 3).
+//
+// The paper's real graphs (SNAP/KONECT downloads, up to 1.97 B edges) are
+// unavailable offline; each is replaced by a deterministic R-MAT proxy that
+// matches its directedness, |E|/|V| density and domain-typical degree skew,
+// scaled down by a configurable divisor. The registry keeps the *paper*
+// sizes so scale labels in reports match the paper (see DESIGN.md §1).
+#ifndef GRAPHALYTICS_DATAGEN_REALPROXY_H_
+#define GRAPHALYTICS_DATAGEN_REALPROXY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/graph.h"
+#include "core/status.h"
+
+namespace ga::datagen {
+
+struct RealGraphSpec {
+  std::string id;      // "R1" .. "R6"
+  std::string name;    // dataset name from Table 3
+  std::int64_t paper_vertices;
+  std::int64_t paper_edges;
+  Directedness directedness;
+  bool weighted;
+  std::string domain;  // Knowledge / Gaming / Social
+  // Domain-tuned R-MAT skew (a = top-left quadrant mass; larger = more
+  // skewed degree distribution).
+  double rmat_a;
+  double rmat_b;
+  double rmat_c;
+};
+
+/// The six real-world datasets of Table 3, R1(2XS) .. R6(XL).
+std::span<const RealGraphSpec> RealGraphCatalog();
+
+/// Looks up a spec by id ("R1".."R6").
+Result<RealGraphSpec> FindRealGraphSpec(const std::string& id);
+
+/// Generates the proxy graph for `spec` at paper size / `scale_divisor`.
+Result<Graph> GenerateRealProxy(const RealGraphSpec& spec,
+                                std::int64_t scale_divisor,
+                                std::uint64_t seed);
+
+}  // namespace ga::datagen
+
+#endif  // GRAPHALYTICS_DATAGEN_REALPROXY_H_

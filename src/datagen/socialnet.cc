@@ -1,0 +1,283 @@
+#include "datagen/socialnet.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "core/rng.h"
+
+namespace ga::datagen {
+
+namespace {
+
+// Degree fraction contributed by the community (core) step; the remainder
+// comes from the correlated sliding-window steps. Kept high so the
+// clustering knob has authority over the output coefficient (see the
+// derivation in socialnet.h / DESIGN.md).
+constexpr double kCommunityDegreeFraction = 0.85;
+
+// Community edge density for a clustering target: cc_total ~ q * f^2 with
+// f = kCommunityDegreeFraction, so q = target / f^2, clamped to a sane
+// Erdos-Renyi density.
+double CommunityDensity(double target_clustering) {
+  const double f2 = kCommunityDegreeFraction * kCommunityDegreeFraction;
+  return std::clamp(target_clustering / f2, 0.01, 0.9);
+}
+
+// Mean community size that yields the community-degree budget at density q.
+double MeanCommunitySize(const SocialNetConfig& config, double q) {
+  const double community_degree =
+      kCommunityDegreeFraction * config.avg_degree;
+  return std::clamp(1.0 + community_degree / q, 3.0,
+                    static_cast<double>(config.num_persons));
+}
+
+// Expected per-person degree contributed by each window step.
+double WindowStepDegree(const SocialNetConfig& config) {
+  const double window_degree =
+      (1.0 - kCommunityDegreeFraction) * config.avg_degree;
+  return window_degree / std::max(config.correlation_steps, 1);
+}
+
+// Geometric decay of the connection probability with window distance
+// ("consecutive persons in a block must have a larger probability to
+// connect", Section 2.5.1).
+constexpr double kWindowDecay = 0.9;
+
+int EffectiveWindowSize(const SocialNetConfig& config) {
+  if (config.window_size > 0) return config.window_size;
+  // Wide enough that the geometric tail is negligible.
+  return std::max(
+      64, static_cast<int>(std::ceil(WindowStepDegree(config) * 4.0)));
+}
+
+struct PersonOrder {
+  std::uint64_t key;
+  std::int64_t person;
+};
+
+}  // namespace
+
+std::int64_t GenerationCost::TotalSorted() const {
+  std::int64_t total = 0;
+  for (const StepCost& step : steps) total += step.records_sorted;
+  return total;
+}
+
+std::int64_t GenerationCost::TotalIo() const {
+  std::int64_t total = 0;
+  for (const StepCost& step : steps) {
+    total += step.records_in + step.records_out;
+  }
+  return total;
+}
+
+Result<SocialNetwork> GenerateSocialNetwork(const SocialNetConfig& config) {
+  if (config.num_persons < 2) {
+    return Status::InvalidArgument("need at least 2 persons");
+  }
+  if (config.avg_degree <= 0 ||
+      config.avg_degree >= static_cast<double>(config.num_persons)) {
+    return Status::InvalidArgument("avg_degree out of range");
+  }
+  if (config.target_clustering < 0 || config.target_clustering > 0.6) {
+    return Status::InvalidArgument("target_clustering out of range [0, 0.6]");
+  }
+  if (config.correlation_steps < 1 || config.correlation_steps > 8) {
+    return Status::InvalidArgument("correlation_steps out of range [1, 8]");
+  }
+
+  const std::int64_t n = config.num_persons;
+  SplitMix64 root(config.seed);
+  SplitMix64 community_rng = root.Split(1);
+  SplitMix64 weight_rng = root.Split(2);
+
+  SocialNetwork result{Graph(), GenerationCost{}, {}};
+  result.cost.flow = config.flow;
+  GraphBuilder builder(Directedness::kUndirected, config.weighted);
+  for (std::int64_t p = 0; p < n; ++p) builder.AddVertex(p);
+
+  auto edge_weight = [&]() -> Weight {
+    return config.weighted ? weight_rng.NextDouble() + 1e-3 : 1.0;
+  };
+
+  // Per-person sociability: heavy-tailed (Pareto-like) multiplier giving
+  // the skewed, Facebook-like degree distribution of Datagen.
+  SplitMix64 sociability_rng = root.Split(3);
+  std::vector<double> sociability(n);
+  double sociability_sum = 0.0;
+  for (std::int64_t p = 0; p < n; ++p) {
+    const double u = sociability_rng.NextDouble();
+    sociability[p] = std::min(1.0 / std::sqrt(1.0 - u), 8.0);
+    sociability_sum += sociability[p];
+  }
+  const double mean_sociability = sociability_sum / static_cast<double>(n);
+
+  // --- Step 1: core-periphery community construction (tunable CC). -------
+  const double q = CommunityDensity(config.target_clustering);
+  const double mean_size = MeanCommunitySize(config, q);
+  result.community_of.assign(n, -1);
+  std::int64_t community_edges = 0;
+  std::int64_t community_id = 0;
+  std::int64_t next_person = 0;
+  while (next_person < n) {
+    // Log-uniform size in [mean/2, 2*mean]: a power-law-ish size mix.
+    const double size_factor =
+        std::exp2(2.0 * community_rng.NextDouble() - 1.0);
+    const std::int64_t size = std::min<std::int64_t>(
+        n - next_person,
+        std::max<std::int64_t>(2, std::llround(mean_size * size_factor)));
+    const std::int64_t begin = next_person;
+    const std::int64_t end = next_person + size;
+    for (std::int64_t p = begin; p < end; ++p) {
+      result.community_of[p] = community_id;
+    }
+    // Core-periphery density: the base Erdos-Renyi density q is modulated
+    // by the endpoints' sociability, so community hubs emerge and the
+    // degree distribution stays Facebook-like even though most edges are
+    // intra-community. E[s_a * s_b] = 1 for independent normalised
+    // sociabilities, preserving the expected edge budget.
+    for (std::int64_t a = begin; a < end; ++a) {
+      const double sa = sociability[a] / mean_sociability;
+      for (std::int64_t b = a + 1; b < end; ++b) {
+        const double sb = sociability[b] / mean_sociability;
+        if (community_rng.NextDouble() < std::min(q * sa * sb, 0.95)) {
+          builder.AddEdge(a, b, edge_weight());
+          ++community_edges;
+        }
+      }
+    }
+    ++community_id;
+    next_person = end;
+  }
+
+  // --- Steps 2..k+1: correlated sliding-window friendship generation. ----
+  const int window = EffectiveWindowSize(config);
+  const double step_degree = WindowStepDegree(config);
+  // Forward-edge budget per person per step; the geometric series over the
+  // window normalises the base probability.
+  double geometric_mass = 0.0;
+  for (int d = 1; d <= window; ++d) geometric_mass += std::pow(kWindowDecay, d);
+  const double base_probability = (step_degree / 2.0) / geometric_mass;
+
+  std::vector<std::int64_t> window_edges_per_step;
+  std::vector<PersonOrder> order(n);
+  for (int step = 0; step < config.correlation_steps; ++step) {
+    SplitMix64 attr_rng = root.Split(100 + step);
+    // Correlation dimension: a skewed attribute (few large institutions,
+    // many small ones) plus a deterministic tie-breaker. Sorting groups
+    // persons with equal attributes into blocks.
+    for (std::int64_t p = 0; p < n; ++p) {
+      const double u = attr_rng.NextDouble();
+      const std::uint64_t attribute =
+          static_cast<std::uint64_t>(u * u * u * 1024.0);
+      order[p] = PersonOrder{
+          (attribute << 40) ^ (Mix64(static_cast<std::uint64_t>(p) * 31 +
+                                     static_cast<std::uint64_t>(step)) &
+                               0xFFFFFFFFFFULL),
+          p};
+    }
+    std::sort(order.begin(), order.end(),
+              [](const PersonOrder& a, const PersonOrder& b) {
+                return a.key < b.key;
+              });
+
+    SplitMix64 edge_rng = root.Split(200 + step);
+    std::int64_t step_edges = 0;
+    for (std::int64_t i = 0; i < n; ++i) {
+      const std::int64_t limit = std::min<std::int64_t>(n - i - 1, window);
+      const double si = sociability[order[i].person] / mean_sociability;
+      double probability = base_probability * si;
+      for (std::int64_t d = 1; d <= limit; ++d) {
+        probability *= kWindowDecay;
+        const double sj =
+            sociability[order[i + d].person] / mean_sociability;
+        if (edge_rng.NextDouble() < std::min(probability * sj, 1.0)) {
+          builder.AddEdge(order[i].person, order[i + d].person,
+                          edge_weight());
+          ++step_edges;
+        }
+      }
+    }
+    window_edges_per_step.push_back(step_edges);
+  }
+
+  // --- Cost ledger (Figure 3 execution flows). ---------------------------
+  GenerationCost& cost = result.cost;
+  const std::int64_t raw_community = community_edges;
+  if (config.flow == DatagenFlow::kNewIndependent) {
+    cost.steps.push_back({"persons", n, n, n});
+    cost.steps.push_back({"communities", n, n, raw_community});
+    for (int step = 0; step < config.correlation_steps; ++step) {
+      cost.steps.push_back(
+          {"window_step_" + std::to_string(step), n, n,
+           window_edges_per_step[step]});
+    }
+    std::int64_t all_edges = raw_community;
+    for (std::int64_t e : window_edges_per_step) all_edges += e;
+    cost.steps.push_back({"merge", all_edges, all_edges,
+                          static_cast<std::int64_t>(
+                              builder.num_pending_edges())});
+  } else {
+    // Old flow: step i re-reads and re-sorts persons plus every edge
+    // produced so far (Figure 3, top), so per-step cost grows.
+    cost.steps.push_back({"persons", n, n, n});
+    std::int64_t accumulated = raw_community;
+    cost.steps.push_back({"communities", n, n, n + accumulated});
+    for (int step = 0; step < config.correlation_steps; ++step) {
+      const std::int64_t records_in = n + accumulated;
+      accumulated += window_edges_per_step[step];
+      cost.steps.push_back({"window_step_" + std::to_string(step),
+                            records_in, records_in, n + accumulated});
+    }
+  }
+
+  GA_ASSIGN_OR_RETURN(result.graph, std::move(builder).Build());
+  return result;
+}
+
+GenerationCost EstimateGenerationCost(const SocialNetConfig& config) {
+  const std::int64_t n = config.num_persons;
+  const double q = CommunityDensity(config.target_clustering);
+  const double mean_size = MeanCommunitySize(config, q);
+  // E[edges] of the community step: n/mean_size communities, each an
+  // Erdos-Renyi core of ~mean_size vertices with density q. The log-uniform
+  // size mix inflates E[size^2] by E[f^2]/E[f]^2 with f = 2^U(-1,1):
+  // E[f] = 3/(4 ln 2), E[f^2] = 15/(16 ln 2).
+  const double size_second_moment_factor = 1.2;
+  const double communities = static_cast<double>(n) / mean_size;
+  const std::int64_t community_edges = std::llround(
+      communities * q * 0.5 * mean_size * (mean_size - 1.0) *
+      size_second_moment_factor);
+  const std::int64_t step_edges =
+      std::llround(static_cast<double>(n) * WindowStepDegree(config) / 2.0);
+
+  GenerationCost cost;
+  cost.flow = config.flow;
+  if (config.flow == DatagenFlow::kNewIndependent) {
+    cost.steps.push_back({"persons", n, n, n});
+    cost.steps.push_back({"communities", n, n, community_edges});
+    std::int64_t all_edges = community_edges;
+    for (int step = 0; step < config.correlation_steps; ++step) {
+      cost.steps.push_back(
+          {"window_step_" + std::to_string(step), n, n, step_edges});
+      all_edges += step_edges;
+    }
+    cost.steps.push_back({"merge", all_edges, all_edges, all_edges});
+  } else {
+    cost.steps.push_back({"persons", n, n, n});
+    std::int64_t accumulated = community_edges;
+    cost.steps.push_back({"communities", n, n, n + accumulated});
+    for (int step = 0; step < config.correlation_steps; ++step) {
+      const std::int64_t records_in = n + accumulated;
+      accumulated += step_edges;
+      cost.steps.push_back({"window_step_" + std::to_string(step),
+                            records_in, records_in, n + accumulated});
+    }
+  }
+  return cost;
+}
+
+}  // namespace ga::datagen

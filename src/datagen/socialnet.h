@@ -1,0 +1,92 @@
+// SocialNetGen: an analogue of the LDBC SNB Datagen (Section 2.5.1).
+//
+// Reproduces the generator properties the paper relies on:
+//   * correlated attachment — persons are sorted along several correlation
+//     dimensions (university, interest, location); friendships are created
+//     inside a sliding window over each sorted order, so similar persons
+//     are more likely to connect;
+//   * skewed, Facebook-like degree distribution — per-person sociability
+//     weights drawn from a heavy-tailed distribution;
+//   * tunable average clustering coefficient (the paper's new Datagen
+//     feature) — a core–periphery community step creates dense intra-
+//     community edges whose density is steered by `target_clustering`;
+//   * two execution flows (Figure 3): the old flow where every step sorts
+//     all previously generated data, and the new flow where steps are
+//     independent and a final merge deduplicates. Both flows produce the
+//     *same graph*; they differ in the recorded generation cost, which is
+//     what the paper's Figure 10 measures.
+#ifndef GRAPHALYTICS_DATAGEN_SOCIALNET_H_
+#define GRAPHALYTICS_DATAGEN_SOCIALNET_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/status.h"
+
+namespace ga::datagen {
+
+/// Datagen execution flow (paper Figure 3). v0.2.1 = old, v0.2.6 = new.
+enum class DatagenFlow {
+  kOldSequential,
+  kNewIndependent,
+};
+
+struct SocialNetConfig {
+  std::int64_t num_persons = 10000;
+  /// Mean number of (undirected) friendships per person.
+  double avg_degree = 20.0;
+  /// Knob for the average local clustering coefficient of the output.
+  /// Larger values produce denser intra-community cores (paper Figure 2
+  /// contrasts 0.05 vs 0.3).
+  double target_clustering = 0.15;
+  /// Number of correlation dimensions (Datagen uses 3: university,
+  /// interest, location).
+  int correlation_steps = 3;
+  /// Sliding-window width for correlated edge generation; 0 = automatic.
+  int window_size = 0;
+  /// Attach uniform random weights in (0, 1] to edges.
+  bool weighted = true;
+  DatagenFlow flow = DatagenFlow::kNewIndependent;
+  std::uint64_t seed = 1;
+};
+
+/// Record counts of one generation step (one MapReduce job in Datagen).
+struct StepCost {
+  std::string name;
+  std::int64_t records_in = 0;      // records read by the job
+  std::int64_t records_sorted = 0;  // records passing through the sorter
+  std::int64_t records_out = 0;     // records written
+};
+
+/// Cost ledger of a full generation run; input to the simulated-Hadoop
+/// time model used by the Figure 10 benchmark.
+struct GenerationCost {
+  DatagenFlow flow = DatagenFlow::kNewIndependent;
+  std::vector<StepCost> steps;
+
+  std::int64_t TotalSorted() const;
+  std::int64_t TotalIo() const;
+};
+
+struct SocialNetwork {
+  Graph graph;
+  GenerationCost cost;
+  /// Ground-truth community assignment (person -> community id), useful
+  /// for inspecting the community structure (paper Figure 2).
+  std::vector<std::int64_t> community_of;
+};
+
+Result<SocialNetwork> GenerateSocialNetwork(const SocialNetConfig& config);
+
+/// Computes the cost ledger for `config` analytically, without
+/// materialising the graph. Used to model paper-sized scale factors
+/// (up to 10^10 edges) that cannot be materialised. For configs small
+/// enough to generate, the estimate tracks the actual ledger closely
+/// (validated in tests).
+GenerationCost EstimateGenerationCost(const SocialNetConfig& config);
+
+}  // namespace ga::datagen
+
+#endif  // GRAPHALYTICS_DATAGEN_SOCIALNET_H_

@@ -1,0 +1,44 @@
+#include "datagen/stats.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "algo/reference.h"
+
+namespace ga::datagen {
+
+DegreeStats ComputeDegreeStats(const Graph& graph) {
+  DegreeStats stats;
+  const VertexIndex n = graph.num_vertices();
+  if (n == 0) return stats;
+  std::vector<std::int64_t> degrees(n);
+  for (VertexIndex v = 0; v < n; ++v) degrees[v] = graph.OutDegree(v);
+  stats.max = *std::max_element(degrees.begin(), degrees.end());
+  const double total = static_cast<double>(
+      std::accumulate(degrees.begin(), degrees.end(), std::int64_t{0}));
+  stats.mean = total / static_cast<double>(n);
+
+  // Gini = (2 * sum_i i*d_(i)) / (n * sum d) - (n+1)/n, with d sorted
+  // ascending and i being 1-based rank.
+  std::sort(degrees.begin(), degrees.end());
+  double weighted_sum = 0.0;
+  for (VertexIndex i = 0; i < n; ++i) {
+    weighted_sum += static_cast<double>(i + 1) *
+                    static_cast<double>(degrees[i]);
+  }
+  if (total > 0) {
+    stats.gini = 2.0 * weighted_sum / (static_cast<double>(n) * total) -
+                 (static_cast<double>(n) + 1.0) / static_cast<double>(n);
+  }
+  return stats;
+}
+
+Result<double> AverageClusteringCoefficient(const Graph& graph) {
+  GA_ASSIGN_OR_RETURN(AlgorithmOutput lcc, reference::Lcc(graph));
+  if (lcc.double_values.empty()) return 0.0;
+  const double sum = std::accumulate(lcc.double_values.begin(),
+                                     lcc.double_values.end(), 0.0);
+  return sum / static_cast<double>(lcc.double_values.size());
+}
+
+}  // namespace ga::datagen

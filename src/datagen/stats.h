@@ -1,0 +1,31 @@
+// Structural statistics of generated graphs, used to verify generator
+// properties (degree skew, clustering-coefficient tuning) in tests and
+// examples.
+#ifndef GRAPHALYTICS_DATAGEN_STATS_H_
+#define GRAPHALYTICS_DATAGEN_STATS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/status.h"
+
+namespace ga::datagen {
+
+struct DegreeStats {
+  double mean = 0.0;
+  std::int64_t max = 0;
+  /// Gini coefficient of the degree distribution in [0, 1];
+  /// 0 = perfectly uniform, ~1 = extremely skewed.
+  double gini = 0.0;
+};
+
+/// Statistics over out-degrees (total degree for undirected graphs).
+DegreeStats ComputeDegreeStats(const Graph& graph);
+
+/// Exact average local clustering coefficient (mean of per-vertex LCC).
+Result<double> AverageClusteringCoefficient(const Graph& graph);
+
+}  // namespace ga::datagen
+
+#endif  // GRAPHALYTICS_DATAGEN_STATS_H_

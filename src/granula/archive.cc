@@ -1,0 +1,74 @@
+#include "granula/archive.h"
+
+#include <cstdio>
+
+#include "core/json_writer.h"
+
+namespace ga::granula {
+
+namespace {
+
+void WriteOperation(const Operation& op, JsonWriter* json) {
+  json->BeginObject();
+  json->Field("actor", op.actor());
+  json->Field("mission", op.mission());
+  json->Field("sim_begin_s", op.sim_begin());
+  json->Field("sim_end_s", op.sim_end());
+  json->Field("sim_duration_s", op.SimDuration());
+  json->Field("wall_duration_s", op.WallDuration());
+  if (!op.info().empty()) {
+    json->Key("info").BeginObject();
+    for (const auto& [key, value] : op.info()) {
+      json->Field(key, value);
+    }
+    json->EndObject();
+  }
+  if (!op.children().empty()) {
+    json->Key("operations").BeginArray();
+    for (const auto& child : op.children()) {
+      WriteOperation(*child, json);
+    }
+    json->EndArray();
+  }
+  json->EndObject();
+}
+
+void RenderNode(const Operation& op, int depth, double parent_duration,
+                std::string* out) {
+  char line[256];
+  const double duration = op.SimDuration();
+  const double share =
+      parent_duration > 0 ? 100.0 * duration / parent_duration : 100.0;
+  std::snprintf(line, sizeof(line), "%*s%s/%s: %.6fs (%.1f%%)\n", depth * 2,
+                "", op.actor().c_str(), op.mission().c_str(), duration,
+                share);
+  *out += line;
+  for (const auto& [key, value] : op.info()) {
+    std::snprintf(line, sizeof(line), "%*s- %s: %s\n", depth * 2 + 2, "",
+                  key.c_str(), value.c_str());
+    *out += line;
+  }
+  for (const auto& child : op.children()) {
+    RenderNode(*child, depth + 1, duration, out);
+  }
+}
+
+}  // namespace
+
+std::string Archive::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("format", "graphalytics-cpp granula archive v1");
+  json.Key("job");
+  WriteOperation(*root_, &json);
+  json.EndObject();
+  return json.str();
+}
+
+std::string RenderText(const Operation& root) {
+  std::string out;
+  RenderNode(root, 0, root.SimDuration(), &out);
+  return out;
+}
+
+}  // namespace ga::granula

@@ -1,0 +1,41 @@
+// Granula archiver: serialises a performance model into a JSON
+// "performance archive" — complete (all observed and derived results),
+// descriptive (human-readable keys), and examinable (nested provenance),
+// per Section 2.5.2 of the paper.
+#ifndef GRAPHALYTICS_GRANULA_ARCHIVE_H_
+#define GRAPHALYTICS_GRANULA_ARCHIVE_H_
+
+#include <memory>
+#include <string>
+
+#include "granula/model.h"
+
+namespace ga::granula {
+
+class Archive {
+ public:
+  /// Takes ownership of a completed operation tree.
+  explicit Archive(std::unique_ptr<Operation> root)
+      : root_(std::move(root)) {}
+
+  Archive(Archive&&) = default;
+  Archive& operator=(Archive&&) = default;
+
+  const Operation& root() const { return *root_; }
+  bool valid() const { return root_ != nullptr; }
+
+  /// The complete archive as a JSON document.
+  std::string ToJson() const;
+
+ private:
+  std::unique_ptr<Operation> root_;
+};
+
+/// Renders the archive as an indented text tree with simulated durations
+/// and per-phase percentages — the text-mode equivalent of the Granula
+/// visualizer's drill-down view.
+std::string RenderText(const Operation& root);
+
+}  // namespace ga::granula
+
+#endif  // GRAPHALYTICS_GRANULA_ARCHIVE_H_

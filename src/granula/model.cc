@@ -1,0 +1,27 @@
+#include "granula/model.h"
+
+namespace ga::granula {
+
+Operation* Operation::AddChild(std::string actor, std::string mission) {
+  children_.push_back(
+      std::make_unique<Operation>(std::move(actor), std::move(mission)));
+  return children_.back().get();
+}
+
+const Operation* Operation::Find(std::string_view mission) const {
+  if (mission_ == mission) return this;
+  for (const auto& child : children_) {
+    if (const Operation* found = child->Find(mission)) return found;
+  }
+  return nullptr;
+}
+
+double Operation::TotalSimDuration(std::string_view mission) const {
+  double total = mission_ == mission ? SimDuration() : 0.0;
+  for (const auto& child : children_) {
+    total += child->TotalSimDuration(mission);
+  }
+  return total;
+}
+
+}  // namespace ga::granula

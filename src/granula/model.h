@@ -1,0 +1,94 @@
+// Granula performance model (paper Section 2.5.2).
+//
+// Granula's modeler lets experts "define phases in the execution of a job
+// (e.g., graph loading), and recursively define phases as a collection of
+// smaller, lower-level phases". This module implements that model: an
+// Operation is a node (actor + mission) in a tree of nested phases, with
+// begin/end timestamps in both the simulated cluster clock and the host
+// wall clock, plus free-form recorded info (e.g., vertices processed).
+//
+// The paper's T_proc metric is *defined* through this model: the duration
+// of the "ProcessGraph" operation, excluding platform overhead such as
+// resource allocation or graph loading (Section 2.3).
+#ifndef GRAPHALYTICS_GRANULA_MODEL_H_
+#define GRAPHALYTICS_GRANULA_MODEL_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ga::granula {
+
+/// Canonical mission names used by all platform drivers, so the archiver
+/// can extract the paper's metrics uniformly.
+inline constexpr std::string_view kMissionJob = "Job";
+inline constexpr std::string_view kMissionStartup = "Startup";
+inline constexpr std::string_view kMissionUploadGraph = "UploadGraph";
+inline constexpr std::string_view kMissionProcessGraph = "ProcessGraph";
+inline constexpr std::string_view kMissionOffloadGraph = "OffloadGraph";
+inline constexpr std::string_view kMissionCleanup = "Cleanup";
+inline constexpr std::string_view kMissionSuperstep = "Superstep";
+
+class Operation {
+ public:
+  Operation(std::string actor, std::string mission)
+      : actor_(std::move(actor)), mission_(std::move(mission)) {}
+
+  // Tree nodes are identity objects owned by their parent.
+  Operation(const Operation&) = delete;
+  Operation& operator=(const Operation&) = delete;
+
+  const std::string& actor() const { return actor_; }
+  const std::string& mission() const { return mission_; }
+
+  /// Adds a nested phase; the returned pointer remains owned by this node.
+  Operation* AddChild(std::string actor, std::string mission);
+
+  void Begin(double sim_seconds, double wall_seconds) {
+    sim_begin_ = sim_seconds;
+    wall_begin_ = wall_seconds;
+  }
+  void End(double sim_seconds, double wall_seconds) {
+    sim_end_ = sim_seconds;
+    wall_end_ = wall_seconds;
+  }
+
+  double sim_begin() const { return sim_begin_; }
+  double sim_end() const { return sim_end_; }
+  double SimDuration() const { return sim_end_ - sim_begin_; }
+  double WallDuration() const { return wall_end_ - wall_begin_; }
+
+  /// Records auxiliary information ("the number of vertices processed in
+  /// a phase").
+  void AddInfo(const std::string& key, std::string value) {
+    info_[key] = std::move(value);
+  }
+  const std::map<std::string, std::string>& info() const { return info_; }
+
+  const std::vector<std::unique_ptr<Operation>>& children() const {
+    return children_;
+  }
+
+  /// Depth-first search for the first descendant (or this node) with the
+  /// given mission. Returns nullptr if absent.
+  const Operation* Find(std::string_view mission) const;
+
+  /// Sum of SimDuration over all descendants with the given mission.
+  double TotalSimDuration(std::string_view mission) const;
+
+ private:
+  std::string actor_;
+  std::string mission_;
+  double sim_begin_ = 0.0;
+  double sim_end_ = 0.0;
+  double wall_begin_ = 0.0;
+  double wall_end_ = 0.0;
+  std::map<std::string, std::string> info_;
+  std::vector<std::unique_ptr<Operation>> children_;
+};
+
+}  // namespace ga::granula
+
+#endif  // GRAPHALYTICS_GRANULA_MODEL_H_

@@ -1,0 +1,20 @@
+#include "harness/config.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ga::harness {
+
+BenchmarkConfig BenchmarkConfig::FromEnv() {
+  BenchmarkConfig config;
+  if (const char* divisor = std::getenv("GA_SCALE_DIVISOR")) {
+    const long long value = std::atoll(divisor);
+    if (value >= 1) config.scale_divisor = value;
+  }
+  if (const char* seed = std::getenv("GA_SEED")) {
+    config.seed = static_cast<std::uint64_t>(std::atoll(seed));
+  }
+  return config;
+}
+
+}  // namespace ga::harness

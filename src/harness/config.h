@@ -1,0 +1,41 @@
+// Benchmark configuration (paper Figure 1, component 2).
+//
+// All paper-scale quantities are divided by `scale_divisor` (graphs,
+// per-machine memory, the SLA window); simulated durations are projected
+// back by the same factor when reported, so tables read in paper-scale
+// seconds. See DESIGN.md §1 for the substitution rationale.
+#ifndef GRAPHALYTICS_HARNESS_CONFIG_H_
+#define GRAPHALYTICS_HARNESS_CONFIG_H_
+
+#include <cstdint>
+
+namespace ga::harness {
+
+struct BenchmarkConfig {
+  /// Divisor applied to the paper's dataset sizes (Tables 3 and 4).
+  std::int64_t scale_divisor = 1024;
+  /// Root seed; every dataset and jitter stream derives from it.
+  std::uint64_t seed = 42;
+  /// The Graphalytics SLA: makespan of up to one hour (Section 2.3),
+  /// expressed in projected (paper-scale) seconds.
+  double sla_projected_seconds = 3600.0;
+  /// Per-machine memory of the paper's testbed (Table 7), scaled by
+  /// scale_divisor when deployed.
+  std::int64_t machine_memory_bytes = 64LL * 1024 * 1024 * 1024;
+
+  /// Memory budget handed to a simulated machine.
+  std::int64_t ScaledMemoryBudget() const {
+    return machine_memory_bytes / scale_divisor;
+  }
+  /// Projects a simulated duration to paper scale for reporting.
+  double Project(double sim_seconds) const {
+    return sim_seconds * static_cast<double>(scale_divisor);
+  }
+
+  /// Reads GA_SCALE_DIVISOR / GA_SEED from the environment if set.
+  static BenchmarkConfig FromEnv();
+};
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_CONFIG_H_

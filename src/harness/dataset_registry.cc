@@ -1,0 +1,156 @@
+#include "harness/dataset_registry.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "datagen/graph500.h"
+#include "datagen/realproxy.h"
+#include "datagen/socialnet.h"
+#include "harness/scale.h"
+
+namespace ga::harness {
+
+namespace {
+
+DatasetSpec MakeSpec(std::string id, std::string name,
+                     std::int64_t vertices, std::int64_t edges,
+                     DatasetSource source, Directedness directedness,
+                     bool weighted, double clustering = 0.10) {
+  DatasetSpec spec;
+  spec.id = std::move(id);
+  spec.name = std::move(name);
+  spec.paper_vertices = vertices;
+  spec.paper_edges = edges;
+  spec.paper_scale = ComputeScale(vertices, edges);
+  spec.scale_label = ScaleClassLabel(spec.paper_scale);
+  spec.source = source;
+  spec.directedness = directedness;
+  spec.weighted = weighted;
+  spec.target_clustering = clustering;
+  return spec;
+}
+
+}  // namespace
+
+DatasetRegistry::DatasetRegistry(const BenchmarkConfig& config)
+    : config_(config) {
+  using enum DatasetSource;
+  const auto kD = Directedness::kDirected;
+  const auto kU = Directedness::kUndirected;
+  // Table 3: real-world datasets (proxied).
+  specs_.push_back(MakeSpec("R1", "wiki-talk", 2'390'000, 5'020'000,
+                            kRealProxy, kD, false));
+  specs_.push_back(
+      MakeSpec("R2", "kgs", 830'000, 17'900'000, kRealProxy, kU, false));
+  specs_.push_back(MakeSpec("R3", "cit-patents", 3'770'000, 16'500'000,
+                            kRealProxy, kD, false));
+  specs_.push_back(MakeSpec("R4", "dota-league", 610'000, 50'900'000,
+                            kRealProxy, kU, true));
+  specs_.push_back(MakeSpec("R5", "com-friendster", 65'600'000,
+                            1'810'000'000, kRealProxy, kU, false));
+  specs_.push_back(MakeSpec("R6", "twitter_mpi", 52'600'000, 1'970'000'000,
+                            kRealProxy, kD, false));
+  // Table 4: synthetic datasets. Datagen graphs carry weights (the paper
+  // runs SSSP on D300).
+  specs_.push_back(MakeSpec("D100", "datagen-100", 1'670'000, 102'000'000,
+                            kDatagen, kU, true, 0.10));
+  specs_.push_back(MakeSpec("D100cc005", "datagen-100-cc0.05", 1'670'000,
+                            103'000'000, kDatagen, kU, true, 0.05));
+  specs_.push_back(MakeSpec("D100cc015", "datagen-100-cc0.15", 1'670'000,
+                            103'000'000, kDatagen, kU, true, 0.15));
+  specs_.push_back(MakeSpec("D300", "datagen-300", 4'350'000, 304'000'000,
+                            kDatagen, kU, true, 0.10));
+  specs_.push_back(MakeSpec("D1000", "datagen-1000", 12'800'000,
+                            1'010'000'000, kDatagen, kU, true, 0.10));
+  for (int g = 22; g <= 26; ++g) {
+    // Graph500 sizes from Table 4.
+    static constexpr std::int64_t kVertices[] = {
+        2'400'000, 4'610'000, 8'870'000, 17'100'000, 32'800'000};
+    static constexpr std::int64_t kEdges[] = {
+        64'200'000, 129'000'000, 260'000'000, 524'000'000, 1'050'000'000};
+    specs_.push_back(MakeSpec("G" + std::to_string(g),
+                              "graph500-" + std::to_string(g),
+                              kVertices[g - 22], kEdges[g - 22], kGraph500,
+                              kU, false));
+  }
+}
+
+Result<DatasetSpec> DatasetRegistry::Find(const std::string& id) const {
+  for (const DatasetSpec& spec : specs_) {
+    if (spec.id == id) return spec;
+  }
+  return Status::NotFound("no dataset with id " + id);
+}
+
+Result<const Graph*> DatasetRegistry::Load(const std::string& id) {
+  auto cached = cache_.find(id);
+  if (cached != cache_.end()) return cached->second.get();
+  GA_ASSIGN_OR_RETURN(DatasetSpec spec, Find(id));
+
+  const std::int64_t divisor = config_.scale_divisor;
+  Graph graph;
+  switch (spec.source) {
+    case DatasetSource::kRealProxy: {
+      GA_ASSIGN_OR_RETURN(datagen::RealGraphSpec real,
+                          datagen::FindRealGraphSpec(spec.id));
+      GA_ASSIGN_OR_RETURN(graph, datagen::GenerateRealProxy(
+                                     real, divisor, config_.seed));
+      break;
+    }
+    case DatasetSource::kDatagen: {
+      datagen::SocialNetConfig dg;
+      dg.num_persons =
+          std::max<std::int64_t>(spec.paper_vertices / divisor, 64);
+      // Degree is scale-invariant: 2|E|/|V| from the paper sizes.
+      dg.avg_degree = 2.0 * static_cast<double>(spec.paper_edges) /
+                      static_cast<double>(spec.paper_vertices);
+      dg.target_clustering = spec.target_clustering;
+      dg.weighted = spec.weighted;
+      dg.seed = config_.seed ^ (0x5D1F * (spec.paper_vertices % 9973));
+      GA_ASSIGN_OR_RETURN(datagen::SocialNetwork network,
+                          datagen::GenerateSocialNetwork(dg));
+      graph = std::move(network.graph);
+      break;
+    }
+    case DatasetSource::kGraph500: {
+      datagen::Graph500Config g5;
+      const std::int64_t target_vertices =
+          std::max<std::int64_t>(spec.paper_vertices / divisor, 64);
+      g5.num_edges =
+          std::max<std::int64_t>(spec.paper_edges / divisor, 256);
+      const int density_floor = static_cast<int>(std::ceil(
+          0.5 * std::log2(8.0 * static_cast<double>(g5.num_edges) + 2.0)));
+      g5.scale = std::max({6,
+          static_cast<int>(std::ceil(
+              std::log2(static_cast<double>(target_vertices)))),
+          density_floor});
+      g5.weighted = spec.weighted;
+      g5.seed = config_.seed ^ (0xC0FFEE + spec.paper_vertices);
+      GA_ASSIGN_OR_RETURN(graph, datagen::GenerateGraph500(g5));
+      break;
+    }
+  }
+  auto owned = std::make_unique<Graph>(std::move(graph));
+  const Graph* pointer = owned.get();
+  cache_[id] = std::move(owned);
+  return pointer;
+}
+
+Result<AlgorithmParams> DatasetRegistry::ParamsFor(const std::string& id) {
+  GA_ASSIGN_OR_RETURN(const Graph* graph, Load(id));
+  AlgorithmParams params;
+  VertexIndex best = 0;
+  EdgeIndex best_degree = -1;
+  for (VertexIndex v = 0; v < graph->num_vertices(); ++v) {
+    if (graph->OutDegree(v) > best_degree) {
+      best_degree = graph->OutDegree(v);
+      best = v;
+    }
+  }
+  params.source_vertex = graph->ExternalId(best);
+  params.pagerank_iterations = 20;
+  params.cdlp_iterations = 10;
+  return params;
+}
+
+}  // namespace ga::harness

@@ -1,0 +1,70 @@
+// The Graphalytics dataset catalogue (paper Tables 3 and 4) plus lazy,
+// cached generation of the scaled-down instances.
+//
+// Every dataset keeps its *paper* vertex/edge counts and the derived scale
+// label (so reports read like the paper); the generated instance is
+// paper-size / scale_divisor. Real-world graphs are deterministic R-MAT
+// proxies (DESIGN.md §1); Datagen graphs come from ga::datagen's social
+// generator; Graph500 graphs from the Kronecker generator.
+#ifndef GRAPHALYTICS_HARNESS_DATASET_REGISTRY_H_
+#define GRAPHALYTICS_HARNESS_DATASET_REGISTRY_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/params.h"
+#include "core/graph.h"
+#include "core/status.h"
+#include "harness/config.h"
+
+namespace ga::harness {
+
+enum class DatasetSource { kRealProxy, kDatagen, kGraph500 };
+
+struct DatasetSpec {
+  std::string id;    // "R1".."R6", "D100", "D100cc005", ..., "G22".."G26"
+  std::string name;  // Table 3/4 name
+  std::int64_t paper_vertices;
+  std::int64_t paper_edges;
+  double paper_scale;       // Table 3/4 "Scale" column
+  std::string scale_label;  // T-shirt class of the paper scale
+  DatasetSource source;
+  Directedness directedness;
+  bool weighted;
+  double target_clustering;  // Datagen only
+};
+
+class DatasetRegistry {
+ public:
+  explicit DatasetRegistry(const BenchmarkConfig& config);
+
+  /// All datasets in catalogue order (R1..R6, D100.., D300, D1000,
+  /// G22..G26).
+  const std::vector<DatasetSpec>& specs() const { return specs_; }
+
+  Result<DatasetSpec> Find(const std::string& id) const;
+
+  /// Generates (once) and returns the scaled instance.
+  Result<const Graph*> Load(const std::string& id);
+
+  /// Releases a cached instance (bench sweeps over many datasets).
+  void Evict(const std::string& id) { cache_.erase(id); }
+
+  /// Benchmark parameters for a dataset (the benchmark description fixes
+  /// the BFS/SSSP root per graph): the root is the first vertex with
+  /// maximum out-degree — deterministic and reachable-rich.
+  Result<AlgorithmParams> ParamsFor(const std::string& id);
+
+  const BenchmarkConfig& config() const { return config_; }
+
+ private:
+  BenchmarkConfig config_;
+  std::vector<DatasetSpec> specs_;
+  std::map<std::string, std::unique_ptr<Graph>> cache_;
+};
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_DATASET_REGISTRY_H_

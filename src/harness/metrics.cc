@@ -1,0 +1,44 @@
+#include "harness/metrics.h"
+
+#include <cmath>
+
+namespace ga::harness {
+
+double Eps(std::int64_t num_edges, double tproc_seconds) {
+  if (tproc_seconds <= 0) return 0.0;
+  return static_cast<double>(num_edges) / tproc_seconds;
+}
+
+double Evps(std::int64_t num_vertices, std::int64_t num_edges,
+            double tproc_seconds) {
+  if (tproc_seconds <= 0) return 0.0;
+  return static_cast<double>(num_vertices + num_edges) / tproc_seconds;
+}
+
+double Speedup(double baseline_tproc, double scaled_tproc) {
+  if (scaled_tproc <= 0) return 0.0;
+  return baseline_tproc / scaled_tproc;
+}
+
+double Mean(std::span<const double> samples) {
+  if (samples.empty()) return 0.0;
+  double sum = 0.0;
+  for (double x : samples) sum += x;
+  return sum / static_cast<double>(samples.size());
+}
+
+double StandardDeviation(std::span<const double> samples) {
+  if (samples.size() < 2) return 0.0;
+  const double mean = Mean(samples);
+  double sq = 0.0;
+  for (double x : samples) sq += (x - mean) * (x - mean);
+  return std::sqrt(sq / static_cast<double>(samples.size() - 1));
+}
+
+double CoefficientOfVariation(std::span<const double> samples) {
+  const double mean = Mean(samples);
+  if (mean == 0.0) return 0.0;
+  return StandardDeviation(samples) / mean;
+}
+
+}  // namespace ga::harness

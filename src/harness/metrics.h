@@ -1,0 +1,31 @@
+// Benchmark metrics (paper Section 2.3): run-time components, user-level
+// throughput (EPS, EVPS), speedup, and performance variability (CV).
+#ifndef GRAPHALYTICS_HARNESS_METRICS_H_
+#define GRAPHALYTICS_HARNESS_METRICS_H_
+
+#include <cstdint>
+#include <span>
+
+namespace ga::harness {
+
+/// Edges per second: |E| / T_proc (also used by Graph500).
+double Eps(std::int64_t num_edges, double tproc_seconds);
+
+/// Edges and vertices per second: (|V| + |E|) / T_proc — "closely related
+/// to the scale of a graph".
+double Evps(std::int64_t num_vertices, std::int64_t num_edges,
+            double tproc_seconds);
+
+/// Ratio between baseline and scaled processing time (>1 = faster).
+double Speedup(double baseline_tproc, double scaled_tproc);
+
+double Mean(std::span<const double> samples);
+double StandardDeviation(std::span<const double> samples);
+
+/// Coefficient of variation: stddev / mean ("independent of the scale of
+/// the results").
+double CoefficientOfVariation(std::span<const double> samples);
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_METRICS_H_

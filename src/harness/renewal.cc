@@ -1,0 +1,67 @@
+#include "harness/renewal.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+namespace ga::harness {
+
+Result<RenewalResult> EvaluateClassL(BenchmarkRunner& runner) {
+  RenewalResult result;
+
+  // Per-class dataset pass/fail bookkeeping, keyed by the class's lower
+  // scale bound so classes order correctly (labels alone do not sort).
+  std::map<double, std::pair<std::string, bool>> class_passes;
+
+  for (const DatasetSpec& spec : runner.registry().specs()) {
+    DatasetEvidence evidence;
+    evidence.dataset_id = spec.id;
+    evidence.scale_label = spec.scale_label;
+    evidence.paper_scale = spec.paper_scale;
+
+    for (const std::string& platform_id : platform::AllPlatformIds()) {
+      JobSpec job;
+      job.platform_id = platform_id;
+      job.dataset_id = spec.id;
+      job.algorithm = Algorithm::kBfs;
+      job.validate = false;
+      GA_ASSIGN_OR_RETURN(JobReport report, runner.Run(job));
+      if (!report.completed()) continue;
+      if (evidence.best_platform.empty() ||
+          report.tproc_seconds < evidence.best_tproc_seconds) {
+        evidence.best_platform = platform_id;
+        evidence.best_tproc_seconds = report.tproc_seconds;
+      }
+    }
+    // Free the instance before moving to the next (XL graphs are large).
+    runner.registry().Evict(spec.id);
+
+    const double class_floor = std::floor(spec.paper_scale * 2.0) / 2.0;
+    auto [it, inserted] = class_passes.emplace(
+        class_floor, std::make_pair(spec.scale_label, true));
+    if (evidence.best_platform.empty()) it->second.second = false;
+    result.evidence.push_back(std::move(evidence));
+  }
+
+  // The recommended L is the largest class with no unprocessable graph.
+  for (const auto& [floor, label_passes] : class_passes) {
+    const auto& [label, passes] = label_passes;
+    if (passes) {
+      result.passing_classes.push_back(label);
+      result.recommended_class_l = label;
+    } else {
+      result.failing_classes.push_back(label);
+    }
+  }
+  // "Largest class such that ALL graphs complete": walk down from the
+  // top until an uninterrupted run of passing classes begins.
+  for (auto it = class_passes.rbegin(); it != class_passes.rend(); ++it) {
+    if (it->second.second) {
+      result.recommended_class_l = it->second.first;
+      break;
+    }
+  }
+  return result;
+}
+
+}  // namespace ga::harness

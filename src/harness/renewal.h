@@ -1,0 +1,51 @@
+// Renewal process (paper Section 2.4).
+//
+// Every Graphalytics version re-evaluates the definition of the reference
+// class L: "the largest class of graphs such that a state-of-the-art
+// platform can complete the BFS algorithm within one hour on all graphs
+// in [that] class using a single common-off-the-shelf machine. The
+// selection of platforms ... is limited to platforms implementing
+// Graphalytics that are available to the Graphalytics team."
+//
+// EvaluateClassL runs exactly that procedure over the registry's
+// catalogue: for every dataset, BFS is attempted on one machine by every
+// registered platform; a dataset "passes" if at least one platform meets
+// the SLA; a class passes if all of its datasets pass; the recommended
+// class L is the largest passing class.
+#ifndef GRAPHALYTICS_HARNESS_RENEWAL_H_
+#define GRAPHALYTICS_HARNESS_RENEWAL_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "harness/runner.h"
+
+namespace ga::harness {
+
+struct DatasetEvidence {
+  std::string dataset_id;
+  std::string scale_label;
+  double paper_scale = 0.0;
+  /// Fastest platform that completed BFS within the SLA ("" if none).
+  std::string best_platform;
+  double best_tproc_seconds = 0.0;
+};
+
+struct RenewalResult {
+  /// Largest class whose datasets are all processable (the new class L).
+  std::string recommended_class_l;
+  /// Classes (by label) that fully pass / have at least one failure.
+  std::vector<std::string> passing_classes;
+  std::vector<std::string> failing_classes;
+  std::vector<DatasetEvidence> evidence;
+};
+
+/// Runs the class-L re-evaluation over all datasets in the runner's
+/// registry. Skips validation for speed (correctness is a separate
+/// concern from the renewal's capacity question).
+Result<RenewalResult> EvaluateClassL(BenchmarkRunner& runner);
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_RENEWAL_H_

@@ -1,0 +1,115 @@
+#include "harness/report.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace ga::harness {
+
+std::string TextTable::Render() const {
+  std::vector<std::size_t> widths(headers_.size(), 0);
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    widths[c] = headers_[c].size();
+  }
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  std::string out;
+  out += "== " + title_ + " ==\n";
+  auto emit_row = [&](const std::vector<std::string>& cells) {
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string& cell = c < cells.size() ? cells[c] : "";
+      out += cell;
+      out.append(widths[c] - cell.size() + 2, ' ');
+    }
+    while (!out.empty() && out.back() == ' ') out.pop_back();
+    out += '\n';
+  };
+  emit_row(headers_);
+  std::size_t total = 0;
+  for (std::size_t width : widths) total += width + 2;
+  out.append(total - 2, '-');
+  out += '\n';
+  for (const auto& row : rows_) emit_row(row);
+  return out;
+}
+
+std::string TextTable::RenderCsv() const {
+  auto escape = [](const std::string& cell) {
+    if (cell.find_first_of(",\"\n") == std::string::npos) return cell;
+    std::string quoted = "\"";
+    for (char c : cell) {
+      if (c == '"') quoted += '"';
+      quoted += c;
+    }
+    quoted += '"';
+    return quoted;
+  };
+  std::string out;
+  for (std::size_t c = 0; c < headers_.size(); ++c) {
+    if (c) out += ',';
+    out += escape(headers_[c]);
+  }
+  out += '\n';
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      if (c) out += ',';
+      out += escape(row[c]);
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+std::string FormatSeconds(double seconds) {
+  char buffer[64];
+  if (seconds < 0) return "n/a";
+  if (seconds < 1e-3) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fus", seconds * 1e6);
+  } else if (seconds < 1.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fms", seconds * 1e3);
+  } else if (seconds < 120.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fs", seconds);
+  } else if (seconds < 7200.0) {
+    std::snprintf(buffer, sizeof(buffer), "%.0fm %.0fs", std::floor(seconds / 60.0),
+                  std::fmod(seconds, 60.0));
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1fh", seconds / 3600.0);
+  }
+  return buffer;
+}
+
+std::string FormatThroughput(double per_second) {
+  char buffer[64];
+  if (per_second >= 1e9) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fG", per_second / 1e9);
+  } else if (per_second >= 1e6) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", per_second / 1e6);
+  } else if (per_second >= 1e3) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fk", per_second / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%.1f", per_second);
+  }
+  return buffer;
+}
+
+std::string FormatCount(std::int64_t value) {
+  char buffer[64];
+  const double v = static_cast<double>(value);
+  if (value >= 1'000'000'000) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fB", v / 1e9);
+  } else if (value >= 1'000'000) {
+    std::snprintf(buffer, sizeof(buffer), "%.2fM", v / 1e6);
+  } else if (value >= 1'000) {
+    std::snprintf(buffer, sizeof(buffer), "%.1fk", v / 1e3);
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%lld",
+                  static_cast<long long>(value));
+  }
+  return buffer;
+}
+
+}  // namespace ga::harness

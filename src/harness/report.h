@@ -1,0 +1,38 @@
+// Plain-text table/CSV rendering for benchmark reports — the textual
+// equivalent of the paper's figures and tables.
+#ifndef GRAPHALYTICS_HARNESS_REPORT_H_
+#define GRAPHALYTICS_HARNESS_REPORT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace ga::harness {
+
+/// Fixed-width text table with a title, column headers and string cells.
+class TextTable {
+ public:
+  TextTable(std::string title, std::vector<std::string> headers)
+      : title_(std::move(title)), headers_(std::move(headers)) {}
+
+  void AddRow(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  std::string Render() const;
+  std::string RenderCsv() const;
+
+ private:
+  std::string title_;
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Human formatting helpers used across the bench binaries.
+std::string FormatSeconds(double seconds);       // "1.23s", "45ms", "2m 5s"
+std::string FormatThroughput(double per_second); // "1.2M", "350k"
+std::string FormatCount(std::int64_t value);     // "1.81B", "5.02M"
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_REPORT_H_

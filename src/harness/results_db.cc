@@ -1,0 +1,78 @@
+#include "harness/results_db.h"
+
+#include <fstream>
+
+#include "core/json_writer.h"
+
+namespace ga::harness {
+
+std::vector<const JobReport*> ResultsDatabase::Completed() const {
+  std::vector<const JobReport*> completed;
+  for (const JobReport& report : reports_) {
+    if (report.completed()) completed.push_back(&report);
+  }
+  return completed;
+}
+
+const JobReport* ResultsDatabase::BestFor(const std::string& dataset_id,
+                                          Algorithm algorithm) const {
+  const JobReport* best = nullptr;
+  for (const JobReport& report : reports_) {
+    if (!report.completed() || report.spec.dataset_id != dataset_id ||
+        report.spec.algorithm != algorithm) {
+      continue;
+    }
+    if (best == nullptr || report.tproc_seconds < best->tproc_seconds) {
+      best = &report;
+    }
+  }
+  return best;
+}
+
+std::string ResultsDatabase::ToJson() const {
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("format", "graphalytics-cpp results v1");
+  json.Key("configuration").BeginObject();
+  json.Field("scale_divisor", config_.scale_divisor);
+  json.Field("seed", static_cast<std::uint64_t>(config_.seed));
+  json.Field("sla_projected_seconds", config_.sla_projected_seconds);
+  json.EndObject();
+  json.Key("results").BeginArray();
+  for (const JobReport& report : reports_) {
+    json.BeginObject();
+    json.Field("platform", report.spec.platform_id);
+    json.Field("dataset", report.spec.dataset_id);
+    json.Field("algorithm", AlgorithmName(report.spec.algorithm));
+    json.Field("machines", report.spec.num_machines);
+    json.Field("threads", report.spec.threads_per_machine);
+    json.Field("outcome", JobOutcomeName(report.outcome));
+    if (report.completed()) {
+      json.Field("tproc_seconds", report.tproc_seconds);
+      json.Field("makespan_seconds", report.makespan_seconds);
+      json.Field("upload_seconds", report.upload_seconds);
+      json.Field("eps", report.eps);
+      json.Field("evps", report.evps);
+      json.Field("supersteps", report.supersteps);
+      json.Field("validated", report.output_validated);
+      if (report.tproc_samples.size() > 1) {
+        json.Field("tproc_cv", report.tproc_cv);
+      }
+    } else {
+      json.Field("failure", report.failure);
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  return json.str();
+}
+
+Status ResultsDatabase::WriteJsonFile(const std::string& path) const {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write " + path);
+  out << ToJson();
+  return out ? Status::Ok() : Status::IoError("write failed for " + path);
+}
+
+}  // namespace ga::harness

@@ -1,0 +1,47 @@
+// Results database (paper Figure 1, components 9 and 11): accumulates
+// validated job reports and renders them as a machine-readable JSON
+// archive — the repository from which "validated results are stored in an
+// online repository to track benchmark results across platforms".
+#ifndef GRAPHALYTICS_HARNESS_RESULTS_DB_H_
+#define GRAPHALYTICS_HARNESS_RESULTS_DB_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "harness/config.h"
+#include "harness/runner.h"
+
+namespace ga::harness {
+
+class ResultsDatabase {
+ public:
+  explicit ResultsDatabase(const BenchmarkConfig& config)
+      : config_(config) {}
+
+  void Record(const JobReport& report) { reports_.push_back(report); }
+
+  std::size_t size() const { return reports_.size(); }
+  const std::vector<JobReport>& reports() const { return reports_; }
+
+  /// Completed jobs only.
+  std::vector<const JobReport*> Completed() const;
+
+  /// Best (lowest T_proc) completed report for a workload, or nullptr.
+  const JobReport* BestFor(const std::string& dataset_id,
+                           Algorithm algorithm) const;
+
+  /// The full database as a JSON document (configuration + every record).
+  std::string ToJson() const;
+
+  /// Writes ToJson() to a file.
+  Status WriteJsonFile(const std::string& path) const;
+
+ private:
+  BenchmarkConfig config_;
+  std::vector<JobReport> reports_;
+};
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_RESULTS_DB_H_

@@ -1,0 +1,150 @@
+#include "harness/runner.h"
+
+#include <cmath>
+
+#include "algo/reference.h"
+#include "core/rng.h"
+#include "harness/metrics.h"
+
+namespace ga::harness {
+
+namespace {
+
+// Deterministic standard-normal sample for the jitter stream
+// (Box-Muller over SplitMix64).
+double NormalSample(SplitMix64* rng) {
+  const double u1 = std::max(rng->NextDouble(), 1e-12);
+  const double u2 = rng->NextDouble();
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+}  // namespace
+
+std::string_view JobOutcomeName(JobOutcome outcome) {
+  switch (outcome) {
+    case JobOutcome::kCompleted:
+      return "completed";
+    case JobOutcome::kCrashed:
+      return "crashed";
+    case JobOutcome::kTimedOut:
+      return "timed-out";
+    case JobOutcome::kUnsupported:
+      return "unsupported";
+    case JobOutcome::kFailed:
+      return "failed";
+  }
+  return "unknown";
+}
+
+BenchmarkRunner::BenchmarkRunner(const BenchmarkConfig& config)
+    : config_(config), registry_(config) {}
+
+Result<const AlgorithmOutput*> BenchmarkRunner::ReferenceFor(
+    const std::string& dataset_id, Algorithm algorithm) {
+  const std::string key =
+      dataset_id + "/" + std::string(AlgorithmName(algorithm));
+  auto cached = reference_cache_.find(key);
+  if (cached != reference_cache_.end()) return cached->second.get();
+  GA_ASSIGN_OR_RETURN(const Graph* graph, registry_.Load(dataset_id));
+  GA_ASSIGN_OR_RETURN(AlgorithmParams params,
+                      registry_.ParamsFor(dataset_id));
+  GA_ASSIGN_OR_RETURN(AlgorithmOutput output,
+                      reference::Run(*graph, algorithm, params));
+  auto owned = std::make_unique<AlgorithmOutput>(std::move(output));
+  const AlgorithmOutput* pointer = owned.get();
+  reference_cache_[key] = std::move(owned);
+  return pointer;
+}
+
+Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
+  GA_ASSIGN_OR_RETURN(auto platform,
+                      platform::CreatePlatform(spec.platform_id));
+  GA_ASSIGN_OR_RETURN(const Graph* graph, registry_.Load(spec.dataset_id));
+  GA_ASSIGN_OR_RETURN(AlgorithmParams params,
+                      registry_.ParamsFor(spec.dataset_id));
+
+  platform::ExecutionEnvironment env;
+  env.num_machines = spec.num_machines;
+  env.threads_per_machine = spec.threads_per_machine;
+  env.memory_budget_bytes = config_.ScaledMemoryBudget();
+  env.prefer_distributed_backend = spec.prefer_distributed_backend;
+  env.overhead_scale = 1.0 / static_cast<double>(config_.scale_divisor);
+
+  JobReport report;
+  report.spec = spec;
+
+  auto run = platform->RunJob(*graph, spec.algorithm, params, env);
+  if (!run.ok()) {
+    report.failure = run.status().ToString();
+    switch (run.status().code()) {
+      case StatusCode::kOutOfMemory:
+        report.outcome = JobOutcome::kCrashed;
+        break;
+      case StatusCode::kUnsupported:
+        report.outcome = JobOutcome::kUnsupported;
+        break;
+      default:
+        report.outcome = JobOutcome::kFailed;
+        break;
+    }
+    return report;
+  }
+
+  report.upload_seconds = config_.Project(run->metrics.upload_sim_seconds);
+  report.makespan_seconds =
+      config_.Project(run->metrics.makespan_sim_seconds);
+  const double tproc =
+      config_.Project(run->metrics.processing_sim_seconds);
+  report.supersteps = run->metrics.supersteps;
+
+  // Repetition jitter: the engines are deterministic, so run-to-run noise
+  // (JIT, GC, OS scheduling, network contention) is reintroduced by a
+  // seeded stream with the platform's Table-11 coefficient of variation.
+  SplitMix64 jitter(config_.seed ^ Mix64(std::hash<std::string>{}(
+                        spec.platform_id + spec.dataset_id)));
+  const double cv = platform->profile().variability_cv;
+  report.tproc_samples.reserve(spec.repetitions);
+  for (int r = 0; r < std::max(spec.repetitions, 1); ++r) {
+    const double factor =
+        spec.repetitions > 1
+            ? std::max(0.05, 1.0 + cv * NormalSample(&jitter))
+            : 1.0;
+    report.tproc_samples.push_back(tproc * factor);
+  }
+  report.tproc_seconds = Mean(report.tproc_samples);
+  report.tproc_cv = CoefficientOfVariation(report.tproc_samples);
+
+  GA_ASSIGN_OR_RETURN(DatasetSpec dataset,
+                      registry_.Find(spec.dataset_id));
+  report.eps = Eps(graph->num_edges(), run->metrics.processing_sim_seconds);
+  report.evps = Evps(graph->num_vertices(), graph->num_edges(),
+                     run->metrics.processing_sim_seconds);
+
+  // SLA: "generate the output ... with a makespan of up to 1 hour"
+  // (Section 2.3); crashes were handled above.
+  if (report.makespan_seconds > config_.sla_projected_seconds) {
+    report.outcome = JobOutcome::kTimedOut;
+    report.failure = "SLA breach: makespan " +
+                     std::to_string(report.makespan_seconds) + "s > " +
+                     std::to_string(config_.sla_projected_seconds) + "s";
+    return report;
+  }
+
+  if (spec.validate) {
+    GA_ASSIGN_OR_RETURN(const AlgorithmOutput* reference,
+                        ReferenceFor(spec.dataset_id, spec.algorithm));
+    Status valid = ValidateOutput(*graph, *reference, run->output);
+    if (!valid.ok()) {
+      report.outcome = JobOutcome::kFailed;
+      report.failure = "output validation: " + valid.ToString();
+      return report;
+    }
+    report.output_validated = true;
+  }
+
+  report.outcome = JobOutcome::kCompleted;
+  return report;
+}
+
+}  // namespace ga::harness

@@ -1,0 +1,92 @@
+// BenchmarkRunner: the Graphalytics harness core (paper Figure 1,
+// component 5). Orchestrates one benchmark job: load the dataset, deploy
+// the platform on a simulated environment, execute, validate the output
+// against the reference implementation, enforce the SLA, and extract the
+// paper's metrics from the Granula archive.
+#ifndef GRAPHALYTICS_HARNESS_RUNNER_H_
+#define GRAPHALYTICS_HARNESS_RUNNER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/output.h"
+#include "harness/config.h"
+#include "harness/dataset_registry.h"
+#include "platforms/platform.h"
+
+namespace ga::harness {
+
+struct JobSpec {
+  std::string platform_id;
+  std::string dataset_id;
+  Algorithm algorithm = Algorithm::kBfs;
+  int num_machines = 1;
+  int threads_per_machine = 32;
+  /// Repetitions for variability measurements (Section 4.7).
+  int repetitions = 1;
+  /// Validate output against the reference implementation (R3: "the
+  /// process must include the possibility to validate").
+  bool validate = true;
+  /// Run manually-selected distributed backends even on one machine
+  /// (paper §4.4-4.5 use GraphMat's D backend throughout).
+  bool prefer_distributed_backend = false;
+};
+
+enum class JobOutcome {
+  kCompleted,    // finished within the SLA, output validated
+  kCrashed,      // out of memory (SLA breach, paper §2.3)
+  kTimedOut,     // makespan exceeded the SLA window
+  kUnsupported,  // platform does not implement this workload
+  kFailed,       // any other error (bad input, validation mismatch)
+};
+
+std::string_view JobOutcomeName(JobOutcome outcome);
+
+struct JobReport {
+  JobSpec spec;
+  JobOutcome outcome = JobOutcome::kFailed;
+  std::string failure;  // status message for non-completed jobs
+
+  // Projected (paper-scale) seconds; see BenchmarkConfig::Project.
+  double upload_seconds = 0.0;
+  double makespan_seconds = 0.0;
+  double tproc_seconds = 0.0;  // mean over repetitions
+
+  double eps = 0.0;   // edges per second
+  double evps = 0.0;  // edges+vertices per second
+  double tproc_cv = 0.0;  // coefficient of variation over repetitions
+  std::vector<double> tproc_samples;
+
+  int supersteps = 0;
+  bool output_validated = false;
+
+  bool completed() const { return outcome == JobOutcome::kCompleted; }
+};
+
+class BenchmarkRunner {
+ public:
+  explicit BenchmarkRunner(const BenchmarkConfig& config);
+
+  DatasetRegistry& registry() { return registry_; }
+  const BenchmarkConfig& config() const { return config_; }
+
+  /// Runs one job. Infrastructure errors (unknown dataset/platform)
+  /// surface as a non-OK status; *benchmark-visible* failures (crash,
+  /// SLA breach, unsupported workload) come back as a JobReport with the
+  /// corresponding outcome, as the paper's harness records them.
+  Result<JobReport> Run(const JobSpec& spec);
+
+ private:
+  Result<const AlgorithmOutput*> ReferenceFor(const std::string& dataset_id,
+                                              Algorithm algorithm);
+
+  BenchmarkConfig config_;
+  DatasetRegistry registry_;
+  std::map<std::string, std::unique_ptr<AlgorithmOutput>> reference_cache_;
+};
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_RUNNER_H_

@@ -1,0 +1,43 @@
+#include "harness/scale.h"
+
+#include <cmath>
+
+namespace ga::harness {
+
+double ComputeScale(std::int64_t num_vertices, std::int64_t num_edges) {
+  const double raw =
+      std::log10(static_cast<double>(num_vertices + num_edges));
+  return std::round(raw * 10.0) / 10.0;
+}
+
+std::string ScaleClassLabel(double scale) {
+  // Class index k covers [7 + 0.5k, 7.5 + 0.5k): k=0 -> XS, 1 -> S,
+  // 2 -> M, 3 -> L, 4 -> XL; below XS and above XL the count of X's
+  // grows (k=-1 -> 2XS, k=5 -> 2XL, k=6 -> 3XL, ...).
+  const int k = static_cast<int>(std::floor((scale - 7.0) / 0.5 + 1e-9));
+  switch (k) {
+    case 0:
+      return "XS";
+    case 1:
+      return "S";
+    case 2:
+      return "M";
+    case 3:
+      return "L";
+    case 4:
+      return "XL";
+    default:
+      break;
+  }
+  if (k < 0) {
+    return std::to_string(1 - k) + "XS";
+  }
+  return std::to_string(k - 3) + "XL";
+}
+
+std::string ScaleClassLabel(std::int64_t num_vertices,
+                            std::int64_t num_edges) {
+  return ScaleClassLabel(ComputeScale(num_vertices, num_edges));
+}
+
+}  // namespace ga::harness

@@ -1,0 +1,29 @@
+// Graph scale and "T-shirt size" classes (paper Section 2.2.4, Table 2).
+//
+// scale(V, E) = log10(|V| + |E|), rounded to one decimal. Classes span
+// 0.5 scale units; the reference class L is [8.5, 9.0). Extra X's extend
+// the scheme on both ends (2XS, 3XL, ...), making it open-ended as the
+// renewal process re-centres it over time (Section 2.4).
+#ifndef GRAPHALYTICS_HARNESS_SCALE_H_
+#define GRAPHALYTICS_HARNESS_SCALE_H_
+
+#include <cstdint>
+#include <string>
+
+namespace ga::harness {
+
+/// log10(V + E) rounded to one decimal place.
+double ComputeScale(std::int64_t num_vertices, std::int64_t num_edges);
+
+/// Table 2 label for a scale value: "2XS" (< 7), "XS" [7,7.5), "S" [7.5,8),
+/// "M" [8,8.5), "L" [8.5,9), "XL" [9,9.5), "2XL" [9.5,10), and so on with
+/// an extra X per additional 0.5 in either direction.
+std::string ScaleClassLabel(double scale);
+
+/// Convenience: label for a concrete graph size.
+std::string ScaleClassLabel(std::int64_t num_vertices,
+                            std::int64_t num_edges);
+
+}  // namespace ga::harness
+
+#endif  // GRAPHALYTICS_HARNESS_SCALE_H_

@@ -1,0 +1,495 @@
+#include "platforms/bsplite.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "platforms/worker_map.h"
+
+namespace ga::platform {
+
+namespace {
+
+// Per-message heap/serialisation footprint of a managed runtime (object
+// header + boxed payload + queue entry), charged per inbox entry while a
+// superstep is executing.
+constexpr std::int64_t kMessageObjectBytes = 48;
+
+// Pregel superstep executor with scalar (double) messages.
+//
+// Protocol: vertices start *halted*; initial work is injected with
+// SeedMessage (as Giraph drivers do for rooted algorithms) or by
+// ActivateAll for self-starting algorithms. A vertex program runs when the
+// vertex is active or has mail; it may Send, AggregateNext and VoteToHalt.
+// Execution stops at quiescence (no active vertices, no mail) or after
+// max_supersteps.
+class PregelRuntime {
+ public:
+  /// Message combiner, as provided by Giraph drivers: kMin for BFS / WCC /
+  /// SSSP, kSum for PageRank. Combining caps each inbox at one entry, so
+  /// the engine survives graphs whose raw per-superstep message volume
+  /// would not fit. CDLP's mode aggregation cannot be combined, and
+  /// neither can LCC's neighbour lists — hence their different failure
+  /// modes (§4.2 / §4.6).
+  enum class Combine { kNone, kMin, kSum };
+
+  PregelRuntime(JobContext& ctx, const Graph& graph,
+                Combine combiner = Combine::kNone)
+      : ctx_(ctx),
+        graph_(graph),
+        combiner_(combiner),
+        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()),
+        inbox_(graph.num_vertices()),
+        next_inbox_(graph.num_vertices()),
+        active_(graph.num_vertices(), 0) {}
+
+  void ActivateAll() { std::fill(active_.begin(), active_.end(), 1); }
+
+  /// Injects a message to be delivered in the first superstep.
+  void SeedMessage(VertexIndex target, double value) {
+    inbox_[target].push_back(value);
+  }
+
+  template <typename VertexProgram>
+  Status Run(VertexProgram&& program, int max_supersteps,
+             const std::string& label) {
+    for (int superstep = 0; superstep < max_supersteps; ++superstep) {
+      if (!AnyWork()) break;
+      GA_RETURN_IF_ERROR(ChargeInboxBuffers(label));
+
+      aggregator_next_ = 0.0;
+      for (VertexIndex v = 0; v < graph_.num_vertices(); ++v) {
+        const bool has_mail = !inbox_[v].empty();
+        if (!active_[v] && !has_mail) continue;
+        const int worker = workers_.worker_of(v);
+        ctx_.worker_ops()[worker] += static_cast<std::uint64_t>(
+            ctx_.profile().ops_per_vertex +
+            ctx_.profile().ops_per_message *
+                static_cast<double>(inbox_[v].size()));
+        ctx_.ledger().messages += inbox_[v].size();
+        ctx_.ledger().allocations += inbox_[v].size();
+        current_vertex_ = v;
+        halt_requested_ = false;
+        program(v, std::span<const double>(inbox_[v]), superstep, *this);
+        active_[v] = halt_requested_ ? 0 : 1;
+      }
+      aggregator_ = aggregator_next_;
+
+      ReleaseInboxBuffers();
+      for (auto& box : inbox_) box.clear();
+      inbox_.swap(next_inbox_);
+      ctx_.EndSuperstep(label);
+    }
+    return Status::Ok();
+  }
+
+  /// Sends a message to `target` for delivery next superstep; charged to
+  /// the current vertex's worker, plus wire bytes if it crosses machines.
+  /// With a combiner configured the inbox keeps one combined value (the
+  /// send itself still costs CPU and wire, as in Giraph).
+  void Send(VertexIndex target, double value) {
+    std::vector<double>& box = next_inbox_[target];
+    if (combiner_ != Combine::kNone && !box.empty()) {
+      box[0] = combiner_ == Combine::kMin ? std::min(box[0], value)
+                                          : box[0] + value;
+    } else {
+      box.push_back(value);
+    }
+    ctx_.worker_ops()[workers_.worker_of(current_vertex_)] +=
+        static_cast<std::uint64_t>(ctx_.profile().ops_per_message +
+                                   ctx_.profile().ops_per_edge);
+    const int source_machine = workers_.machine_of(current_vertex_);
+    const int target_machine = workers_.machine_of(target);
+    if (source_machine != target_machine) {
+      const auto bytes =
+          static_cast<std::uint64_t>(ctx_.profile().bytes_per_message);
+      ctx_.machine_comm()[source_machine].bytes_sent += bytes;
+      ctx_.machine_comm()[target_machine].bytes_received += bytes;
+      // Remote messages pay (de)serialisation and Netty-stack CPU on top
+      // of the local message cost — Giraph's distributed-mode penalty.
+      ctx_.worker_ops()[workers_.worker_of(current_vertex_)] +=
+          static_cast<std::uint64_t>(5.0 * ctx_.profile().ops_per_message);
+    }
+  }
+
+  void VoteToHalt() { halt_requested_ = true; }
+
+  /// Global sum aggregator, visible one superstep later (Giraph-style).
+  void AggregateNext(double value) { aggregator_next_ += value; }
+  double aggregator() const { return aggregator_; }
+
+  const WorkerMap& workers() const { return workers_; }
+
+ private:
+  bool AnyWork() const {
+    for (char a : active_) {
+      if (a) return true;
+    }
+    for (const auto& box : inbox_) {
+      if (!box.empty()) return true;
+    }
+    return false;
+  }
+
+  Status ChargeInboxBuffers(const std::string& label) {
+    charged_bytes_.assign(ctx_.num_machines(), 0);
+    for (VertexIndex v = 0; v < graph_.num_vertices(); ++v) {
+      if (!inbox_[v].empty()) {
+        charged_bytes_[workers_.machine_of(v)] +=
+            static_cast<std::int64_t>(inbox_[v].size()) *
+            kMessageObjectBytes;
+      }
+    }
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      GA_RETURN_IF_ERROR(
+          ctx_.ChargeMemory(m, charged_bytes_[m], label + " inboxes"));
+    }
+    return Status::Ok();
+  }
+
+  void ReleaseInboxBuffers() {
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      ctx_.ReleaseMemory(m, charged_bytes_[m]);
+    }
+  }
+
+  JobContext& ctx_;
+  const Graph& graph_;
+  Combine combiner_;
+  WorkerMap workers_;
+  std::vector<std::vector<double>> inbox_;
+  std::vector<std::vector<double>> next_inbox_;
+  std::vector<char> active_;
+  std::vector<std::int64_t> charged_bytes_;
+  VertexIndex current_vertex_ = 0;
+  bool halt_requested_ = false;
+  double aggregator_ = 0.0;
+  double aggregator_next_ = 0.0;
+};
+
+Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
+                               VertexIndex root) {
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kBfs;
+  output.int_values.assign(graph.num_vertices(), kUnreachableHops);
+  PregelRuntime runtime(ctx, graph, PregelRuntime::Combine::kMin);
+  runtime.SeedMessage(root, 0.0);
+  GA_RETURN_IF_ERROR(runtime.Run(
+      [&](VertexIndex v, std::span<const double> mail, int /*superstep*/,
+          PregelRuntime& rt) {
+        std::int64_t best = kUnreachableHops;
+        for (double m : mail) {
+          best = std::min(best, static_cast<std::int64_t>(m));
+        }
+        if (best < output.int_values[v]) {
+          output.int_values[v] = best;
+          for (VertexIndex u : graph.OutNeighbors(v)) {
+            rt.Send(u, static_cast<double>(best + 1));
+          }
+        }
+        rt.VoteToHalt();
+      },
+      static_cast<int>(graph.num_vertices()) + 2, "bfs"));
+  return output;
+}
+
+Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
+                                VertexIndex root) {
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kSssp;
+  output.double_values.assign(graph.num_vertices(), kUnreachableDistance);
+  PregelRuntime runtime(ctx, graph, PregelRuntime::Combine::kMin);
+  runtime.SeedMessage(root, 0.0);
+  GA_RETURN_IF_ERROR(runtime.Run(
+      [&](VertexIndex v, std::span<const double> mail, int /*superstep*/,
+          PregelRuntime& rt) {
+        double best = kUnreachableDistance;
+        for (double m : mail) best = std::min(best, m);
+        if (best < output.double_values[v]) {
+          output.double_values[v] = best;
+          const auto neighbors = graph.OutNeighbors(v);
+          const auto weights = graph.OutWeights(v);
+          for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            rt.Send(neighbors[i], best + weights[i]);
+          }
+        }
+        rt.VoteToHalt();
+      },
+      static_cast<int>(graph.num_vertices()) + 2, "sssp"));
+  return output;
+}
+
+Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kWcc;
+  output.int_values.resize(graph.num_vertices());
+  for (VertexIndex v = 0; v < graph.num_vertices(); ++v) {
+    output.int_values[v] = graph.ExternalId(v);
+  }
+  PregelRuntime runtime(ctx, graph, PregelRuntime::Combine::kMin);
+  runtime.ActivateAll();
+  GA_RETURN_IF_ERROR(runtime.Run(
+      [&](VertexIndex v, std::span<const double> mail, int superstep,
+          PregelRuntime& rt) {
+        std::int64_t label = output.int_values[v];
+        bool changed = superstep == 0;  // broadcast once at start
+        for (double m : mail) {
+          const auto candidate = static_cast<std::int64_t>(m);
+          if (candidate < label) {
+            label = candidate;
+            changed = true;
+          }
+        }
+        output.int_values[v] = label;
+        if (changed) {
+          // Weak connectivity: propagate along both edge directions.
+          for (VertexIndex u : graph.OutNeighbors(v)) {
+            rt.Send(u, static_cast<double>(label));
+          }
+          if (graph.is_directed()) {
+            for (VertexIndex u : graph.InNeighbors(v)) {
+              rt.Send(u, static_cast<double>(label));
+            }
+          }
+        }
+        rt.VoteToHalt();
+      },
+      static_cast<int>(graph.num_vertices()) + 2, "wcc"));
+  return output;
+}
+
+Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
+                                    int iterations, double damping) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kPageRank;
+  output.double_values.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n == 0 || iterations == 0) return output;
+
+  PregelRuntime runtime(ctx, graph, PregelRuntime::Combine::kSum);
+  runtime.ActivateAll();
+  // Superstep 0: scatter initial rank; supersteps 1..iterations: gather,
+  // update, scatter (except after the final update). The dangling mass is
+  // summed with the Giraph-style aggregator and applied next superstep.
+  GA_RETURN_IF_ERROR(runtime.Run(
+      [&](VertexIndex v, std::span<const double> mail, int superstep,
+          PregelRuntime& rt) {
+        if (superstep > 0) {
+          double incoming = 0.0;
+          for (double m : mail) incoming += m;
+          const double base =
+              (1.0 - damping) / static_cast<double>(n) +
+              damping * rt.aggregator() / static_cast<double>(n);
+          output.double_values[v] = base + damping * incoming;
+        }
+        if (superstep < iterations) {
+          const double rank = output.double_values[v];
+          const EdgeIndex degree = graph.OutDegree(v);
+          if (degree == 0) {
+            rt.AggregateNext(rank);
+          } else {
+            const double share = rank / static_cast<double>(degree);
+            for (VertexIndex u : graph.OutNeighbors(v)) rt.Send(u, share);
+          }
+        } else {
+          rt.VoteToHalt();
+        }
+      },
+      iterations + 1, "pr"));
+  return output;
+}
+
+Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
+                                int iterations) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kCdlp;
+  output.int_values.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    output.int_values[v] = graph.ExternalId(v);
+  }
+  if (iterations == 0) return output;
+
+  PregelRuntime runtime(ctx, graph);
+  runtime.ActivateAll();
+  std::unordered_map<std::int64_t, std::int64_t> histogram;
+  auto send_label = [&](VertexIndex v, PregelRuntime& rt) {
+    const double label = static_cast<double>(output.int_values[v]);
+    // A directed reciprocal pair contributes one vote per direction
+    // (Graphalytics CDLP semantics): v's label travels along out-edges,
+    // and along in-edges reversed.
+    for (VertexIndex u : graph.OutNeighbors(v)) rt.Send(u, label);
+    if (graph.is_directed()) {
+      for (VertexIndex u : graph.InNeighbors(v)) rt.Send(u, label);
+    }
+  };
+  GA_RETURN_IF_ERROR(runtime.Run(
+      [&](VertexIndex v, std::span<const double> mail, int superstep,
+          PregelRuntime& rt) {
+        if (superstep > 0 && !mail.empty()) {
+          histogram.clear();
+          for (double m : mail) ++histogram[static_cast<std::int64_t>(m)];
+          std::int64_t best_label = 0;
+          std::int64_t best_count = -1;
+          for (const auto& [label, count] : histogram) {
+            if (count > best_count ||
+                (count == best_count && label < best_label)) {
+              best_label = label;
+              best_count = count;
+            }
+          }
+          output.int_values[v] = best_label;
+        }
+        if (superstep < iterations) {
+          send_label(v, rt);
+        } else {
+          rt.VoteToHalt();
+        }
+      },
+      iterations + 1, "cdlp"));
+  return output;
+}
+
+// LCC with neighbourhood-list messages (the Giraph driver's approach):
+// superstep 1 conceptually ships each vertex's out-adjacency list to every
+// neighbour; superstep 2 intersects. The list buffers are charged to the
+// receiving machines — on dense or large graphs this exhausts memory,
+// which is exactly the paper's observed failure mode for LCC (§4.2).
+Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kLcc;
+  output.double_values.assign(n, 0.0);
+  WorkerMap workers(graph, ctx.num_machines(), ctx.threads_per_machine());
+
+  // Phase 1: neighbourhood exchange. Charge the materialised message
+  // buffers: every u ships out(u) to each member of N(u).
+  std::vector<std::int64_t> machine_bytes(ctx.num_machines(), 0);
+  std::vector<VertexIndex> neighborhood;
+  std::vector<char> flag(n, 0);
+  auto collect_neighborhood = [&](VertexIndex v) {
+    neighborhood.clear();
+    for (VertexIndex u : graph.OutNeighbors(v)) {
+      if (u != v && !flag[u]) {
+        flag[u] = 1;
+        neighborhood.push_back(u);
+      }
+    }
+    if (graph.is_directed()) {
+      for (VertexIndex u : graph.InNeighbors(v)) {
+        if (u != v && !flag[u]) {
+          flag[u] = 1;
+          neighborhood.push_back(u);
+        }
+      }
+    }
+  };
+
+  for (VertexIndex u = 0; u < n; ++u) {
+    collect_neighborhood(u);
+    const std::int64_t list_bytes =
+        static_cast<std::int64_t>(graph.OutDegree(u)) * 8 + 48;
+    for (VertexIndex v : neighborhood) {
+      machine_bytes[workers.machine_of(v)] += list_bytes;
+      ctx.worker_ops()[workers.worker_of(u)] += static_cast<std::uint64_t>(
+          ctx.profile().ops_per_message +
+          ctx.profile().ops_per_edge *
+              static_cast<double>(graph.OutDegree(u)));
+      if (workers.machine_of(u) != workers.machine_of(v)) {
+        ctx.machine_comm()[workers.machine_of(u)].bytes_sent +=
+            static_cast<std::uint64_t>(list_bytes);
+        ctx.machine_comm()[workers.machine_of(v)].bytes_received +=
+            static_cast<std::uint64_t>(list_bytes);
+      }
+      ctx.ledger().messages += 1;
+    }
+    for (VertexIndex w : neighborhood) flag[w] = 0;
+  }
+  for (int m = 0; m < ctx.num_machines(); ++m) {
+    GA_RETURN_IF_ERROR(
+        ctx.ChargeMemory(m, machine_bytes[m], "lcc neighbour lists"));
+  }
+  ctx.EndSuperstep("lcc/exchange");
+
+  // Phase 2: intersect received lists with the local neighbourhood.
+  for (VertexIndex v = 0; v < n; ++v) {
+    collect_neighborhood(v);
+    const double degree = static_cast<double>(neighborhood.size());
+    std::int64_t links = 0;
+    std::uint64_t scanned = 0;
+    if (neighborhood.size() >= 2) {
+      for (VertexIndex u : neighborhood) {
+        for (VertexIndex w : graph.OutNeighbors(u)) {
+          ++scanned;
+          if (w != v && flag[w]) ++links;
+        }
+      }
+      output.double_values[v] =
+          static_cast<double>(links) / (degree * (degree - 1.0));
+    }
+    ctx.worker_ops()[workers.worker_of(v)] += static_cast<std::uint64_t>(
+        ctx.profile().ops_per_vertex +
+        ctx.profile().ops_per_message * static_cast<double>(scanned));
+    for (VertexIndex w : neighborhood) flag[w] = 0;
+  }
+  ctx.EndSuperstep("lcc/intersect");
+  for (int m = 0; m < ctx.num_machines(); ++m) {
+    ctx.ReleaseMemory(m, machine_bytes[m]);
+  }
+  return output;
+}
+
+}  // namespace
+
+BspLitePlatform::BspLitePlatform() {
+  info_ = PlatformInfo{"bsplite", "Giraph 1.1.0 (Apache)", "community",
+                       "Pregel vertex-centric BSP", /*distributed=*/true};
+  profile_.ops_per_edge = 6.0;
+  profile_.ops_per_vertex = 12.0;
+  profile_.ops_per_message = 25.0;
+  profile_.ops_per_load_entry = 17.0;
+  profile_.bytes_per_message = 16.0;
+  profile_.startup_seconds = 215.0;
+  profile_.superstep_overhead_seconds = 0.307;
+  profile_.hyperthread_efficiency = 0.15;
+  profile_.serial_fraction = 0.11;
+  profile_.mem_bytes_per_vertex = 200.0;
+  profile_.mem_bytes_per_entry = 24.0;
+  profile_.mem_bytes_per_hub_degree = 4500.0;
+  profile_.variability_cv = 0.050;
+}
+
+Result<AlgorithmOutput> BspLitePlatform::Execute(
+    JobContext& ctx, const Graph& graph, Algorithm algorithm,
+    const AlgorithmParams& params) {
+  switch (algorithm) {
+    case Algorithm::kBfs: {
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("BFS source not in graph");
+      }
+      return RunBfs(ctx, graph, root);
+    }
+    case Algorithm::kPageRank:
+      return RunPageRank(ctx, graph, params.pagerank_iterations,
+                         params.damping_factor);
+    case Algorithm::kWcc:
+      return RunWcc(ctx, graph);
+    case Algorithm::kCdlp:
+      return RunCdlp(ctx, graph, params.cdlp_iterations);
+    case Algorithm::kLcc:
+      return RunLcc(ctx, graph);
+    case Algorithm::kSssp: {
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("SSSP source not in graph");
+      }
+      return RunSssp(ctx, graph, root);
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+}  // namespace ga::platform

@@ -1,0 +1,43 @@
+// BspLite: analogue of Apache Giraph (paper Table 5, row 1).
+//
+// Implements the Pregel programming model: iterative vertex-centric BSP
+// with message passing along edges, vote-to-halt semantics, and a global
+// aggregator (used for PageRank's dangling mass, as in Giraph drivers).
+// Every superstep delivers the previous superstep's messages to per-vertex
+// inboxes, invokes the vertex program on active vertices, and exchanges
+// new messages.
+//
+// Cost character (what makes Giraph slow in the paper): every value that
+// crosses an edge is a message object — managed-runtime allocation,
+// (de)serialisation and queueing are charged per message, which puts this
+// engine ~two orders of magnitude behind the CSR-based engines (§4.1).
+// Message inboxes are heap buffers proportional to in-degree; the hub
+// inbox of skewed Graph500 graphs is what breaks it at scale 9.0 while the
+// Datagen graph of equal scale still fits (§4.6).
+#ifndef GRAPHALYTICS_PLATFORMS_BSPLITE_H_
+#define GRAPHALYTICS_PLATFORMS_BSPLITE_H_
+
+#include "platforms/platform.h"
+
+namespace ga::platform {
+
+class BspLitePlatform : public Platform {
+ public:
+  BspLitePlatform();
+
+  const PlatformInfo& info() const override { return info_; }
+  const CostProfile& profile() const override { return profile_; }
+
+ protected:
+  Result<AlgorithmOutput> Execute(JobContext& ctx, const Graph& graph,
+                                  Algorithm algorithm,
+                                  const AlgorithmParams& params) override;
+
+ private:
+  PlatformInfo info_;
+  CostProfile profile_;
+};
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_BSPLITE_H_

@@ -1,0 +1,518 @@
+#include "platforms/dataflow.h"
+
+#include <algorithm>
+#include <cmath>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "platforms/worker_map.h"
+
+namespace ga::platform {
+
+namespace {
+
+// Shuffle-row wire/heap footprint (boxed key + value + spill record).
+constexpr std::int64_t kRowBytes = 48;
+// CDLP shuffle rows: the mode aggregation has no map-side combiner, so
+// groupByKey materialises the full label multiset as boxed (Long, Long)
+// tuples in hash maps on a managed heap with ~55% usable fraction —
+// ~650 effective bytes per vote. This is what makes GraphX "unable to
+// complete CDLP" even on R4(S) in the paper (§4.2).
+constexpr std::int64_t kCdlpRowBytes = 650;
+
+struct MessageRow {
+  VertexIndex dst;
+  double value;
+};
+
+// The dataflow runtime: tracks row processing, shuffles (real sorts),
+// memory for double-buffered shuffle files, and cross-machine bytes.
+class DataflowRuntime {
+ public:
+  DataflowRuntime(JobContext& ctx, const Graph& graph)
+      : ctx_(ctx),
+        graph_(graph),
+        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()) {}
+
+  ~DataflowRuntime() { ReleaseIterationBuffers(); }
+
+  // Charges `rows` row-scans, spread across all workers (Spark balances
+  // shuffle partitions); `op_factor` scales the per-row cost.
+  void ChargeRows(std::uint64_t rows, double op_factor = 1.0) {
+    const double per_row = ctx_.profile().ops_per_message * op_factor;
+    const std::uint64_t total =
+        static_cast<std::uint64_t>(static_cast<double>(rows) * per_row);
+    const int workers = ctx_.num_workers();
+    for (int w = 0; w < workers; ++w) {
+      ctx_.worker_ops()[w] += total / workers;
+    }
+    ctx_.worker_ops()[0] += total % workers;
+    ctx_.ledger().rows_materialized += rows;
+  }
+
+  // Real shuffle: sorts messages by destination and charges comparison
+  // costs plus cross-machine traffic (a row moves when the destination
+  // vertex's machine differs from the source's hash partition).
+  void Shuffle(std::vector<MessageRow>* messages,
+               std::int64_t row_bytes = kRowBytes) {
+    if (messages->empty()) return;
+    const double log_rows =
+        std::max(1.0, std::log2(static_cast<double>(messages->size())));
+    ChargeRows(static_cast<std::uint64_t>(
+                   static_cast<double>(messages->size()) * log_rows / 12.0),
+               2.0);
+    std::sort(messages->begin(), messages->end(),
+              [](const MessageRow& a, const MessageRow& b) {
+                return a.dst < b.dst;
+              });
+    if (ctx_.num_machines() > 1) {
+      // Roughly (p-1)/p of rows cross machines under hash partitioning;
+      // map-side combining shrinks the shipped rows by ~4x (except for
+      // CDLP, whose mode aggregation cannot combine — its heavier
+      // row_bytes already reflect that).
+      constexpr double kMapSideCombine = 4.0;
+      const double cross_fraction =
+          static_cast<double>(ctx_.num_machines() - 1) /
+          static_cast<double>(ctx_.num_machines());
+      const auto cross_bytes = static_cast<std::uint64_t>(
+          cross_fraction * static_cast<double>(messages->size()) *
+          static_cast<double>(ctx_.profile().bytes_per_message) /
+          (kMapSideCombine * static_cast<double>(ctx_.num_machines())));
+      (void)row_bytes;
+      for (int m = 0; m < ctx_.num_machines(); ++m) {
+        ctx_.machine_comm()[m].bytes_sent += cross_bytes;
+        ctx_.machine_comm()[m].bytes_received += cross_bytes;
+      }
+    }
+  }
+
+  // Shuffle files + materialised RDD of this iteration stay resident until
+  // the next iteration replaces them (GraphX unpersists the previous one).
+  Status ChargeIterationBuffers(std::uint64_t rows, std::int64_t row_bytes) {
+    ReleaseIterationBuffers();
+    charged_per_machine_ =
+        static_cast<std::int64_t>(rows) * row_bytes /
+        std::max(ctx_.num_machines(), 1);
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      GA_RETURN_IF_ERROR(
+          ctx_.ChargeMemory(m, charged_per_machine_, "shuffle buffers"));
+    }
+    charged_ = true;
+    return Status::Ok();
+  }
+
+  void ReleaseIterationBuffers() {
+    if (!charged_) return;
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      ctx_.ReleaseMemory(m, charged_per_machine_);
+    }
+    charged_ = false;
+  }
+
+  const WorkerMap& workers() const { return workers_; }
+
+ private:
+  JobContext& ctx_;
+  const Graph& graph_;
+  WorkerMap workers_;
+  std::int64_t charged_per_machine_ = 0;
+  bool charged_ = false;
+};
+
+// GraphX-Pregel skeleton over double-valued vertex state.
+//
+//   send(edge_source_state, edge, forward?) -> optional message value
+//   merge(a, b) -> combined message
+//   apply(v, old_state, merged) -> new state
+//
+// `reverse_sends` additionally evaluates each edge in the reverse
+// direction (GraphX triplets can message both endpoints), used by WCC and
+// CDLP on directed graphs.
+template <typename SendFn, typename MergeFn, typename ApplyFn>
+Status RunGraphxPregel(JobContext& ctx, const Graph& graph,
+                       DataflowRuntime& runtime,
+                       std::vector<double>* state,
+                       std::vector<char>* active, int max_iterations,
+                       bool reverse_sends, std::int64_t row_bytes,
+                       double row_op_factor, const std::string& label,
+                       SendFn&& send, MergeFn&& merge, ApplyFn&& apply) {
+  std::vector<MessageRow> messages;
+  for (int iteration = 0; iteration < max_iterations; ++iteration) {
+    bool any_active = false;
+    for (char a : *active) {
+      if (a) {
+        any_active = true;
+        break;
+      }
+    }
+    if (!any_active) break;
+
+    // Triplet phase: the FULL edge table is scanned (GraphX cannot skip
+    // inactive triplets without a full pass).
+    messages.clear();
+    for (const Edge& edge : graph.edges()) {
+      if ((*active)[edge.source]) {
+        auto value = send((*state)[edge.source], edge, /*forward=*/true);
+        if (value) messages.push_back({edge.target, *value});
+      }
+      const bool evaluate_reverse = !graph.is_directed() || reverse_sends;
+      if (evaluate_reverse && (*active)[edge.target]) {
+        auto value = send((*state)[edge.target], edge, /*forward=*/false);
+        if (value) messages.push_back({edge.source, *value});
+      }
+    }
+    runtime.ChargeRows(graph.edges().size() * 2, row_op_factor);
+    runtime.Shuffle(&messages, row_bytes);
+
+    // Reduce by key + join: produces a brand-new vertex table. The
+    // retained shuffle buffers hold the post-combine rows (one per
+    // distinct destination; GraphX's aggregateMessages combines
+    // map-side), not the raw message multiset.
+    std::vector<char> next_active(state->size(), 0);
+    std::size_t groups = 0;
+    std::size_t i = 0;
+    while (i < messages.size()) {
+      const VertexIndex v = messages[i].dst;
+      double combined = messages[i].value;
+      std::size_t j = i + 1;
+      while (j < messages.size() && messages[j].dst == v) {
+        combined = merge(combined, messages[j].value);
+        ++j;
+      }
+      if (apply(v, &(*state)[v], combined)) next_active[v] = 1;
+      ++groups;
+      i = j;
+    }
+    runtime.ChargeRows(messages.size() + state->size());
+    GA_RETURN_IF_ERROR(runtime.ChargeIterationBuffers(
+        groups + state->size(), row_bytes));
+    active->swap(next_active);
+    ctx.EndSuperstep(label);
+  }
+  runtime.ReleaseIterationBuffers();
+  return Status::Ok();
+}
+
+Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
+                               VertexIndex root) {
+  DataflowRuntime runtime(ctx, graph);
+  const VertexIndex n = graph.num_vertices();
+  std::vector<double> state(n, static_cast<double>(kUnreachableHops));
+  std::vector<char> active(n, 0);
+  state[root] = 0;
+  active[root] = 1;
+  GA_RETURN_IF_ERROR(RunGraphxPregel(
+      ctx, graph, runtime, &state, &active, static_cast<int>(n) + 1,
+      /*reverse_sends=*/false, kRowBytes, 1.0, "bfs",
+      [&](double source_state, const Edge&, bool) -> std::optional<double> {
+        return source_state + 1.0;
+      },
+      [](double a, double b) { return std::min(a, b); },
+      [](VertexIndex, double* value, double merged) {
+        if (merged < *value) {
+          *value = merged;
+          return true;
+        }
+        return false;
+      }));
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kBfs;
+  output.int_values.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    // Compare in double space: the unreachable sentinel exceeds the exact
+    // double range and must not be cast back to int64.
+    output.int_values[v] = state[v] >= 1e15
+                               ? kUnreachableHops
+                               : static_cast<std::int64_t>(state[v]);
+  }
+  return output;
+}
+
+Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
+                                VertexIndex root) {
+  DataflowRuntime runtime(ctx, graph);
+  const VertexIndex n = graph.num_vertices();
+  std::vector<double> state(n, kUnreachableDistance);
+  std::vector<char> active(n, 0);
+  state[root] = 0.0;
+  active[root] = 1;
+  GA_RETURN_IF_ERROR(RunGraphxPregel(
+      ctx, graph, runtime, &state, &active, static_cast<int>(n) + 1,
+      /*reverse_sends=*/false, kRowBytes, 1.0, "sssp",
+      [&](double source_state, const Edge& edge,
+          bool) -> std::optional<double> {
+        return source_state + edge.weight;
+      },
+      [](double a, double b) { return std::min(a, b); },
+      [](VertexIndex, double* value, double merged) {
+        if (merged < *value) {
+          *value = merged;
+          return true;
+        }
+        return false;
+      }));
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kSssp;
+  output.double_values = std::move(state);
+  return output;
+}
+
+Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
+  DataflowRuntime runtime(ctx, graph);
+  const VertexIndex n = graph.num_vertices();
+  std::vector<double> state(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    state[v] = static_cast<double>(graph.ExternalId(v));
+  }
+  std::vector<char> active(n, 1);
+  GA_RETURN_IF_ERROR(RunGraphxPregel(
+      ctx, graph, runtime, &state, &active, static_cast<int>(n) + 1,
+      /*reverse_sends=*/true, kRowBytes, 1.0, "wcc",
+      [&](double source_state, const Edge&, bool) -> std::optional<double> {
+        return source_state;
+      },
+      [](double a, double b) { return std::min(a, b); },
+      [](VertexIndex, double* value, double merged) {
+        if (merged < *value) {
+          *value = merged;
+          return true;
+        }
+        return false;
+      }));
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kWcc;
+  output.int_values.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    output.int_values[v] = static_cast<std::int64_t>(state[v]);
+  }
+  return output;
+}
+
+Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
+                                    int iterations, double damping) {
+  DataflowRuntime runtime(ctx, graph);
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kPageRank;
+  output.double_values.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n == 0) return output;
+  std::vector<double>& rank = output.double_values;
+  std::vector<MessageRow> messages;
+
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    double dangling = 0.0;
+    messages.clear();
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling += rank[v];
+    }
+    for (const Edge& edge : graph.edges()) {
+      messages.push_back(
+          {edge.target,
+           rank[edge.source] /
+               static_cast<double>(graph.OutDegree(edge.source))});
+      if (!graph.is_directed()) {
+        messages.push_back(
+            {edge.source,
+             rank[edge.target] /
+                 static_cast<double>(graph.OutDegree(edge.target))});
+      }
+    }
+    runtime.ChargeRows(graph.edges().size() * 2);
+    // PageRank scatters along every edge, and GraphX materialises the
+    // rank-joined triplet messages *before* the reduce can shrink them —
+    // the per-iteration buffer holds the raw message multiset. This is
+    // why PR needs 4 machines on D1000 where BFS needs only 2 (§4.4).
+    GA_RETURN_IF_ERROR(runtime.ChargeIterationBuffers(
+        messages.size() + static_cast<std::uint64_t>(n), kRowBytes));
+    runtime.Shuffle(&messages);
+
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    std::vector<double> next(n, base);
+    for (const MessageRow& row : messages) {
+      next[row.dst] += damping * row.value;
+    }
+    runtime.ChargeRows(messages.size() + n);
+    rank.swap(next);
+    ctx.EndSuperstep("pr");
+  }
+  runtime.ReleaseIterationBuffers();
+  return output;
+}
+
+Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
+                                int iterations) {
+  DataflowRuntime runtime(ctx, graph);
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kCdlp;
+  output.int_values.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    output.int_values[v] = graph.ExternalId(v);
+  }
+  std::vector<MessageRow> messages;
+  std::unordered_map<std::int64_t, std::int64_t> histogram;
+
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    messages.clear();
+    for (const Edge& edge : graph.edges()) {
+      // Labels travel both ways: along the edge and its reverse (for
+      // directed graphs each direction is a separate vote).
+      messages.push_back(
+          {edge.target, static_cast<double>(output.int_values[edge.source])});
+      messages.push_back(
+          {edge.source, static_cast<double>(output.int_values[edge.target])});
+    }
+    // groupByKey: no map-side combine exists for the mode aggregation, so
+    // the full label multiset is shuffled and grouped (the reason GraphX
+    // cannot complete CDLP in the paper, §4.2).
+    runtime.ChargeRows(graph.edges().size() * 2, 4.0);
+    GA_RETURN_IF_ERROR(
+        runtime.ChargeIterationBuffers(messages.size() + n, kCdlpRowBytes));
+    runtime.Shuffle(&messages, kCdlpRowBytes);
+
+    std::vector<std::int64_t> next(output.int_values);
+    std::size_t i = 0;
+    while (i < messages.size()) {
+      const VertexIndex v = messages[i].dst;
+      histogram.clear();
+      std::size_t j = i;
+      while (j < messages.size() && messages[j].dst == v) {
+        ++histogram[static_cast<std::int64_t>(messages[j].value)];
+        ++j;
+      }
+      std::int64_t best_label = 0;
+      std::int64_t best_count = -1;
+      for (const auto& [label, count] : histogram) {
+        if (count > best_count ||
+            (count == best_count && label < best_label)) {
+          best_label = label;
+          best_count = count;
+        }
+      }
+      next[v] = best_label;
+      i = j;
+    }
+    runtime.ChargeRows(messages.size(), 4.0);
+    output.int_values.swap(next);
+    ctx.EndSuperstep("cdlp");
+  }
+  runtime.ReleaseIterationBuffers();
+  return output;
+}
+
+Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
+  DataflowRuntime runtime(ctx, graph);
+  const VertexIndex n = graph.num_vertices();
+
+  // The neighbourhood join materialises sum_v sum_{u in N(v)} deg(u) rows.
+  // Charge that memory up front (computable in O(n)); on dense graphs this
+  // is where the job dies, before any compute happens — as observed for
+  // GraphX in the paper (§4.2).
+  double join_rows = 0.0;
+  for (VertexIndex v = 0; v < n; ++v) {
+    const double degree = static_cast<double>(graph.OutDegree(v)) +
+                          (graph.is_directed()
+                               ? static_cast<double>(graph.InDegree(v))
+                               : 0.0);
+    join_rows += degree * degree;
+  }
+  GA_RETURN_IF_ERROR(runtime.ChargeIterationBuffers(
+      static_cast<std::uint64_t>(join_rows), kRowBytes));
+
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kLcc;
+  output.double_values.assign(n, 0.0);
+  std::vector<char> flag(n, 0);
+  std::vector<VertexIndex> neighborhood;
+  for (VertexIndex v = 0; v < n; ++v) {
+    neighborhood.clear();
+    for (VertexIndex u : graph.OutNeighbors(v)) {
+      if (u != v && !flag[u]) {
+        flag[u] = 1;
+        neighborhood.push_back(u);
+      }
+    }
+    if (graph.is_directed()) {
+      for (VertexIndex u : graph.InNeighbors(v)) {
+        if (u != v && !flag[u]) {
+          flag[u] = 1;
+          neighborhood.push_back(u);
+        }
+      }
+    }
+    std::uint64_t scanned = 0;
+    std::int64_t links = 0;
+    if (neighborhood.size() >= 2) {
+      for (VertexIndex u : neighborhood) {
+        for (VertexIndex w : graph.OutNeighbors(u)) {
+          ++scanned;
+          if (w != v && flag[w]) ++links;
+        }
+      }
+      const double degree = static_cast<double>(neighborhood.size());
+      output.double_values[v] =
+          static_cast<double>(links) / (degree * (degree - 1.0));
+    }
+    runtime.ChargeRows(scanned);
+    for (VertexIndex w : neighborhood) flag[w] = 0;
+  }
+  ctx.EndSuperstep("lcc");
+  runtime.ReleaseIterationBuffers();
+  return output;
+}
+
+}  // namespace
+
+DataflowPlatform::DataflowPlatform() {
+  info_ = PlatformInfo{"dataflow", "GraphX 1.6.0 (Apache Spark)",
+                       "community", "Spark RDD dataflow (triplet joins)",
+                       /*distributed=*/true};
+  profile_.ops_per_edge = 4.0;
+  profile_.ops_per_vertex = 8.0;
+  profile_.ops_per_message = 10.0;  // per shuffle row
+  profile_.ops_per_load_entry = 14.0;
+  profile_.bytes_per_message = 40.0;
+  profile_.startup_seconds = 164.0;
+  profile_.superstep_overhead_seconds = 1.02;  // task scheduling per stage
+  profile_.hyperthread_efficiency = 0.05;
+  profile_.serial_fraction = 0.19;
+  profile_.mem_bytes_per_vertex = 256.0;
+  profile_.mem_bytes_per_entry = 46.0;
+  profile_.mem_bytes_per_hub_degree = 4000.0;
+  profile_.variability_cv = 0.026;
+}
+
+Result<AlgorithmOutput> DataflowPlatform::Execute(
+    JobContext& ctx, const Graph& graph, Algorithm algorithm,
+    const AlgorithmParams& params) {
+  switch (algorithm) {
+    case Algorithm::kBfs: {
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("BFS source not in graph");
+      }
+      return RunBfs(ctx, graph, root);
+    }
+    case Algorithm::kPageRank:
+      return RunPageRank(ctx, graph, params.pagerank_iterations,
+                         params.damping_factor);
+    case Algorithm::kWcc:
+      return RunWcc(ctx, graph);
+    case Algorithm::kCdlp:
+      return RunCdlp(ctx, graph, params.cdlp_iterations);
+    case Algorithm::kLcc:
+      return RunLcc(ctx, graph);
+    case Algorithm::kSssp: {
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("SSSP source not in graph");
+      }
+      return RunSssp(ctx, graph, root);
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+}  // namespace ga::platform

@@ -1,0 +1,41 @@
+// DataflowDF: analogue of Apache GraphX (paper Table 5, row 2).
+//
+// Implements Pregel-on-dataflow the way GraphX's Pregel operator does:
+// the graph lives in immutable vertex/edge tables; every iteration scans
+// the *full* edge table to form triplets (regardless of how few vertices
+// are active), shuffles the emitted messages by destination (a real sort
+// in this engine), reduces by key, and joins the result back into a new
+// vertex table (copy-on-write materialisation).
+//
+// Cost character: the full-table scans, sorts and re-materialisation per
+// iteration make this the slowest engine — two orders of magnitude behind
+// the CSR engines, worst on iteration-heavy workloads (§4.1, §4.2) — and
+// the per-iteration shuffle rows are what exhaust memory for PageRank on
+// few machines (§4.4) and break CDLP, which has no combiner (§4.2).
+#ifndef GRAPHALYTICS_PLATFORMS_DATAFLOW_H_
+#define GRAPHALYTICS_PLATFORMS_DATAFLOW_H_
+
+#include "platforms/platform.h"
+
+namespace ga::platform {
+
+class DataflowPlatform : public Platform {
+ public:
+  DataflowPlatform();
+
+  const PlatformInfo& info() const override { return info_; }
+  const CostProfile& profile() const override { return profile_; }
+
+ protected:
+  Result<AlgorithmOutput> Execute(JobContext& ctx, const Graph& graph,
+                                  Algorithm algorithm,
+                                  const AlgorithmParams& params) override;
+
+ private:
+  PlatformInfo info_;
+  CostProfile profile_;
+};
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_DATAFLOW_H_

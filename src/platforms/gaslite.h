@@ -1,0 +1,46 @@
+// GasLite: analogue of PowerGraph (paper Table 5, row 3).
+//
+// Implements the Gather-Apply-Scatter model over a *vertex-cut*: edges are
+// partitioned across machines by the greedy heuristic, vertices are
+// replicated as one master plus mirrors on every machine holding one of
+// their edges. Each superstep gathers partial accumulations on the
+// machines owning the edges, synchronises mirror -> master, applies the
+// update at the master, and broadcasts the new value master -> mirrors.
+//
+// Cost character: edge placement balances work even under power-law skew
+// (PowerGraph's design goal), giving good vertical scaling (11.8x in
+// Table 9) and the lowest performance variability (Table 11); mirror
+// synchronisation charges network bytes proportional to the replication
+// factor. Its LCC gathers neighbour sets edge-by-edge without
+// materialising inboxes, so LCC completes where the message-based engines
+// die (§4.2) — at an order-of-magnitude run-time cost (§4.1).
+#ifndef GRAPHALYTICS_PLATFORMS_GASLITE_H_
+#define GRAPHALYTICS_PLATFORMS_GASLITE_H_
+
+#include "platforms/platform.h"
+
+namespace ga::platform {
+
+class GasLitePlatform : public Platform {
+ public:
+  GasLitePlatform();
+
+  const PlatformInfo& info() const override { return info_; }
+  const CostProfile& profile() const override { return profile_; }
+
+ protected:
+  std::vector<std::int64_t> UploadFootprintBytes(
+      const Graph& graph, const ExecutionEnvironment& env) const override;
+
+  Result<AlgorithmOutput> Execute(JobContext& ctx, const Graph& graph,
+                                  Algorithm algorithm,
+                                  const AlgorithmParams& params) override;
+
+ private:
+  PlatformInfo info_;
+  CostProfile profile_;
+};
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_GASLITE_H_

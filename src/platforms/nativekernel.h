@@ -1,0 +1,40 @@
+// NativeKernel: analogue of OpenG / GraphBIG (paper Table 5, row 5).
+//
+// Handwritten per-algorithm kernels over plain adjacency arrays, with no
+// framework layer at all: BFS uses an explicit work queue (the paper
+// highlights the resulting win on graphs where BFS touches few vertices),
+// WCC uses union-find, SSSP uses Dijkstra with a binary heap, PageRank /
+// CDLP / LCC are direct array sweeps.
+//
+// Single-machine only (type S in Table 5). Lean memory (plain arrays)
+// lets it process the largest graphs on one machine — it is one of the
+// two platforms that survive the stress test up to scale 9.0 (§4.6) and
+// one of the two that complete LCC (§4.2). Its thread scaling saturates
+// early (Table 9: ~6.3x) because the hand-tuned kernels are memory-bound.
+#ifndef GRAPHALYTICS_PLATFORMS_NATIVEKERNEL_H_
+#define GRAPHALYTICS_PLATFORMS_NATIVEKERNEL_H_
+
+#include "platforms/platform.h"
+
+namespace ga::platform {
+
+class NativeKernelPlatform : public Platform {
+ public:
+  NativeKernelPlatform();
+
+  const PlatformInfo& info() const override { return info_; }
+  const CostProfile& profile() const override { return profile_; }
+
+ protected:
+  Result<AlgorithmOutput> Execute(JobContext& ctx, const Graph& graph,
+                                  Algorithm algorithm,
+                                  const AlgorithmParams& params) override;
+
+ private:
+  PlatformInfo info_;
+  CostProfile profile_;
+};
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_NATIVEKERNEL_H_

@@ -1,0 +1,238 @@
+#include "platforms/platform.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "core/partition.h"
+#include "core/timer.h"
+
+namespace ga::platform {
+
+// ---------------------------------------------------------------------------
+// JobContext
+
+JobContext::JobContext(const sysmodel::ClusterModel& cluster,
+                       sysmodel::MemoryAccountant* memory,
+                       const CostProfile& profile,
+                       granula::Operation* processing_op,
+                       const ExecutionEnvironment& env)
+    : cluster_(cluster),
+      memory_(memory),
+      profile_(profile),
+      processing_op_(processing_op),
+      env_(env),
+      worker_ops_(cluster.num_workers(), 0),
+      machine_comm_(cluster.num_machines()) {}
+
+void JobContext::ResetSuperstepCounters() {
+  std::fill(worker_ops_.begin(), worker_ops_.end(), 0);
+  std::fill(machine_comm_.begin(), machine_comm_.end(),
+            sysmodel::MachineComm{});
+}
+
+void JobContext::EndSuperstep(const std::string& label) {
+  const double begin = sim_seconds_;
+  std::uint64_t total_ops = 0;
+  for (std::uint64_t ops : worker_ops_) total_ops += ops;
+  ledger_.compute_ops += total_ops;
+  for (const sysmodel::MachineComm& comm : machine_comm_) {
+    ledger_.remote_bytes += comm.bytes_sent;
+  }
+  sim_seconds_ += cluster_.SuperstepSeconds(worker_ops_, machine_comm_) +
+                  profile_.superstep_overhead_seconds * env_.overhead_scale;
+  ++supersteps_;
+  if (processing_op_ != nullptr) {
+    granula::Operation* step = processing_op_->AddChild(
+        "engine", std::string(granula::kMissionSuperstep));
+    step->Begin(begin, 0.0);
+    step->End(sim_seconds_, 0.0);
+    step->AddInfo("label", label);
+    step->AddInfo("ops", std::to_string(total_ops));
+  }
+  ResetSuperstepCounters();
+}
+
+void JobContext::ChargeSequential(std::uint64_t ops,
+                                  const std::string& label) {
+  (void)label;
+  ledger_.compute_ops += ops;
+  sim_seconds_ += cluster_.SequentialSeconds(ops);
+}
+
+Status JobContext::ChargeMemory(int machine, std::int64_t bytes,
+                                const std::string& what) {
+  if (memory_ == nullptr) return Status::Ok();
+  return memory_->Charge(machine, bytes, what);
+}
+
+void JobContext::ReleaseMemory(int machine, std::int64_t bytes) {
+  if (memory_ != nullptr) memory_->Release(machine, bytes);
+}
+
+// ---------------------------------------------------------------------------
+// Platform
+
+bool Platform::SupportsAlgorithm(Algorithm algorithm,
+                                 const ExecutionEnvironment& env) const {
+  (void)algorithm;
+  if (env.num_machines > 1 && !info().distributed) return false;
+  return true;
+}
+
+std::vector<std::int64_t> Platform::UploadFootprintBytes(
+    const Graph& graph, const ExecutionEnvironment& env) const {
+  const CostProfile& cost = profile();
+  const int machines = std::max(env.num_machines, 1);
+  VertexPartition partition = HashPartition(graph, machines);
+  std::vector<std::int64_t> bytes(machines, 0);
+  std::vector<std::int64_t> hub_degree(machines, 0);
+  for (VertexIndex v = 0; v < graph.num_vertices(); ++v) {
+    const int m = partition.part_of[v];
+    bytes[m] += static_cast<std::int64_t>(cost.mem_bytes_per_vertex) +
+                static_cast<std::int64_t>(
+                    cost.mem_bytes_per_entry *
+                    static_cast<double>(graph.OutDegree(v)));
+    hub_degree[m] = std::max(hub_degree[m], graph.InDegree(v));
+  }
+  for (int m = 0; m < machines; ++m) {
+    bytes[m] += static_cast<std::int64_t>(cost.mem_bytes_per_hub_degree *
+                                          static_cast<double>(hub_degree[m]));
+  }
+  return bytes;
+}
+
+Result<RunResult> Platform::RunJob(const Graph& graph, Algorithm algorithm,
+                                   const AlgorithmParams& params,
+                                   const ExecutionEnvironment& env) {
+  if (env.num_machines < 1 || env.threads_per_machine < 1) {
+    return Status::InvalidArgument("environment needs >= 1 machine/thread");
+  }
+  if (env.num_machines > 1 && !info().distributed) {
+    return Status::Unsupported(info().id +
+                               " is a single-machine platform (paper: type "
+                               "S); cannot use " +
+                               std::to_string(env.num_machines) +
+                               " machines");
+  }
+  if (!SupportsAlgorithm(algorithm, env)) {
+    return Status::Unsupported(info().id + " does not implement " +
+                               std::string(AlgorithmName(algorithm)) +
+                               " in this configuration");
+  }
+  if (algorithm == Algorithm::kSssp && !graph.is_weighted()) {
+    return Status::FailedPrecondition("SSSP requires edge weights");
+  }
+
+  WallTimer wall;
+  const CostProfile& cost = profile();
+
+  sysmodel::ClusterConfig cluster_config;
+  cluster_config.machine = env.machine;
+  cluster_config.network = env.network;
+  cluster_config.num_machines = env.num_machines;
+  cluster_config.threads_per_machine = env.threads_per_machine;
+  cluster_config.hyperthread_efficiency = cost.hyperthread_efficiency;
+  cluster_config.serial_fraction = cost.serial_fraction;
+  cluster_config.barrier_seconds =
+      cost.barrier_seconds * env.overhead_scale;
+  sysmodel::ClusterModel cluster(cluster_config);
+  // Swap-capable jobs get 15% headroom above the budget; exceeding the
+  // budget (but not the headroom) then costs a swap-penalty slowdown
+  // instead of a crash.
+  const bool swap_capable = SwapCapable(algorithm, env);
+  const std::int64_t capacity =
+      swap_capable ? env.memory_budget_bytes +
+                         env.memory_budget_bytes * 15 / 100
+                   : env.memory_budget_bytes;
+  sysmodel::MemoryAccountant memory(capacity, env.num_machines);
+
+  auto root = std::make_unique<granula::Operation>(
+      info().id, std::string(granula::kMissionJob));
+  root->Begin(0.0, 0.0);
+  root->AddInfo("algorithm", std::string(AlgorithmName(algorithm)));
+  root->AddInfo("machines", std::to_string(env.num_machines));
+  root->AddInfo("threads", std::to_string(env.threads_per_machine));
+
+  double sim_now = 0.0;
+
+  // --- Startup: runtime spin-up; grows mildly with cluster size. --------
+  granula::Operation* startup = root->AddChild(
+      info().id, std::string(granula::kMissionStartup));
+  startup->Begin(sim_now, 0.0);
+  sim_now += cost.startup_seconds * env.overhead_scale *
+             (1.0 + 0.1 * std::log2(static_cast<double>(env.num_machines)));
+  startup->End(sim_now, 0.0);
+
+  // --- UploadGraph: ingest + format conversion + resident footprint. ----
+  granula::Operation* upload = root->AddChild(
+      info().id, std::string(granula::kMissionUploadGraph));
+  upload->Begin(sim_now, 0.0);
+  std::vector<std::int64_t> footprint = UploadFootprintBytes(graph, env);
+  for (int m = 0; m < env.num_machines; ++m) {
+    Status charged = memory.Charge(m, footprint[m], "graph upload");
+    if (!charged.ok()) return charged;
+  }
+  // Ingest is parallel across machines but mostly I/O + parse bound:
+  // charge the per-machine share of adjacency entries at load cost.
+  const double load_entries =
+      static_cast<double>(graph.num_adjacency_entries()) /
+      static_cast<double>(env.num_machines);
+  sim_now += load_entries * cost.ops_per_load_entry /
+             env.machine.core_ops_per_second;
+  upload->End(sim_now, 0.0);
+  upload->AddInfo("vertices", std::to_string(graph.num_vertices()));
+  upload->AddInfo("edges", std::to_string(graph.num_edges()));
+  const double upload_seconds = sim_now;
+
+  // --- ProcessGraph: the algorithm itself (T_proc). ---------------------
+  granula::Operation* processing = root->AddChild(
+      info().id, std::string(granula::kMissionProcessGraph));
+  processing->Begin(sim_now, 0.0);
+  JobContext ctx(cluster, &memory, cost, processing, env);
+  auto output = Execute(ctx, graph, algorithm, params);
+  if (!output.ok()) return output.status();
+  double processing_seconds = ctx.sim_seconds();
+  if (swap_capable) {
+    std::int64_t max_peak = 0;
+    for (int m = 0; m < env.num_machines; ++m) {
+      max_peak = std::max(max_peak, memory.peak(m));
+    }
+    if (max_peak > env.memory_budget_bytes) {
+      processing_seconds *= cost.swap_penalty;
+      processing->AddInfo("swapping", "true");
+    }
+  }
+  sim_now += processing_seconds;
+  processing->End(sim_now, 0.0);
+  processing->AddInfo("supersteps", std::to_string(ctx.supersteps()));
+
+  // --- OffloadGraph: write results back for validation. -----------------
+  granula::Operation* offload = root->AddChild(
+      info().id, std::string(granula::kMissionOffloadGraph));
+  offload->Begin(sim_now, 0.0);
+  sim_now += static_cast<double>(graph.num_vertices()) * 4.0 /
+             env.machine.core_ops_per_second;
+  offload->End(sim_now, 0.0);
+
+  // --- Cleanup. ----------------------------------------------------------
+  granula::Operation* cleanup = root->AddChild(
+      info().id, std::string(granula::kMissionCleanup));
+  cleanup->Begin(sim_now, 0.0);
+  sim_now += cost.startup_seconds * env.overhead_scale * 0.05;
+  cleanup->End(sim_now, 0.0);
+
+  root->End(sim_now, wall.ElapsedSeconds());
+
+  RunResult result{std::move(output).value(), RunMetrics{},
+                   granula::Archive(std::move(root))};
+  result.metrics.upload_sim_seconds = upload_seconds;
+  result.metrics.makespan_sim_seconds = sim_now;
+  result.metrics.processing_sim_seconds = processing_seconds;
+  result.metrics.wall_seconds = wall.ElapsedSeconds();
+  result.metrics.supersteps = ctx.supersteps();
+  result.metrics.ledger = ctx.ledger();
+  return result;
+}
+
+}  // namespace ga::platform

@@ -1,0 +1,245 @@
+// Platform: the common interface of the six graph-analysis platform
+// analogues (paper Section 3.1 / Table 5).
+//
+// A Platform mirrors the role of a Graphalytics *driver* plus the platform
+// it drives: the harness instructs it to upload a graph, execute an
+// algorithm with parameters, and return the output for validation
+// (Figure 1, component 10). Every platform executes the algorithms for
+// real on the in-memory graph; it differs from the others in
+//   (a) the programming model it implements (Pregel BSP, dataflow joins,
+//       GAS vertex-cut, SpMV semirings, handwritten kernels, push-pull),
+//   (b) the cost profile with which its work is converted into simulated
+//       time by ga::sysmodel (see DESIGN.md §3), and
+//   (c) its memory model, which determines crash points (§4.6).
+#ifndef GRAPHALYTICS_PLATFORMS_PLATFORM_H_
+#define GRAPHALYTICS_PLATFORMS_PLATFORM_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/output.h"
+#include "algo/params.h"
+#include "core/graph.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "core/work_ledger.h"
+#include "granula/archive.h"
+#include "granula/model.h"
+#include "sysmodel/cluster.h"
+
+namespace ga::platform {
+
+struct PlatformInfo {
+  std::string id;           // e.g. "bsplite"
+  std::string analogue_of;  // e.g. "Giraph (Apache)"
+  std::string vendor;       // community / Intel / Oracle / ...
+  std::string model;        // programming model name
+  bool distributed = true;  // supports > 1 machine
+};
+
+/// Calibration constants converting a platform's real work into simulated
+/// cost. The *mechanisms* (which work is performed, what memory is
+/// materialised) live in the engine implementations; the profile holds the
+/// per-unit constants (see DESIGN.md §3 for the calibration story).
+struct CostProfile {
+  // --- computation (abstract ops) ---
+  double ops_per_edge = 2.0;      // per adjacency entry traversed
+  double ops_per_vertex = 4.0;    // per vertex program invocation
+  double ops_per_message = 0.0;   // per message created or consumed
+  double ops_per_load_entry = 20.0;  // graph ingest cost per adjacency entry
+
+  // --- communication ---
+  double bytes_per_message = 16.0;  // wire size of one remote message
+
+  // --- fixed overheads (PAPER-scale seconds) ---
+  // These are physical constants of the real testbed (JVM spin-up takes
+  // minutes regardless of graph size). They are multiplied by the
+  // environment's overhead_scale (1 / scale divisor) when deployed, so
+  // projected reports show them at their true magnitude at any divisor.
+  double startup_seconds = 10.0;       // runtime spin-up (JVM, MPI, ...)
+  double superstep_overhead_seconds = 51.2e-3;
+  // Cost of one global barrier; async engines (PGX.D's cooperative
+  // scheduling) pay far less than BSP runtimes.
+  double barrier_seconds = 20.5e-3;
+
+  // --- scaling behaviour ---
+  double hyperthread_efficiency = 0.2;
+  double serial_fraction = 0.08;  // Amdahl cap (Table 9)
+
+  // --- memory model (bytes) ---
+  double mem_bytes_per_vertex = 64.0;
+  double mem_bytes_per_entry = 24.0;  // per adjacency entry
+  // Message/aggregation buffer proportional to the hottest vertex's
+  // in-degree: the term that makes skewed Graph500 graphs crash platforms
+  // that survive Datagen graphs of equal scale (§4.6, Table 10).
+  double mem_bytes_per_hub_degree = 0.0;
+  // Slowdown applied when a swap-capable backend's working set slightly
+  // exceeds physical memory (paper §4.4: GraphMat's single-machine PR
+  // outlier, "most likely because of swapping").
+  double swap_penalty = 10.0;
+  // Run-to-run coefficient of variation of T_proc (JIT, GC, OS and
+  // network jitter). Deterministic engines have no intrinsic noise, so
+  // the harness reintroduces it with a seeded jitter stream when a job is
+  // repeated; per-platform values follow Table 11.
+  double variability_cv = 0.05;
+};
+
+/// Deployment of the system under test for one job.
+struct ExecutionEnvironment {
+  int num_machines = 1;
+  int threads_per_machine = 32;  // hardware threads of one DAS-5 node
+  sysmodel::MachineSpec machine = sysmodel::MachineSpec::Das5();
+  sysmodel::NetworkSpec network = sysmodel::NetworkSpec::GigabitEthernet();
+  /// Per-machine memory available to the platform. The harness scales the
+  /// paper's 64 GiB down by the dataset scale divisor.
+  std::int64_t memory_budget_bytes = 64LL << 20;
+  /// Use the distributed backend even on one machine, for platforms with
+  /// manually selected backends (the paper runs GraphMat's D backend in
+  /// all horizontal-scalability experiments, §4.4-4.5).
+  bool prefer_distributed_backend = false;
+  /// Converts the profile's paper-scale fixed overheads into simulated
+  /// seconds: 1 / scale divisor. The default matches the default divisor
+  /// of 1024.
+  double overhead_scale = 1.0 / 1024.0;
+};
+
+struct RunMetrics {
+  double upload_sim_seconds = 0.0;      // preprocess + ingest
+  double makespan_sim_seconds = 0.0;    // full job (paper: makespan)
+  double processing_sim_seconds = 0.0;  // Granula ProcessGraph (T_proc)
+  double wall_seconds = 0.0;            // real host time spent
+  int supersteps = 0;
+  WorkLedger ledger;
+};
+
+struct RunResult {
+  AlgorithmOutput output;
+  RunMetrics metrics;
+  granula::Archive archive;
+};
+
+class Platform;
+
+/// Execution context handed to an engine while it runs an algorithm.
+/// The engine performs its real work, then reports per-worker operation
+/// counts and per-machine communication for each superstep; the context
+/// advances the simulated clock via the cluster model and maintains the
+/// Granula phase tree.
+class JobContext {
+ public:
+  JobContext(const sysmodel::ClusterModel& cluster,
+             sysmodel::MemoryAccountant* memory, const CostProfile& profile,
+             granula::Operation* processing_op,
+             const ExecutionEnvironment& env);
+
+  const ExecutionEnvironment& env() const { return env_; }
+  const sysmodel::ClusterModel& cluster() const { return cluster_; }
+  const CostProfile& profile() const { return profile_; }
+  int num_machines() const { return cluster_.num_machines(); }
+  int threads_per_machine() const { return cluster_.threads_per_machine(); }
+  int num_workers() const { return cluster_.num_workers(); }
+
+  /// Worker index for (machine, thread).
+  int WorkerOf(int machine, int thread) const {
+    return machine * cluster_.threads_per_machine() + thread;
+  }
+
+  /// Scratch vectors reused across supersteps.
+  std::vector<std::uint64_t>& worker_ops() { return worker_ops_; }
+  std::vector<sysmodel::MachineComm>& machine_comm() { return machine_comm_; }
+  void ResetSuperstepCounters();
+
+  /// Completes one superstep: charges the accumulated worker_ops() and
+  /// machine_comm() to the simulated clock (plus the profile's per-
+  /// superstep overhead) and records a Granula child operation.
+  void EndSuperstep(const std::string& label);
+
+  /// Charges sequential (single-threaded) work, e.g. result assembly.
+  void ChargeSequential(std::uint64_t ops, const std::string& label);
+
+  /// Adds fixed simulated seconds (engine-specific overheads).
+  void AddSimSeconds(double seconds) { sim_seconds_ += seconds; }
+
+  /// Charges scratch memory on one machine; fails with kOutOfMemory when
+  /// the machine budget is exceeded (the job then crashes).
+  Status ChargeMemory(int machine, std::int64_t bytes,
+                      const std::string& what);
+  void ReleaseMemory(int machine, std::int64_t bytes);
+
+  WorkLedger& ledger() { return ledger_; }
+  double sim_seconds() const { return sim_seconds_; }
+  int supersteps() const { return supersteps_; }
+  granula::Operation* processing_op() { return processing_op_; }
+
+ private:
+  const sysmodel::ClusterModel& cluster_;
+  sysmodel::MemoryAccountant* memory_;
+  const CostProfile& profile_;
+  ExecutionEnvironment env_;
+  granula::Operation* processing_op_;
+  std::vector<std::uint64_t> worker_ops_;
+  std::vector<sysmodel::MachineComm> machine_comm_;
+  WorkLedger ledger_;
+  double sim_seconds_ = 0.0;
+  int supersteps_ = 0;
+};
+
+class Platform {
+ public:
+  virtual ~Platform() = default;
+
+  virtual const PlatformInfo& info() const = 0;
+  virtual const CostProfile& profile() const = 0;
+
+  /// Whether this platform implements `algorithm` in `env` (e.g. the
+  /// PGX.D analogue has no LCC, matching the paper's "NA" in Figure 6).
+  virtual bool SupportsAlgorithm(Algorithm algorithm,
+                                 const ExecutionEnvironment& env) const;
+
+  /// Whether this job can spill to disk instead of crashing when memory
+  /// is up to ~15% over budget (GraphMat's mmap-backed D backend can;
+  /// everything else crashes at the budget).
+  virtual bool SwapCapable(Algorithm algorithm,
+                           const ExecutionEnvironment& env) const {
+    (void)algorithm;
+    (void)env;
+    return false;
+  }
+
+  /// Runs a complete benchmark job: startup, upload, process, offload,
+  /// cleanup — with Granula instrumentation throughout. Returns the
+  /// algorithm output plus metrics, or a non-OK status if the job crashed
+  /// (kOutOfMemory), the algorithm is unsupported, or inputs are invalid.
+  Result<RunResult> RunJob(const Graph& graph, Algorithm algorithm,
+                           const AlgorithmParams& params,
+                           const ExecutionEnvironment& env);
+
+ protected:
+  /// Estimated resident bytes per machine after upload, given how this
+  /// platform partitions and represents the graph. Default: hash
+  /// partition, profile byte constants, hub term on the machine owning
+  /// the highest in-degree vertex.
+  virtual std::vector<std::int64_t> UploadFootprintBytes(
+      const Graph& graph, const ExecutionEnvironment& env) const;
+
+  /// Engine-specific execution of the algorithm (the real work).
+  virtual Result<AlgorithmOutput> Execute(JobContext& ctx, const Graph& graph,
+                                          Algorithm algorithm,
+                                          const AlgorithmParams& params) = 0;
+};
+
+/// All six platform analogues, in the paper's Table 5 order.
+std::vector<std::unique_ptr<Platform>> CreateAllPlatforms();
+
+/// Creates one platform by id ("bsplite", "dataflow", "gaslite", "spmat",
+/// "nativekernel", "pushpull").
+Result<std::unique_ptr<Platform>> CreatePlatform(const std::string& id);
+
+/// The ids of all platforms, in canonical order.
+std::vector<std::string> AllPlatformIds();
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_PLATFORM_H_

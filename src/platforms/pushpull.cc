@@ -1,0 +1,404 @@
+#include "platforms/pushpull.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "platforms/worker_map.h"
+
+namespace ga::platform {
+
+namespace {
+
+// Frontier work-buffer entry (vertex id + payload) held during a superstep.
+constexpr std::int64_t kFrontierEntryBytes = 24;
+
+class PushPullRuntime {
+ public:
+  PushPullRuntime(JobContext& ctx, const Graph& graph)
+      : ctx_(ctx),
+        graph_(graph),
+        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()),
+        machine_ops_(ctx.num_machines(), 0) {}
+
+  // Work lands on the vertex's machine (data locality), but threads within
+  // a machine share it evenly: PGX.D's cooperative context switching
+  // steals work dynamically, so hub vertices do not pin a single thread.
+  void ChargeVertexWork(VertexIndex v, double ops) {
+    machine_ops_[workers_.machine_of(v)] += static_cast<std::uint64_t>(ops);
+  }
+
+  // Must run before JobContext::EndSuperstep: spreads each machine's
+  // accumulated ops across its threads.
+  void FlushMachineOps() {
+    const int threads = ctx_.threads_per_machine();
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      const std::uint64_t total = machine_ops_[m];
+      for (int t = 0; t < threads; ++t) {
+        ctx_.worker_ops()[ctx_.WorkerOf(m, t)] += total / threads;
+      }
+      ctx_.worker_ops()[ctx_.WorkerOf(m, 0)] += total % threads;
+      machine_ops_[m] = 0;
+    }
+  }
+
+  // Remote values are aggregated per destination machine before hitting
+  // the wire (PGX.D message combining): `remote_values` values shrink by
+  // the combining factor.
+  void ChargeRemoteValues(std::uint64_t remote_values) {
+    if (ctx_.num_machines() <= 1 || remote_values == 0) return;
+    constexpr double kCombiningFactor = 0.5;
+    const auto bytes = static_cast<std::uint64_t>(
+        static_cast<double>(remote_values) * kCombiningFactor *
+        ctx_.profile().bytes_per_message /
+        static_cast<double>(ctx_.num_machines()));
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      ctx_.machine_comm()[m].bytes_sent += bytes;
+      ctx_.machine_comm()[m].bytes_received += bytes;
+    }
+    ctx_.ledger().messages += remote_values;
+  }
+
+  Status ChargeFrontierBuffers(std::uint64_t entries,
+                               const std::string& what) {
+    charged_per_machine_ = static_cast<std::int64_t>(entries) *
+                           kFrontierEntryBytes /
+                           std::max(ctx_.num_machines(), 1);
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      GA_RETURN_IF_ERROR(ctx_.ChargeMemory(m, charged_per_machine_, what));
+    }
+    charged_ = true;
+    return Status::Ok();
+  }
+
+  void ReleaseFrontierBuffers() {
+    if (!charged_) return;
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      ctx_.ReleaseMemory(m, charged_per_machine_);
+    }
+    charged_ = false;
+  }
+
+  bool IsRemote(VertexIndex from, VertexIndex to) const {
+    return workers_.machine_of(from) != workers_.machine_of(to);
+  }
+
+ private:
+  JobContext& ctx_;
+  const Graph& graph_;
+  WorkerMap workers_;
+  std::vector<std::uint64_t> machine_ops_;
+  std::int64_t charged_per_machine_ = 0;
+  bool charged_ = false;
+};
+
+Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
+                               VertexIndex root) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kBfs;
+  output.int_values.assign(n, kUnreachableHops);
+  output.int_values[root] = 0;
+  PushPullRuntime runtime(ctx, graph);
+
+  std::vector<VertexIndex> frontier{root};
+  std::vector<VertexIndex> next;
+  std::int64_t depth = 0;
+  const EdgeIndex total_entries = graph.num_adjacency_entries();
+  while (!frontier.empty()) {
+    ++depth;
+    next.clear();
+    EdgeIndex frontier_edges = 0;
+    for (VertexIndex v : frontier) frontier_edges += graph.OutDegree(v);
+    GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(
+        frontier.size(), "bfs frontier"));
+
+    std::uint64_t remote = 0;
+    if (frontier_edges * 20 < total_entries) {
+      // Push: sparse frontier writes to unvisited out-neighbours.
+      for (VertexIndex v : frontier) {
+        double ops = ctx.profile().ops_per_vertex;
+        for (VertexIndex u : graph.OutNeighbors(v)) {
+          ops += ctx.profile().ops_per_edge;
+          if (runtime.IsRemote(v, u)) ++remote;
+          if (output.int_values[u] == kUnreachableHops) {
+            output.int_values[u] = depth;
+            next.push_back(u);
+          }
+        }
+        runtime.ChargeVertexWork(v, ops);
+      }
+    } else {
+      // Pull: every unvisited vertex scans in-neighbours, stopping at the
+      // first frontier parent (the direction-optimisation payoff).
+      for (VertexIndex v = 0; v < n; ++v) {
+        if (output.int_values[v] != kUnreachableHops) continue;
+        double ops = ctx.profile().ops_per_vertex;
+        for (VertexIndex u : graph.InNeighbors(v)) {
+          ops += ctx.profile().ops_per_edge;
+          if (runtime.IsRemote(u, v)) ++remote;
+          if (output.int_values[u] == depth - 1) {
+            output.int_values[v] = depth;
+            next.push_back(v);
+            break;
+          }
+        }
+        runtime.ChargeVertexWork(v, ops);
+      }
+    }
+    runtime.ChargeRemoteValues(remote);
+    runtime.FlushMachineOps();
+    ctx.EndSuperstep("bfs");
+    runtime.ReleaseFrontierBuffers();
+    frontier.swap(next);
+  }
+  return output;
+}
+
+Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
+                                    int iterations, double damping) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kPageRank;
+  output.double_values.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  if (n == 0) return output;
+  PushPullRuntime runtime(ctx, graph);
+  std::vector<double> next(n, 0.0);
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    double dangling = 0.0;
+    for (VertexIndex v = 0; v < n; ++v) {
+      if (graph.OutDegree(v) == 0) dangling += output.double_values[v];
+    }
+    const double base = (1.0 - damping) / static_cast<double>(n) +
+                        damping * dangling / static_cast<double>(n);
+    std::uint64_t remote = 0;
+    for (VertexIndex v = 0; v < n; ++v) {
+      // Pull mode: read in-neighbours' ranks.
+      double sum = 0.0;
+      double ops = ctx.profile().ops_per_vertex;
+      for (VertexIndex u : graph.InNeighbors(v)) {
+        ops += ctx.profile().ops_per_edge;
+        if (runtime.IsRemote(u, v)) ++remote;
+        sum += output.double_values[u] /
+               static_cast<double>(graph.OutDegree(u));
+      }
+      next[v] = base + damping * sum;
+      runtime.ChargeVertexWork(v, ops);
+    }
+    output.double_values.swap(next);
+    runtime.ChargeRemoteValues(remote);
+    runtime.FlushMachineOps();
+    ctx.EndSuperstep("pr");
+  }
+  return output;
+}
+
+Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kWcc;
+  output.int_values.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    output.int_values[v] = graph.ExternalId(v);
+  }
+  PushPullRuntime runtime(ctx, graph);
+  std::vector<char> in_frontier(n, 1);
+  std::vector<VertexIndex> frontier(n);
+  for (VertexIndex v = 0; v < n; ++v) frontier[v] = v;
+  std::vector<VertexIndex> next;
+  const int max_rounds = static_cast<int>(n) + 2;
+  for (int round = 0; round < max_rounds && !frontier.empty(); ++round) {
+    next.clear();
+    std::fill(in_frontier.begin(), in_frontier.end(), 0);
+    std::uint64_t remote = 0;
+    GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(frontier.size(),
+                                                     "wcc frontier"));
+    for (VertexIndex v : frontier) {
+      double ops = ctx.profile().ops_per_vertex;
+      const std::int64_t label = output.int_values[v];
+      auto push_to = [&](VertexIndex u) {
+        ops += ctx.profile().ops_per_edge;
+        if (runtime.IsRemote(v, u)) ++remote;
+        if (label < output.int_values[u]) {
+          output.int_values[u] = label;
+          if (!in_frontier[u]) {
+            in_frontier[u] = 1;
+            next.push_back(u);
+          }
+        }
+      };
+      for (VertexIndex u : graph.OutNeighbors(v)) push_to(u);
+      if (graph.is_directed()) {
+        for (VertexIndex u : graph.InNeighbors(v)) push_to(u);
+      }
+      runtime.ChargeVertexWork(v, ops);
+    }
+    runtime.ChargeRemoteValues(remote);
+    runtime.FlushMachineOps();
+    ctx.EndSuperstep("wcc");
+    runtime.ReleaseFrontierBuffers();
+    frontier.swap(next);
+  }
+  return output;
+}
+
+Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
+                                int iterations) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kCdlp;
+  output.int_values.resize(n);
+  for (VertexIndex v = 0; v < n; ++v) {
+    output.int_values[v] = graph.ExternalId(v);
+  }
+  PushPullRuntime runtime(ctx, graph);
+  std::vector<std::int64_t> next(n);
+  std::unordered_map<std::int64_t, std::int64_t> histogram;
+  for (int iteration = 0; iteration < iterations; ++iteration) {
+    std::uint64_t remote = 0;
+    for (VertexIndex v = 0; v < n; ++v) {
+      histogram.clear();
+      double ops = ctx.profile().ops_per_vertex;
+      for (VertexIndex u : graph.OutNeighbors(v)) {
+        ops += ctx.profile().ops_per_edge * 3.5;
+        if (runtime.IsRemote(u, v)) ++remote;
+        ++histogram[output.int_values[u]];
+      }
+      if (graph.is_directed()) {
+        for (VertexIndex u : graph.InNeighbors(v)) {
+          ops += ctx.profile().ops_per_edge * 3.5;
+          if (runtime.IsRemote(u, v)) ++remote;
+          ++histogram[output.int_values[u]];
+        }
+      }
+      if (histogram.empty()) {
+        next[v] = output.int_values[v];
+      } else {
+        std::int64_t best_label = 0;
+        std::int64_t best_count = -1;
+        for (const auto& [label, count] : histogram) {
+          if (count > best_count ||
+              (count == best_count && label < best_label)) {
+            best_label = label;
+            best_count = count;
+          }
+        }
+        next[v] = best_label;
+      }
+      runtime.ChargeVertexWork(v, ops);
+    }
+    output.int_values.swap(next);
+    // CDLP label votes cannot be combined per machine (mode aggregation).
+    runtime.ChargeRemoteValues(remote * 2);
+    runtime.FlushMachineOps();
+    ctx.EndSuperstep("cdlp");
+  }
+  return output;
+}
+
+Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
+                                VertexIndex root) {
+  const VertexIndex n = graph.num_vertices();
+  AlgorithmOutput output;
+  output.algorithm = Algorithm::kSssp;
+  output.double_values.assign(n, kUnreachableDistance);
+  output.double_values[root] = 0.0;
+  PushPullRuntime runtime(ctx, graph);
+  std::vector<char> in_frontier(n, 0);
+  std::vector<VertexIndex> frontier{root};
+  std::vector<VertexIndex> next;
+  const int max_rounds = static_cast<int>(n) + 2;
+  for (int round = 0; round < max_rounds && !frontier.empty(); ++round) {
+    next.clear();
+    std::fill(in_frontier.begin(), in_frontier.end(), 0);
+    std::uint64_t remote = 0;
+    GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(frontier.size(),
+                                                     "sssp frontier"));
+    for (VertexIndex v : frontier) {
+      double ops = ctx.profile().ops_per_vertex;
+      const auto neighbors = graph.OutNeighbors(v);
+      const auto weights = graph.OutWeights(v);
+      for (std::size_t i = 0; i < neighbors.size(); ++i) {
+        ops += ctx.profile().ops_per_edge;
+        if (runtime.IsRemote(v, neighbors[i])) ++remote;
+        const double candidate = output.double_values[v] + weights[i];
+        if (candidate < output.double_values[neighbors[i]]) {
+          output.double_values[neighbors[i]] = candidate;
+          if (!in_frontier[neighbors[i]]) {
+            in_frontier[neighbors[i]] = 1;
+            next.push_back(neighbors[i]);
+          }
+        }
+      }
+      runtime.ChargeVertexWork(v, ops);
+    }
+    runtime.ChargeRemoteValues(remote);
+    runtime.FlushMachineOps();
+    ctx.EndSuperstep("sssp");
+    runtime.ReleaseFrontierBuffers();
+    frontier.swap(next);
+  }
+  return output;
+}
+
+}  // namespace
+
+PushPullPlatform::PushPullPlatform() {
+  info_ = PlatformInfo{"pushpull", "PGX.D (Oracle, Feb '16)", "Oracle",
+                       "push-pull, cooperative context switching",
+                       /*distributed=*/true};
+  profile_.ops_per_edge = 2.0;
+  profile_.ops_per_vertex = 3.0;
+  profile_.ops_per_message = 1.5;
+  profile_.ops_per_load_entry = 10.0;
+  profile_.bytes_per_message = 10.0;
+  profile_.startup_seconds = 246.0;
+  profile_.superstep_overhead_seconds = 3.1e-3;
+  profile_.barrier_seconds = 2.1e-3;
+  profile_.hyperthread_efficiency = 0.30;  // context switching hides stalls
+  profile_.serial_fraction = 0.02;
+  profile_.mem_bytes_per_vertex = 256.0;  // per-vertex runtime contexts
+  profile_.mem_bytes_per_entry = 50.0;    // eagerly sized buffers
+  profile_.mem_bytes_per_hub_degree = 2500.0;
+  profile_.variability_cv = 0.082;
+}
+
+bool PushPullPlatform::SupportsAlgorithm(
+    Algorithm algorithm, const ExecutionEnvironment& env) const {
+  if (algorithm == Algorithm::kLcc) return false;  // "NA" in Figure 6
+  return Platform::SupportsAlgorithm(algorithm, env);
+}
+
+Result<AlgorithmOutput> PushPullPlatform::Execute(
+    JobContext& ctx, const Graph& graph, Algorithm algorithm,
+    const AlgorithmParams& params) {
+  switch (algorithm) {
+    case Algorithm::kBfs: {
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("BFS source not in graph");
+      }
+      return RunBfs(ctx, graph, root);
+    }
+    case Algorithm::kPageRank:
+      return RunPageRank(ctx, graph, params.pagerank_iterations,
+                         params.damping_factor);
+    case Algorithm::kWcc:
+      return RunWcc(ctx, graph);
+    case Algorithm::kCdlp:
+      return RunCdlp(ctx, graph, params.cdlp_iterations);
+    case Algorithm::kLcc:
+      return Status::Unsupported("pushpull does not implement LCC");
+    case Algorithm::kSssp: {
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("SSSP source not in graph");
+      }
+      return RunSssp(ctx, graph, root);
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+}  // namespace ga::platform

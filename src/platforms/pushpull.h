@@ -1,0 +1,50 @@
+// PushPull: analogue of Oracle PGX.D (paper Table 5, row 6).
+//
+// A low-overhead engine built around direction-optimising traversal:
+// vertices can both "push" (write) values along out-edges and "pull"
+// (read) from in-neighbours — the paper singles PGX.D out for supporting
+// pull. BFS switches between push (sparse frontier) and pull (dense
+// frontier with early exit); PageRank runs in pull mode; WCC/CDLP/SSSP
+// push over frontiers. Remote messages are aggregated per destination
+// machine (PGX.D's "low-overhead, bandwidth-efficient network
+// communication").
+//
+// Cost character: the fastest tier together with spmat, with the best
+// thread scaling (15.0x in Table 9; cooperative context-switching hides
+// latency). Its per-vertex runtime contexts and eagerly sized buffers
+// assume big-memory machines: it cannot run class-XL graphs on one
+// machine (§4.4) and is the first to crash in the stress test alongside
+// GraphX (§4.6) — "PGX.D can be tuned to be more memory-efficient, but
+// does not do so autonomously".
+//
+// LCC is not implemented, matching the "NA" entries in Figure 6.
+#ifndef GRAPHALYTICS_PLATFORMS_PUSHPULL_H_
+#define GRAPHALYTICS_PLATFORMS_PUSHPULL_H_
+
+#include "platforms/platform.h"
+
+namespace ga::platform {
+
+class PushPullPlatform : public Platform {
+ public:
+  PushPullPlatform();
+
+  const PlatformInfo& info() const override { return info_; }
+  const CostProfile& profile() const override { return profile_; }
+
+  bool SupportsAlgorithm(Algorithm algorithm,
+                         const ExecutionEnvironment& env) const override;
+
+ protected:
+  Result<AlgorithmOutput> Execute(JobContext& ctx, const Graph& graph,
+                                  Algorithm algorithm,
+                                  const AlgorithmParams& params) override;
+
+ private:
+  PlatformInfo info_;
+  CostProfile profile_;
+};
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_PUSHPULL_H_

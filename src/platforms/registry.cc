@@ -1,0 +1,40 @@
+#include "platforms/platform.h"
+
+#include "platforms/bsplite.h"
+#include "platforms/dataflow.h"
+#include "platforms/gaslite.h"
+#include "platforms/nativekernel.h"
+#include "platforms/pushpull.h"
+#include "platforms/spmat.h"
+
+namespace ga::platform {
+
+std::vector<std::unique_ptr<Platform>> CreateAllPlatforms() {
+  std::vector<std::unique_ptr<Platform>> platforms;
+  platforms.push_back(std::make_unique<BspLitePlatform>());
+  platforms.push_back(std::make_unique<DataflowPlatform>());
+  platforms.push_back(std::make_unique<GasLitePlatform>());
+  platforms.push_back(std::make_unique<SpMatPlatform>());
+  platforms.push_back(std::make_unique<NativeKernelPlatform>());
+  platforms.push_back(std::make_unique<PushPullPlatform>());
+  return platforms;
+}
+
+Result<std::unique_ptr<Platform>> CreatePlatform(const std::string& id) {
+  for (auto& platform : CreateAllPlatforms()) {
+    if (platform->info().id == id) {
+      return std::move(platform);
+    }
+  }
+  return Status::NotFound("no platform with id " + id);
+}
+
+std::vector<std::string> AllPlatformIds() {
+  std::vector<std::string> ids;
+  for (const auto& platform : CreateAllPlatforms()) {
+    ids.push_back(platform->info().id);
+  }
+  return ids;
+}
+
+}  // namespace ga::platform

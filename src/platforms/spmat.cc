@@ -1,0 +1,400 @@
+#include "platforms/spmat.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "platforms/worker_map.h"
+
+namespace ga::platform {
+
+namespace {
+
+// Bytes per sparse-vector entry in SpMV message/accumulator buffers.
+constexpr std::int64_t kSparseEntryBytes = 8;
+// Bytes per intermediate entry of the masked SpGEMM used by LCC.
+constexpr std::int64_t kSpgemmEntryBytes = 16;
+
+class SpmvRuntime {
+ public:
+  SpmvRuntime(JobContext& ctx, const Graph& graph, bool distributed)
+      : ctx_(ctx),
+        graph_(graph),
+        distributed_(distributed),
+        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()) {}
+
+  // Charges one SpMV(-like) sweep that touched `entries` adjacency entries
+  // and scanned `vector_length` vector slots, with the sparse buffer
+  // memory held for the duration of the step. For the D backend, boundary
+  // values cross machines in an all-to-all.
+  Status EndSweep(std::uint64_t entries, std::uint64_t vector_length,
+                  std::uint64_t remote_values, const std::string& label) {
+    // Per-entry multiply-add, attributed by owning vertex of each entry is
+    // approximated by an even spread weighted through the hash partition;
+    // vector scans are evenly parallel.
+    const double entry_ops = ctx_.profile().ops_per_edge;
+    const double vector_ops = 0.3;
+    const std::uint64_t total = static_cast<std::uint64_t>(
+        static_cast<double>(entries) * entry_ops +
+        static_cast<double>(vector_length) * vector_ops);
+    DistributeOps(total);
+
+    const std::int64_t buffer_bytes =
+        static_cast<std::int64_t>(entries) * kSparseEntryBytes /
+        std::max(ctx_.num_machines(), 1);
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      GA_RETURN_IF_ERROR(
+          ctx_.ChargeMemory(m, buffer_bytes, label + " spmv buffers"));
+    }
+    if (distributed_ && ctx_.num_machines() > 1) {
+      const std::uint64_t combined_values =
+          std::min(remote_values, vector_length);
+      const auto bytes_per_machine = static_cast<std::uint64_t>(
+          combined_values * kSparseEntryBytes /
+          static_cast<std::uint64_t>(ctx_.num_machines()));
+      for (int m = 0; m < ctx_.num_machines(); ++m) {
+        ctx_.machine_comm()[m].bytes_sent += bytes_per_machine;
+        ctx_.machine_comm()[m].bytes_received += bytes_per_machine;
+      }
+      ctx_.ledger().messages += remote_values;
+    }
+    ctx_.EndSuperstep(label);
+    for (int m = 0; m < ctx_.num_machines(); ++m) {
+      ctx_.ReleaseMemory(m, buffer_bytes);
+    }
+    return Status::Ok();
+  }
+
+  // Counts a value crossing machines (for frontier-push sweeps).
+  std::uint64_t RemoteIfCross(VertexIndex from, VertexIndex to) const {
+    return workers_.machine_of(from) != workers_.machine_of(to) ? 1 : 0;
+  }
+
+  const WorkerMap& workers() const { return workers_; }
+
+ private:
+  void DistributeOps(std::uint64_t total) {
+    const int workers = ctx_.num_workers();
+    // SpMV work is distributed by row blocks; residual imbalance beyond
+    // the serial fraction is modest. Spread evenly with a small skew term
+    // charged to worker 0 (the block holding the hottest rows).
+    const std::uint64_t skew = total / 50;
+    const std::uint64_t base = (total - skew) / workers;
+    for (int w = 0; w < workers; ++w) ctx_.worker_ops()[w] += base;
+    ctx_.worker_ops()[0] += skew + (total - skew) % workers;
+  }
+
+  JobContext& ctx_;
+  const Graph& graph_;
+  bool distributed_;
+  WorkerMap workers_;
+};
+
+}  // namespace
+
+SpMatPlatform::SpMatPlatform() {
+  info_ = PlatformInfo{"spmat", "GraphMat (Intel, Feb '16)", "Intel",
+                       "generalized SpMV / semirings",
+                       /*distributed=*/true};
+  profile_.ops_per_edge = 1.0;
+  profile_.ops_per_vertex = 2.0;
+  profile_.ops_per_message = 1.0;
+  profile_.ops_per_load_entry = 8.0;
+  profile_.bytes_per_message = 12.0;
+  profile_.startup_seconds = 4.1;
+  profile_.superstep_overhead_seconds = 10.2e-3;
+  profile_.barrier_seconds = 8.2e-3;
+  profile_.hyperthread_efficiency = 0.05;
+  profile_.serial_fraction = 0.05;
+  profile_.mem_bytes_per_vertex = 24.0;
+  profile_.mem_bytes_per_entry = 18.0;
+  profile_.mem_bytes_per_hub_degree = 6000.0;
+  profile_.swap_penalty = 10.0;
+  profile_.variability_cv = 0.097;
+}
+
+std::vector<std::int64_t> SpMatPlatform::UploadFootprintBytes(
+    const Graph& graph, const ExecutionEnvironment& env) const {
+  // Hash-partitioned CSR/CSC tiles; same shape as the default model.
+  return Platform::UploadFootprintBytes(graph, env);
+}
+
+Result<AlgorithmOutput> SpMatPlatform::Execute(
+    JobContext& ctx, const Graph& graph, Algorithm algorithm,
+    const AlgorithmParams& params) {
+  const bool distributed = UsesDistributedBackend(algorithm, ctx.env());
+  SpmvRuntime runtime(ctx, graph, distributed);
+  const VertexIndex n = graph.num_vertices();
+
+  switch (algorithm) {
+    case Algorithm::kBfs: {
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("BFS source not in graph");
+      }
+      AlgorithmOutput output;
+      output.algorithm = Algorithm::kBfs;
+      output.int_values.assign(n, kUnreachableHops);
+      output.int_values[root] = 0;
+      std::vector<VertexIndex> frontier{root};
+      std::vector<VertexIndex> next;
+      std::int64_t depth = 0;
+      while (!frontier.empty()) {
+        next.clear();
+        std::uint64_t touched = 0;
+        std::uint64_t remote = 0;
+        ++depth;
+        // Frontier-masked SpMSpV (push along out-edges).
+        for (VertexIndex u : frontier) {
+          for (VertexIndex v : graph.OutNeighbors(u)) {
+            ++touched;
+            remote += runtime.RemoteIfCross(u, v);
+            if (output.int_values[v] == kUnreachableHops) {
+              output.int_values[v] = depth;
+              next.push_back(v);
+            }
+          }
+        }
+        GA_RETURN_IF_ERROR(runtime.EndSweep(
+            touched, static_cast<std::uint64_t>(n), remote, "bfs"));
+        frontier.swap(next);
+      }
+      return output;
+    }
+    case Algorithm::kSssp: {
+      // SSSP exists only in the D backend (paper §4.2); the platform
+      // selects D automatically here, noting the manual selection caveat.
+      const VertexIndex root = graph.IndexOf(params.source_vertex);
+      if (root == kInvalidVertex) {
+        return Status::InvalidArgument("SSSP source not in graph");
+      }
+      AlgorithmOutput output;
+      output.algorithm = Algorithm::kSssp;
+      output.double_values.assign(n, kUnreachableDistance);
+      output.double_values[root] = 0.0;
+      std::vector<char> in_frontier(n, 0);
+      std::vector<VertexIndex> frontier{root};
+      std::vector<VertexIndex> next;
+      const int max_rounds = static_cast<int>(n) + 2;
+      for (int round = 0; round < max_rounds && !frontier.empty();
+           ++round) {
+        next.clear();
+        std::fill(in_frontier.begin(), in_frontier.end(), 0);
+        std::uint64_t touched = 0;
+        std::uint64_t remote = 0;
+        for (VertexIndex u : frontier) {
+          const auto neighbors = graph.OutNeighbors(u);
+          const auto weights = graph.OutWeights(u);
+          for (std::size_t i = 0; i < neighbors.size(); ++i) {
+            ++touched;
+            remote += runtime.RemoteIfCross(u, neighbors[i]);
+            const double candidate =
+                output.double_values[u] + weights[i];
+            if (candidate < output.double_values[neighbors[i]]) {
+              output.double_values[neighbors[i]] = candidate;
+              if (!in_frontier[neighbors[i]]) {
+                in_frontier[neighbors[i]] = 1;
+                next.push_back(neighbors[i]);
+              }
+            }
+          }
+        }
+        GA_RETURN_IF_ERROR(runtime.EndSweep(
+            touched, static_cast<std::uint64_t>(n), remote, "sssp"));
+        frontier.swap(next);
+      }
+      return output;
+    }
+    case Algorithm::kWcc: {
+      AlgorithmOutput output;
+      output.algorithm = Algorithm::kWcc;
+      output.int_values.resize(n);
+      for (VertexIndex v = 0; v < n; ++v) {
+        output.int_values[v] = graph.ExternalId(v);
+      }
+      // Full min-SpMV sweeps until fixpoint (both edge directions).
+      bool changed = true;
+      const int max_rounds = static_cast<int>(n) + 2;
+      for (int round = 0; round < max_rounds && changed; ++round) {
+        changed = false;
+        std::uint64_t touched = 0;
+        std::vector<std::int64_t> next(output.int_values);
+        for (VertexIndex v = 0; v < n; ++v) {
+          std::int64_t best = next[v];
+          for (VertexIndex u : graph.InNeighbors(v)) {
+            ++touched;
+            best = std::min(best, output.int_values[u]);
+          }
+          if (graph.is_directed()) {
+            for (VertexIndex u : graph.OutNeighbors(v)) {
+              ++touched;
+              best = std::min(best, output.int_values[u]);
+            }
+          }
+          if (best < next[v]) {
+            next[v] = best;
+            changed = true;
+          }
+        }
+        output.int_values.swap(next);
+        GA_RETURN_IF_ERROR(runtime.EndSweep(
+            touched, static_cast<std::uint64_t>(n),
+            static_cast<std::uint64_t>(n), "wcc"));
+      }
+      return output;
+    }
+    case Algorithm::kPageRank: {
+      AlgorithmOutput output;
+      output.algorithm = Algorithm::kPageRank;
+      output.double_values.assign(
+          n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+      if (n == 0) return output;
+      std::vector<double> next(n, 0.0);
+      for (int iteration = 0; iteration < params.pagerank_iterations;
+           ++iteration) {
+        double dangling = 0.0;
+        for (VertexIndex v = 0; v < n; ++v) {
+          if (graph.OutDegree(v) == 0) dangling += output.double_values[v];
+        }
+        const double base =
+            (1.0 - params.damping_factor) / static_cast<double>(n) +
+            params.damping_factor * dangling / static_cast<double>(n);
+        std::uint64_t touched = 0;
+        for (VertexIndex v = 0; v < n; ++v) {
+          double sum = 0.0;
+          for (VertexIndex u : graph.InNeighbors(v)) {
+            ++touched;
+            sum += output.double_values[u] /
+                   static_cast<double>(graph.OutDegree(u));
+          }
+          next[v] = base + params.damping_factor * sum;
+        }
+        output.double_values.swap(next);
+        GA_RETURN_IF_ERROR(runtime.EndSweep(
+            touched, static_cast<std::uint64_t>(n),
+            static_cast<std::uint64_t>(n), "pr"));
+      }
+      return output;
+    }
+    case Algorithm::kCdlp: {
+      AlgorithmOutput output;
+      output.algorithm = Algorithm::kCdlp;
+      output.int_values.resize(n);
+      for (VertexIndex v = 0; v < n; ++v) {
+        output.int_values[v] = graph.ExternalId(v);
+      }
+      std::unordered_map<std::int64_t, std::int64_t> histogram;
+      std::vector<std::int64_t> next(n);
+      for (int iteration = 0; iteration < params.cdlp_iterations;
+           ++iteration) {
+        std::uint64_t touched = 0;
+        for (VertexIndex v = 0; v < n; ++v) {
+          histogram.clear();
+          for (VertexIndex u : graph.OutNeighbors(v)) {
+            ++touched;
+            ++histogram[output.int_values[u]];
+          }
+          if (graph.is_directed()) {
+            for (VertexIndex u : graph.InNeighbors(v)) {
+              ++touched;
+              ++histogram[output.int_values[u]];
+            }
+          }
+          if (histogram.empty()) {
+            next[v] = output.int_values[v];
+            continue;
+          }
+          std::int64_t best_label = 0;
+          std::int64_t best_count = -1;
+          for (const auto& [label, count] : histogram) {
+            if (count > best_count ||
+                (count == best_count && label < best_label)) {
+              best_label = label;
+              best_count = count;
+            }
+          }
+          next[v] = best_label;
+        }
+        output.int_values.swap(next);
+        GA_RETURN_IF_ERROR(runtime.EndSweep(
+            touched * 3,  // histogram insertion is pricier than a MAC
+            static_cast<std::uint64_t>(n),
+            static_cast<std::uint64_t>(n), "cdlp"));
+      }
+      return output;
+    }
+    case Algorithm::kLcc: {
+      // Masked SpGEMM (A^2 .* A): the intermediate product rows are
+      // materialised; their size is sum_v sum_{u in N(v)} deg(u). Charge
+      // that memory up front — on dense graphs this is the OOM that makes
+      // GraphMat fail LCC in the paper (§4.2).
+      double intermediate_entries = 0.0;
+      for (VertexIndex v = 0; v < n; ++v) {
+        for (VertexIndex u : graph.OutNeighbors(v)) {
+          intermediate_entries +=
+              static_cast<double>(graph.OutDegree(u));
+        }
+        if (graph.is_directed()) {
+          for (VertexIndex u : graph.InNeighbors(v)) {
+            intermediate_entries +=
+                static_cast<double>(graph.OutDegree(u));
+          }
+        }
+      }
+      const std::int64_t bytes_per_machine =
+          static_cast<std::int64_t>(intermediate_entries) *
+          kSpgemmEntryBytes / std::max(ctx.num_machines(), 1);
+      for (int m = 0; m < ctx.num_machines(); ++m) {
+        GA_RETURN_IF_ERROR(
+            ctx.ChargeMemory(m, bytes_per_machine, "lcc spgemm"));
+      }
+
+      AlgorithmOutput output;
+      output.algorithm = Algorithm::kLcc;
+      output.double_values.assign(n, 0.0);
+      std::vector<char> flag(n, 0);
+      std::vector<VertexIndex> neighborhood;
+      std::uint64_t touched = 0;
+      for (VertexIndex v = 0; v < n; ++v) {
+        neighborhood.clear();
+        for (VertexIndex u : graph.OutNeighbors(v)) {
+          if (u != v && !flag[u]) {
+            flag[u] = 1;
+            neighborhood.push_back(u);
+          }
+        }
+        if (graph.is_directed()) {
+          for (VertexIndex u : graph.InNeighbors(v)) {
+            if (u != v && !flag[u]) {
+              flag[u] = 1;
+              neighborhood.push_back(u);
+            }
+          }
+        }
+        std::int64_t links = 0;
+        if (neighborhood.size() >= 2) {
+          for (VertexIndex u : neighborhood) {
+            for (VertexIndex w : graph.OutNeighbors(u)) {
+              ++touched;
+              if (w != v && flag[w]) ++links;
+            }
+          }
+          const double degree = static_cast<double>(neighborhood.size());
+          output.double_values[v] =
+              static_cast<double>(links) / (degree * (degree - 1.0));
+        }
+        for (VertexIndex w : neighborhood) flag[w] = 0;
+      }
+      GA_RETURN_IF_ERROR(runtime.EndSweep(
+          touched * 2, static_cast<std::uint64_t>(n), 0, "lcc"));
+      for (int m = 0; m < ctx.num_machines(); ++m) {
+        ctx.ReleaseMemory(m, bytes_per_machine);
+      }
+      return output;
+    }
+  }
+  return Status::Internal("unknown algorithm");
+}
+
+}  // namespace ga::platform

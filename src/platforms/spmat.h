@@ -1,0 +1,61 @@
+// SpMat: analogue of Intel GraphMat (paper Table 5, row 4).
+//
+// Maps Pregel-style vertex programs to sparse-matrix-vector products over
+// algorithm-specific semirings on CSR/CSC structure: BFS and SSSP are
+// frontier-masked SpMSpV (push), PageRank and WCC are full SpMV sweeps
+// (pull), CDLP gathers label votes per row, and LCC is a masked sparse
+// matrix product whose intermediate is materialised (and is what kills it
+// on dense graphs, §4.2).
+//
+// Two backends, as in the paper: a shared-memory backend (S) and a
+// distributed MPI-like backend (D). The backend is selected per job the
+// way the paper ran it: D for any multi-machine deployment and for SSSP
+// (not supported in S); S otherwise. The D backend adds an all-to-all
+// exchange of boundary values per superstep, and models GraphMat's
+// swap-induced slowdown when the working set slightly exceeds memory
+// (the paper's single-machine PR outlier on D1000, §4.4).
+#ifndef GRAPHALYTICS_PLATFORMS_SPMAT_H_
+#define GRAPHALYTICS_PLATFORMS_SPMAT_H_
+
+#include "platforms/platform.h"
+
+namespace ga::platform {
+
+class SpMatPlatform : public Platform {
+ public:
+  SpMatPlatform();
+
+  const PlatformInfo& info() const override { return info_; }
+  const CostProfile& profile() const override { return profile_; }
+
+  /// Which backend a job uses (exposed for tests and reports).
+  static bool UsesDistributedBackend(Algorithm algorithm,
+                                     const ExecutionEnvironment& env) {
+    return env.prefer_distributed_backend || env.num_machines > 1 ||
+           algorithm == Algorithm::kSssp;
+  }
+
+  bool SwapCapable(Algorithm algorithm,
+                   const ExecutionEnvironment& env) const override {
+    // The D backend's mmap-backed buffers spill instead of aborting
+    // (paper §4.4: the single-machine PR outlier, "most likely because
+    // of swapping").
+    return UsesDistributedBackend(algorithm, env);
+  }
+
+ protected:
+  std::vector<std::int64_t> UploadFootprintBytes(
+      const Graph& graph, const ExecutionEnvironment& env) const override;
+
+  Result<AlgorithmOutput> Execute(JobContext& ctx, const Graph& graph,
+                                  Algorithm algorithm,
+                                  const AlgorithmParams& params) override;
+
+ private:
+  PlatformInfo info_;
+  CostProfile profile_;
+};
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_SPMAT_H_

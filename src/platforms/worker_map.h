@@ -1,0 +1,43 @@
+// Assignment of vertices to virtual workers (machine, thread) for the
+// edge-cut platform analogues. Hash partitioning over machines (the
+// default of Giraph/GraphX/GraphMat/PGX.D) and hashing over threads
+// within a machine. Load imbalance across workers — and hence sub-linear
+// scaling on skewed graphs — emerges naturally from real degree skew.
+#ifndef GRAPHALYTICS_PLATFORMS_WORKER_MAP_H_
+#define GRAPHALYTICS_PLATFORMS_WORKER_MAP_H_
+
+#include <utility>
+
+#include "core/graph.h"
+#include "core/partition.h"
+#include "core/rng.h"
+
+namespace ga::platform {
+
+class WorkerMap {
+ public:
+  WorkerMap(const Graph& graph, int num_machines, int threads_per_machine)
+      : partition_(HashPartition(graph, num_machines)),
+        threads_(threads_per_machine) {}
+
+  int machine_of(VertexIndex v) const { return partition_.part_of[v]; }
+
+  int thread_of(VertexIndex v) const {
+    return static_cast<int>(Mix64(static_cast<std::uint64_t>(v) + 0x51ED) %
+                            static_cast<std::uint64_t>(threads_));
+  }
+
+  int worker_of(VertexIndex v) const {
+    return machine_of(v) * threads_ + thread_of(v);
+  }
+
+  const VertexPartition& partition() const { return partition_; }
+
+ private:
+  VertexPartition partition_;
+  int threads_;
+};
+
+}  // namespace ga::platform
+
+#endif  // GRAPHALYTICS_PLATFORMS_WORKER_MAP_H_

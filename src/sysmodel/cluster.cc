@@ -1,0 +1,104 @@
+#include "sysmodel/cluster.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ga::sysmodel {
+
+ClusterModel::ClusterModel(const ClusterConfig& config) : config_(config) {
+  config_.num_machines = std::max(config_.num_machines, 1);
+  config_.threads_per_machine = std::max(config_.threads_per_machine, 1);
+}
+
+double ClusterModel::MachineThroughput(int threads) const {
+  const MachineSpec& machine = config_.machine;
+  const int full_speed = std::min(threads, machine.cores);
+  const int hyper = std::max(
+      0, std::min(threads, machine.hardware_threads) - machine.cores);
+  return machine.core_ops_per_second *
+         (static_cast<double>(full_speed) +
+          config_.hyperthread_efficiency * static_cast<double>(hyper));
+}
+
+double ClusterModel::PerThreadThroughput() const {
+  const int threads = config_.threads_per_machine;
+  return MachineThroughput(threads) / static_cast<double>(threads);
+}
+
+double ClusterModel::BarrierSeconds() const {
+  const double rounds =
+      1.0 + std::log2(static_cast<double>(config_.num_machines));
+  return config_.barrier_seconds * rounds;
+}
+
+double ClusterModel::SequentialSeconds(std::uint64_t ops) const {
+  return static_cast<double>(ops) / config_.machine.core_ops_per_second;
+}
+
+double ClusterModel::SuperstepSeconds(
+    std::span<const std::uint64_t> worker_ops,
+    std::span<const MachineComm> comm) const {
+  const int machines = config_.num_machines;
+  const int threads = config_.threads_per_machine;
+  const double per_thread = PerThreadThroughput();
+
+  double slowest_machine = 0.0;
+  for (int m = 0; m < machines; ++m) {
+    std::uint64_t max_thread_ops = 0;
+    std::uint64_t total_ops = 0;
+    for (int t = 0; t < threads; ++t) {
+      const std::size_t w = static_cast<std::size_t>(m) * threads + t;
+      if (w < worker_ops.size()) {
+        max_thread_ops = std::max(max_thread_ops, worker_ops[w]);
+        total_ops += worker_ops[w];
+      }
+    }
+    // Amdahl decomposition: the serial share runs on one core at full
+    // speed; the parallel share is paced by the most loaded thread.
+    const double serial = config_.serial_fraction;
+    double machine_seconds =
+        serial * static_cast<double>(total_ops) /
+            config_.machine.core_ops_per_second +
+        (1.0 - serial) * static_cast<double>(max_thread_ops) / per_thread;
+    if (machines > 1 && m < static_cast<int>(comm.size())) {
+      const double wire_bytes = static_cast<double>(
+          std::max(comm[m].bytes_sent, comm[m].bytes_received));
+      machine_seconds +=
+          config_.network.latency_seconds *
+              std::ceil(std::log2(static_cast<double>(machines))) +
+          wire_bytes / config_.network.bandwidth_bytes_per_second;
+    }
+    slowest_machine = std::max(slowest_machine, machine_seconds);
+  }
+  return slowest_machine + BarrierSeconds();
+}
+
+MemoryAccountant::MemoryAccountant(std::int64_t capacity_bytes_per_machine,
+                                   int num_machines)
+    : capacity_(capacity_bytes_per_machine),
+      used_(std::max(num_machines, 1), 0),
+      peak_(std::max(num_machines, 1), 0) {}
+
+Status MemoryAccountant::Charge(int machine, std::int64_t bytes,
+                                const std::string& what) {
+  if (used_[machine] + bytes > capacity_) {
+    return Status::OutOfMemory(
+        what + ": machine " + std::to_string(machine) + " needs " +
+        std::to_string(used_[machine] + bytes) + " bytes, capacity " +
+        std::to_string(capacity_));
+  }
+  used_[machine] += bytes;
+  peak_[machine] = std::max(peak_[machine], used_[machine]);
+  return Status::Ok();
+}
+
+void MemoryAccountant::Release(int machine, std::int64_t bytes) {
+  used_[machine] = std::max<std::int64_t>(0, used_[machine] - bytes);
+}
+
+void MemoryAccountant::Reset() {
+  std::fill(used_.begin(), used_.end(), 0);
+  std::fill(peak_.begin(), peak_.end(), 0);
+}
+
+}  // namespace ga::sysmodel

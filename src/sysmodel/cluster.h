@@ -1,0 +1,110 @@
+// ClusterModel: deterministic BSP cost model of a parallel/distributed
+// system (see DESIGN.md §1 and §5).
+//
+// The platform analogues execute algorithms for real and split the work
+// over virtual workers (machine, thread). The model converts per-worker
+// operation counts and per-machine communication volumes into simulated
+// seconds:
+//
+//   t_step = max_m [ t_comp(m) + t_comm(m) ] + t_barrier
+//   t_comp(m) = max_thread_ops(m) / per_thread_throughput
+//   t_comm(m) = latency * ceil(log2 p) + max(sent_m, recv_m) / bandwidth
+//   t_barrier = barrier base cost * (1 + log2 p)
+//
+// Hyper-threading: threads beyond the core count contribute at a reduced
+// efficiency (configurable per platform profile), reproducing the paper's
+// observation that most platforms gain little beyond 16 threads (§4.3).
+#ifndef GRAPHALYTICS_SYSMODEL_CLUSTER_H_
+#define GRAPHALYTICS_SYSMODEL_CLUSTER_H_
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/status.h"
+#include "sysmodel/machine.h"
+
+namespace ga::sysmodel {
+
+struct ClusterConfig {
+  MachineSpec machine = MachineSpec::Das5();
+  NetworkSpec network = NetworkSpec::GigabitEthernet();
+  int num_machines = 1;
+  int threads_per_machine = 1;
+  /// Relative throughput of a hyper-thread (a thread beyond the physical
+  /// core count). 0 disables any gain from hyper-threading.
+  double hyperthread_efficiency = 0.25;
+  /// Amdahl serial fraction of each superstep's computation: the share of
+  /// work that does not parallelise (runtime bookkeeping, aggregation,
+  /// message-queue management). Caps the vertical speedup at
+  /// ~1/serial_fraction, reproducing the per-platform maxima of Table 9.
+  double serial_fraction = 0.05;
+  /// Base cost of a barrier / synchronisation round, seconds.
+  double barrier_seconds = 20e-6;
+};
+
+/// Per-superstep communication volume of one machine.
+struct MachineComm {
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t bytes_received = 0;
+};
+
+class ClusterModel {
+ public:
+  explicit ClusterModel(const ClusterConfig& config);
+
+  int num_machines() const { return config_.num_machines; }
+  int threads_per_machine() const { return config_.threads_per_machine; }
+  int num_workers() const {
+    return config_.num_machines * config_.threads_per_machine;
+  }
+  const ClusterConfig& config() const { return config_; }
+
+  /// Aggregate ops/second of one machine running `threads` threads.
+  double MachineThroughput(int threads) const;
+
+  /// Ops/second available to each of the configured threads (the slowest
+  /// thread paces a superstep; HT threads run below core speed).
+  double PerThreadThroughput() const;
+
+  /// Simulated seconds for one BSP superstep.
+  /// `worker_ops[w]` is the op count of worker w = machine * threads + t;
+  /// `comm` (may be empty for single-machine runs) gives per-machine
+  /// communication volumes.
+  double SuperstepSeconds(std::span<const std::uint64_t> worker_ops,
+                          std::span<const MachineComm> comm = {}) const;
+
+  /// Simulated seconds to execute `ops` sequentially on one core.
+  double SequentialSeconds(std::uint64_t ops) const;
+
+  double BarrierSeconds() const;
+
+ private:
+  ClusterConfig config_;
+};
+
+/// Tracks per-machine memory consumption against capacity; charging past
+/// the budget fails with kOutOfMemory, which the harness surfaces as a
+/// crashed job (stress-test experiment, §4.6).
+class MemoryAccountant {
+ public:
+  MemoryAccountant(std::int64_t capacity_bytes_per_machine,
+                   int num_machines);
+
+  Status Charge(int machine, std::int64_t bytes, const std::string& what);
+  void Release(int machine, std::int64_t bytes);
+  void Reset();
+
+  std::int64_t used(int machine) const { return used_[machine]; }
+  std::int64_t peak(int machine) const { return peak_[machine]; }
+  std::int64_t capacity() const { return capacity_; }
+
+ private:
+  std::int64_t capacity_;
+  std::vector<std::int64_t> used_;
+  std::vector<std::int64_t> peak_;
+};
+
+}  // namespace ga::sysmodel
+
+#endif  // GRAPHALYTICS_SYSMODEL_CLUSTER_H_

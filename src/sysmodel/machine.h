@@ -1,0 +1,41 @@
+// Machine and network specifications for the simulated cluster.
+//
+// Defaults reproduce Table 7 of the paper (DAS-5 compute nodes): dual
+// 8-core Intel Xeon E5-2630 (16 cores, 32 hyper-threads), 64 GiB memory,
+// 1 Gbit/s Ethernet + FDR InfiniBand.
+#ifndef GRAPHALYTICS_SYSMODEL_MACHINE_H_
+#define GRAPHALYTICS_SYSMODEL_MACHINE_H_
+
+#include <cstdint>
+
+namespace ga::sysmodel {
+
+struct MachineSpec {
+  int cores = 16;
+  int hardware_threads = 32;
+  std::int64_t memory_bytes = 64LL * 1024 * 1024 * 1024;
+  /// Abstract machine operations per second per core. One "op" is the cost
+  /// unit engines charge per unit of work (edge relaxation, message
+  /// handling, ...); profiles express their overheads as op multiples.
+  double core_ops_per_second = 2.0e8;
+
+  /// DAS-5 node per Table 7 of the paper.
+  static MachineSpec Das5() { return MachineSpec{}; }
+};
+
+struct NetworkSpec {
+  /// One-way message latency in seconds.
+  double latency_seconds = 100e-6;
+  /// Per-machine bandwidth in bytes/second.
+  double bandwidth_bytes_per_second = 125e6;  // 1 Gbit/s
+
+  static NetworkSpec GigabitEthernet() { return NetworkSpec{}; }
+  static NetworkSpec InfinibandFdr() {
+    // FDR InfiniBand: ~56 Gbit/s, ~1.5 us latency.
+    return NetworkSpec{1.5e-6, 7.0e9};
+  }
+};
+
+}  // namespace ga::sysmodel
+
+#endif  // GRAPHALYTICS_SYSMODEL_MACHINE_H_

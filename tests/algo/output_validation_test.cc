@@ -1,0 +1,133 @@
+#include "algo/output.h"
+
+#include <gtest/gtest.h>
+
+#include "testing/graph_fixtures.h"
+
+namespace ga {
+namespace {
+
+using ::ga::testing::MakeDirectedPath;
+
+AlgorithmOutput IntOutput(Algorithm algorithm,
+                          std::vector<std::int64_t> values) {
+  AlgorithmOutput output;
+  output.algorithm = algorithm;
+  output.int_values = std::move(values);
+  return output;
+}
+
+AlgorithmOutput DoubleOutput(Algorithm algorithm,
+                             std::vector<double> values) {
+  AlgorithmOutput output;
+  output.algorithm = algorithm;
+  output.double_values = std::move(values);
+  return output;
+}
+
+TEST(ValidateOutputTest, BfsExactMatchPasses) {
+  Graph graph = MakeDirectedPath(3);
+  auto reference = IntOutput(Algorithm::kBfs, {0, 1, 2});
+  EXPECT_TRUE(ValidateOutput(graph, reference, reference).ok());
+}
+
+TEST(ValidateOutputTest, BfsMismatchNamesVertex) {
+  Graph graph = MakeDirectedPath(3);
+  auto reference = IntOutput(Algorithm::kBfs, {0, 1, 2});
+  auto actual = IntOutput(Algorithm::kBfs, {0, 1, 3});
+  Status status = ValidateOutput(graph, reference, actual);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("vertex 2"), std::string::npos);
+}
+
+TEST(ValidateOutputTest, SizeMismatchFails) {
+  Graph graph = MakeDirectedPath(3);
+  auto reference = IntOutput(Algorithm::kBfs, {0, 1, 2});
+  auto actual = IntOutput(Algorithm::kBfs, {0, 1});
+  EXPECT_FALSE(ValidateOutput(graph, reference, actual).ok());
+}
+
+TEST(ValidateOutputTest, AlgorithmMismatchFails) {
+  Graph graph = MakeDirectedPath(3);
+  auto reference = IntOutput(Algorithm::kBfs, {0, 1, 2});
+  auto actual = IntOutput(Algorithm::kWcc, {0, 1, 2});
+  EXPECT_FALSE(ValidateOutput(graph, reference, actual).ok());
+}
+
+TEST(ValidateOutputTest, WccAcceptsRelabelledComponents) {
+  Graph graph = MakeDirectedPath(4);
+  auto reference = IntOutput(Algorithm::kWcc, {0, 0, 5, 5});
+  auto actual = IntOutput(Algorithm::kWcc, {77, 77, 3, 3});
+  EXPECT_TRUE(ValidateOutput(graph, reference, actual).ok());
+}
+
+TEST(ValidateOutputTest, WccRejectsSplitComponent) {
+  Graph graph = MakeDirectedPath(4);
+  auto reference = IntOutput(Algorithm::kWcc, {0, 0, 0, 0});
+  auto actual = IntOutput(Algorithm::kWcc, {1, 1, 2, 2});
+  EXPECT_FALSE(ValidateOutput(graph, reference, actual).ok());
+}
+
+TEST(ValidateOutputTest, WccRejectsMergedComponents) {
+  Graph graph = MakeDirectedPath(4);
+  auto reference = IntOutput(Algorithm::kWcc, {0, 0, 5, 5});
+  auto actual = IntOutput(Algorithm::kWcc, {9, 9, 9, 9});
+  EXPECT_FALSE(ValidateOutput(graph, reference, actual).ok());
+}
+
+TEST(ValidateOutputTest, PageRankToleratesEpsilon) {
+  Graph graph = MakeDirectedPath(2);
+  auto reference = DoubleOutput(Algorithm::kPageRank, {0.5, 0.5});
+  auto actual = DoubleOutput(Algorithm::kPageRank, {0.500004, 0.499996});
+  EXPECT_TRUE(ValidateOutput(graph, reference, actual).ok());
+}
+
+TEST(ValidateOutputTest, PageRankRejectsLargeDeviation) {
+  Graph graph = MakeDirectedPath(2);
+  auto reference = DoubleOutput(Algorithm::kPageRank, {0.5, 0.5});
+  auto actual = DoubleOutput(Algorithm::kPageRank, {0.6, 0.4});
+  EXPECT_FALSE(ValidateOutput(graph, reference, actual).ok());
+}
+
+TEST(ValidateOutputTest, CustomEpsilonRespected) {
+  Graph graph = MakeDirectedPath(2);
+  auto reference = DoubleOutput(Algorithm::kPageRank, {0.5, 0.5});
+  auto actual = DoubleOutput(Algorithm::kPageRank, {0.52, 0.48});
+  ValidationOptions loose;
+  loose.epsilon = 0.1;
+  EXPECT_TRUE(ValidateOutput(graph, reference, actual, loose).ok());
+}
+
+TEST(ValidateOutputTest, SsspInfinityMustMatch) {
+  Graph graph = MakeDirectedPath(2);
+  auto reference =
+      DoubleOutput(Algorithm::kSssp, {0.0, kUnreachableDistance});
+  auto matching =
+      DoubleOutput(Algorithm::kSssp, {0.0, kUnreachableDistance});
+  EXPECT_TRUE(ValidateOutput(graph, reference, matching).ok());
+  auto wrong = DoubleOutput(Algorithm::kSssp, {0.0, 1e300});
+  EXPECT_FALSE(ValidateOutput(graph, reference, wrong).ok());
+}
+
+TEST(ValidateOutputTest, CdlpRequiresExactLabels) {
+  Graph graph = MakeDirectedPath(2);
+  auto reference = IntOutput(Algorithm::kCdlp, {4, 4});
+  auto relabelled = IntOutput(Algorithm::kCdlp, {7, 7});
+  // CDLP is deterministic: a consistent relabelling is NOT acceptable.
+  EXPECT_FALSE(ValidateOutput(graph, reference, relabelled).ok());
+}
+
+TEST(FormatOutputTest, IntOutputUsesExternalIds) {
+  Graph graph = ga::testing::MakeGraph(Directedness::kDirected, {{10, 20}});
+  auto output = IntOutput(Algorithm::kBfs, {0, 1});
+  EXPECT_EQ(FormatOutput(graph, output), "10 0\n20 1\n");
+}
+
+TEST(FormatOutputTest, DoubleOutputFormatted) {
+  Graph graph = ga::testing::MakeGraph(Directedness::kDirected, {{1, 2}});
+  auto output = DoubleOutput(Algorithm::kPageRank, {0.5, 0.25});
+  EXPECT_EQ(FormatOutput(graph, output), "1 0.5\n2 0.25\n");
+}
+
+}  // namespace
+}  // namespace ga

@@ -1,0 +1,55 @@
+#include "core/bitset.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ga {
+namespace {
+
+TEST(BitsetTest, StartsClear) {
+  Bitset bits(200);
+  EXPECT_EQ(bits.Count(), 0u);
+  EXPECT_FALSE(bits.Any());
+  for (std::size_t i = 0; i < 200; ++i) EXPECT_FALSE(bits.Test(i));
+}
+
+TEST(BitsetTest, SetAndTestAcrossWordBoundaries) {
+  Bitset bits(130);
+  for (std::size_t i : {0u, 63u, 64u, 65u, 127u, 128u, 129u}) bits.Set(i);
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(129));
+  EXPECT_FALSE(bits.Test(62));
+  EXPECT_EQ(bits.Count(), 7u);
+}
+
+TEST(BitsetTest, TestAndSetReportsFirstSet) {
+  Bitset bits(10);
+  EXPECT_TRUE(bits.TestAndSet(3));
+  EXPECT_FALSE(bits.TestAndSet(3));
+  EXPECT_TRUE(bits.Test(3));
+}
+
+TEST(BitsetTest, ResetAndClear) {
+  Bitset bits(70);
+  bits.Set(1);
+  bits.Set(69);
+  bits.Reset(1);
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_TRUE(bits.Test(69));
+  bits.Clear();
+  EXPECT_FALSE(bits.Any());
+}
+
+TEST(BitsetTest, ForEachSetVisitsInOrder) {
+  Bitset bits(300);
+  std::vector<std::size_t> expected = {2, 64, 65, 192, 299};
+  for (std::size_t i : expected) bits.Set(i);
+  std::vector<std::size_t> visited;
+  bits.ForEachSet([&](std::size_t i) { visited.push_back(i); });
+  EXPECT_EQ(visited, expected);
+}
+
+}  // namespace
+}  // namespace ga

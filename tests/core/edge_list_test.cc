@@ -1,0 +1,95 @@
+#include "core/edge_list.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "testing/graph_fixtures.h"
+
+namespace ga {
+namespace {
+
+using ::ga::testing::MakeGraph;
+
+TEST(ParseGraphTextTest, ParsesVerticesAndEdges) {
+  auto graph = ParseGraphText("1\n2\n3\n4\n", "1 2\n2 3\n",
+                              Directedness::kDirected, /*weighted=*/false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_vertices(), 4);
+  EXPECT_EQ(graph->num_edges(), 2);
+  EXPECT_EQ(graph->OutDegree(graph->IndexOf(4)), 0);
+}
+
+TEST(ParseGraphTextTest, ParsesWeights) {
+  auto graph = ParseGraphText("", "10 20 0.5\n20 30 1.25\n",
+                              Directedness::kDirected, /*weighted=*/true);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto weights = graph->OutWeights(graph->IndexOf(10));
+  ASSERT_EQ(weights.size(), 1u);
+  EXPECT_DOUBLE_EQ(weights[0], 0.5);
+}
+
+TEST(ParseGraphTextTest, SkipsCommentsAndBlankLines) {
+  auto graph = ParseGraphText("# header\n1\n\n2\n", "# edges\n1 2\n",
+                              Directedness::kDirected, false);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_vertices(), 2);
+  EXPECT_EQ(graph->num_edges(), 1);
+}
+
+TEST(ParseGraphTextTest, RejectsMalformedVertexLine) {
+  auto graph = ParseGraphText("abc\n", "", Directedness::kDirected, false);
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kIoError);
+}
+
+TEST(ParseGraphTextTest, RejectsMalformedEdgeLine) {
+  auto graph = ParseGraphText("", "1\n", Directedness::kDirected, false);
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(ParseGraphTextTest, RejectsMissingWeight) {
+  auto graph = ParseGraphText("", "1 2\n", Directedness::kDirected,
+                              /*weighted=*/true);
+  EXPECT_FALSE(graph.ok());
+}
+
+TEST(ParseGraphTextTest, RejectsSelfLoop) {
+  auto graph = ParseGraphText("", "3 3\n", Directedness::kDirected, false);
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphFilesTest, WriteThenReadRoundTrips) {
+  Graph original = MakeGraph(Directedness::kDirected,
+                             {{1, 2, 0.25}, {2, 9, 4.0}, {9, 1, 1.0}},
+                             /*extra_vertices=*/{50}, /*weighted=*/true);
+  const std::string prefix =
+      (std::filesystem::temp_directory_path() / "ga_edge_list_test").string();
+  ASSERT_TRUE(WriteGraphFiles(original, prefix).ok());
+
+  auto loaded = ReadGraphFiles(prefix, Directedness::kDirected, true);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded->num_edges(), original.num_edges());
+  for (VertexIndex v = 0; v < original.num_vertices(); ++v) {
+    EXPECT_EQ(loaded->ExternalId(v), original.ExternalId(v));
+  }
+  auto weights = loaded->OutWeights(loaded->IndexOf(1));
+  ASSERT_EQ(weights.size(), 1u);
+  EXPECT_DOUBLE_EQ(weights[0], 0.25);
+
+  std::remove((prefix + ".v").c_str());
+  std::remove((prefix + ".e").c_str());
+}
+
+TEST(GraphFilesTest, MissingFileReportsIoError) {
+  auto result = ReadGraphFiles("/nonexistent/prefix",
+                               Directedness::kDirected, false);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace ga

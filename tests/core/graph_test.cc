@@ -1,0 +1,154 @@
+#include "core/graph.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "testing/graph_fixtures.h"
+
+namespace ga {
+namespace {
+
+using ::ga::testing::MakeGraph;
+using ::ga::testing::WeightedEdge;
+
+TEST(GraphBuilderTest, EmptyGraph) {
+  auto graph = std::move(GraphBuilder(Directedness::kDirected)).Build();
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_vertices(), 0);
+  EXPECT_EQ(graph->num_edges(), 0);
+}
+
+TEST(GraphBuilderTest, RemapsSparseExternalIds) {
+  Graph graph = MakeGraph(Directedness::kDirected,
+                          {{1000, 7}, {7, 52}, {52, 1000}});
+  EXPECT_EQ(graph.num_vertices(), 3);
+  EXPECT_EQ(graph.num_edges(), 3);
+  // External ids are densified in sorted order.
+  EXPECT_EQ(graph.ExternalId(0), 7);
+  EXPECT_EQ(graph.ExternalId(1), 52);
+  EXPECT_EQ(graph.ExternalId(2), 1000);
+  EXPECT_EQ(graph.IndexOf(52), 1);
+  EXPECT_EQ(graph.IndexOf(9999), kInvalidVertex);
+}
+
+TEST(GraphBuilderTest, IsolatedVerticesPreserved) {
+  Graph graph =
+      MakeGraph(Directedness::kDirected, {{0, 1}}, /*extra_vertices=*/{5, 9});
+  EXPECT_EQ(graph.num_vertices(), 4);
+  EXPECT_EQ(graph.OutDegree(graph.IndexOf(5)), 0);
+  EXPECT_EQ(graph.InDegree(graph.IndexOf(9)), 0);
+}
+
+TEST(GraphBuilderTest, DirectedAdjacency) {
+  Graph graph = MakeGraph(Directedness::kDirected, {{0, 1}, {0, 2}, {2, 1}});
+  const VertexIndex v0 = graph.IndexOf(0);
+  const VertexIndex v1 = graph.IndexOf(1);
+  const VertexIndex v2 = graph.IndexOf(2);
+  EXPECT_EQ(graph.OutDegree(v0), 2);
+  EXPECT_EQ(graph.InDegree(v0), 0);
+  EXPECT_EQ(graph.OutDegree(v1), 0);
+  EXPECT_EQ(graph.InDegree(v1), 2);
+  auto neighbors = graph.OutNeighbors(v0);
+  EXPECT_EQ(std::vector<VertexIndex>(neighbors.begin(), neighbors.end()),
+            (std::vector<VertexIndex>{v1, v2}));
+  auto in = graph.InNeighbors(v1);
+  EXPECT_EQ(std::vector<VertexIndex>(in.begin(), in.end()),
+            (std::vector<VertexIndex>{v0, v2}));
+}
+
+TEST(GraphBuilderTest, UndirectedAdjacencyContainsBothDirections) {
+  Graph graph = MakeGraph(Directedness::kUndirected, {{0, 1}, {1, 2}});
+  EXPECT_EQ(graph.num_edges(), 2);
+  EXPECT_EQ(graph.num_adjacency_entries(), 4);
+  const VertexIndex v1 = graph.IndexOf(1);
+  EXPECT_EQ(graph.OutDegree(v1), 2);
+  EXPECT_EQ(graph.InDegree(v1), 2);
+}
+
+TEST(GraphBuilderTest, UndirectedDuplicateReversedEdgeIsDropped) {
+  // (0,1) and (1,0) are the same undirected edge.
+  Graph graph = MakeGraph(Directedness::kUndirected, {{0, 1}, {1, 0}});
+  EXPECT_EQ(graph.num_edges(), 1);
+}
+
+TEST(GraphBuilderTest, DirectedReciprocalEdgesAreDistinct) {
+  Graph graph = MakeGraph(Directedness::kDirected, {{0, 1}, {1, 0}});
+  EXPECT_EQ(graph.num_edges(), 2);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsUnderDropPolicy) {
+  Graph graph = MakeGraph(Directedness::kDirected, {{0, 0}, {0, 1}});
+  EXPECT_EQ(graph.num_edges(), 1);
+}
+
+TEST(GraphBuilderTest, RejectPolicyFailsOnSelfLoop) {
+  GraphBuilder builder(Directedness::kDirected, false,
+                       GraphBuilder::AnomalyPolicy::kReject);
+  builder.AddEdge(3, 3);
+  auto result = std::move(builder).Build();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(GraphBuilderTest, RejectPolicyFailsOnDuplicateEdge) {
+  GraphBuilder builder(Directedness::kDirected, false,
+                       GraphBuilder::AnomalyPolicy::kReject);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(1, 2);
+  auto result = std::move(builder).Build();
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(GraphBuilderTest, WeightsFollowAdjacency) {
+  Graph graph = MakeGraph(Directedness::kDirected,
+                          {{0, 2, 2.5}, {0, 1, 1.5}}, {}, /*weighted=*/true);
+  ASSERT_TRUE(graph.is_weighted());
+  const VertexIndex v0 = graph.IndexOf(0);
+  auto neighbors = graph.OutNeighbors(v0);
+  auto weights = graph.OutWeights(v0);
+  ASSERT_EQ(neighbors.size(), 2u);
+  // Neighbours sorted ascending: 1 then 2.
+  EXPECT_EQ(graph.ExternalId(neighbors[0]), 1);
+  EXPECT_DOUBLE_EQ(weights[0], 1.5);
+  EXPECT_DOUBLE_EQ(weights[1], 2.5);
+}
+
+TEST(GraphBuilderTest, InWeightsMatchDirectedEdges) {
+  Graph graph = MakeGraph(Directedness::kDirected, {{0, 1, 4.0}, {2, 1, 9.0}},
+                          {}, /*weighted=*/true);
+  const VertexIndex v1 = graph.IndexOf(1);
+  auto sources = graph.InNeighbors(v1);
+  auto weights = graph.InWeights(v1);
+  ASSERT_EQ(sources.size(), 2u);
+  EXPECT_EQ(graph.ExternalId(sources[0]), 0);
+  EXPECT_DOUBLE_EQ(weights[0], 4.0);
+  EXPECT_DOUBLE_EQ(weights[1], 9.0);
+}
+
+TEST(GraphBuilderTest, MaxDegreesTracked) {
+  Graph graph = testing::MakeStar(11);
+  EXPECT_EQ(graph.max_out_degree(), 10);
+  EXPECT_EQ(graph.max_in_degree(), 10);
+}
+
+TEST(GraphScaleTest, MatchesPaperDatasets) {
+  // Values from Table 3/4 of the paper.
+  EXPECT_NEAR(GraphScale(2390000, 5020000), 6.9, 1e-9);     // wiki-talk
+  EXPECT_NEAR(GraphScale(65600000, 1810000000), 9.3, 1e-9); // friendster
+  EXPECT_NEAR(GraphScale(1670000, 102000000), 8.0, 1e-9);   // datagen-100
+  EXPECT_NEAR(GraphScale(2400000, 64200000), 7.8, 1e-9);    // graph500-22
+}
+
+TEST(GraphTest, EdgesAreCanonicalAndSorted) {
+  Graph graph = MakeGraph(Directedness::kUndirected, {{5, 2}, {1, 4}, {4, 1}});
+  ASSERT_EQ(graph.num_edges(), 2);
+  auto edges = graph.edges();
+  for (const Edge& edge : edges) {
+    EXPECT_LT(edge.source, edge.target);  // canonical orientation
+  }
+  EXPECT_LE(edges[0].source, edges[1].source);
+}
+
+}  // namespace
+}  // namespace ga

@@ -1,0 +1,52 @@
+#include "core/json_writer.h"
+
+#include <gtest/gtest.h>
+
+namespace ga {
+namespace {
+
+TEST(JsonWriterTest, EmptyObject) {
+  JsonWriter writer;
+  writer.BeginObject().EndObject();
+  EXPECT_EQ(writer.str(), "{}");
+}
+
+TEST(JsonWriterTest, FlatObject) {
+  JsonWriter writer;
+  writer.BeginObject()
+      .Field("name", "bfs")
+      .Field("iterations", std::int64_t{20})
+      .Field("ok", true)
+      .EndObject();
+  EXPECT_EQ(writer.str(), R"({"name":"bfs","iterations":20,"ok":true})");
+}
+
+TEST(JsonWriterTest, NestedStructures) {
+  JsonWriter writer;
+  writer.BeginObject().Key("series").BeginArray();
+  writer.Value(std::int64_t{1}).Value(std::int64_t{2});
+  writer.BeginObject().Field("x", 1.5).EndObject();
+  writer.EndArray().EndObject();
+  EXPECT_EQ(writer.str(), R"({"series":[1,2,{"x":1.5}]})");
+}
+
+TEST(JsonWriterTest, EscapesSpecialCharacters) {
+  JsonWriter writer;
+  writer.BeginObject().Field("msg", "a\"b\\c\nd").EndObject();
+  EXPECT_EQ(writer.str(), "{\"msg\":\"a\\\"b\\\\c\\nd\"}");
+}
+
+TEST(JsonWriterTest, DoubleRoundTripsPrecision) {
+  JsonWriter writer;
+  writer.BeginArray().Value(0.1).EndArray();
+  EXPECT_EQ(writer.str(), "[0.10000000000000001]");
+}
+
+TEST(JsonWriterTest, NullValue) {
+  JsonWriter writer;
+  writer.BeginObject().Key("missing").Null().EndObject();
+  EXPECT_EQ(writer.str(), R"({"missing":null})");
+}
+
+}  // namespace
+}  // namespace ga

@@ -1,0 +1,121 @@
+#include "core/partition.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "testing/graph_fixtures.h"
+
+namespace ga {
+namespace {
+
+using ::ga::testing::MakeClique;
+using ::ga::testing::MakeGraph;
+using ::ga::testing::MakeStar;
+
+Graph MakeChainGraph(int n) {
+  std::vector<testing::WeightedEdge> edges;
+  for (int i = 0; i + 1 < n; ++i) edges.push_back({i, i + 1});
+  return MakeGraph(Directedness::kDirected, edges);
+}
+
+TEST(HashPartitionTest, CoversAllVerticesAndParts) {
+  Graph graph = MakeChainGraph(1000);
+  VertexPartition partition = HashPartition(graph, 4);
+  ASSERT_EQ(partition.part_of.size(), 1000u);
+  auto counts = partition.VertexCounts();
+  std::int64_t total = std::accumulate(counts.begin(), counts.end(),
+                                       std::int64_t{0});
+  EXPECT_EQ(total, 1000);
+  for (std::int64_t count : counts) {
+    // A hash partition of 1000 vertices over 4 parts should be roughly even.
+    EXPECT_GT(count, 150);
+    EXPECT_LT(count, 350);
+  }
+}
+
+TEST(HashPartitionTest, DeterministicAcrossCalls) {
+  Graph graph = MakeChainGraph(100);
+  VertexPartition a = HashPartition(graph, 8);
+  VertexPartition b = HashPartition(graph, 8);
+  EXPECT_EQ(a.part_of, b.part_of);
+}
+
+TEST(BalancedRangePartitionTest, BalancesEdges) {
+  // Star graph: hub has degree n-1; balanced ranges must put the hub alone.
+  Graph graph = MakeStar(100);
+  VertexPartition partition = BalancedRangePartition(graph, 2);
+  auto edge_counts = partition.EdgeCounts(graph);
+  std::int64_t total = std::accumulate(edge_counts.begin(), edge_counts.end(),
+                                       std::int64_t{0});
+  EXPECT_EQ(total, graph.num_adjacency_entries());
+  // Neither side should hold everything.
+  EXPECT_GT(edge_counts[0], 0);
+  EXPECT_GT(edge_counts[1], 0);
+}
+
+TEST(BalancedRangePartitionTest, RangesAreContiguous) {
+  Graph graph = MakeChainGraph(50);
+  VertexPartition partition = BalancedRangePartition(graph, 4);
+  for (std::size_t v = 1; v < partition.part_of.size(); ++v) {
+    EXPECT_GE(partition.part_of[v], partition.part_of[v - 1]);
+  }
+}
+
+TEST(CutEdgesTest, SinglePartHasNoCut) {
+  Graph graph = MakeClique(10);
+  VertexPartition partition = HashPartition(graph, 1);
+  EXPECT_EQ(partition.CountCutEdges(graph), 0);
+}
+
+TEST(GreedyVertexCutTest, EveryEdgeAssignedExactlyOnce) {
+  Graph graph = MakeClique(20);
+  EdgePartition partition = GreedyVertexCut(graph, 4);
+  ASSERT_EQ(partition.part_of_edge.size(),
+            static_cast<std::size_t>(graph.num_edges()));
+  std::int64_t total = std::accumulate(partition.edge_counts.begin(),
+                                       partition.edge_counts.end(),
+                                       std::int64_t{0});
+  EXPECT_EQ(total, graph.num_edges());
+  for (int part : partition.part_of_edge) {
+    EXPECT_GE(part, 0);
+    EXPECT_LT(part, 4);
+  }
+}
+
+TEST(GreedyVertexCutTest, ReplicationFactorAtLeastOne) {
+  Graph graph = MakeClique(16);
+  EdgePartition partition = GreedyVertexCut(graph, 4);
+  EXPECT_GE(partition.replication_factor, 1.0);
+  EXPECT_LE(partition.replication_factor, 4.0);
+  EXPECT_GE(partition.NumMirrors(graph), 0);
+}
+
+TEST(GreedyVertexCutTest, SingleMachineNoReplication) {
+  Graph graph = MakeClique(8);
+  EdgePartition partition = GreedyVertexCut(graph, 1);
+  EXPECT_DOUBLE_EQ(partition.replication_factor, 1.0);
+  EXPECT_EQ(partition.NumMirrors(graph), 0);
+}
+
+TEST(GreedyVertexCutTest, MastersAssignedForIsolatedVertices) {
+  Graph graph = MakeGraph(Directedness::kUndirected, {{0, 1}},
+                          /*extra_vertices=*/{7, 8, 9});
+  EdgePartition partition = GreedyVertexCut(graph, 3);
+  for (int master : partition.master_of) {
+    EXPECT_GE(master, 0);
+    EXPECT_LT(master, 3);
+  }
+}
+
+TEST(GreedyVertexCutTest, BalancesCliqueLoad) {
+  Graph graph = MakeClique(40);
+  EdgePartition partition = GreedyVertexCut(graph, 4);
+  auto [min_it, max_it] = std::minmax_element(partition.edge_counts.begin(),
+                                              partition.edge_counts.end());
+  // Greedy vertex-cut keeps load within a generous factor.
+  EXPECT_LE(*max_it, *min_it * 3 + 8);
+}
+
+}  // namespace
+}  // namespace ga

@@ -1,0 +1,66 @@
+#include "core/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace ga {
+namespace {
+
+TEST(SplitMix64Test, DeterministicForSeed) {
+  SplitMix64 a(42);
+  SplitMix64 b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(SplitMix64Test, DifferentSeedsDiverge) {
+  SplitMix64 a(1);
+  SplitMix64 b(2);
+  int differing = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() != b.Next()) ++differing;
+  }
+  EXPECT_GT(differing, 60);
+}
+
+TEST(SplitMix64Test, NextDoubleInUnitInterval) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    double x = rng.NextDouble();
+    EXPECT_GE(x, 0.0);
+    EXPECT_LT(x, 1.0);
+  }
+}
+
+TEST(SplitMix64Test, NextBoundedInRange) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(SplitMix64Test, BoundedCoversAllResidues) {
+  SplitMix64 rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.NextBounded(8));
+  EXPECT_EQ(seen.size(), 8u);
+}
+
+TEST(SplitMix64Test, SplitStreamsAreIndependent) {
+  SplitMix64 parent(123);
+  SplitMix64 child0 = parent.Split(0);
+  SplitMix64 child1 = parent.Split(1);
+  // Streams must differ from each other and be reproducible.
+  SplitMix64 child0_again = parent.Split(0);
+  EXPECT_EQ(child0.Next(), child0_again.Next());
+  EXPECT_NE(child0.Next(), child1.Next());
+}
+
+TEST(Mix64Test, InjectiveOnSmallRange) {
+  std::set<std::uint64_t> seen;
+  for (std::uint64_t i = 0; i < 4096; ++i) seen.insert(Mix64(i));
+  EXPECT_EQ(seen.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace ga

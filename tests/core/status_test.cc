@@ -1,0 +1,91 @@
+#include "core/status.h"
+
+#include <gtest/gtest.h>
+
+namespace ga {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = Status::NotFound("dataset R9");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kNotFound);
+  EXPECT_EQ(status.message(), "dataset R9");
+  EXPECT_EQ(status.ToString(), "NOT_FOUND: dataset R9");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kAlreadyExists, StatusCode::kOutOfMemory,
+        StatusCode::kDeadlineExceeded, StatusCode::kUnsupported,
+        StatusCode::kIoError, StatusCode::kInternal,
+        StatusCode::kFailedPrecondition}) {
+    EXPECT_FALSE(StatusCodeName(code).empty());
+    EXPECT_NE(StatusCodeName(code), "UNKNOWN");
+  }
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(42);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+Status FailingHelper() { return Status::IoError("disk"); }
+
+Status UsesReturnIfError() {
+  GA_RETURN_IF_ERROR(FailingHelper());
+  return Status::Ok();
+}
+
+TEST(StatusMacrosTest, ReturnIfErrorPropagates) {
+  EXPECT_EQ(UsesReturnIfError().code(), StatusCode::kIoError);
+}
+
+Result<int> Double(int x) { return 2 * x; }
+
+Result<int> UsesAssignOrReturn() {
+  GA_ASSIGN_OR_RETURN(int doubled, Double(21));
+  return doubled;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnUnwraps) {
+  auto result = UsesAssignOrReturn();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.value(), 42);
+}
+
+Result<int> FailingResult() { return Status::NotFound("gone"); }
+
+Result<int> AssignOrReturnPropagates() {
+  GA_ASSIGN_OR_RETURN(int value, FailingResult());
+  return value;
+}
+
+TEST(StatusMacrosTest, AssignOrReturnPropagatesError) {
+  auto result = AssignOrReturnPropagates();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace ga

@@ -1,0 +1,164 @@
+#include "datagen/graph500.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/stats.h"
+
+namespace ga::datagen {
+namespace {
+
+TEST(Graph500Test, ProducesRequestedEdgeCount) {
+  Graph500Config config;
+  config.scale = 12;
+  config.num_edges = 20000;
+  config.seed = 7;
+  auto graph = GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_edges(), 20000);
+  EXPECT_EQ(graph->directedness(), Directedness::kUndirected);
+}
+
+TEST(Graph500Test, EdgeFactorDefault) {
+  Graph500Config config;
+  config.scale = 8;
+  config.edge_factor = 4;
+  auto graph = GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_edges(), 4 * 256);
+}
+
+TEST(Graph500Test, DeterministicForSeed) {
+  Graph500Config config;
+  config.scale = 10;
+  config.num_edges = 5000;
+  config.seed = 42;
+  auto a = GenerateGraph500(config);
+  auto b = GenerateGraph500(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_EQ(a->num_edges(), b->num_edges());
+  ASSERT_EQ(a->num_vertices(), b->num_vertices());
+  auto ea = a->edges();
+  auto eb = b->edges();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    EXPECT_EQ(ea[i].source, eb[i].source);
+    EXPECT_EQ(ea[i].target, eb[i].target);
+  }
+}
+
+TEST(Graph500Test, DifferentSeedsDiffer) {
+  Graph500Config config;
+  config.scale = 10;
+  config.num_edges = 5000;
+  config.seed = 1;
+  auto a = GenerateGraph500(config);
+  config.seed = 2;
+  auto b = GenerateGraph500(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  int differing = 0;
+  auto ea = a->edges();
+  auto eb = b->edges();
+  for (std::size_t i = 0; i < std::min(ea.size(), eb.size()); ++i) {
+    if (ea[i].source != eb[i].source || ea[i].target != eb[i].target) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 1000);
+}
+
+TEST(Graph500Test, DegreeDistributionIsSkewed) {
+  Graph500Config config;
+  config.scale = 13;
+  config.num_edges = 1 << 16;
+  auto graph = GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  DegreeStats stats = ComputeDegreeStats(*graph);
+  // R-MAT with a=0.57 yields a power-law-ish distribution: the max degree
+  // is far above the mean and the Gini coefficient is substantial.
+  EXPECT_GT(static_cast<double>(stats.max), 8.0 * stats.mean);
+  EXPECT_GT(stats.gini, 0.3);
+}
+
+TEST(Graph500Test, WeightedEdgesInRange) {
+  Graph500Config config;
+  config.scale = 8;
+  config.num_edges = 1000;
+  config.weighted = true;
+  auto graph = GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  ASSERT_TRUE(graph->is_weighted());
+  for (const Edge& edge : graph->edges()) {
+    EXPECT_GT(edge.weight, 0.0);
+    EXPECT_LE(edge.weight, 1.001);
+  }
+}
+
+TEST(Graph500Test, DirectedVariant) {
+  Graph500Config config;
+  config.scale = 10;
+  config.num_edges = 4000;
+  config.directedness = Directedness::kDirected;
+  auto graph = GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_TRUE(graph->is_directed());
+  EXPECT_EQ(graph->num_edges(), 4000);
+}
+
+TEST(Graph500Test, NoSelfLoopsOrDuplicates) {
+  Graph500Config config;
+  config.scale = 9;
+  config.num_edges = 3000;
+  auto graph = GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  auto edges = graph->edges();
+  for (std::size_t i = 0; i < edges.size(); ++i) {
+    EXPECT_NE(edges[i].source, edges[i].target);
+    if (i > 0) {
+      EXPECT_FALSE(edges[i - 1].source == edges[i].source &&
+                   edges[i - 1].target == edges[i].target);
+    }
+  }
+}
+
+TEST(Graph500Test, RejectsInvalidScale) {
+  Graph500Config config;
+  config.scale = 0;
+  EXPECT_FALSE(GenerateGraph500(config).ok());
+  config.scale = 32;
+  EXPECT_FALSE(GenerateGraph500(config).ok());
+}
+
+TEST(Graph500Test, RejectsInvalidProbabilities) {
+  Graph500Config config;
+  config.scale = 8;
+  config.a = 0.8;
+  config.b = 0.15;
+  config.c = 0.15;  // sums over 1
+  EXPECT_FALSE(GenerateGraph500(config).ok());
+}
+
+TEST(Graph500Test, RejectsOverDenseRequest) {
+  Graph500Config config;
+  config.scale = 4;  // 16 vertices -> at most 120 undirected edges
+  config.num_edges = 10000;
+  EXPECT_FALSE(GenerateGraph500(config).ok());
+}
+
+TEST(Graph500Test, DoublingScaleRoughlyDoublesSize) {
+  // The weak-scaling experiment (Figure 9) relies on each Graph500 scale
+  // being twice the previous.
+  Graph500Config config;
+  config.scale = 10;
+  config.num_edges = 10000;
+  auto small = GenerateGraph500(config);
+  config.scale = 11;
+  config.num_edges = 20000;
+  auto large = GenerateGraph500(config);
+  ASSERT_TRUE(small.ok());
+  ASSERT_TRUE(large.ok());
+  EXPECT_EQ(large->num_edges(), 2 * small->num_edges());
+}
+
+}  // namespace
+}  // namespace ga::datagen

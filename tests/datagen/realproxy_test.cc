@@ -1,0 +1,98 @@
+#include "datagen/realproxy.h"
+
+#include <gtest/gtest.h>
+
+#include "core/graph.h"
+#include "datagen/stats.h"
+
+namespace ga::datagen {
+namespace {
+
+TEST(RealProxyTest, CatalogHasSixDatasetsMatchingTable3) {
+  auto catalog = RealGraphCatalog();
+  ASSERT_EQ(catalog.size(), 6u);
+  // Scale values from Table 3.
+  const double expected_scales[] = {6.9, 7.3, 7.3, 7.7, 9.3, 9.3};
+  for (std::size_t i = 0; i < catalog.size(); ++i) {
+    EXPECT_NEAR(GraphScale(catalog[i].paper_vertices,
+                           catalog[i].paper_edges),
+                expected_scales[i], 0.051)
+        << catalog[i].name;
+  }
+}
+
+TEST(RealProxyTest, FindByIdWorks) {
+  auto spec = FindRealGraphSpec("R4");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_EQ(spec->name, "dota-league");
+  EXPECT_TRUE(spec->weighted);
+  EXPECT_FALSE(FindRealGraphSpec("R9").ok());
+}
+
+TEST(RealProxyTest, DirectednessMatchesOriginals) {
+  EXPECT_EQ(FindRealGraphSpec("R1")->directedness,
+            Directedness::kDirected);  // wiki-talk
+  EXPECT_EQ(FindRealGraphSpec("R5")->directedness,
+            Directedness::kUndirected);  // friendster
+  EXPECT_EQ(FindRealGraphSpec("R6")->directedness,
+            Directedness::kDirected);  // twitter
+}
+
+TEST(RealProxyTest, ProxyMatchesScaledEdgeCount) {
+  auto spec = FindRealGraphSpec("R2");
+  ASSERT_TRUE(spec.ok());
+  auto graph = GenerateRealProxy(*spec, /*scale_divisor=*/1024, /*seed=*/3);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_edges(), spec->paper_edges / 1024);
+  EXPECT_EQ(graph->directedness(), spec->directedness);
+}
+
+TEST(RealProxyTest, DensityRatioRoughlyPreserved) {
+  // dota-league is ~40x denser (|E|/|V|) than wiki-talk; the proxies must
+  // preserve that contrast (it drives the paper's LCC failures on R4).
+  auto wiki = GenerateRealProxy(*FindRealGraphSpec("R1"), 1024, 3);
+  auto dota = GenerateRealProxy(*FindRealGraphSpec("R4"), 1024, 3);
+  ASSERT_TRUE(wiki.ok());
+  ASSERT_TRUE(dota.ok());
+  const double wiki_density =
+      static_cast<double>(wiki->num_edges()) /
+      static_cast<double>(wiki->num_vertices());
+  const double dota_density =
+      static_cast<double>(dota->num_edges()) /
+      static_cast<double>(dota->num_vertices());
+  EXPECT_GT(dota_density, 8.0 * wiki_density);
+}
+
+TEST(RealProxyTest, WeightedOnlyForDota) {
+  for (const RealGraphSpec& spec : RealGraphCatalog()) {
+    EXPECT_EQ(spec.weighted, spec.id == "R4") << spec.name;
+  }
+}
+
+TEST(RealProxyTest, DeterministicForSeed) {
+  auto spec = FindRealGraphSpec("R3");
+  ASSERT_TRUE(spec.ok());
+  auto a = GenerateRealProxy(*spec, 2048, 9);
+  auto b = GenerateRealProxy(*spec, 2048, 9);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->num_vertices(), b->num_vertices());
+  EXPECT_EQ(a->num_edges(), b->num_edges());
+}
+
+TEST(RealProxyTest, RejectsBadDivisor) {
+  auto spec = FindRealGraphSpec("R1");
+  ASSERT_TRUE(spec.ok());
+  EXPECT_FALSE(GenerateRealProxy(*spec, 0, 1).ok());
+}
+
+TEST(RealProxyTest, MinimumSizeFloorApplies) {
+  // Even with a huge divisor the proxy stays a usable small graph.
+  auto spec = FindRealGraphSpec("R1");
+  auto graph = GenerateRealProxy(*spec, 1'000'000'000, 1);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_GE(graph->num_edges(), 256);
+}
+
+}  // namespace
+}  // namespace ga::datagen

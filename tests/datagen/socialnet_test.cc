@@ -1,0 +1,196 @@
+#include "datagen/socialnet.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "datagen/stats.h"
+
+namespace ga::datagen {
+namespace {
+
+SocialNetConfig SmallConfig() {
+  SocialNetConfig config;
+  config.num_persons = 4000;
+  config.avg_degree = 16.0;
+  config.target_clustering = 0.15;
+  config.seed = 11;
+  return config;
+}
+
+TEST(SocialNetTest, ProducesGraphNearTargetDegree) {
+  auto network = GenerateSocialNetwork(SmallConfig());
+  ASSERT_TRUE(network.ok()) << network.status().ToString();
+  const Graph& graph = network->graph;
+  EXPECT_EQ(graph.num_vertices(), 4000);
+  const double mean_degree =
+      2.0 * static_cast<double>(graph.num_edges()) /
+      static_cast<double>(graph.num_vertices());
+  EXPECT_GT(mean_degree, 8.0);
+  EXPECT_LT(mean_degree, 32.0);
+}
+
+TEST(SocialNetTest, DeterministicForSeed) {
+  auto a = GenerateSocialNetwork(SmallConfig());
+  auto b = GenerateSocialNetwork(SmallConfig());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  auto ea = a->graph.edges();
+  auto eb = b->graph.edges();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea[i].source, eb[i].source);
+    ASSERT_EQ(ea[i].target, eb[i].target);
+    ASSERT_EQ(ea[i].weight, eb[i].weight);
+  }
+}
+
+TEST(SocialNetTest, ClusteringKnobIsMonotonic) {
+  // The paper's headline Datagen extension: generating graphs with a
+  // pre-specified clustering coefficient (Figure 2 contrasts 0.05 / 0.3).
+  SocialNetConfig low = SmallConfig();
+  low.target_clustering = 0.05;
+  SocialNetConfig mid = SmallConfig();
+  mid.target_clustering = 0.15;
+  SocialNetConfig high = SmallConfig();
+  high.target_clustering = 0.30;
+
+  auto graph_low = GenerateSocialNetwork(low);
+  auto graph_mid = GenerateSocialNetwork(mid);
+  auto graph_high = GenerateSocialNetwork(high);
+  ASSERT_TRUE(graph_low.ok());
+  ASSERT_TRUE(graph_mid.ok());
+  ASSERT_TRUE(graph_high.ok());
+
+  auto cc_low = AverageClusteringCoefficient(graph_low->graph);
+  auto cc_mid = AverageClusteringCoefficient(graph_mid->graph);
+  auto cc_high = AverageClusteringCoefficient(graph_high->graph);
+  ASSERT_TRUE(cc_low.ok());
+  ASSERT_TRUE(cc_mid.ok());
+  ASSERT_TRUE(cc_high.ok());
+
+  EXPECT_LT(*cc_low, *cc_mid);
+  EXPECT_LT(*cc_mid, *cc_high);
+  // The knob should land in the right neighbourhood, not just order.
+  EXPECT_GT(*cc_high, 0.12);
+  EXPECT_LT(*cc_low, 0.12);
+}
+
+TEST(SocialNetTest, CommunityAssignmentCoversAllPersons) {
+  auto network = GenerateSocialNetwork(SmallConfig());
+  ASSERT_TRUE(network.ok());
+  ASSERT_EQ(network->community_of.size(), 4000u);
+  for (std::int64_t community : network->community_of) {
+    EXPECT_GE(community, 0);
+  }
+  // Consecutive persons share communities (block construction).
+  std::int64_t switches = 0;
+  for (std::size_t i = 1; i < network->community_of.size(); ++i) {
+    if (network->community_of[i] != network->community_of[i - 1]) ++switches;
+  }
+  EXPECT_GT(switches, 4);                 // more than one community
+  EXPECT_LT(switches, 2000);              // communities are blocks
+}
+
+TEST(SocialNetTest, DegreeDistributionIsSkewed) {
+  auto network = GenerateSocialNetwork(SmallConfig());
+  ASSERT_TRUE(network.ok());
+  DegreeStats stats = ComputeDegreeStats(network->graph);
+  EXPECT_GT(static_cast<double>(stats.max), 2.5 * stats.mean);
+}
+
+TEST(SocialNetTest, FlowsProduceIdenticalGraphs) {
+  SocialNetConfig old_flow = SmallConfig();
+  old_flow.flow = DatagenFlow::kOldSequential;
+  SocialNetConfig new_flow = SmallConfig();
+  new_flow.flow = DatagenFlow::kNewIndependent;
+
+  auto a = GenerateSocialNetwork(old_flow);
+  auto b = GenerateSocialNetwork(new_flow);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // Figure 3: the new flow is an execution-plan optimisation; the output
+  // graph must be unchanged.
+  ASSERT_EQ(a->graph.num_edges(), b->graph.num_edges());
+  auto ea = a->graph.edges();
+  auto eb = b->graph.edges();
+  for (std::size_t i = 0; i < ea.size(); ++i) {
+    ASSERT_EQ(ea[i].source, eb[i].source);
+    ASSERT_EQ(ea[i].target, eb[i].target);
+  }
+}
+
+TEST(SocialNetTest, OldFlowSortsMoreRecords) {
+  SocialNetConfig old_flow = SmallConfig();
+  old_flow.flow = DatagenFlow::kOldSequential;
+  SocialNetConfig new_flow = SmallConfig();
+  new_flow.flow = DatagenFlow::kNewIndependent;
+
+  auto a = GenerateSocialNetwork(old_flow);
+  auto b = GenerateSocialNetwork(new_flow);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  // The old flow re-sorts accumulated edges at every step (Figure 3), so
+  // its sort volume must exceed the new flow's per-step sorts; the new
+  // flow pays a merge instead, which is cheaper than repeated sorting.
+  EXPECT_GT(a->cost.TotalSorted(), b->cost.TotalSorted());
+}
+
+TEST(SocialNetTest, EstimateTracksActualCost) {
+  SocialNetConfig config = SmallConfig();
+  config.num_persons = 8000;
+  auto actual = GenerateSocialNetwork(config);
+  ASSERT_TRUE(actual.ok());
+  GenerationCost estimate = EstimateGenerationCost(config);
+  ASSERT_EQ(estimate.steps.size(), actual->cost.steps.size());
+  const double actual_sorted =
+      static_cast<double>(actual->cost.TotalSorted());
+  const double estimated_sorted =
+      static_cast<double>(estimate.TotalSorted());
+  EXPECT_LT(std::fabs(actual_sorted - estimated_sorted),
+            0.25 * actual_sorted)
+      << "estimate " << estimated_sorted << " vs actual " << actual_sorted;
+}
+
+TEST(SocialNetTest, EstimateScalesSuperlinearlyInOldFlow) {
+  SocialNetConfig config = SmallConfig();
+  config.flow = DatagenFlow::kOldSequential;
+  GenerationCost small = EstimateGenerationCost(config);
+  config.num_persons *= 10;
+  GenerationCost large = EstimateGenerationCost(config);
+  // Old-flow sort volume grows linearly in n here (degree constant), but
+  // must be >= 10x; the ratio new/old grows with edge volume.
+  EXPECT_GE(large.TotalSorted(), 10 * small.TotalSorted() * 9 / 10);
+}
+
+TEST(SocialNetTest, WeightsAttachedWhenRequested) {
+  SocialNetConfig config = SmallConfig();
+  config.weighted = true;
+  auto network = GenerateSocialNetwork(config);
+  ASSERT_TRUE(network.ok());
+  EXPECT_TRUE(network->graph.is_weighted());
+  for (const Edge& edge : network->graph.edges()) {
+    EXPECT_GT(edge.weight, 0.0);
+  }
+}
+
+TEST(SocialNetTest, RejectsInvalidConfig) {
+  SocialNetConfig config = SmallConfig();
+  config.num_persons = 1;
+  EXPECT_FALSE(GenerateSocialNetwork(config).ok());
+
+  config = SmallConfig();
+  config.target_clustering = 0.9;
+  EXPECT_FALSE(GenerateSocialNetwork(config).ok());
+
+  config = SmallConfig();
+  config.correlation_steps = 0;
+  EXPECT_FALSE(GenerateSocialNetwork(config).ok());
+
+  config = SmallConfig();
+  config.avg_degree = -1;
+  EXPECT_FALSE(GenerateSocialNetwork(config).ok());
+}
+
+}  // namespace
+}  // namespace ga::datagen

@@ -1,0 +1,87 @@
+#include <gtest/gtest.h>
+
+#include "granula/archive.h"
+#include "granula/model.h"
+
+namespace ga::granula {
+namespace {
+
+std::unique_ptr<Operation> BuildSampleModel() {
+  auto job = std::make_unique<Operation>("bsplite", std::string(kMissionJob));
+  job->Begin(0.0, 0.0);
+  Operation* load = job->AddChild("bsplite",
+                                  std::string(kMissionUploadGraph));
+  load->Begin(0.0, 0.0);
+  load->End(2.0, 0.1);
+  Operation* process = job->AddChild("bsplite",
+                                     std::string(kMissionProcessGraph));
+  process->Begin(2.0, 0.1);
+  for (int i = 0; i < 3; ++i) {
+    Operation* step = process->AddChild("engine",
+                                        std::string(kMissionSuperstep));
+    step->Begin(2.0 + i, 0.0);
+    step->End(3.0 + i, 0.0);
+    step->AddInfo("vertices_processed", std::to_string(100 * (i + 1)));
+  }
+  process->End(5.0, 0.4);
+  job->End(5.0, 0.5);
+  return job;
+}
+
+TEST(GranulaModelTest, DurationsFromTimestamps) {
+  auto job = BuildSampleModel();
+  EXPECT_DOUBLE_EQ(job->SimDuration(), 5.0);
+  EXPECT_DOUBLE_EQ(job->Find(kMissionUploadGraph)->SimDuration(), 2.0);
+  EXPECT_DOUBLE_EQ(job->Find(kMissionProcessGraph)->SimDuration(), 3.0);
+  EXPECT_DOUBLE_EQ(job->WallDuration(), 0.5);
+}
+
+TEST(GranulaModelTest, FindSearchesRecursively) {
+  auto job = BuildSampleModel();
+  const Operation* step = job->Find(kMissionSuperstep);
+  ASSERT_NE(step, nullptr);
+  EXPECT_EQ(step->SimDuration(), 1.0);
+  EXPECT_EQ(job->Find("NoSuchMission"), nullptr);
+}
+
+TEST(GranulaModelTest, TotalSimDurationSumsAllMatches) {
+  auto job = BuildSampleModel();
+  // Three supersteps of 1 simulated second each.
+  EXPECT_DOUBLE_EQ(job->TotalSimDuration(kMissionSuperstep), 3.0);
+}
+
+TEST(GranulaModelTest, InfoIsRecorded) {
+  auto job = BuildSampleModel();
+  const Operation* step = job->Find(kMissionSuperstep);
+  ASSERT_NE(step, nullptr);
+  auto it = step->info().find("vertices_processed");
+  ASSERT_NE(it, step->info().end());
+  EXPECT_EQ(it->second, "100");
+}
+
+TEST(GranulaArchiveTest, JsonContainsHierarchy) {
+  Archive archive(BuildSampleModel());
+  const std::string json = archive.ToJson();
+  EXPECT_NE(json.find("\"mission\":\"Job\""), std::string::npos);
+  EXPECT_NE(json.find("\"mission\":\"ProcessGraph\""), std::string::npos);
+  EXPECT_NE(json.find("\"mission\":\"Superstep\""), std::string::npos);
+  EXPECT_NE(json.find("\"sim_duration_s\""), std::string::npos);
+  EXPECT_NE(json.find("\"vertices_processed\":\"100\""), std::string::npos);
+  // Balanced braces (cheap well-formedness check).
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(GranulaVisualizerTest, TextTreeShowsPhasesAndShares) {
+  auto job = BuildSampleModel();
+  const std::string text = RenderText(*job);
+  EXPECT_NE(text.find("bsplite/Job"), std::string::npos);
+  EXPECT_NE(text.find("bsplite/ProcessGraph"), std::string::npos);
+  // ProcessGraph is 3 of 5 simulated seconds = 60%.
+  EXPECT_NE(text.find("(60.0%)"), std::string::npos);
+  // Nested supersteps are indented below ProcessGraph.
+  EXPECT_NE(text.find("  engine/Superstep"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ga::granula

@@ -1,0 +1,121 @@
+#include "harness/dataset_registry.h"
+
+#include <gtest/gtest.h>
+
+namespace ga::harness {
+namespace {
+
+BenchmarkConfig SmallConfig() {
+  BenchmarkConfig config;
+  config.scale_divisor = 16384;  // tiny instances for fast tests
+  config.seed = 7;
+  return config;
+}
+
+TEST(DatasetRegistryTest, CatalogueMatchesTables3And4) {
+  DatasetRegistry registry(SmallConfig());
+  ASSERT_EQ(registry.specs().size(), 16u);  // 6 real + 5 datagen + 5 g500
+  // Spot-check ids and classes from the paper.
+  EXPECT_EQ(registry.Find("R1")->scale_label, "2XS");
+  EXPECT_EQ(registry.Find("R4")->scale_label, "S");
+  EXPECT_EQ(registry.Find("R5")->scale_label, "XL");
+  EXPECT_EQ(registry.Find("D100")->scale_label, "M");
+  EXPECT_EQ(registry.Find("D300")->scale_label, "L");
+  EXPECT_EQ(registry.Find("D1000")->scale_label, "XL");
+  EXPECT_EQ(registry.Find("G22")->scale_label, "S");
+  EXPECT_EQ(registry.Find("G24")->scale_label, "M");
+  EXPECT_EQ(registry.Find("G26")->scale_label, "XL");
+}
+
+TEST(DatasetRegistryTest, UnknownIdRejected) {
+  DatasetRegistry registry(SmallConfig());
+  EXPECT_FALSE(registry.Find("R99").ok());
+  EXPECT_FALSE(registry.Load("R99").ok());
+}
+
+TEST(DatasetRegistryTest, LoadProducesScaledGraph) {
+  DatasetRegistry registry(SmallConfig());
+  auto graph = registry.Load("G22");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  auto spec = registry.Find("G22");
+  // Edge count ~ paper / divisor (exactly, for Graph500 datasets).
+  EXPECT_EQ((*graph)->num_edges(),
+            spec->paper_edges / SmallConfig().scale_divisor);
+}
+
+TEST(DatasetRegistryTest, LoadIsCached) {
+  DatasetRegistry registry(SmallConfig());
+  auto first = registry.Load("R1");
+  auto second = registry.Load("R1");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(*first, *second);  // same pointer
+  registry.Evict("R1");
+  auto third = registry.Load("R1");
+  ASSERT_TRUE(third.ok());
+}
+
+TEST(DatasetRegistryTest, DirectednessAndWeightsPerCatalogue) {
+  DatasetRegistry registry(SmallConfig());
+  auto wiki = registry.Load("R1");
+  ASSERT_TRUE(wiki.ok());
+  EXPECT_TRUE((*wiki)->is_directed());
+  auto dota = registry.Load("R4");
+  ASSERT_TRUE(dota.ok());
+  EXPECT_FALSE((*dota)->is_directed());
+  EXPECT_TRUE((*dota)->is_weighted());
+  auto d300 = registry.Load("D300");
+  ASSERT_TRUE(d300.ok());
+  EXPECT_TRUE((*d300)->is_weighted());  // SSSP runs on D300 (Figure 6)
+  auto g22 = registry.Load("G22");
+  ASSERT_TRUE(g22.ok());
+  EXPECT_FALSE((*g22)->is_weighted());
+}
+
+TEST(DatasetRegistryTest, ClusteringVariantsDiffer) {
+  // D100' (cc=0.05) must be less clustered than D100'' (cc=0.15);
+  // the tunable-CC property of the new Datagen (Section 2.5.1).
+  BenchmarkConfig config = SmallConfig();
+  config.scale_divisor = 2048;
+  DatasetRegistry registry(config);
+  auto low = registry.Find("D100cc005");
+  auto high = registry.Find("D100cc015");
+  ASSERT_TRUE(low.ok());
+  ASSERT_TRUE(high.ok());
+  EXPECT_LT(low->target_clustering, high->target_clustering);
+}
+
+TEST(DatasetRegistryTest, ParamsUseHighestDegreeRoot) {
+  DatasetRegistry registry(SmallConfig());
+  auto params = registry.ParamsFor("G22");
+  ASSERT_TRUE(params.ok());
+  auto graph = registry.Load("G22");
+  ASSERT_TRUE(graph.ok());
+  const VertexIndex root = (*graph)->IndexOf(params->source_vertex);
+  ASSERT_NE(root, kInvalidVertex);
+  EXPECT_EQ((*graph)->OutDegree(root), (*graph)->max_out_degree());
+  EXPECT_EQ(params->pagerank_iterations, 20);
+  EXPECT_EQ(params->cdlp_iterations, 10);
+}
+
+TEST(DatasetRegistryTest, DeterministicAcrossInstances) {
+  DatasetRegistry a(SmallConfig());
+  DatasetRegistry b(SmallConfig());
+  auto graph_a = a.Load("G23");
+  auto graph_b = b.Load("G23");
+  ASSERT_TRUE(graph_a.ok());
+  ASSERT_TRUE(graph_b.ok());
+  EXPECT_EQ((*graph_a)->num_vertices(), (*graph_b)->num_vertices());
+  EXPECT_EQ((*graph_a)->num_edges(), (*graph_b)->num_edges());
+}
+
+TEST(BenchmarkConfigTest, ProjectionAndBudget) {
+  BenchmarkConfig config;
+  config.scale_divisor = 1024;
+  EXPECT_DOUBLE_EQ(config.Project(0.5), 512.0);
+  EXPECT_EQ(config.ScaledMemoryBudget(),
+            64LL * 1024 * 1024 * 1024 / 1024);
+}
+
+}  // namespace
+}  // namespace ga::harness

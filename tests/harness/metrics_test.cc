@@ -1,0 +1,55 @@
+#include "harness/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ga::harness {
+namespace {
+
+TEST(MetricsTest, EpsDefinition) {
+  // EPS = |E| / T_proc (Section 2.3).
+  EXPECT_DOUBLE_EQ(Eps(1'000'000, 2.0), 500'000.0);
+  EXPECT_DOUBLE_EQ(Eps(100, 0.0), 0.0);
+}
+
+TEST(MetricsTest, EvpsDefinition) {
+  // EVPS = (|V| + |E|) / T_proc.
+  EXPECT_DOUBLE_EQ(Evps(10, 90, 1.0), 100.0);
+}
+
+TEST(MetricsTest, SpeedupDefinition) {
+  EXPECT_DOUBLE_EQ(Speedup(10.0, 2.0), 5.0);
+  EXPECT_DOUBLE_EQ(Speedup(10.0, 0.0), 0.0);
+}
+
+TEST(MetricsTest, MeanAndStddev) {
+  std::vector<double> samples = {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0};
+  EXPECT_DOUBLE_EQ(Mean(samples), 5.0);
+  EXPECT_NEAR(StandardDeviation(samples), 2.138, 1e-3);
+}
+
+TEST(MetricsTest, CvIsScaleInvariant) {
+  // "The main advantage of this metric is its independence of the scale
+  // of the results" (Section 2.3).
+  std::vector<double> small = {1.0, 1.1, 0.9};
+  std::vector<double> large = {1000.0, 1100.0, 900.0};
+  EXPECT_NEAR(CoefficientOfVariation(small),
+              CoefficientOfVariation(large), 1e-12);
+}
+
+TEST(MetricsTest, CvOfConstantIsZero) {
+  std::vector<double> constant = {3.0, 3.0, 3.0};
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(constant), 0.0);
+}
+
+TEST(MetricsTest, EmptyAndSingletonSamples) {
+  std::vector<double> empty;
+  std::vector<double> one = {5.0};
+  EXPECT_DOUBLE_EQ(Mean(empty), 0.0);
+  EXPECT_DOUBLE_EQ(StandardDeviation(one), 0.0);
+  EXPECT_DOUBLE_EQ(CoefficientOfVariation(one), 0.0);
+}
+
+}  // namespace
+}  // namespace ga::harness

@@ -1,0 +1,46 @@
+#include "harness/renewal.h"
+
+#include <gtest/gtest.h>
+
+namespace ga::harness {
+namespace {
+
+TEST(RenewalTest, DefaultConfigurationRecommendsClassL) {
+  // Paper §2.2.4 + §2.4: with the paper's catalogue and machines, the
+  // reference class is L — the XL class contains graphs (friendster and
+  // twitter at scale 9.3) that no single machine can process.
+  BenchmarkRunner runner{BenchmarkConfig{}};
+  auto renewal = EvaluateClassL(runner);
+  ASSERT_TRUE(renewal.ok()) << renewal.status().ToString();
+  EXPECT_EQ(renewal->recommended_class_l, "L");
+
+  // Every dataset below class XL is processable by someone.
+  for (const DatasetEvidence& evidence : renewal->evidence) {
+    if (evidence.paper_scale < 9.0) {
+      EXPECT_FALSE(evidence.best_platform.empty()) << evidence.dataset_id;
+    }
+  }
+  // R5 (friendster, scale 9.3) defeats every platform on one machine.
+  for (const DatasetEvidence& evidence : renewal->evidence) {
+    if (evidence.dataset_id == "R5") {
+      EXPECT_TRUE(evidence.best_platform.empty());
+    }
+  }
+}
+
+TEST(RenewalTest, EvidenceCoversCatalogue) {
+  BenchmarkRunner runner{BenchmarkConfig{}};
+  auto renewal = EvaluateClassL(runner);
+  ASSERT_TRUE(renewal.ok());
+  EXPECT_EQ(renewal->evidence.size(),
+            runner.registry().specs().size());
+  // The fast engines win the capacity races they survive.
+  for (const DatasetEvidence& evidence : renewal->evidence) {
+    if (evidence.dataset_id == "D300") {
+      EXPECT_EQ(evidence.best_platform, "pushpull");
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ga::harness

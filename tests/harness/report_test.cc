@@ -1,0 +1,52 @@
+#include "harness/report.h"
+
+#include <gtest/gtest.h>
+
+namespace ga::harness {
+namespace {
+
+TEST(TextTableTest, RendersAlignedColumns) {
+  TextTable table("demo", {"name", "value"});
+  table.AddRow({"bfs", "1.0s"});
+  table.AddRow({"pagerank", "20.5s"});
+  const std::string text = table.Render();
+  EXPECT_NE(text.find("== demo =="), std::string::npos);
+  EXPECT_NE(text.find("name      value"), std::string::npos);
+  EXPECT_NE(text.find("pagerank  20.5s"), std::string::npos);
+}
+
+TEST(TextTableTest, CsvEscapesSpecials) {
+  TextTable table("demo", {"a", "b"});
+  table.AddRow({"plain", "with,comma"});
+  table.AddRow({"quote\"inside", "x"});
+  const std::string csv = table.RenderCsv();
+  EXPECT_NE(csv.find("\"with,comma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"quote\"\"inside\""), std::string::npos);
+}
+
+TEST(FormatSecondsTest, PicksSensibleUnits) {
+  EXPECT_EQ(FormatSeconds(0.0000005), "0us");
+  EXPECT_EQ(FormatSeconds(0.0005), "500us");
+  EXPECT_EQ(FormatSeconds(0.25), "250ms");
+  EXPECT_EQ(FormatSeconds(2.5), "2.50s");
+  EXPECT_EQ(FormatSeconds(150.0), "2m 30s");
+  EXPECT_EQ(FormatSeconds(7300.0), "2.0h");
+  EXPECT_EQ(FormatSeconds(-1.0), "n/a");
+}
+
+TEST(FormatThroughputTest, Suffixes) {
+  EXPECT_EQ(FormatThroughput(1.5e9), "1.50G");
+  EXPECT_EQ(FormatThroughput(2.5e6), "2.50M");
+  EXPECT_EQ(FormatThroughput(3.2e3), "3.2k");
+  EXPECT_EQ(FormatThroughput(12.0), "12.0");
+}
+
+TEST(FormatCountTest, Suffixes) {
+  EXPECT_EQ(FormatCount(1'810'000'000), "1.81B");
+  EXPECT_EQ(FormatCount(5'020'000), "5.02M");
+  EXPECT_EQ(FormatCount(2'500), "2.5k");
+  EXPECT_EQ(FormatCount(42), "42");
+}
+
+}  // namespace
+}  // namespace ga::harness

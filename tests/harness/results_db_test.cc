@@ -1,0 +1,92 @@
+#include "harness/results_db.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+namespace ga::harness {
+namespace {
+
+JobReport MakeReport(const std::string& platform,
+                     const std::string& dataset, Algorithm algorithm,
+                     JobOutcome outcome, double tproc) {
+  JobReport report;
+  report.spec.platform_id = platform;
+  report.spec.dataset_id = dataset;
+  report.spec.algorithm = algorithm;
+  report.outcome = outcome;
+  report.tproc_seconds = tproc;
+  report.makespan_seconds = tproc * 2;
+  report.eps = 1000.0;
+  report.evps = 1100.0;
+  report.output_validated = outcome == JobOutcome::kCompleted;
+  if (outcome != JobOutcome::kCompleted) report.failure = "boom";
+  return report;
+}
+
+TEST(ResultsDatabaseTest, RecordsAndFiltersCompleted) {
+  ResultsDatabase db(BenchmarkConfig{});
+  db.Record(MakeReport("spmat", "R1", Algorithm::kBfs,
+                       JobOutcome::kCompleted, 1.0));
+  db.Record(MakeReport("bsplite", "R1", Algorithm::kBfs,
+                       JobOutcome::kCrashed, 0.0));
+  EXPECT_EQ(db.size(), 2u);
+  EXPECT_EQ(db.Completed().size(), 1u);
+}
+
+TEST(ResultsDatabaseTest, BestForPicksLowestTproc) {
+  ResultsDatabase db(BenchmarkConfig{});
+  db.Record(MakeReport("bsplite", "R1", Algorithm::kBfs,
+                       JobOutcome::kCompleted, 20.0));
+  db.Record(MakeReport("spmat", "R1", Algorithm::kBfs,
+                       JobOutcome::kCompleted, 0.5));
+  db.Record(MakeReport("pushpull", "R1", Algorithm::kPageRank,
+                       JobOutcome::kCompleted, 0.1));  // other workload
+  const JobReport* best = db.BestFor("R1", Algorithm::kBfs);
+  ASSERT_NE(best, nullptr);
+  EXPECT_EQ(best->spec.platform_id, "spmat");
+  EXPECT_EQ(db.BestFor("R9", Algorithm::kBfs), nullptr);
+}
+
+TEST(ResultsDatabaseTest, JsonContainsConfigurationAndRecords) {
+  BenchmarkConfig config;
+  config.scale_divisor = 512;
+  ResultsDatabase db(config);
+  db.Record(MakeReport("gaslite", "D300", Algorithm::kWcc,
+                       JobOutcome::kCompleted, 3.25));
+  db.Record(MakeReport("dataflow", "D300", Algorithm::kCdlp,
+                       JobOutcome::kCrashed, 0.0));
+  const std::string json = db.ToJson();
+  EXPECT_NE(json.find("\"scale_divisor\":512"), std::string::npos);
+  EXPECT_NE(json.find("\"platform\":\"gaslite\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"completed\""), std::string::npos);
+  EXPECT_NE(json.find("\"outcome\":\"crashed\""), std::string::npos);
+  EXPECT_NE(json.find("\"failure\":\"boom\""), std::string::npos);
+  EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
+            std::count(json.begin(), json.end(), '}'));
+}
+
+TEST(ResultsDatabaseTest, WritesJsonFile) {
+  ResultsDatabase db(BenchmarkConfig{});
+  db.Record(MakeReport("spmat", "R1", Algorithm::kBfs,
+                       JobOutcome::kCompleted, 1.0));
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ga_results_test.json")
+          .string();
+  ASSERT_TRUE(db.WriteJsonFile(path).ok());
+  std::ifstream in(path);
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_EQ(contents, db.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(ResultsDatabaseTest, WriteToBadPathFails) {
+  ResultsDatabase db(BenchmarkConfig{});
+  EXPECT_FALSE(db.WriteJsonFile("/nonexistent/dir/results.json").ok());
+}
+
+}  // namespace
+}  // namespace ga::harness

@@ -1,0 +1,168 @@
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+namespace ga::harness {
+namespace {
+
+BenchmarkConfig FastConfig() {
+  BenchmarkConfig config;
+  config.scale_divisor = 16384;
+  config.seed = 13;
+  return config;
+}
+
+TEST(BenchmarkRunnerTest, CompletedJobHasValidatedOutputAndMetrics) {
+  BenchmarkRunner runner(FastConfig());
+  JobSpec spec;
+  spec.platform_id = "spmat";
+  spec.dataset_id = "R1";
+  spec.algorithm = Algorithm::kBfs;
+  auto report = runner.Run(spec);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  EXPECT_EQ(report->outcome, JobOutcome::kCompleted);
+  EXPECT_TRUE(report->output_validated);
+  EXPECT_GT(report->tproc_seconds, 0.0);
+  EXPECT_GT(report->makespan_seconds, report->tproc_seconds);
+  EXPECT_GT(report->eps, 0.0);
+  EXPECT_GT(report->evps, report->eps);  // EVPS adds vertices
+}
+
+TEST(BenchmarkRunnerTest, UnknownPlatformOrDatasetIsStatusError) {
+  BenchmarkRunner runner(FastConfig());
+  JobSpec spec;
+  spec.platform_id = "nope";
+  spec.dataset_id = "R1";
+  EXPECT_FALSE(runner.Run(spec).ok());
+  spec.platform_id = "spmat";
+  spec.dataset_id = "R99";
+  EXPECT_FALSE(runner.Run(spec).ok());
+}
+
+TEST(BenchmarkRunnerTest, UnsupportedWorkloadReported) {
+  BenchmarkRunner runner(FastConfig());
+  JobSpec spec;
+  spec.platform_id = "pushpull";  // no LCC (paper Figure 6 "NA")
+  spec.dataset_id = "R1";
+  spec.algorithm = Algorithm::kLcc;
+  auto report = runner.Run(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outcome, JobOutcome::kUnsupported);
+}
+
+TEST(BenchmarkRunnerTest, SingleMachinePlatformOnClusterUnsupported) {
+  BenchmarkRunner runner(FastConfig());
+  JobSpec spec;
+  spec.platform_id = "nativekernel";
+  spec.dataset_id = "R1";
+  spec.num_machines = 4;
+  auto report = runner.Run(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outcome, JobOutcome::kUnsupported);
+}
+
+TEST(BenchmarkRunnerTest, RepetitionsProduceJitteredSamples) {
+  BenchmarkRunner runner(FastConfig());
+  JobSpec spec;
+  spec.platform_id = "gaslite";
+  spec.dataset_id = "R2";
+  spec.algorithm = Algorithm::kBfs;
+  spec.repetitions = 10;
+  auto report = runner.Run(spec);
+  ASSERT_TRUE(report.ok());
+  ASSERT_EQ(report->tproc_samples.size(), 10u);
+  EXPECT_GT(report->tproc_cv, 0.0);
+  // All platforms stay below 10% CV (paper §4.7); allow slack for the
+  // small sample size.
+  EXPECT_LT(report->tproc_cv, 0.12);
+}
+
+TEST(BenchmarkRunnerTest, JitterIsDeterministic) {
+  BenchmarkRunner runner_a(FastConfig());
+  BenchmarkRunner runner_b(FastConfig());
+  JobSpec spec;
+  spec.platform_id = "spmat";
+  spec.dataset_id = "R2";
+  spec.repetitions = 5;
+  auto a = runner_a.Run(spec);
+  auto b = runner_b.Run(spec);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->tproc_samples, b->tproc_samples);
+}
+
+TEST(BenchmarkRunnerTest, VariabilityOrderingFollowsTable11) {
+  // GraphMat and PGX.D vary most, PowerGraph least (paper §4.7).
+  BenchmarkRunner runner(FastConfig());
+  auto cv_of = [&](const char* platform) {
+    JobSpec spec;
+    spec.platform_id = platform;
+    spec.dataset_id = "R2";
+    spec.repetitions = 10;
+    auto report = runner.Run(spec);
+    EXPECT_TRUE(report.ok());
+    return report->tproc_cv;
+  };
+  const double gaslite = cv_of("gaslite");
+  const double spmat = cv_of("spmat");
+  const double pushpull = cv_of("pushpull");
+  EXPECT_LT(gaslite, spmat);
+  EXPECT_LT(gaslite, pushpull);
+}
+
+TEST(BenchmarkRunnerTest, CrashedJobReportsOutcome) {
+  BenchmarkConfig config = FastConfig();
+  config.machine_memory_bytes = 64LL * 1024;  // absurdly tight budget
+  BenchmarkRunner runner(config);
+  JobSpec spec;
+  spec.platform_id = "bsplite";
+  spec.dataset_id = "R2";
+  auto report = runner.Run(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outcome, JobOutcome::kCrashed);
+  EXPECT_FALSE(report->failure.empty());
+}
+
+TEST(BenchmarkRunnerTest, SlaBreachReportsTimeout) {
+  BenchmarkConfig config = FastConfig();
+  config.sla_projected_seconds = 1e-9;  // nothing can meet this
+  BenchmarkRunner runner(config);
+  JobSpec spec;
+  spec.platform_id = "spmat";
+  spec.dataset_id = "R1";
+  auto report = runner.Run(spec);
+  ASSERT_TRUE(report.ok());
+  EXPECT_EQ(report->outcome, JobOutcome::kTimedOut);
+}
+
+TEST(BenchmarkRunnerTest, EveryPlatformValidatesOnEveryAlgorithm) {
+  // End-to-end sweep through the harness on a small weighted dataset.
+  BenchmarkRunner runner(FastConfig());
+  for (const std::string& platform : platform::AllPlatformIds()) {
+    for (Algorithm algorithm : kAllAlgorithms) {
+      JobSpec spec;
+      spec.platform_id = platform;
+      spec.dataset_id = "R4";  // weighted: SSSP works
+      spec.algorithm = algorithm;
+      auto report = runner.Run(spec);
+      ASSERT_TRUE(report.ok()) << platform;
+      if (report->outcome == JobOutcome::kCompleted) {
+        EXPECT_TRUE(report->output_validated)
+            << platform << "/" << AlgorithmName(algorithm);
+      } else {
+        // The only acceptable non-completions at this scale: unsupported
+        // combinations, LCC memory blowups, and GraphX's CDLP (which the
+        // paper reports as unable to complete at any scale).
+        const bool graphx_cdlp =
+            platform == "dataflow" && algorithm == Algorithm::kCdlp;
+        EXPECT_TRUE(report->outcome == JobOutcome::kUnsupported ||
+                    algorithm == Algorithm::kLcc || graphx_cdlp)
+            << platform << "/" << AlgorithmName(algorithm) << ": "
+            << report->failure;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ga::harness

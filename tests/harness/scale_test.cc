@@ -1,0 +1,60 @@
+#include "harness/scale.h"
+
+#include <gtest/gtest.h>
+
+namespace ga::harness {
+namespace {
+
+TEST(ScaleTest, MatchesPaperTable3Values) {
+  EXPECT_NEAR(ComputeScale(2'390'000, 5'020'000), 6.9, 1e-9);   // wiki-talk
+  EXPECT_NEAR(ComputeScale(830'000, 17'900'000), 7.3, 1e-9);    // kgs
+  EXPECT_NEAR(ComputeScale(610'000, 50'900'000), 7.7, 1e-9);    // dota
+  EXPECT_NEAR(ComputeScale(65'600'000, 1'810'000'000), 9.3, 1e-9);
+}
+
+TEST(ScaleTest, MatchesPaperTable4Values) {
+  EXPECT_NEAR(ComputeScale(1'670'000, 102'000'000), 8.0, 1e-9);  // D100
+  EXPECT_NEAR(ComputeScale(4'350'000, 304'000'000), 8.5, 1e-9);  // D300
+  EXPECT_NEAR(ComputeScale(12'800'000, 1'010'000'000), 9.0, 1e-9);
+  EXPECT_NEAR(ComputeScale(2'400'000, 64'200'000), 7.8, 1e-9);   // G22
+  EXPECT_NEAR(ComputeScale(32'800'000, 1'050'000'000), 9.0, 1e-9);
+}
+
+// Table 2 of the paper, row by row.
+TEST(ScaleClassTest, Table2Mapping) {
+  EXPECT_EQ(ScaleClassLabel(6.9), "2XS");
+  EXPECT_EQ(ScaleClassLabel(7.0), "XS");
+  EXPECT_EQ(ScaleClassLabel(7.4), "XS");
+  EXPECT_EQ(ScaleClassLabel(7.5), "S");
+  EXPECT_EQ(ScaleClassLabel(7.9), "S");
+  EXPECT_EQ(ScaleClassLabel(8.0), "M");
+  EXPECT_EQ(ScaleClassLabel(8.4), "M");
+  EXPECT_EQ(ScaleClassLabel(8.5), "L");
+  EXPECT_EQ(ScaleClassLabel(8.9), "L");
+  EXPECT_EQ(ScaleClassLabel(9.0), "XL");
+  EXPECT_EQ(ScaleClassLabel(9.4), "XL");
+  EXPECT_EQ(ScaleClassLabel(9.5), "2XL");
+}
+
+// "with extra (X) prepended to indicate smaller and larger classes to
+// make extremes such as 2XS and 3XL possible" (Section 2.2.4).
+TEST(ScaleClassTest, OpenEndedExtremes) {
+  EXPECT_EQ(ScaleClassLabel(6.4), "3XS");
+  EXPECT_EQ(ScaleClassLabel(5.9), "4XS");
+  EXPECT_EQ(ScaleClassLabel(10.0), "3XL");
+  EXPECT_EQ(ScaleClassLabel(10.5), "4XL");
+}
+
+TEST(ScaleClassTest, BoundariesAreHalfOpen) {
+  // [8.5, 9.0) is L; exactly 9.0 is XL.
+  EXPECT_EQ(ScaleClassLabel(8.999), "L");
+  EXPECT_EQ(ScaleClassLabel(9.0), "XL");
+}
+
+TEST(ScaleClassTest, GraphSizeOverload) {
+  // datagen-300: scale 8.5 -> L.
+  EXPECT_EQ(ScaleClassLabel(4'350'000, 304'000'000), "L");
+}
+
+}  // namespace
+}  // namespace ga::harness

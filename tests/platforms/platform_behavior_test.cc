@@ -1,0 +1,257 @@
+// Behavioural tests of the platform layer: support matrix, metrics,
+// Granula archives, memory crashes, and scaling-model sanity.
+#include <gtest/gtest.h>
+
+#include "algo/reference.h"
+#include "datagen/graph500.h"
+#include "platforms/platform.h"
+#include "platforms/spmat.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::platform {
+namespace {
+
+Graph TestGraph(int scale = 10, std::int64_t edges = 5000) {
+  datagen::Graph500Config config;
+  config.scale = scale;
+  config.num_edges = edges;
+  config.weighted = true;
+  config.seed = 3;
+  auto graph = datagen::GenerateGraph500(config);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+ExecutionEnvironment RoomyEnv(int machines = 1, int threads = 8) {
+  ExecutionEnvironment env;
+  env.num_machines = machines;
+  env.threads_per_machine = threads;
+  env.memory_budget_bytes = 1LL << 30;
+  return env;
+}
+
+TEST(PlatformRegistryTest, SixPlatformsInTable5Order) {
+  auto ids = AllPlatformIds();
+  ASSERT_EQ(ids.size(), 6u);
+  EXPECT_EQ(ids[0], "bsplite");
+  EXPECT_EQ(ids[1], "dataflow");
+  EXPECT_EQ(ids[2], "gaslite");
+  EXPECT_EQ(ids[3], "spmat");
+  EXPECT_EQ(ids[4], "nativekernel");
+  EXPECT_EQ(ids[5], "pushpull");
+}
+
+TEST(PlatformRegistryTest, UnknownIdRejected) {
+  EXPECT_FALSE(CreatePlatform("hadoop").ok());
+}
+
+TEST(PlatformSupportTest, PushPullHasNoLcc) {
+  auto platform = CreatePlatform("pushpull");
+  ASSERT_TRUE(platform.ok());
+  EXPECT_FALSE((*platform)->SupportsAlgorithm(Algorithm::kLcc, RoomyEnv()));
+  EXPECT_TRUE((*platform)->SupportsAlgorithm(Algorithm::kBfs, RoomyEnv()));
+}
+
+TEST(PlatformSupportTest, NativeKernelIsSingleMachine) {
+  auto platform = CreatePlatform("nativekernel");
+  ASSERT_TRUE(platform.ok());
+  EXPECT_FALSE((*platform)->info().distributed);
+  Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  auto run = (*platform)->RunJob(graph, Algorithm::kBfs, params,
+                                 RoomyEnv(/*machines=*/2));
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kUnsupported);
+}
+
+TEST(PlatformSupportTest, SpmatBackendSelection) {
+  // Paper §4.2: SSSP is not supported in the shared-memory backend.
+  EXPECT_TRUE(
+      SpMatPlatform::UsesDistributedBackend(Algorithm::kSssp, RoomyEnv()));
+  EXPECT_FALSE(
+      SpMatPlatform::UsesDistributedBackend(Algorithm::kBfs, RoomyEnv()));
+  EXPECT_TRUE(SpMatPlatform::UsesDistributedBackend(Algorithm::kBfs,
+                                                    RoomyEnv(4)));
+}
+
+TEST(PlatformMetricsTest, MetricsArePopulatedAndOrdered) {
+  Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  for (auto& platform : CreateAllPlatforms()) {
+    auto run = platform->RunJob(graph, Algorithm::kBfs, params, RoomyEnv());
+    ASSERT_TRUE(run.ok()) << platform->info().id;
+    const RunMetrics& metrics = run->metrics;
+    EXPECT_GT(metrics.processing_sim_seconds, 0.0) << platform->info().id;
+    EXPECT_GT(metrics.upload_sim_seconds, 0.0);
+    // Makespan covers startup + upload + processing + offload + cleanup.
+    EXPECT_GT(metrics.makespan_sim_seconds,
+              metrics.processing_sim_seconds + metrics.upload_sim_seconds)
+        << platform->info().id;
+    EXPECT_GT(metrics.supersteps, 0);
+    EXPECT_GT(metrics.ledger.compute_ops, 0u);
+  }
+}
+
+TEST(PlatformMetricsTest, GranulaArchiveHasCanonicalPhases) {
+  Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  auto platform = CreatePlatform("bsplite");
+  ASSERT_TRUE(platform.ok());
+  auto run = (*platform)->RunJob(graph, Algorithm::kBfs, params, RoomyEnv());
+  ASSERT_TRUE(run.ok());
+  const granula::Operation& root = run->archive.root();
+  EXPECT_EQ(root.mission(), granula::kMissionJob);
+  for (std::string_view mission :
+       {granula::kMissionStartup, granula::kMissionUploadGraph,
+        granula::kMissionProcessGraph, granula::kMissionOffloadGraph,
+        granula::kMissionCleanup}) {
+    EXPECT_NE(root.Find(mission), nullptr) << mission;
+  }
+  // T_proc as defined by the paper = the ProcessGraph phase duration
+  // (up to floating-point accumulation order).
+  const granula::Operation* processing =
+      root.Find(granula::kMissionProcessGraph);
+  EXPECT_NEAR(processing->SimDuration(),
+              run->metrics.processing_sim_seconds,
+              1e-9 * std::max(1.0, run->metrics.processing_sim_seconds));
+  // Supersteps are recorded as nested operations.
+  EXPECT_NE(root.Find(granula::kMissionSuperstep), nullptr);
+}
+
+TEST(PlatformMemoryTest, TinyBudgetCrashesWithOutOfMemory) {
+  Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  ExecutionEnvironment env = RoomyEnv();
+  env.memory_budget_bytes = 1024;  // nothing fits
+  for (auto& platform : CreateAllPlatforms()) {
+    auto run = platform->RunJob(graph, Algorithm::kBfs, params, env);
+    ASSERT_FALSE(run.ok()) << platform->info().id;
+    EXPECT_EQ(run.status().code(), StatusCode::kOutOfMemory)
+        << platform->info().id;
+  }
+}
+
+TEST(PlatformMemoryTest, LccExhaustsMessageEngines) {
+  // A dense-ish graph with a budget that fits the graph but not the
+  // neighbourhood-exchange buffers: bsplite/dataflow/spmat must crash,
+  // gaslite/nativekernel must complete (paper §4.2).
+  datagen::Graph500Config config;
+  config.scale = 10;
+  config.num_edges = 20000;  // avg degree ~40
+  config.seed = 9;
+  auto graph = datagen::GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  AlgorithmParams params;
+  ExecutionEnvironment env = RoomyEnv();
+  env.memory_budget_bytes = 3'000'000;
+
+  for (const char* id : {"bsplite", "dataflow", "spmat"}) {
+    auto platform = CreatePlatform(id);
+    ASSERT_TRUE(platform.ok());
+    auto run = (*platform)->RunJob(*graph, Algorithm::kLcc, params, env);
+    ASSERT_FALSE(run.ok()) << id << " should run out of memory";
+    EXPECT_EQ(run.status().code(), StatusCode::kOutOfMemory) << id;
+  }
+  for (const char* id : {"gaslite", "nativekernel"}) {
+    auto platform = CreatePlatform(id);
+    ASSERT_TRUE(platform.ok());
+    auto run = (*platform)->RunJob(*graph, Algorithm::kLcc, params, env);
+    EXPECT_TRUE(run.ok()) << id << ": " << run.status().ToString();
+  }
+}
+
+TEST(PlatformScalingTest, MoreThreadsNeverSlower) {
+  Graph graph = TestGraph(12, 30000);
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  for (auto& platform : CreateAllPlatforms()) {
+    double previous = 1e100;
+    for (int threads : {1, 4, 16}) {
+      ExecutionEnvironment env = RoomyEnv(1, threads);
+      auto run =
+          platform->RunJob(graph, Algorithm::kPageRank, params, env);
+      ASSERT_TRUE(run.ok()) << platform->info().id;
+      EXPECT_LE(run->metrics.processing_sim_seconds, previous * 1.0001)
+          << platform->info().id << " at " << threads << " threads";
+      previous = run->metrics.processing_sim_seconds;
+    }
+  }
+}
+
+TEST(PlatformScalingTest, VerticalSpeedupCapsDifferAcrossPlatforms) {
+  // pushpull must scale best and dataflow worst (Table 9's ordering).
+  // Fixed superstep overheads matter on small graphs, so use a graph big
+  // enough for compute to dominate.
+  Graph graph = TestGraph(15, 200000);
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  auto speedup = [&](const char* id) {
+    auto platform = CreatePlatform(id);
+    EXPECT_TRUE(platform.ok());
+    auto one = (*platform)->RunJob(graph, Algorithm::kPageRank, params,
+                                   RoomyEnv(1, 1));
+    auto many = (*platform)->RunJob(graph, Algorithm::kPageRank, params,
+                                    RoomyEnv(1, 32));
+    EXPECT_TRUE(one.ok());
+    EXPECT_TRUE(many.ok());
+    return one->metrics.processing_sim_seconds /
+           many->metrics.processing_sim_seconds;
+  };
+  const double pushpull = speedup("pushpull");
+  const double dataflow = speedup("dataflow");
+  const double gaslite = speedup("gaslite");
+  EXPECT_GT(pushpull, 11.0);
+  EXPECT_LT(dataflow, 6.0);
+  EXPECT_GT(pushpull, gaslite);
+  EXPECT_GT(gaslite, dataflow);
+}
+
+TEST(PlatformScalingTest, SinglePlatformDeterministicAcrossRuns) {
+  Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  auto platform = CreatePlatform("gaslite");
+  ASSERT_TRUE(platform.ok());
+  auto a = (*platform)->RunJob(graph, Algorithm::kBfs, params, RoomyEnv());
+  auto b = (*platform)->RunJob(graph, Algorithm::kBfs, params, RoomyEnv());
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_DOUBLE_EQ(a->metrics.processing_sim_seconds,
+                   b->metrics.processing_sim_seconds);
+  EXPECT_DOUBLE_EQ(a->metrics.makespan_sim_seconds,
+                   b->metrics.makespan_sim_seconds);
+}
+
+TEST(PlatformValidationTest, SsspWithoutWeightsFails) {
+  datagen::Graph500Config config;
+  config.scale = 8;
+  config.num_edges = 1000;
+  config.weighted = false;
+  auto graph = datagen::GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  AlgorithmParams params;
+  params.source_vertex = graph->ExternalId(0);
+  auto platform = CreatePlatform("nativekernel");
+  ASSERT_TRUE(platform.ok());
+  auto run =
+      (*platform)->RunJob(*graph, Algorithm::kSssp, params, RoomyEnv());
+  EXPECT_FALSE(run.ok());
+  EXPECT_EQ(run.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(PlatformValidationTest, BadSourceVertexRejected) {
+  Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = -12345;
+  for (auto& platform : CreateAllPlatforms()) {
+    auto run = platform->RunJob(graph, Algorithm::kBfs, params, RoomyEnv());
+    EXPECT_FALSE(run.ok()) << platform->info().id;
+  }
+}
+
+}  // namespace
+}  // namespace ga::platform

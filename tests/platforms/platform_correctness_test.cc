@@ -1,0 +1,185 @@
+// The platform-correctness matrix: every platform analogue must produce
+// output equivalent to the reference implementation for every algorithm on
+// a battery of graphs — the paper's definition of platform correctness
+// (Section 2.2.3). Parameterised over (platform, algorithm, graph).
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <tuple>
+
+#include "algo/output.h"
+#include "algo/reference.h"
+#include "datagen/graph500.h"
+#include "datagen/socialnet.h"
+#include "platforms/platform.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::platform {
+namespace {
+
+struct GraphCase {
+  std::string name;
+  Directedness directedness;
+  bool weighted;
+};
+
+// A battery of graph shapes: structured fixtures plus random generated
+// graphs of both directednesses.
+const GraphCase kGraphCases[] = {
+    {"clique", Directedness::kUndirected, true},
+    {"star", Directedness::kUndirected, true},
+    {"two_components", Directedness::kUndirected, true},
+    {"rmat_undirected", Directedness::kUndirected, true},
+    {"rmat_directed", Directedness::kDirected, true},
+    {"social", Directedness::kUndirected, true},
+};
+
+Graph BuildCase(const std::string& name) {
+  if (name == "clique") {
+    // Weighted clique with deterministic weights.
+    GraphBuilder builder(Directedness::kUndirected, true);
+    for (int i = 0; i < 12; ++i) {
+      for (int j = i + 1; j < 12; ++j) {
+        builder.AddEdge(i, j, 0.25 + 0.5 * ((i * 13 + j) % 7));
+      }
+    }
+    auto graph = std::move(builder).Build();
+    EXPECT_TRUE(graph.ok());
+    return std::move(graph).value();
+  }
+  if (name == "star") {
+    GraphBuilder builder(Directedness::kUndirected, true);
+    for (int i = 1; i < 40; ++i) builder.AddEdge(0, i, 1.0 + i % 3);
+    builder.AddVertex(99);  // isolated vertex
+    auto graph = std::move(builder).Build();
+    EXPECT_TRUE(graph.ok());
+    return std::move(graph).value();
+  }
+  if (name == "two_components") {
+    GraphBuilder builder(Directedness::kUndirected, true);
+    for (int i = 0; i < 10; ++i) builder.AddEdge(i, (i + 1) % 11, 0.5);
+    for (int i = 100; i < 110; ++i) builder.AddEdge(i, i + 1, 2.0);
+    auto graph = std::move(builder).Build();
+    EXPECT_TRUE(graph.ok());
+    return std::move(graph).value();
+  }
+  if (name == "rmat_undirected" || name == "rmat_directed") {
+    datagen::Graph500Config config;
+    config.scale = 9;
+    config.num_edges = 2500;
+    config.weighted = true;
+    config.seed = 77;
+    config.directedness = name == "rmat_directed"
+                              ? Directedness::kDirected
+                              : Directedness::kUndirected;
+    auto graph = datagen::GenerateGraph500(config);
+    EXPECT_TRUE(graph.ok());
+    return std::move(graph).value();
+  }
+  // social
+  datagen::SocialNetConfig config;
+  config.num_persons = 600;
+  config.avg_degree = 10;
+  config.target_clustering = 0.2;
+  config.weighted = true;
+  config.seed = 5;
+  auto network = datagen::GenerateSocialNetwork(config);
+  EXPECT_TRUE(network.ok());
+  return std::move(network->graph);
+}
+
+using MatrixParam = std::tuple<std::string, Algorithm, std::string>;
+
+class PlatformCorrectnessTest
+    : public ::testing::TestWithParam<MatrixParam> {};
+
+TEST_P(PlatformCorrectnessTest, MatchesReferenceOutput) {
+  const auto& [platform_id, algorithm, graph_name] = GetParam();
+  auto platform = CreatePlatform(platform_id);
+  ASSERT_TRUE(platform.ok());
+
+  ExecutionEnvironment env;
+  env.num_machines = 1;
+  env.threads_per_machine = 8;
+  env.memory_budget_bytes = 1LL << 30;  // roomy: correctness, not stress
+
+  if (!(*platform)->SupportsAlgorithm(algorithm, env)) {
+    GTEST_SKIP() << platform_id << " does not support "
+                 << AlgorithmName(algorithm);
+  }
+
+  Graph graph = BuildCase(graph_name);
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  params.pagerank_iterations = 15;
+  params.cdlp_iterations = 6;
+
+  auto reference = reference::Run(graph, algorithm, params);
+  ASSERT_TRUE(reference.ok()) << reference.status().ToString();
+
+  auto run = (*platform)->RunJob(graph, algorithm, params, env);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+
+  Status valid = ValidateOutput(graph, *reference, run->output);
+  EXPECT_TRUE(valid.ok()) << platform_id << "/" << AlgorithmName(algorithm)
+                          << " on " << graph_name << ": "
+                          << valid.ToString();
+}
+
+TEST_P(PlatformCorrectnessTest, DistributedRunMatchesReference) {
+  const auto& [platform_id, algorithm, graph_name] = GetParam();
+  auto platform = CreatePlatform(platform_id);
+  ASSERT_TRUE(platform.ok());
+
+  ExecutionEnvironment env;
+  env.num_machines = 4;
+  env.threads_per_machine = 4;
+  env.memory_budget_bytes = 1LL << 30;
+
+  if (!(*platform)->info().distributed) {
+    GTEST_SKIP() << platform_id << " is single-machine only";
+  }
+  if (!(*platform)->SupportsAlgorithm(algorithm, env)) {
+    GTEST_SKIP();
+  }
+
+  Graph graph = BuildCase(graph_name);
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  params.pagerank_iterations = 15;
+  params.cdlp_iterations = 6;
+
+  auto reference = reference::Run(graph, algorithm, params);
+  ASSERT_TRUE(reference.ok());
+
+  auto run = (*platform)->RunJob(graph, algorithm, params, env);
+  ASSERT_TRUE(run.ok()) << run.status().ToString();
+  EXPECT_TRUE(ValidateOutput(graph, *reference, run->output).ok())
+      << platform_id << "/" << AlgorithmName(algorithm) << " on "
+      << graph_name << " with 4 machines";
+}
+
+std::string ParamName(
+    const ::testing::TestParamInfo<MatrixParam>& info) {
+  const auto& [platform_id, algorithm, graph_name] = info.param;
+  return platform_id + "_" + std::string(AlgorithmName(algorithm)) + "_" +
+         graph_name;
+}
+
+std::vector<std::string> GraphCaseNames() {
+  std::vector<std::string> names;
+  for (const GraphCase& c : kGraphCases) names.push_back(c.name);
+  return names;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Matrix, PlatformCorrectnessTest,
+    ::testing::Combine(::testing::ValuesIn(AllPlatformIds()),
+                       ::testing::ValuesIn(std::vector<Algorithm>(
+                           std::begin(kAllAlgorithms),
+                           std::end(kAllAlgorithms))),
+                       ::testing::ValuesIn(GraphCaseNames())),
+    ParamName);
+
+}  // namespace
+}  // namespace ga::platform

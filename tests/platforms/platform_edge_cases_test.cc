@@ -1,0 +1,168 @@
+// Edge-case behaviour of the platform layer: degenerate graphs, machine
+// sweeps, metric consistency between clocks and environments.
+#include <gtest/gtest.h>
+
+#include "algo/reference.h"
+#include "datagen/graph500.h"
+#include "platforms/platform.h"
+#include "platforms/worker_map.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::platform {
+namespace {
+
+ExecutionEnvironment RoomyEnv(int machines = 1, int threads = 4) {
+  ExecutionEnvironment env;
+  env.num_machines = machines;
+  env.threads_per_machine = threads;
+  env.memory_budget_bytes = 1LL << 30;
+  return env;
+}
+
+TEST(WorkerMapTest, MachinesAndThreadsInRange) {
+  Graph graph = testing::MakeClique(50);
+  WorkerMap map(graph, 4, 8);
+  for (VertexIndex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_GE(map.machine_of(v), 0);
+    EXPECT_LT(map.machine_of(v), 4);
+    EXPECT_GE(map.thread_of(v), 0);
+    EXPECT_LT(map.thread_of(v), 8);
+    EXPECT_EQ(map.worker_of(v), map.machine_of(v) * 8 + map.thread_of(v));
+  }
+}
+
+TEST(PlatformEdgeCaseTest, TwoVertexGraphAllAlgorithms) {
+  Graph graph = testing::MakeGraph(Directedness::kUndirected, {{0, 1, 2.0}},
+                                   {}, /*weighted=*/true);
+  AlgorithmParams params;
+  params.source_vertex = 0;
+  for (auto& platform : CreateAllPlatforms()) {
+    for (Algorithm algorithm : kAllAlgorithms) {
+      if (!platform->SupportsAlgorithm(algorithm, RoomyEnv())) continue;
+      auto reference = reference::Run(graph, algorithm, params);
+      ASSERT_TRUE(reference.ok());
+      auto run = platform->RunJob(graph, algorithm, params, RoomyEnv());
+      ASSERT_TRUE(run.ok())
+          << platform->info().id << "/" << AlgorithmName(algorithm)
+          << ": " << run.status().ToString();
+      EXPECT_TRUE(ValidateOutput(graph, *reference, run->output).ok())
+          << platform->info().id << "/" << AlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST(PlatformEdgeCaseTest, DisconnectedSourceStillTerminates) {
+  // Source in a 2-vertex islet; the rest of the graph is unreachable.
+  Graph graph = testing::MakeGraph(
+      Directedness::kDirected,
+      {{100, 101, 1.0}, {0, 1, 1.0}, {1, 2, 1.0}, {2, 0, 1.0}}, {},
+      /*weighted=*/true);
+  AlgorithmParams params;
+  params.source_vertex = 100;
+  for (auto& platform : CreateAllPlatforms()) {
+    for (Algorithm algorithm : {Algorithm::kBfs, Algorithm::kSssp}) {
+      auto run = platform->RunJob(graph, algorithm, params, RoomyEnv());
+      ASSERT_TRUE(run.ok()) << platform->info().id;
+      auto reference = reference::Run(graph, algorithm, params);
+      ASSERT_TRUE(reference.ok());
+      EXPECT_TRUE(ValidateOutput(graph, *reference, run->output).ok())
+          << platform->info().id << "/" << AlgorithmName(algorithm);
+    }
+  }
+}
+
+TEST(PlatformEdgeCaseTest, MachineCountSweepPreservesOutput) {
+  // Distribution must never change results, only timing (determinism of
+  // the benchmark across deployments).
+  datagen::Graph500Config config;
+  config.scale = 9;
+  config.num_edges = 3000;
+  config.weighted = true;
+  config.seed = 21;
+  auto graph = datagen::GenerateGraph500(config);
+  ASSERT_TRUE(graph.ok());
+  AlgorithmParams params;
+  params.source_vertex = graph->ExternalId(0);
+  for (const char* id : {"bsplite", "dataflow", "gaslite", "spmat",
+                         "pushpull"}) {
+    auto platform = CreatePlatform(id);
+    ASSERT_TRUE(platform.ok());
+    auto reference = reference::Run(*graph, Algorithm::kWcc, params);
+    ASSERT_TRUE(reference.ok());
+    for (int machines : {1, 2, 3, 8}) {
+      auto run = (*platform)->RunJob(*graph, Algorithm::kWcc, params,
+                                     RoomyEnv(machines));
+      ASSERT_TRUE(run.ok()) << id << "@" << machines;
+      EXPECT_TRUE(ValidateOutput(*graph, *reference, run->output).ok())
+          << id << "@" << machines;
+    }
+  }
+}
+
+TEST(PlatformEdgeCaseTest, MoreMachinesNeverFreeForMessageEngines) {
+  // Adding machines to a message-passing engine on a small graph must
+  // add communication cost (no free lunch), while the job still succeeds.
+  Graph graph = testing::MakeClique(60);
+  AlgorithmParams params;
+  params.source_vertex = 0;
+  auto platform = CreatePlatform("bsplite");
+  ASSERT_TRUE(platform.ok());
+  auto one = (*platform)->RunJob(graph, Algorithm::kPageRank, params,
+                                 RoomyEnv(1));
+  auto four = (*platform)->RunJob(graph, Algorithm::kPageRank, params,
+                                  RoomyEnv(4));
+  ASSERT_TRUE(one.ok());
+  ASSERT_TRUE(four.ok());
+  EXPECT_GT(four->metrics.ledger.remote_bytes, 0u);
+  EXPECT_EQ(one->metrics.ledger.remote_bytes, 0u);
+}
+
+TEST(PlatformEdgeCaseTest, OverheadScaleScalesFixedCosts) {
+  Graph graph = testing::MakeClique(20);
+  AlgorithmParams params;
+  params.source_vertex = 0;
+  auto platform = CreatePlatform("pushpull");
+  ASSERT_TRUE(platform.ok());
+  ExecutionEnvironment coarse = RoomyEnv();
+  coarse.overhead_scale = 1.0;  // paper-scale overheads in sim seconds
+  ExecutionEnvironment fine = RoomyEnv();
+  fine.overhead_scale = 1.0 / 1024.0;
+  auto slow = (*platform)->RunJob(graph, Algorithm::kBfs, params, coarse);
+  auto fast = (*platform)->RunJob(graph, Algorithm::kBfs, params, fine);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok());
+  // Startup alone differs by ~1024x on a tiny graph.
+  EXPECT_GT(slow->metrics.makespan_sim_seconds,
+            100.0 * fast->metrics.makespan_sim_seconds);
+}
+
+TEST(PlatformEdgeCaseTest, WallClockIsMeasured) {
+  Graph graph = testing::MakeClique(40);
+  AlgorithmParams params;
+  params.source_vertex = 0;
+  auto platform = CreatePlatform("nativekernel");
+  ASSERT_TRUE(platform.ok());
+  auto run =
+      (*platform)->RunJob(graph, Algorithm::kPageRank, params, RoomyEnv());
+  ASSERT_TRUE(run.ok());
+  EXPECT_GE(run->metrics.wall_seconds, 0.0);
+  EXPECT_LT(run->metrics.wall_seconds, 10.0);  // host time, not simulated
+}
+
+TEST(PlatformEdgeCaseTest, LedgerCountsRealWork) {
+  Graph graph = testing::MakeClique(30);  // 435 edges, 870 entries
+  AlgorithmParams params;
+  params.source_vertex = 0;
+  for (auto& platform : CreateAllPlatforms()) {
+    auto run =
+        platform->RunJob(graph, Algorithm::kPageRank, params, RoomyEnv());
+    ASSERT_TRUE(run.ok()) << platform->info().id;
+    // 15 PR iterations over 870 adjacency entries: every engine must
+    // charge at least that much raw work.
+    EXPECT_GT(run->metrics.ledger.compute_ops, 870u)
+        << platform->info().id;
+  }
+}
+
+}  // namespace
+}  // namespace ga::platform

@@ -1,0 +1,157 @@
+#include "sysmodel/cluster.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace ga::sysmodel {
+namespace {
+
+ClusterConfig BaseConfig(int machines = 1, int threads = 1) {
+  ClusterConfig config;
+  config.num_machines = machines;
+  config.threads_per_machine = threads;
+  config.serial_fraction = 0.0;
+  config.hyperthread_efficiency = 0.25;
+  config.barrier_seconds = 0.0;
+  return config;
+}
+
+TEST(MachineSpecTest, Das5MatchesTable7) {
+  MachineSpec das5 = MachineSpec::Das5();
+  EXPECT_EQ(das5.cores, 16);
+  EXPECT_EQ(das5.hardware_threads, 32);
+  EXPECT_EQ(das5.memory_bytes, 64LL * 1024 * 1024 * 1024);
+}
+
+TEST(NetworkSpecTest, InfinibandFasterThanEthernet) {
+  NetworkSpec ethernet = NetworkSpec::GigabitEthernet();
+  NetworkSpec infiniband = NetworkSpec::InfinibandFdr();
+  EXPECT_GT(infiniband.bandwidth_bytes_per_second,
+            ethernet.bandwidth_bytes_per_second);
+  EXPECT_LT(infiniband.latency_seconds, ethernet.latency_seconds);
+}
+
+TEST(ClusterModelTest, ThroughputScalesWithCores) {
+  ClusterModel model(BaseConfig());
+  EXPECT_DOUBLE_EQ(model.MachineThroughput(2),
+                   2.0 * model.MachineThroughput(1));
+  EXPECT_DOUBLE_EQ(model.MachineThroughput(16),
+                   16.0 * model.MachineThroughput(1));
+}
+
+TEST(ClusterModelTest, HyperThreadsContributeFractionally) {
+  ClusterModel model(BaseConfig());
+  const double one_core = model.MachineThroughput(1);
+  // Threads 17..32 add 0.25 of a core each.
+  EXPECT_NEAR(model.MachineThroughput(32), one_core * (16.0 + 16.0 * 0.25),
+              1e-6);
+  // Beyond the hardware threads nothing is added.
+  EXPECT_DOUBLE_EQ(model.MachineThroughput(64),
+                   model.MachineThroughput(32));
+}
+
+TEST(ClusterModelTest, SuperstepUsesSlowestWorker) {
+  ClusterConfig config = BaseConfig(1, 2);
+  ClusterModel model(config);
+  std::vector<std::uint64_t> balanced = {1000, 1000};
+  std::vector<std::uint64_t> skewed = {2000, 0};
+  // Same total work, but the skewed assignment is paced by one thread.
+  EXPECT_GT(model.SuperstepSeconds(skewed),
+            model.SuperstepSeconds(balanced));
+}
+
+TEST(ClusterModelTest, SerialFractionCapsSpeedup) {
+  ClusterConfig config = BaseConfig(1, 16);
+  config.serial_fraction = 0.25;  // Amdahl cap = 4
+  ClusterModel model(config);
+  std::vector<std::uint64_t> parallel(16, 1000);
+  ClusterConfig single = BaseConfig(1, 1);
+  single.serial_fraction = 0.25;
+  ClusterModel one(single);
+  std::vector<std::uint64_t> all = {16000};
+  const double speedup =
+      one.SuperstepSeconds(all) / model.SuperstepSeconds(parallel);
+  EXPECT_LT(speedup, 4.0);
+  EXPECT_GT(speedup, 2.5);
+}
+
+TEST(ClusterModelTest, CommunicationAddsTime) {
+  ClusterConfig config = BaseConfig(2, 1);
+  ClusterModel model(config);
+  std::vector<std::uint64_t> work = {1000, 1000};
+  std::vector<MachineComm> no_comm(2);
+  std::vector<MachineComm> comm(2);
+  comm[0].bytes_sent = 125'000'000;  // 1 second at 1 Gbit/s
+  const double quiet = model.SuperstepSeconds(work, no_comm);
+  const double loud = model.SuperstepSeconds(work, comm);
+  EXPECT_NEAR(loud - quiet, 1.0, 0.01);
+}
+
+TEST(ClusterModelTest, SingleMachineIgnoresComm) {
+  ClusterModel model(BaseConfig(1, 1));
+  std::vector<std::uint64_t> work = {1000};
+  std::vector<MachineComm> comm(1);
+  comm[0].bytes_sent = 1'000'000'000;
+  EXPECT_DOUBLE_EQ(model.SuperstepSeconds(work, comm),
+                   model.SuperstepSeconds(work));
+}
+
+TEST(ClusterModelTest, BarrierGrowsWithMachines) {
+  ClusterConfig config2 = BaseConfig(2, 1);
+  config2.barrier_seconds = 1e-5;
+  ClusterConfig config16 = BaseConfig(16, 1);
+  config16.barrier_seconds = 1e-5;
+  EXPECT_GT(ClusterModel(config16).BarrierSeconds(),
+            ClusterModel(config2).BarrierSeconds());
+}
+
+TEST(ClusterModelTest, SequentialSecondsLinear) {
+  ClusterModel model(BaseConfig());
+  EXPECT_DOUBLE_EQ(model.SequentialSeconds(2'000'000),
+                   2.0 * model.SequentialSeconds(1'000'000));
+}
+
+TEST(MemoryAccountantTest, ChargeAndRelease) {
+  MemoryAccountant memory(1000, 2);
+  EXPECT_TRUE(memory.Charge(0, 600, "a").ok());
+  EXPECT_EQ(memory.used(0), 600);
+  EXPECT_TRUE(memory.Charge(1, 900, "b").ok());
+  memory.Release(0, 200);
+  EXPECT_EQ(memory.used(0), 400);
+  EXPECT_EQ(memory.peak(0), 600);
+}
+
+TEST(MemoryAccountantTest, OverBudgetFails) {
+  MemoryAccountant memory(1000, 1);
+  EXPECT_TRUE(memory.Charge(0, 800, "graph").ok());
+  Status status = memory.Charge(0, 300, "buffers");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOutOfMemory);
+  // Failed charge does not consume budget.
+  EXPECT_EQ(memory.used(0), 800);
+}
+
+TEST(MemoryAccountantTest, PerMachineIsolation) {
+  MemoryAccountant memory(1000, 2);
+  EXPECT_TRUE(memory.Charge(0, 1000, "fill").ok());
+  EXPECT_TRUE(memory.Charge(1, 1000, "fill").ok());
+  EXPECT_FALSE(memory.Charge(0, 1, "overflow").ok());
+}
+
+TEST(MemoryAccountantTest, ReleaseNeverUnderflows) {
+  MemoryAccountant memory(1000, 1);
+  memory.Release(0, 500);
+  EXPECT_EQ(memory.used(0), 0);
+}
+
+TEST(MemoryAccountantTest, ResetClearsState) {
+  MemoryAccountant memory(1000, 1);
+  ASSERT_TRUE(memory.Charge(0, 700, "x").ok());
+  memory.Reset();
+  EXPECT_EQ(memory.used(0), 0);
+  EXPECT_EQ(memory.peak(0), 0);
+}
+
+}  // namespace
+}  // namespace ga::sysmodel

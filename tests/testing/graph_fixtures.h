@@ -1,0 +1,76 @@
+// Shared helpers for building small graphs in tests.
+#ifndef GRAPHALYTICS_TESTS_TESTING_GRAPH_FIXTURES_H_
+#define GRAPHALYTICS_TESTS_TESTING_GRAPH_FIXTURES_H_
+
+#include <tuple>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/types.h"
+
+namespace ga::testing {
+
+struct WeightedEdge {
+  VertexId source;
+  VertexId target;
+  Weight weight = 1.0;
+};
+
+/// Builds a graph from an edge list; endpoints are auto-registered, and
+/// `extra_vertices` adds isolated vertices. Aborts on build failure (tests
+/// construct valid graphs).
+inline Graph MakeGraph(Directedness directedness,
+                       const std::vector<WeightedEdge>& edges,
+                       const std::vector<VertexId>& extra_vertices = {},
+                       bool weighted = false) {
+  GraphBuilder builder(directedness, weighted);
+  for (VertexId v : extra_vertices) builder.AddVertex(v);
+  for (const WeightedEdge& edge : edges) {
+    builder.AddEdge(edge.source, edge.target, edge.weight);
+  }
+  auto result = std::move(builder).Build();
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+/// Directed path 0 -> 1 -> ... -> n-1.
+inline Graph MakeDirectedPath(int n) {
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i + 1 < n; ++i) {
+    edges.push_back({i, i + 1});
+  }
+  return MakeGraph(Directedness::kDirected, edges);
+}
+
+/// Undirected cycle of n vertices.
+inline Graph MakeUndirectedCycle(int n) {
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < n; ++i) {
+    edges.push_back({i, (i + 1) % n});
+  }
+  return MakeGraph(Directedness::kUndirected, edges);
+}
+
+/// Undirected complete graph K_n.
+inline Graph MakeClique(int n) {
+  std::vector<WeightedEdge> edges;
+  for (int i = 0; i < n; ++i) {
+    for (int j = i + 1; j < n; ++j) {
+      edges.push_back({i, j});
+    }
+  }
+  return MakeGraph(Directedness::kUndirected, edges);
+}
+
+/// Undirected star: hub 0 connected to 1..n-1.
+inline Graph MakeStar(int n) {
+  std::vector<WeightedEdge> edges;
+  for (int i = 1; i < n; ++i) {
+    edges.push_back({0, i});
+  }
+  return MakeGraph(Directedness::kUndirected, edges);
+}
+
+}  // namespace ga::testing
+
+#endif  // GRAPHALYTICS_TESTS_TESTING_GRAPH_FIXTURES_H_

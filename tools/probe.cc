@@ -1,0 +1,43 @@
+// Calibration probe (developer tool): prints the generated size, skew and
+// memory-relevant statistics of every dataset at the configured scale
+// divisor, followed by the stress-test pass/crash/timeout matrix (BFS on
+// one machine) for every platform. Used to calibrate the cost-profile
+// constants against the paper's Table 10; see DESIGN.md §5.
+#include <cstdio>
+#include "harness/runner.h"
+#include "harness/scale.h"
+using namespace ga;
+using namespace ga::harness;
+int main() {
+  BenchmarkConfig config = BenchmarkConfig::FromEnv();
+  BenchmarkRunner runner(config);
+  std::printf("budget/machine: %lld bytes\n", (long long)config.ScaledMemoryBudget());
+  for (const auto& spec : runner.registry().specs()) {
+    auto graph = runner.registry().Load(spec.id);
+    if (!graph.ok()) { std::printf("%s: LOAD FAIL %s\n", spec.id.c_str(), graph.status().ToString().c_str()); continue; }
+    const Graph* g = *graph;
+    std::printf("%-10s n=%-8lld m=%-8lld adj=%-8lld maxout=%-6lld maxin=%-6lld scale(paper)=%.1f\n",
+      spec.id.c_str(), (long long)g->num_vertices(), (long long)g->num_edges(),
+      (long long)g->num_adjacency_entries(), (long long)g->max_out_degree(), (long long)g->max_in_degree(), spec.paper_scale);
+  }
+  // Stress-test matrix: BFS on 1 machine over all datasets per platform.
+  for (const auto& pid : platform::AllPlatformIds()) {
+    std::printf("%-13s:", pid.c_str());
+    for (const auto& spec : runner.registry().specs()) {
+      JobSpec job{pid, spec.id, Algorithm::kBfs, 1, 32, 1, false};
+      auto report = runner.Run(job);
+      char mark = '?';
+      if (report.ok()) {
+        switch (report->outcome) {
+          case JobOutcome::kCompleted: mark = '.'; break;
+          case JobOutcome::kCrashed: mark = 'C'; break;
+          case JobOutcome::kTimedOut: mark = 'T'; break;
+          default: mark = 'F';
+        }
+      }
+      std::printf(" %s=%c", spec.id.c_str(), mark);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}
