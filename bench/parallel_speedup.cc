@@ -1,0 +1,228 @@
+// parallel_speedup: host-side wall-time speedup of the exec subsystem.
+//
+// Not a paper artifact — this measures the REAL parallelism of this
+// reproduction (the ga::exec thread pool), not the simulated cluster.
+// Runs PageRank at the default scale on every platform engine plus the
+// reference implementation with 1 and N host threads, checks that the
+// outputs and simulated metrics are identical (the exec determinism
+// contract), and emits a JSON record so later PRs have a wall-clock
+// trajectory to compare against.
+//
+// Environment: GA_SCALE_DIVISOR / GA_SEED as usual; GA_SPEEDUP_THREADS
+// overrides N (default: hardware concurrency, min 4 so the artifact is
+// comparable across differently-sized CI hosts).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "algo/reference.h"
+#include "bench/bench_common.h"
+#include "core/exec/thread_pool.h"
+#include "core/json_writer.h"
+#include "core/timer.h"
+#include "platforms/platform.h"
+
+namespace {
+
+struct SpeedupRow {
+  std::string engine;
+  double serial_seconds = 0.0;
+  double parallel_seconds = 0.0;
+  double speedup = 0.0;
+  bool deterministic = false;
+};
+
+double MedianWallSeconds(const std::function<void()>& body, int repeats) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    ga::WallTimer timer;
+    body();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+}  // namespace
+
+int main() {
+  ga::harness::BenchmarkConfig config =
+      ga::harness::BenchmarkConfig::FromEnv();
+  int parallel_threads =
+      std::max(4, ga::exec::ThreadPool::HardwareConcurrency());
+  if (const char* override_threads = std::getenv("GA_SPEEDUP_THREADS")) {
+    const int value = std::atoi(override_threads);
+    if (value > 1) parallel_threads = value;
+  }
+  ga::bench::PrintHeader(
+      "parallel_speedup",
+      "host wall-time speedup of ga::exec (PageRank, 1 vs " +
+          std::to_string(parallel_threads) + " host threads)",
+      config);
+
+  ga::harness::BenchmarkRunner runner(config);
+  auto graph = runner.registry().Load("R4");
+  if (!graph.ok()) {
+    std::fprintf(stderr, "%s\n", graph.status().ToString().c_str());
+    return 1;
+  }
+  auto params = runner.registry().ParamsFor("R4");
+  if (!params.ok()) {
+    std::fprintf(stderr, "%s\n", params.status().ToString().c_str());
+    return 1;
+  }
+
+  ga::exec::ThreadPool serial_pool(1);
+  ga::exec::ThreadPool parallel_pool(parallel_threads);
+  const int repeats = 3;
+
+  std::vector<SpeedupRow> rows;
+  for (auto& platform : ga::platform::CreateAllPlatforms()) {
+    ga::platform::ExecutionEnvironment env;
+    env.memory_budget_bytes = 1LL << 30;
+    env.overhead_scale = 1.0 / static_cast<double>(config.scale_divisor);
+
+    SpeedupRow row;
+    row.engine = platform->info().id;
+    ga::AlgorithmOutput serial_output;
+    ga::AlgorithmOutput parallel_output;
+    ga::platform::RunMetrics serial_metrics;
+    ga::platform::RunMetrics parallel_metrics;
+    bool run_failed = false;  // a failed run must not pass vacuously
+    env.host_pool = &serial_pool;
+    row.serial_seconds = MedianWallSeconds(
+        [&] {
+          auto run = platform->RunJob(**graph, ga::Algorithm::kPageRank,
+                                      *params, env);
+          if (!run.ok()) {
+            run_failed = true;
+            std::fprintf(stderr, "%s (serial): %s\n", row.engine.c_str(),
+                         run.status().ToString().c_str());
+            return;
+          }
+          serial_output = std::move(run->output);
+          serial_metrics = run->metrics;
+        },
+        repeats);
+    env.host_pool = &parallel_pool;
+    row.parallel_seconds = MedianWallSeconds(
+        [&] {
+          auto run = platform->RunJob(**graph, ga::Algorithm::kPageRank,
+                                      *params, env);
+          if (!run.ok()) {
+            run_failed = true;
+            std::fprintf(stderr, "%s (parallel): %s\n", row.engine.c_str(),
+                         run.status().ToString().c_str());
+            return;
+          }
+          parallel_output = std::move(run->output);
+          parallel_metrics = run->metrics;
+        },
+        repeats);
+    row.speedup = row.parallel_seconds > 0.0
+                      ? row.serial_seconds / row.parallel_seconds
+                      : 0.0;
+    row.deterministic =
+        !run_failed &&
+        serial_output.double_values == parallel_output.double_values &&
+        serial_metrics.ledger.compute_ops ==
+            parallel_metrics.ledger.compute_ops &&
+        serial_metrics.processing_sim_seconds ==
+            parallel_metrics.processing_sim_seconds;
+    rows.push_back(row);
+  }
+
+  // Reference PageRank over the same graph.
+  {
+    SpeedupRow row;
+    row.engine = "reference";
+    ga::AlgorithmOutput serial_output;
+    ga::AlgorithmOutput parallel_output;
+    bool run_failed = false;
+    row.serial_seconds = MedianWallSeconds(
+        [&] {
+          auto out = ga::reference::PageRank(**graph, 30, 0.85,
+                                             &serial_pool);
+          if (!out.ok()) {
+            run_failed = true;
+            return;
+          }
+          serial_output = std::move(out).value();
+        },
+        repeats);
+    row.parallel_seconds = MedianWallSeconds(
+        [&] {
+          auto out = ga::reference::PageRank(**graph, 30, 0.85,
+                                             &parallel_pool);
+          if (!out.ok()) {
+            run_failed = true;
+            return;
+          }
+          parallel_output = std::move(out).value();
+        },
+        repeats);
+    row.speedup = row.parallel_seconds > 0.0
+                      ? row.serial_seconds / row.parallel_seconds
+                      : 0.0;
+    row.deterministic =
+        !run_failed && !serial_output.double_values.empty() &&
+        serial_output.double_values == parallel_output.double_values;
+    rows.push_back(row);
+  }
+
+  ga::harness::TextTable table(
+      "PageRank host speedup",
+      {"engine", "1 thread", std::to_string(parallel_threads) + " threads",
+       "speedup", "deterministic"});
+  for (const SpeedupRow& row : rows) {
+    char serial_text[32];
+    char parallel_text[32];
+    char speedup_text[32];
+    std::snprintf(serial_text, sizeof(serial_text), "%.3fs",
+                  row.serial_seconds);
+    std::snprintf(parallel_text, sizeof(parallel_text), "%.3fs",
+                  row.parallel_seconds);
+    std::snprintf(speedup_text, sizeof(speedup_text), "%.2fx", row.speedup);
+    table.AddRow({row.engine, serial_text, parallel_text, speedup_text,
+                  row.deterministic ? "yes" : "NO"});
+  }
+  std::printf("%s\n", table.Render().c_str());
+
+  ga::JsonWriter json;
+  json.BeginObject();
+  json.Field("artifact", "parallel_speedup");
+  json.Field("algorithm", "pr");
+  json.Field("dataset", "R4");
+  json.Field("host_threads", parallel_threads);
+  json.Field("hardware_concurrency",
+             ga::exec::ThreadPool::HardwareConcurrency());
+  json.Key("engines");
+  json.BeginArray();
+  for (const SpeedupRow& row : rows) {
+    json.BeginObject();
+    json.Field("engine", std::string_view(row.engine));
+    json.Field("serial_wall_seconds", row.serial_seconds);
+    json.Field("parallel_wall_seconds", row.parallel_seconds);
+    json.Field("speedup", row.speedup);
+    json.Field("deterministic", row.deterministic);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.EndObject();
+  std::printf("%s\n", json.str().c_str());
+
+  for (const SpeedupRow& row : rows) {
+    if (!row.deterministic) {
+      std::fprintf(stderr,
+                   "determinism violation in engine %s: outputs or "
+                   "metrics differ across host thread counts\n",
+                   row.engine.c_str());
+      return 1;
+    }
+  }
+  return 0;
+}

@@ -1,10 +1,11 @@
-#include <queue>
+#include <vector>
 
 #include "algo/reference.h"
 
 namespace ga::reference {
 
-Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source) {
+Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source,
+                            exec::ThreadPool* pool) {
   const VertexIndex root = graph.IndexOf(source);
   if (root == kInvalidVertex) {
     return Status::InvalidArgument("BFS source vertex " +
@@ -15,18 +16,39 @@ Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source) {
   output.int_values.assign(graph.num_vertices(), kUnreachableHops);
   output.int_values[root] = 0;
 
-  std::queue<VertexIndex> frontier;
-  frontier.push(root);
+  // Level-synchronous frontier BFS: each level expands host-parallel over
+  // frontier slices against the previous level's state; the slot-ordered
+  // commit dedupes duplicate discoveries, so hop counts are identical at
+  // any thread count (and to a serial queue-based traversal).
+  exec::ExecContext ctx(pool);
+  std::vector<VertexIndex> frontier{root};
+  std::vector<VertexIndex> next;
+  exec::SlotBuffers<VertexIndex> discovered;
+  std::int64_t hops = 0;
   while (!frontier.empty()) {
-    const VertexIndex v = frontier.front();
-    frontier.pop();
-    const std::int64_t next_hops = output.int_values[v] + 1;
-    for (VertexIndex u : graph.OutNeighbors(v)) {
+    ++hops;
+    const std::int64_t frontier_size =
+        static_cast<std::int64_t>(frontier.size());
+    discovered.Reset(exec::ExecContext::NumSlots(frontier_size));
+    exec::parallel_for(
+        ctx, 0, frontier_size, [&](const exec::Slice& slice) {
+          std::vector<VertexIndex>& out = discovered.buf(slice.slot);
+          for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+            for (VertexIndex u : graph.OutNeighbors(frontier[i])) {
+              if (output.int_values[u] == kUnreachableHops) {
+                out.push_back(u);
+              }
+            }
+          }
+        });
+    next.clear();
+    discovered.Drain([&](VertexIndex u) {
       if (output.int_values[u] == kUnreachableHops) {
-        output.int_values[u] = next_hops;
-        frontier.push(u);
+        output.int_values[u] = hops;
+        next.push_back(u);
       }
-    }
+    });
+    frontier.swap(next);
   }
   return output;
 }

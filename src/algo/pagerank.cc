@@ -5,7 +5,7 @@
 namespace ga::reference {
 
 Result<AlgorithmOutput> PageRank(const Graph& graph, int iterations,
-                                 double damping) {
+                                 double damping, exec::ThreadPool* pool) {
   if (iterations < 0) {
     return Status::InvalidArgument("PageRank iterations must be >= 0");
   }
@@ -17,22 +17,32 @@ Result<AlgorithmOutput> PageRank(const Graph& graph, int iterations,
   output.algorithm = Algorithm::kPageRank;
   if (n == 0) return output;
 
+  // Pull-based power iteration, host-parallel per sweep. The dangling
+  // mass reduces per slot and merges in slot order; the per-vertex pull
+  // writes are disjoint — bit-identical at any thread count.
+  exec::ExecContext ctx(pool);
   std::vector<double> rank(n, 1.0 / static_cast<double>(n));
   std::vector<double> next(n, 0.0);
   for (int iteration = 0; iteration < iterations; ++iteration) {
-    double dangling_mass = 0.0;
-    for (VertexIndex v = 0; v < n; ++v) {
-      if (graph.OutDegree(v) == 0) dangling_mass += rank[v];
-    }
+    const double dangling_mass = exec::parallel_reduce(
+        ctx, 0, n, 0.0,
+        [&](const exec::Slice& slice, double& acc) {
+          for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+            if (graph.OutDegree(v) == 0) acc += rank[v];
+          }
+        },
+        [](double& into, double from) { into += from; });
     const double base = (1.0 - damping) / static_cast<double>(n) +
                         damping * dangling_mass / static_cast<double>(n);
-    for (VertexIndex v = 0; v < n; ++v) {
-      double incoming = 0.0;
-      for (VertexIndex u : graph.InNeighbors(v)) {
-        incoming += rank[u] / static_cast<double>(graph.OutDegree(u));
+    exec::parallel_for(ctx, 0, n, [&](const exec::Slice& slice) {
+      for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+        double incoming = 0.0;
+        for (VertexIndex u : graph.InNeighbors(v)) {
+          incoming += rank[u] / static_cast<double>(graph.OutDegree(u));
+        }
+        next[v] = base + damping * incoming;
       }
-      next[v] = base + damping * incoming;
-    }
+    });
     rank.swap(next);
   }
   output.double_values = std::move(rank);

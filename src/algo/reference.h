@@ -10,24 +10,32 @@
 
 #include "algo/output.h"
 #include "algo/params.h"
+#include "core/exec/exec.h"
 #include "core/graph.h"
 #include "core/status.h"
 #include "core/types.h"
 
 namespace ga::reference {
 
+// The frontier/sweep-parallel references (BFS, PageRank's pull sweep,
+// WCC's labelling pass) run their main loops through ga::exec; `pool` is
+// optional host parallelism — outputs are identical at any thread count.
+
 /// Breadth-first search: minimum number of hops from `source` (external id)
 /// to every vertex, following out-edges; kUnreachableHops if unreachable.
-Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source);
+Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source,
+                            exec::ThreadPool* pool = nullptr);
 
 /// PageRank with a fixed number of iterations, damping factor d, uniform
 /// 1/n initialisation, and dangling-vertex mass redistributed uniformly.
 Result<AlgorithmOutput> PageRank(const Graph& graph, int iterations,
-                                 double damping);
+                                 double damping,
+                                 exec::ThreadPool* pool = nullptr);
 
 /// Weakly connected components. Label = smallest external vertex id in the
 /// component (deterministic canonical labelling).
-Result<AlgorithmOutput> Wcc(const Graph& graph);
+Result<AlgorithmOutput> Wcc(const Graph& graph,
+                            exec::ThreadPool* pool = nullptr);
 
 /// Community detection by label propagation — the deterministic parallel
 /// variant used by the paper [Raghavan et al., modified per the technical
@@ -49,7 +57,8 @@ Result<AlgorithmOutput> Sssp(const Graph& graph, VertexId source);
 
 /// Dispatches to the implementation for `algorithm`.
 Result<AlgorithmOutput> Run(const Graph& graph, Algorithm algorithm,
-                            const AlgorithmParams& params);
+                            const AlgorithmParams& params,
+                            exec::ThreadPool* pool = nullptr);
 
 }  // namespace ga::reference
 

@@ -41,15 +41,16 @@ Result<AlgorithmOutput> Sssp(const Graph& graph, VertexId source) {
 }
 
 Result<AlgorithmOutput> Run(const Graph& graph, Algorithm algorithm,
-                            const AlgorithmParams& params) {
+                            const AlgorithmParams& params,
+                            exec::ThreadPool* pool) {
   switch (algorithm) {
     case Algorithm::kBfs:
-      return Bfs(graph, params.source_vertex);
+      return Bfs(graph, params.source_vertex, pool);
     case Algorithm::kPageRank:
       return PageRank(graph, params.pagerank_iterations,
-                      params.damping_factor);
+                      params.damping_factor, pool);
     case Algorithm::kWcc:
-      return Wcc(graph);
+      return Wcc(graph, pool);
     case Algorithm::kCdlp:
       return Cdlp(graph, params.cdlp_iterations);
     case Algorithm::kLcc:

@@ -38,7 +38,7 @@ class DisjointSets {
 
 }  // namespace
 
-Result<AlgorithmOutput> Wcc(const Graph& graph) {
+Result<AlgorithmOutput> Wcc(const Graph& graph, exec::ThreadPool* pool) {
   const VertexIndex n = graph.num_vertices();
   DisjointSets sets(n);
   for (const Edge& edge : graph.edges()) {
@@ -47,18 +47,26 @@ Result<AlgorithmOutput> Wcc(const Graph& graph) {
 
   // Canonical label: smallest external id in the component. External ids
   // are sorted ascending by construction, so the first vertex index seen
-  // per root has the smallest external id.
+  // per root has the smallest external id. The union phase above is
+  // inherently sequential; the labelling sweep below runs host-parallel
+  // over the compressed (read-only) root array.
   AlgorithmOutput output;
   output.algorithm = Algorithm::kWcc;
   output.int_values.assign(n, -1);
+  std::vector<VertexIndex> root_of(n);
   std::vector<std::int64_t> label_of_root(n, -1);
   for (VertexIndex v = 0; v < n; ++v) {
-    const VertexIndex root = sets.Find(v);
-    if (label_of_root[root] == -1) {
-      label_of_root[root] = graph.ExternalId(v);
+    root_of[v] = sets.Find(v);
+    if (label_of_root[root_of[v]] == -1) {
+      label_of_root[root_of[v]] = graph.ExternalId(v);
     }
-    output.int_values[v] = label_of_root[root];
   }
+  exec::ExecContext ctx(pool);
+  exec::parallel_for(ctx, 0, n, [&](const exec::Slice& slice) {
+    for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+      output.int_values[v] = label_of_root[root_of[v]];
+    }
+  });
   return output;
 }
 

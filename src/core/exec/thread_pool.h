@@ -1,0 +1,79 @@
+// ThreadPool: persistent host worker threads with work-stealing chunk
+// scheduling.
+//
+// The pool executes a *chunked job*: body(chunk) for every chunk index in
+// [0, num_chunks). Chunks are pre-partitioned into contiguous bands, one
+// per participant (the calling thread participates); a participant drains
+// its own band first and then steals remaining chunks from other bands.
+// WHICH thread runs a chunk is unspecified — callers that need
+// determinism must key all side effects by chunk index, never by thread
+// (see exec.h, which layers a fixed slot decomposition on top).
+//
+// This is the real host-parallelism substrate of the reproduction; it is
+// unrelated to the *simulated* workers of ga::sysmodel, which remain a
+// pure cost model.
+#ifndef GRAPHALYTICS_CORE_EXEC_THREAD_POOL_H_
+#define GRAPHALYTICS_CORE_EXEC_THREAD_POOL_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ga::exec {
+
+class ThreadPool {
+ public:
+  /// Creates a pool with `num_threads` total participants (including the
+  /// caller of Execute). num_threads <= 0 selects the hardware
+  /// concurrency. A pool of 1 runs every job inline.
+  explicit ThreadPool(int num_threads = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int num_threads() const { return num_threads_; }
+
+  /// Runs body(chunk) for every chunk in [0, num_chunks), blocking until
+  /// all chunks completed. The calling thread participates. Bodies must
+  /// not throw and must not call Execute on the same pool (jobs do not
+  /// nest).
+  void Execute(std::int64_t num_chunks,
+               const std::function<void(std::int64_t)>& body);
+
+  static int HardwareConcurrency();
+
+ private:
+  // One contiguous band of chunks. Owned by one participant, but any
+  // participant may steal from it: claiming is a fetch_add on `next`,
+  // valid while the claimed index is below `end`.
+  struct Band {
+    std::atomic<std::int64_t> next{0};
+    std::int64_t end = 0;
+  };
+
+  void WorkerLoop(int self);
+  /// Drains band `self`, then steals from the other bands round-robin.
+  void RunShare(int self, const std::function<void(std::int64_t)>& body);
+
+  int num_threads_;
+  std::vector<std::unique_ptr<Band>> bands_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;
+  std::condition_variable done_cv_;
+  const std::function<void(std::int64_t)>* job_ = nullptr;
+  std::uint64_t epoch_ = 0;  // bumped per job; workers wait on it
+  int unfinished_ = 0;
+  bool shutdown_ = false;
+};
+
+}  // namespace ga::exec
+
+#endif  // GRAPHALYTICS_CORE_EXEC_THREAD_POOL_H_

@@ -8,15 +8,17 @@ namespace ga {
 
 namespace {
 
-// Builds a CSR structure from (source-sorted) index pairs.
-// entries must be sorted by `key` ascending.
+// Builds a CSR structure from (fully sorted) index pairs.
+// entries must be sorted by (key, other) ascending, so entry j lands at
+// slot j — the scatter is a straight copy and parallelises per slice.
 struct AdjacencyEntry {
   VertexIndex key;    // vertex owning the adjacency list
   VertexIndex other;  // neighbour
   Weight weight;
 };
 
-void BuildCsr(const std::vector<AdjacencyEntry>& entries, VertexIndex n,
+void BuildCsr(exec::ExecContext& ctx,
+              const std::vector<AdjacencyEntry>& entries, VertexIndex n,
               bool weighted, std::vector<EdgeIndex>* offsets,
               std::vector<VertexIndex>* neighbors,
               std::vector<Weight>* weights) {
@@ -30,12 +32,16 @@ void BuildCsr(const std::vector<AdjacencyEntry>& entries, VertexIndex n,
     (*offsets)[static_cast<std::size_t>(v) + 1] +=
         (*offsets)[static_cast<std::size_t>(v)];
   }
-  std::vector<EdgeIndex> cursor(offsets->begin(), offsets->end() - 1);
-  for (const AdjacencyEntry& entry : entries) {
-    EdgeIndex slot = cursor[static_cast<std::size_t>(entry.key)]++;
-    (*neighbors)[static_cast<std::size_t>(slot)] = entry.other;
-    if (weighted) (*weights)[static_cast<std::size_t>(slot)] = entry.weight;
-  }
+  exec::parallel_for(
+      ctx, 0, static_cast<std::int64_t>(entries.size()),
+      [&](const exec::Slice& slice) {
+        for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+          (*neighbors)[static_cast<std::size_t>(i)] = entries[i].other;
+          if (weighted) {
+            (*weights)[static_cast<std::size_t>(i)] = entries[i].weight;
+          }
+        }
+      });
 }
 
 EdgeIndex MaxDegree(const std::vector<EdgeIndex>& offsets) {
@@ -46,9 +52,15 @@ EdgeIndex MaxDegree(const std::vector<EdgeIndex>& offsets) {
   return max_degree;
 }
 
+constexpr auto kByKeyThenOther = [](const AdjacencyEntry& a,
+                                    const AdjacencyEntry& b) {
+  return a.key != b.key ? a.key < b.key : a.other < b.other;
+};
+
 }  // namespace
 
-Result<Graph> GraphBuilder::Build() && {
+Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
+  exec::ExecContext ctx(pool);
   Graph graph;
   graph.directedness_ = directedness_;
   graph.weighted_ = weighted_;
@@ -60,7 +72,7 @@ Result<Graph> GraphBuilder::Build() && {
     ids.push_back(edge.source);
     ids.push_back(edge.target);
   }
-  std::sort(ids.begin(), ids.end());
+  exec::parallel_sort(ctx, &ids, std::less<VertexId>{});
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   graph.external_ids_ = std::move(ids);
   graph.index_of_.reserve(graph.external_ids_.size() * 2);
@@ -71,28 +83,48 @@ Result<Graph> GraphBuilder::Build() && {
   const VertexIndex n = graph.num_vertices();
 
   // 2. Canonicalise edges: remap ids, orient undirected edges low->high,
-  //    drop or reject self-loops, sort, dedupe.
+  //    drop or reject self-loops, sort, dedupe. The remap runs
+  //    host-parallel over raw-edge slices (the id map is read-only by
+  //    now); slot-ordered concatenation preserves input order, so the
+  //    duplicate-survivor choice is thread-count independent.
   const bool undirected = directedness_ == Directedness::kUndirected;
-  std::vector<Edge> edges;
-  edges.reserve(raw_edges_.size());
-  for (const RawEdge& raw : raw_edges_) {
-    VertexIndex s = graph.index_of_.at(raw.source);
-    VertexIndex t = graph.index_of_.at(raw.target);
-    if (s == t) {
-      if (policy_ == AnomalyPolicy::kReject) {
+  const std::int64_t num_raw =
+      static_cast<std::int64_t>(raw_edges_.size());
+  exec::SlotBuffers<Edge> remapped;
+  remapped.Reset(exec::ExecContext::NumSlots(num_raw));
+  std::vector<VertexId> slot_self_loop(
+      std::max(remapped.num_slots(), 1), -1);
+  exec::parallel_for(ctx, 0, num_raw, [&](const exec::Slice& slice) {
+    std::vector<Edge>& out = remapped.buf(slice.slot);
+    for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+      const RawEdge& raw = raw_edges_[i];
+      VertexIndex s = graph.index_of_.at(raw.source);
+      VertexIndex t = graph.index_of_.at(raw.target);
+      if (s == t) {
+        if (slot_self_loop[slice.slot] == -1) {
+          slot_self_loop[slice.slot] = raw.source;
+        }
+        continue;
+      }
+      if (undirected && s > t) std::swap(s, t);
+      out.push_back(Edge{s, t, raw.weight});
+    }
+  });
+  if (policy_ == AnomalyPolicy::kReject) {
+    for (VertexId offender : slot_self_loop) {
+      if (offender != -1) {
         return Status::InvalidArgument(
-            "self-loop on vertex " + std::to_string(raw.source) +
+            "self-loop on vertex " + std::to_string(offender) +
             " violates the Graphalytics data model");
       }
-      continue;
     }
-    if (undirected && s > t) std::swap(s, t);
-    edges.push_back(Edge{s, t, raw.weight});
   }
+  std::vector<Edge> edges;
+  remapped.MergeInto(&edges);
   raw_edges_.clear();
   raw_edges_.shrink_to_fit();
 
-  std::sort(edges.begin(), edges.end(), [](const Edge& a, const Edge& b) {
+  exec::parallel_sort(ctx, &edges, [](const Edge& a, const Edge& b) {
     return a.source != b.source ? a.source < b.source : a.target < b.target;
   });
   auto duplicate = [](const Edge& a, const Edge& b) {
@@ -109,33 +141,40 @@ Result<Graph> GraphBuilder::Build() && {
   }
   graph.edges_ = std::move(edges);
 
-  // 3. Materialise adjacency.
-  std::vector<AdjacencyEntry> out_entries;
-  out_entries.reserve(graph.edges_.size() * (undirected ? 2 : 1));
-  for (const Edge& edge : graph.edges_) {
-    out_entries.push_back({edge.source, edge.target, edge.weight});
-    if (undirected) out_entries.push_back({edge.target, edge.source, edge.weight});
-  }
-  std::sort(out_entries.begin(), out_entries.end(),
-            [](const AdjacencyEntry& a, const AdjacencyEntry& b) {
-              return a.key != b.key ? a.key < b.key : a.other < b.other;
-            });
-  BuildCsr(out_entries, n, weighted_, &graph.out_offsets_,
+  // 3. Materialise adjacency: indexed parallel writes into a presized
+  //    entry array, parallel sort, parallel CSR scatter.
+  const std::int64_t num_edges =
+      static_cast<std::int64_t>(graph.edges_.size());
+  std::vector<AdjacencyEntry> out_entries(
+      static_cast<std::size_t>(num_edges) * (undirected ? 2 : 1));
+  exec::parallel_for(ctx, 0, num_edges, [&](const exec::Slice& slice) {
+    for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+      const Edge& edge = graph.edges_[e];
+      if (undirected) {
+        out_entries[2 * e] = {edge.source, edge.target, edge.weight};
+        out_entries[2 * e + 1] = {edge.target, edge.source, edge.weight};
+      } else {
+        out_entries[e] = {edge.source, edge.target, edge.weight};
+      }
+    }
+  });
+  exec::parallel_sort(ctx, &out_entries, kByKeyThenOther);
+  BuildCsr(ctx, out_entries, n, weighted_, &graph.out_offsets_,
            &graph.out_targets_, &graph.out_weights_);
   graph.max_out_degree_ = MaxDegree(graph.out_offsets_);
 
   if (!undirected) {
-    std::vector<AdjacencyEntry> in_entries;
-    in_entries.reserve(graph.edges_.size());
-    for (const Edge& edge : graph.edges_) {
-      in_entries.push_back({edge.target, edge.source, edge.weight});
-    }
-    std::sort(in_entries.begin(), in_entries.end(),
-              [](const AdjacencyEntry& a, const AdjacencyEntry& b) {
-                return a.key != b.key ? a.key < b.key : a.other < b.other;
-              });
-    BuildCsr(in_entries, n, weighted_, &graph.in_offsets_, &graph.in_sources_,
-             &graph.in_weights_);
+    std::vector<AdjacencyEntry> in_entries(
+        static_cast<std::size_t>(num_edges));
+    exec::parallel_for(ctx, 0, num_edges, [&](const exec::Slice& slice) {
+      for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+        const Edge& edge = graph.edges_[e];
+        in_entries[e] = {edge.target, edge.source, edge.weight};
+      }
+    });
+    exec::parallel_sort(ctx, &in_entries, kByKeyThenOther);
+    BuildCsr(ctx, in_entries, n, weighted_, &graph.in_offsets_,
+             &graph.in_sources_, &graph.in_weights_);
     graph.max_in_degree_ = MaxDegree(graph.in_offsets_);
   } else {
     graph.max_in_degree_ = graph.max_out_degree_;

@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/exec.h"
 #include "core/status.h"
 #include "core/types.h"
 
@@ -172,8 +173,11 @@ class GraphBuilder {
 
   std::size_t num_pending_edges() const { return raw_edges_.size(); }
 
-  /// Builds the immutable graph. Consumes the builder's buffers.
-  Result<Graph> Build() &&;
+  /// Builds the immutable graph. Consumes the builder's buffers. With a
+  /// pool, the id/edge sorts, canonicalisation and CSR scatter run
+  /// host-parallel; the resulting graph is byte-identical at any thread
+  /// count (fixed slot decomposition + stable merges, see core/exec).
+  Result<Graph> Build(exec::ThreadPool* pool = nullptr) &&;
 
  private:
   struct RawEdge {

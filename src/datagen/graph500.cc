@@ -104,7 +104,7 @@ Result<Graph> GenerateGraph500(const Graph500Config& config) {
         "graph500 generator exhausted attempts before reaching " +
         std::to_string(target_edges) + " edges");
   }
-  return std::move(builder).Build();
+  return std::move(builder).Build(config.build_pool);
 }
 
 }  // namespace ga::datagen

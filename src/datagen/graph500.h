@@ -38,6 +38,9 @@ struct Graph500Config {
   /// real-graph proxies (wiki-talk, cit-patents, twitter are directed).
   Directedness directedness = Directedness::kUndirected;
   std::uint64_t seed = 1;
+  /// Optional host pool for the final GraphBuilder::Build (sorts + CSR).
+  /// The generated graph is identical at any thread count.
+  exec::ThreadPool* build_pool = nullptr;
 };
 
 Result<Graph> GenerateGraph500(const Graph500Config& config);

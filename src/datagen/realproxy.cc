@@ -43,7 +43,8 @@ Result<RealGraphSpec> FindRealGraphSpec(const std::string& id) {
 
 Result<Graph> GenerateRealProxy(const RealGraphSpec& spec,
                                 std::int64_t scale_divisor,
-                                std::uint64_t seed) {
+                                std::uint64_t seed,
+                                exec::ThreadPool* build_pool) {
   if (scale_divisor < 1) {
     return Status::InvalidArgument("scale_divisor must be >= 1");
   }
@@ -71,6 +72,7 @@ Result<Graph> GenerateRealProxy(const RealGraphSpec& spec,
   config.directedness = spec.directedness;
   // Salt the seed with the dataset id so different proxies are independent.
   config.seed = seed ^ (0x9E3779B97F4A7C15ULL * (spec.id.back() - '0'));
+  config.build_pool = build_pool;
   return GenerateGraph500(config);
 }
 

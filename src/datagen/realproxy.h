@@ -39,9 +39,12 @@ std::span<const RealGraphSpec> RealGraphCatalog();
 Result<RealGraphSpec> FindRealGraphSpec(const std::string& id);
 
 /// Generates the proxy graph for `spec` at paper size / `scale_divisor`.
+/// `build_pool` optionally host-parallelises the final graph build; the
+/// generated graph is identical at any thread count.
 Result<Graph> GenerateRealProxy(const RealGraphSpec& spec,
                                 std::int64_t scale_divisor,
-                                std::uint64_t seed);
+                                std::uint64_t seed,
+                                exec::ThreadPool* build_pool = nullptr);
 
 }  // namespace ga::datagen
 

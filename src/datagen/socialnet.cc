@@ -234,7 +234,8 @@ Result<SocialNetwork> GenerateSocialNetwork(const SocialNetConfig& config) {
     }
   }
 
-  GA_ASSIGN_OR_RETURN(result.graph, std::move(builder).Build());
+  GA_ASSIGN_OR_RETURN(result.graph,
+                      std::move(builder).Build(config.build_pool));
   return result;
 }
 

@@ -50,6 +50,9 @@ struct SocialNetConfig {
   bool weighted = true;
   DatagenFlow flow = DatagenFlow::kNewIndependent;
   std::uint64_t seed = 1;
+  /// Optional host pool for the final GraphBuilder::Build (sorts + CSR).
+  /// The generated graph is identical at any thread count.
+  exec::ThreadPool* build_pool = nullptr;
 };
 
 /// Record counts of one generation step (one MapReduce job in Datagen).

@@ -14,6 +14,10 @@ BenchmarkConfig BenchmarkConfig::FromEnv() {
   if (const char* seed = std::getenv("GA_SEED")) {
     config.seed = static_cast<std::uint64_t>(std::atoll(seed));
   }
+  if (const char* jobs = std::getenv("GA_JOBS")) {
+    const int value = std::atoi(jobs);
+    if (value >= 0) config.host_jobs = value;
+  }
   return config;
 }
 

@@ -22,6 +22,10 @@ struct BenchmarkConfig {
   /// Per-machine memory of the paper's testbed (Table 7), scaled by
   /// scale_divisor when deployed.
   std::int64_t machine_memory_bytes = 64LL * 1024 * 1024 * 1024;
+  /// Host threads the engines execute their real work on (the CLI's
+  /// --jobs). 0 selects the hardware concurrency. Purely a wall-time
+  /// knob: simulated metrics and outputs are identical at any value.
+  int host_jobs = 0;
 
   /// Memory budget handed to a simulated machine.
   std::int64_t ScaledMemoryBudget() const {
@@ -32,7 +36,8 @@ struct BenchmarkConfig {
     return sim_seconds * static_cast<double>(scale_divisor);
   }
 
-  /// Reads GA_SCALE_DIVISOR / GA_SEED from the environment if set.
+  /// Reads GA_SCALE_DIVISOR / GA_SEED / GA_JOBS from the environment if
+  /// set.
   static BenchmarkConfig FromEnv();
 };
 

@@ -93,8 +93,9 @@ Result<const Graph*> DatasetRegistry::Load(const std::string& id) {
     case DatasetSource::kRealProxy: {
       GA_ASSIGN_OR_RETURN(datagen::RealGraphSpec real,
                           datagen::FindRealGraphSpec(spec.id));
-      GA_ASSIGN_OR_RETURN(graph, datagen::GenerateRealProxy(
-                                     real, divisor, config_.seed));
+      GA_ASSIGN_OR_RETURN(graph,
+                          datagen::GenerateRealProxy(
+                              real, divisor, config_.seed, host_pool_));
       break;
     }
     case DatasetSource::kDatagen: {
@@ -107,6 +108,7 @@ Result<const Graph*> DatasetRegistry::Load(const std::string& id) {
       dg.target_clustering = spec.target_clustering;
       dg.weighted = spec.weighted;
       dg.seed = config_.seed ^ (0x5D1F * (spec.paper_vertices % 9973));
+      dg.build_pool = host_pool_;
       GA_ASSIGN_OR_RETURN(datagen::SocialNetwork network,
                           datagen::GenerateSocialNetwork(dg));
       graph = std::move(network.graph);
@@ -126,6 +128,7 @@ Result<const Graph*> DatasetRegistry::Load(const std::string& id) {
           density_floor});
       g5.weighted = spec.weighted;
       g5.seed = config_.seed ^ (0xC0FFEE + spec.paper_vertices);
+      g5.build_pool = host_pool_;
       GA_ASSIGN_OR_RETURN(graph, datagen::GenerateGraph500(g5));
       break;
     }

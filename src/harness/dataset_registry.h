@@ -49,6 +49,10 @@ class DatasetRegistry {
   /// Generates (once) and returns the scaled instance.
   Result<const Graph*> Load(const std::string& id);
 
+  /// Host pool used to build generated graphs (not owned; may be null).
+  /// Generation stays deterministic at any thread count.
+  void set_host_pool(exec::ThreadPool* pool) { host_pool_ = pool; }
+
   /// Releases a cached instance (bench sweeps over many datasets).
   void Evict(const std::string& id) { cache_.erase(id); }
 
@@ -61,6 +65,7 @@ class DatasetRegistry {
 
  private:
   BenchmarkConfig config_;
+  exec::ThreadPool* host_pool_ = nullptr;
   std::vector<DatasetSpec> specs_;
   std::map<std::string, std::unique_ptr<Graph>> cache_;
 };

@@ -38,7 +38,11 @@ std::string_view JobOutcomeName(JobOutcome outcome) {
 }
 
 BenchmarkRunner::BenchmarkRunner(const BenchmarkConfig& config)
-    : config_(config), registry_(config) {}
+    : config_(config),
+      host_pool_(std::make_unique<exec::ThreadPool>(config.host_jobs)),
+      registry_(config) {
+  registry_.set_host_pool(host_pool_.get());
+}
 
 Result<const AlgorithmOutput*> BenchmarkRunner::ReferenceFor(
     const std::string& dataset_id, Algorithm algorithm) {
@@ -49,8 +53,9 @@ Result<const AlgorithmOutput*> BenchmarkRunner::ReferenceFor(
   GA_ASSIGN_OR_RETURN(const Graph* graph, registry_.Load(dataset_id));
   GA_ASSIGN_OR_RETURN(AlgorithmParams params,
                       registry_.ParamsFor(dataset_id));
-  GA_ASSIGN_OR_RETURN(AlgorithmOutput output,
-                      reference::Run(*graph, algorithm, params));
+  GA_ASSIGN_OR_RETURN(
+      AlgorithmOutput output,
+      reference::Run(*graph, algorithm, params, host_pool_.get()));
   auto owned = std::make_unique<AlgorithmOutput>(std::move(output));
   const AlgorithmOutput* pointer = owned.get();
   reference_cache_[key] = std::move(owned);
@@ -70,6 +75,7 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
   env.memory_budget_bytes = config_.ScaledMemoryBudget();
   env.prefer_distributed_backend = spec.prefer_distributed_backend;
   env.overhead_scale = 1.0 / static_cast<double>(config_.scale_divisor);
+  env.host_pool = host_pool_.get();
 
   JobReport report;
   report.spec = spec;

@@ -72,6 +72,10 @@ class BenchmarkRunner {
   DatasetRegistry& registry() { return registry_; }
   const BenchmarkConfig& config() const { return config_; }
 
+  /// Host thread pool (config.host_jobs threads) shared by every job's
+  /// engine execution and the reference implementations.
+  exec::ThreadPool* host_pool() { return host_pool_.get(); }
+
   /// Runs one job. Infrastructure errors (unknown dataset/platform)
   /// surface as a non-OK status; *benchmark-visible* failures (crash,
   /// SLA breach, unsupported workload) come back as a JobReport with the
@@ -83,6 +87,7 @@ class BenchmarkRunner {
                                               Algorithm algorithm);
 
   BenchmarkConfig config_;
+  std::unique_ptr<exec::ThreadPool> host_pool_;
   DatasetRegistry registry_;
   std::map<std::string, std::unique_ptr<AlgorithmOutput>> reference_cache_;
 };

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/exec.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -22,9 +23,15 @@ constexpr std::int64_t kMessageObjectBytes = 48;
 // Protocol: vertices start *halted*; initial work is injected with
 // SeedMessage (as Giraph drivers do for rooted algorithms) or by
 // ActivateAll for self-starting algorithms. A vertex program runs when the
-// vertex is active or has mail; it may Send, AggregateNext and VoteToHalt.
-// Execution stops at quiescence (no active vertices, no mail) or after
-// max_supersteps.
+// vertex is active or has mail; it may Send, AggregateNext and VoteToHalt
+// through its Scope. Execution stops at quiescence (no active vertices,
+// no mail) or after max_supersteps.
+//
+// Each superstep runs the vertex programs host-parallel via
+// exec::parallel_for. A program's sends go to its slot's outbox and are
+// delivered (with the combiner applied) in slot order after the loop, so
+// inbox contents — and therefore results and the WorkLedger — are
+// identical at any host thread count.
 class PregelRuntime {
  public:
   /// Message combiner, as provided by Giraph drivers: kMin for BFS / WCC /
@@ -34,6 +41,11 @@ class PregelRuntime {
   /// neither can LCC's neighbour lists — hence their different failure
   /// modes (§4.2 / §4.6).
   enum class Combine { kNone, kMin, kSum };
+
+  struct Message {
+    VertexIndex target;
+    double value;
+  };
 
   PregelRuntime(JobContext& ctx, const Graph& graph,
                 Combine combiner = Combine::kNone)
@@ -52,30 +64,118 @@ class PregelRuntime {
     inbox_[target].push_back(value);
   }
 
+  /// Slot-local view of the runtime handed to a vertex program. Sends and
+  /// cost charges land in slot-keyed buffers; per-slot scratch (the CDLP
+  /// histogram) lives here so programs stay race-free.
+  class Scope {
+   public:
+    Scope(PregelRuntime& runtime, int slot)
+        : runtime_(runtime),
+          slot_(slot),
+          charges_(runtime.ctx_.slot_charges(slot)) {}
+
+    /// Sends a message to `target` for delivery next superstep; charged
+    /// to the current vertex's worker, plus wire bytes if it crosses
+    /// machines (remote messages also pay (de)serialisation and
+    /// Netty-stack CPU, Giraph's distributed-mode penalty).
+    void Send(VertexIndex target, double value) {
+      runtime_.outboxes_.buf(slot_).push_back(Message{target, value});
+      const WorkerMap& workers = runtime_.workers_;
+      const CostProfile& profile = runtime_.ctx_.profile();
+      charges_.worker_ops[workers.worker_of(current_vertex_)] +=
+          static_cast<std::uint64_t>(profile.ops_per_message +
+                                     profile.ops_per_edge);
+      const int source_machine = workers.machine_of(current_vertex_);
+      const int target_machine = workers.machine_of(target);
+      if (source_machine != target_machine) {
+        const auto bytes =
+            static_cast<std::uint64_t>(profile.bytes_per_message);
+        charges_.comm[source_machine].bytes_sent += bytes;
+        charges_.comm[target_machine].bytes_received += bytes;
+        charges_.worker_ops[workers.worker_of(current_vertex_)] +=
+            static_cast<std::uint64_t>(5.0 * profile.ops_per_message);
+      }
+    }
+
+    void VoteToHalt() { halt_requested_ = true; }
+
+    /// Global sum aggregator, visible one superstep later (Giraph-style).
+    void AggregateNext(double value) {
+      runtime_.aggregator_partials_[slot_] += value;
+    }
+    double aggregator() const { return runtime_.aggregator_; }
+
+    /// Per-slot scratch reused across the slot's vertices.
+    std::unordered_map<std::int64_t, std::int64_t>& histogram() {
+      return histogram_;
+    }
+
+   private:
+    friend class PregelRuntime;
+
+    void BeginVertex(VertexIndex v) {
+      current_vertex_ = v;
+      halt_requested_ = false;
+    }
+
+    PregelRuntime& runtime_;
+    int slot_;
+    JobContext::SlotCharges& charges_;
+    VertexIndex current_vertex_ = 0;
+    bool halt_requested_ = false;
+    std::unordered_map<std::int64_t, std::int64_t> histogram_;
+  };
+
   template <typename VertexProgram>
   Status Run(VertexProgram&& program, int max_supersteps,
              const std::string& label) {
+    const VertexIndex n = graph_.num_vertices();
     for (int superstep = 0; superstep < max_supersteps; ++superstep) {
       if (!AnyWork()) break;
       GA_RETURN_IF_ERROR(ChargeInboxBuffers(label));
 
-      aggregator_next_ = 0.0;
-      for (VertexIndex v = 0; v < graph_.num_vertices(); ++v) {
-        const bool has_mail = !inbox_[v].empty();
-        if (!active_[v] && !has_mail) continue;
-        const int worker = workers_.worker_of(v);
-        ctx_.worker_ops()[worker] += static_cast<std::uint64_t>(
-            ctx_.profile().ops_per_vertex +
-            ctx_.profile().ops_per_message *
-                static_cast<double>(inbox_[v].size()));
-        ctx_.ledger().messages += inbox_[v].size();
-        ctx_.ledger().allocations += inbox_[v].size();
-        current_vertex_ = v;
-        halt_requested_ = false;
-        program(v, std::span<const double>(inbox_[v]), superstep, *this);
-        active_[v] = halt_requested_ ? 0 : 1;
-      }
-      aggregator_ = aggregator_next_;
+      const int num_slots = exec::ExecContext::NumSlots(n);
+      ctx_.PrepareSlotCharges(num_slots);
+      outboxes_.Reset(num_slots);
+      aggregator_partials_.assign(num_slots, 0.0);
+
+      exec::parallel_for(
+          ctx_.exec(), 0, n, [&](const exec::Slice& slice) {
+            Scope scope(*this, slice.slot);
+            const CostProfile& profile = ctx_.profile();
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              const bool has_mail = !inbox_[v].empty();
+              if (!active_[v] && !has_mail) continue;
+              scope.charges_.worker_ops[workers_.worker_of(v)] +=
+                  static_cast<std::uint64_t>(
+                      profile.ops_per_vertex +
+                      profile.ops_per_message *
+                          static_cast<double>(inbox_[v].size()));
+              scope.charges_.ledger.messages += inbox_[v].size();
+              scope.charges_.ledger.allocations += inbox_[v].size();
+              scope.BeginVertex(v);
+              program(v, std::span<const double>(inbox_[v]), superstep,
+                      scope);
+              active_[v] = scope.halt_requested_ ? 0 : 1;
+            }
+          });
+
+      ctx_.MergeSlotCharges();
+      double aggregated = 0.0;
+      for (double partial : aggregator_partials_) aggregated += partial;
+      aggregator_ = aggregated;
+      // Slot-ordered delivery replays the sends in ascending vertex
+      // order — exactly the sequence a serial sweep would produce.
+      outboxes_.Drain([&](const Message& message) {
+        std::vector<double>& box = next_inbox_[message.target];
+        if (combiner_ != Combine::kNone && !box.empty()) {
+          box[0] = combiner_ == Combine::kMin
+                       ? std::min(box[0], message.value)
+                       : box[0] + message.value;
+        } else {
+          box.push_back(message.value);
+        }
+      });
 
       ReleaseInboxBuffers();
       for (auto& box : inbox_) box.clear();
@@ -84,41 +184,6 @@ class PregelRuntime {
     }
     return Status::Ok();
   }
-
-  /// Sends a message to `target` for delivery next superstep; charged to
-  /// the current vertex's worker, plus wire bytes if it crosses machines.
-  /// With a combiner configured the inbox keeps one combined value (the
-  /// send itself still costs CPU and wire, as in Giraph).
-  void Send(VertexIndex target, double value) {
-    std::vector<double>& box = next_inbox_[target];
-    if (combiner_ != Combine::kNone && !box.empty()) {
-      box[0] = combiner_ == Combine::kMin ? std::min(box[0], value)
-                                          : box[0] + value;
-    } else {
-      box.push_back(value);
-    }
-    ctx_.worker_ops()[workers_.worker_of(current_vertex_)] +=
-        static_cast<std::uint64_t>(ctx_.profile().ops_per_message +
-                                   ctx_.profile().ops_per_edge);
-    const int source_machine = workers_.machine_of(current_vertex_);
-    const int target_machine = workers_.machine_of(target);
-    if (source_machine != target_machine) {
-      const auto bytes =
-          static_cast<std::uint64_t>(ctx_.profile().bytes_per_message);
-      ctx_.machine_comm()[source_machine].bytes_sent += bytes;
-      ctx_.machine_comm()[target_machine].bytes_received += bytes;
-      // Remote messages pay (de)serialisation and Netty-stack CPU on top
-      // of the local message cost — Giraph's distributed-mode penalty.
-      ctx_.worker_ops()[workers_.worker_of(current_vertex_)] +=
-          static_cast<std::uint64_t>(5.0 * ctx_.profile().ops_per_message);
-    }
-  }
-
-  void VoteToHalt() { halt_requested_ = true; }
-
-  /// Global sum aggregator, visible one superstep later (Giraph-style).
-  void AggregateNext(double value) { aggregator_next_ += value; }
-  double aggregator() const { return aggregator_; }
 
   const WorkerMap& workers() const { return workers_; }
 
@@ -163,10 +228,9 @@ class PregelRuntime {
   std::vector<std::vector<double>> next_inbox_;
   std::vector<char> active_;
   std::vector<std::int64_t> charged_bytes_;
-  VertexIndex current_vertex_ = 0;
-  bool halt_requested_ = false;
+  exec::SlotBuffers<Message> outboxes_;
+  std::vector<double> aggregator_partials_;
   double aggregator_ = 0.0;
-  double aggregator_next_ = 0.0;
 };
 
 Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
@@ -178,7 +242,7 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
   runtime.SeedMessage(root, 0.0);
   GA_RETURN_IF_ERROR(runtime.Run(
       [&](VertexIndex v, std::span<const double> mail, int /*superstep*/,
-          PregelRuntime& rt) {
+          PregelRuntime::Scope& rt) {
         std::int64_t best = kUnreachableHops;
         for (double m : mail) {
           best = std::min(best, static_cast<std::int64_t>(m));
@@ -204,7 +268,7 @@ Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
   runtime.SeedMessage(root, 0.0);
   GA_RETURN_IF_ERROR(runtime.Run(
       [&](VertexIndex v, std::span<const double> mail, int /*superstep*/,
-          PregelRuntime& rt) {
+          PregelRuntime::Scope& rt) {
         double best = kUnreachableDistance;
         for (double m : mail) best = std::min(best, m);
         if (best < output.double_values[v]) {
@@ -232,7 +296,7 @@ Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
   runtime.ActivateAll();
   GA_RETURN_IF_ERROR(runtime.Run(
       [&](VertexIndex v, std::span<const double> mail, int superstep,
-          PregelRuntime& rt) {
+          PregelRuntime::Scope& rt) {
         std::int64_t label = output.int_values[v];
         bool changed = superstep == 0;  // broadcast once at start
         for (double m : mail) {
@@ -275,7 +339,7 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
   // summed with the Giraph-style aggregator and applied next superstep.
   GA_RETURN_IF_ERROR(runtime.Run(
       [&](VertexIndex v, std::span<const double> mail, int superstep,
-          PregelRuntime& rt) {
+          PregelRuntime::Scope& rt) {
         if (superstep > 0) {
           double incoming = 0.0;
           for (double m : mail) incoming += m;
@@ -314,8 +378,7 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
 
   PregelRuntime runtime(ctx, graph);
   runtime.ActivateAll();
-  std::unordered_map<std::int64_t, std::int64_t> histogram;
-  auto send_label = [&](VertexIndex v, PregelRuntime& rt) {
+  auto send_label = [&](VertexIndex v, PregelRuntime::Scope& rt) {
     const double label = static_cast<double>(output.int_values[v]);
     // A directed reciprocal pair contributes one vote per direction
     // (Graphalytics CDLP semantics): v's label travels along out-edges,
@@ -327,8 +390,9 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
   };
   GA_RETURN_IF_ERROR(runtime.Run(
       [&](VertexIndex v, std::span<const double> mail, int superstep,
-          PregelRuntime& rt) {
+          PregelRuntime::Scope& rt) {
         if (superstep > 0 && !mail.empty()) {
+          auto& histogram = rt.histogram();
           histogram.clear();
           for (double m : mail) ++histogram[static_cast<std::int64_t>(m)];
           std::int64_t best_label = 0;
@@ -357,6 +421,8 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
 // neighbour; superstep 2 intersects. The list buffers are charged to the
 // receiving machines — on dense or large graphs this exhausts memory,
 // which is exactly the paper's observed failure mode for LCC (§4.2).
+// Both phases run host-parallel over vertex slices; each slice owns its
+// neighbourhood scratch, and memory/comm charges stage per slot.
 Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   const VertexIndex n = graph.num_vertices();
   AlgorithmOutput output;
@@ -364,12 +430,8 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   output.double_values.assign(n, 0.0);
   WorkerMap workers(graph, ctx.num_machines(), ctx.threads_per_machine());
 
-  // Phase 1: neighbourhood exchange. Charge the materialised message
-  // buffers: every u ships out(u) to each member of N(u).
-  std::vector<std::int64_t> machine_bytes(ctx.num_machines(), 0);
-  std::vector<VertexIndex> neighborhood;
-  std::vector<char> flag(n, 0);
-  auto collect_neighborhood = [&](VertexIndex v) {
+  auto collect_neighborhood = [&](VertexIndex v, std::vector<char>& flag,
+                                  std::vector<VertexIndex>& neighborhood) {
     neighborhood.clear();
     for (VertexIndex u : graph.OutNeighbors(v)) {
       if (u != v && !flag[u]) {
@@ -387,25 +449,53 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
     }
   };
 
-  for (VertexIndex u = 0; u < n; ++u) {
-    collect_neighborhood(u);
-    const std::int64_t list_bytes =
-        static_cast<std::int64_t>(graph.OutDegree(u)) * 8 + 48;
-    for (VertexIndex v : neighborhood) {
-      machine_bytes[workers.machine_of(v)] += list_bytes;
-      ctx.worker_ops()[workers.worker_of(u)] += static_cast<std::uint64_t>(
-          ctx.profile().ops_per_message +
-          ctx.profile().ops_per_edge *
-              static_cast<double>(graph.OutDegree(u)));
-      if (workers.machine_of(u) != workers.machine_of(v)) {
-        ctx.machine_comm()[workers.machine_of(u)].bytes_sent +=
-            static_cast<std::uint64_t>(list_bytes);
-        ctx.machine_comm()[workers.machine_of(v)].bytes_received +=
-            static_cast<std::uint64_t>(list_bytes);
+  // Phase 1: neighbourhood exchange. Charge the materialised message
+  // buffers: every u ships out(u) to each member of N(u). Slots are
+  // capped: each slice owns an O(n) flag array.
+  const int num_slots =
+      exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
+  ctx.PrepareSlotCharges(num_slots);
+  std::vector<std::vector<std::int64_t>> slot_machine_bytes(
+      num_slots, std::vector<std::int64_t>(ctx.num_machines(), 0));
+  auto lcc_parallel_for = [&](auto&& body) {
+    exec::parallel_for(ctx.exec(), 0, n,
+                       std::forward<decltype(body)>(body),
+                       exec::ExecContext::kScratchSlots);
+  };
+  lcc_parallel_for([&](const exec::Slice& slice) {
+    JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
+    std::vector<std::int64_t>& machine_bytes =
+        slot_machine_bytes[slice.slot];
+    std::vector<char> flag(n, 0);
+    std::vector<VertexIndex> neighborhood;
+    for (VertexIndex u = slice.begin; u < slice.end; ++u) {
+      collect_neighborhood(u, flag, neighborhood);
+      const std::int64_t list_bytes =
+          static_cast<std::int64_t>(graph.OutDegree(u)) * 8 + 48;
+      for (VertexIndex v : neighborhood) {
+        machine_bytes[workers.machine_of(v)] += list_bytes;
+        charges.worker_ops[workers.worker_of(u)] +=
+            static_cast<std::uint64_t>(
+                ctx.profile().ops_per_message +
+                ctx.profile().ops_per_edge *
+                    static_cast<double>(graph.OutDegree(u)));
+        if (workers.machine_of(u) != workers.machine_of(v)) {
+          charges.comm[workers.machine_of(u)].bytes_sent +=
+              static_cast<std::uint64_t>(list_bytes);
+          charges.comm[workers.machine_of(v)].bytes_received +=
+              static_cast<std::uint64_t>(list_bytes);
+        }
+        charges.ledger.messages += 1;
       }
-      ctx.ledger().messages += 1;
+      for (VertexIndex w : neighborhood) flag[w] = 0;
     }
-    for (VertexIndex w : neighborhood) flag[w] = 0;
+  });
+  ctx.MergeSlotCharges();
+  std::vector<std::int64_t> machine_bytes(ctx.num_machines(), 0);
+  for (const auto& slot_bytes : slot_machine_bytes) {
+    for (int m = 0; m < ctx.num_machines(); ++m) {
+      machine_bytes[m] += slot_bytes[m];
+    }
   }
   for (int m = 0; m < ctx.num_machines(); ++m) {
     GA_RETURN_IF_ERROR(
@@ -414,26 +504,34 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   ctx.EndSuperstep("lcc/exchange");
 
   // Phase 2: intersect received lists with the local neighbourhood.
-  for (VertexIndex v = 0; v < n; ++v) {
-    collect_neighborhood(v);
-    const double degree = static_cast<double>(neighborhood.size());
-    std::int64_t links = 0;
-    std::uint64_t scanned = 0;
-    if (neighborhood.size() >= 2) {
-      for (VertexIndex u : neighborhood) {
-        for (VertexIndex w : graph.OutNeighbors(u)) {
-          ++scanned;
-          if (w != v && flag[w]) ++links;
+  ctx.PrepareSlotCharges(num_slots);
+  lcc_parallel_for([&](const exec::Slice& slice) {
+    JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
+    std::vector<char> flag(n, 0);
+    std::vector<VertexIndex> neighborhood;
+    for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+      collect_neighborhood(v, flag, neighborhood);
+      const double degree = static_cast<double>(neighborhood.size());
+      std::int64_t links = 0;
+      std::uint64_t scanned = 0;
+      if (neighborhood.size() >= 2) {
+        for (VertexIndex u : neighborhood) {
+          for (VertexIndex w : graph.OutNeighbors(u)) {
+            ++scanned;
+            if (w != v && flag[w]) ++links;
+          }
         }
+        output.double_values[v] =
+            static_cast<double>(links) / (degree * (degree - 1.0));
       }
-      output.double_values[v] =
-          static_cast<double>(links) / (degree * (degree - 1.0));
+      charges.worker_ops[workers.worker_of(v)] +=
+          static_cast<std::uint64_t>(
+              ctx.profile().ops_per_vertex +
+              ctx.profile().ops_per_message * static_cast<double>(scanned));
+      for (VertexIndex w : neighborhood) flag[w] = 0;
     }
-    ctx.worker_ops()[workers.worker_of(v)] += static_cast<std::uint64_t>(
-        ctx.profile().ops_per_vertex +
-        ctx.profile().ops_per_message * static_cast<double>(scanned));
-    for (VertexIndex w : neighborhood) flag[w] = 0;
-  }
+  });
+  ctx.MergeSlotCharges();
   ctx.EndSuperstep("lcc/intersect");
   for (int m = 0; m < ctx.num_machines(); ++m) {
     ctx.ReleaseMemory(m, machine_bytes[m]);

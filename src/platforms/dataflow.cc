@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/exec.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -149,19 +150,35 @@ Status RunGraphxPregel(JobContext& ctx, const Graph& graph,
     if (!any_active) break;
 
     // Triplet phase: the FULL edge table is scanned (GraphX cannot skip
-    // inactive triplets without a full pass).
+    // inactive triplets without a full pass). The scan runs host-parallel
+    // over edge slices; per-slot outputs concatenated in slot order
+    // reproduce the serial emission sequence exactly.
     messages.clear();
-    for (const Edge& edge : graph.edges()) {
-      if ((*active)[edge.source]) {
-        auto value = send((*state)[edge.source], edge, /*forward=*/true);
-        if (value) messages.push_back({edge.target, *value});
-      }
-      const bool evaluate_reverse = !graph.is_directed() || reverse_sends;
-      if (evaluate_reverse && (*active)[edge.target]) {
-        auto value = send((*state)[edge.target], edge, /*forward=*/false);
-        if (value) messages.push_back({edge.source, *value});
-      }
-    }
+    std::span<const Edge> edges = graph.edges();
+    exec::SlotBuffers<MessageRow> emitted;
+    emitted.Reset(exec::ExecContext::NumSlots(
+        static_cast<std::int64_t>(edges.size())));
+    exec::parallel_for(
+        ctx.exec(), 0, static_cast<std::int64_t>(edges.size()),
+        [&](const exec::Slice& slice) {
+          std::vector<MessageRow>& out = emitted.buf(slice.slot);
+          for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+            const Edge& edge = edges[e];
+            if ((*active)[edge.source]) {
+              auto value =
+                  send((*state)[edge.source], edge, /*forward=*/true);
+              if (value) out.push_back({edge.target, *value});
+            }
+            const bool evaluate_reverse =
+                !graph.is_directed() || reverse_sends;
+            if (evaluate_reverse && (*active)[edge.target]) {
+              auto value =
+                  send((*state)[edge.target], edge, /*forward=*/false);
+              if (value) out.push_back({edge.source, *value});
+            }
+          }
+        });
+    emitted.MergeInto(&messages);
     runtime.ChargeRows(graph.edges().size() * 2, row_op_factor);
     runtime.Shuffle(&messages, row_bytes);
 
@@ -301,23 +318,38 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
   std::vector<MessageRow> messages;
 
   for (int iteration = 0; iteration < iterations; ++iteration) {
-    double dangling = 0.0;
     messages.clear();
-    for (VertexIndex v = 0; v < n; ++v) {
-      if (graph.OutDegree(v) == 0) dangling += rank[v];
-    }
-    for (const Edge& edge : graph.edges()) {
-      messages.push_back(
-          {edge.target,
-           rank[edge.source] /
-               static_cast<double>(graph.OutDegree(edge.source))});
-      if (!graph.is_directed()) {
-        messages.push_back(
-            {edge.source,
-             rank[edge.target] /
-                 static_cast<double>(graph.OutDegree(edge.target))});
-      }
-    }
+    const double dangling = exec::parallel_reduce(
+        ctx.exec(), 0, n, 0.0,
+        [&](const exec::Slice& slice, double& acc) {
+          for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+            if (graph.OutDegree(v) == 0) acc += rank[v];
+          }
+        },
+        [](double& into, double from) { into += from; });
+    std::span<const Edge> edges = graph.edges();
+    exec::SlotBuffers<MessageRow> emitted;
+    emitted.Reset(exec::ExecContext::NumSlots(
+        static_cast<std::int64_t>(edges.size())));
+    exec::parallel_for(
+        ctx.exec(), 0, static_cast<std::int64_t>(edges.size()),
+        [&](const exec::Slice& slice) {
+          std::vector<MessageRow>& out = emitted.buf(slice.slot);
+          for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+            const Edge& edge = edges[e];
+            out.push_back(
+                {edge.target,
+                 rank[edge.source] /
+                     static_cast<double>(graph.OutDegree(edge.source))});
+            if (!graph.is_directed()) {
+              out.push_back(
+                  {edge.source,
+                   rank[edge.target] /
+                       static_cast<double>(graph.OutDegree(edge.target))});
+            }
+          }
+        });
+    emitted.MergeInto(&messages);
     runtime.ChargeRows(graph.edges().size() * 2);
     // PageRank scatters along every edge, and GraphX materialises the
     // rank-joined triplet messages *before* the reduce can shrink them —
@@ -356,14 +388,27 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
 
   for (int iteration = 0; iteration < iterations; ++iteration) {
     messages.clear();
-    for (const Edge& edge : graph.edges()) {
-      // Labels travel both ways: along the edge and its reverse (for
-      // directed graphs each direction is a separate vote).
-      messages.push_back(
-          {edge.target, static_cast<double>(output.int_values[edge.source])});
-      messages.push_back(
-          {edge.source, static_cast<double>(output.int_values[edge.target])});
-    }
+    std::span<const Edge> edges = graph.edges();
+    exec::SlotBuffers<MessageRow> emitted;
+    emitted.Reset(exec::ExecContext::NumSlots(
+        static_cast<std::int64_t>(edges.size())));
+    exec::parallel_for(
+        ctx.exec(), 0, static_cast<std::int64_t>(edges.size()),
+        [&](const exec::Slice& slice) {
+          std::vector<MessageRow>& out = emitted.buf(slice.slot);
+          for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+            const Edge& edge = edges[e];
+            // Labels travel both ways: along the edge and its reverse
+            // (for directed graphs each direction is a separate vote).
+            out.push_back({edge.target,
+                           static_cast<double>(
+                               output.int_values[edge.source])});
+            out.push_back({edge.source,
+                           static_cast<double>(
+                               output.int_values[edge.target])});
+          }
+        });
+    emitted.MergeInto(&messages);
     // groupByKey: no map-side combine exists for the mode aggregation, so
     // the full label multiset is shuffled and grouped (the reason GraphX
     // cannot complete CDLP in the paper, §4.2).
@@ -410,53 +455,72 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   // Charge that memory up front (computable in O(n)); on dense graphs this
   // is where the job dies, before any compute happens — as observed for
   // GraphX in the paper (§4.2).
-  double join_rows = 0.0;
-  for (VertexIndex v = 0; v < n; ++v) {
-    const double degree = static_cast<double>(graph.OutDegree(v)) +
-                          (graph.is_directed()
-                               ? static_cast<double>(graph.InDegree(v))
-                               : 0.0);
-    join_rows += degree * degree;
-  }
+  const double join_rows = exec::parallel_reduce(
+      ctx.exec(), 0, n, 0.0,
+      [&](const exec::Slice& slice, double& acc) {
+        for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+          const double degree =
+              static_cast<double>(graph.OutDegree(v)) +
+              (graph.is_directed()
+                   ? static_cast<double>(graph.InDegree(v))
+                   : 0.0);
+          acc += degree * degree;
+        }
+      },
+      [](double& into, double from) { into += from; });
   GA_RETURN_IF_ERROR(runtime.ChargeIterationBuffers(
       static_cast<std::uint64_t>(join_rows), kRowBytes));
 
   AlgorithmOutput output;
   output.algorithm = Algorithm::kLcc;
   output.double_values.assign(n, 0.0);
-  std::vector<char> flag(n, 0);
-  std::vector<VertexIndex> neighborhood;
-  for (VertexIndex v = 0; v < n; ++v) {
-    neighborhood.clear();
-    for (VertexIndex u : graph.OutNeighbors(v)) {
-      if (u != v && !flag[u]) {
-        flag[u] = 1;
-        neighborhood.push_back(u);
-      }
-    }
-    if (graph.is_directed()) {
-      for (VertexIndex u : graph.InNeighbors(v)) {
+  // Host-parallel intersection sweep: each slice owns its O(n)
+  // neighbourhood scratch (hence the slot cap); the scanned-row counts
+  // are charged per slot in slot order.
+  const int num_slots =
+      exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
+  std::vector<std::uint64_t> slot_scanned(std::max(num_slots, 1), 0);
+  exec::parallel_for(
+      ctx.exec(), 0, n,
+      [&](const exec::Slice& slice) {
+    std::vector<char> flag(n, 0);
+    std::vector<VertexIndex> neighborhood;
+    for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+      neighborhood.clear();
+      for (VertexIndex u : graph.OutNeighbors(v)) {
         if (u != v && !flag[u]) {
           flag[u] = 1;
           neighborhood.push_back(u);
         }
       }
-    }
-    std::uint64_t scanned = 0;
-    std::int64_t links = 0;
-    if (neighborhood.size() >= 2) {
-      for (VertexIndex u : neighborhood) {
-        for (VertexIndex w : graph.OutNeighbors(u)) {
-          ++scanned;
-          if (w != v && flag[w]) ++links;
+      if (graph.is_directed()) {
+        for (VertexIndex u : graph.InNeighbors(v)) {
+          if (u != v && !flag[u]) {
+            flag[u] = 1;
+            neighborhood.push_back(u);
+          }
         }
       }
-      const double degree = static_cast<double>(neighborhood.size());
-      output.double_values[v] =
-          static_cast<double>(links) / (degree * (degree - 1.0));
+      std::uint64_t scanned = 0;
+      std::int64_t links = 0;
+      if (neighborhood.size() >= 2) {
+        for (VertexIndex u : neighborhood) {
+          for (VertexIndex w : graph.OutNeighbors(u)) {
+            ++scanned;
+            if (w != v && flag[w]) ++links;
+          }
+        }
+        const double degree = static_cast<double>(neighborhood.size());
+        output.double_values[v] =
+            static_cast<double>(links) / (degree * (degree - 1.0));
+      }
+      slot_scanned[slice.slot] += scanned;
+      for (VertexIndex w : neighborhood) flag[w] = 0;
     }
-    runtime.ChargeRows(scanned);
-    for (VertexIndex w : neighborhood) flag[w] = 0;
+      },
+      exec::ExecContext::kScratchSlots);
+  for (int slot = 0; slot < num_slots; ++slot) {
+    runtime.ChargeRows(slot_scanned[slot]);
   }
   ctx.EndSuperstep("lcc");
   runtime.ReleaseIterationBuffers();

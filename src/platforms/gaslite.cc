@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/exec.h"
 #include "core/partition.h"
 #include "core/rng.h"
 
@@ -53,52 +54,76 @@ class GasDeployment {
   std::vector<std::vector<Edge>> edges_of_;
 };
 
-// Charges one gather/scatter pass over machine-local edges (per-edge work
-// attributed to the edge's machine, spread over its threads by hashing),
-// plus mirror synchronisation traffic for the vertices in `touched`.
+// Charges gather/scatter work and mirror synchronisation. The Charge*
+// methods write to a SlotCharges staging area, so they may be called from
+// inside host-parallel loops; JobContext::MergeSlotCharges folds the
+// slots in fixed order afterwards.
 class GasRuntime {
  public:
   GasRuntime(JobContext& ctx, const GasDeployment& deployment)
       : ctx_(ctx), deployment_(deployment) {}
 
-  void ChargeEdgeWork(int machine, std::size_t edge_index, double ops) {
+  void ChargeEdgeWork(JobContext::SlotCharges& charges, int machine,
+                      std::size_t edge_index, double ops) {
     const int thread = static_cast<int>(
         Mix64(edge_index * 0x9E37ULL + machine) %
         static_cast<std::uint64_t>(ctx_.threads_per_machine()));
-    ctx_.worker_ops()[ctx_.WorkerOf(machine, thread)] +=
+    charges.worker_ops[ctx_.WorkerOf(machine, thread)] +=
         static_cast<std::uint64_t>(ops);
   }
 
-  void ChargeApply(VertexIndex v, double ops) {
+  /// Per-worker edge counts of one full sweep over every machine's
+  /// edges, matching ChargeEdgeWork's hash placement. PR/CDLP charge
+  /// every edge a fixed cost each superstep, so they compute this once
+  /// and re-add counts * ops per superstep instead of re-hashing O(E).
+  std::vector<std::uint64_t> SweepWorkerCounts() const {
+    std::vector<std::uint64_t> counts(
+        static_cast<std::size_t>(ctx_.num_machines()) *
+            static_cast<std::size_t>(ctx_.threads_per_machine()),
+        0);
+    for (int m = 0; m < deployment_.machines(); ++m) {
+      const std::size_t num_edges = deployment_.edges_of(m).size();
+      for (std::size_t e = 0; e < num_edges; ++e) {
+        const int thread = static_cast<int>(
+            Mix64(e * 0x9E37ULL + m) %
+            static_cast<std::uint64_t>(ctx_.threads_per_machine()));
+        ++counts[ctx_.WorkerOf(m, thread)];
+      }
+    }
+    return counts;
+  }
+
+  void ChargeApply(JobContext::SlotCharges& charges, VertexIndex v,
+                   double ops) {
     const int machine = deployment_.master_of(v);
     const int thread = static_cast<int>(
         Mix64(static_cast<std::uint64_t>(v)) %
         static_cast<std::uint64_t>(ctx_.threads_per_machine()));
-    ctx_.worker_ops()[ctx_.WorkerOf(machine, thread)] +=
+    charges.worker_ops[ctx_.WorkerOf(machine, thread)] +=
         static_cast<std::uint64_t>(ops);
   }
 
   // Mirror -> master partial sync plus master -> mirror broadcast for one
   // updated vertex.
-  void ChargeMirrorSync(VertexIndex v) {
+  void ChargeMirrorSync(JobContext::SlotCharges& charges, VertexIndex v) {
     const int mirrors = deployment_.mirrors_of(v);
     if (mirrors == 0 || ctx_.num_machines() == 1) return;
     const auto bytes = static_cast<std::uint64_t>(
         ctx_.profile().bytes_per_message * 2.0 *
         static_cast<double>(mirrors));
     const int master = deployment_.master_of(v);
-    ctx_.machine_comm()[master].bytes_sent += bytes / 2;
-    ctx_.machine_comm()[master].bytes_received += bytes / 2;
+    charges.comm[master].bytes_sent += bytes / 2;
+    charges.comm[master].bytes_received += bytes / 2;
     // Mirrors' traffic is spread across the other machines; approximate by
     // charging the aggregate to the master's peers evenly.
     for (int m = 0; m < ctx_.num_machines(); ++m) {
       if (m == master) continue;
-      ctx_.machine_comm()[m].bytes_sent +=
+      charges.comm[m].bytes_sent +=
           bytes / (2 * std::max(ctx_.num_machines() - 1, 1));
-      ctx_.machine_comm()[m].bytes_received +=
+      charges.comm[m].bytes_received +=
           bytes / (2 * std::max(ctx_.num_machines() - 1, 1));
     }
-    ctx_.ledger().messages += static_cast<std::uint64_t>(2 * mirrors);
+    charges.ledger.messages += static_cast<std::uint64_t>(2 * mirrors);
   }
 
  private:
@@ -108,15 +133,23 @@ class GasRuntime {
 
 // Generic frontier propagation (BFS / SSSP / WCC share it): values only
 // ever decrease; an edge relaxation that lowers the target's value puts
-// the target in the next frontier.
-template <typename Relax>
+// the target in the next frontier. Each round scatters host-parallel over
+// every machine's edge list against the previous round's values
+// (candidates buffer per slot), then commits improvements in slot order —
+// level-synchronous GAS, deterministic at any host thread count.
+template <typename Value, typename Propose, typename Commit>
 void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
                             const GasDeployment& deployment,
                             GasRuntime& runtime, std::vector<char>* frontier,
                             bool traverse_reverse, const std::string& label,
-                            Relax&& relax) {
+                            Propose&& propose, Commit&& commit) {
+  struct Candidate {
+    VertexIndex target;
+    Value value;
+  };
   std::vector<char>& active = *frontier;
   std::vector<char> next(active.size(), 0);
+  exec::SlotBuffers<Candidate> candidates;
   const int max_rounds = static_cast<int>(graph.num_vertices()) + 2;
   for (int round = 0; round < max_rounds; ++round) {
     bool any = false;
@@ -130,35 +163,57 @@ void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
     std::fill(next.begin(), next.end(), 0);
     for (int m = 0; m < deployment.machines(); ++m) {
       const std::vector<Edge>& edges = deployment.edges_of(m);
-      for (std::size_t e = 0; e < edges.size(); ++e) {
-        const Edge& edge = edges[e];
-        bool touched = false;
-        if (active[edge.source]) {
-          touched = true;
-          if (relax(edge.source, edge.target, edge.weight)) {
-            next[edge.target] = 1;
-          }
+      const std::int64_t num_edges =
+          static_cast<std::int64_t>(edges.size());
+      const int num_slots = exec::ExecContext::NumSlots(num_edges);
+      ctx.PrepareSlotCharges(num_slots);
+      candidates.Reset(num_slots);
+      exec::parallel_for(
+          ctx.exec(), 0, num_edges, [&](const exec::Slice& slice) {
+            JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
+            std::vector<Candidate>& out = candidates.buf(slice.slot);
+            for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+              const Edge& edge = edges[e];
+              bool touched = false;
+              if (active[edge.source]) {
+                touched = true;
+                out.push_back(
+                    {edge.target, propose(edge.source, edge.weight)});
+              }
+              const bool usable_reverse =
+                  !graph.is_directed() || traverse_reverse;
+              if (usable_reverse && active[edge.target]) {
+                touched = true;
+                out.push_back(
+                    {edge.source, propose(edge.target, edge.weight)});
+              }
+              if (touched) {
+                runtime.ChargeEdgeWork(charges, m,
+                                       static_cast<std::size_t>(e),
+                                       ctx.profile().ops_per_edge);
+              }
+            }
+          });
+      ctx.MergeSlotCharges();
+      candidates.Drain([&](const Candidate& candidate) {
+        if (commit(candidate.target, candidate.value)) {
+          next[candidate.target] = 1;
         }
-        const bool usable_reverse =
-            !graph.is_directed() || traverse_reverse;
-        if (usable_reverse && active[edge.target]) {
-          touched = true;
-          if (relax(edge.target, edge.source, edge.weight)) {
-            next[edge.source] = 1;
-          }
-        }
-        if (touched) {
-          runtime.ChargeEdgeWork(m, e, ctx.profile().ops_per_edge);
+      });
+    }
+    const std::int64_t n = static_cast<std::int64_t>(next.size());
+    const int apply_slots = exec::ExecContext::NumSlots(n);
+    ctx.PrepareSlotCharges(apply_slots);
+    exec::parallel_for(ctx.exec(), 0, n, [&](const exec::Slice& slice) {
+      JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
+      for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+        if (next[v]) {
+          runtime.ChargeApply(charges, v, ctx.profile().ops_per_vertex);
+          runtime.ChargeMirrorSync(charges, v);
         }
       }
-    }
-    for (VertexIndex v = 0; v < static_cast<VertexIndex>(next.size());
-         ++v) {
-      if (next[v]) {
-        runtime.ChargeApply(v, ctx.profile().ops_per_vertex);
-        runtime.ChargeMirrorSync(v);
-      }
-    }
+    });
+    ctx.MergeSlotCharges();
     active.swap(next);
     ctx.EndSuperstep(label);
   }
@@ -221,6 +276,22 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
   GasRuntime runtime(ctx, deployment);
   const VertexIndex n = graph.num_vertices();
 
+  // Charges one gather/scatter pass over every machine's edges (ops only,
+  // no data movement) — used by the algorithms whose gather runs over the
+  // CSR for memory locality while the *accounting* stays edge-placed.
+  // The per-worker placement is loop-invariant, so it is hashed once and
+  // re-added each superstep.
+  std::vector<std::uint64_t> sweep_counts;
+  auto charge_edge_sweep = [&](double ops_per_edge) {
+    if (sweep_counts.empty()) {
+      sweep_counts = runtime.SweepWorkerCounts();
+    }
+    const auto unit = static_cast<std::uint64_t>(ops_per_edge);
+    for (std::size_t w = 0; w < sweep_counts.size(); ++w) {
+      ctx.worker_ops()[w] += sweep_counts[w] * unit;
+    }
+  };
+
   switch (algorithm) {
     case Algorithm::kBfs: {
       const VertexIndex root = graph.IndexOf(params.source_vertex);
@@ -233,11 +304,13 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       output.int_values[root] = 0;
       std::vector<char> frontier(n, 0);
       frontier[root] = 1;
-      RunFrontierPropagation(
+      RunFrontierPropagation<std::int64_t>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/false, "bfs",
-          [&](VertexIndex from, VertexIndex to, Weight) {
-            const std::int64_t candidate = output.int_values[from] + 1;
+          [&](VertexIndex from, Weight) {
+            return output.int_values[from] + 1;
+          },
+          [&](VertexIndex to, std::int64_t candidate) {
             if (candidate < output.int_values[to]) {
               output.int_values[to] = candidate;
               return true;
@@ -257,11 +330,13 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       output.double_values[root] = 0.0;
       std::vector<char> frontier(n, 0);
       frontier[root] = 1;
-      RunFrontierPropagation(
+      RunFrontierPropagation<double>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/false, "sssp",
-          [&](VertexIndex from, VertexIndex to, Weight weight) {
-            const double candidate = output.double_values[from] + weight;
+          [&](VertexIndex from, Weight weight) {
+            return output.double_values[from] + weight;
+          },
+          [&](VertexIndex to, double candidate) {
             if (candidate < output.double_values[to]) {
               output.double_values[to] = candidate;
               return true;
@@ -278,12 +353,13 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
         output.int_values[v] = graph.ExternalId(v);
       }
       std::vector<char> frontier(n, 1);
-      RunFrontierPropagation(
+      RunFrontierPropagation<std::int64_t>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/true, "wcc",
-          [&](VertexIndex from, VertexIndex to, Weight) {
-            if (output.int_values[from] < output.int_values[to]) {
-              output.int_values[to] = output.int_values[from];
+          [&](VertexIndex from, Weight) { return output.int_values[from]; },
+          [&](VertexIndex to, std::int64_t candidate) {
+            if (candidate < output.int_values[to]) {
+              output.int_values[to] = candidate;
               return true;
             }
             return false;
@@ -300,36 +376,52 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       std::vector<double> partial(n, 0.0);
       for (int iteration = 0; iteration < params.pagerank_iterations;
            ++iteration) {
-        double dangling = 0.0;
-        for (VertexIndex v = 0; v < n; ++v) {
-          if (graph.OutDegree(v) == 0) dangling += rank[v];
-        }
-        std::fill(partial.begin(), partial.end(), 0.0);
-        // Gather: every edge contributes on the machine that owns it.
-        for (int m = 0; m < deployment.machines(); ++m) {
-          const std::vector<Edge>& edges = deployment.edges_of(m);
-          for (std::size_t e = 0; e < edges.size(); ++e) {
-            const Edge& edge = edges[e];
-            partial[edge.target] +=
-                rank[edge.source] /
-                static_cast<double>(graph.OutDegree(edge.source));
-            if (!graph.is_directed()) {
-              partial[edge.source] +=
-                  rank[edge.target] /
-                  static_cast<double>(graph.OutDegree(edge.target));
-            }
-            runtime.ChargeEdgeWork(m, e, ctx.profile().ops_per_edge);
-          }
-        }
+        const double dangling = exec::parallel_reduce(
+            ctx.exec(), 0, n, 0.0,
+            [&](const exec::Slice& slice, double& acc) {
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                if (graph.OutDegree(v) == 0) acc += rank[v];
+              }
+            },
+            [](double& into, double from) { into += from; });
+        // Gather: host-parallel pull over the CSR (each vertex sums its
+        // in-contributions — disjoint writes); the per-edge work is
+        // charged to the machine owning each edge in a separate sweep.
+        exec::parallel_for(
+            ctx.exec(), 0, n, [&](const exec::Slice& slice) {
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                double sum = 0.0;
+                if (graph.is_directed()) {
+                  for (VertexIndex u : graph.InNeighbors(v)) {
+                    sum += rank[u] / static_cast<double>(graph.OutDegree(u));
+                  }
+                } else {
+                  for (VertexIndex u : graph.OutNeighbors(v)) {
+                    sum += rank[u] / static_cast<double>(graph.OutDegree(u));
+                  }
+                }
+                partial[v] = sum;
+              }
+            });
+        charge_edge_sweep(ctx.profile().ops_per_edge);
         // Apply at masters + mirror sync for every vertex (all change).
         const double base =
             (1.0 - params.damping_factor) / static_cast<double>(n) +
             params.damping_factor * dangling / static_cast<double>(n);
-        for (VertexIndex v = 0; v < n; ++v) {
-          rank[v] = base + params.damping_factor * partial[v];
-          runtime.ChargeApply(v, ctx.profile().ops_per_vertex);
-          runtime.ChargeMirrorSync(v);
-        }
+        const int apply_slots = exec::ExecContext::NumSlots(n);
+        ctx.PrepareSlotCharges(apply_slots);
+        exec::parallel_for(
+            ctx.exec(), 0, n, [&](const exec::Slice& slice) {
+              JobContext::SlotCharges& charges =
+                  ctx.slot_charges(slice.slot);
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                rank[v] = base + params.damping_factor * partial[v];
+                runtime.ChargeApply(charges, v,
+                                    ctx.profile().ops_per_vertex);
+                runtime.ChargeMirrorSync(charges, v);
+              }
+            });
+        ctx.MergeSlotCharges();
         ctx.EndSuperstep("pr");
       }
       return output;
@@ -341,37 +433,50 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       for (VertexIndex v = 0; v < n; ++v) {
         output.int_values[v] = graph.ExternalId(v);
       }
-      std::vector<std::unordered_map<std::int64_t, std::int64_t>> histogram(
-          n);
+      std::vector<std::int64_t> next(n);
       for (int iteration = 0; iteration < params.cdlp_iterations;
            ++iteration) {
-        for (auto& h : histogram) h.clear();
-        for (int m = 0; m < deployment.machines(); ++m) {
-          const std::vector<Edge>& edges = deployment.edges_of(m);
-          for (std::size_t e = 0; e < edges.size(); ++e) {
-            const Edge& edge = edges[e];
-            // One vote per direction (matches the reference semantics).
-            ++histogram[edge.target][output.int_values[edge.source]];
-            ++histogram[edge.source][output.int_values[edge.target]];
-            runtime.ChargeEdgeWork(m, e, ctx.profile().ops_per_edge * 2.0);
-          }
-        }
-        std::vector<std::int64_t> next(output.int_values);
-        for (VertexIndex v = 0; v < n; ++v) {
-          if (histogram[v].empty()) continue;
-          std::int64_t best_label = 0;
-          std::int64_t best_count = -1;
-          for (const auto& [label, count] : histogram[v]) {
-            if (count > best_count ||
-                (count == best_count && label < best_label)) {
-              best_label = label;
-              best_count = count;
-            }
-          }
-          next[v] = best_label;
-          runtime.ChargeApply(v, ctx.profile().ops_per_vertex);
-          runtime.ChargeMirrorSync(v);
-        }
+        charge_edge_sweep(ctx.profile().ops_per_edge * 2.0);
+        // Gather + apply: each vertex pulls its neighbours' labels into a
+        // slot-local histogram (one vote per direction, matching the
+        // reference semantics) and takes the mode.
+        const int apply_slots = exec::ExecContext::NumSlots(n);
+        ctx.PrepareSlotCharges(apply_slots);
+        exec::parallel_for(
+            ctx.exec(), 0, n, [&](const exec::Slice& slice) {
+              JobContext::SlotCharges& charges =
+                  ctx.slot_charges(slice.slot);
+              std::unordered_map<std::int64_t, std::int64_t> histogram;
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                histogram.clear();
+                for (VertexIndex u : graph.OutNeighbors(v)) {
+                  ++histogram[output.int_values[u]];
+                }
+                if (graph.is_directed()) {
+                  for (VertexIndex u : graph.InNeighbors(v)) {
+                    ++histogram[output.int_values[u]];
+                  }
+                }
+                if (histogram.empty()) {
+                  next[v] = output.int_values[v];
+                  continue;
+                }
+                std::int64_t best_label = 0;
+                std::int64_t best_count = -1;
+                for (const auto& [label, count] : histogram) {
+                  if (count > best_count ||
+                      (count == best_count && label < best_label)) {
+                    best_label = label;
+                    best_count = count;
+                  }
+                }
+                next[v] = best_label;
+                runtime.ChargeApply(charges, v,
+                                    ctx.profile().ops_per_vertex);
+                runtime.ChargeMirrorSync(charges, v);
+              }
+            });
+        ctx.MergeSlotCharges();
         output.int_values.swap(next);
         ctx.EndSuperstep("cdlp");
       }
@@ -379,46 +484,59 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
     }
     case Algorithm::kLcc: {
       // Memory-frugal gather: per-vertex neighbourhood flags + CSR scans,
-      // no materialised inboxes — PowerGraph survives LCC (§4.2).
+      // no materialised inboxes — PowerGraph survives LCC (§4.2). Runs
+      // host-parallel over vertex slices, each owning its flag scratch.
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
-      std::vector<char> flag(n, 0);
-      std::vector<VertexIndex> neighborhood;
-      for (VertexIndex v = 0; v < n; ++v) {
-        neighborhood.clear();
-        for (VertexIndex u : graph.OutNeighbors(v)) {
-          if (u != v && !flag[u]) {
-            flag[u] = 1;
-            neighborhood.push_back(u);
-          }
-        }
-        if (graph.is_directed()) {
-          for (VertexIndex u : graph.InNeighbors(v)) {
+      // Slot cap: each slice owns an O(n) flag array.
+      const int num_slots =
+          exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
+      ctx.PrepareSlotCharges(num_slots);
+      exec::parallel_for(
+          ctx.exec(), 0, n,
+          [&](const exec::Slice& slice) {
+        JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
+        std::vector<char> flag(n, 0);
+        std::vector<VertexIndex> neighborhood;
+        for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+          neighborhood.clear();
+          for (VertexIndex u : graph.OutNeighbors(v)) {
             if (u != v && !flag[u]) {
               flag[u] = 1;
               neighborhood.push_back(u);
             }
           }
-        }
-        std::uint64_t scanned = 0;
-        std::int64_t links = 0;
-        if (neighborhood.size() >= 2) {
-          for (VertexIndex u : neighborhood) {
-            for (VertexIndex w : graph.OutNeighbors(u)) {
-              ++scanned;
-              if (w != v && flag[w]) ++links;
+          if (graph.is_directed()) {
+            for (VertexIndex u : graph.InNeighbors(v)) {
+              if (u != v && !flag[u]) {
+                flag[u] = 1;
+                neighborhood.push_back(u);
+              }
             }
           }
-          const double degree = static_cast<double>(neighborhood.size());
-          output.double_values[v] =
-              static_cast<double>(links) / (degree * (degree - 1.0));
+          std::uint64_t scanned = 0;
+          std::int64_t links = 0;
+          if (neighborhood.size() >= 2) {
+            for (VertexIndex u : neighborhood) {
+              for (VertexIndex w : graph.OutNeighbors(u)) {
+                ++scanned;
+                if (w != v && flag[w]) ++links;
+              }
+            }
+            const double degree = static_cast<double>(neighborhood.size());
+            output.double_values[v] =
+                static_cast<double>(links) / (degree * (degree - 1.0));
+          }
+          for (VertexIndex w : neighborhood) flag[w] = 0;
+          runtime.ChargeApply(
+              charges, v,
+              ctx.profile().ops_per_vertex +
+                  ctx.profile().ops_per_edge * static_cast<double>(scanned));
         }
-        for (VertexIndex w : neighborhood) flag[w] = 0;
-        runtime.ChargeApply(
-            v, ctx.profile().ops_per_vertex +
-                   ctx.profile().ops_per_edge * static_cast<double>(scanned));
-      }
+          },
+          exec::ExecContext::kScratchSlots);
+      ctx.MergeSlotCharges();
       ctx.EndSuperstep("lcc");
       return output;
     }

@@ -7,6 +7,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/exec.h"
 #include "core/rng.h"
 
 namespace ga::platform {
@@ -146,11 +147,17 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
         const VertexIndex b = find(edge.target);
         if (a != b) parent[std::max(a, b)] = std::min(a, b);
       }
+      // Full compression (serial — the union phase is inherently
+      // sequential), then a host-parallel labelling sweep over the now
+      // read-only parent array.
+      for (VertexIndex v = 0; v < n; ++v) parent[v] = find(v);
       output.int_values.assign(n, -1);
-      for (VertexIndex v = 0; v < n; ++v) {
-        const VertexIndex root = find(v);
-        output.int_values[v] = graph.ExternalId(root);
-      }
+      exec::parallel_for(
+          ctx.exec(), 0, n, [&](const exec::Slice& slice) {
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              output.int_values[v] = graph.ExternalId(parent[v]);
+            }
+          });
       DistributeOps(
           ctx, static_cast<std::uint64_t>(
                    static_cast<double>(graph.num_edges()) *
@@ -168,23 +175,33 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
       std::vector<double> next(n, 0.0);
       for (int iteration = 0; iteration < params.pagerank_iterations;
            ++iteration) {
-        double dangling = 0.0;
-        for (VertexIndex v = 0; v < n; ++v) {
-          if (graph.OutDegree(v) == 0) dangling += output.double_values[v];
-        }
+        const double dangling = exec::parallel_reduce(
+            ctx.exec(), 0, n, 0.0,
+            [&](const exec::Slice& slice, double& acc) {
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                if (graph.OutDegree(v) == 0) {
+                  acc += output.double_values[v];
+                }
+              }
+            },
+            [](double& into, double from) { into += from; });
         const double base =
             (1.0 - params.damping_factor) / static_cast<double>(n) +
             params.damping_factor * dangling / static_cast<double>(n);
-        std::uint64_t touched = 0;
-        for (VertexIndex v = 0; v < n; ++v) {
-          double sum = 0.0;
-          for (VertexIndex u : graph.InNeighbors(v)) {
-            ++touched;
-            sum += output.double_values[u] /
-                   static_cast<double>(graph.OutDegree(u));
-          }
-          next[v] = base + params.damping_factor * sum;
-        }
+        const std::uint64_t touched = exec::parallel_reduce(
+            ctx.exec(), 0, n, std::uint64_t{0},
+            [&](const exec::Slice& slice, std::uint64_t& acc) {
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                double sum = 0.0;
+                for (VertexIndex u : graph.InNeighbors(v)) {
+                  ++acc;
+                  sum += output.double_values[u] /
+                         static_cast<double>(graph.OutDegree(u));
+                }
+                next[v] = base + params.damping_factor * sum;
+              }
+            },
+            [](std::uint64_t& into, std::uint64_t from) { into += from; });
         output.double_values.swap(next);
         DistributeOps(
             ctx, static_cast<std::uint64_t>(
@@ -203,37 +220,41 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
         output.int_values[v] = graph.ExternalId(v);
       }
       std::vector<std::int64_t> next(n);
-      std::unordered_map<std::int64_t, std::int64_t> histogram;
       for (int iteration = 0; iteration < params.cdlp_iterations;
            ++iteration) {
-        std::uint64_t touched = 0;
-        for (VertexIndex v = 0; v < n; ++v) {
-          histogram.clear();
-          for (VertexIndex u : graph.OutNeighbors(v)) {
-            ++touched;
-            ++histogram[output.int_values[u]];
-          }
-          if (graph.is_directed()) {
-            for (VertexIndex u : graph.InNeighbors(v)) {
-              ++touched;
-              ++histogram[output.int_values[u]];
-            }
-          }
-          if (histogram.empty()) {
-            next[v] = output.int_values[v];
-            continue;
-          }
-          std::int64_t best_label = 0;
-          std::int64_t best_count = -1;
-          for (const auto& [label, count] : histogram) {
-            if (count > best_count ||
-                (count == best_count && label < best_label)) {
-              best_label = label;
-              best_count = count;
-            }
-          }
-          next[v] = best_label;
-        }
+        const std::uint64_t touched = exec::parallel_reduce(
+            ctx.exec(), 0, n, std::uint64_t{0},
+            [&](const exec::Slice& slice, std::uint64_t& acc) {
+              std::unordered_map<std::int64_t, std::int64_t> histogram;
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                histogram.clear();
+                for (VertexIndex u : graph.OutNeighbors(v)) {
+                  ++acc;
+                  ++histogram[output.int_values[u]];
+                }
+                if (graph.is_directed()) {
+                  for (VertexIndex u : graph.InNeighbors(v)) {
+                    ++acc;
+                    ++histogram[output.int_values[u]];
+                  }
+                }
+                if (histogram.empty()) {
+                  next[v] = output.int_values[v];
+                  continue;
+                }
+                std::int64_t best_label = 0;
+                std::int64_t best_count = -1;
+                for (const auto& [label, count] : histogram) {
+                  if (count > best_count ||
+                      (count == best_count && label < best_label)) {
+                    best_label = label;
+                    best_count = count;
+                  }
+                }
+                next[v] = best_label;
+              }
+            },
+            [](std::uint64_t& into, std::uint64_t from) { into += from; });
         output.int_values.swap(next);
         // Handwritten per-vertex counting arrays: cheaper per label vote
         // than any framework's aggregation (OpenG is best on CDLP, §4.2).
@@ -252,39 +273,45 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
-      std::vector<char> flag(n, 0);
-      std::vector<VertexIndex> neighborhood;
-      std::uint64_t scanned = 0;
-      for (VertexIndex v = 0; v < n; ++v) {
-        neighborhood.clear();
-        for (VertexIndex u : graph.OutNeighbors(v)) {
-          if (u != v && !flag[u]) {
-            flag[u] = 1;
-            neighborhood.push_back(u);
-          }
-        }
-        if (graph.is_directed()) {
-          for (VertexIndex u : graph.InNeighbors(v)) {
-            if (u != v && !flag[u]) {
-              flag[u] = 1;
-              neighborhood.push_back(u);
+      const std::uint64_t scanned = exec::parallel_reduce(
+          ctx.exec(), 0, n, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<char> flag(n, 0);
+            std::vector<VertexIndex> neighborhood;
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              neighborhood.clear();
+              for (VertexIndex u : graph.OutNeighbors(v)) {
+                if (u != v && !flag[u]) {
+                  flag[u] = 1;
+                  neighborhood.push_back(u);
+                }
+              }
+              if (graph.is_directed()) {
+                for (VertexIndex u : graph.InNeighbors(v)) {
+                  if (u != v && !flag[u]) {
+                    flag[u] = 1;
+                    neighborhood.push_back(u);
+                  }
+                }
+              }
+              std::int64_t links = 0;
+              if (neighborhood.size() >= 2) {
+                for (VertexIndex u : neighborhood) {
+                  for (VertexIndex w : graph.OutNeighbors(u)) {
+                    ++acc;
+                    if (w != v && flag[w]) ++links;
+                  }
+                }
+                const double degree =
+                    static_cast<double>(neighborhood.size());
+                output.double_values[v] =
+                    static_cast<double>(links) / (degree * (degree - 1.0));
+              }
+              for (VertexIndex w : neighborhood) flag[w] = 0;
             }
-          }
-        }
-        std::int64_t links = 0;
-        if (neighborhood.size() >= 2) {
-          for (VertexIndex u : neighborhood) {
-            for (VertexIndex w : graph.OutNeighbors(u)) {
-              ++scanned;
-              if (w != v && flag[w]) ++links;
-            }
-          }
-          const double degree = static_cast<double>(neighborhood.size());
-          output.double_values[v] =
-              static_cast<double>(links) / (degree * (degree - 1.0));
-        }
-        for (VertexIndex w : neighborhood) flag[w] = 0;
-      }
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          exec::ExecContext::kScratchSlots);
       DistributeOps(ctx, static_cast<std::uint64_t>(
                              static_cast<double>(scanned) *
                              ctx.profile().ops_per_edge));

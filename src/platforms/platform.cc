@@ -22,8 +22,37 @@ JobContext::JobContext(const sysmodel::ClusterModel& cluster,
       profile_(profile),
       processing_op_(processing_op),
       env_(env),
+      exec_(env.host_pool),
       worker_ops_(cluster.num_workers(), 0),
       machine_comm_(cluster.num_machines()) {}
+
+void JobContext::PrepareSlotCharges(int num_slots) {
+  if (static_cast<int>(slot_charges_.size()) < num_slots) {
+    slot_charges_.resize(num_slots);
+  }
+  for (int slot = 0; slot < num_slots; ++slot) {
+    SlotCharges& charges = slot_charges_[slot];
+    charges.worker_ops.assign(worker_ops_.size(), 0);
+    charges.comm.assign(machine_comm_.size(), sysmodel::MachineComm{});
+    charges.ledger = WorkLedger{};
+  }
+}
+
+void JobContext::MergeSlotCharges() {
+  for (SlotCharges& charges : slot_charges_) {
+    for (std::size_t w = 0; w < charges.worker_ops.size(); ++w) {
+      worker_ops_[w] += charges.worker_ops[w];
+    }
+    for (std::size_t m = 0; m < charges.comm.size(); ++m) {
+      machine_comm_[m].bytes_sent += charges.comm[m].bytes_sent;
+      machine_comm_[m].bytes_received += charges.comm[m].bytes_received;
+    }
+    ledger_ += charges.ledger;
+    charges.worker_ops.assign(charges.worker_ops.size(), 0);
+    charges.comm.assign(charges.comm.size(), sysmodel::MachineComm{});
+    charges.ledger = WorkLedger{};
+  }
+}
 
 void JobContext::ResetSuperstepCounters() {
   std::fill(worker_ops_.begin(), worker_ops_.end(), 0);

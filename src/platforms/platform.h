@@ -21,6 +21,7 @@
 
 #include "algo/output.h"
 #include "algo/params.h"
+#include "core/exec/exec.h"
 #include "core/graph.h"
 #include "core/status.h"
 #include "core/types.h"
@@ -103,6 +104,12 @@ struct ExecutionEnvironment {
   /// seconds: 1 / scale divisor. The default matches the default divisor
   /// of 1024.
   double overhead_scale = 1.0 / 1024.0;
+  /// Host thread pool the engines execute their real work on (not owned;
+  /// must outlive the job). Null runs everything on the calling thread.
+  /// Orthogonal to num_machines/threads_per_machine, which configure the
+  /// *simulated* cluster; results and simulated metrics are identical at
+  /// any host parallelism (DESIGN.md §6).
+  exec::ThreadPool* host_pool = nullptr;
 };
 
 struct RunMetrics {
@@ -151,6 +158,24 @@ class JobContext {
   std::vector<sysmodel::MachineComm>& machine_comm() { return machine_comm_; }
   void ResetSuperstepCounters();
 
+  /// Host-parallel execution handle for the engine's real work.
+  exec::ExecContext& exec() { return exec_; }
+
+  /// Slot-local staging of the charges an engine makes inside a
+  /// host-parallel region: per-worker ops, per-machine communication and
+  /// ledger counters. Bodies write to slot_charges(slice.slot) only;
+  /// MergeSlotCharges() folds every slot into the superstep counters in
+  /// slot order, keeping the accounting independent of host thread count.
+  struct SlotCharges {
+    std::vector<std::uint64_t> worker_ops;    // per simulated worker
+    std::vector<sysmodel::MachineComm> comm;  // per machine
+    WorkLedger ledger;
+  };
+  /// Sizes (and zeroes) `num_slots` staging slots for a parallel region.
+  void PrepareSlotCharges(int num_slots);
+  SlotCharges& slot_charges(int slot) { return slot_charges_[slot]; }
+  void MergeSlotCharges();
+
   /// Completes one superstep: charges the accumulated worker_ops() and
   /// machine_comm() to the simulated clock (plus the profile's per-
   /// superstep overhead) and records a Granula child operation.
@@ -179,8 +204,10 @@ class JobContext {
   const CostProfile& profile_;
   ExecutionEnvironment env_;
   granula::Operation* processing_op_;
+  exec::ExecContext exec_;
   std::vector<std::uint64_t> worker_ops_;
   std::vector<sysmodel::MachineComm> machine_comm_;
+  std::vector<SlotCharges> slot_charges_;
   WorkLedger ledger_;
   double sim_seconds_ = 0.0;
   int supersteps_ = 0;

@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/exec.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -19,27 +20,44 @@ class PushPullRuntime {
   PushPullRuntime(JobContext& ctx, const Graph& graph)
       : ctx_(ctx),
         graph_(graph),
-        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()),
-        machine_ops_(ctx.num_machines(), 0) {}
+        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()) {}
+
+  /// Sizes (and zeroes) per-slot machine-op staging for one superstep's
+  /// host-parallel loops.
+  void PrepareSlots(int num_slots) {
+    num_slots_ = std::max(num_slots, 1);
+    if (static_cast<int>(slot_machine_ops_.size()) < num_slots_) {
+      slot_machine_ops_.resize(num_slots_);
+    }
+    for (int slot = 0; slot < num_slots_; ++slot) {
+      slot_machine_ops_[slot].assign(ctx_.num_machines(), 0);
+    }
+  }
 
   // Work lands on the vertex's machine (data locality), but threads within
   // a machine share it evenly: PGX.D's cooperative context switching
   // steals work dynamically, so hub vertices do not pin a single thread.
-  void ChargeVertexWork(VertexIndex v, double ops) {
-    machine_ops_[workers_.machine_of(v)] += static_cast<std::uint64_t>(ops);
+  // Charges stage per slot and fold in slot order at FlushMachineOps.
+  void ChargeVertexWork(int slot, VertexIndex v, double ops) {
+    slot_machine_ops_[slot][workers_.machine_of(v)] +=
+        static_cast<std::uint64_t>(ops);
   }
 
-  // Must run before JobContext::EndSuperstep: spreads each machine's
-  // accumulated ops across its threads.
+  // Must run before JobContext::EndSuperstep: folds the slot-staged ops
+  // into per-machine totals and spreads each machine's total across its
+  // threads.
   void FlushMachineOps() {
     const int threads = ctx_.threads_per_machine();
     for (int m = 0; m < ctx_.num_machines(); ++m) {
-      const std::uint64_t total = machine_ops_[m];
+      std::uint64_t total = 0;
+      for (int slot = 0; slot < num_slots_; ++slot) {
+        total += slot_machine_ops_[slot][m];
+        slot_machine_ops_[slot][m] = 0;
+      }
       for (int t = 0; t < threads; ++t) {
         ctx_.worker_ops()[ctx_.WorkerOf(m, t)] += total / threads;
       }
       ctx_.worker_ops()[ctx_.WorkerOf(m, 0)] += total % threads;
-      machine_ops_[m] = 0;
     }
   }
 
@@ -88,7 +106,8 @@ class PushPullRuntime {
   JobContext& ctx_;
   const Graph& graph_;
   WorkerMap workers_;
-  std::vector<std::uint64_t> machine_ops_;
+  std::vector<std::vector<std::uint64_t>> slot_machine_ops_;
+  int num_slots_ = 0;
   std::int64_t charged_per_machine_ = 0;
   bool charged_ = false;
 };
@@ -104,6 +123,7 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
 
   std::vector<VertexIndex> frontier{root};
   std::vector<VertexIndex> next;
+  exec::SlotBuffers<VertexIndex> discovered;
   std::int64_t depth = 0;
   const EdgeIndex total_entries = graph.num_adjacency_entries();
   while (!frontier.empty()) {
@@ -114,38 +134,70 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
     GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(
         frontier.size(), "bfs frontier"));
 
+    // Both directions scan host-parallel against the previous level's
+    // state; discoveries buffer per slot and commit in slot order, which
+    // matches the serial scan order exactly.
     std::uint64_t remote = 0;
     if (frontier_edges * 20 < total_entries) {
       // Push: sparse frontier writes to unvisited out-neighbours.
-      for (VertexIndex v : frontier) {
-        double ops = ctx.profile().ops_per_vertex;
-        for (VertexIndex u : graph.OutNeighbors(v)) {
-          ops += ctx.profile().ops_per_edge;
-          if (runtime.IsRemote(v, u)) ++remote;
-          if (output.int_values[u] == kUnreachableHops) {
-            output.int_values[u] = depth;
-            next.push_back(u);
-          }
+      const std::int64_t frontier_size =
+          static_cast<std::int64_t>(frontier.size());
+      const int num_slots = exec::ExecContext::NumSlots(frontier_size);
+      runtime.PrepareSlots(num_slots);
+      discovered.Reset(num_slots);
+      remote = exec::parallel_reduce(
+          ctx.exec(), 0, frontier_size, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<VertexIndex>& out = discovered.buf(slice.slot);
+            for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+              const VertexIndex v = frontier[i];
+              double ops = ctx.profile().ops_per_vertex;
+              for (VertexIndex u : graph.OutNeighbors(v)) {
+                ops += ctx.profile().ops_per_edge;
+                if (runtime.IsRemote(v, u)) ++acc;
+                if (output.int_values[u] == kUnreachableHops) {
+                  out.push_back(u);
+                }
+              }
+              runtime.ChargeVertexWork(slice.slot, v, ops);
+            }
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; });
+      discovered.Drain([&](VertexIndex u) {
+        if (output.int_values[u] == kUnreachableHops) {
+          output.int_values[u] = depth;
+          next.push_back(u);
         }
-        runtime.ChargeVertexWork(v, ops);
-      }
+      });
     } else {
       // Pull: every unvisited vertex scans in-neighbours, stopping at the
       // first frontier parent (the direction-optimisation payoff).
-      for (VertexIndex v = 0; v < n; ++v) {
-        if (output.int_values[v] != kUnreachableHops) continue;
-        double ops = ctx.profile().ops_per_vertex;
-        for (VertexIndex u : graph.InNeighbors(v)) {
-          ops += ctx.profile().ops_per_edge;
-          if (runtime.IsRemote(u, v)) ++remote;
-          if (output.int_values[u] == depth - 1) {
-            output.int_values[v] = depth;
-            next.push_back(v);
-            break;
-          }
-        }
-        runtime.ChargeVertexWork(v, ops);
-      }
+      const int num_slots = exec::ExecContext::NumSlots(n);
+      runtime.PrepareSlots(num_slots);
+      discovered.Reset(num_slots);
+      remote = exec::parallel_reduce(
+          ctx.exec(), 0, n, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<VertexIndex>& out = discovered.buf(slice.slot);
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              if (output.int_values[v] != kUnreachableHops) continue;
+              double ops = ctx.profile().ops_per_vertex;
+              for (VertexIndex u : graph.InNeighbors(v)) {
+                ops += ctx.profile().ops_per_edge;
+                if (runtime.IsRemote(u, v)) ++acc;
+                if (output.int_values[u] == depth - 1) {
+                  out.push_back(v);
+                  break;
+                }
+              }
+              runtime.ChargeVertexWork(slice.slot, v, ops);
+            }
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; });
+      discovered.Drain([&](VertexIndex v) {
+        output.int_values[v] = depth;
+        next.push_back(v);
+      });
     }
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
@@ -165,27 +217,37 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
   if (n == 0) return output;
   PushPullRuntime runtime(ctx, graph);
   std::vector<double> next(n, 0.0);
+  const int num_slots = exec::ExecContext::NumSlots(n);
   for (int iteration = 0; iteration < iterations; ++iteration) {
-    double dangling = 0.0;
-    for (VertexIndex v = 0; v < n; ++v) {
-      if (graph.OutDegree(v) == 0) dangling += output.double_values[v];
-    }
+    const double dangling = exec::parallel_reduce(
+        ctx.exec(), 0, n, 0.0,
+        [&](const exec::Slice& slice, double& acc) {
+          for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+            if (graph.OutDegree(v) == 0) acc += output.double_values[v];
+          }
+        },
+        [](double& into, double from) { into += from; });
     const double base = (1.0 - damping) / static_cast<double>(n) +
                         damping * dangling / static_cast<double>(n);
-    std::uint64_t remote = 0;
-    for (VertexIndex v = 0; v < n; ++v) {
-      // Pull mode: read in-neighbours' ranks.
-      double sum = 0.0;
-      double ops = ctx.profile().ops_per_vertex;
-      for (VertexIndex u : graph.InNeighbors(v)) {
-        ops += ctx.profile().ops_per_edge;
-        if (runtime.IsRemote(u, v)) ++remote;
-        sum += output.double_values[u] /
-               static_cast<double>(graph.OutDegree(u));
-      }
-      next[v] = base + damping * sum;
-      runtime.ChargeVertexWork(v, ops);
-    }
+    runtime.PrepareSlots(num_slots);
+    const std::uint64_t remote = exec::parallel_reduce(
+        ctx.exec(), 0, n, std::uint64_t{0},
+        [&](const exec::Slice& slice, std::uint64_t& acc) {
+          for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+            // Pull mode: read in-neighbours' ranks.
+            double sum = 0.0;
+            double ops = ctx.profile().ops_per_vertex;
+            for (VertexIndex u : graph.InNeighbors(v)) {
+              ops += ctx.profile().ops_per_edge;
+              if (runtime.IsRemote(u, v)) ++acc;
+              sum += output.double_values[u] /
+                     static_cast<double>(graph.OutDegree(u));
+            }
+            next[v] = base + damping * sum;
+            runtime.ChargeVertexWork(slice.slot, v, ops);
+          }
+        },
+        [](std::uint64_t& into, std::uint64_t from) { into += from; });
     output.double_values.swap(next);
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
@@ -207,33 +269,56 @@ Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
   std::vector<VertexIndex> frontier(n);
   for (VertexIndex v = 0; v < n; ++v) frontier[v] = v;
   std::vector<VertexIndex> next;
+  struct LabelPush {
+    VertexIndex target;
+    std::int64_t label;
+  };
+  exec::SlotBuffers<LabelPush> pushed;
   const int max_rounds = static_cast<int>(n) + 2;
   for (int round = 0; round < max_rounds && !frontier.empty(); ++round) {
     next.clear();
     std::fill(in_frontier.begin(), in_frontier.end(), 0);
-    std::uint64_t remote = 0;
     GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(frontier.size(),
                                                      "wcc frontier"));
-    for (VertexIndex v : frontier) {
-      double ops = ctx.profile().ops_per_vertex;
-      const std::int64_t label = output.int_values[v];
-      auto push_to = [&](VertexIndex u) {
-        ops += ctx.profile().ops_per_edge;
-        if (runtime.IsRemote(v, u)) ++remote;
-        if (label < output.int_values[u]) {
-          output.int_values[u] = label;
-          if (!in_frontier[u]) {
-            in_frontier[u] = 1;
-            next.push_back(u);
+    // Parallel expand against last round's labels; improving pushes are
+    // committed min-first in slot order.
+    const std::int64_t frontier_size =
+        static_cast<std::int64_t>(frontier.size());
+    const int num_slots = exec::ExecContext::NumSlots(frontier_size);
+    runtime.PrepareSlots(num_slots);
+    pushed.Reset(num_slots);
+    const std::uint64_t remote = exec::parallel_reduce(
+        ctx.exec(), 0, frontier_size, std::uint64_t{0},
+        [&](const exec::Slice& slice, std::uint64_t& acc) {
+          std::vector<LabelPush>& out = pushed.buf(slice.slot);
+          for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+            const VertexIndex v = frontier[i];
+            double ops = ctx.profile().ops_per_vertex;
+            const std::int64_t label = output.int_values[v];
+            auto push_to = [&](VertexIndex u) {
+              ops += ctx.profile().ops_per_edge;
+              if (runtime.IsRemote(v, u)) ++acc;
+              if (label < output.int_values[u]) {
+                out.push_back({u, label});
+              }
+            };
+            for (VertexIndex u : graph.OutNeighbors(v)) push_to(u);
+            if (graph.is_directed()) {
+              for (VertexIndex u : graph.InNeighbors(v)) push_to(u);
+            }
+            runtime.ChargeVertexWork(slice.slot, v, ops);
           }
+        },
+        [](std::uint64_t& into, std::uint64_t from) { into += from; });
+    pushed.Drain([&](const LabelPush& push) {
+      if (push.label < output.int_values[push.target]) {
+        output.int_values[push.target] = push.label;
+        if (!in_frontier[push.target]) {
+          in_frontier[push.target] = 1;
+          next.push_back(push.target);
         }
-      };
-      for (VertexIndex u : graph.OutNeighbors(v)) push_to(u);
-      if (graph.is_directed()) {
-        for (VertexIndex u : graph.InNeighbors(v)) push_to(u);
       }
-      runtime.ChargeVertexWork(v, ops);
-    }
+    });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
     ctx.EndSuperstep("wcc");
@@ -254,40 +339,46 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
   }
   PushPullRuntime runtime(ctx, graph);
   std::vector<std::int64_t> next(n);
-  std::unordered_map<std::int64_t, std::int64_t> histogram;
+  const int num_slots = exec::ExecContext::NumSlots(n);
   for (int iteration = 0; iteration < iterations; ++iteration) {
-    std::uint64_t remote = 0;
-    for (VertexIndex v = 0; v < n; ++v) {
-      histogram.clear();
-      double ops = ctx.profile().ops_per_vertex;
-      for (VertexIndex u : graph.OutNeighbors(v)) {
-        ops += ctx.profile().ops_per_edge * 3.5;
-        if (runtime.IsRemote(u, v)) ++remote;
-        ++histogram[output.int_values[u]];
-      }
-      if (graph.is_directed()) {
-        for (VertexIndex u : graph.InNeighbors(v)) {
-          ops += ctx.profile().ops_per_edge * 3.5;
-          if (runtime.IsRemote(u, v)) ++remote;
-          ++histogram[output.int_values[u]];
-        }
-      }
-      if (histogram.empty()) {
-        next[v] = output.int_values[v];
-      } else {
-        std::int64_t best_label = 0;
-        std::int64_t best_count = -1;
-        for (const auto& [label, count] : histogram) {
-          if (count > best_count ||
-              (count == best_count && label < best_label)) {
-            best_label = label;
-            best_count = count;
+    runtime.PrepareSlots(num_slots);
+    const std::uint64_t remote = exec::parallel_reduce(
+        ctx.exec(), 0, n, std::uint64_t{0},
+        [&](const exec::Slice& slice, std::uint64_t& acc) {
+          std::unordered_map<std::int64_t, std::int64_t> histogram;
+          for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+            histogram.clear();
+            double ops = ctx.profile().ops_per_vertex;
+            for (VertexIndex u : graph.OutNeighbors(v)) {
+              ops += ctx.profile().ops_per_edge * 3.5;
+              if (runtime.IsRemote(u, v)) ++acc;
+              ++histogram[output.int_values[u]];
+            }
+            if (graph.is_directed()) {
+              for (VertexIndex u : graph.InNeighbors(v)) {
+                ops += ctx.profile().ops_per_edge * 3.5;
+                if (runtime.IsRemote(u, v)) ++acc;
+                ++histogram[output.int_values[u]];
+              }
+            }
+            if (histogram.empty()) {
+              next[v] = output.int_values[v];
+            } else {
+              std::int64_t best_label = 0;
+              std::int64_t best_count = -1;
+              for (const auto& [label, count] : histogram) {
+                if (count > best_count ||
+                    (count == best_count && label < best_label)) {
+                  best_label = label;
+                  best_count = count;
+                }
+              }
+              next[v] = best_label;
+            }
+            runtime.ChargeVertexWork(slice.slot, v, ops);
           }
-        }
-        next[v] = best_label;
-      }
-      runtime.ChargeVertexWork(v, ops);
-    }
+        },
+        [](std::uint64_t& into, std::uint64_t from) { into += from; });
     output.int_values.swap(next);
     // CDLP label votes cannot be combined per machine (mode aggregation).
     runtime.ChargeRemoteValues(remote * 2);
@@ -308,31 +399,52 @@ Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
   std::vector<char> in_frontier(n, 0);
   std::vector<VertexIndex> frontier{root};
   std::vector<VertexIndex> next;
+  struct Relaxation {
+    VertexIndex target;
+    double distance;
+  };
+  exec::SlotBuffers<Relaxation> relaxed;
   const int max_rounds = static_cast<int>(n) + 2;
   for (int round = 0; round < max_rounds && !frontier.empty(); ++round) {
     next.clear();
     std::fill(in_frontier.begin(), in_frontier.end(), 0);
-    std::uint64_t remote = 0;
     GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(frontier.size(),
                                                      "sssp frontier"));
-    for (VertexIndex v : frontier) {
-      double ops = ctx.profile().ops_per_vertex;
-      const auto neighbors = graph.OutNeighbors(v);
-      const auto weights = graph.OutWeights(v);
-      for (std::size_t i = 0; i < neighbors.size(); ++i) {
-        ops += ctx.profile().ops_per_edge;
-        if (runtime.IsRemote(v, neighbors[i])) ++remote;
-        const double candidate = output.double_values[v] + weights[i];
-        if (candidate < output.double_values[neighbors[i]]) {
-          output.double_values[neighbors[i]] = candidate;
-          if (!in_frontier[neighbors[i]]) {
-            in_frontier[neighbors[i]] = 1;
-            next.push_back(neighbors[i]);
+    const std::int64_t frontier_size =
+        static_cast<std::int64_t>(frontier.size());
+    const int num_slots = exec::ExecContext::NumSlots(frontier_size);
+    runtime.PrepareSlots(num_slots);
+    relaxed.Reset(num_slots);
+    const std::uint64_t remote = exec::parallel_reduce(
+        ctx.exec(), 0, frontier_size, std::uint64_t{0},
+        [&](const exec::Slice& slice, std::uint64_t& acc) {
+          std::vector<Relaxation>& out = relaxed.buf(slice.slot);
+          for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+            const VertexIndex v = frontier[i];
+            double ops = ctx.profile().ops_per_vertex;
+            const auto neighbors = graph.OutNeighbors(v);
+            const auto weights = graph.OutWeights(v);
+            for (std::size_t j = 0; j < neighbors.size(); ++j) {
+              ops += ctx.profile().ops_per_edge;
+              if (runtime.IsRemote(v, neighbors[j])) ++acc;
+              const double candidate = output.double_values[v] + weights[j];
+              if (candidate < output.double_values[neighbors[j]]) {
+                out.push_back({neighbors[j], candidate});
+              }
+            }
+            runtime.ChargeVertexWork(slice.slot, v, ops);
           }
+        },
+        [](std::uint64_t& into, std::uint64_t from) { into += from; });
+    relaxed.Drain([&](const Relaxation& relaxation) {
+      if (relaxation.distance < output.double_values[relaxation.target]) {
+        output.double_values[relaxation.target] = relaxation.distance;
+        if (!in_frontier[relaxation.target]) {
+          in_frontier[relaxation.target] = 1;
+          next.push_back(relaxation.target);
         }
       }
-      runtime.ChargeVertexWork(v, ops);
-    }
+    });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
     ctx.EndSuperstep("sssp");

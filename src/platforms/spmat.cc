@@ -5,6 +5,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "core/exec/exec.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -15,6 +16,18 @@ namespace {
 constexpr std::int64_t kSparseEntryBytes = 8;
 // Bytes per intermediate entry of the masked SpGEMM used by LCC.
 constexpr std::int64_t kSpgemmEntryBytes = 16;
+
+// Per-sweep counters accumulated by the parallel expand loops.
+struct ExpandStats {
+  std::uint64_t touched = 0;
+  std::uint64_t remote = 0;
+};
+
+constexpr auto kMergeExpandStats = [](ExpandStats& into,
+                                      const ExpandStats& from) {
+  into.touched += from.touched;
+  into.remote += from.remote;
+};
 
 class SpmvRuntime {
  public:
@@ -140,24 +153,42 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       std::vector<VertexIndex> frontier{root};
       std::vector<VertexIndex> next;
       std::int64_t depth = 0;
+      exec::SlotBuffers<VertexIndex> discovered;
       while (!frontier.empty()) {
         next.clear();
-        std::uint64_t touched = 0;
-        std::uint64_t remote = 0;
         ++depth;
-        // Frontier-masked SpMSpV (push along out-edges).
-        for (VertexIndex u : frontier) {
-          for (VertexIndex v : graph.OutNeighbors(u)) {
-            ++touched;
-            remote += runtime.RemoteIfCross(u, v);
-            if (output.int_values[v] == kUnreachableHops) {
-              output.int_values[v] = depth;
-              next.push_back(v);
-            }
+        // Frontier-masked SpMSpV (push along out-edges): the expand scans
+        // frontier slices host-parallel against last sweep's state; the
+        // slot-ordered commit dedupes discoveries exactly as the serial
+        // scan would.
+        const std::int64_t frontier_size =
+            static_cast<std::int64_t>(frontier.size());
+        discovered.Reset(exec::ExecContext::NumSlots(frontier_size));
+        const ExpandStats stats = exec::parallel_reduce(
+            ctx.exec(), 0, frontier_size, ExpandStats{},
+            [&](const exec::Slice& slice, ExpandStats& acc) {
+              std::vector<VertexIndex>& out = discovered.buf(slice.slot);
+              for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+                const VertexIndex u = frontier[i];
+                for (VertexIndex v : graph.OutNeighbors(u)) {
+                  ++acc.touched;
+                  acc.remote += runtime.RemoteIfCross(u, v);
+                  if (output.int_values[v] == kUnreachableHops) {
+                    out.push_back(v);
+                  }
+                }
+              }
+            },
+            kMergeExpandStats);
+        discovered.Drain([&](VertexIndex v) {
+          if (output.int_values[v] == kUnreachableHops) {
+            output.int_values[v] = depth;
+            next.push_back(v);
           }
-        }
+        });
         GA_RETURN_IF_ERROR(runtime.EndSweep(
-            touched, static_cast<std::uint64_t>(n), remote, "bfs"));
+            stats.touched, static_cast<std::uint64_t>(n), stats.remote,
+            "bfs"));
         frontier.swap(next);
       }
       return output;
@@ -176,32 +207,54 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       std::vector<char> in_frontier(n, 0);
       std::vector<VertexIndex> frontier{root};
       std::vector<VertexIndex> next;
+      struct Relaxation {
+        VertexIndex target;
+        double distance;
+      };
+      exec::SlotBuffers<Relaxation> relaxed;
       const int max_rounds = static_cast<int>(n) + 2;
       for (int round = 0; round < max_rounds && !frontier.empty();
            ++round) {
         next.clear();
         std::fill(in_frontier.begin(), in_frontier.end(), 0);
-        std::uint64_t touched = 0;
-        std::uint64_t remote = 0;
-        for (VertexIndex u : frontier) {
-          const auto neighbors = graph.OutNeighbors(u);
-          const auto weights = graph.OutWeights(u);
-          for (std::size_t i = 0; i < neighbors.size(); ++i) {
-            ++touched;
-            remote += runtime.RemoteIfCross(u, neighbors[i]);
-            const double candidate =
-                output.double_values[u] + weights[i];
-            if (candidate < output.double_values[neighbors[i]]) {
-              output.double_values[neighbors[i]] = candidate;
-              if (!in_frontier[neighbors[i]]) {
-                in_frontier[neighbors[i]] = 1;
-                next.push_back(neighbors[i]);
+        // Parallel expand against last sweep's distances; improving
+        // candidates are committed min-first in slot order.
+        const std::int64_t frontier_size =
+            static_cast<std::int64_t>(frontier.size());
+        relaxed.Reset(exec::ExecContext::NumSlots(frontier_size));
+        const ExpandStats stats = exec::parallel_reduce(
+            ctx.exec(), 0, frontier_size, ExpandStats{},
+            [&](const exec::Slice& slice, ExpandStats& acc) {
+              std::vector<Relaxation>& out = relaxed.buf(slice.slot);
+              for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+                const VertexIndex u = frontier[i];
+                const auto neighbors = graph.OutNeighbors(u);
+                const auto weights = graph.OutWeights(u);
+                for (std::size_t j = 0; j < neighbors.size(); ++j) {
+                  ++acc.touched;
+                  acc.remote += runtime.RemoteIfCross(u, neighbors[j]);
+                  const double candidate =
+                      output.double_values[u] + weights[j];
+                  if (candidate < output.double_values[neighbors[j]]) {
+                    out.push_back({neighbors[j], candidate});
+                  }
+                }
               }
+            },
+            kMergeExpandStats);
+        relaxed.Drain([&](const Relaxation& relaxation) {
+          if (relaxation.distance <
+              output.double_values[relaxation.target]) {
+            output.double_values[relaxation.target] = relaxation.distance;
+            if (!in_frontier[relaxation.target]) {
+              in_frontier[relaxation.target] = 1;
+              next.push_back(relaxation.target);
             }
           }
-        }
+        });
         GA_RETURN_IF_ERROR(runtime.EndSweep(
-            touched, static_cast<std::uint64_t>(n), remote, "sssp"));
+            stats.touched, static_cast<std::uint64_t>(n), stats.remote,
+            "sssp"));
         frontier.swap(next);
       }
       return output;
@@ -213,33 +266,46 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       for (VertexIndex v = 0; v < n; ++v) {
         output.int_values[v] = graph.ExternalId(v);
       }
-      // Full min-SpMV sweeps until fixpoint (both edge directions).
+      // Full min-SpMV sweeps until fixpoint (both edge directions). Each
+      // sweep reads the previous labels and writes next[v] — disjoint per
+      // vertex, so the sweep itself runs host-parallel.
       bool changed = true;
       const int max_rounds = static_cast<int>(n) + 2;
       for (int round = 0; round < max_rounds && changed; ++round) {
-        changed = false;
-        std::uint64_t touched = 0;
         std::vector<std::int64_t> next(output.int_values);
-        for (VertexIndex v = 0; v < n; ++v) {
-          std::int64_t best = next[v];
-          for (VertexIndex u : graph.InNeighbors(v)) {
-            ++touched;
-            best = std::min(best, output.int_values[u]);
-          }
-          if (graph.is_directed()) {
-            for (VertexIndex u : graph.OutNeighbors(v)) {
-              ++touched;
-              best = std::min(best, output.int_values[u]);
-            }
-          }
-          if (best < next[v]) {
-            next[v] = best;
-            changed = true;
-          }
-        }
+        struct SweepStats {
+          std::uint64_t touched = 0;
+          bool changed = false;
+        };
+        const SweepStats stats = exec::parallel_reduce(
+            ctx.exec(), 0, n, SweepStats{},
+            [&](const exec::Slice& slice, SweepStats& acc) {
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                std::int64_t best = next[v];
+                for (VertexIndex u : graph.InNeighbors(v)) {
+                  ++acc.touched;
+                  best = std::min(best, output.int_values[u]);
+                }
+                if (graph.is_directed()) {
+                  for (VertexIndex u : graph.OutNeighbors(v)) {
+                    ++acc.touched;
+                    best = std::min(best, output.int_values[u]);
+                  }
+                }
+                if (best < next[v]) {
+                  next[v] = best;
+                  acc.changed = true;
+                }
+              }
+            },
+            [](SweepStats& into, const SweepStats& from) {
+              into.touched += from.touched;
+              into.changed = into.changed || from.changed;
+            });
+        changed = stats.changed;
         output.int_values.swap(next);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
-            touched, static_cast<std::uint64_t>(n),
+            stats.touched, static_cast<std::uint64_t>(n),
             static_cast<std::uint64_t>(n), "wcc"));
       }
       return output;
@@ -253,23 +319,33 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       std::vector<double> next(n, 0.0);
       for (int iteration = 0; iteration < params.pagerank_iterations;
            ++iteration) {
-        double dangling = 0.0;
-        for (VertexIndex v = 0; v < n; ++v) {
-          if (graph.OutDegree(v) == 0) dangling += output.double_values[v];
-        }
+        const double dangling = exec::parallel_reduce(
+            ctx.exec(), 0, n, 0.0,
+            [&](const exec::Slice& slice, double& acc) {
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                if (graph.OutDegree(v) == 0) {
+                  acc += output.double_values[v];
+                }
+              }
+            },
+            [](double& into, double from) { into += from; });
         const double base =
             (1.0 - params.damping_factor) / static_cast<double>(n) +
             params.damping_factor * dangling / static_cast<double>(n);
-        std::uint64_t touched = 0;
-        for (VertexIndex v = 0; v < n; ++v) {
-          double sum = 0.0;
-          for (VertexIndex u : graph.InNeighbors(v)) {
-            ++touched;
-            sum += output.double_values[u] /
-                   static_cast<double>(graph.OutDegree(u));
-          }
-          next[v] = base + params.damping_factor * sum;
-        }
+        const std::uint64_t touched = exec::parallel_reduce(
+            ctx.exec(), 0, n, std::uint64_t{0},
+            [&](const exec::Slice& slice, std::uint64_t& acc) {
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                double sum = 0.0;
+                for (VertexIndex u : graph.InNeighbors(v)) {
+                  ++acc;
+                  sum += output.double_values[u] /
+                         static_cast<double>(graph.OutDegree(u));
+                }
+                next[v] = base + params.damping_factor * sum;
+              }
+            },
+            [](std::uint64_t& into, std::uint64_t from) { into += from; });
         output.double_values.swap(next);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             touched, static_cast<std::uint64_t>(n),
@@ -284,38 +360,42 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       for (VertexIndex v = 0; v < n; ++v) {
         output.int_values[v] = graph.ExternalId(v);
       }
-      std::unordered_map<std::int64_t, std::int64_t> histogram;
       std::vector<std::int64_t> next(n);
       for (int iteration = 0; iteration < params.cdlp_iterations;
            ++iteration) {
-        std::uint64_t touched = 0;
-        for (VertexIndex v = 0; v < n; ++v) {
-          histogram.clear();
-          for (VertexIndex u : graph.OutNeighbors(v)) {
-            ++touched;
-            ++histogram[output.int_values[u]];
-          }
-          if (graph.is_directed()) {
-            for (VertexIndex u : graph.InNeighbors(v)) {
-              ++touched;
-              ++histogram[output.int_values[u]];
-            }
-          }
-          if (histogram.empty()) {
-            next[v] = output.int_values[v];
-            continue;
-          }
-          std::int64_t best_label = 0;
-          std::int64_t best_count = -1;
-          for (const auto& [label, count] : histogram) {
-            if (count > best_count ||
-                (count == best_count && label < best_label)) {
-              best_label = label;
-              best_count = count;
-            }
-          }
-          next[v] = best_label;
-        }
+        const std::uint64_t touched = exec::parallel_reduce(
+            ctx.exec(), 0, n, std::uint64_t{0},
+            [&](const exec::Slice& slice, std::uint64_t& acc) {
+              std::unordered_map<std::int64_t, std::int64_t> histogram;
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                histogram.clear();
+                for (VertexIndex u : graph.OutNeighbors(v)) {
+                  ++acc;
+                  ++histogram[output.int_values[u]];
+                }
+                if (graph.is_directed()) {
+                  for (VertexIndex u : graph.InNeighbors(v)) {
+                    ++acc;
+                    ++histogram[output.int_values[u]];
+                  }
+                }
+                if (histogram.empty()) {
+                  next[v] = output.int_values[v];
+                  continue;
+                }
+                std::int64_t best_label = 0;
+                std::int64_t best_count = -1;
+                for (const auto& [label, count] : histogram) {
+                  if (count > best_count ||
+                      (count == best_count && label < best_label)) {
+                    best_label = label;
+                    best_count = count;
+                  }
+                }
+                next[v] = best_label;
+              }
+            },
+            [](std::uint64_t& into, std::uint64_t from) { into += from; });
         output.int_values.swap(next);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             touched * 3,  // histogram insertion is pricier than a MAC
@@ -329,19 +409,21 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       // materialised; their size is sum_v sum_{u in N(v)} deg(u). Charge
       // that memory up front — on dense graphs this is the OOM that makes
       // GraphMat fail LCC in the paper (§4.2).
-      double intermediate_entries = 0.0;
-      for (VertexIndex v = 0; v < n; ++v) {
-        for (VertexIndex u : graph.OutNeighbors(v)) {
-          intermediate_entries +=
-              static_cast<double>(graph.OutDegree(u));
-        }
-        if (graph.is_directed()) {
-          for (VertexIndex u : graph.InNeighbors(v)) {
-            intermediate_entries +=
-                static_cast<double>(graph.OutDegree(u));
-          }
-        }
-      }
+      const double intermediate_entries = exec::parallel_reduce(
+          ctx.exec(), 0, n, 0.0,
+          [&](const exec::Slice& slice, double& acc) {
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              for (VertexIndex u : graph.OutNeighbors(v)) {
+                acc += static_cast<double>(graph.OutDegree(u));
+              }
+              if (graph.is_directed()) {
+                for (VertexIndex u : graph.InNeighbors(v)) {
+                  acc += static_cast<double>(graph.OutDegree(u));
+                }
+              }
+            }
+          },
+          [](double& into, double from) { into += from; });
       const std::int64_t bytes_per_machine =
           static_cast<std::int64_t>(intermediate_entries) *
           kSpgemmEntryBytes / std::max(ctx.num_machines(), 1);
@@ -353,39 +435,46 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
-      std::vector<char> flag(n, 0);
-      std::vector<VertexIndex> neighborhood;
-      std::uint64_t touched = 0;
-      for (VertexIndex v = 0; v < n; ++v) {
-        neighborhood.clear();
-        for (VertexIndex u : graph.OutNeighbors(v)) {
-          if (u != v && !flag[u]) {
-            flag[u] = 1;
-            neighborhood.push_back(u);
-          }
-        }
-        if (graph.is_directed()) {
-          for (VertexIndex u : graph.InNeighbors(v)) {
-            if (u != v && !flag[u]) {
-              flag[u] = 1;
-              neighborhood.push_back(u);
+      // Slot cap: each slice owns an O(n) flag array.
+      const std::uint64_t touched = exec::parallel_reduce(
+          ctx.exec(), 0, n, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<char> flag(n, 0);
+            std::vector<VertexIndex> neighborhood;
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              neighborhood.clear();
+              for (VertexIndex u : graph.OutNeighbors(v)) {
+                if (u != v && !flag[u]) {
+                  flag[u] = 1;
+                  neighborhood.push_back(u);
+                }
+              }
+              if (graph.is_directed()) {
+                for (VertexIndex u : graph.InNeighbors(v)) {
+                  if (u != v && !flag[u]) {
+                    flag[u] = 1;
+                    neighborhood.push_back(u);
+                  }
+                }
+              }
+              std::int64_t links = 0;
+              if (neighborhood.size() >= 2) {
+                for (VertexIndex u : neighborhood) {
+                  for (VertexIndex w : graph.OutNeighbors(u)) {
+                    ++acc;
+                    if (w != v && flag[w]) ++links;
+                  }
+                }
+                const double degree =
+                    static_cast<double>(neighborhood.size());
+                output.double_values[v] =
+                    static_cast<double>(links) / (degree * (degree - 1.0));
+              }
+              for (VertexIndex w : neighborhood) flag[w] = 0;
             }
-          }
-        }
-        std::int64_t links = 0;
-        if (neighborhood.size() >= 2) {
-          for (VertexIndex u : neighborhood) {
-            for (VertexIndex w : graph.OutNeighbors(u)) {
-              ++touched;
-              if (w != v && flag[w]) ++links;
-            }
-          }
-          const double degree = static_cast<double>(neighborhood.size());
-          output.double_values[v] =
-              static_cast<double>(links) / (degree * (degree - 1.0));
-        }
-        for (VertexIndex w : neighborhood) flag[w] = 0;
-      }
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          exec::ExecContext::kScratchSlots);
       GA_RETURN_IF_ERROR(runtime.EndSweep(
           touched * 2, static_cast<std::uint64_t>(n), 0, "lcc"));
       for (int m = 0; m < ctx.num_machines(); ++m) {

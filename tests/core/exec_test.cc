@@ -1,0 +1,179 @@
+// Tests for the ga::exec host-parallel substrate: the thread pool, the
+// fixed slot decomposition, and the determinism contract (results
+// identical at any host thread count).
+#include "core/exec/exec.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "core/exec/thread_pool.h"
+
+namespace ga::exec {
+namespace {
+
+TEST(ThreadPoolTest, ExecutesEveryChunkExactlyOnce) {
+  for (int threads : {1, 2, 4, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(pool.num_threads(), threads);
+    constexpr std::int64_t kChunks = 1000;
+    std::vector<std::atomic<int>> seen(kChunks);
+    pool.Execute(kChunks,
+                 [&](std::int64_t chunk) { seen[chunk].fetch_add(1); });
+    for (std::int64_t chunk = 0; chunk < kChunks; ++chunk) {
+      EXPECT_EQ(seen[chunk].load(), 1) << "chunk " << chunk;
+    }
+  }
+}
+
+TEST(ThreadPoolTest, ReusableAcrossJobs) {
+  ThreadPool pool(4);
+  for (int job = 0; job < 50; ++job) {
+    std::atomic<std::int64_t> sum{0};
+    pool.Execute(17, [&](std::int64_t chunk) { sum.fetch_add(chunk); });
+    EXPECT_EQ(sum.load(), 17 * 16 / 2);
+  }
+}
+
+TEST(ThreadPoolTest, ZeroChunksIsANoOp) {
+  ThreadPool pool(2);
+  pool.Execute(0, [&](std::int64_t) { FAIL() << "body must not run"; });
+}
+
+TEST(ExecContextTest, SlotCountDependsOnlyOnRangeSize) {
+  // The decomposition must not depend on any pool: NumSlots is static.
+  EXPECT_EQ(ExecContext::NumSlots(0), 0);
+  EXPECT_EQ(ExecContext::NumSlots(1), 1);
+  EXPECT_EQ(ExecContext::NumSlots(ExecContext::kMinGrain), 1);
+  EXPECT_EQ(ExecContext::NumSlots(ExecContext::kMinGrain + 1), 2);
+  EXPECT_EQ(ExecContext::NumSlots(1 << 30), ExecContext::kMaxSlots);
+}
+
+TEST(ExecContextTest, SlicesTileTheRangeContiguously) {
+  const std::int64_t begin = 13;
+  const std::int64_t end = 13 + 5000;
+  const int num_slots = ExecContext::NumSlots(end - begin);
+  std::int64_t cursor = begin;
+  for (int slot = 0; slot < num_slots; ++slot) {
+    const Slice slice = ExecContext::SliceOf(begin, end, slot, num_slots);
+    EXPECT_EQ(slice.begin, cursor);
+    EXPECT_LE(slice.begin, slice.end);
+    EXPECT_EQ(slice.slot, slot);
+    cursor = slice.end;
+  }
+  EXPECT_EQ(cursor, end);
+}
+
+TEST(ParallelForTest, VisitsEveryIndexOnceAtAnyThreadCount) {
+  constexpr std::int64_t kRange = 10'000;
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ExecContext ctx(&pool);
+    std::vector<std::atomic<int>> seen(kRange);
+    parallel_for(ctx, 0, kRange, [&](const Slice& slice) {
+      for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+        seen[i].fetch_add(1);
+      }
+    });
+    for (std::int64_t i = 0; i < kRange; ++i) {
+      ASSERT_EQ(seen[i].load(), 1) << "index " << i;
+    }
+  }
+}
+
+// Floating-point reductions must be bit-identical at any thread count:
+// the slot decomposition fixes the summation grouping.
+TEST(ParallelReduceTest, FloatSumBitIdenticalAcrossThreadCounts) {
+  constexpr std::int64_t kRange = 54321;
+  std::vector<double> values(kRange);
+  for (std::int64_t i = 0; i < kRange; ++i) {
+    values[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  auto sum_with = [&](ThreadPool* pool) {
+    ExecContext ctx(pool);
+    return parallel_reduce(
+        ctx, 0, kRange, 0.0,
+        [&](const Slice& slice, double& acc) {
+          for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+            acc += values[i];
+          }
+        },
+        [](double& into, double from) { into += from; });
+  };
+  const double serial = sum_with(nullptr);
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    EXPECT_EQ(sum_with(&pool), serial) << threads << " threads";
+  }
+}
+
+TEST(SlotBuffersTest, DrainReplaysSerialEmissionOrder) {
+  constexpr std::int64_t kRange = 2000;
+  ThreadPool pool(8);
+  ExecContext ctx(&pool);
+  SlotBuffers<std::int64_t> buffers;
+  buffers.Reset(ExecContext::NumSlots(kRange));
+  parallel_for(ctx, 0, kRange, [&](const Slice& slice) {
+    for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+      if (i % 3 == 0) buffers.buf(slice.slot).push_back(i);
+    }
+  });
+  std::vector<std::int64_t> drained;
+  buffers.Drain([&](std::int64_t i) { drained.push_back(i); });
+  std::vector<std::int64_t> expected;
+  for (std::int64_t i = 0; i < kRange; i += 3) expected.push_back(i);
+  EXPECT_EQ(drained, expected);
+}
+
+// Equal keys must keep the same (deterministic) permutation at any thread
+// count, so downstream dedup picks the same survivor.
+TEST(ParallelSortTest, SortsAndIsThreadCountInvariant) {
+  struct Item {
+    int key;
+    int payload;
+  };
+  constexpr int kCount = 9973;
+  std::vector<Item> input(kCount);
+  std::uint64_t state = 12345;
+  for (int i = 0; i < kCount; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    input[i] = {static_cast<int>(state % 100), i};
+  }
+  auto less = [](const Item& a, const Item& b) { return a.key < b.key; };
+
+  auto sort_with = [&](ThreadPool* pool) {
+    std::vector<Item> items = input;
+    ExecContext ctx(pool);
+    parallel_sort(ctx, &items, less);
+    return items;
+  };
+  const std::vector<Item> serial = sort_with(nullptr);
+  for (int i = 1; i < kCount; ++i) {
+    ASSERT_LE(serial[i - 1].key, serial[i].key);
+  }
+  for (int threads : {2, 8}) {
+    ThreadPool pool(threads);
+    const std::vector<Item> sorted = sort_with(&pool);
+    for (int i = 0; i < kCount; ++i) {
+      ASSERT_EQ(sorted[i].key, serial[i].key) << "position " << i;
+      ASSERT_EQ(sorted[i].payload, serial[i].payload) << "position " << i;
+    }
+  }
+}
+
+TEST(ParallelSortTest, HandlesSmallAndEmptyInputs) {
+  ThreadPool pool(4);
+  ExecContext ctx(&pool);
+  std::vector<int> empty;
+  parallel_sort(ctx, &empty, std::less<int>{});
+  EXPECT_TRUE(empty.empty());
+  std::vector<int> tiny = {3, 1, 2};
+  parallel_sort(ctx, &tiny, std::less<int>{});
+  EXPECT_EQ(tiny, (std::vector<int>{1, 2, 3}));
+}
+
+}  // namespace
+}  // namespace ga::exec

@@ -1,0 +1,180 @@
+// The exec determinism contract at the platform layer: every engine's
+// AlgorithmOutput AND its simulated accounting (WorkLedger, simulated
+// seconds, supersteps) must be bit-identical whether the real work runs
+// on 1, 2 or 8 host threads. Host parallelism is a wall-time knob only.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "algo/reference.h"
+#include "core/exec/thread_pool.h"
+#include "datagen/graph500.h"
+#include "platforms/platform.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::platform {
+namespace {
+
+Graph TestGraph(int scale = 10, std::int64_t edges = 5000) {
+  datagen::Graph500Config config;
+  config.scale = scale;
+  config.num_edges = edges;
+  config.weighted = true;
+  config.seed = 3;
+  auto graph = datagen::GenerateGraph500(config);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+void ExpectBitIdentical(const RunResult& expected, const RunResult& actual,
+                        const std::string& what) {
+  // Outputs: exact, including every bit of the doubles.
+  ASSERT_EQ(expected.output.int_values.size(),
+            actual.output.int_values.size())
+      << what;
+  EXPECT_EQ(expected.output.int_values, actual.output.int_values) << what;
+  ASSERT_EQ(expected.output.double_values.size(),
+            actual.output.double_values.size())
+      << what;
+  for (std::size_t i = 0; i < expected.output.double_values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&expected.output.double_values[i],
+                          &actual.output.double_values[i], sizeof(double)),
+              0)
+        << what << " double_values[" << i << "]";
+  }
+  // Simulated accounting: the WorkLedger and the simulated clock.
+  EXPECT_EQ(expected.metrics.ledger.compute_ops,
+            actual.metrics.ledger.compute_ops)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.messages, actual.metrics.ledger.messages)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.remote_bytes,
+            actual.metrics.ledger.remote_bytes)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.allocations,
+            actual.metrics.ledger.allocations)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.rows_materialized,
+            actual.metrics.ledger.rows_materialized)
+      << what;
+  EXPECT_EQ(expected.metrics.supersteps, actual.metrics.supersteps) << what;
+  EXPECT_EQ(expected.metrics.processing_sim_seconds,
+            actual.metrics.processing_sim_seconds)
+      << what;
+  EXPECT_EQ(expected.metrics.makespan_sim_seconds,
+            actual.metrics.makespan_sim_seconds)
+      << what;
+}
+
+TEST(PlatformDeterminismTest, OutputsAndLedgersIdenticalAcrossHostThreads) {
+  Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+
+  for (auto& platform : CreateAllPlatforms()) {
+    for (Algorithm algorithm : kAllAlgorithms) {
+      ExecutionEnvironment env;
+      env.num_machines = 2;
+      env.threads_per_machine = 8;
+      env.memory_budget_bytes = 1LL << 30;
+      if (!platform->SupportsAlgorithm(algorithm, env)) continue;
+      const std::string what =
+          platform->info().id + "/" + std::string(AlgorithmName(algorithm));
+
+      env.host_pool = nullptr;  // serial baseline
+      auto baseline = platform->RunJob(graph, algorithm, params, env);
+      ASSERT_TRUE(baseline.ok()) << what << ": "
+                                 << baseline.status().ToString();
+
+      for (int host_threads : {1, 2, 8}) {
+        exec::ThreadPool pool(host_threads);
+        env.host_pool = &pool;
+        auto run = platform->RunJob(graph, algorithm, params, env);
+        ASSERT_TRUE(run.ok()) << what << " @" << host_threads << ": "
+                              << run.status().ToString();
+        ExpectBitIdentical(*baseline, *run,
+                           what + " @" + std::to_string(host_threads) +
+                               " host threads");
+      }
+    }
+  }
+}
+
+TEST(PlatformDeterminismTest, ReferencesIdenticalAcrossHostThreads) {
+  Graph graph = TestGraph(11, 9000);
+  const VertexId source = graph.ExternalId(0);
+  auto bfs_serial = reference::Bfs(graph, source);
+  auto pr_serial = reference::PageRank(graph, 15, 0.85);
+  auto wcc_serial = reference::Wcc(graph);
+  ASSERT_TRUE(bfs_serial.ok());
+  ASSERT_TRUE(pr_serial.ok());
+  ASSERT_TRUE(wcc_serial.ok());
+  for (int host_threads : {2, 8}) {
+    exec::ThreadPool pool(host_threads);
+    auto bfs = reference::Bfs(graph, source, &pool);
+    auto pr = reference::PageRank(graph, 15, 0.85, &pool);
+    auto wcc = reference::Wcc(graph, &pool);
+    ASSERT_TRUE(bfs.ok());
+    ASSERT_TRUE(pr.ok());
+    ASSERT_TRUE(wcc.ok());
+    EXPECT_EQ(bfs->int_values, bfs_serial->int_values);
+    EXPECT_EQ(wcc->int_values, wcc_serial->int_values);
+    ASSERT_EQ(pr->double_values.size(), pr_serial->double_values.size());
+    for (std::size_t i = 0; i < pr->double_values.size(); ++i) {
+      EXPECT_EQ(std::memcmp(&pr->double_values[i],
+                            &pr_serial->double_values[i], sizeof(double)),
+                0)
+          << "pr[" << i << "] @" << host_threads;
+    }
+  }
+}
+
+TEST(PlatformDeterminismTest, GraphBuildIdenticalAcrossHostThreads) {
+  // Duplicate edges with distinct weights: the dedup survivor must not
+  // depend on host parallelism.
+  std::vector<testing::WeightedEdge> edges;
+  std::uint64_t state = 99;
+  for (int i = 0; i < 20000; ++i) {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const VertexId s = static_cast<VertexId>(state % 500);
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    const VertexId t = static_cast<VertexId>(state % 500);
+    if (s == t) continue;
+    edges.push_back({s, t, static_cast<double>(i)});
+  }
+  auto build_with = [&](exec::ThreadPool* pool) {
+    GraphBuilder builder(Directedness::kDirected, /*weighted=*/true);
+    for (const auto& edge : edges) {
+      builder.AddEdge(edge.source, edge.target, edge.weight);
+    }
+    auto graph = std::move(builder).Build(pool);
+    EXPECT_TRUE(graph.ok());
+    return std::move(graph).value();
+  };
+  const Graph serial = build_with(nullptr);
+  for (int host_threads : {2, 8}) {
+    exec::ThreadPool pool(host_threads);
+    const Graph parallel = build_with(&pool);
+    ASSERT_EQ(parallel.num_vertices(), serial.num_vertices());
+    ASSERT_EQ(parallel.num_edges(), serial.num_edges());
+    for (VertexIndex v = 0; v < serial.num_vertices(); ++v) {
+      ASSERT_EQ(parallel.ExternalId(v), serial.ExternalId(v));
+    }
+    for (EdgeIndex e = 0; e < serial.num_edges(); ++e) {
+      ASSERT_EQ(parallel.edges()[e].source, serial.edges()[e].source);
+      ASSERT_EQ(parallel.edges()[e].target, serial.edges()[e].target);
+      ASSERT_EQ(parallel.edges()[e].weight, serial.edges()[e].weight)
+          << "dedup survivor differs at edge " << e;
+    }
+    const auto serial_targets = serial.out_targets();
+    const auto parallel_targets = parallel.out_targets();
+    ASSERT_EQ(parallel_targets.size(), serial_targets.size());
+    for (std::size_t i = 0; i < serial_targets.size(); ++i) {
+      ASSERT_EQ(parallel_targets[i], serial_targets[i]);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ga::platform

@@ -7,14 +7,17 @@
 // Usage:
 //   graphalytics_cli [--platforms a,b] [--datasets X,Y] [--algorithms ...]
 //                    [--machines N] [--threads N] [--repetitions N]
-//                    [--out results.json]
+//                    [--jobs N] [--out results.json]
 // Defaults: all platforms, datasets R1..R4, algorithms bfs+pr, 1 machine.
-// GA_SCALE_DIVISOR / GA_SEED configure the deployment scale.
+// GA_SCALE_DIVISOR / GA_SEED / GA_JOBS configure the deployment scale and
+// host parallelism.
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <string>
 #include <vector>
 
+#include "core/exec/thread_pool.h"
 #include "harness/report.h"
 #include "harness/results_db.h"
 #include "harness/runner.h"
@@ -33,6 +36,30 @@ std::vector<std::string> SplitCsv(const std::string& text) {
   return parts;
 }
 
+void PrintUsage(std::FILE* stream) {
+  std::fprintf(
+      stream,
+      "usage: graphalytics_cli [options]\n"
+      "\n"
+      "Runs a slice of the Graphalytics workload matrix through the\n"
+      "harness and prints a result table (optionally a JSON database).\n"
+      "\n"
+      "options:\n"
+      "  --platforms a,b,...   platform ids (default: all six)\n"
+      "  --datasets X,Y,...    dataset ids (default: R1,R2,R3,R4)\n"
+      "  --algorithms a,b,...  bfs,pr,wcc,cdlp,lcc,sssp (default: bfs,pr)\n"
+      "  --machines N          simulated machines (default: 1)\n"
+      "  --threads N           simulated threads per machine (default: 32)\n"
+      "  --repetitions N       repetitions for variability (default: 1)\n"
+      "  --jobs N              host threads for real execution\n"
+      "                        (default: hardware concurrency; results\n"
+      "                        and simulated metrics do not depend on N)\n"
+      "  --out FILE            write the results database as JSON\n"
+      "  --help                show this help\n"
+      "\n"
+      "environment: GA_SCALE_DIVISOR (default 1024), GA_SEED, GA_JOBS\n");
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -42,6 +69,7 @@ int main(int argc, char** argv) {
   int machines = 1;
   int threads = 32;
   int repetitions = 1;
+  int jobs = -1;  // -1: keep GA_JOBS / hardware default
   std::string out_path;
 
   for (int i = 1; i < argc; ++i) {
@@ -61,22 +89,38 @@ int main(int argc, char** argv) {
       threads = std::atoi(next());
     } else if (arg == "--repetitions") {
       repetitions = std::atoi(next());
+    } else if (arg == "--jobs") {
+      const char* text = next();
+      char* end = nullptr;
+      const long value = std::strtol(text, &end, 10);
+      if (*text == '\0' || end == nullptr || *end != '\0' || value < 0) {
+        std::fprintf(stderr,
+                     "--jobs requires a non-negative integer, got \"%s\" "
+                     "(0 = hardware)\n",
+                     text);
+        return 2;
+      }
+      jobs = static_cast<int>(value);
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
     } else {
-      std::fprintf(stderr,
-                   "unknown flag %s\nusage: graphalytics_cli "
-                   "[--platforms a,b] [--datasets X,Y] [--algorithms ...] "
-                   "[--machines N] [--threads N] [--repetitions N] "
-                   "[--out results.json]\n",
-                   arg.c_str());
+      std::fprintf(stderr, "unknown flag %s\n\n", arg.c_str());
+      PrintUsage(stderr);
       return 2;
     }
   }
 
   ga::harness::BenchmarkConfig config =
       ga::harness::BenchmarkConfig::FromEnv();
+  if (jobs >= 0) config.host_jobs = jobs;
   ga::harness::BenchmarkRunner runner(config);
+  std::printf("host threads: %d\n",
+              runner.host_pool() != nullptr
+                  ? runner.host_pool()->num_threads()
+                  : 1);
   ga::harness::ResultsDatabase database(config);
 
   ga::harness::TextTable table(
