@@ -1,0 +1,84 @@
+// experiment_suite: the canonical experiments.json producer.
+//
+// Runs an experiment plan (GA_SUITE_PLAN: preset name or plan file,
+// default "smoke") through ga::experiments TWICE — once on 1 host thread
+// and once on N — and verifies the exec determinism contract end to end:
+// the rendered report and the experiments.json must be bit-identical
+// (DESIGN.md §6-§7). Prints the report and the JSON artifact, and exits
+// non-zero on any divergence.
+//
+// Environment: GA_SCALE_DIVISOR / GA_SEED as usual; GA_SUITE_PLAN selects
+// the plan; GA_SUITE_THREADS overrides N (default: hardware concurrency,
+// min 2 so the check is meaningful on single-core CI hosts).
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/bench_common.h"
+#include "core/exec/thread_pool.h"
+#include "experiments/plan.h"
+#include "experiments/suite.h"
+
+int main() {
+  ga::harness::BenchmarkConfig config =
+      ga::harness::BenchmarkConfig::FromEnv();
+  std::string plan_name = "smoke";
+  if (const char* env_plan = std::getenv("GA_SUITE_PLAN")) {
+    plan_name = env_plan;
+  }
+  int parallel_threads =
+      std::max(2, ga::exec::ThreadPool::HardwareConcurrency());
+  if (const char* env_threads = std::getenv("GA_SUITE_THREADS")) {
+    const int value = std::atoi(env_threads);
+    if (value > 1) parallel_threads = value;
+  }
+  ga::bench::PrintHeader(
+      "experiment_suite",
+      "paper §4 experiment suite, plan \"" + plan_name +
+          "\" — run at 1 and " + std::to_string(parallel_threads) +
+          " host threads, artifacts bit-compared",
+      config);
+
+  auto plan = ga::experiments::ResolvePlan(plan_name);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string reports[2];
+  std::string jsons[2];
+  const int thread_counts[2] = {1, parallel_threads};
+  for (int pass = 0; pass < 2; ++pass) {
+    ga::harness::BenchmarkConfig pass_config = config;
+    pass_config.host_jobs = thread_counts[pass];
+    ga::harness::BenchmarkRunner runner(pass_config);
+    auto result = ga::experiments::RunSuite(runner, *plan);
+    if (!result.ok()) {
+      std::fprintf(stderr, "suite run (%d host threads): %s\n",
+                   thread_counts[pass],
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    reports[pass] = ga::experiments::RenderSuiteReport(*result);
+    jsons[pass] = ga::experiments::SuiteToJson(*result);
+  }
+
+  std::printf("%s\n", reports[0].c_str());
+  std::printf("%s\n", jsons[0].c_str());
+
+  const bool report_identical = reports[0] == reports[1];
+  const bool json_identical = jsons[0] == jsons[1];
+  std::printf(
+      "determinism: report %s, experiments.json %s across 1 vs %d host "
+      "threads\n",
+      report_identical ? "identical" : "DIVERGED",
+      json_identical ? "identical" : "DIVERGED", parallel_threads);
+  if (!report_identical || !json_identical) {
+    std::fprintf(stderr,
+                 "determinism violation: suite artifacts differ across "
+                 "host thread counts\n");
+    return 1;
+  }
+  return 0;
+}

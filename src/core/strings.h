@@ -1,0 +1,48 @@
+// Small shared string helpers: whitespace trimming and CSV splitting.
+//
+// One definition for every surface that accepts comma-separated ids
+// (the CLI's --platforms/--datasets/--algorithms and the experiment
+// plan-file parser), so the two cannot drift apart: pieces are trimmed
+// and empty segments dropped everywhere.
+#ifndef GRAPHALYTICS_CORE_STRINGS_H_
+#define GRAPHALYTICS_CORE_STRINGS_H_
+
+#include <cctype>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ga {
+
+/// Copy of `text` without leading/trailing ASCII whitespace.
+inline std::string TrimWhitespace(std::string_view text) {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end &&
+         std::isspace(static_cast<unsigned char>(text[begin]))) {
+    ++begin;
+  }
+  while (end > begin &&
+         std::isspace(static_cast<unsigned char>(text[end - 1]))) {
+    --end;
+  }
+  return std::string(text.substr(begin, end - begin));
+}
+
+/// Splits on commas, trims each piece, and drops empty segments.
+inline std::vector<std::string> SplitCsv(std::string_view text) {
+  std::vector<std::string> parts;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    if (comma == std::string_view::npos) comma = text.size();
+    std::string part = TrimWhitespace(text.substr(start, comma - start));
+    if (!part.empty()) parts.push_back(std::move(part));
+    start = comma + 1;
+  }
+  return parts;
+}
+
+}  // namespace ga
+
+#endif  // GRAPHALYTICS_CORE_STRINGS_H_

@@ -1,0 +1,496 @@
+// Artifact rendering for the experiment suite: the paper-style text
+// report (textual Figures 5–9 / Tables 9, 11 and the class-L verdict)
+// and the machine-readable experiments.json.
+//
+// Both renderers walk the schedule in its canonical order and format
+// values with fixed precision, so given the deterministic SuiteResult
+// they are bit-identical at any host parallelism (DESIGN.md §6–§7).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+
+#include "core/json_writer.h"
+#include "experiments/suite.h"
+#include "harness/metrics.h"
+#include "harness/report.h"
+
+namespace ga::experiments {
+
+namespace {
+
+using harness::JobOutcome;
+using harness::JobReport;
+
+// Cell markers follow the paper's figures: "F" for crashes and SLA
+// breaches, "NA" for unimplemented workloads, "ERR" for harness errors.
+std::string TprocCell(const JobReport& report) {
+  switch (report.outcome) {
+    case JobOutcome::kCompleted:
+      return harness::FormatSeconds(report.tproc_seconds);
+    case JobOutcome::kCrashed:
+    case JobOutcome::kTimedOut:
+      return "F";
+    case JobOutcome::kUnsupported:
+      return "NA";
+    case JobOutcome::kFailed:
+      return "ERR";
+  }
+  return "?";
+}
+
+std::string Percent(double fraction) {
+  char text[32];
+  std::snprintf(text, sizeof(text), "%.1f%%", 100.0 * fraction);
+  return text;
+}
+
+std::string Times(double speedup) {
+  char text[32];
+  std::snprintf(text, sizeof(text), "%.1fx", speedup);
+  return text;
+}
+
+// Joins the suite's per-job reports back to their cells.
+class CellIndex {
+ public:
+  explicit CellIndex(const SuiteResult& result) {
+    for (std::size_t i = 0; i < result.schedule.jobs.size(); ++i) {
+      by_cell_[result.schedule.jobs[i].cell_id] = &result.reports[i];
+    }
+  }
+
+  /// nullptr when the cell was not scheduled (e.g. a single-machine
+  /// platform in a distributed experiment — rendered as "-").
+  const JobReport* Find(const std::string& cell_id) const {
+    auto it = by_cell_.find(cell_id);
+    return it == by_cell_.end() ? nullptr : it->second;
+  }
+
+ private:
+  std::map<std::string, const JobReport*> by_cell_;
+};
+
+std::string DatasetLabel(const ExperimentSchedule& schedule,
+                         const std::string& dataset_id) {
+  for (const harness::DatasetSpec& spec : schedule.dataset_specs) {
+    if (spec.id == dataset_id) {
+      return dataset_id + " (" + spec.scale_label + ")";
+    }
+  }
+  return dataset_id;
+}
+
+void RenderBaseline(const SuiteResult& result, const CellIndex& cells,
+                    std::ostringstream& out) {
+  const ExperimentPlan& plan = result.schedule.plan;
+  for (Algorithm algorithm : plan.algorithms) {
+    const std::string algo(AlgorithmName(algorithm));
+    std::vector<std::string> headers = {"dataset", "metric"};
+    for (const std::string& id : result.schedule.platforms) {
+      headers.push_back(id);
+    }
+    harness::TextTable table(
+        "Baseline — " + algo + ": T_proc / EPS / EVPS (paper Figs. 5-6)",
+        headers);
+    for (const std::string& dataset : plan.datasets) {
+      std::vector<std::string> tproc_row = {
+          DatasetLabel(result.schedule, dataset), "T_proc"};
+      std::vector<std::string> eps_row = {"", "EPS"};
+      std::vector<std::string> evps_row = {"", "EVPS"};
+      for (const std::string& platform_id : result.schedule.platforms) {
+        const JobReport* report = cells.Find("baseline/" + dataset + "/" +
+                                             algo + "/" + platform_id);
+        if (report == nullptr) {
+          tproc_row.push_back("-");
+          eps_row.push_back("-");
+          evps_row.push_back("-");
+          continue;
+        }
+        tproc_row.push_back(TprocCell(*report));
+        eps_row.push_back(report->completed()
+                              ? harness::FormatThroughput(report->eps)
+                              : "-");
+        evps_row.push_back(report->completed()
+                               ? harness::FormatThroughput(report->evps)
+                               : "-");
+      }
+      table.AddRow(std::move(tproc_row));
+      table.AddRow(std::move(eps_row));
+      table.AddRow(std::move(evps_row));
+    }
+    out << table.Render() << "\n";
+  }
+}
+
+void RenderStrongVertical(const SuiteResult& result, const CellIndex& cells,
+                          std::ostringstream& out) {
+  const ExperimentPlan& plan = result.schedule.plan;
+  for (Algorithm algorithm : plan.scaling_algorithms) {
+    const std::string algo(AlgorithmName(algorithm));
+    std::vector<std::string> headers = {"threads"};
+    for (const std::string& id : result.schedule.platforms) {
+      headers.push_back(id);
+    }
+    harness::TextTable table(
+        "Strong vertical scaling — " + algo + " on " +
+            DatasetLabel(result.schedule, plan.vertical_dataset) +
+            ", 1 machine (paper Fig. 7)",
+        headers);
+    std::vector<double> baseline(result.schedule.platforms.size(), 0.0);
+    std::vector<double> best(result.schedule.platforms.size(), 0.0);
+    for (int threads : plan.thread_counts) {
+      std::vector<std::string> row = {std::to_string(threads)};
+      for (std::size_t p = 0; p < result.schedule.platforms.size(); ++p) {
+        const JobReport* report = cells.Find(
+            "strong-vertical/" + plan.vertical_dataset + "/" + algo + "/" +
+            result.schedule.platforms[p] + "/t" + std::to_string(threads));
+        if (report == nullptr || !report->completed()) {
+          row.push_back(report == nullptr ? "-" : TprocCell(*report));
+          continue;
+        }
+        if (baseline[p] == 0.0) baseline[p] = report->tproc_seconds;
+        best[p] = std::max(
+            best[p],
+            harness::Speedup(baseline[p], report->tproc_seconds));
+        row.push_back(harness::FormatSeconds(report->tproc_seconds));
+      }
+      table.AddRow(std::move(row));
+    }
+    // The Table 9 digest: best speedup over the thread ladder, relative
+    // to each platform's fewest-threads run.
+    std::vector<std::string> speedup_row = {"max speedup"};
+    for (double s : best) {
+      speedup_row.push_back(s > 0.0 ? Times(s) : "-");
+    }
+    table.AddRow(std::move(speedup_row));
+    out << table.Render() << "\n";
+  }
+}
+
+void RenderStrongHorizontal(const SuiteResult& result, const CellIndex& cells,
+                            std::ostringstream& out) {
+  const ExperimentPlan& plan = result.schedule.plan;
+  const std::vector<std::string>& platforms =
+      result.schedule.distributed_platforms;
+  for (Algorithm algorithm : plan.scaling_algorithms) {
+    const std::string algo(AlgorithmName(algorithm));
+    std::vector<std::string> headers = {"machines"};
+    for (const std::string& id : platforms) headers.push_back(id);
+    harness::TextTable tproc_table(
+        "Strong horizontal scaling — " + algo + " on " +
+            DatasetLabel(result.schedule, plan.horizontal_dataset) +
+            ": T_proc (paper Fig. 8)",
+        headers);
+    harness::TextTable speedup_table(
+        "Strong horizontal scaling — " + algo +
+            ": speedup vs fewest machines",
+        headers);
+    std::vector<double> baseline(platforms.size(), 0.0);
+    for (int machines : plan.machine_counts) {
+      std::vector<std::string> tproc_row = {std::to_string(machines)};
+      std::vector<std::string> speedup_row = {std::to_string(machines)};
+      for (std::size_t p = 0; p < platforms.size(); ++p) {
+        const JobReport* report = cells.Find(
+            "strong-horizontal/" + plan.horizontal_dataset + "/" + algo +
+            "/" + platforms[p] + "/m" + std::to_string(machines));
+        if (report == nullptr || !report->completed()) {
+          tproc_row.push_back(report == nullptr ? "-" : TprocCell(*report));
+          speedup_row.push_back("-");
+          continue;
+        }
+        // Speedup is relative to the platform's smallest completed
+        // deployment (PGX.D cannot run D1000 on one machine, §4.4).
+        if (baseline[p] == 0.0) baseline[p] = report->tproc_seconds;
+        tproc_row.push_back(harness::FormatSeconds(report->tproc_seconds));
+        speedup_row.push_back(
+            Times(harness::Speedup(baseline[p], report->tproc_seconds)));
+      }
+      tproc_table.AddRow(std::move(tproc_row));
+      speedup_table.AddRow(std::move(speedup_row));
+    }
+    out << tproc_table.Render() << "\n";
+    out << speedup_table.Render() << "\n";
+  }
+}
+
+void RenderWeakScaling(const SuiteResult& result, const CellIndex& cells,
+                       std::ostringstream& out) {
+  const ExperimentPlan& plan = result.schedule.plan;
+  const std::vector<std::string>& platforms =
+      result.schedule.distributed_platforms;
+  for (Algorithm algorithm : plan.scaling_algorithms) {
+    const std::string algo(AlgorithmName(algorithm));
+    std::vector<std::string> headers = {"dataset@machines"};
+    for (const std::string& id : platforms) headers.push_back(id);
+    harness::TextTable table(
+        "Weak horizontal scaling — " + algo +
+            ": T_proc, work per machine ~constant (paper Fig. 9)",
+        headers);
+    for (const WorkloadPoint& point : plan.weak_series) {
+      std::vector<std::string> row = {point.dataset_id + "@" +
+                                      std::to_string(point.machines)};
+      for (const std::string& platform_id : platforms) {
+        const JobReport* report =
+            cells.Find("weak-scaling/" + point.dataset_id + "@" +
+                       std::to_string(point.machines) + "/" + algo + "/" +
+                       platform_id);
+        row.push_back(report == nullptr ? "-" : TprocCell(*report));
+      }
+      table.AddRow(std::move(row));
+    }
+    out << table.Render() << "\n";
+  }
+}
+
+void RenderVariability(const SuiteResult& result, const CellIndex& cells,
+                       std::ostringstream& out) {
+  const ExperimentPlan& plan = result.schedule.plan;
+  for (const WorkloadPoint& point : plan.variability_setups) {
+    std::vector<std::string> headers = {"metric"};
+    for (const std::string& id : result.schedule.platforms) {
+      headers.push_back(id);
+    }
+    harness::TextTable table(
+        "Variability — BFS on " +
+            DatasetLabel(result.schedule, point.dataset_id) + ", " +
+            std::to_string(point.machines) + " machine(s), n=" +
+            std::to_string(plan.repetitions) + " (paper Table 11)",
+        headers);
+    std::vector<std::string> mean_row = {"mean T_proc"};
+    std::vector<std::string> cv_row = {"CV"};
+    for (const std::string& platform_id : result.schedule.platforms) {
+      const JobReport* report =
+          cells.Find("variability/" + point.dataset_id + "@" +
+                     std::to_string(point.machines) + "/bfs/" + platform_id);
+      if (report == nullptr || !report->completed()) {
+        mean_row.push_back(report == nullptr ? "-" : TprocCell(*report));
+        cv_row.push_back("-");
+        continue;
+      }
+      mean_row.push_back(harness::FormatSeconds(report->tproc_seconds));
+      cv_row.push_back(Percent(report->tproc_cv));
+    }
+    table.AddRow(std::move(mean_row));
+    table.AddRow(std::move(cv_row));
+    out << table.Render() << "\n";
+  }
+}
+
+void RenderRenewal(const SuiteResult& result, std::ostringstream& out) {
+  if (!result.renewal_failure.empty()) {
+    out << "renewal: sweep failed — " << result.renewal_failure << "\n";
+    return;
+  }
+  if (!result.renewal.has_value()) return;
+  const harness::RenewalResult& renewal = *result.renewal;
+  harness::TextTable table(
+      "Renewal — per-dataset BFS capacity evidence (paper §2.4)",
+      {"dataset", "class", "best platform", "best T_proc"});
+  for (const harness::DatasetEvidence& evidence : renewal.evidence) {
+    table.AddRow({evidence.dataset_id, evidence.scale_label,
+                  evidence.best_platform.empty() ? "(none — unprocessable)"
+                                                 : evidence.best_platform,
+                  evidence.best_platform.empty()
+                      ? "-"
+                      : harness::FormatSeconds(
+                            evidence.best_tproc_seconds)});
+  }
+  out << table.Render() << "\n";
+  out << "recommended reference class L: " << renewal.recommended_class_l
+      << "\n";
+  out << "fully processable classes:";
+  for (const std::string& label : renewal.passing_classes) {
+    out << " " << label;
+  }
+  out << "\nclasses with unprocessable graphs:";
+  for (const std::string& label : renewal.failing_classes) {
+    out << " " << label;
+  }
+  out << "\n";
+}
+
+}  // namespace
+
+std::string RenderSuiteReport(const SuiteResult& result) {
+  const ExperimentPlan& plan = result.schedule.plan;
+  CellIndex cells(result);
+
+  std::ostringstream out;
+  out << "================================================================\n";
+  out << "LDBC Graphalytics reproduction — experiment suite \"" << plan.name
+      << "\"\n";
+  out << "experiments:";
+  for (ExperimentKind kind : kAllExperimentKinds) {
+    if (plan.Includes(kind)) out << " " << ExperimentKindName(kind);
+  }
+  out << "\nplatforms:";
+  for (const std::string& id : result.schedule.platforms) out << " " << id;
+  out << "\nscale divisor: 1/"
+      << static_cast<long long>(result.config.scale_divisor)
+      << " of paper-scale datasets; times projected back to paper scale; "
+         "SLA "
+      << harness::FormatSeconds(result.config.sla_projected_seconds) << "\n";
+  int completed = 0;
+  for (const JobReport& report : result.reports) {
+    if (report.completed()) ++completed;
+  }
+  out << "jobs: " << result.reports.size() << " scheduled, " << completed
+      << " completed\n";
+  out << "================================================================\n\n";
+
+  for (ExperimentKind kind : kAllExperimentKinds) {
+    if (!plan.Includes(kind)) continue;
+    switch (kind) {
+      case ExperimentKind::kBaseline:
+        RenderBaseline(result, cells, out);
+        break;
+      case ExperimentKind::kStrongVertical:
+        RenderStrongVertical(result, cells, out);
+        break;
+      case ExperimentKind::kStrongHorizontal:
+        RenderStrongHorizontal(result, cells, out);
+        break;
+      case ExperimentKind::kWeakScaling:
+        RenderWeakScaling(result, cells, out);
+        break;
+      case ExperimentKind::kVariability:
+        RenderVariability(result, cells, out);
+        break;
+      case ExperimentKind::kRenewal:
+        RenderRenewal(result, out);
+        break;
+    }
+  }
+  return out.str();
+}
+
+std::string SuiteToJson(const SuiteResult& result) {
+  const ExperimentPlan& plan = result.schedule.plan;
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("format", "graphalytics-cpp experiments v1");
+
+  json.Key("plan").BeginObject();
+  json.Field("name", std::string_view(plan.name));
+  json.Key("experiments").BeginArray();
+  for (ExperimentKind kind : kAllExperimentKinds) {
+    if (plan.Includes(kind)) json.Value(ExperimentKindName(kind));
+  }
+  json.EndArray();
+  json.Key("platforms").BeginArray();
+  for (const std::string& id : result.schedule.platforms) {
+    json.Value(std::string_view(id));
+  }
+  json.EndArray();
+  json.Key("datasets").BeginArray();
+  for (const std::string& id : plan.datasets) {
+    json.Value(std::string_view(id));
+  }
+  json.EndArray();
+  json.Key("algorithms").BeginArray();
+  for (Algorithm algorithm : plan.algorithms) {
+    json.Value(AlgorithmName(algorithm));
+  }
+  json.EndArray();
+  json.Field("repetitions", plan.repetitions);
+  json.Field("validate", plan.validate);
+  json.EndObject();
+
+  json.Key("configuration").BeginObject();
+  json.Field("scale_divisor", result.config.scale_divisor);
+  json.Field("seed", static_cast<std::uint64_t>(result.config.seed));
+  json.Field("sla_projected_seconds", result.config.sla_projected_seconds);
+  json.EndObject();
+
+  json.Key("jobs").BeginArray();
+  for (std::size_t i = 0; i < result.schedule.jobs.size(); ++i) {
+    const ScheduledJob& job = result.schedule.jobs[i];
+    const JobReport& report = result.reports[i];
+    json.BeginObject();
+    json.Field("cell", std::string_view(job.cell_id));
+    json.Field("experiment", ExperimentKindName(job.experiment));
+    json.Field("platform", std::string_view(report.spec.platform_id));
+    json.Field("dataset", std::string_view(report.spec.dataset_id));
+    json.Field("algorithm", AlgorithmName(report.spec.algorithm));
+    json.Field("machines", report.spec.num_machines);
+    json.Field("threads", report.spec.threads_per_machine);
+    json.Field("repetitions", report.spec.repetitions);
+    json.Field("outcome", harness::JobOutcomeName(report.outcome));
+    if (report.completed()) {
+      json.Field("tproc_seconds", report.tproc_seconds);
+      json.Field("makespan_seconds", report.makespan_seconds);
+      json.Field("upload_seconds", report.upload_seconds);
+      json.Field("eps", report.eps);
+      json.Field("evps", report.evps);
+      json.Field("supersteps", report.supersteps);
+      json.Field("validated", report.output_validated);
+      if (report.tproc_samples.size() > 1) {
+        json.Field("tproc_cv", report.tproc_cv);
+      }
+    } else {
+      json.Field("failure", std::string_view(report.failure));
+    }
+    json.EndObject();
+  }
+  json.EndArray();
+
+  if (!result.renewal_failure.empty()) {
+    json.Field("renewal_error", std::string_view(result.renewal_failure));
+  }
+  if (result.renewal.has_value()) {
+    const harness::RenewalResult& renewal = *result.renewal;
+    json.Key("renewal").BeginObject();
+    json.Field("recommended_class_l",
+               std::string_view(renewal.recommended_class_l));
+    json.Key("passing_classes").BeginArray();
+    for (const std::string& label : renewal.passing_classes) {
+      json.Value(std::string_view(label));
+    }
+    json.EndArray();
+    json.Key("failing_classes").BeginArray();
+    for (const std::string& label : renewal.failing_classes) {
+      json.Value(std::string_view(label));
+    }
+    json.EndArray();
+    json.Key("evidence").BeginArray();
+    for (const harness::DatasetEvidence& evidence : renewal.evidence) {
+      json.BeginObject();
+      json.Field("dataset", std::string_view(evidence.dataset_id));
+      json.Field("class", std::string_view(evidence.scale_label));
+      json.Field("paper_scale", evidence.paper_scale);
+      json.Field("best_platform", std::string_view(evidence.best_platform));
+      if (!evidence.best_platform.empty()) {
+        json.Field("best_tproc_seconds", evidence.best_tproc_seconds);
+      }
+      json.EndObject();
+    }
+    json.EndArray();
+    json.EndObject();
+  }
+
+  json.EndObject();
+  return json.str();
+}
+
+namespace {
+
+Status WriteTextFile(const std::string& content, const std::string& path) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot write " + path);
+  out << content;
+  return out ? Status::Ok() : Status::IoError("write failed for " + path);
+}
+
+}  // namespace
+
+Status WriteSuiteJson(const SuiteResult& result, const std::string& path) {
+  return WriteTextFile(SuiteToJson(result), path);
+}
+
+Status WriteSuiteReport(const SuiteResult& result, const std::string& path) {
+  return WriteTextFile(RenderSuiteReport(result), path);
+}
+
+}  // namespace ga::experiments

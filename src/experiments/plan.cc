@@ -1,0 +1,326 @@
+#include "experiments/plan.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdlib>
+#include <fstream>
+#include <limits>
+#include <sstream>
+
+#include "core/strings.h"
+
+namespace ga::experiments {
+
+namespace {
+
+Result<int> ParsePositiveInt(const std::string& text,
+                             const std::string& what) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text.c_str(), &end, 10);
+  if (text.empty() || end == nullptr || *end != '\0' || errno == ERANGE ||
+      value <= 0 || value > std::numeric_limits<int>::max()) {
+    return Status::InvalidArgument(what + " must be a positive int, got \"" +
+                                   text + "\"");
+  }
+  return static_cast<int>(value);
+}
+
+Result<std::vector<int>> ParseIntList(const std::string& text,
+                                      const std::string& what) {
+  std::vector<int> values;
+  for (const std::string& part : SplitCsv(text)) {
+    GA_ASSIGN_OR_RETURN(int value, ParsePositiveInt(part, what));
+    values.push_back(value);
+  }
+  return values;
+}
+
+Result<std::vector<Algorithm>> ParseAlgorithmList(const std::string& text) {
+  std::vector<Algorithm> algorithms;
+  for (const std::string& part : SplitCsv(text)) {
+    Algorithm algorithm;
+    if (!ParseAlgorithm(part, &algorithm)) {
+      return Status::InvalidArgument("unknown algorithm \"" + part + "\"");
+    }
+    algorithms.push_back(algorithm);
+  }
+  return algorithms;
+}
+
+// "D300@1" -> {D300, 1}; a bare dataset id means one machine.
+Result<WorkloadPoint> ParseWorkloadPoint(const std::string& text) {
+  WorkloadPoint point;
+  const std::size_t at = text.find('@');
+  if (at == std::string::npos) {
+    point.dataset_id = text;
+    return point;
+  }
+  point.dataset_id = TrimWhitespace(std::string_view(text).substr(0, at));
+  GA_ASSIGN_OR_RETURN(
+      point.machines,
+      ParsePositiveInt(TrimWhitespace(std::string_view(text).substr(at + 1)),
+                       "machine count in \"" + text + "\""));
+  if (point.dataset_id.empty()) {
+    return Status::InvalidArgument("missing dataset id in \"" + text + "\"");
+  }
+  return point;
+}
+
+Result<std::vector<WorkloadPoint>> ParseWorkloadPoints(
+    const std::string& text) {
+  std::vector<WorkloadPoint> points;
+  for (const std::string& part : SplitCsv(text)) {
+    GA_ASSIGN_OR_RETURN(WorkloadPoint point, ParseWorkloadPoint(part));
+    points.push_back(std::move(point));
+  }
+  return points;
+}
+
+}  // namespace
+
+std::string_view ExperimentKindName(ExperimentKind kind) {
+  switch (kind) {
+    case ExperimentKind::kBaseline:
+      return "baseline";
+    case ExperimentKind::kStrongVertical:
+      return "strong-vertical";
+    case ExperimentKind::kStrongHorizontal:
+      return "strong-horizontal";
+    case ExperimentKind::kWeakScaling:
+      return "weak-scaling";
+    case ExperimentKind::kVariability:
+      return "variability";
+    case ExperimentKind::kRenewal:
+      return "renewal";
+  }
+  return "unknown";
+}
+
+bool ParseExperimentKind(std::string_view name, ExperimentKind* out) {
+  for (ExperimentKind kind : kAllExperimentKinds) {
+    if (name == ExperimentKindName(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool ExperimentPlan::Includes(ExperimentKind kind) const {
+  return std::find(experiments.begin(), experiments.end(), kind) !=
+         experiments.end();
+}
+
+ExperimentPlan SmokePlan() {
+  ExperimentPlan plan;
+  plan.name = "smoke";
+  plan.experiments = {ExperimentKind::kBaseline, ExperimentKind::kVariability,
+                      ExperimentKind::kRenewal};
+  plan.platforms = {"gaslite", "spmat", "pushpull"};
+  plan.datasets = {"R1", "R2"};
+  plan.algorithms = {Algorithm::kBfs, Algorithm::kPageRank};
+  plan.variability_setups = {{"R2", 1}};
+  plan.repetitions = 5;
+  plan.renewal_datasets = {"R1", "R2"};
+  return plan;
+}
+
+ExperimentPlan PaperPlan() {
+  ExperimentPlan plan;
+  plan.name = "paper";
+  plan.experiments.assign(std::begin(kAllExperimentKinds),
+                          std::end(kAllExperimentKinds));
+  // All platforms (empty list).
+  plan.datasets = {"R1", "R2", "R3", "R4", "R5", "R6", "D100",
+                   "D300", "D1000", "G22", "G23", "G24", "G25", "G26"};
+  plan.algorithms.assign(std::begin(kAllAlgorithms), std::end(kAllAlgorithms));
+  plan.scaling_algorithms = {Algorithm::kBfs, Algorithm::kPageRank};
+  plan.vertical_dataset = "D300";
+  plan.thread_counts = {1, 2, 4, 8, 16, 32};
+  plan.horizontal_dataset = "D1000";
+  plan.machine_counts = {1, 2, 4, 8, 16};
+  plan.weak_series = {{"G22", 1}, {"G23", 2}, {"G24", 4}, {"G25", 8},
+                      {"G26", 16}};
+  plan.variability_setups = {{"D300", 1}, {"D1000", 16}};
+  plan.repetitions = 10;
+  // Renewal sweeps the full catalogue (renewal_datasets stays empty).
+  return plan;
+}
+
+Result<ExperimentPlan> FindPreset(const std::string& name) {
+  if (name == "smoke") return SmokePlan();
+  if (name == "paper") return PaperPlan();
+  return Status::NotFound("no experiment-plan preset named \"" + name + "\"");
+}
+
+std::vector<std::string> PresetNames() { return {"smoke", "paper"}; }
+
+Result<ExperimentPlan> ParsePlanText(const std::string& text) {
+  ExperimentPlan plan;
+  plan.name = "custom";
+  // Scaling algorithms default to the paper's BFS+PR unless overridden.
+  plan.scaling_algorithms = {Algorithm::kBfs, Algorithm::kPageRank};
+
+  std::istringstream lines(text);
+  std::string raw_line;
+  int line_number = 0;
+  bool any_key = false;
+  while (std::getline(lines, raw_line)) {
+    ++line_number;
+    const std::size_t hash = raw_line.find('#');
+    if (hash != std::string::npos) raw_line.resize(hash);
+    const std::string line = TrimWhitespace(raw_line);
+    if (line.empty()) continue;
+
+    const std::size_t equals = line.find('=');
+    if (equals == std::string::npos) {
+      return Status::InvalidArgument(
+          "plan line " + std::to_string(line_number) +
+          ": expected \"key = value\", got \"" + line + "\"");
+    }
+    const std::string key =
+        TrimWhitespace(std::string_view(line).substr(0, equals));
+    const std::string value =
+        TrimWhitespace(std::string_view(line).substr(equals + 1));
+    any_key = true;
+
+    if (key == "name") {
+      plan.name = value;
+    } else if (key == "experiments") {
+      plan.experiments.clear();
+      for (const std::string& part : SplitCsv(value)) {
+        ExperimentKind kind;
+        if (!ParseExperimentKind(part, &kind)) {
+          return Status::InvalidArgument(
+              "plan line " + std::to_string(line_number) +
+              ": unknown experiment \"" + part +
+              "\" (valid: baseline, strong-vertical, strong-horizontal, "
+              "weak-scaling, variability, renewal)");
+        }
+        plan.experiments.push_back(kind);
+      }
+    } else if (key == "platforms") {
+      plan.platforms = SplitCsv(value);
+    } else if (key == "datasets") {
+      plan.datasets = SplitCsv(value);
+    } else if (key == "algorithms") {
+      GA_ASSIGN_OR_RETURN(plan.algorithms, ParseAlgorithmList(value));
+    } else if (key == "scaling_algorithms") {
+      GA_ASSIGN_OR_RETURN(plan.scaling_algorithms, ParseAlgorithmList(value));
+    } else if (key == "vertical_dataset") {
+      plan.vertical_dataset = value;
+    } else if (key == "threads") {
+      GA_ASSIGN_OR_RETURN(plan.thread_counts,
+                          ParseIntList(value, "thread count"));
+    } else if (key == "horizontal_dataset") {
+      plan.horizontal_dataset = value;
+    } else if (key == "machines") {
+      GA_ASSIGN_OR_RETURN(plan.machine_counts,
+                          ParseIntList(value, "machine count"));
+    } else if (key == "weak") {
+      GA_ASSIGN_OR_RETURN(plan.weak_series, ParseWorkloadPoints(value));
+    } else if (key == "variability") {
+      GA_ASSIGN_OR_RETURN(plan.variability_setups,
+                          ParseWorkloadPoints(value));
+    } else if (key == "repetitions") {
+      GA_ASSIGN_OR_RETURN(plan.repetitions,
+                          ParsePositiveInt(value, "repetitions"));
+    } else if (key == "renewal_datasets") {
+      plan.renewal_datasets = SplitCsv(value);
+    } else if (key == "validate") {
+      if (value == "true") {
+        plan.validate = true;
+      } else if (value == "false") {
+        plan.validate = false;
+      } else {
+        return Status::InvalidArgument(
+            "plan line " + std::to_string(line_number) +
+            ": validate must be true or false, got \"" + value + "\"");
+      }
+    } else {
+      return Status::InvalidArgument("plan line " +
+                                     std::to_string(line_number) +
+                                     ": unknown key \"" + key + "\"");
+    }
+  }
+  if (!any_key) return Status::InvalidArgument("plan file is empty");
+  GA_RETURN_IF_ERROR(ValidatePlan(plan));
+  return plan;
+}
+
+Result<ExperimentPlan> LoadPlanFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read plan file " + path);
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return ParsePlanText(buffer.str());
+}
+
+Result<ExperimentPlan> ResolvePlan(const std::string& name_or_path) {
+  auto preset = FindPreset(name_or_path);
+  if (preset.ok()) return preset;
+  auto from_file = LoadPlanFile(name_or_path);
+  if (from_file.ok()) return from_file;
+  if (from_file.status().code() == StatusCode::kIoError) {
+    return Status::InvalidArgument(
+        "\"" + name_or_path + "\" is neither a preset (" +
+        [] {
+          std::string names;
+          for (const std::string& name : PresetNames()) {
+            if (!names.empty()) names += ", ";
+            names += name;
+          }
+          return names;
+        }() +
+        ") nor a readable plan file");
+  }
+  return from_file;
+}
+
+Status ValidatePlan(const ExperimentPlan& plan) {
+  if (plan.experiments.empty()) {
+    return Status::InvalidArgument("plan selects no experiments");
+  }
+  if (plan.Includes(ExperimentKind::kBaseline)) {
+    if (plan.datasets.empty()) {
+      return Status::InvalidArgument("baseline needs at least one dataset");
+    }
+    if (plan.algorithms.empty()) {
+      return Status::InvalidArgument("baseline needs at least one algorithm");
+    }
+  }
+  if (plan.Includes(ExperimentKind::kStrongVertical) &&
+      (plan.thread_counts.empty() || plan.vertical_dataset.empty())) {
+    return Status::InvalidArgument(
+        "strong-vertical needs vertical_dataset and a threads ladder");
+  }
+  if (plan.Includes(ExperimentKind::kStrongHorizontal) &&
+      (plan.machine_counts.empty() || plan.horizontal_dataset.empty())) {
+    return Status::InvalidArgument(
+        "strong-horizontal needs horizontal_dataset and a machines ladder");
+  }
+  if (plan.Includes(ExperimentKind::kWeakScaling) && plan.weak_series.empty()) {
+    return Status::InvalidArgument("weak-scaling needs a weak series");
+  }
+  if (plan.Includes(ExperimentKind::kVariability)) {
+    if (plan.variability_setups.empty()) {
+      return Status::InvalidArgument("variability needs at least one setup");
+    }
+    if (plan.repetitions < 2) {
+      return Status::InvalidArgument(
+          "variability needs repetitions >= 2 to compute a CV");
+    }
+  }
+  const bool needs_scaling_algorithms =
+      plan.Includes(ExperimentKind::kStrongVertical) ||
+      plan.Includes(ExperimentKind::kStrongHorizontal) ||
+      plan.Includes(ExperimentKind::kWeakScaling);
+  if (needs_scaling_algorithms && plan.scaling_algorithms.empty()) {
+    return Status::InvalidArgument(
+        "scalability experiments need scaling_algorithms");
+  }
+  return Status::Ok();
+}
+
+}  // namespace ga::experiments

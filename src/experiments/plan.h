@@ -1,0 +1,128 @@
+// Declarative experiment plans for the ga::experiments suite driver.
+//
+// An ExperimentPlan names which of the paper's Section 4 experiments to
+// run (baseline, vertical/horizontal strong scaling, weak scaling,
+// variability, the class-L renewal) and over which slice of the workload
+// matrix (platforms, datasets, algorithms, machine/thread counts,
+// repetitions). Plans come from a preset ("smoke", "paper") or a plan
+// file; the suite compiles them into a deterministic JobSpec schedule
+// (see suite.h and DESIGN.md §7).
+#ifndef GRAPHALYTICS_EXPERIMENTS_PLAN_H_
+#define GRAPHALYTICS_EXPERIMENTS_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "core/types.h"
+
+namespace ga::experiments {
+
+/// The experiment families of the paper's evaluation (Section 4), in the
+/// canonical order the suite schedules them. Renewal runs last: it sweeps
+/// (and evicts) many datasets, so it must not disturb the cached
+/// instances the other experiments share.
+enum class ExperimentKind {
+  kBaseline,           // §4.2 — EPS/EVPS across platform×dataset×algorithm
+  kStrongVertical,     // §4.3 — T_proc vs threads, dataset fixed
+  kStrongHorizontal,   // §4.4 — T_proc vs machines, dataset fixed
+  kWeakScaling,        // §4.5 — dataset grows with the cluster
+  kVariability,        // §4.7 — CV of T_proc over repeated runs
+  kRenewal,            // §2.4 — class-L re-evaluation
+};
+
+/// All kinds in canonical scheduling order.
+inline constexpr ExperimentKind kAllExperimentKinds[] = {
+    ExperimentKind::kBaseline,        ExperimentKind::kStrongVertical,
+    ExperimentKind::kStrongHorizontal, ExperimentKind::kWeakScaling,
+    ExperimentKind::kVariability,     ExperimentKind::kRenewal,
+};
+
+/// Plan-file / report name of a kind: "baseline", "strong-vertical",
+/// "strong-horizontal", "weak-scaling", "variability", "renewal".
+std::string_view ExperimentKindName(ExperimentKind kind);
+
+/// Parses a name produced by ExperimentKindName. Returns false if the
+/// name is not recognised.
+bool ParseExperimentKind(std::string_view name, ExperimentKind* out);
+
+/// One (dataset, simulated machine count) point of a weak-scaling series
+/// or a variability setup. Plan-file syntax: "G22@1" (machines default 1).
+struct WorkloadPoint {
+  std::string dataset_id;
+  int machines = 1;
+
+  bool operator==(const WorkloadPoint&) const = default;
+};
+
+struct ExperimentPlan {
+  std::string name = "custom";
+  /// Which experiment families to run; duplicates are ignored and the
+  /// suite always schedules them in canonical kAllExperimentKinds order.
+  std::vector<ExperimentKind> experiments;
+  /// Platform ids; empty selects all registered platforms.
+  std::vector<std::string> platforms;
+  /// Baseline datasets (also the default variability/renewal slice).
+  std::vector<std::string> datasets;
+  /// Baseline algorithms.
+  std::vector<Algorithm> algorithms;
+  /// Algorithms for the scalability experiments (the paper uses BFS and
+  /// PageRank throughout §4.3–4.5).
+  std::vector<Algorithm> scaling_algorithms;
+  /// §4.3 vertical scaling: one dataset, varying threads on one machine.
+  std::string vertical_dataset = "D300";
+  std::vector<int> thread_counts;
+  /// §4.4 strong horizontal scaling: one dataset, varying machines.
+  std::string horizontal_dataset = "D1000";
+  std::vector<int> machine_counts;
+  /// §4.5 weak scaling: dataset and cluster grow together.
+  std::vector<WorkloadPoint> weak_series;
+  /// §4.7 variability setups, each repeated `repetitions` times (BFS).
+  std::vector<WorkloadPoint> variability_setups;
+  int repetitions = 10;
+  /// Datasets swept by the class-L renewal; empty = the full catalogue.
+  std::vector<std::string> renewal_datasets;
+  /// Validate outputs against the reference implementations.
+  bool validate = true;
+
+  bool Includes(ExperimentKind kind) const;
+};
+
+/// Built-in presets.
+///
+/// "smoke": baseline + variability + renewal over three platforms and two
+/// small real-graph proxies — finishes in seconds at any scale divisor
+/// and is the configuration CI runs on every push.
+ExperimentPlan SmokePlan();
+
+/// "paper": the full §4 matrix — all six experiment families, all
+/// platforms, the Table 3/4 datasets, all six algorithms, the paper's
+/// thread/machine ladders and the Table 11 variability setups.
+ExperimentPlan PaperPlan();
+
+/// Preset by name, or kNotFound. PresetNames() lists valid names.
+Result<ExperimentPlan> FindPreset(const std::string& name);
+std::vector<std::string> PresetNames();
+
+/// Parses a plan file (see docs/BENCHMARK_GUIDE.md for the format):
+/// one "key = value" per line, '#' comments, CSV lists. Keys:
+///   name, experiments, platforms, datasets, algorithms,
+///   scaling_algorithms, vertical_dataset, threads, horizontal_dataset,
+///   machines, weak, variability, repetitions, renewal_datasets, validate
+/// Unknown keys and malformed values are errors (kInvalidArgument).
+Result<ExperimentPlan> ParsePlanText(const std::string& text);
+
+/// Reads and parses a plan file from disk.
+Result<ExperimentPlan> LoadPlanFile(const std::string& path);
+
+/// Resolves `name_or_path` as a preset first, then as a plan file.
+Result<ExperimentPlan> ResolvePlan(const std::string& name_or_path);
+
+/// Structural sanity checks that need no registry: at least one
+/// experiment, ladders non-empty for the kinds that use them, positive
+/// counts. Id existence is checked by CompileSchedule.
+Status ValidatePlan(const ExperimentPlan& plan);
+
+}  // namespace ga::experiments
+
+#endif  // GRAPHALYTICS_EXPERIMENTS_PLAN_H_

@@ -1,0 +1,250 @@
+#include "experiments/suite.h"
+
+#include <algorithm>
+#include <set>
+
+#include "platforms/platform.h"
+
+namespace ga::experiments {
+
+namespace {
+
+// Tracks which datasets the schedule references, preserving first-use
+// order for the report's row labels.
+class DatasetCollector {
+ public:
+  explicit DatasetCollector(const harness::DatasetRegistry& registry)
+      : registry_(registry) {}
+
+  Status Note(const std::string& id) {
+    if (seen_.count(id) > 0) return Status::Ok();
+    GA_ASSIGN_OR_RETURN(harness::DatasetSpec spec, registry_.Find(id));
+    seen_.insert(id);
+    specs_.push_back(std::move(spec));
+    return Status::Ok();
+  }
+
+  std::vector<harness::DatasetSpec> Take() { return std::move(specs_); }
+
+ private:
+  const harness::DatasetRegistry& registry_;
+  std::set<std::string> seen_;
+  std::vector<harness::DatasetSpec> specs_;
+};
+
+std::string PointLabel(const WorkloadPoint& point) {
+  return point.dataset_id + "@" + std::to_string(point.machines);
+}
+
+}  // namespace
+
+Result<ExperimentSchedule> CompileSchedule(
+    const ExperimentPlan& plan, const harness::DatasetRegistry& registry) {
+  GA_RETURN_IF_ERROR(ValidatePlan(plan));
+
+  ExperimentSchedule schedule;
+  schedule.plan = plan;
+
+  // Resolve the platform slice (empty = all) and split off the subset
+  // that can deploy on more than one machine.
+  schedule.platforms =
+      plan.platforms.empty() ? platform::AllPlatformIds() : plan.platforms;
+  for (const std::string& id : schedule.platforms) {
+    GA_ASSIGN_OR_RETURN(platform::PlatformInfo info,
+                        platform::PlatformInfoFor(id));
+    if (info.distributed) schedule.distributed_platforms.push_back(id);
+  }
+
+  DatasetCollector datasets(registry);
+
+  auto make_spec = [&plan](const std::string& platform_id,
+                           const std::string& dataset_id,
+                           Algorithm algorithm) {
+    harness::JobSpec spec;
+    spec.platform_id = platform_id;
+    spec.dataset_id = dataset_id;
+    spec.algorithm = algorithm;
+    spec.validate = plan.validate;
+    return spec;
+  };
+
+  // The experiment families run in canonical order regardless of how the
+  // plan lists them; renewal goes last because it evicts cached datasets.
+  for (ExperimentKind kind : kAllExperimentKinds) {
+    if (!plan.Includes(kind)) continue;
+    switch (kind) {
+      case ExperimentKind::kBaseline: {
+        for (const std::string& dataset : plan.datasets) {
+          GA_RETURN_IF_ERROR(datasets.Note(dataset));
+          for (Algorithm algorithm : plan.algorithms) {
+            for (const std::string& platform_id : schedule.platforms) {
+              ScheduledJob job;
+              job.experiment = kind;
+              job.cell_id = "baseline/" + dataset + "/" +
+                            std::string(AlgorithmName(algorithm)) + "/" +
+                            platform_id;
+              job.spec = make_spec(platform_id, dataset, algorithm);
+              schedule.jobs.push_back(std::move(job));
+            }
+          }
+        }
+        break;
+      }
+      case ExperimentKind::kStrongVertical: {
+        GA_RETURN_IF_ERROR(datasets.Note(plan.vertical_dataset));
+        for (Algorithm algorithm : plan.scaling_algorithms) {
+          for (int threads : plan.thread_counts) {
+            for (const std::string& platform_id : schedule.platforms) {
+              ScheduledJob job;
+              job.experiment = kind;
+              job.cell_id = "strong-vertical/" + plan.vertical_dataset +
+                            "/" + std::string(AlgorithmName(algorithm)) +
+                            "/" + platform_id + "/t" +
+                            std::to_string(threads);
+              job.spec =
+                  make_spec(platform_id, plan.vertical_dataset, algorithm);
+              job.spec.threads_per_machine = threads;
+              schedule.jobs.push_back(std::move(job));
+            }
+          }
+        }
+        break;
+      }
+      case ExperimentKind::kStrongHorizontal: {
+        GA_RETURN_IF_ERROR(datasets.Note(plan.horizontal_dataset));
+        for (Algorithm algorithm : plan.scaling_algorithms) {
+          for (int machines : plan.machine_counts) {
+            for (const std::string& platform_id :
+                 schedule.distributed_platforms) {
+              ScheduledJob job;
+              job.experiment = kind;
+              job.cell_id = "strong-horizontal/" + plan.horizontal_dataset +
+                            "/" + std::string(AlgorithmName(algorithm)) +
+                            "/" + platform_id + "/m" +
+                            std::to_string(machines);
+              job.spec =
+                  make_spec(platform_id, plan.horizontal_dataset, algorithm);
+              job.spec.num_machines = machines;
+              // The paper runs manually-selected distributed backends in
+              // every horizontal experiment, even on one machine (§4.4).
+              job.spec.prefer_distributed_backend = true;
+              schedule.jobs.push_back(std::move(job));
+            }
+          }
+        }
+        break;
+      }
+      case ExperimentKind::kWeakScaling: {
+        for (Algorithm algorithm : plan.scaling_algorithms) {
+          for (const WorkloadPoint& point : plan.weak_series) {
+            GA_RETURN_IF_ERROR(datasets.Note(point.dataset_id));
+            for (const std::string& platform_id :
+                 schedule.distributed_platforms) {
+              ScheduledJob job;
+              job.experiment = kind;
+              job.cell_id = "weak-scaling/" + PointLabel(point) + "/" +
+                            std::string(AlgorithmName(algorithm)) + "/" +
+                            platform_id;
+              job.spec =
+                  make_spec(platform_id, point.dataset_id, algorithm);
+              job.spec.num_machines = point.machines;
+              job.spec.prefer_distributed_backend = true;
+              schedule.jobs.push_back(std::move(job));
+            }
+          }
+        }
+        break;
+      }
+      case ExperimentKind::kVariability: {
+        for (const WorkloadPoint& point : plan.variability_setups) {
+          GA_RETURN_IF_ERROR(datasets.Note(point.dataset_id));
+          const std::vector<std::string>& eligible =
+              point.machines > 1 ? schedule.distributed_platforms
+                                 : schedule.platforms;
+          for (const std::string& platform_id : eligible) {
+            ScheduledJob job;
+            job.experiment = kind;
+            job.cell_id = "variability/" + PointLabel(point) + "/bfs/" +
+                          platform_id;
+            // The paper measures variability over repeated BFS runs
+            // (Table 11).
+            job.spec = make_spec(platform_id, point.dataset_id,
+                                 Algorithm::kBfs);
+            job.spec.num_machines = point.machines;
+            job.spec.repetitions = plan.repetitions;
+            schedule.jobs.push_back(std::move(job));
+          }
+        }
+        break;
+      }
+      case ExperimentKind::kRenewal: {
+        schedule.run_renewal = true;
+        schedule.renewal_datasets = plan.renewal_datasets;
+        if (schedule.renewal_datasets.empty()) {
+          for (const harness::DatasetSpec& spec : registry.specs()) {
+            schedule.renewal_datasets.push_back(spec.id);
+          }
+        }
+        for (const std::string& dataset : schedule.renewal_datasets) {
+          GA_RETURN_IF_ERROR(datasets.Note(dataset));
+        }
+        break;
+      }
+    }
+  }
+
+  // Enforce the "every cell exactly once" contract: duplicate ids or
+  // ladder steps in the plan would silently break the cell_id join key
+  // of the report and experiments.json.
+  std::set<std::string> cell_ids;
+  for (const ScheduledJob& job : schedule.jobs) {
+    if (!cell_ids.insert(job.cell_id).second) {
+      return Status::InvalidArgument(
+          "duplicate matrix cell " + job.cell_id +
+          " (the plan lists an id or ladder step twice)");
+    }
+  }
+
+  schedule.dataset_specs = datasets.Take();
+  return schedule;
+}
+
+Result<SuiteResult> RunSuite(harness::BenchmarkRunner& runner,
+                             const ExperimentPlan& plan) {
+  SuiteResult result;
+  result.config = runner.config();
+  GA_ASSIGN_OR_RETURN(result.schedule,
+                      CompileSchedule(plan, runner.registry()));
+
+  result.reports.reserve(result.schedule.jobs.size());
+  for (const ScheduledJob& job : result.schedule.jobs) {
+    auto report = runner.Run(job.spec);
+    if (report.ok()) {
+      result.reports.push_back(std::move(*report));
+    } else {
+      // Infrastructure errors become kFailed records so the matrix stays
+      // complete and the artifacts are emitted either way.
+      harness::JobReport failed;
+      failed.spec = job.spec;
+      failed.outcome = harness::JobOutcome::kFailed;
+      failed.failure = report.status().ToString();
+      result.reports.push_back(std::move(failed));
+    }
+  }
+
+  if (result.schedule.run_renewal) {
+    auto renewal =
+        harness::EvaluateClassL(runner, result.schedule.platforms,
+                                result.schedule.renewal_datasets);
+    if (renewal.ok()) {
+      result.renewal = std::move(*renewal);
+    } else {
+      // Like per-job infrastructure errors, a failed renewal sweep must
+      // not discard the completed jobs — record it and emit artifacts.
+      result.renewal_failure = renewal.status().ToString();
+    }
+  }
+  return result;
+}
+
+}  // namespace ga::experiments

@@ -1,0 +1,93 @@
+// Experiment-suite driver: compiles a declarative ExperimentPlan into a
+// deterministic JobSpec schedule, executes it through BenchmarkRunner,
+// and emits the paper-style artifacts (text report + experiments.json).
+//
+// Dataflow (DESIGN.md §7): plan → CompileSchedule → RunSuite →
+// RenderSuiteReport / SuiteToJson. Every stage is deterministic: the
+// schedule depends only on the plan and the catalogue, job execution is
+// host-thread invariant by the exec contract (DESIGN.md §6), and the
+// renderers format fixed-precision values in schedule order — so the full
+// suite's report and JSON are bit-identical at any --jobs value.
+#ifndef GRAPHALYTICS_EXPERIMENTS_SUITE_H_
+#define GRAPHALYTICS_EXPERIMENTS_SUITE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "experiments/plan.h"
+#include "harness/dataset_registry.h"
+#include "harness/renewal.h"
+#include "harness/runner.h"
+
+namespace ga::experiments {
+
+/// One compiled cell of the experiment matrix: the experiment family it
+/// belongs to, a unique human-readable cell id (stable across runs, used
+/// as the join key in reports and JSON), and the ready-to-run JobSpec.
+struct ScheduledJob {
+  ExperimentKind experiment;
+  std::string cell_id;  // e.g. "baseline/R1/bfs/spmat"
+  harness::JobSpec spec;
+};
+
+struct ExperimentSchedule {
+  ExperimentPlan plan;
+  /// Platform ids after resolving an empty plan list to the registry.
+  std::vector<std::string> platforms;
+  /// Subset of `platforms` that supports multi-machine deployment; the
+  /// horizontal/weak/distributed-variability cells are restricted to it,
+  /// as in the paper's §4.4–4.5 (single-machine platforms are marked "-").
+  std::vector<std::string> distributed_platforms;
+  /// Specs of every dataset the schedule touches, in first-use order
+  /// (report row labels show the paper-scale class, e.g. "R1 (2XS)").
+  std::vector<harness::DatasetSpec> dataset_specs;
+  /// All jobs in canonical execution order.
+  std::vector<ScheduledJob> jobs;
+  /// Datasets the renewal sweeps (resolved; empty when renewal is off).
+  std::vector<std::string> renewal_datasets;
+  bool run_renewal = false;
+};
+
+/// Compiles a plan into its schedule. Deterministic and complete: the
+/// same plan and catalogue always produce the same job sequence, and
+/// every selected matrix cell appears exactly once. Unknown platform or
+/// dataset ids are kNotFound errors.
+Result<ExperimentSchedule> CompileSchedule(
+    const ExperimentPlan& plan, const harness::DatasetRegistry& registry);
+
+struct SuiteResult {
+  ExperimentSchedule schedule;
+  harness::BenchmarkConfig config;
+  /// One report per schedule.jobs entry, in the same order.
+  /// Infrastructure errors surface as JobOutcome::kFailed reports so the
+  /// matrix stays complete.
+  std::vector<harness::JobReport> reports;
+  std::optional<harness::RenewalResult> renewal;
+  /// Non-empty when the renewal sweep hit an infrastructure error; the
+  /// job results and artifacts are still emitted (renewal stays unset).
+  std::string renewal_failure;
+};
+
+/// Runs the full suite through `runner` in schedule order.
+Result<SuiteResult> RunSuite(harness::BenchmarkRunner& runner,
+                             const ExperimentPlan& plan);
+
+/// Paper-style text report: one section per experiment family (the
+/// textual Table 6 / Figures 5–9 / Table 9/11 equivalents, including
+/// speedup-vs-machines and CV columns, and the class-L recommendation).
+std::string RenderSuiteReport(const SuiteResult& result);
+
+/// Machine-readable experiments.json: plan + configuration + one record
+/// per cell + the renewal verdict.
+std::string SuiteToJson(const SuiteResult& result);
+
+/// Writes SuiteToJson(result) to `path`.
+Status WriteSuiteJson(const SuiteResult& result, const std::string& path);
+
+/// Writes RenderSuiteReport(result) to `path`.
+Status WriteSuiteReport(const SuiteResult& result, const std::string& path);
+
+}  // namespace ga::experiments
+
+#endif  // GRAPHALYTICS_EXPERIMENTS_SUITE_H_

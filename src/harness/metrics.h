@@ -1,5 +1,16 @@
-// Benchmark metrics (paper Section 2.3): run-time components, user-level
+// Benchmark metrics (paper Section 2.3; see docs/METRICS.md): user-level
 // throughput (EPS, EVPS), speedup, and performance variability (CV).
+//
+// The run-time components they summarise come from the platforms'
+// Granula archives via the runner: T_proc is the ProcessGraph phase,
+// makespan the full job including startup and upload (§2.3's "makespan
+// of up to 1 hour" SLA is enforced on the latter).
+//
+// Consumers: BenchmarkRunner derives every JobReport's eps/evps/tproc_cv
+// here; the experiment suite (src/experiments/) reports EPS/EVPS in its
+// baseline section, Speedup in the vertical/horizontal scalability
+// sections (Table 9 / Figure 8), and CoefficientOfVariation in the
+// variability section (Table 11).
 #ifndef GRAPHALYTICS_HARNESS_METRICS_H_
 #define GRAPHALYTICS_HARNESS_METRICS_H_
 

@@ -7,19 +7,31 @@
 namespace ga::harness {
 
 Result<RenewalResult> EvaluateClassL(BenchmarkRunner& runner) {
+  std::vector<std::string> platform_ids = platform::AllPlatformIds();
+  std::vector<std::string> dataset_ids;
+  for (const DatasetSpec& spec : runner.registry().specs()) {
+    dataset_ids.push_back(spec.id);
+  }
+  return EvaluateClassL(runner, platform_ids, dataset_ids);
+}
+
+Result<RenewalResult> EvaluateClassL(
+    BenchmarkRunner& runner, std::span<const std::string> platform_ids,
+    std::span<const std::string> dataset_ids) {
   RenewalResult result;
 
   // Per-class dataset pass/fail bookkeeping, keyed by the class's lower
   // scale bound so classes order correctly (labels alone do not sort).
   std::map<double, std::pair<std::string, bool>> class_passes;
 
-  for (const DatasetSpec& spec : runner.registry().specs()) {
+  for (const std::string& dataset_id : dataset_ids) {
+    GA_ASSIGN_OR_RETURN(DatasetSpec spec, runner.registry().Find(dataset_id));
     DatasetEvidence evidence;
     evidence.dataset_id = spec.id;
     evidence.scale_label = spec.scale_label;
     evidence.paper_scale = spec.paper_scale;
 
-    for (const std::string& platform_id : platform::AllPlatformIds()) {
+    for (const std::string& platform_id : platform_ids) {
       JobSpec job;
       job.platform_id = platform_id;
       job.dataset_id = spec.id;
@@ -43,18 +55,14 @@ Result<RenewalResult> EvaluateClassL(BenchmarkRunner& runner) {
     result.evidence.push_back(std::move(evidence));
   }
 
-  // The recommended L is the largest class with no unprocessable graph.
   for (const auto& [floor, label_passes] : class_passes) {
     const auto& [label, passes] = label_passes;
-    if (passes) {
-      result.passing_classes.push_back(label);
-      result.recommended_class_l = label;
-    } else {
-      result.failing_classes.push_back(label);
-    }
+    (passes ? result.passing_classes : result.failing_classes)
+        .push_back(label);
   }
-  // "Largest class such that ALL graphs complete": walk down from the
-  // top until an uninterrupted run of passing classes begins.
+  // The recommended L is the largest class with no unprocessable graph
+  // ("the largest class such that a platform can complete BFS ... on all
+  // graphs in that class").
   for (auto it = class_passes.rbegin(); it != class_passes.rend(); ++it) {
     if (it->second.second) {
       result.recommended_class_l = it->second.first;

@@ -1,4 +1,4 @@
-// Renewal process (paper Section 2.4).
+// Renewal process (paper Section 2.4; see docs/METRICS.md).
 //
 // Every Graphalytics version re-evaluates the definition of the reference
 // class L: "the largest class of graphs such that a state-of-the-art
@@ -7,14 +7,22 @@
 // selection of platforms ... is limited to platforms implementing
 // Graphalytics that are available to the Graphalytics team."
 //
-// EvaluateClassL runs exactly that procedure over the registry's
-// catalogue: for every dataset, BFS is attempted on one machine by every
-// registered platform; a dataset "passes" if at least one platform meets
-// the SLA; a class passes if all of its datasets pass; the recommended
-// class L is the largest passing class.
+// EvaluateClassL runs exactly that procedure: for every dataset, BFS is
+// attempted on one machine by every selected platform; a dataset
+// "passes" if at least one platform meets the SLA; a class passes if all
+// of its datasets pass; the recommended class L is the largest passing
+// class. The scale classes come from scale.h (§2.2.4); the SLA check is
+// the runner's makespan gate (§2.3).
+//
+// Consumers: bench/renewal_class_l.cc reproduces the paper's own
+// calibration over the full catalogue; the experiment suite
+// (src/experiments/, ExperimentKind::kRenewal) runs the subset overload
+// over the plan's platform/dataset slice and folds the verdict into its
+// report and experiments.json.
 #ifndef GRAPHALYTICS_HARNESS_RENEWAL_H_
 #define GRAPHALYTICS_HARNESS_RENEWAL_H_
 
+#include <span>
 #include <string>
 #include <vector>
 
@@ -42,9 +50,17 @@ struct RenewalResult {
 };
 
 /// Runs the class-L re-evaluation over all datasets in the runner's
-/// registry. Skips validation for speed (correctness is a separate
-/// concern from the renewal's capacity question).
+/// registry with every registered platform. Skips validation for speed
+/// (correctness is a separate concern from the renewal's capacity
+/// question).
 Result<RenewalResult> EvaluateClassL(BenchmarkRunner& runner);
+
+/// Same procedure restricted to a platform and dataset slice — the
+/// experiment suite's renewal runs over its plan's selection. Evidence
+/// is reported in the given dataset order; unknown ids are kNotFound.
+Result<RenewalResult> EvaluateClassL(BenchmarkRunner& runner,
+                                     std::span<const std::string> platform_ids,
+                                     std::span<const std::string> dataset_ids);
 
 }  // namespace ga::harness
 

@@ -1,9 +1,16 @@
-// Graph scale and "T-shirt size" classes (paper Section 2.2.4, Table 2).
+// Graph scale and "T-shirt size" classes (paper Section 2.2.4, Table 2;
+// see docs/METRICS.md).
 //
 // scale(V, E) = log10(|V| + |E|), rounded to one decimal. Classes span
 // 0.5 scale units; the reference class L is [8.5, 9.0). Extra X's extend
 // the scheme on both ends (2XS, 3XL, ...), making it open-ended as the
-// renewal process re-centres it over time (Section 2.4).
+// renewal process re-centres it over time (Section 2.4, renewal.h).
+//
+// Consumers: the dataset registry labels every catalogue entry with its
+// paper-scale class (reports read like Tables 3-4); the renewal groups
+// its pass/fail evidence by these classes; the experiment suite
+// (src/experiments/) shows them in its dataset row labels, e.g.
+// "D300 (L)".
 #ifndef GRAPHALYTICS_HARNESS_SCALE_H_
 #define GRAPHALYTICS_HARNESS_SCALE_H_
 

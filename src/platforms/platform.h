@@ -267,6 +267,12 @@ Result<std::unique_ptr<Platform>> CreatePlatform(const std::string& id);
 /// The ids of all platforms, in canonical order.
 std::vector<std::string> AllPlatformIds();
 
+/// Descriptive info for one platform id (kNotFound for unknown ids).
+/// Cheaper intent than CreatePlatform when a caller only needs metadata,
+/// e.g. the experiment-suite scheduler deciding which platforms join the
+/// multi-machine experiments (info.distributed).
+Result<PlatformInfo> PlatformInfoFor(const std::string& id);
+
 }  // namespace ga::platform
 
 #endif  // GRAPHALYTICS_PLATFORMS_PLATFORM_H_

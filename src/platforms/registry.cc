@@ -29,6 +29,11 @@ Result<std::unique_ptr<Platform>> CreatePlatform(const std::string& id) {
   return Status::NotFound("no platform with id " + id);
 }
 
+Result<PlatformInfo> PlatformInfoFor(const std::string& id) {
+  GA_ASSIGN_OR_RETURN(std::unique_ptr<Platform> platform, CreatePlatform(id));
+  return platform->info();
+}
+
 std::vector<std::string> AllPlatformIds() {
   std::vector<std::string> ids;
   for (const auto& platform : CreateAllPlatforms()) {

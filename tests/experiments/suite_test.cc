@@ -1,0 +1,308 @@
+#include "experiments/suite.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "experiments/plan.h"
+#include "harness/runner.h"
+#include "platforms/platform.h"
+
+namespace ga::experiments {
+namespace {
+
+harness::BenchmarkConfig FastConfig() {
+  harness::BenchmarkConfig config;
+  config.scale_divisor = 16384;
+  config.seed = 13;
+  return config;
+}
+
+// A miniature smoke-like plan exercising baseline + variability + renewal
+// on tiny datasets (used by the cross-thread determinism test).
+ExperimentPlan TinyPlan() {
+  ExperimentPlan plan;
+  plan.name = "tiny";
+  plan.experiments = {ExperimentKind::kBaseline,
+                      ExperimentKind::kVariability,
+                      ExperimentKind::kRenewal};
+  plan.platforms = {"spmat", "pushpull"};
+  plan.datasets = {"R1", "R2"};
+  plan.algorithms = {Algorithm::kBfs, Algorithm::kPageRank};
+  plan.variability_setups = {{"R2", 1}};
+  plan.repetitions = 5;
+  plan.renewal_datasets = {"R1", "R2"};
+  return plan;
+}
+
+TEST(ExperimentKindTest, NamesRoundTrip) {
+  for (ExperimentKind kind : kAllExperimentKinds) {
+    ExperimentKind parsed;
+    ASSERT_TRUE(ParseExperimentKind(ExperimentKindName(kind), &parsed));
+    EXPECT_EQ(parsed, kind);
+  }
+  ExperimentKind ignored;
+  EXPECT_FALSE(ParseExperimentKind("nope", &ignored));
+}
+
+TEST(PlanPresetTest, LookupAndNames) {
+  EXPECT_TRUE(FindPreset("smoke").ok());
+  EXPECT_TRUE(FindPreset("paper").ok());
+  auto unknown = FindPreset("bogus");
+  ASSERT_FALSE(unknown.ok());
+  EXPECT_EQ(unknown.status().code(), StatusCode::kNotFound);
+
+  const std::vector<std::string> names = PresetNames();
+  for (const std::string& name : names) {
+    EXPECT_TRUE(FindPreset(name).ok()) << name;
+  }
+}
+
+TEST(PlanPresetTest, PresetsPassValidation) {
+  EXPECT_TRUE(ValidatePlan(SmokePlan()).ok());
+  EXPECT_TRUE(ValidatePlan(PaperPlan()).ok());
+}
+
+TEST(PlanFileTest, ParsesEveryKey) {
+  const std::string text = R"(
+# full-coverage plan file
+name = roundtrip
+experiments = baseline, strong-vertical, strong-horizontal, weak-scaling, variability, renewal
+platforms = spmat, pushpull
+datasets = R1, R2
+algorithms = bfs, pr
+scaling_algorithms = bfs
+vertical_dataset = D300
+threads = 1, 2, 4
+horizontal_dataset = D1000
+machines = 1, 2
+weak = G22@1, G23@2
+variability = R2@1, D1000@16
+repetitions = 7
+renewal_datasets = R1
+validate = false
+)";
+  auto plan = ParsePlanText(text);
+  ASSERT_TRUE(plan.ok()) << plan.status().ToString();
+  EXPECT_EQ(plan->name, "roundtrip");
+  EXPECT_EQ(plan->experiments.size(), 6u);
+  EXPECT_EQ(plan->platforms, (std::vector<std::string>{"spmat", "pushpull"}));
+  EXPECT_EQ(plan->datasets, (std::vector<std::string>{"R1", "R2"}));
+  EXPECT_EQ(plan->algorithms,
+            (std::vector<Algorithm>{Algorithm::kBfs, Algorithm::kPageRank}));
+  EXPECT_EQ(plan->scaling_algorithms,
+            (std::vector<Algorithm>{Algorithm::kBfs}));
+  EXPECT_EQ(plan->vertical_dataset, "D300");
+  EXPECT_EQ(plan->thread_counts, (std::vector<int>{1, 2, 4}));
+  EXPECT_EQ(plan->horizontal_dataset, "D1000");
+  EXPECT_EQ(plan->machine_counts, (std::vector<int>{1, 2}));
+  EXPECT_EQ(plan->weak_series,
+            (std::vector<WorkloadPoint>{{"G22", 1}, {"G23", 2}}));
+  EXPECT_EQ(plan->variability_setups,
+            (std::vector<WorkloadPoint>{{"R2", 1}, {"D1000", 16}}));
+  EXPECT_EQ(plan->repetitions, 7);
+  EXPECT_EQ(plan->renewal_datasets, (std::vector<std::string>{"R1"}));
+  EXPECT_FALSE(plan->validate);
+}
+
+TEST(PlanFileTest, RejectsMalformedInput) {
+  EXPECT_FALSE(ParsePlanText("").ok());
+  EXPECT_FALSE(ParsePlanText("no equals sign here").ok());
+  EXPECT_FALSE(ParsePlanText("wibble = 3").ok());                // unknown key
+  EXPECT_FALSE(ParsePlanText("experiments = frobnicate").ok());  // bad kind
+  EXPECT_FALSE(
+      ParsePlanText("experiments = baseline\ndatasets = R1\n"
+                    "algorithms = quicksort")
+          .ok());  // bad algorithm
+  EXPECT_FALSE(ParsePlanText("experiments = baseline\ndatasets = R1\n"
+                             "algorithms = bfs\nrepetitions = -3")
+                   .ok());
+  // Values beyond int range must be rejected, not truncated.
+  EXPECT_FALSE(ParsePlanText("experiments = baseline\ndatasets = R1\n"
+                             "algorithms = bfs\nthreads = 4294967297")
+                   .ok());
+  EXPECT_FALSE(ParsePlanText("experiments = baseline\ndatasets = R1\n"
+                             "algorithms = bfs\nvalidate = maybe")
+                   .ok());
+  // Structurally incomplete: variability without setups.
+  EXPECT_FALSE(ParsePlanText("experiments = variability").ok());
+}
+
+TEST(PlanResolveTest, PresetThenFileThenError) {
+  EXPECT_TRUE(ResolvePlan("smoke").ok());
+  auto missing = ResolvePlan("/nonexistent/plan.txt");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CompileScheduleTest, SmokeIsCompleteDeterministicAndUnique) {
+  harness::BenchmarkConfig config = FastConfig();
+  harness::DatasetRegistry registry(config);
+  const ExperimentPlan plan = SmokePlan();
+
+  auto schedule_a = CompileSchedule(plan, registry);
+  auto schedule_b = CompileSchedule(plan, registry);
+  ASSERT_TRUE(schedule_a.ok()) << schedule_a.status().ToString();
+  ASSERT_TRUE(schedule_b.ok());
+
+  // Deterministic: same plan, same catalogue, same job sequence.
+  ASSERT_EQ(schedule_a->jobs.size(), schedule_b->jobs.size());
+  for (std::size_t i = 0; i < schedule_a->jobs.size(); ++i) {
+    EXPECT_EQ(schedule_a->jobs[i].cell_id, schedule_b->jobs[i].cell_id);
+  }
+
+  // Complete: every matrix cell exactly once. Smoke = baseline
+  // (2 datasets x 2 algorithms x 3 platforms) + variability (1 setup x
+  // 3 platforms); renewal compiles to the class-L sweep, not jobs.
+  EXPECT_EQ(schedule_a->jobs.size(), 2u * 2u * 3u + 1u * 3u);
+  std::set<std::string> cells;
+  for (const ScheduledJob& job : schedule_a->jobs) {
+    EXPECT_TRUE(cells.insert(job.cell_id).second)
+        << "duplicate cell " << job.cell_id;
+  }
+  EXPECT_TRUE(schedule_a->run_renewal);
+  EXPECT_EQ(schedule_a->renewal_datasets,
+            (std::vector<std::string>{"R1", "R2"}));
+}
+
+TEST(CompileScheduleTest, PaperCoversTheFullMatrix) {
+  harness::BenchmarkConfig config = FastConfig();
+  harness::DatasetRegistry registry(config);
+  const ExperimentPlan plan = PaperPlan();
+
+  auto schedule = CompileSchedule(plan, registry);
+  ASSERT_TRUE(schedule.ok()) << schedule.status().ToString();
+
+  const std::size_t all = platform::AllPlatformIds().size();
+  const std::size_t distributed = schedule->distributed_platforms.size();
+  EXPECT_EQ(schedule->platforms.size(), all);
+  EXPECT_GT(distributed, 0u);
+  EXPECT_LT(distributed, all);  // nativekernel is single-machine
+
+  std::size_t expected = 0;
+  expected += plan.datasets.size() * plan.algorithms.size() * all;
+  expected += plan.scaling_algorithms.size() * plan.thread_counts.size() * all;
+  expected += plan.scaling_algorithms.size() * plan.machine_counts.size() *
+              distributed;
+  expected += plan.scaling_algorithms.size() * plan.weak_series.size() *
+              distributed;
+  for (const WorkloadPoint& point : plan.variability_setups) {
+    expected += point.machines > 1 ? distributed : all;
+  }
+  EXPECT_EQ(schedule->jobs.size(), expected);
+
+  std::set<std::string> cells;
+  for (const ScheduledJob& job : schedule->jobs) {
+    EXPECT_TRUE(cells.insert(job.cell_id).second)
+        << "duplicate cell " << job.cell_id;
+  }
+  // Renewal with no explicit slice sweeps the full catalogue.
+  EXPECT_TRUE(schedule->run_renewal);
+  EXPECT_EQ(schedule->renewal_datasets.size(), registry.specs().size());
+}
+
+TEST(CompileScheduleTest, UnknownIdsRejected) {
+  harness::BenchmarkConfig config = FastConfig();
+  harness::DatasetRegistry registry(config);
+
+  ExperimentPlan bad_platform = TinyPlan();
+  bad_platform.platforms = {"spmat", "nope"};
+  auto a = CompileSchedule(bad_platform, registry);
+  ASSERT_FALSE(a.ok());
+  EXPECT_EQ(a.status().code(), StatusCode::kNotFound);
+
+  ExperimentPlan bad_dataset = TinyPlan();
+  bad_dataset.datasets = {"R1", "R99"};
+  auto b = CompileSchedule(bad_dataset, registry);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CompileScheduleTest, DuplicateIdsRejected) {
+  harness::BenchmarkConfig config = FastConfig();
+  harness::DatasetRegistry registry(config);
+
+  ExperimentPlan duplicated = TinyPlan();
+  duplicated.datasets = {"R1", "R1"};
+  auto schedule = CompileSchedule(duplicated, registry);
+  ASSERT_FALSE(schedule.ok());
+  EXPECT_EQ(schedule.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RunSuiteTest, RenewalInfrastructureErrorKeepsJobResults) {
+  // At divisor 16384 the D100 Datagen proxy cannot generate (the scaled
+  // vertex count falls below the target average degree); a renewal
+  // sweeping it must not discard the completed jobs.
+  harness::BenchmarkConfig config = FastConfig();
+  harness::BenchmarkRunner runner(config);
+  ExperimentPlan plan;
+  plan.name = "renewal-failure";
+  plan.experiments = {ExperimentKind::kBaseline, ExperimentKind::kRenewal};
+  plan.platforms = {"spmat"};
+  plan.datasets = {"R1"};
+  plan.algorithms = {Algorithm::kBfs};
+  plan.renewal_datasets = {"R1", "D100"};
+  auto result = RunSuite(runner, plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ASSERT_EQ(result->reports.size(), 1u);
+  EXPECT_EQ(result->reports[0].outcome, harness::JobOutcome::kCompleted);
+  EXPECT_FALSE(result->renewal.has_value());
+  EXPECT_FALSE(result->renewal_failure.empty());
+  EXPECT_NE(RenderSuiteReport(*result).find("renewal: sweep failed"),
+            std::string::npos);
+  EXPECT_NE(SuiteToJson(*result).find("\"renewal_error\":"),
+            std::string::npos);
+}
+
+// The acceptance gate: the suite's artifacts are bit-identical at any
+// host parallelism (exec determinism contract, DESIGN.md §6-§7).
+TEST(RunSuiteTest, ArtifactsBitIdenticalAcrossHostJobs) {
+  const ExperimentPlan plan = TinyPlan();
+  std::string reports[3];
+  std::string jsons[3];
+  const int jobs_values[3] = {1, 2, 8};
+  for (int i = 0; i < 3; ++i) {
+    harness::BenchmarkConfig config = FastConfig();
+    config.host_jobs = jobs_values[i];
+    harness::BenchmarkRunner runner(config);
+    auto result = RunSuite(runner, plan);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    reports[i] = RenderSuiteReport(*result);
+    jsons[i] = SuiteToJson(*result);
+  }
+  EXPECT_EQ(reports[0], reports[1]);
+  EXPECT_EQ(reports[0], reports[2]);
+  EXPECT_EQ(jsons[0], jsons[1]);
+  EXPECT_EQ(jsons[0], jsons[2]);
+}
+
+// The smoke preset must complete under ctest at the default scale.
+TEST(RunSuiteTest, SmokePresetCompletesAndEmitsArtifacts) {
+  harness::BenchmarkConfig config;  // defaults: divisor 1024, seed 42
+  harness::BenchmarkRunner runner(config);
+  auto result = RunSuite(runner, SmokePlan());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  ASSERT_EQ(result->reports.size(), result->schedule.jobs.size());
+  for (std::size_t i = 0; i < result->reports.size(); ++i) {
+    EXPECT_EQ(result->reports[i].outcome, harness::JobOutcome::kCompleted)
+        << result->schedule.jobs[i].cell_id << ": "
+        << result->reports[i].failure;
+  }
+
+  ASSERT_TRUE(result->renewal.has_value());
+  EXPECT_FALSE(result->renewal->recommended_class_l.empty());
+
+  const std::string report = RenderSuiteReport(*result);
+  EXPECT_NE(report.find("Baseline — bfs"), std::string::npos);
+  EXPECT_NE(report.find("Variability — BFS"), std::string::npos);
+  EXPECT_NE(report.find("recommended reference class L"), std::string::npos);
+
+  const std::string json = SuiteToJson(*result);
+  EXPECT_EQ(json.rfind("{\"format\":\"graphalytics-cpp experiments v1\"", 0),
+            0u);
+  EXPECT_NE(json.find("\"renewal\":"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ga::experiments

@@ -1,50 +1,58 @@
-// graphalytics_cli: the benchmark driver — runs a configurable slice of
-// the Graphalytics workload matrix through the harness and writes a JSON
-// results database, mirroring the real harness's property-driven runs
-// ("the benchmark user may select a subset of the Graphalytics workload",
-// paper Figure 1, component 2).
+// graphalytics_cli: the benchmark driver. Two modes:
+//
+//   run    (default) — a configurable slice of the Graphalytics workload
+//          matrix through the harness, with a JSON results database;
+//          mirrors the real harness's property-driven runs ("the
+//          benchmark user may select a subset of the Graphalytics
+//          workload", paper Figure 1, component 2).
+//   suite  — a declarative experiment plan (preset or plan file)
+//          reproducing the paper's §4 evaluation: baseline EPS/EVPS,
+//          strong/weak scalability, variability, and the class-L
+//          renewal, emitting a paper-style text report plus a
+//          machine-readable experiments.json. See docs/BENCHMARK_GUIDE.md.
 //
 // Usage:
-//   graphalytics_cli [--platforms a,b] [--datasets X,Y] [--algorithms ...]
-//                    [--machines N] [--threads N] [--repetitions N]
-//                    [--jobs N] [--out results.json]
-// Defaults: all platforms, datasets R1..R4, algorithms bfs+pr, 1 machine.
+//   graphalytics_cli [run] [--platforms a,b] [--datasets X,Y]
+//                    [--algorithms ...] [--machines N] [--threads N]
+//                    [--repetitions N] [--jobs N] [--out results.json]
+//   graphalytics_cli suite --plan <smoke|paper|file> [--jobs N]
+//                    [--out experiments.json] [--report report.txt]
+//
 // GA_SCALE_DIVISOR / GA_SEED / GA_JOBS configure the deployment scale and
-// host parallelism.
+// host parallelism in both modes.
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <limits>
 #include <string>
 #include <vector>
 
 #include "core/exec/thread_pool.h"
+#include "core/strings.h"
+#include "experiments/plan.h"
+#include "experiments/suite.h"
 #include "harness/report.h"
 #include "harness/results_db.h"
 #include "harness/runner.h"
 
 namespace {
 
-std::vector<std::string> SplitCsv(const std::string& text) {
-  std::vector<std::string> parts;
-  std::size_t start = 0;
-  while (start <= text.size()) {
-    std::size_t comma = text.find(',', start);
-    if (comma == std::string::npos) comma = text.size();
-    if (comma > start) parts.push_back(text.substr(start, comma - start));
-    start = comma + 1;
-  }
-  return parts;
-}
+using ga::SplitCsv;
 
 void PrintUsage(std::FILE* stream) {
   std::fprintf(
       stream,
-      "usage: graphalytics_cli [options]\n"
+      "usage: graphalytics_cli [mode] [options]\n"
       "\n"
-      "Runs a slice of the Graphalytics workload matrix through the\n"
-      "harness and prints a result table (optionally a JSON database).\n"
+      "modes:\n"
+      "  run    (default) run a slice of the Graphalytics workload matrix\n"
+      "         and print a result table (optionally a JSON database)\n"
+      "  suite  run a declarative experiment plan reproducing the paper's\n"
+      "         Section 4 evaluation (baseline, scalability, variability,\n"
+      "         renewal) and emit a text report + experiments.json\n"
       "\n"
-      "options:\n"
+      "run options:\n"
       "  --platforms a,b,...   platform ids (default: all six)\n"
       "  --datasets X,Y,...    dataset ids (default: R1,R2,R3,R4)\n"
       "  --algorithms a,b,...  bfs,pr,wcc,cdlp,lcc,sssp (default: bfs,pr)\n"
@@ -55,14 +63,40 @@ void PrintUsage(std::FILE* stream) {
       "                        (default: hardware concurrency; results\n"
       "                        and simulated metrics do not depend on N)\n"
       "  --out FILE            write the results database as JSON\n"
+      "\n"
+      "suite options:\n"
+      "  --plan NAME|FILE      preset (smoke, paper) or plan file\n"
+      "                        (default: smoke; format in\n"
+      "                        docs/BENCHMARK_GUIDE.md)\n"
+      "  --jobs N              host threads, as above; the suite's report\n"
+      "                        and JSON are bit-identical at any N\n"
+      "  --out FILE            write experiments.json\n"
+      "  --report FILE         also write the text report to FILE\n"
+      "\n"
+      "common:\n"
       "  --help                show this help\n"
       "\n"
       "environment: GA_SCALE_DIVISOR (default 1024), GA_SEED, GA_JOBS\n");
 }
 
-}  // namespace
+/// Parses --jobs values: non-negative integer, 0 = hardware concurrency.
+bool ParseJobs(const char* text, int* jobs) {
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (*text == '\0' || end == nullptr || *end != '\0' || errno == ERANGE ||
+      value < 0 || value > std::numeric_limits<int>::max()) {
+    std::fprintf(stderr,
+                 "--jobs requires a non-negative integer, got \"%s\" "
+                 "(0 = hardware)\n",
+                 text);
+    return false;
+  }
+  *jobs = static_cast<int>(value);
+  return true;
+}
 
-int main(int argc, char** argv) {
+int RunMode(const std::vector<std::string>& args) {
   std::vector<std::string> platforms = ga::platform::AllPlatformIds();
   std::vector<std::string> datasets = {"R1", "R2", "R3", "R4"};
   std::vector<std::string> algorithms = {"bfs", "pr"};
@@ -72,10 +106,10 @@ int main(int argc, char** argv) {
   int jobs = -1;  // -1: keep GA_JOBS / hardware default
   std::string out_path;
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
     auto next = [&]() -> const char* {
-      return i + 1 < argc ? argv[++i] : "";
+      return i + 1 < args.size() ? args[++i].c_str() : "";
     };
     if (arg == "--platforms") {
       platforms = SplitCsv(next());
@@ -90,17 +124,7 @@ int main(int argc, char** argv) {
     } else if (arg == "--repetitions") {
       repetitions = std::atoi(next());
     } else if (arg == "--jobs") {
-      const char* text = next();
-      char* end = nullptr;
-      const long value = std::strtol(text, &end, 10);
-      if (*text == '\0' || end == nullptr || *end != '\0' || value < 0) {
-        std::fprintf(stderr,
-                     "--jobs requires a non-negative integer, got \"%s\" "
-                     "(0 = hardware)\n",
-                     text);
-        return 2;
-      }
-      jobs = static_cast<int>(value);
+      if (!ParseJobs(next(), &jobs)) return 2;
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -175,4 +199,115 @@ int main(int argc, char** argv) {
     std::printf("results database written to %s\n", out_path.c_str());
   }
   return 0;
+}
+
+int SuiteMode(const std::vector<std::string>& args) {
+  std::string plan_name = "smoke";
+  int jobs = -1;
+  std::string out_path;
+  std::string report_path;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : "";
+    };
+    if (arg == "--plan") {
+      plan_name = next();
+    } else if (arg == "--jobs") {
+      if (!ParseJobs(next(), &jobs)) return 2;
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown suite flag %s\n\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+
+  auto plan = ga::experiments::ResolvePlan(plan_name);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 2;
+  }
+
+  ga::harness::BenchmarkConfig config =
+      ga::harness::BenchmarkConfig::FromEnv();
+  if (jobs >= 0) config.host_jobs = jobs;
+  ga::harness::BenchmarkRunner runner(config);
+  std::printf("host threads: %d\n",
+              runner.host_pool() != nullptr
+                  ? runner.host_pool()->num_threads()
+                  : 1);
+
+  auto result = ga::experiments::RunSuite(runner, *plan);
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::printf("%s", ga::experiments::RenderSuiteReport(*result).c_str());
+
+  if (!out_path.empty()) {
+    ga::Status written = ga::experiments::WriteSuiteJson(*result, out_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("experiments database written to %s\n", out_path.c_str());
+  }
+  if (!report_path.empty()) {
+    ga::Status written =
+        ga::experiments::WriteSuiteReport(*result, report_path);
+    if (!written.ok()) {
+      std::fprintf(stderr, "%s\n", written.ToString().c_str());
+      return 1;
+    }
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  // Normalise "--flag=value" to "--flag value" so both spellings work in
+  // every mode.
+  std::vector<std::string> args;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) == 0) {
+      const std::size_t equals = arg.find('=');
+      if (equals != std::string::npos) {
+        args.push_back(arg.substr(0, equals));
+        args.push_back(arg.substr(equals + 1));
+        continue;
+      }
+    }
+    args.push_back(arg);
+  }
+
+  // The first non-flag argument selects the mode; bare flags default to
+  // the legacy "run" mode.
+  if (!args.empty() && args[0].rfind("-", 0) != 0) {
+    const std::string mode = args[0];
+    args.erase(args.begin());
+    if (mode == "run") return RunMode(args);
+    if (mode == "suite") return SuiteMode(args);
+    if (mode == "help") {
+      PrintUsage(stdout);
+      return 0;
+    }
+    std::fprintf(stderr,
+                 "unknown mode \"%s\" (valid modes: run, suite)\n\n",
+                 mode.c_str());
+    PrintUsage(stderr);
+    return 2;
+  }
+  return RunMode(args);
 }
