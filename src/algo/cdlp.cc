@@ -1,7 +1,7 @@
-#include <unordered_map>
 #include <vector>
 
 #include "algo/reference.h"
+#include "core/exec/scratch_pool.h"
 
 namespace ga::reference {
 
@@ -18,35 +18,25 @@ Result<AlgorithmOutput> Cdlp(const Graph& graph, int iterations) {
   }
 
   std::vector<std::int64_t> next(n);
-  std::unordered_map<std::int64_t, std::int64_t> histogram;
+  // Reusable sorted-scan label counter: mode with smallest-label
+  // tie-break, identical to the hash histogram it replaces but without
+  // per-vertex node allocations (reset, not reallocated).
+  exec::LabelCounter votes;
   for (int iteration = 0; iteration < iterations; ++iteration) {
     for (VertexIndex v = 0; v < n; ++v) {
-      histogram.clear();
+      votes.Clear();
       // Directed graphs: in- and out-neighbours each contribute one vote
       // (a reciprocal pair therefore votes twice). Undirected graphs:
       // InNeighbors aliases OutNeighbors, so count only one side.
       for (VertexIndex u : graph.OutNeighbors(v)) {
-        ++histogram[output.int_values[u]];
+        votes.Add(output.int_values[u]);
       }
       if (graph.is_directed()) {
         for (VertexIndex u : graph.InNeighbors(v)) {
-          ++histogram[output.int_values[u]];
+          votes.Add(output.int_values[u]);
         }
       }
-      if (histogram.empty()) {
-        next[v] = output.int_values[v];
-        continue;
-      }
-      std::int64_t best_label = 0;
-      std::int64_t best_count = -1;
-      for (const auto& [label, count] : histogram) {
-        if (count > best_count ||
-            (count == best_count && label < best_label)) {
-          best_label = label;
-          best_count = count;
-        }
-      }
-      next[v] = best_label;
+      next[v] = votes.empty() ? output.int_values[v] : votes.Mode();
     }
     output.int_values.swap(next);
   }

@@ -68,6 +68,10 @@ Status ValidateEquivalence(const Graph& graph,
   }
   std::unordered_map<std::int64_t, std::int64_t> forward;
   std::unordered_map<std::int64_t, std::int64_t> backward;
+  // Worst case one component per vertex: size the maps to the output so
+  // the validation sweep never rehashes mid-scan.
+  forward.reserve(reference.size());
+  backward.reserve(reference.size());
   for (std::size_t i = 0; i < reference.size(); ++i) {
     auto [fit, finserted] = forward.emplace(reference[i], actual[i]);
     if (!finserted && fit->second != actual[i]) {

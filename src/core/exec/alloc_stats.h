@@ -1,0 +1,35 @@
+// Instrumentation for the flat data-path structures (MessageArena,
+// ScratchPool): a process-global counter of backing-storage growth events.
+//
+// The steady-state contract (DESIGN.md §8): after the first superstep has
+// warmed every buffer to its high-water capacity, further supersteps must
+// not grow anything. Tests pin this by running an engine for k and k+d
+// supersteps and asserting the counter advanced by the same amount — the
+// extra supersteps contributed zero growth events.
+#ifndef GRAPHALYTICS_CORE_EXEC_ALLOC_STATS_H_
+#define GRAPHALYTICS_CORE_EXEC_ALLOC_STATS_H_
+
+#include <atomic>
+#include <cstdint>
+
+namespace ga::exec {
+
+inline std::atomic<std::uint64_t>& DataPathAllocCounter() {
+  static std::atomic<std::uint64_t> counter{0};
+  return counter;
+}
+
+/// Records `events` backing-storage (re)allocations in a data-path
+/// structure. Relaxed: the counter is a diagnostic, not a synchroniser.
+inline void NoteDataPathAlloc(std::uint64_t events = 1) {
+  DataPathAllocCounter().fetch_add(events, std::memory_order_relaxed);
+}
+
+/// Total growth events since process start.
+inline std::uint64_t DataPathAllocEvents() {
+  return DataPathAllocCounter().load(std::memory_order_relaxed);
+}
+
+}  // namespace ga::exec
+
+#endif  // GRAPHALYTICS_CORE_EXEC_ALLOC_STATS_H_

@@ -110,22 +110,37 @@ void parallel_for(ExecContext& ctx, std::int64_t begin, std::int64_t end,
 /// `reduce(into, from)` folds the accumulators left-to-right. For
 /// floating-point types the grouping is fixed by the slot decomposition,
 /// so the result is identical at any thread count.
+/// parallel_reduce with caller-owned accumulator scratch. Loops that run
+/// once per superstep hoist `partials` out of the iteration so the
+/// per-slot accumulators are reset, not reallocated — part of the
+/// steady-state zero-allocation contract (DESIGN.md §8).
+template <typename T, typename Map, typename Reduce>
+T parallel_reduce(ExecContext& ctx, std::int64_t begin, std::int64_t end,
+                  T identity, Map&& map, Reduce&& reduce,
+                  std::vector<T>* partials,
+                  int max_slots = ExecContext::kMaxSlots) {
+  const int num_slots = ExecContext::NumSlots(end - begin, max_slots);
+  if (num_slots == 0) return identity;
+  partials->assign(num_slots, identity);
+  parallel_for(
+      ctx, begin, end,
+      [&](const Slice& slice) { map(slice, (*partials)[slice.slot]); },
+      max_slots);
+  T result = std::move(identity);
+  for (int slot = 0; slot < num_slots; ++slot) {
+    reduce(result, (*partials)[slot]);
+  }
+  return result;
+}
+
 template <typename T, typename Map, typename Reduce>
 T parallel_reduce(ExecContext& ctx, std::int64_t begin, std::int64_t end,
                   T identity, Map&& map, Reduce&& reduce,
                   int max_slots = ExecContext::kMaxSlots) {
-  const int num_slots = ExecContext::NumSlots(end - begin, max_slots);
-  if (num_slots == 0) return identity;
-  std::vector<T> partials(num_slots, identity);
-  parallel_for(
-      ctx, begin, end,
-      [&](const Slice& slice) { map(slice, partials[slice.slot]); },
-      max_slots);
-  T result = std::move(identity);
-  for (int slot = 0; slot < num_slots; ++slot) {
-    reduce(result, partials[slot]);
-  }
-  return result;
+  std::vector<T> partials;
+  return parallel_reduce(ctx, begin, end, std::move(identity),
+                         std::forward<Map>(map), std::forward<Reduce>(reduce),
+                         &partials, max_slots);
 }
 
 /// Append-only per-slot buffers. A parallel producer loop appends through

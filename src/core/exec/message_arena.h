@@ -1,0 +1,144 @@
+// MessageArena — CSR-shaped, double-buffered flat message storage for
+// vertex-centric engines.
+//
+// A Pregel-style superstep delivers at most capacity(v) messages to each
+// vertex v (its in-degree, both degrees for bidirectional algorithms, or 1
+// under a combiner). The arena turns the per-vertex inbox vectors that
+// naive engines allocate every superstep into two flat value arrays
+// segmented by a prefix-sum offset table: segment v of the *current*
+// buffer is v's inbox this superstep, segment v of the *next* buffer
+// collects deliveries for the following one. AdvanceSuperstep() swaps the
+// roles and resets the new collection counts — no allocation, no
+// per-vertex clear loops over ragged heap blocks.
+//
+// Determinism: the arena stores messages exactly in delivery-call order
+// within each vertex segment, so an engine that delivers in slot order
+// (exec::SlotBuffers::Drain) observes byte-identical inboxes at any host
+// thread count. Pushes are not synchronised — deliver from one thread.
+#ifndef GRAPHALYTICS_CORE_EXEC_MESSAGE_ARENA_H_
+#define GRAPHALYTICS_CORE_EXEC_MESSAGE_ARENA_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/exec/alloc_stats.h"
+
+namespace ga::exec {
+
+template <typename T>
+class MessageArena {
+ public:
+  /// Lays out per-vertex segments from `capacities` (typically in-degree
+  /// prefix sums; a combiner caps every entry at 1). Reuses the backing
+  /// arrays of a previous layout when they are large enough; both buffers
+  /// start empty.
+  void Reset(std::span<const std::int64_t> capacities) {
+    const std::size_t n = capacities.size();
+    offsets_.resize(n + 1);
+    offsets_[0] = 0;
+    for (std::size_t v = 0; v < n; ++v) {
+      offsets_[v + 1] = offsets_[v] + capacities[v];
+    }
+    ResetBuffers(n);
+  }
+
+  /// Uniform per-vertex capacity (the combiner layouts).
+  void ResetUniform(std::int64_t num_vertices, std::int64_t capacity) {
+    const std::size_t n = static_cast<std::size_t>(num_vertices);
+    offsets_.resize(n + 1);
+    for (std::size_t v = 0; v <= n; ++v) {
+      offsets_[v] = static_cast<std::int64_t>(v) * capacity;
+    }
+    ResetBuffers(n);
+  }
+
+  std::int64_t num_vertices() const {
+    return static_cast<std::int64_t>(counts_[0].size());
+  }
+  std::int64_t capacity(std::int64_t v) const {
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  // --- current buffer: the inboxes consumed this superstep -------------
+
+  std::span<const T> Inbox(std::int64_t v) const {
+    // Pointer arithmetic, not operator[]: a trailing zero-capacity vertex
+    // has offsets_[v] == values_.size(), a valid one-past-the-end pointer
+    // but an out-of-range index.
+    return {values_[current_].data() + offsets_[v],
+            static_cast<std::size_t>(counts_[current_][v])};
+  }
+  std::int64_t InboxSize(std::int64_t v) const {
+    return counts_[current_][v];
+  }
+  bool InboxEmpty(std::int64_t v) const {
+    return counts_[current_][v] == 0;
+  }
+  /// Messages waiting across all inboxes (the quiescence test).
+  std::uint64_t TotalMessages() const { return totals_[current_]; }
+
+  /// Injects a message into the *current* buffer, to be consumed in the
+  /// first superstep (Giraph-style rooted-algorithm seeding).
+  void SeedCurrent(std::int64_t v, T value) { Append(current_, v, value); }
+
+  // --- next buffer: deliveries for the following superstep -------------
+
+  void Push(std::int64_t v, T value) { Append(1 - current_, v, value); }
+
+  /// Combiner delivery: the segment holds at most one entry, folded with
+  /// `combine` (min for BFS/WCC/SSSP, sum for PageRank).
+  template <typename Combine>
+  void PushCombined(std::int64_t v, T value, Combine&& combine) {
+    const int next = 1 - current_;
+    if (counts_[next][v] == 0) {
+      Append(next, v, value);
+    } else {
+      T& slot = values_[next][static_cast<std::size_t>(offsets_[v])];
+      slot = combine(slot, value);
+    }
+  }
+
+  /// Ends the superstep: the collected buffer becomes current and the
+  /// consumed one is recycled (counts zeroed; values stay — segments are
+  /// length-delimited, stale data is never observable).
+  void AdvanceSuperstep() {
+    std::fill(counts_[current_].begin(), counts_[current_].end(),
+              std::int64_t{0});
+    totals_[current_] = 0;
+    current_ = 1 - current_;
+  }
+
+ private:
+  void ResetBuffers(std::size_t n) {
+    const auto total = static_cast<std::size_t>(offsets_[n]);
+    for (int b = 0; b < 2; ++b) {
+      if (values_[b].capacity() < total || counts_[b].capacity() < n) {
+        NoteDataPathAlloc();
+      }
+      values_[b].resize(total);
+      counts_[b].assign(n, 0);
+      totals_[b] = 0;
+    }
+    current_ = 0;
+  }
+
+  void Append(int buffer, std::int64_t v, T value) {
+    assert(counts_[buffer][v] < capacity(v) && "message arena overflow");
+    values_[buffer][static_cast<std::size_t>(offsets_[v] +
+                                             counts_[buffer][v])] = value;
+    ++counts_[buffer][v];
+    ++totals_[buffer];
+  }
+
+  std::vector<std::int64_t> offsets_;  // n+1 prefix sums, shared by buffers
+  std::vector<T> values_[2];
+  std::vector<std::int64_t> counts_[2];
+  std::uint64_t totals_[2] = {0, 0};
+  int current_ = 0;
+};
+
+}  // namespace ga::exec
+
+#endif  // GRAPHALYTICS_CORE_EXEC_MESSAGE_ARENA_H_

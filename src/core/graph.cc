@@ -96,6 +96,9 @@ Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
       std::max(remapped.num_slots(), 1), -1);
   exec::parallel_for(ctx, 0, num_raw, [&](const exec::Slice& slice) {
     std::vector<Edge>& out = remapped.buf(slice.slot);
+    // At most one survivor per raw edge: size the slot buffer once so
+    // the scatter below never grow-reallocs mid-slice.
+    out.reserve(static_cast<std::size_t>(slice.end - slice.begin));
     for (std::int64_t i = slice.begin; i < slice.end; ++i) {
       const RawEdge& raw = raw_edges_[i];
       VertexIndex s = graph.index_of_.at(raw.source);

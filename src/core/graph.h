@@ -171,6 +171,13 @@ class GraphBuilder {
     raw_edges_.push_back(RawEdge{source, target, weight});
   }
 
+  /// Pre-size the pending buffers. Generators know their vertex/edge
+  /// budget up front; reserving once avoids growing-reallocating through
+  /// the whole edge array during generation (an estimate is fine — any
+  /// slack is released when Build() consumes the buffers).
+  void ReserveVertices(std::size_t count) { vertices_.reserve(count); }
+  void ReserveEdges(std::size_t count) { raw_edges_.reserve(count); }
+
   std::size_t num_pending_edges() const { return raw_edges_.size(); }
 
   /// Builds the immutable graph. Consumes the builder's buffers. With a

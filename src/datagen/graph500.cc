@@ -79,6 +79,7 @@ Result<Graph> GenerateGraph500(const Graph500Config& config) {
   std::unordered_set<std::uint64_t> seen;
   seen.reserve(static_cast<std::size_t>(target_edges) * 2);
   GraphBuilder builder(config.directedness, config.weighted);
+  builder.ReserveEdges(static_cast<std::size_t>(target_edges));
   const std::int64_t max_attempts = target_edges * 64 + 4096;
   std::int64_t generated = 0;
   for (std::int64_t attempt = 0;

@@ -97,6 +97,12 @@ Result<SocialNetwork> GenerateSocialNetwork(const SocialNetConfig& config) {
   SocialNetwork result{Graph(), GenerationCost{}, {}};
   result.cost.flow = config.flow;
   GraphBuilder builder(Directedness::kUndirected, config.weighted);
+  builder.ReserveVertices(static_cast<std::size_t>(n));
+  // Expected edge budget: avg_degree/2 undirected edges per person (the
+  // community and interest phases split it); reserving the estimate keeps
+  // generation from growth-reallocating through the edge array.
+  builder.ReserveEdges(static_cast<std::size_t>(
+      n * std::max<std::int64_t>(config.avg_degree, 1) / 2 + 16));
   for (std::int64_t p = 0; p < n; ++p) builder.AddVertex(p);
 
   auto edge_weight = [&]() -> Weight {

@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <cstdint>
 #include <span>
-#include <unordered_map>
 #include <vector>
 
 #include "core/exec/exec.h"
+#include "core/exec/message_arena.h"
+#include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -53,47 +54,72 @@ class PregelRuntime {
         graph_(graph),
         combiner_(combiner),
         workers_(graph, ctx.num_machines(), ctx.threads_per_machine()),
-        inbox_(graph.num_vertices()),
-        next_inbox_(graph.num_vertices()),
-        active_(graph.num_vertices(), 0) {}
+        active_(graph.num_vertices(), 0) {
+    // Arena layout: a combiner caps every inbox at one entry; otherwise a
+    // vertex can receive one message per in-edge, plus one per out-edge
+    // when the algorithm also messages along reversed in-edges (CDLP on
+    // directed graphs). Sized once, reused across every superstep.
+    const VertexIndex n = graph.num_vertices();
+    if (combiner_ != Combine::kNone) {
+      inboxes_.ResetUniform(n, 1);
+    } else {
+      std::vector<std::int64_t> capacities(static_cast<std::size_t>(n));
+      for (VertexIndex v = 0; v < n; ++v) {
+        capacities[static_cast<std::size_t>(v)] =
+            graph.InDegree(v) + (graph.is_directed() ? graph.OutDegree(v) : 0);
+      }
+      inboxes_.Reset(capacities);
+    }
+  }
 
   void ActivateAll() { std::fill(active_.begin(), active_.end(), 1); }
 
   /// Injects a message to be delivered in the first superstep.
   void SeedMessage(VertexIndex target, double value) {
-    inbox_[target].push_back(value);
+    inboxes_.SeedCurrent(target, value);
   }
 
   /// Slot-local view of the runtime handed to a vertex program. Sends and
   /// cost charges land in slot-keyed buffers; per-slot scratch (the CDLP
-  /// histogram) lives here so programs stay race-free.
+  /// label counter) comes from the job's ScratchPool so programs stay
+  /// race-free without allocating.
   class Scope {
    public:
     Scope(PregelRuntime& runtime, int slot)
         : runtime_(runtime),
           slot_(slot),
-          charges_(runtime.ctx_.slot_charges(slot)) {}
+          charges_(runtime.ctx_.slot_charges(slot)),
+          send_ops_(static_cast<std::uint64_t>(
+              runtime.ctx_.profile().ops_per_message +
+              runtime.ctx_.profile().ops_per_edge)),
+          remote_send_ops_(static_cast<std::uint64_t>(
+              5.0 * runtime.ctx_.profile().ops_per_message)),
+          single_machine_(runtime.ctx_.num_machines() == 1) {}
 
     /// Sends a message to `target` for delivery next superstep; charged
     /// to the current vertex's worker, plus wire bytes if it crosses
     /// machines (remote messages also pay (de)serialisation and
-    /// Netty-stack CPU, Giraph's distributed-mode penalty).
+    /// Netty-stack CPU, Giraph's distributed-mode penalty). The worker
+    /// and machine of the sending vertex are cached by BeginVertex, so a
+    /// high-degree scatter pays the placement hash once, not per edge.
     void Send(VertexIndex target, double value) {
       runtime_.outboxes_.buf(slot_).push_back(Message{target, value});
-      const WorkerMap& workers = runtime_.workers_;
-      const CostProfile& profile = runtime_.ctx_.profile();
-      charges_.worker_ops[workers.worker_of(current_vertex_)] +=
-          static_cast<std::uint64_t>(profile.ops_per_message +
-                                     profile.ops_per_edge);
-      const int source_machine = workers.machine_of(current_vertex_);
-      const int target_machine = workers.machine_of(target);
-      if (source_machine != target_machine) {
-        const auto bytes =
-            static_cast<std::uint64_t>(profile.bytes_per_message);
-        charges_.comm[source_machine].bytes_sent += bytes;
-        charges_.comm[target_machine].bytes_received += bytes;
-        charges_.worker_ops[workers.worker_of(current_vertex_)] +=
-            static_cast<std::uint64_t>(5.0 * profile.ops_per_message);
+      charges_.worker_ops[current_worker_] += send_ops_;
+      if (!single_machine_) ChargeCrossMachine(target);
+    }
+
+    /// Bulk send of one value to every target (PageRank shares, label
+    /// broadcasts): identical messages and charges to per-target Send
+    /// calls, but the outbox append and the op charge are batched.
+    void SendToAll(std::span<const VertexIndex> targets, double value) {
+      std::vector<Message>& out = runtime_.outboxes_.buf(slot_);
+      for (VertexIndex target : targets) {
+        out.push_back(Message{target, value});
+      }
+      charges_.worker_ops[current_worker_] +=
+          static_cast<std::uint64_t>(targets.size()) * send_ops_;
+      if (!single_machine_) {
+        for (VertexIndex target : targets) ChargeCrossMachine(target);
       }
     }
 
@@ -105,9 +131,9 @@ class PregelRuntime {
     }
     double aggregator() const { return runtime_.aggregator_; }
 
-    /// Per-slot scratch reused across the slot's vertices.
-    std::unordered_map<std::int64_t, std::int64_t>& histogram() {
-      return histogram_;
+    /// The slot's pooled label counter, cleared (the CDLP mode scratch).
+    exec::LabelCounter& labels() {
+      return runtime_.ctx_.scratch().labels(slot_);
     }
 
    private:
@@ -115,15 +141,32 @@ class PregelRuntime {
 
     void BeginVertex(VertexIndex v) {
       current_vertex_ = v;
+      current_worker_ = runtime_.workers_.worker_of(v);
+      current_machine_ = runtime_.workers_.machine_of(v);
       halt_requested_ = false;
+    }
+
+    void ChargeCrossMachine(VertexIndex target) {
+      const int target_machine = runtime_.workers_.machine_of(target);
+      if (current_machine_ != target_machine) {
+        const auto bytes = static_cast<std::uint64_t>(
+            runtime_.ctx_.profile().bytes_per_message);
+        charges_.comm[current_machine_].bytes_sent += bytes;
+        charges_.comm[target_machine].bytes_received += bytes;
+        charges_.worker_ops[current_worker_] += remote_send_ops_;
+      }
     }
 
     PregelRuntime& runtime_;
     int slot_;
     JobContext::SlotCharges& charges_;
+    const std::uint64_t send_ops_;
+    const std::uint64_t remote_send_ops_;
+    const bool single_machine_;
     VertexIndex current_vertex_ = 0;
+    int current_worker_ = 0;
+    int current_machine_ = 0;
     bool halt_requested_ = false;
-    std::unordered_map<std::int64_t, std::int64_t> histogram_;
   };
 
   template <typename VertexProgram>
@@ -136,6 +179,7 @@ class PregelRuntime {
 
       const int num_slots = exec::ExecContext::NumSlots(n);
       ctx_.PrepareSlotCharges(num_slots);
+      ctx_.scratch().Prepare(num_slots);
       outboxes_.Reset(num_slots);
       aggregator_partials_.assign(num_slots, 0.0);
 
@@ -144,18 +188,19 @@ class PregelRuntime {
             Scope scope(*this, slice.slot);
             const CostProfile& profile = ctx_.profile();
             for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-              const bool has_mail = !inbox_[v].empty();
-              if (!active_[v] && !has_mail) continue;
+              const std::int64_t mail_count = inboxes_.InboxSize(v);
+              if (!active_[v] && mail_count == 0) continue;
               scope.charges_.worker_ops[workers_.worker_of(v)] +=
                   static_cast<std::uint64_t>(
                       profile.ops_per_vertex +
                       profile.ops_per_message *
-                          static_cast<double>(inbox_[v].size()));
-              scope.charges_.ledger.messages += inbox_[v].size();
-              scope.charges_.ledger.allocations += inbox_[v].size();
+                          static_cast<double>(mail_count));
+              scope.charges_.ledger.messages +=
+                  static_cast<std::uint64_t>(mail_count);
+              scope.charges_.ledger.allocations +=
+                  static_cast<std::uint64_t>(mail_count);
               scope.BeginVertex(v);
-              program(v, std::span<const double>(inbox_[v]), superstep,
-                      scope);
+              program(v, inboxes_.Inbox(v), superstep, scope);
               active_[v] = scope.halt_requested_ ? 0 : 1;
             }
           });
@@ -165,21 +210,28 @@ class PregelRuntime {
       for (double partial : aggregator_partials_) aggregated += partial;
       aggregator_ = aggregated;
       // Slot-ordered delivery replays the sends in ascending vertex
-      // order — exactly the sequence a serial sweep would produce.
+      // order — exactly the sequence a serial sweep would produce. The
+      // arena appends (or combines) into flat per-vertex segments; no
+      // per-message heap traffic.
       outboxes_.Drain([&](const Message& message) {
-        std::vector<double>& box = next_inbox_[message.target];
-        if (combiner_ != Combine::kNone && !box.empty()) {
-          box[0] = combiner_ == Combine::kMin
-                       ? std::min(box[0], message.value)
-                       : box[0] + message.value;
-        } else {
-          box.push_back(message.value);
+        switch (combiner_) {
+          case Combine::kNone:
+            inboxes_.Push(message.target, message.value);
+            break;
+          case Combine::kMin:
+            inboxes_.PushCombined(
+                message.target, message.value,
+                [](double a, double b) { return std::min(a, b); });
+            break;
+          case Combine::kSum:
+            inboxes_.PushCombined(message.target, message.value,
+                                  [](double a, double b) { return a + b; });
+            break;
         }
       });
 
       ReleaseInboxBuffers();
-      for (auto& box : inbox_) box.clear();
-      inbox_.swap(next_inbox_);
+      inboxes_.AdvanceSuperstep();
       ctx_.EndSuperstep(label);
     }
     return Status::Ok();
@@ -189,11 +241,9 @@ class PregelRuntime {
 
  private:
   bool AnyWork() const {
+    if (inboxes_.TotalMessages() > 0) return true;
     for (char a : active_) {
       if (a) return true;
-    }
-    for (const auto& box : inbox_) {
-      if (!box.empty()) return true;
     }
     return false;
   }
@@ -201,10 +251,9 @@ class PregelRuntime {
   Status ChargeInboxBuffers(const std::string& label) {
     charged_bytes_.assign(ctx_.num_machines(), 0);
     for (VertexIndex v = 0; v < graph_.num_vertices(); ++v) {
-      if (!inbox_[v].empty()) {
+      if (!inboxes_.InboxEmpty(v)) {
         charged_bytes_[workers_.machine_of(v)] +=
-            static_cast<std::int64_t>(inbox_[v].size()) *
-            kMessageObjectBytes;
+            inboxes_.InboxSize(v) * kMessageObjectBytes;
       }
     }
     for (int m = 0; m < ctx_.num_machines(); ++m) {
@@ -224,8 +273,7 @@ class PregelRuntime {
   const Graph& graph_;
   Combine combiner_;
   WorkerMap workers_;
-  std::vector<std::vector<double>> inbox_;
-  std::vector<std::vector<double>> next_inbox_;
+  exec::MessageArena<double> inboxes_;
   std::vector<char> active_;
   std::vector<std::int64_t> charged_bytes_;
   exec::SlotBuffers<Message> outboxes_;
@@ -249,9 +297,8 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
         }
         if (best < output.int_values[v]) {
           output.int_values[v] = best;
-          for (VertexIndex u : graph.OutNeighbors(v)) {
-            rt.Send(u, static_cast<double>(best + 1));
-          }
+          rt.SendToAll(graph.OutNeighbors(v),
+                       static_cast<double>(best + 1));
         }
         rt.VoteToHalt();
       },
@@ -309,13 +356,9 @@ Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
         output.int_values[v] = label;
         if (changed) {
           // Weak connectivity: propagate along both edge directions.
-          for (VertexIndex u : graph.OutNeighbors(v)) {
-            rt.Send(u, static_cast<double>(label));
-          }
+          rt.SendToAll(graph.OutNeighbors(v), static_cast<double>(label));
           if (graph.is_directed()) {
-            for (VertexIndex u : graph.InNeighbors(v)) {
-              rt.Send(u, static_cast<double>(label));
-            }
+            rt.SendToAll(graph.InNeighbors(v), static_cast<double>(label));
           }
         }
         rt.VoteToHalt();
@@ -355,7 +398,7 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
             rt.AggregateNext(rank);
           } else {
             const double share = rank / static_cast<double>(degree);
-            for (VertexIndex u : graph.OutNeighbors(v)) rt.Send(u, share);
+            rt.SendToAll(graph.OutNeighbors(v), share);
           }
         } else {
           rt.VoteToHalt();
@@ -383,28 +426,18 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
     // A directed reciprocal pair contributes one vote per direction
     // (Graphalytics CDLP semantics): v's label travels along out-edges,
     // and along in-edges reversed.
-    for (VertexIndex u : graph.OutNeighbors(v)) rt.Send(u, label);
+    rt.SendToAll(graph.OutNeighbors(v), label);
     if (graph.is_directed()) {
-      for (VertexIndex u : graph.InNeighbors(v)) rt.Send(u, label);
+      rt.SendToAll(graph.InNeighbors(v), label);
     }
   };
   GA_RETURN_IF_ERROR(runtime.Run(
       [&](VertexIndex v, std::span<const double> mail, int superstep,
           PregelRuntime::Scope& rt) {
         if (superstep > 0 && !mail.empty()) {
-          auto& histogram = rt.histogram();
-          histogram.clear();
-          for (double m : mail) ++histogram[static_cast<std::int64_t>(m)];
-          std::int64_t best_label = 0;
-          std::int64_t best_count = -1;
-          for (const auto& [label, count] : histogram) {
-            if (count > best_count ||
-                (count == best_count && label < best_label)) {
-              best_label = label;
-              best_count = count;
-            }
-          }
-          output.int_values[v] = best_label;
+          exec::LabelCounter& labels = rt.labels();
+          for (double m : mail) labels.Add(static_cast<std::int64_t>(m));
+          output.int_values[v] = labels.Mode();
         }
         if (superstep < iterations) {
           send_label(v, rt);
@@ -431,7 +464,7 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   WorkerMap workers(graph, ctx.num_machines(), ctx.threads_per_machine());
 
   auto collect_neighborhood = [&](VertexIndex v, std::vector<char>& flag,
-                                  std::vector<VertexIndex>& neighborhood) {
+                                  std::vector<std::int64_t>& neighborhood) {
     neighborhood.clear();
     for (VertexIndex u : graph.OutNeighbors(v)) {
       if (u != v && !flag[u]) {
@@ -451,10 +484,11 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
 
   // Phase 1: neighbourhood exchange. Charge the materialised message
   // buffers: every u ships out(u) to each member of N(u). Slots are
-  // capped: each slice owns an O(n) flag array.
+  // capped: each slice owns an O(n) flag array (pooled, reused by phase 2).
   const int num_slots =
       exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
   ctx.PrepareSlotCharges(num_slots);
+  ctx.scratch().Prepare(num_slots);
   std::vector<std::vector<std::int64_t>> slot_machine_bytes(
       num_slots, std::vector<std::int64_t>(ctx.num_machines(), 0));
   auto lcc_parallel_for = [&](auto&& body) {
@@ -466,8 +500,10 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
     JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
     std::vector<std::int64_t>& machine_bytes =
         slot_machine_bytes[slice.slot];
-    std::vector<char> flag(n, 0);
-    std::vector<VertexIndex> neighborhood;
+    std::vector<char>& flag =
+        ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
+    std::vector<std::int64_t>& neighborhood =
+        ctx.scratch().indices(slice.slot);
     for (VertexIndex u = slice.begin; u < slice.end; ++u) {
       collect_neighborhood(u, flag, neighborhood);
       const std::int64_t list_bytes =
@@ -507,8 +543,10 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   ctx.PrepareSlotCharges(num_slots);
   lcc_parallel_for([&](const exec::Slice& slice) {
     JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
-    std::vector<char> flag(n, 0);
-    std::vector<VertexIndex> neighborhood;
+    std::vector<char>& flag =
+        ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
+    std::vector<std::int64_t>& neighborhood =
+        ctx.scratch().indices(slice.slot);
     for (VertexIndex v = slice.begin; v < slice.end; ++v) {
       collect_neighborhood(v, flag, neighborhood);
       const double degree = static_cast<double>(neighborhood.size());

@@ -3,10 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
-#include <unordered_map>
 #include <vector>
 
 #include "core/exec/exec.h"
+#include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -58,15 +58,47 @@ class DataflowRuntime {
   void Shuffle(std::vector<MessageRow>* messages,
                std::int64_t row_bytes = kRowBytes) {
     if (messages->empty()) return;
-    const double log_rows =
-        std::max(1.0, std::log2(static_cast<double>(messages->size())));
-    ChargeRows(static_cast<std::uint64_t>(
-                   static_cast<double>(messages->size()) * log_rows / 12.0),
-               2.0);
+    ChargeShuffle(messages->size(), row_bytes);
     std::sort(messages->begin(), messages->end(),
               [](const MessageRow& a, const MessageRow& b) {
                 return a.dst < b.dst;
               });
+  }
+
+  // Shuffle variant for order-insensitive groupings (CDLP's mode counts a
+  // multiset): a stable bucket scatter by destination, O(rows + n)
+  // instead of a comparison sort. Simulated charges are identical to
+  // Shuffle's — only the host-side grouping mechanism is cheaper; the
+  // within-group row order differs, which a counting aggregation cannot
+  // observe. Scatter scratch is pooled across iterations.
+  void ShuffleByDestination(std::vector<MessageRow>* messages,
+                            VertexIndex num_vertices,
+                            std::int64_t row_bytes) {
+    if (messages->empty()) return;
+    ChargeShuffle(messages->size(), row_bytes);
+    dst_offsets_.assign(static_cast<std::size_t>(num_vertices) + 1, 0);
+    for (const MessageRow& row : *messages) {
+      ++dst_offsets_[static_cast<std::size_t>(row.dst) + 1];
+    }
+    for (VertexIndex v = 0; v < num_vertices; ++v) {
+      dst_offsets_[static_cast<std::size_t>(v) + 1] +=
+          dst_offsets_[static_cast<std::size_t>(v)];
+    }
+    shuffle_scratch_.resize(messages->size());
+    for (const MessageRow& row : *messages) {
+      shuffle_scratch_[static_cast<std::size_t>(
+          dst_offsets_[static_cast<std::size_t>(row.dst)]++)] = row;
+    }
+    messages->swap(shuffle_scratch_);
+  }
+
+ private:
+  void ChargeShuffle(std::size_t rows, std::int64_t row_bytes) {
+    const double log_rows =
+        std::max(1.0, std::log2(static_cast<double>(rows)));
+    ChargeRows(static_cast<std::uint64_t>(
+                   static_cast<double>(rows) * log_rows / 12.0),
+               2.0);
     if (ctx_.num_machines() > 1) {
       // Roughly (p-1)/p of rows cross machines under hash partitioning;
       // map-side combining shrinks the shipped rows by ~4x (except for
@@ -77,7 +109,7 @@ class DataflowRuntime {
           static_cast<double>(ctx_.num_machines() - 1) /
           static_cast<double>(ctx_.num_machines());
       const auto cross_bytes = static_cast<std::uint64_t>(
-          cross_fraction * static_cast<double>(messages->size()) *
+          cross_fraction * static_cast<double>(rows) *
           static_cast<double>(ctx_.profile().bytes_per_message) /
           (kMapSideCombine * static_cast<double>(ctx_.num_machines())));
       (void)row_bytes;
@@ -88,6 +120,7 @@ class DataflowRuntime {
     }
   }
 
+ public:
   // Shuffle files + materialised RDD of this iteration stay resident until
   // the next iteration replaces them (GraphX unpersists the previous one).
   Status ChargeIterationBuffers(std::uint64_t rows, std::int64_t row_bytes) {
@@ -119,6 +152,8 @@ class DataflowRuntime {
   WorkerMap workers_;
   std::int64_t charged_per_machine_ = 0;
   bool charged_ = false;
+  std::vector<EdgeIndex> dst_offsets_;      // bucket-scatter prefix sums
+  std::vector<MessageRow> shuffle_scratch_;  // bucket-scatter target
 };
 
 // GraphX-Pregel skeleton over double-valued vertex state.
@@ -139,6 +174,8 @@ Status RunGraphxPregel(JobContext& ctx, const Graph& graph,
                        double row_op_factor, const std::string& label,
                        SendFn&& send, MergeFn&& merge, ApplyFn&& apply) {
   std::vector<MessageRow> messages;
+  exec::SlotBuffers<MessageRow> emitted;
+  std::vector<char> next_active;
   for (int iteration = 0; iteration < max_iterations; ++iteration) {
     bool any_active = false;
     for (char a : *active) {
@@ -155,7 +192,6 @@ Status RunGraphxPregel(JobContext& ctx, const Graph& graph,
     // reproduce the serial emission sequence exactly.
     messages.clear();
     std::span<const Edge> edges = graph.edges();
-    exec::SlotBuffers<MessageRow> emitted;
     emitted.Reset(exec::ExecContext::NumSlots(
         static_cast<std::int64_t>(edges.size())));
     exec::parallel_for(
@@ -186,7 +222,7 @@ Status RunGraphxPregel(JobContext& ctx, const Graph& graph,
     // retained shuffle buffers hold the post-combine rows (one per
     // distinct destination; GraphX's aggregateMessages combines
     // map-side), not the raw message multiset.
-    std::vector<char> next_active(state->size(), 0);
+    next_active.assign(state->size(), 0);
     std::size_t groups = 0;
     std::size_t i = 0;
     while (i < messages.size()) {
@@ -316,6 +352,9 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
   if (n == 0) return output;
   std::vector<double>& rank = output.double_values;
   std::vector<MessageRow> messages;
+  exec::SlotBuffers<MessageRow> emitted;
+  std::vector<double> next;
+  std::vector<double> dangling_scratch;
 
   for (int iteration = 0; iteration < iterations; ++iteration) {
     messages.clear();
@@ -326,9 +365,9 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
             if (graph.OutDegree(v) == 0) acc += rank[v];
           }
         },
-        [](double& into, double from) { into += from; });
+        [](double& into, double from) { into += from; },
+        &dangling_scratch);
     std::span<const Edge> edges = graph.edges();
-    exec::SlotBuffers<MessageRow> emitted;
     emitted.Reset(exec::ExecContext::NumSlots(
         static_cast<std::int64_t>(edges.size())));
     exec::parallel_for(
@@ -361,7 +400,7 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
 
     const double base = (1.0 - damping) / static_cast<double>(n) +
                         damping * dangling / static_cast<double>(n);
-    std::vector<double> next(n, base);
+    next.assign(n, base);
     for (const MessageRow& row : messages) {
       next[row.dst] += damping * row.value;
     }
@@ -384,12 +423,13 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
     output.int_values[v] = graph.ExternalId(v);
   }
   std::vector<MessageRow> messages;
-  std::unordered_map<std::int64_t, std::int64_t> histogram;
+  exec::SlotBuffers<MessageRow> emitted;
+  exec::LabelCounter votes;
+  std::vector<std::int64_t> next;
 
   for (int iteration = 0; iteration < iterations; ++iteration) {
     messages.clear();
     std::span<const Edge> edges = graph.edges();
-    exec::SlotBuffers<MessageRow> emitted;
     emitted.Reset(exec::ExecContext::NumSlots(
         static_cast<std::int64_t>(edges.size())));
     exec::parallel_for(
@@ -415,28 +455,19 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
     runtime.ChargeRows(graph.edges().size() * 2, 4.0);
     GA_RETURN_IF_ERROR(
         runtime.ChargeIterationBuffers(messages.size() + n, kCdlpRowBytes));
-    runtime.Shuffle(&messages, kCdlpRowBytes);
+    runtime.ShuffleByDestination(&messages, n, kCdlpRowBytes);
 
-    std::vector<std::int64_t> next(output.int_values);
+    next.assign(output.int_values.begin(), output.int_values.end());
     std::size_t i = 0;
     while (i < messages.size()) {
       const VertexIndex v = messages[i].dst;
-      histogram.clear();
+      votes.Clear();
       std::size_t j = i;
       while (j < messages.size() && messages[j].dst == v) {
-        ++histogram[static_cast<std::int64_t>(messages[j].value)];
+        votes.Add(static_cast<std::int64_t>(messages[j].value));
         ++j;
       }
-      std::int64_t best_label = 0;
-      std::int64_t best_count = -1;
-      for (const auto& [label, count] : histogram) {
-        if (count > best_count ||
-            (count == best_count && label < best_label)) {
-          best_label = label;
-          best_count = count;
-        }
-      }
-      next[v] = best_label;
+      next[v] = votes.Mode();
       i = j;
     }
     runtime.ChargeRows(messages.size(), 4.0);

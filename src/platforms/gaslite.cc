@@ -3,10 +3,11 @@
 #include <algorithm>
 #include <bit>
 #include <cstdint>
-#include <unordered_map>
+#include <span>
 #include <vector>
 
 #include "core/exec/exec.h"
+#include "core/exec/scratch_pool.h"
 #include "core/partition.h"
 #include "core/rng.h"
 
@@ -14,8 +15,13 @@ namespace ga::platform {
 
 namespace {
 
-// Vertex-cut deployment of a graph: per-machine edge lists plus the
-// master/mirror placement of every vertex.
+// Vertex-cut deployment of a graph: a flat machine-grouped view over the
+// Graph's canonical edge array plus the master/mirror placement of every
+// vertex. The former per-machine vector<vector<Edge>> duplicated every
+// edge; here a stable counting sort by owning machine produces one index
+// permutation — machine m's edges are edge_ids_of(m), in the same order
+// the per-machine lists used to hold them, at a third of the memory and
+// with no growth reallocation.
 class GasDeployment {
  public:
   GasDeployment(const Graph& graph, int machines)
@@ -23,19 +29,40 @@ class GasDeployment {
         machines_(machines),
         partition_(GreedyVertexCut(graph, machines)),
         hosts_(graph.num_vertices(), 0) {
-    edges_of_.resize(machines);
     std::span<const Edge> edges = graph.edges();
+    machine_offsets_.assign(static_cast<std::size_t>(machines) + 1, 0);
     for (std::size_t e = 0; e < edges.size(); ++e) {
       const int m = partition_.part_of_edge[e];
-      edges_of_[m].push_back(edges[e]);
+      ++machine_offsets_[static_cast<std::size_t>(m) + 1];
       hosts_[edges[e].source] |= 1ULL << m;
       hosts_[edges[e].target] |= 1ULL << m;
+    }
+    for (int m = 0; m < machines; ++m) {
+      machine_offsets_[static_cast<std::size_t>(m) + 1] +=
+          machine_offsets_[static_cast<std::size_t>(m)];
+    }
+    edge_ids_.resize(edges.size());
+    std::vector<EdgeIndex> cursor(machine_offsets_.begin(),
+                                  machine_offsets_.end() - 1);
+    for (std::size_t e = 0; e < edges.size(); ++e) {
+      edge_ids_[static_cast<std::size_t>(
+          cursor[partition_.part_of_edge[e]]++)] =
+          static_cast<EdgeIndex>(e);
     }
   }
 
   int machines() const { return machines_; }
-  const std::vector<Edge>& edges_of(int machine) const {
-    return edges_of_[machine];
+  /// Indices into graph.edges() owned by `machine`, in canonical order.
+  std::span<const EdgeIndex> edge_ids_of(int machine) const {
+    const auto begin =
+        static_cast<std::size_t>(machine_offsets_[machine]);
+    const auto end =
+        static_cast<std::size_t>(machine_offsets_[machine + 1]);
+    return {edge_ids_.data() + begin, end - begin};
+  }
+  std::size_t edge_count(int machine) const {
+    return static_cast<std::size_t>(machine_offsets_[machine + 1] -
+                                    machine_offsets_[machine]);
   }
   int master_of(VertexIndex v) const { return partition_.master_of[v]; }
   int mirrors_of(VertexIndex v) const {
@@ -51,7 +78,8 @@ class GasDeployment {
   int machines_;
   EdgePartition partition_;
   std::vector<std::uint64_t> hosts_;
-  std::vector<std::vector<Edge>> edges_of_;
+  std::vector<EdgeIndex> machine_offsets_;  // machines+1 prefix sums
+  std::vector<EdgeIndex> edge_ids_;         // grouped by machine
 };
 
 // Charges gather/scatter work and mirror synchronisation. The Charge*
@@ -82,7 +110,7 @@ class GasRuntime {
             static_cast<std::size_t>(ctx_.threads_per_machine()),
         0);
     for (int m = 0; m < deployment_.machines(); ++m) {
-      const std::size_t num_edges = deployment_.edges_of(m).size();
+      const std::size_t num_edges = deployment_.edge_count(m);
       for (std::size_t e = 0; e < num_edges; ++e) {
         const int thread = static_cast<int>(
             Mix64(e * 0x9E37ULL + m) %
@@ -161,10 +189,11 @@ void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
     }
     if (!any) break;
     std::fill(next.begin(), next.end(), 0);
+    std::span<const Edge> all_edges = graph.edges();
     for (int m = 0; m < deployment.machines(); ++m) {
-      const std::vector<Edge>& edges = deployment.edges_of(m);
+      std::span<const EdgeIndex> edge_ids = deployment.edge_ids_of(m);
       const std::int64_t num_edges =
-          static_cast<std::int64_t>(edges.size());
+          static_cast<std::int64_t>(edge_ids.size());
       const int num_slots = exec::ExecContext::NumSlots(num_edges);
       ctx.PrepareSlotCharges(num_slots);
       candidates.Reset(num_slots);
@@ -173,7 +202,8 @@ void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
             JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
             std::vector<Candidate>& out = candidates.buf(slice.slot);
             for (std::int64_t e = slice.begin; e < slice.end; ++e) {
-              const Edge& edge = edges[e];
+              const Edge& edge =
+                  all_edges[static_cast<std::size_t>(edge_ids[e])];
               bool touched = false;
               if (active[edge.source]) {
                 touched = true;
@@ -250,7 +280,7 @@ std::vector<std::int64_t> GasLitePlatform::UploadFootprintBytes(
   // Edges live where the vertex-cut placed them.
   for (int m = 0; m < machines; ++m) {
     bytes[m] += static_cast<std::int64_t>(
-        static_cast<double>(deployment.edges_of(m).size()) * 2.0 *
+        static_cast<double>(deployment.edge_count(m)) * 2.0 *
         profile_.mem_bytes_per_entry);
   }
   // A vertex context exists on every hosting machine (master + mirrors);
@@ -374,6 +404,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       if (n == 0) return output;
       std::vector<double>& rank = output.double_values;
       std::vector<double> partial(n, 0.0);
+      std::vector<double> reduce_scratch;
       for (int iteration = 0; iteration < params.pagerank_iterations;
            ++iteration) {
         const double dangling = exec::parallel_reduce(
@@ -383,7 +414,8 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
                 if (graph.OutDegree(v) == 0) acc += rank[v];
               }
             },
-            [](double& into, double from) { into += from; });
+            [](double& into, double from) { into += from; },
+            &reduce_scratch);
         // Gather: host-parallel pull over the CSR (each vertex sums its
         // in-contributions — disjoint writes); the per-edge work is
         // charged to the machine owning each edge in a separate sweep.
@@ -438,39 +470,30 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
            ++iteration) {
         charge_edge_sweep(ctx.profile().ops_per_edge * 2.0);
         // Gather + apply: each vertex pulls its neighbours' labels into a
-        // slot-local histogram (one vote per direction, matching the
-        // reference semantics) and takes the mode.
+        // slot-local pooled label counter (one vote per direction,
+        // matching the reference semantics) and takes the mode.
         const int apply_slots = exec::ExecContext::NumSlots(n);
         ctx.PrepareSlotCharges(apply_slots);
+        ctx.scratch().Prepare(apply_slots);
         exec::parallel_for(
             ctx.exec(), 0, n, [&](const exec::Slice& slice) {
               JobContext::SlotCharges& charges =
                   ctx.slot_charges(slice.slot);
-              std::unordered_map<std::int64_t, std::int64_t> histogram;
               for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-                histogram.clear();
+                exec::LabelCounter& labels = ctx.scratch().labels(slice.slot);
                 for (VertexIndex u : graph.OutNeighbors(v)) {
-                  ++histogram[output.int_values[u]];
+                  labels.Add(output.int_values[u]);
                 }
                 if (graph.is_directed()) {
                   for (VertexIndex u : graph.InNeighbors(v)) {
-                    ++histogram[output.int_values[u]];
+                    labels.Add(output.int_values[u]);
                   }
                 }
-                if (histogram.empty()) {
+                if (labels.empty()) {
                   next[v] = output.int_values[v];
                   continue;
                 }
-                std::int64_t best_label = 0;
-                std::int64_t best_count = -1;
-                for (const auto& [label, count] : histogram) {
-                  if (count > best_count ||
-                      (count == best_count && label < best_label)) {
-                    best_label = label;
-                    best_count = count;
-                  }
-                }
-                next[v] = best_label;
+                next[v] = labels.Mode();
                 runtime.ChargeApply(charges, v,
                                     ctx.profile().ops_per_vertex);
                 runtime.ChargeMirrorSync(charges, v);
@@ -489,16 +512,19 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
-      // Slot cap: each slice owns an O(n) flag array.
+      // Slot cap: each slice owns an O(n) pooled flag array.
       const int num_slots =
           exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
       ctx.PrepareSlotCharges(num_slots);
+      ctx.scratch().Prepare(num_slots);
       exec::parallel_for(
           ctx.exec(), 0, n,
           [&](const exec::Slice& slice) {
         JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
-        std::vector<char> flag(n, 0);
-        std::vector<VertexIndex> neighborhood;
+        std::vector<char>& flag =
+            ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
+        std::vector<std::int64_t>& neighborhood =
+            ctx.scratch().indices(slice.slot);
         for (VertexIndex v = slice.begin; v < slice.end; ++v) {
           neighborhood.clear();
           for (VertexIndex u : graph.OutNeighbors(v)) {

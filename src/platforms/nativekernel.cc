@@ -4,10 +4,10 @@
 #include <cmath>
 #include <numeric>
 #include <queue>
-#include <unordered_map>
 #include <vector>
 
 #include "core/exec/exec.h"
+#include "core/exec/scratch_pool.h"
 #include "core/rng.h"
 
 namespace ga::platform {
@@ -173,6 +173,8 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
           n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
       if (n == 0) return output;
       std::vector<double> next(n, 0.0);
+      std::vector<double> dangling_scratch;
+      std::vector<std::uint64_t> touched_scratch;
       for (int iteration = 0; iteration < params.pagerank_iterations;
            ++iteration) {
         const double dangling = exec::parallel_reduce(
@@ -184,7 +186,8 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                 }
               }
             },
-            [](double& into, double from) { into += from; });
+            [](double& into, double from) { into += from; },
+            &dangling_scratch);
         const double base =
             (1.0 - params.damping_factor) / static_cast<double>(n) +
             params.damping_factor * dangling / static_cast<double>(n);
@@ -201,7 +204,8 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                 next[v] = base + params.damping_factor * sum;
               }
             },
-            [](std::uint64_t& into, std::uint64_t from) { into += from; });
+            [](std::uint64_t& into, std::uint64_t from) { into += from; },
+            &touched_scratch);
         output.double_values.swap(next);
         DistributeOps(
             ctx, static_cast<std::uint64_t>(
@@ -220,41 +224,32 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
         output.int_values[v] = graph.ExternalId(v);
       }
       std::vector<std::int64_t> next(n);
+      std::vector<std::uint64_t> touched_scratch;
+      const int num_slots = exec::ExecContext::NumSlots(n);
       for (int iteration = 0; iteration < params.cdlp_iterations;
            ++iteration) {
+        ctx.scratch().Prepare(num_slots);
         const std::uint64_t touched = exec::parallel_reduce(
             ctx.exec(), 0, n, std::uint64_t{0},
             [&](const exec::Slice& slice, std::uint64_t& acc) {
-              std::unordered_map<std::int64_t, std::int64_t> histogram;
               for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-                histogram.clear();
+                exec::LabelCounter& labels = ctx.scratch().labels(slice.slot);
                 for (VertexIndex u : graph.OutNeighbors(v)) {
                   ++acc;
-                  ++histogram[output.int_values[u]];
+                  labels.Add(output.int_values[u]);
                 }
                 if (graph.is_directed()) {
                   for (VertexIndex u : graph.InNeighbors(v)) {
                     ++acc;
-                    ++histogram[output.int_values[u]];
+                    labels.Add(output.int_values[u]);
                   }
                 }
-                if (histogram.empty()) {
-                  next[v] = output.int_values[v];
-                  continue;
-                }
-                std::int64_t best_label = 0;
-                std::int64_t best_count = -1;
-                for (const auto& [label, count] : histogram) {
-                  if (count > best_count ||
-                      (count == best_count && label < best_label)) {
-                    best_label = label;
-                    best_count = count;
-                  }
-                }
-                next[v] = best_label;
+                next[v] = labels.empty() ? output.int_values[v]
+                                         : labels.Mode();
               }
             },
-            [](std::uint64_t& into, std::uint64_t from) { into += from; });
+            [](std::uint64_t& into, std::uint64_t from) { into += from; },
+            &touched_scratch);
         output.int_values.swap(next);
         // Handwritten per-vertex counting arrays: cheaper per label vote
         // than any framework's aggregation (OpenG is best on CDLP, §4.2).
@@ -273,11 +268,15 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
+      ctx.scratch().Prepare(
+          exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots));
       const std::uint64_t scanned = exec::parallel_reduce(
           ctx.exec(), 0, n, std::uint64_t{0},
           [&](const exec::Slice& slice, std::uint64_t& acc) {
-            std::vector<char> flag(n, 0);
-            std::vector<VertexIndex> neighborhood;
+            std::vector<char>& flag =
+                ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
+            std::vector<std::int64_t>& neighborhood =
+                ctx.scratch().indices(slice.slot);
             for (VertexIndex v = slice.begin; v < slice.end; ++v) {
               neighborhood.clear();
               for (VertexIndex u : graph.OutNeighbors(v)) {

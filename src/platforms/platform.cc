@@ -102,6 +102,19 @@ void JobContext::ReleaseMemory(int machine, std::int64_t bytes) {
 // ---------------------------------------------------------------------------
 // Platform
 
+sysmodel::ClusterConfig MakeClusterConfig(const ExecutionEnvironment& env,
+                                          const CostProfile& profile) {
+  sysmodel::ClusterConfig config;
+  config.machine = env.machine;
+  config.network = env.network;
+  config.num_machines = env.num_machines;
+  config.threads_per_machine = env.threads_per_machine;
+  config.hyperthread_efficiency = profile.hyperthread_efficiency;
+  config.serial_fraction = profile.serial_fraction;
+  config.barrier_seconds = profile.barrier_seconds * env.overhead_scale;
+  return config;
+}
+
 bool Platform::SupportsAlgorithm(Algorithm algorithm,
                                  const ExecutionEnvironment& env) const {
   (void)algorithm;
@@ -155,17 +168,7 @@ Result<RunResult> Platform::RunJob(const Graph& graph, Algorithm algorithm,
 
   WallTimer wall;
   const CostProfile& cost = profile();
-
-  sysmodel::ClusterConfig cluster_config;
-  cluster_config.machine = env.machine;
-  cluster_config.network = env.network;
-  cluster_config.num_machines = env.num_machines;
-  cluster_config.threads_per_machine = env.threads_per_machine;
-  cluster_config.hyperthread_efficiency = cost.hyperthread_efficiency;
-  cluster_config.serial_fraction = cost.serial_fraction;
-  cluster_config.barrier_seconds =
-      cost.barrier_seconds * env.overhead_scale;
-  sysmodel::ClusterModel cluster(cluster_config);
+  sysmodel::ClusterModel cluster(MakeClusterConfig(env, cost));
   // Swap-capable jobs get 15% headroom above the budget; exceeding the
   // budget (but not the headroom) then costs a swap-penalty slowdown
   // instead of a crash.

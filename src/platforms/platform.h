@@ -22,6 +22,7 @@
 #include "algo/output.h"
 #include "algo/params.h"
 #include "core/exec/exec.h"
+#include "core/exec/scratch_pool.h"
 #include "core/graph.h"
 #include "core/status.h"
 #include "core/types.h"
@@ -161,6 +162,12 @@ class JobContext {
   /// Host-parallel execution handle for the engine's real work.
   exec::ExecContext& exec() { return exec_; }
 
+  /// Slot-local reusable scratch (CDLP label counters, LCC flag arrays).
+  /// Prepare() outside parallel regions; bodies touch only their slot's
+  /// objects. Lives as long as the job, so steady-state supersteps reset
+  /// scratch instead of reallocating it (DESIGN.md §8).
+  exec::ScratchPool& scratch() { return scratch_; }
+
   /// Slot-local staging of the charges an engine makes inside a
   /// host-parallel region: per-worker ops, per-machine communication and
   /// ledger counters. Bodies write to slot_charges(slice.slot) only;
@@ -205,6 +212,7 @@ class JobContext {
   ExecutionEnvironment env_;
   granula::Operation* processing_op_;
   exec::ExecContext exec_;
+  exec::ScratchPool scratch_;
   std::vector<std::uint64_t> worker_ops_;
   std::vector<sysmodel::MachineComm> machine_comm_;
   std::vector<SlotCharges> slot_charges_;
@@ -243,6 +251,17 @@ class Platform {
                            const AlgorithmParams& params,
                            const ExecutionEnvironment& env);
 
+  /// Runs the engine kernel directly against a caller-provided JobContext:
+  /// no startup/upload phases, no Granula tree, no memory accounting
+  /// unless the context carries them. Entry point for the
+  /// engine-throughput bench and the steady-state allocation tests, which
+  /// measure the raw data path in isolation (DESIGN.md §8).
+  Result<AlgorithmOutput> ExecuteKernel(JobContext& ctx, const Graph& graph,
+                                        Algorithm algorithm,
+                                        const AlgorithmParams& params) {
+    return Execute(ctx, graph, algorithm, params);
+  }
+
  protected:
   /// Estimated resident bytes per machine after upload, given how this
   /// platform partitions and represents the graph. Default: hash
@@ -256,6 +275,13 @@ class Platform {
                                           Algorithm algorithm,
                                           const AlgorithmParams& params) = 0;
 };
+
+/// The simulated-cluster configuration RunJob derives from an
+/// environment and a platform's cost profile. Shared with the
+/// engine-throughput bench and the steady-state allocation tests so
+/// kernel drivers measure exactly the cluster model production uses.
+sysmodel::ClusterConfig MakeClusterConfig(const ExecutionEnvironment& env,
+                                          const CostProfile& profile);
 
 /// All six platform analogues, in the paper's Table 5 order.
 std::vector<std::unique_ptr<Platform>> CreateAllPlatforms();

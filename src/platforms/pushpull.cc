@@ -2,10 +2,10 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
 #include <vector>
 
 #include "core/exec/exec.h"
+#include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -217,6 +217,8 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
   if (n == 0) return output;
   PushPullRuntime runtime(ctx, graph);
   std::vector<double> next(n, 0.0);
+  std::vector<double> dangling_scratch;
+  std::vector<std::uint64_t> remote_scratch;
   const int num_slots = exec::ExecContext::NumSlots(n);
   for (int iteration = 0; iteration < iterations; ++iteration) {
     const double dangling = exec::parallel_reduce(
@@ -226,7 +228,8 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
             if (graph.OutDegree(v) == 0) acc += output.double_values[v];
           }
         },
-        [](double& into, double from) { into += from; });
+        [](double& into, double from) { into += from; },
+        &dangling_scratch);
     const double base = (1.0 - damping) / static_cast<double>(n) +
                         damping * dangling / static_cast<double>(n);
     runtime.PrepareSlots(num_slots);
@@ -247,7 +250,8 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
             runtime.ChargeVertexWork(slice.slot, v, ops);
           }
         },
-        [](std::uint64_t& into, std::uint64_t from) { into += from; });
+        [](std::uint64_t& into, std::uint64_t from) { into += from; },
+        &remote_scratch);
     output.double_values.swap(next);
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
@@ -339,46 +343,35 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
   }
   PushPullRuntime runtime(ctx, graph);
   std::vector<std::int64_t> next(n);
+  std::vector<std::uint64_t> remote_scratch;
   const int num_slots = exec::ExecContext::NumSlots(n);
   for (int iteration = 0; iteration < iterations; ++iteration) {
     runtime.PrepareSlots(num_slots);
+    ctx.scratch().Prepare(num_slots);
     const std::uint64_t remote = exec::parallel_reduce(
         ctx.exec(), 0, n, std::uint64_t{0},
         [&](const exec::Slice& slice, std::uint64_t& acc) {
-          std::unordered_map<std::int64_t, std::int64_t> histogram;
           for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-            histogram.clear();
+            exec::LabelCounter& labels = ctx.scratch().labels(slice.slot);
             double ops = ctx.profile().ops_per_vertex;
             for (VertexIndex u : graph.OutNeighbors(v)) {
               ops += ctx.profile().ops_per_edge * 3.5;
               if (runtime.IsRemote(u, v)) ++acc;
-              ++histogram[output.int_values[u]];
+              labels.Add(output.int_values[u]);
             }
             if (graph.is_directed()) {
               for (VertexIndex u : graph.InNeighbors(v)) {
                 ops += ctx.profile().ops_per_edge * 3.5;
                 if (runtime.IsRemote(u, v)) ++acc;
-                ++histogram[output.int_values[u]];
+                labels.Add(output.int_values[u]);
               }
             }
-            if (histogram.empty()) {
-              next[v] = output.int_values[v];
-            } else {
-              std::int64_t best_label = 0;
-              std::int64_t best_count = -1;
-              for (const auto& [label, count] : histogram) {
-                if (count > best_count ||
-                    (count == best_count && label < best_label)) {
-                  best_label = label;
-                  best_count = count;
-                }
-              }
-              next[v] = best_label;
-            }
+            next[v] = labels.empty() ? output.int_values[v] : labels.Mode();
             runtime.ChargeVertexWork(slice.slot, v, ops);
           }
         },
-        [](std::uint64_t& into, std::uint64_t from) { into += from; });
+        [](std::uint64_t& into, std::uint64_t from) { into += from; },
+        &remote_scratch);
     output.int_values.swap(next);
     // CDLP label votes cannot be combined per machine (mode aggregation).
     runtime.ChargeRemoteValues(remote * 2);

@@ -2,10 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
-#include <unordered_map>
+#include <string>
 #include <vector>
 
 #include "core/exec/exec.h"
+#include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -56,9 +57,11 @@ class SpmvRuntime {
     const std::int64_t buffer_bytes =
         static_cast<std::int64_t>(entries) * kSparseEntryBytes /
         std::max(ctx_.num_machines(), 1);
+    // One job runs one algorithm, so the charge label is loop-invariant:
+    // compose it once instead of allocating a fresh string every sweep.
+    if (buffer_label_.empty()) buffer_label_ = label + " spmv buffers";
     for (int m = 0; m < ctx_.num_machines(); ++m) {
-      GA_RETURN_IF_ERROR(
-          ctx_.ChargeMemory(m, buffer_bytes, label + " spmv buffers"));
+      GA_RETURN_IF_ERROR(ctx_.ChargeMemory(m, buffer_bytes, buffer_label_));
     }
     if (distributed_ && ctx_.num_machines() > 1) {
       const std::uint64_t combined_values =
@@ -102,6 +105,7 @@ class SpmvRuntime {
   const Graph& graph_;
   bool distributed_;
   WorkerMap workers_;
+  std::string buffer_label_;
 };
 
 }  // namespace
@@ -271,12 +275,14 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       // vertex, so the sweep itself runs host-parallel.
       bool changed = true;
       const int max_rounds = static_cast<int>(n) + 2;
+      struct SweepStats {
+        std::uint64_t touched = 0;
+        bool changed = false;
+      };
+      std::vector<std::int64_t> next;
+      std::vector<SweepStats> sweep_scratch;
       for (int round = 0; round < max_rounds && changed; ++round) {
-        std::vector<std::int64_t> next(output.int_values);
-        struct SweepStats {
-          std::uint64_t touched = 0;
-          bool changed = false;
-        };
+        next.assign(output.int_values.begin(), output.int_values.end());
         const SweepStats stats = exec::parallel_reduce(
             ctx.exec(), 0, n, SweepStats{},
             [&](const exec::Slice& slice, SweepStats& acc) {
@@ -301,7 +307,8 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
             [](SweepStats& into, const SweepStats& from) {
               into.touched += from.touched;
               into.changed = into.changed || from.changed;
-            });
+            },
+            &sweep_scratch);
         changed = stats.changed;
         output.int_values.swap(next);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
@@ -317,6 +324,8 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
           n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
       if (n == 0) return output;
       std::vector<double> next(n, 0.0);
+      std::vector<double> dangling_scratch;
+      std::vector<std::uint64_t> touched_scratch;
       for (int iteration = 0; iteration < params.pagerank_iterations;
            ++iteration) {
         const double dangling = exec::parallel_reduce(
@@ -328,7 +337,8 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
                 }
               }
             },
-            [](double& into, double from) { into += from; });
+            [](double& into, double from) { into += from; },
+            &dangling_scratch);
         const double base =
             (1.0 - params.damping_factor) / static_cast<double>(n) +
             params.damping_factor * dangling / static_cast<double>(n);
@@ -345,7 +355,8 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
                 next[v] = base + params.damping_factor * sum;
               }
             },
-            [](std::uint64_t& into, std::uint64_t from) { into += from; });
+            [](std::uint64_t& into, std::uint64_t from) { into += from; },
+            &touched_scratch);
         output.double_values.swap(next);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             touched, static_cast<std::uint64_t>(n),
@@ -361,41 +372,32 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
         output.int_values[v] = graph.ExternalId(v);
       }
       std::vector<std::int64_t> next(n);
+      std::vector<std::uint64_t> touched_scratch;
+      const int num_slots = exec::ExecContext::NumSlots(n);
       for (int iteration = 0; iteration < params.cdlp_iterations;
            ++iteration) {
+        ctx.scratch().Prepare(num_slots);
         const std::uint64_t touched = exec::parallel_reduce(
             ctx.exec(), 0, n, std::uint64_t{0},
             [&](const exec::Slice& slice, std::uint64_t& acc) {
-              std::unordered_map<std::int64_t, std::int64_t> histogram;
               for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-                histogram.clear();
+                exec::LabelCounter& labels = ctx.scratch().labels(slice.slot);
                 for (VertexIndex u : graph.OutNeighbors(v)) {
                   ++acc;
-                  ++histogram[output.int_values[u]];
+                  labels.Add(output.int_values[u]);
                 }
                 if (graph.is_directed()) {
                   for (VertexIndex u : graph.InNeighbors(v)) {
                     ++acc;
-                    ++histogram[output.int_values[u]];
+                    labels.Add(output.int_values[u]);
                   }
                 }
-                if (histogram.empty()) {
-                  next[v] = output.int_values[v];
-                  continue;
-                }
-                std::int64_t best_label = 0;
-                std::int64_t best_count = -1;
-                for (const auto& [label, count] : histogram) {
-                  if (count > best_count ||
-                      (count == best_count && label < best_label)) {
-                    best_label = label;
-                    best_count = count;
-                  }
-                }
-                next[v] = best_label;
+                next[v] = labels.empty() ? output.int_values[v]
+                                         : labels.Mode();
               }
             },
-            [](std::uint64_t& into, std::uint64_t from) { into += from; });
+            [](std::uint64_t& into, std::uint64_t from) { into += from; },
+            &touched_scratch);
         output.int_values.swap(next);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             touched * 3,  // histogram insertion is pricier than a MAC

@@ -7,9 +7,12 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <numeric>
 #include <vector>
 
+#include "core/exec/alloc_stats.h"
+#include "core/exec/scratch_pool.h"
 #include "core/exec/thread_pool.h"
 
 namespace ga::exec {
@@ -173,6 +176,139 @@ TEST(ParallelSortTest, HandlesSmallAndEmptyInputs) {
   std::vector<int> tiny = {3, 1, 2};
   parallel_sort(ctx, &tiny, std::less<int>{});
   EXPECT_EQ(tiny, (std::vector<int>{1, 2, 3}));
+}
+
+// The scratch overload must produce the same result as the allocating one
+// and reuse the caller's partials buffer across calls.
+TEST(ParallelReduceTest, ScratchOverloadMatchesAndReusesBuffer) {
+  constexpr std::int64_t kRange = 12345;
+  ExecContext ctx(nullptr);
+  auto map = [](const Slice& slice, std::int64_t& acc) {
+    for (std::int64_t i = slice.begin; i < slice.end; ++i) acc += i;
+  };
+  auto reduce = [](std::int64_t& into, std::int64_t from) { into += from; };
+  const std::int64_t expected =
+      parallel_reduce(ctx, 0, kRange, std::int64_t{0}, map, reduce);
+  std::vector<std::int64_t> scratch;
+  for (int round = 0; round < 3; ++round) {
+    EXPECT_EQ(parallel_reduce(ctx, 0, kRange, std::int64_t{0}, map, reduce,
+                              &scratch),
+              expected);
+  }
+  EXPECT_EQ(static_cast<int>(scratch.size()),
+            ExecContext::NumSlots(kRange));
+}
+
+// --- ScratchPool / LabelCounter -----------------------------------------
+
+// LabelCounter must agree with a reference histogram: most frequent label
+// wins, ties break to the smallest label.
+TEST(LabelCounterTest, MatchesReferenceHistogramOnRandomVotes) {
+  LabelCounter counter;
+  std::uint64_t state = 99;
+  for (int round = 0; round < 200; ++round) {
+    counter.Clear();
+    std::map<std::int64_t, std::int64_t> reference;
+    const int votes = 1 + static_cast<int>(state % 64);
+    for (int i = 0; i < votes; ++i) {
+      state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+      // Small domain to force ties, shifted to exercise negatives.
+      const std::int64_t label = static_cast<std::int64_t>(state % 13) - 4;
+      counter.Add(label);
+      ++reference[label];
+    }
+    std::int64_t best_label = 0;
+    std::int64_t best_count = -1;
+    for (const auto& [label, count] : reference) {
+      if (count > best_count) {  // map is ordered: first max = smallest
+        best_label = label;
+        best_count = count;
+      }
+    }
+    ASSERT_EQ(counter.Mode(), best_label) << "round " << round;
+    ASSERT_EQ(counter.size(), static_cast<std::size_t>(votes));
+  }
+}
+
+TEST(LabelCounterTest, ClearIsReuseNotReallocation) {
+  LabelCounter counter;
+  // Warm up to the high-water distinct-label count.
+  for (int i = 0; i < 100; ++i) counter.Add(i);
+  EXPECT_EQ(counter.Mode(), 0);
+  const std::uint64_t warm = DataPathAllocEvents();
+  for (int round = 0; round < 1000; ++round) {
+    counter.Clear();
+    EXPECT_TRUE(counter.empty());
+    for (int i = 0; i < 100; ++i) counter.Add(i % 7);
+    ASSERT_EQ(counter.Mode(), 0);
+  }
+  EXPECT_EQ(DataPathAllocEvents(), warm)
+      << "steady-state Clear/Add cycles grew the counter";
+}
+
+// Slot isolation: concurrent slots must never observe each other's
+// scratch, and the per-slot results must be bit-identical at any host
+// thread count (the exec determinism contract).
+TEST(ScratchPoolTest, SlotIsolationAndThreadCountInvariance) {
+  constexpr std::int64_t kRange = 4096;
+  auto run_with = [&](ThreadPool* pool) {
+    ExecContext ctx(pool);
+    ScratchPool scratch;
+    const int num_slots = ExecContext::NumSlots(kRange);
+    scratch.Prepare(num_slots);
+    std::vector<std::int64_t> modes(kRange, -1);
+    parallel_for(ctx, 0, kRange, [&](const Slice& slice) {
+      for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+        LabelCounter& counter = scratch.labels(slice.slot);
+        // Vertex-dependent vote multiset; mode = i % 17, runner-up i % 5.
+        for (int rep = 0; rep < 3; ++rep) counter.Add(i % 17);
+        counter.Add(i % 5);
+        counter.Add(i % 5);
+        std::vector<char>& flags =
+            scratch.flags(slice.slot, static_cast<std::size_t>(kRange));
+        ASSERT_EQ(flags[static_cast<std::size_t>(i)], 0)
+            << "flag array leaked state across acquisitions";
+        flags[static_cast<std::size_t>(i)] = 1;
+        modes[i] = counter.Mode();
+        flags[static_cast<std::size_t>(i)] = 0;  // sparse reset contract
+      }
+    });
+    return modes;
+  };
+  const std::vector<std::int64_t> serial = run_with(nullptr);
+  for (std::int64_t i = 0; i < kRange; ++i) {
+    ASSERT_EQ(serial[i], i % 17) << "index " << i;
+  }
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    ASSERT_EQ(run_with(&pool), serial) << threads << " threads";
+  }
+}
+
+// Reuse across supersteps: after a warm-up pass, further passes over the
+// same shape must not grow any slot's scratch.
+TEST(ScratchPoolTest, SteadyStatePassesDoNotGrowScratch) {
+  constexpr std::int64_t kRange = 2048;
+  ExecContext ctx(nullptr);
+  ScratchPool scratch;
+  const int num_slots = ExecContext::NumSlots(kRange);
+  auto pass = [&] {
+    scratch.Prepare(num_slots);
+    parallel_for(ctx, 0, kRange, [&](const Slice& slice) {
+      for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+        LabelCounter& counter = scratch.labels(slice.slot);
+        for (int vote = 0; vote < 8; ++vote) counter.Add(vote % 3);
+        ASSERT_EQ(counter.Mode(), 0);
+        std::vector<std::int64_t>& indices = scratch.indices(slice.slot);
+        indices.push_back(i);
+      }
+    });
+  };
+  pass();  // warm-up allocates
+  const std::uint64_t warm = DataPathAllocEvents();
+  for (int superstep = 0; superstep < 20; ++superstep) pass();
+  EXPECT_EQ(DataPathAllocEvents(), warm)
+      << "steady-state passes grew pooled scratch";
 }
 
 }  // namespace

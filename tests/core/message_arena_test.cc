@@ -1,0 +1,150 @@
+// Tests for exec::MessageArena: CSR-shaped layout, delivery order,
+// combiner folding, double-buffer reuse, and the steady-state
+// no-reallocation contract (DESIGN.md §8).
+#include "core/exec/message_arena.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/exec/alloc_stats.h"
+
+namespace ga::exec {
+namespace {
+
+TEST(MessageArenaTest, LayoutFollowsCapacityPrefixSums) {
+  MessageArena<double> arena;
+  const std::vector<std::int64_t> capacities = {2, 0, 3, 1};
+  arena.Reset(capacities);
+  ASSERT_EQ(arena.num_vertices(), 4);
+  for (std::int64_t v = 0; v < 4; ++v) {
+    EXPECT_EQ(arena.capacity(v), capacities[static_cast<std::size_t>(v)]);
+    EXPECT_TRUE(arena.InboxEmpty(v));
+    EXPECT_EQ(arena.InboxSize(v), 0);
+  }
+  EXPECT_EQ(arena.TotalMessages(), 0u);
+}
+
+TEST(MessageArenaTest, PushDeliversInCallOrderAfterAdvance) {
+  MessageArena<double> arena;
+  arena.Reset(std::vector<std::int64_t>{3, 2});
+  arena.Push(0, 1.5);
+  arena.Push(1, -2.0);
+  arena.Push(0, 2.5);
+  // Nothing visible until the superstep boundary.
+  EXPECT_TRUE(arena.InboxEmpty(0));
+  arena.AdvanceSuperstep();
+  ASSERT_EQ(arena.InboxSize(0), 2);
+  EXPECT_EQ(arena.Inbox(0)[0], 1.5);
+  EXPECT_EQ(arena.Inbox(0)[1], 2.5);
+  ASSERT_EQ(arena.InboxSize(1), 1);
+  EXPECT_EQ(arena.Inbox(1)[0], -2.0);
+  EXPECT_EQ(arena.TotalMessages(), 3u);
+}
+
+TEST(MessageArenaTest, SeedCurrentIsVisibleBeforeTheFirstAdvance) {
+  MessageArena<double> arena;
+  arena.ResetUniform(3, 1);
+  arena.SeedCurrent(2, 7.0);
+  ASSERT_EQ(arena.InboxSize(2), 1);
+  EXPECT_EQ(arena.Inbox(2)[0], 7.0);
+  EXPECT_EQ(arena.TotalMessages(), 1u);
+}
+
+TEST(MessageArenaTest, CombinerFoldsIntoASingleSlot) {
+  MessageArena<double> arena;
+  arena.ResetUniform(2, 1);
+  auto min_combine = [](double a, double b) { return std::min(a, b); };
+  arena.PushCombined(0, 5.0, min_combine);
+  arena.PushCombined(0, 3.0, min_combine);
+  arena.PushCombined(0, 9.0, min_combine);
+  auto sum_combine = [](double a, double b) { return a + b; };
+  arena.PushCombined(1, 1.25, sum_combine);
+  arena.PushCombined(1, 2.5, sum_combine);
+  arena.AdvanceSuperstep();
+  ASSERT_EQ(arena.InboxSize(0), 1);
+  EXPECT_EQ(arena.Inbox(0)[0], 3.0);
+  ASSERT_EQ(arena.InboxSize(1), 1);
+  EXPECT_EQ(arena.Inbox(1)[0], 3.75);
+}
+
+TEST(MessageArenaTest, AdvanceRecyclesTheConsumedBuffer) {
+  MessageArena<double> arena;
+  arena.ResetUniform(2, 2);
+  arena.Push(0, 1.0);
+  arena.AdvanceSuperstep();
+  EXPECT_EQ(arena.InboxSize(0), 1);
+  // Consume superstep 1, deliver for superstep 2.
+  arena.Push(1, 4.0);
+  arena.AdvanceSuperstep();
+  EXPECT_TRUE(arena.InboxEmpty(0)) << "old inbox must be recycled";
+  ASSERT_EQ(arena.InboxSize(1), 1);
+  EXPECT_EQ(arena.Inbox(1)[0], 4.0);
+  EXPECT_EQ(arena.TotalMessages(), 1u);
+}
+
+// The core of the arena's reason to exist: a full message cycle per
+// superstep must not touch the heap once the arena is laid out.
+TEST(MessageArenaTest, SteadyStateSuperstepsDoNotReallocate) {
+  MessageArena<double> arena;
+  const std::vector<std::int64_t> capacities = {4, 4, 4, 4, 4, 4, 4, 4};
+  arena.Reset(capacities);
+  const std::uint64_t after_reset = DataPathAllocEvents();
+  for (int superstep = 0; superstep < 50; ++superstep) {
+    for (std::int64_t v = 0; v < arena.num_vertices(); ++v) {
+      for (int i = 0; i < 4; ++i) {
+        arena.Push(v, static_cast<double>(superstep + i));
+      }
+    }
+    arena.AdvanceSuperstep();
+    for (std::int64_t v = 0; v < arena.num_vertices(); ++v) {
+      ASSERT_EQ(arena.InboxSize(v), 4);
+    }
+  }
+  EXPECT_EQ(DataPathAllocEvents(), after_reset)
+      << "steady-state supersteps grew arena storage";
+}
+
+TEST(MessageArenaTest, ResetReusesBackingStorageForSmallerLayouts) {
+  MessageArena<double> arena;
+  arena.ResetUniform(64, 4);
+  const std::uint64_t after_large = DataPathAllocEvents();
+  // A smaller layout must fit into the existing arrays.
+  arena.ResetUniform(16, 2);
+  EXPECT_EQ(DataPathAllocEvents(), after_large);
+  arena.Push(3, 1.0);
+  arena.AdvanceSuperstep();
+  EXPECT_EQ(arena.InboxSize(3), 1);
+}
+
+// An isolated vertex at the end of the index range has
+// offsets_[v] == values_.size(); Inbox must yield a valid empty span
+// (pointer arithmetic, not an out-of-range operator[]).
+TEST(MessageArenaTest, TrailingZeroCapacityVertexHasValidEmptyInbox) {
+  MessageArena<double> arena;
+  arena.Reset(std::vector<std::int64_t>{2, 0, 0});
+  EXPECT_TRUE(arena.Inbox(1).empty());
+  EXPECT_TRUE(arena.Inbox(2).empty());
+  arena.Push(0, 1.0);
+  arena.AdvanceSuperstep();
+  EXPECT_TRUE(arena.Inbox(2).empty());
+  // All-isolated layout: the value array itself is empty.
+  MessageArena<double> empty_arena;
+  empty_arena.Reset(std::vector<std::int64_t>{0, 0});
+  EXPECT_TRUE(empty_arena.Inbox(0).empty());
+  EXPECT_TRUE(empty_arena.Inbox(1).empty());
+}
+
+TEST(MessageArenaTest, EmptyGraphIsFine) {
+  MessageArena<double> arena;
+  arena.Reset(std::vector<std::int64_t>{});
+  EXPECT_EQ(arena.num_vertices(), 0);
+  EXPECT_EQ(arena.TotalMessages(), 0u);
+  arena.AdvanceSuperstep();
+  EXPECT_EQ(arena.TotalMessages(), 0u);
+}
+
+}  // namespace
+}  // namespace ga::exec

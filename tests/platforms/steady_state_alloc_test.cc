@@ -1,0 +1,134 @@
+// Steady-state allocation audit for the flat data-path overhaul
+// (DESIGN.md §8): once the first supersteps have warmed every arena,
+// pool and slot buffer to its high-water capacity, additional supersteps
+// of bsplite PageRank and of every engine's CDLP must perform ZERO heap
+// allocations.
+//
+// Verified with a counting global operator new: the same kernel is run
+// through Platform::ExecuteKernel (no Granula tree, no memory accountant
+// — the raw data path) at k and k + d iterations; since both runs share
+// an identical warm-up prefix, any difference in total allocation count
+// is attributable to the d extra steady-state supersteps. The contract
+// says that difference is exactly zero.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdlib>
+#include <new>
+#include <string>
+
+#include "algo/params.h"
+#include "core/graph.h"
+#include "datagen/graph500.h"
+#include "platforms/platform.h"
+#include "sysmodel/cluster.h"
+
+namespace {
+std::atomic<std::uint64_t> g_allocations{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void* operator new[](std::size_t size) {
+  g_allocations.fetch_add(1, std::memory_order_relaxed);
+  if (void* p = std::malloc(size ? size : 1)) return p;
+  throw std::bad_alloc();
+}
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace ga::platform {
+namespace {
+
+const Graph& TestGraph() {
+  static const Graph graph = [] {
+    datagen::Graph500Config config;
+    config.scale = 10;
+    config.num_edges = 6000;
+    config.directedness = Directedness::kDirected;
+    config.seed = 11;
+    auto built = datagen::GenerateGraph500(config);
+    if (!built.ok()) std::abort();
+    return std::move(built).value();
+  }();
+  return graph;
+}
+
+/// Total operator-new count of one kernel run with `iterations`
+/// PR/CDLP iterations, single-threaded, raw data path.
+std::uint64_t AllocationsForRun(const std::string& platform_id,
+                                Algorithm algorithm, int iterations) {
+  const Graph& graph = TestGraph();
+  auto platform = CreatePlatform(platform_id);
+  if (!platform.ok()) std::abort();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  params.pagerank_iterations = iterations;
+  params.cdlp_iterations = iterations;
+  ExecutionEnvironment env;
+  env.host_pool = nullptr;
+  const CostProfile& profile = platform.value()->profile();
+  sysmodel::ClusterModel cluster(MakeClusterConfig(env, profile));
+  JobContext ctx(cluster, /*memory=*/nullptr, profile,
+                 /*processing_op=*/nullptr, env);
+
+  const std::uint64_t before = g_allocations.load();
+  auto output = platform.value()->ExecuteKernel(ctx, graph, algorithm,
+                                                params);
+  const std::uint64_t after = g_allocations.load();
+  if (!output.ok()) std::abort();
+  return after - before;
+}
+
+void ExpectZeroSteadyStateAllocations(const std::string& platform_id,
+                                      Algorithm algorithm) {
+  // 4 iterations warm every buffer past its high-water mark; the 4 extra
+  // iterations of the second run must then allocate nothing.
+  const std::uint64_t short_run =
+      AllocationsForRun(platform_id, algorithm, 4);
+  const std::uint64_t long_run =
+      AllocationsForRun(platform_id, algorithm, 8);
+  // Guard against a dead counter: warm-up (arena layout, outputs,
+  // deployment) must be visible to the interposed operator new.
+  ASSERT_GT(short_run, 0u);
+  EXPECT_EQ(long_run, short_run)
+      << platform_id << " allocated "
+      << (long_run - short_run) / 4.0
+      << " times per steady-state superstep";
+}
+
+TEST(SteadyStateAllocTest, BspLitePageRank) {
+  ExpectZeroSteadyStateAllocations("bsplite", Algorithm::kPageRank);
+}
+
+TEST(SteadyStateAllocTest, BspLiteCdlp) {
+  ExpectZeroSteadyStateAllocations("bsplite", Algorithm::kCdlp);
+}
+
+TEST(SteadyStateAllocTest, DataflowCdlp) {
+  ExpectZeroSteadyStateAllocations("dataflow", Algorithm::kCdlp);
+}
+
+TEST(SteadyStateAllocTest, GasLiteCdlp) {
+  ExpectZeroSteadyStateAllocations("gaslite", Algorithm::kCdlp);
+}
+
+TEST(SteadyStateAllocTest, SpMatCdlp) {
+  ExpectZeroSteadyStateAllocations("spmat", Algorithm::kCdlp);
+}
+
+TEST(SteadyStateAllocTest, NativeKernelCdlp) {
+  ExpectZeroSteadyStateAllocations("nativekernel", Algorithm::kCdlp);
+}
+
+TEST(SteadyStateAllocTest, PushPullCdlp) {
+  ExpectZeroSteadyStateAllocations("pushpull", Algorithm::kCdlp);
+}
+
+}  // namespace
+}  // namespace ga::platform
