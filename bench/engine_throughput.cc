@@ -1,23 +1,29 @@
-// Engine-throughput microbenchmarks (google-benchmark): the PageRank, BFS
-// and CDLP kernels of all six platform engines, driven directly through
-// Platform::ExecuteKernel — no startup/upload simulation, no Granula tree,
-// no memory accounting — so the numbers isolate the real data path this
-// repo's perf work targets (arena messaging, pooled scratch; DESIGN.md §8).
+// Engine-throughput microbenchmarks (google-benchmark): the PageRank, BFS,
+// WCC, SSSP, CDLP and LCC kernels of all six platform engines, driven
+// directly through Platform::ExecuteKernel — no startup/upload simulation,
+// no Granula tree, no memory accounting — so the numbers isolate the real
+// data path this repo's perf work targets (arena messaging, pooled scratch,
+// hybrid frontiers; DESIGN.md §8-§9).
 //
 // Output: the usual google-benchmark console table, plus a JSON trajectory
-// point written to $GA_BENCH_OUT (default BENCH_PR3.json). Each kernel
+// point written to $GA_BENCH_OUT (default BENCH_PR4.json). Each kernel
 // entry reports ns per full kernel run, supersteps per run, ns per
 // superstep, and sweep throughput in adjacency entries per second (the
 // per-superstep edge-traversal rate; meaningful for the full-sweep PR and
-// CDLP kernels, a whole-traversal average for frontier BFS).
+// CDLP kernels, a whole-traversal average for the frontier kernels).
 //
-// Reading the numbers: docs/BENCHMARK_GUIDE.md, "Reading the micro and
-// engine benchmarks". CI runs this in smoke mode
-// (--benchmark_min_time=0.05s) and uploads the JSON as an artifact.
+// Flags: --filter=S1,S2,... keeps only kernels whose "platform/algo" name
+// contains one of the substrings (cheaper than --benchmark_filter:
+// unmatched kernels are never registered, so smoke runs stay fast — CI
+// uses --filter=/bfs,/wcc,/sssp,/lcc). Reading the numbers:
+// docs/BENCHMARK_GUIDE.md, "Reading the micro and engine benchmarks". CI
+// runs the traversal kernels in smoke mode (--benchmark_min_time=0.05s)
+// and uploads the JSON as an artifact.
 #include <benchmark/benchmark.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <memory>
 #include <string>
 #include <vector>
@@ -31,14 +37,16 @@ namespace ga::bench {
 namespace {
 
 // One R-MAT graph shared by every kernel: skewed degrees (the shape that
-// stresses per-vertex message buffers and CDLP histograms), directed so
-// both adjacency directions are exercised.
+// stresses per-vertex message buffers, frontier direction switches and
+// CDLP histograms), directed so both adjacency directions are exercised,
+// weighted so SSSP runs too.
 const Graph& BenchGraph() {
   static const Graph graph = [] {
     datagen::Graph500Config config;
     config.scale = 12;
     config.num_edges = 60000;
     config.directedness = Directedness::kDirected;
+    config.weighted = true;
     config.seed = 7;
     auto built = datagen::GenerateGraph500(config);
     if (!built.ok()) {
@@ -98,12 +106,47 @@ void RunKernel(benchmark::State& state, const KernelCase& kernel) {
                           graph.num_adjacency_entries());
 }
 
-std::vector<KernelCase> AllKernels() {
+/// --filter grammar: comma-separated substrings; a kernel registers when
+/// its "platform/algo" name contains any of them.
+bool MatchesFilter(const std::string& name, const std::string& filter) {
+  if (filter.empty()) return true;
+  std::size_t begin = 0;
+  while (begin <= filter.size()) {
+    const std::size_t comma = filter.find(',', begin);
+    const std::size_t end = comma == std::string::npos ? filter.size() : comma;
+    if (end > begin &&
+        name.find(filter.substr(begin, end - begin)) != std::string::npos) {
+      return true;
+    }
+    if (comma == std::string::npos) break;
+    begin = comma + 1;
+  }
+  return false;
+}
+
+std::vector<KernelCase> AllKernels(const std::string& filter) {
+  static constexpr struct {
+    Algorithm algorithm;
+    const char* name;
+  } kAlgorithms[] = {
+      {Algorithm::kPageRank, "pr"}, {Algorithm::kBfs, "bfs"},
+      {Algorithm::kWcc, "wcc"},     {Algorithm::kSssp, "sssp"},
+      {Algorithm::kCdlp, "cdlp"},   {Algorithm::kLcc, "lcc"},
+  };
+  platform::ExecutionEnvironment env;
+  env.host_pool = nullptr;
   std::vector<KernelCase> kernels;
   for (const std::string& id : platform::AllPlatformIds()) {
-    kernels.push_back({id, Algorithm::kPageRank, "pr"});
-    kernels.push_back({id, Algorithm::kBfs, "bfs"});
-    kernels.push_back({id, Algorithm::kCdlp, "cdlp"});
+    auto platform = platform::CreatePlatform(id);
+    if (!platform.ok()) continue;
+    for (const auto& algorithm : kAlgorithms) {
+      if (!platform.value()->SupportsAlgorithm(algorithm.algorithm, env)) {
+        continue;  // e.g. pushpull has no LCC ("NA" in Figure 6)
+      }
+      const std::string name = id + "/" + algorithm.name;
+      if (!MatchesFilter(name, filter)) continue;
+      kernels.push_back({id, algorithm.algorithm, algorithm.name});
+    }
   }
   return kernels;
 }
@@ -150,9 +193,10 @@ int WriteJson(const std::string& path, const Graph& graph,
   JsonWriter json;
   json.BeginObject();
   json.Field("bench", "engine_throughput");
-  json.Field("trajectory_point", "PR3");
+  json.Field("trajectory_point", "PR4");
   json.Key("config").BeginObject();
-  json.Field("graph", "graph500 scale=12 edges=60000 directed seed=7");
+  json.Field("graph",
+             "graph500 scale=12 edges=60000 directed weighted seed=7");
   json.Field("vertices", static_cast<std::int64_t>(graph.num_vertices()));
   json.Field("adjacency_entries",
              static_cast<std::int64_t>(graph.num_adjacency_entries()));
@@ -190,8 +234,19 @@ int WriteJson(const std::string& path, const Graph& graph,
 }  // namespace ga::bench
 
 int main(int argc, char** argv) {
+  // Pull out --filter before google-benchmark parses the rest.
+  std::string filter;
+  int argc_out = 1;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--filter=", 9) == 0) {
+      filter = argv[i] + 9;
+    } else {
+      argv[argc_out++] = argv[i];
+    }
+  }
+  argc = argc_out;
   benchmark::Initialize(&argc, argv);
-  for (const auto& kernel : ga::bench::AllKernels()) {
+  for (const auto& kernel : ga::bench::AllKernels(filter)) {
     benchmark::RegisterBenchmark(
         (kernel.platform + "/" + kernel.algorithm_name).c_str(),
         [kernel](benchmark::State& state) {
@@ -201,6 +256,6 @@ int main(int argc, char** argv) {
   ga::bench::CollectingReporter reporter;
   benchmark::RunSpecifiedBenchmarks(&reporter);
   const char* out = std::getenv("GA_BENCH_OUT");
-  return ga::bench::WriteJson(out != nullptr ? out : "BENCH_PR3.json",
+  return ga::bench::WriteJson(out != nullptr ? out : "BENCH_PR4.json",
                               ga::bench::BenchGraph(), reporter.samples());
 }

@@ -1,6 +1,7 @@
-#include <algorithm>
+#include <cstdint>
 #include <vector>
 
+#include "algo/lcc_kernel.h"
 #include "algo/reference.h"
 
 namespace ga::reference {
@@ -11,41 +12,19 @@ Result<AlgorithmOutput> Lcc(const Graph& graph) {
   output.algorithm = Algorithm::kLcc;
   output.double_values.assign(n, 0.0);
 
-  // flag[w] marks membership of w in the current neighbourhood N(v).
-  std::vector<char> flag(n, 0);
-  std::vector<VertexIndex> neighborhood;
+  // Degree-oriented triangle counting over the sorted CSR
+  // (algo/lcc_kernel.h): each support triangle is found once from its
+  // lowest-rank corner and contributes its opposite edge's directed
+  // multiplicity to every corner's links counter. For undirected graphs
+  // each triangle edge is counted in both directions, matching the
+  // undirected denominator convention d*(d-1).
+  exec::ExecContext serial;
+  lcc::NeighborhoodIndex index;
+  index.Build(serial, graph);
+  std::vector<std::int64_t> links;
+  index.CountLinks(serial, &links);
   for (VertexIndex v = 0; v < n; ++v) {
-    // N(v) = distinct union of in- and out-neighbours, excluding v.
-    neighborhood.clear();
-    for (VertexIndex u : graph.OutNeighbors(v)) {
-      if (u != v && !flag[u]) {
-        flag[u] = 1;
-        neighborhood.push_back(u);
-      }
-    }
-    if (graph.is_directed()) {
-      for (VertexIndex u : graph.InNeighbors(v)) {
-        if (u != v && !flag[u]) {
-          flag[u] = 1;
-          neighborhood.push_back(u);
-        }
-      }
-    }
-    const double degree = static_cast<double>(neighborhood.size());
-    if (neighborhood.size() >= 2) {
-      // Count directed edges u -> w with both u, w in N(v). For undirected
-      // graphs each triangle edge is counted in both directions, matching
-      // the undirected denominator convention d*(d-1).
-      std::int64_t links = 0;
-      for (VertexIndex u : neighborhood) {
-        for (VertexIndex w : graph.OutNeighbors(u)) {
-          if (w != v && flag[w]) ++links;
-        }
-      }
-      output.double_values[v] =
-          static_cast<double>(links) / (degree * (degree - 1.0));
-    }
-    for (VertexIndex u : neighborhood) flag[u] = 0;
+    output.double_values[v] = lcc::Coefficient(links[v], index.Degree(v));
   }
   return output;
 }

@@ -1,0 +1,211 @@
+#include "algo/lcc_kernel.h"
+
+#include <algorithm>
+
+namespace ga::lcc {
+
+void NeighborhoodIndex::Build(exec::ExecContext& exec, const Graph& graph) {
+  n_ = graph.num_vertices();
+  directed_ = graph.is_directed();
+
+  if (!directed_) {
+    // Undirected: the CSR already is the sorted distinct neighbourhood
+    // (self-loops and duplicates are dropped at Build), and every
+    // support edge has dir == 2 (w in out(u) and u in out(w)).
+    support_offsets_ = graph.out_offsets();
+    support_adj_ = graph.out_targets();
+    support_end_.assign(static_cast<std::size_t>(n_), 0);
+    for (VertexIndex v = 0; v < n_; ++v) {
+      support_end_[static_cast<std::size_t>(v)] = support_offsets_[v + 1];
+    }
+    support_dir_.clear();
+  } else {
+    // Directed: one sorted two-pointer merge of out(v) and in(v) per
+    // vertex; an entry present in both directions gets dir == 2. Gap
+    // layout: segments are sized by the outdeg+indeg upper bound so no
+    // counting pre-pass is needed; support_end_ records the merged size.
+    support_offsets_store_.assign(static_cast<std::size_t>(n_) + 1, 0);
+    for (VertexIndex v = 0; v < n_; ++v) {
+      support_offsets_store_[static_cast<std::size_t>(v) + 1] =
+          support_offsets_store_[static_cast<std::size_t>(v)] +
+          graph.OutDegree(v) + graph.InDegree(v);
+    }
+    const auto capacity =
+        static_cast<std::size_t>(support_offsets_store_[n_]);
+    support_adj_store_.resize(capacity);
+    support_dir_.resize(capacity);
+    support_end_.assign(static_cast<std::size_t>(n_), 0);
+    exec::parallel_for(exec, 0, n_, [&](const exec::Slice& slice) {
+      for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+        const auto out = graph.OutNeighbors(v);
+        const auto in = graph.InNeighbors(v);
+        auto cursor =
+            static_cast<std::size_t>(support_offsets_store_[v]);
+        std::size_t i = 0;
+        std::size_t j = 0;
+        while (i < out.size() || j < in.size()) {
+          VertexIndex u;
+          std::uint8_t dir;
+          if (j >= in.size() || (i < out.size() && out[i] < in[j])) {
+            u = out[i++];
+            dir = 1;
+          } else if (i >= out.size() || in[j] < out[i]) {
+            u = in[j++];
+            dir = 1;
+          } else {
+            u = out[i++];
+            ++j;
+            dir = 2;
+          }
+          support_adj_store_[cursor] = u;
+          support_dir_[cursor] = dir;
+          ++cursor;
+        }
+        support_end_[static_cast<std::size_t>(v)] =
+            static_cast<EdgeIndex>(cursor);
+      }
+    });
+    support_offsets_ = support_offsets_store_;
+    support_adj_ = support_adj_store_;
+  }
+
+  // Orient: A+(v) keeps the higher-rank members of N(v), id order
+  // preserved (filtering a sorted list). Same gap layout — segment
+  // capacity |N(v)|, oriented_end_ records the kept count.
+  auto rank_less = [this](VertexIndex a, VertexIndex b) {
+    const EdgeIndex da = Degree(a);
+    const EdgeIndex db = Degree(b);
+    return da != db ? da < db : a < b;
+  };
+  oriented_offsets_.assign(static_cast<std::size_t>(n_) + 1, 0);
+  for (VertexIndex v = 0; v < n_; ++v) {
+    oriented_offsets_[static_cast<std::size_t>(v) + 1] =
+        oriented_offsets_[static_cast<std::size_t>(v)] + Degree(v);
+  }
+  oriented_adj_.resize(static_cast<std::size_t>(oriented_offsets_[n_]));
+  if (directed_) {
+    oriented_dir_.resize(oriented_adj_.size());
+  } else {
+    oriented_dir_.clear();
+  }
+  oriented_end_.assign(static_cast<std::size_t>(n_), 0);
+  exec::parallel_for(exec, 0, n_, [&](const exec::Slice& slice) {
+    for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+      auto cursor = static_cast<std::size_t>(oriented_offsets_[v]);
+      const auto base = static_cast<std::size_t>(support_offsets_[v]);
+      const auto end = static_cast<std::size_t>(support_end_[v]);
+      for (std::size_t k = base; k < end; ++k) {
+        const VertexIndex u = support_adj_[k];
+        if (!rank_less(v, u)) continue;
+        oriented_adj_[cursor] = u;
+        if (directed_) oriented_dir_[cursor] = support_dir_[k];
+        ++cursor;
+      }
+      oriented_end_[static_cast<std::size_t>(v)] =
+          static_cast<EdgeIndex>(cursor);
+    }
+  });
+}
+
+void NeighborhoodIndex::CountLinks(exec::ExecContext& exec,
+                                   std::vector<std::int64_t>* links) const {
+  links->assign(static_cast<std::size_t>(n_), 0);
+  if (n_ == 0) return;
+  const int num_slots =
+      exec::ExecContext::NumSlots(n_, exec::ExecContext::kScratchSlots);
+  // Triangle corners scatter across slot boundaries, so each slot
+  // accumulates into its own O(n) counter array; integer sums merge by
+  // index afterwards — order-free, hence thread-count invariant.
+  const auto slots = static_cast<std::size_t>(std::max(num_slots, 1));
+  std::vector<std::vector<std::int64_t>> slot_links(slots);
+  for (auto& acc : slot_links) {
+    acc.assign(static_cast<std::size_t>(n_), 0);
+  }
+  // Forward marking ("count each wedge from its lower-rank endpoint"):
+  // stamp A+(v) into the slot's epoch-tagged mark array, then probe each
+  // A+(u) against the marks — O(|A+(u)|) per oriented pair instead of
+  // the |A+(v)| + |A+(u)| of a pairwise merge, which re-walks the
+  // lowest corner's list once per neighbour. The v- and u-corner
+  // contributions fold into locals and land once per pair; only the
+  // third corner w takes a per-match array write.
+  std::vector<std::vector<std::uint32_t>> slot_stamps(slots);
+  std::vector<std::vector<std::uint8_t>> slot_mark_dir(slots);
+  for (std::size_t s = 0; s < slots; ++s) {
+    slot_stamps[s].assign(static_cast<std::size_t>(n_), 0);
+    if (directed_) slot_mark_dir[s].resize(static_cast<std::size_t>(n_));
+  }
+  exec::parallel_for(
+      exec, 0, n_,
+      [&](const exec::Slice& slice) {
+        std::vector<std::int64_t>& acc = slot_links[slice.slot];
+        std::vector<std::uint32_t>& stamps = slot_stamps[slice.slot];
+        std::vector<std::uint8_t>& mark_dir = slot_mark_dir[slice.slot];
+        std::uint32_t epoch = 0;
+        for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+          const auto v_begin =
+              static_cast<std::size_t>(oriented_offsets_[v]);
+          const auto v_end = static_cast<std::size_t>(
+              oriented_end_[static_cast<std::size_t>(v)]);
+          if (v_end - v_begin < 2) continue;  // no wedge can close
+          if (++epoch == 0) {
+            // Stamp wrap-around: one full reset every 2^32 vertices.
+            std::fill(stamps.begin(), stamps.end(), 0u);
+            epoch = 1;
+          }
+          for (std::size_t p = v_begin; p < v_end; ++p) {
+            const auto w = static_cast<std::size_t>(oriented_adj_[p]);
+            stamps[w] = epoch;
+            if (directed_) mark_dir[w] = oriented_dir_[p];
+          }
+          // The probe loops are branch-free: triangle-closure rates on
+          // clustered graphs sit near 50%, the worst case for a branch
+          // predictor, so each probe folds through a match mask instead
+          // (the masked acc[w] update stays cache-resident — the mark
+          // array already touched the same working set).
+          std::int64_t v_total = 0;
+          for (std::size_t p = v_begin; p < v_end; ++p) {
+            const VertexIndex u = oriented_adj_[p];
+            const std::int64_t dir_vu = directed_ ? oriented_dir_[p] : 2;
+            auto q = static_cast<std::size_t>(oriented_offsets_[u]);
+            const auto q_end = static_cast<std::size_t>(
+                oriented_end_[static_cast<std::size_t>(u)]);
+            std::int64_t u_total = 0;
+            if (directed_) {
+              for (; q < q_end; ++q) {
+                const auto w = static_cast<std::size_t>(oriented_adj_[q]);
+                // Triangle {v, u, w}, v lowest rank; each corner gains
+                // the directed multiplicity of its opposite edge.
+                const std::int64_t m =
+                    -static_cast<std::int64_t>(stamps[w] == epoch);
+                v_total += m & oriented_dir_[q];  // dir(u, w)
+                u_total += m & mark_dir[w];       // dir(v, w)
+                acc[w] += m & dir_vu;
+              }
+            } else {
+              for (; q < q_end; ++q) {
+                const auto w = static_cast<std::size_t>(oriented_adj_[q]);
+                const std::int64_t m =
+                    -static_cast<std::int64_t>(stamps[w] == epoch);
+                v_total += m & 2;
+                u_total += m & 2;
+                acc[w] += m & 2;
+              }
+            }
+            if (u_total != 0) acc[static_cast<std::size_t>(u)] += u_total;
+          }
+          if (v_total != 0) acc[static_cast<std::size_t>(v)] += v_total;
+        }
+      },
+      exec::ExecContext::kScratchSlots);
+  exec::parallel_for(exec, 0, n_, [&](const exec::Slice& slice) {
+    for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+      std::int64_t total = 0;
+      for (const auto& acc : slot_links) {
+        total += acc[static_cast<std::size_t>(v)];
+      }
+      (*links)[static_cast<std::size_t>(v)] = total;
+    }
+  });
+}
+
+}  // namespace ga::lcc

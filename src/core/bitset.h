@@ -5,6 +5,7 @@
 #include <bit>
 #include <cstddef>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 namespace ga {
@@ -14,6 +15,14 @@ class Bitset {
   Bitset() = default;
   explicit Bitset(std::size_t size)
       : size_(size), words_((size + 63) / 64, 0) {}
+
+  /// Re-targets the bitset at `size` bits, all clear. The backing word
+  /// array only ever grows, so alternating between sizes stays
+  /// allocation-free once the high-water mark is reached.
+  void Resize(std::size_t size) {
+    size_ = size;
+    words_.assign((size + 63) / 64, 0);
+  }
 
   std::size_t size() const { return size_; }
 
@@ -34,6 +43,19 @@ class Bitset {
 
   void Clear() { words_.assign(words_.size(), 0); }
 
+  /// Sets every bit in [0, size). Word-parallel: whole words are filled
+  /// and the tail word is masked.
+  void SetAll() {
+    if (words_.empty()) return;
+    words_.assign(words_.size(), ~std::uint64_t{0});
+    const std::size_t tail = size_ & 63;
+    if (tail != 0) words_.back() = (std::uint64_t{1} << tail) - 1;
+  }
+
+  /// Raw word view (64 bits per word, bit i at word i/64). Lets callers
+  /// run word-parallel scans (popcounts, unions) without per-bit calls.
+  std::span<const std::uint64_t> words() const { return words_; }
+
   std::size_t Count() const {
     std::size_t total = 0;
     for (std::uint64_t word : words_) total += std::popcount(word);
@@ -52,6 +74,30 @@ class Bitset {
   void ForEachSet(Fn&& fn) const {
     for (std::size_t w = 0; w < words_.size(); ++w) {
       std::uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<std::size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  /// Calls fn(index) for every set bit in [begin, end), ascending.
+  /// Word-parallel: whole words scan via popcount chains, the boundary
+  /// words are masked — O((end-begin)/64 + bits set in range).
+  template <typename Fn>
+  void ForEachSetInRange(std::size_t begin, std::size_t end, Fn&& fn) const {
+    if (begin >= end) return;
+    const std::size_t first_word = begin >> 6;
+    const std::size_t last_word = (end - 1) >> 6;
+    for (std::size_t w = first_word; w <= last_word; ++w) {
+      std::uint64_t word = words_[w];
+      if (w == first_word && (begin & 63) != 0) {
+        word &= ~std::uint64_t{0} << (begin & 63);
+      }
+      if (w == last_word && (end & 63) != 0) {
+        word &= (std::uint64_t{1} << (end & 63)) - 1;
+      }
       while (word != 0) {
         int bit = std::countr_zero(word);
         fn(w * 64 + static_cast<std::size_t>(bit));

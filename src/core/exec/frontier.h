@@ -1,0 +1,219 @@
+// ga::exec::Frontier — hybrid sparse/dense active-set for traversal
+// engines (BFS, SSSP, WCC, vote-to-halt Pregel supersteps).
+//
+// Every traversal engine in this repo used to re-derive its active set ad
+// hoc: char vectors scanned O(n) per round, std::queue worklists, full
+// adjacency sweeps that test an activity flag per edge. The frontier keeps
+// BOTH canonical representations in sync at O(active) maintenance cost:
+//
+//   * sparse: a slot-ordered index queue — the exact sequence a serial
+//     sweep would have activated, so iterating it (or slot-decomposing it
+//     with exec::parallel_for) is deterministic at any host thread count;
+//   * dense: a word-parallel Bitset (core/bitset.h) giving O(1) membership
+//     tests for pull-direction scans and commit-side deduplication.
+//
+// Alongside membership the frontier tracks two statistics, maintained
+// incrementally as vertices are activated: the active count and the sum of
+// the activated vertices' (caller-supplied) degrees. They are exactly what
+// the Beamer direction-optimizing heuristic needs, so Decide() can pick
+// push vs pull from frontier state alone — never from thread count, timing
+// or iteration order — keeping algorithm results `--jobs`-invariant
+// (DESIGN.md §9).
+//
+// Population is double-buffered with zero-steady-state-allocation swap
+// semantics: Activate() writes the *next* side, Advance() swaps sides and
+// sparsely clears the consumed one (O(consumed active), not O(n)); all
+// backing storage is sized once by Init and reused for the whole job.
+// Parallel producers stage candidate vertices per exec slot (stage(slot))
+// and CommitStage replays them in slot order — the same ownership
+// discipline as exec::SlotBuffers.
+//
+// Concurrency rule: Activate/Advance/CommitStage and the stats getters are
+// commit-side (serial) operations; inside a parallel region a body may
+// only read (Contains, active, bits) and append to its own slot's stage.
+#ifndef GRAPHALYTICS_CORE_EXEC_FRONTIER_H_
+#define GRAPHALYTICS_CORE_EXEC_FRONTIER_H_
+
+#include <cstdint>
+#include <numeric>
+#include <span>
+#include <vector>
+
+#include "core/bitset.h"
+#include "core/exec/alloc_stats.h"
+#include "core/exec/exec.h"
+#include "core/types.h"
+
+namespace ga::exec {
+
+/// Direction of one traversal superstep: push scatters from the sparse
+/// queue along out-edges; pull scans candidate vertices' in-edges against
+/// the dense bitset.
+enum class TraversalDirection { kPush, kPull };
+
+class Frontier {
+ public:
+  /// Beamer-style switch point for traversals whose pull direction can
+  /// stop at the first discovered parent (BFS): pull once the frontier's
+  /// out-edge sum reaches 1/kPullAlpha of the graph's adjacency entries.
+  /// 20 matches the push/pull crossover the pushpull engine shipped with
+  /// (PGX.D's cooperative runtime) and Beamer's published alpha=14..32
+  /// band.
+  static constexpr std::int64_t kPullAlpha = 20;
+  /// Switch point for min/label propagation (WCC, SSSP), whose pull
+  /// direction has NO early exit — every in-edge must be folded. A pull
+  /// round costs O(total) regardless of frontier size, so it only beats
+  /// push when the frontier's edge volume reaches the whole graph
+  /// (alpha = 1: in practice, the all-active first round).
+  static constexpr std::int64_t kPullAlphaSweep = 1;
+
+  /// Sizes both representations for a universe of `n` vertices and clears
+  /// them. O(n) once per job; everything after runs at O(active).
+  void Init(VertexIndex n) {
+    n_ = n;
+    for (int side = 0; side < 2; ++side) {
+      if (sparse_[side].capacity() < static_cast<std::size_t>(n)) {
+        NoteDataPathAlloc();
+      }
+      sparse_[side].clear();
+      sparse_[side].reserve(static_cast<std::size_t>(n));
+      bits_[side].Resize(static_cast<std::size_t>(n));
+      degree_sum_[side] = 0;
+    }
+    current_ = 0;
+  }
+
+  VertexIndex universe() const { return n_; }
+
+  // --- current side: the frontier consumed this superstep ---------------
+
+  bool empty() const { return sparse_[current_].empty(); }
+  std::int64_t active_count() const {
+    return static_cast<std::int64_t>(sparse_[current_].size());
+  }
+  /// Sum of the degrees passed to Activate for the current side — the
+  /// frontier's out-edge volume when callers pass out-degrees.
+  std::int64_t active_degree_sum() const { return degree_sum_[current_]; }
+  /// The slot-ordered sparse queue (activation order == the order a
+  /// serial commit would have produced).
+  std::span<const VertexIndex> active() const { return sparse_[current_]; }
+  /// Dense membership test (word-indexed, O(1)).
+  bool Contains(VertexIndex v) const {
+    return bits_[current_].Test(static_cast<std::size_t>(v));
+  }
+  const Bitset& bits() const { return bits_[current_]; }
+
+  /// Calls fn(v) for every active vertex in [begin, end) in ASCENDING id
+  /// order via a word scan of the dense bitset (the sparse queue is in
+  /// activation order, which ruins CSR locality when used as a loop
+  /// order). Pair with exec::parallel_for over the vertex range: each
+  /// slice scans its own sub-range, so the slot decomposition — and the
+  /// order charges merge in — matches a classic full-vertex sweep.
+  template <typename Fn>
+  void ForEachActiveInRange(VertexIndex begin, VertexIndex end,
+                            Fn&& fn) const {
+    bits_[current_].ForEachSetInRange(
+        static_cast<std::size_t>(begin), static_cast<std::size_t>(end),
+        [&](std::size_t v) { fn(static_cast<VertexIndex>(v)); });
+  }
+
+  /// Deterministic push/pull choice for a graph with `total_adjacency`
+  /// directed adjacency entries: pull when the frontier's edge volume
+  /// clears the 1/alpha threshold (kPullAlpha for early-exit pulls,
+  /// kPullAlphaSweep for full-fold pulls). Depends only on frontier
+  /// stats, which are populated in slot order — so the decision (and
+  /// therefore the superstep structure) is identical at any `--jobs`
+  /// value.
+  TraversalDirection Decide(std::int64_t total_adjacency,
+                            std::int64_t alpha = kPullAlpha) const {
+    return active_degree_sum() * alpha >= total_adjacency
+               ? TraversalDirection::kPull
+               : TraversalDirection::kPush;
+  }
+
+  // --- population: seeding and the next side ----------------------------
+
+  /// Activates `v` on the *current* side (rooted-algorithm seeding).
+  void Seed(VertexIndex v, EdgeIndex degree) {
+    if (bits_[current_].TestAndSet(static_cast<std::size_t>(v))) {
+      sparse_[current_].push_back(v);
+      degree_sum_[current_] += degree;
+    }
+  }
+
+  /// Activates every vertex on the current side, ascending, with
+  /// `total_degree` as the degree sum (self-starting algorithms: WCC,
+  /// PageRank, CDLP). Word-parallel bit fill + iota — O(n), once.
+  void SeedAll(std::int64_t total_degree) {
+    sparse_[current_].resize(static_cast<std::size_t>(n_));
+    std::iota(sparse_[current_].begin(), sparse_[current_].end(),
+              VertexIndex{0});
+    bits_[current_].SetAll();
+    degree_sum_[current_] = total_degree;
+  }
+
+  /// Commit-side activation for the next superstep. Deduplicates through
+  /// the dense bitset; returns true iff `v` was newly activated. Call in
+  /// slot order (e.g. while draining SlotBuffers) for determinism.
+  bool Activate(VertexIndex v, EdgeIndex degree) {
+    if (!bits_[1 - current_].TestAndSet(static_cast<std::size_t>(v))) {
+      return false;
+    }
+    sparse_[1 - current_].push_back(v);
+    degree_sum_[1 - current_] += degree;
+    return true;
+  }
+
+  /// Swaps sides: the collected next frontier becomes current and the
+  /// consumed one is wiped — sparsely (per-bit, O(consumed)) when light,
+  /// by whole-word fill (O(n/64)) when dense. No allocation either way.
+  void Advance() {
+    Bitset& consumed_bits = bits_[current_];
+    if (static_cast<std::size_t>(sparse_[current_].size()) * 16 >=
+        static_cast<std::size_t>(n_)) {
+      consumed_bits.Clear();
+    } else {
+      for (VertexIndex v : sparse_[current_]) {
+        consumed_bits.Reset(static_cast<std::size_t>(v));
+      }
+    }
+    sparse_[current_].clear();
+    degree_sum_[current_] = 0;
+    current_ = 1 - current_;
+  }
+
+  // --- slot-staged population from parallel regions ---------------------
+
+  /// Prepares `num_slots` stage buffers for one parallel producer loop.
+  void PrepareStage(int num_slots) { stage_.Reset(num_slots); }
+  /// The staging buffer owned by `slot`; bodies append candidate vertices
+  /// (duplicates allowed — CommitStage deduplicates).
+  std::vector<VertexIndex>& stage(int slot) { return stage_.buf(slot); }
+  /// Replays the staged candidates in slot order (== serial emission
+  /// order). Each vertex activates on the next side at most once (the
+  /// dense bitset swallows duplicates); `on_activate(v)` runs exactly for
+  /// the newly activated ones — in activation order — and returns the
+  /// degree to accumulate into the next side's stats.
+  template <typename OnActivate>
+  void CommitStage(OnActivate&& on_activate) {
+    stage_.Drain([&](VertexIndex v) {
+      if (!bits_[1 - current_].TestAndSet(static_cast<std::size_t>(v))) {
+        return;
+      }
+      sparse_[1 - current_].push_back(v);
+      degree_sum_[1 - current_] += on_activate(v);
+    });
+  }
+
+ private:
+  VertexIndex n_ = 0;
+  int current_ = 0;
+  std::vector<VertexIndex> sparse_[2];
+  Bitset bits_[2];
+  std::int64_t degree_sum_[2] = {0, 0};
+  SlotBuffers<VertexIndex> stage_;
+};
+
+}  // namespace ga::exec
+
+#endif  // GRAPHALYTICS_CORE_EXEC_FRONTIER_H_

@@ -85,19 +85,28 @@ class MessageArena {
 
   // --- next buffer: deliveries for the following superstep -------------
 
-  void Push(std::int64_t v, T value) { Append(1 - current_, v, value); }
+  /// Returns true iff this made v's next inbox non-empty (the first
+  /// delivery this superstep) — the signal frontier engines use to make
+  /// the target runnable exactly once instead of once per message.
+  bool Push(std::int64_t v, T value) {
+    const bool first = counts_[1 - current_][v] == 0;
+    Append(1 - current_, v, value);
+    return first;
+  }
 
   /// Combiner delivery: the segment holds at most one entry, folded with
-  /// `combine` (min for BFS/WCC/SSSP, sum for PageRank).
+  /// `combine` (min for BFS/WCC/SSSP, sum for PageRank). Returns true on
+  /// the first delivery, as Push does.
   template <typename Combine>
-  void PushCombined(std::int64_t v, T value, Combine&& combine) {
+  bool PushCombined(std::int64_t v, T value, Combine&& combine) {
     const int next = 1 - current_;
     if (counts_[next][v] == 0) {
       Append(next, v, value);
-    } else {
-      T& slot = values_[next][static_cast<std::size_t>(offsets_[v])];
-      slot = combine(slot, value);
+      return true;
     }
+    T& slot = values_[next][static_cast<std::size_t>(offsets_[v])];
+    slot = combine(slot, value);
+    return false;
   }
 
   /// Ends the superstep: the collected buffer becomes current and the
@@ -106,6 +115,20 @@ class MessageArena {
   void AdvanceSuperstep() {
     std::fill(counts_[current_].begin(), counts_[current_].end(),
               std::int64_t{0});
+    totals_[current_] = 0;
+    current_ = 1 - current_;
+  }
+
+  /// Zeroes one consumed inbox. Parallel-safe for distinct vertices
+  /// (plain disjoint writes); lets frontier engines recycle only the
+  /// inboxes that actually held mail, in O(active) instead of the O(n)
+  /// count sweep of AdvanceSuperstep.
+  void RecycleInbox(std::int64_t v) { counts_[current_][v] = 0; }
+
+  /// Ends the superstep when every non-empty inbox has already been
+  /// RecycleInbox'd (the frontier-driven engines guarantee this: mail
+  /// only exists at vertices the superstep executed).
+  void AdvanceSuperstepRecycled() {
     totals_[current_] = 0;
     current_ = 1 - current_;
   }

@@ -75,18 +75,14 @@ Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
   exec::parallel_sort(ctx, &ids, std::less<VertexId>{});
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   graph.external_ids_ = std::move(ids);
-  graph.index_of_.reserve(graph.external_ids_.size() * 2);
-  for (std::size_t i = 0; i < graph.external_ids_.size(); ++i) {
-    graph.index_of_.emplace(graph.external_ids_[i],
-                            static_cast<VertexIndex>(i));
-  }
   const VertexIndex n = graph.num_vertices();
 
   // 2. Canonicalise edges: remap ids, orient undirected edges low->high,
   //    drop or reject self-loops, sort, dedupe. The remap runs
-  //    host-parallel over raw-edge slices (the id map is read-only by
-  //    now); slot-ordered concatenation preserves input order, so the
-  //    duplicate-survivor choice is thread-count independent.
+  //    host-parallel over raw-edge slices (the sorted id array is
+  //    read-only by now); slot-ordered concatenation preserves input
+  //    order, so the duplicate-survivor choice is thread-count
+  //    independent.
   const bool undirected = directedness_ == Directedness::kUndirected;
   const std::int64_t num_raw =
       static_cast<std::int64_t>(raw_edges_.size());
@@ -101,8 +97,10 @@ Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
     out.reserve(static_cast<std::size_t>(slice.end - slice.begin));
     for (std::int64_t i = slice.begin; i < slice.end; ++i) {
       const RawEdge& raw = raw_edges_[i];
-      VertexIndex s = graph.index_of_.at(raw.source);
-      VertexIndex t = graph.index_of_.at(raw.target);
+      // Endpoints were folded into external_ids_ above, so IndexOf (a
+      // binary search over the sorted id array) cannot miss here.
+      VertexIndex s = graph.IndexOf(raw.source);
+      VertexIndex t = graph.IndexOf(raw.target);
       if (s == t) {
         if (slot_self_loop[slice.slot] == -1) {
           slot_self_loop[slice.slot] = raw.source;

@@ -14,10 +14,10 @@
 #ifndef GRAPHALYTICS_CORE_GRAPH_H_
 #define GRAPHALYTICS_CORE_GRAPH_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <span>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "core/exec/exec.h"
@@ -112,9 +112,14 @@ class Graph {
   std::span<const VertexId> external_ids() const { return external_ids_; }
 
   /// Internal index of an external id, or kInvalidVertex if absent.
+  /// Build sorts external_ids_ ascending, so the id->index map IS a
+  /// binary search over the id array — no separate hash index to build,
+  /// fill or keep resident.
   VertexIndex IndexOf(VertexId id) const {
-    auto it = index_of_.find(id);
-    return it == index_of_.end() ? kInvalidVertex : it->second;
+    auto it =
+        std::lower_bound(external_ids_.begin(), external_ids_.end(), id);
+    if (it == external_ids_.end() || *it != id) return kInvalidVertex;
+    return static_cast<VertexIndex>(it - external_ids_.begin());
   }
 
   /// Maximum out-degree (0 for an empty graph). Used by the memory model:
@@ -133,8 +138,7 @@ class Graph {
   Directedness directedness_ = Directedness::kDirected;
   bool weighted_ = false;
 
-  std::vector<VertexId> external_ids_;            // index -> external id
-  std::unordered_map<VertexId, VertexIndex> index_of_;
+  std::vector<VertexId> external_ids_;  // index -> external id, sorted
 
   std::vector<Edge> edges_;  // canonical logical edges
 

@@ -5,7 +5,9 @@
 #include <span>
 #include <vector>
 
+#include "algo/lcc_kernel.h"
 #include "core/exec/exec.h"
+#include "core/exec/frontier.h"
 #include "core/exec/message_arena.h"
 #include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
@@ -28,11 +30,19 @@ constexpr std::int64_t kMessageObjectBytes = 48;
 // through its Scope. Execution stops at quiescence (no active vertices,
 // no mail) or after max_supersteps.
 //
+// The runnable set (active ∪ has-mail) is a hybrid exec::Frontier: each
+// superstep iterates only the runnable worklist instead of sweeping all n
+// vertices, still-active votes stage per slot and commit in slot order,
+// and message delivery activates the target — so quiescence detection,
+// the inbox-memory charge and the vertex-program loop all cost O(runnable)
+// per superstep. This is the vote-to-halt payoff: the long sparse tails
+// of BFS/SSSP/WCC stop paying per-superstep full-vertex sweeps.
+//
 // Each superstep runs the vertex programs host-parallel via
-// exec::parallel_for. A program's sends go to its slot's outbox and are
-// delivered (with the combiner applied) in slot order after the loop, so
-// inbox contents — and therefore results and the WorkLedger — are
-// identical at any host thread count.
+// exec::parallel_for over the worklist. A program's sends go to its
+// slot's outbox and are delivered (with the combiner applied) in slot
+// order after the loop, so inbox contents — and therefore results and the
+// WorkLedger — are identical at any host thread count.
 class PregelRuntime {
  public:
   /// Message combiner, as provided by Giraph drivers: kMin for BFS / WCC /
@@ -53,8 +63,8 @@ class PregelRuntime {
       : ctx_(ctx),
         graph_(graph),
         combiner_(combiner),
-        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()),
-        active_(graph.num_vertices(), 0) {
+        workers_(graph, ctx.num_machines(), ctx.threads_per_machine()) {
+    runnable_.Init(graph.num_vertices());
     // Arena layout: a combiner caps every inbox at one entry; otherwise a
     // vertex can receive one message per in-edge, plus one per out-edge
     // when the algorithm also messages along reversed in-edges (CDLP on
@@ -72,11 +82,16 @@ class PregelRuntime {
     }
   }
 
-  void ActivateAll() { std::fill(active_.begin(), active_.end(), 1); }
+  /// Marks every vertex runnable for the first superstep (self-starting
+  /// algorithms). The worklist is ascending 0..n, the order the old
+  /// full-vertex sweep executed.
+  void ActivateAll() { runnable_.SeedAll(0); }
 
-  /// Injects a message to be delivered in the first superstep.
+  /// Injects a message to be delivered in the first superstep; the
+  /// target becomes runnable.
   void SeedMessage(VertexIndex target, double value) {
     inboxes_.SeedCurrent(target, value);
+    runnable_.Seed(target, 0);
   }
 
   /// Slot-local view of the runtime handed to a vertex program. Sends and
@@ -172,66 +187,146 @@ class PregelRuntime {
   template <typename VertexProgram>
   Status Run(VertexProgram&& program, int max_supersteps,
              const std::string& label) {
-    const VertexIndex n = graph_.num_vertices();
     for (int superstep = 0; superstep < max_supersteps; ++superstep) {
-      if (!AnyWork()) break;
+      if (runnable_.empty()) break;  // quiescence: no votes, no mail
       GA_RETURN_IF_ERROR(ChargeInboxBuffers(label));
 
+      // Slot decomposition over the FULL vertex range (as the classic
+      // sweep used). A *dense* superstep (every vertex runnable — the
+      // PR/CDLP steady state) iterates the range directly and stages only
+      // the HALTED vertices (usually none); a sparse superstep visits its
+      // runnable vertices via an ascending word scan of the frontier's
+      // dense bitset, so CSR reads stay in id order and per-slice cost is
+      // O(range/64 + runnable).
+      const VertexIndex n = graph_.num_vertices();
+      const bool dense = runnable_.active_count() == n;
       const int num_slots = exec::ExecContext::NumSlots(n);
       ctx_.PrepareSlotCharges(num_slots);
       ctx_.scratch().Prepare(num_slots);
       outboxes_.Reset(num_slots);
       aggregator_partials_.assign(num_slots, 0.0);
 
-      exec::parallel_for(
-          ctx_.exec(), 0, n, [&](const exec::Slice& slice) {
-            Scope scope(*this, slice.slot);
-            const CostProfile& profile = ctx_.profile();
-            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-              const std::int64_t mail_count = inboxes_.InboxSize(v);
-              if (!active_[v] && mail_count == 0) continue;
-              scope.charges_.worker_ops[workers_.worker_of(v)] +=
-                  static_cast<std::uint64_t>(
-                      profile.ops_per_vertex +
-                      profile.ops_per_message *
-                          static_cast<double>(mail_count));
-              scope.charges_.ledger.messages +=
-                  static_cast<std::uint64_t>(mail_count);
-              scope.charges_.ledger.allocations +=
-                  static_cast<std::uint64_t>(mail_count);
-              scope.BeginVertex(v);
-              program(v, inboxes_.Inbox(v), superstep, scope);
-              active_[v] = scope.halt_requested_ ? 0 : 1;
-            }
-          });
+      // Shared by both loop shapes below; must inline — an outlined call
+      // per vertex costs more than the frontier machinery it feeds.
+      auto execute_vertex = [&](Scope& scope, VertexIndex v)
+          __attribute__((always_inline)) {
+        const CostProfile& profile = ctx_.profile();
+        const std::int64_t mail_count = inboxes_.InboxSize(v);
+        scope.charges_.worker_ops[workers_.worker_of(v)] +=
+            static_cast<std::uint64_t>(
+                profile.ops_per_vertex +
+                profile.ops_per_message * static_cast<double>(mail_count));
+        scope.charges_.ledger.messages +=
+            static_cast<std::uint64_t>(mail_count);
+        scope.charges_.ledger.allocations +=
+            static_cast<std::uint64_t>(mail_count);
+        scope.BeginVertex(v);
+        program(v, inboxes_.Inbox(v), superstep, scope);
+        inboxes_.RecycleInbox(v);
+        return scope.halt_requested_;
+      };
+      if (dense) {
+        halted_.Reset(num_slots);
+        exec::parallel_for(
+            ctx_.exec(), 0, n, [&](const exec::Slice& slice) {
+              Scope scope(*this, slice.slot);
+              std::vector<VertexIndex>& halted = halted_.buf(slice.slot);
+              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                if (execute_vertex(scope, v)) halted.push_back(v);
+              }
+            });
+      } else {
+        runnable_.PrepareStage(num_slots);
+        exec::parallel_for(
+            ctx_.exec(), 0, n, [&](const exec::Slice& slice) {
+              Scope scope(*this, slice.slot);
+              std::vector<VertexIndex>& still_active =
+                  runnable_.stage(slice.slot);
+              runnable_.ForEachActiveInRange(
+                  slice.begin, slice.end, [&](VertexIndex v) {
+                    if (!execute_vertex(scope, v)) {
+                      still_active.push_back(v);
+                    }
+                  });
+            });
+      }
 
       ctx_.MergeSlotCharges();
       double aggregated = 0.0;
       for (double partial : aggregator_partials_) aggregated += partial;
       aggregator_ = aggregated;
-      // Slot-ordered delivery replays the sends in ascending vertex
-      // order — exactly the sequence a serial sweep would produce. The
-      // arena appends (or combines) into flat per-vertex segments; no
-      // per-message heap traffic.
-      outboxes_.Drain([&](const Message& message) {
-        switch (combiner_) {
-          case Combine::kNone:
-            inboxes_.Push(message.target, message.value);
-            break;
-          case Combine::kMin:
-            inboxes_.PushCombined(
+      // Vertices that did not vote to halt run again next superstep.
+      // Dense supersteps where nobody halted keep the full frontier as
+      // is — no per-vertex commit, no per-message activation, no swap;
+      // otherwise the continuing set commits in slot order (ascending)
+      // and message delivery activates each target once.
+      bool advance = true;
+      bool activate_on_delivery = true;
+      if (dense) {
+        const std::size_t halted_count = halted_.TotalSize();
+        if (halted_count == 0) {
+          advance = false;
+          activate_on_delivery = false;
+        } else if (halted_count < static_cast<std::size_t>(n)) {
+          // Mixed dense superstep: continuing = everyone minus halted.
+          halted_bits_.Resize(static_cast<std::size_t>(n));
+          halted_.Drain([&](VertexIndex v) {
+            halted_bits_.Set(static_cast<std::size_t>(v));
+          });
+          for (VertexIndex v = 0; v < n; ++v) {
+            if (!halted_bits_.Test(static_cast<std::size_t>(v))) {
+              runnable_.Activate(v, 0);
+            }
+          }
+        }  // halted_count == n: nothing continues, mail decides.
+      } else {
+        runnable_.CommitStage([](VertexIndex) { return EdgeIndex{0}; });
+      }
+      // Slot-ordered delivery replays the sends in worklist order —
+      // exactly the sequence a serial sweep over the worklist would
+      // produce. The arena appends (or combines) into flat per-vertex
+      // segments; no per-message heap traffic. Only the first delivery
+      // to an inbox can change runnability, so activation is per target,
+      // not per message — and supersteps that keep the full frontier
+      // (dense, nobody halted) skip even that.
+      auto deliver = [&](auto&& push_one) {
+        if (activate_on_delivery) {
+          outboxes_.Drain([&](const Message& message) {
+            if (push_one(message)) runnable_.Activate(message.target, 0);
+          });
+        } else {
+          outboxes_.Drain(
+              [&](const Message& message) { push_one(message); });
+        }
+      };
+      switch (combiner_) {
+        case Combine::kNone:
+          deliver([&](const Message& message) {
+            return inboxes_.Push(message.target, message.value);
+          });
+          break;
+        case Combine::kMin:
+          deliver([&](const Message& message) {
+            return inboxes_.PushCombined(
                 message.target, message.value,
                 [](double a, double b) { return std::min(a, b); });
-            break;
-          case Combine::kSum:
-            inboxes_.PushCombined(message.target, message.value,
-                                  [](double a, double b) { return a + b; });
-            break;
-        }
-      });
+          });
+          break;
+        case Combine::kSum:
+          deliver([&](const Message& message) {
+            return inboxes_.PushCombined(
+                message.target, message.value,
+                [](double a, double b) { return a + b; });
+          });
+          break;
+      }
 
       ReleaseInboxBuffers();
-      inboxes_.AdvanceSuperstep();
+      // Consumed inboxes were recycled per vertex inside the program
+      // loop (mail only exists at runnable vertices), so the swap is
+      // O(1) — no O(n) count sweep.
+      inboxes_.AdvanceSuperstepRecycled();
+      if (advance) runnable_.Advance();
       ctx_.EndSuperstep(label);
     }
     return Status::Ok();
@@ -240,17 +335,9 @@ class PregelRuntime {
   const WorkerMap& workers() const { return workers_; }
 
  private:
-  bool AnyWork() const {
-    if (inboxes_.TotalMessages() > 0) return true;
-    for (char a : active_) {
-      if (a) return true;
-    }
-    return false;
-  }
-
   Status ChargeInboxBuffers(const std::string& label) {
     charged_bytes_.assign(ctx_.num_machines(), 0);
-    for (VertexIndex v = 0; v < graph_.num_vertices(); ++v) {
+    for (VertexIndex v : runnable_.active()) {
       if (!inboxes_.InboxEmpty(v)) {
         charged_bytes_[workers_.machine_of(v)] +=
             inboxes_.InboxSize(v) * kMessageObjectBytes;
@@ -274,7 +361,9 @@ class PregelRuntime {
   Combine combiner_;
   WorkerMap workers_;
   exec::MessageArena<double> inboxes_;
-  std::vector<char> active_;
+  exec::Frontier runnable_;                // active ∪ has-mail
+  exec::SlotBuffers<VertexIndex> halted_;  // dense-superstep halt votes
+  Bitset halted_bits_;                     // mixed dense supersteps only
   std::vector<std::int64_t> charged_bytes_;
   exec::SlotBuffers<Message> outboxes_;
   std::vector<double> aggregator_partials_;
@@ -462,33 +551,15 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   output.algorithm = Algorithm::kLcc;
   output.double_values.assign(n, 0.0);
   WorkerMap workers(graph, ctx.num_machines(), ctx.threads_per_machine());
-
-  auto collect_neighborhood = [&](VertexIndex v, std::vector<char>& flag,
-                                  std::vector<std::int64_t>& neighborhood) {
-    neighborhood.clear();
-    for (VertexIndex u : graph.OutNeighbors(v)) {
-      if (u != v && !flag[u]) {
-        flag[u] = 1;
-        neighborhood.push_back(u);
-      }
-    }
-    if (graph.is_directed()) {
-      for (VertexIndex u : graph.InNeighbors(v)) {
-        if (u != v && !flag[u]) {
-          flag[u] = 1;
-          neighborhood.push_back(u);
-        }
-      }
-    }
-  };
+  lcc::NeighborhoodIndex index;
+  index.Build(ctx.exec(), graph);
 
   // Phase 1: neighbourhood exchange. Charge the materialised message
-  // buffers: every u ships out(u) to each member of N(u). Slots are
-  // capped: each slice owns an O(n) flag array (pooled, reused by phase 2).
+  // buffers: every u ships out(u) to each member of N(u). N(v) comes from
+  // the support index (algo/lcc_kernel.h) — no flag arrays.
   const int num_slots =
       exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
   ctx.PrepareSlotCharges(num_slots);
-  ctx.scratch().Prepare(num_slots);
   std::vector<std::vector<std::int64_t>> slot_machine_bytes(
       num_slots, std::vector<std::int64_t>(ctx.num_machines(), 0));
   auto lcc_parallel_for = [&](auto&& body) {
@@ -500,12 +571,8 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
     JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
     std::vector<std::int64_t>& machine_bytes =
         slot_machine_bytes[slice.slot];
-    std::vector<char>& flag =
-        ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
-    std::vector<std::int64_t>& neighborhood =
-        ctx.scratch().indices(slice.slot);
     for (VertexIndex u = slice.begin; u < slice.end; ++u) {
-      collect_neighborhood(u, flag, neighborhood);
+      const std::span<const VertexIndex> neighborhood = index.Neighbors(u);
       const std::int64_t list_bytes =
           static_cast<std::int64_t>(graph.OutDegree(u)) * 8 + 48;
       for (VertexIndex v : neighborhood) {
@@ -523,7 +590,6 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
         }
         charges.ledger.messages += 1;
       }
-      for (VertexIndex w : neighborhood) flag[w] = 0;
     }
   });
   ctx.MergeSlotCharges();
@@ -539,34 +605,26 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   }
   ctx.EndSuperstep("lcc/exchange");
 
-  // Phase 2: intersect received lists with the local neighbourhood.
+  // Phase 2: intersect received lists with the local neighbourhood
+  // (degree-oriented triangle counting; `scanned` keeps the modeled
+  // per-row scan volume for the op charge).
+  std::vector<std::int64_t> links;
+  index.CountLinks(ctx.exec(), &links);
   ctx.PrepareSlotCharges(num_slots);
   lcc_parallel_for([&](const exec::Slice& slice) {
     JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
-    std::vector<char>& flag =
-        ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
-    std::vector<std::int64_t>& neighborhood =
-        ctx.scratch().indices(slice.slot);
     for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-      collect_neighborhood(v, flag, neighborhood);
-      const double degree = static_cast<double>(neighborhood.size());
-      std::int64_t links = 0;
+      const std::span<const VertexIndex> neighborhood = index.Neighbors(v);
       std::uint64_t scanned = 0;
       if (neighborhood.size() >= 2) {
-        for (VertexIndex u : neighborhood) {
-          for (VertexIndex w : graph.OutNeighbors(u)) {
-            ++scanned;
-            if (w != v && flag[w]) ++links;
-          }
-        }
-        output.double_values[v] =
-            static_cast<double>(links) / (degree * (degree - 1.0));
+        scanned = lcc::ScannedEdgesProxy(graph, neighborhood);
+        output.double_values[v] = lcc::Coefficient(
+            links[v], static_cast<std::int64_t>(neighborhood.size()));
       }
       charges.worker_ops[workers.worker_of(v)] +=
           static_cast<std::uint64_t>(
               ctx.profile().ops_per_vertex +
               ctx.profile().ops_per_message * static_cast<double>(scanned));
-      for (VertexIndex w : neighborhood) flag[w] = 0;
     }
   });
   ctx.MergeSlotCharges();

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <cmath>
 #include <optional>
+#include <span>
 #include <vector>
 
+#include "algo/lcc_kernel.h"
 #include "core/exec/exec.h"
 #include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
@@ -505,48 +507,25 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   AlgorithmOutput output;
   output.algorithm = Algorithm::kLcc;
   output.double_values.assign(n, 0.0);
-  // Host-parallel intersection sweep: each slice owns its O(n)
-  // neighbourhood scratch (hence the slot cap); the scanned-row counts
-  // are charged per slot in slot order.
+  // Host-parallel degree-oriented triangle counting over the sorted CSR
+  // (algo/lcc_kernel.h); the scanned-row counts charged per slot keep the
+  // modeled join's flag-scan volume, so the simulated cost is unchanged.
+  lcc::NeighborhoodIndex index;
+  index.Build(ctx.exec(), graph);
+  std::vector<std::int64_t> links;
+  index.CountLinks(ctx.exec(), &links);
   const int num_slots =
       exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
   std::vector<std::uint64_t> slot_scanned(std::max(num_slots, 1), 0);
   exec::parallel_for(
       ctx.exec(), 0, n,
       [&](const exec::Slice& slice) {
-    std::vector<char> flag(n, 0);
-    std::vector<VertexIndex> neighborhood;
     for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-      neighborhood.clear();
-      for (VertexIndex u : graph.OutNeighbors(v)) {
-        if (u != v && !flag[u]) {
-          flag[u] = 1;
-          neighborhood.push_back(u);
-        }
-      }
-      if (graph.is_directed()) {
-        for (VertexIndex u : graph.InNeighbors(v)) {
-          if (u != v && !flag[u]) {
-            flag[u] = 1;
-            neighborhood.push_back(u);
-          }
-        }
-      }
-      std::uint64_t scanned = 0;
-      std::int64_t links = 0;
-      if (neighborhood.size() >= 2) {
-        for (VertexIndex u : neighborhood) {
-          for (VertexIndex w : graph.OutNeighbors(u)) {
-            ++scanned;
-            if (w != v && flag[w]) ++links;
-          }
-        }
-        const double degree = static_cast<double>(neighborhood.size());
-        output.double_values[v] =
-            static_cast<double>(links) / (degree * (degree - 1.0));
-      }
-      slot_scanned[slice.slot] += scanned;
-      for (VertexIndex w : neighborhood) flag[w] = 0;
+      const std::span<const VertexIndex> neighborhood = index.Neighbors(v);
+      if (neighborhood.size() < 2) continue;
+      slot_scanned[slice.slot] += lcc::ScannedEdgesProxy(graph, neighborhood);
+      output.double_values[v] = lcc::Coefficient(
+          links[v], static_cast<std::int64_t>(neighborhood.size()));
     }
       },
       exec::ExecContext::kScratchSlots);

@@ -6,7 +6,9 @@
 #include <span>
 #include <vector>
 
+#include "algo/lcc_kernel.h"
 #include "core/exec/exec.h"
+#include "core/exec/frontier.h"
 #include "core/exec/scratch_pool.h"
 #include "core/partition.h"
 #include "core/rng.h"
@@ -161,90 +163,158 @@ class GasRuntime {
 
 // Generic frontier propagation (BFS / SSSP / WCC share it): values only
 // ever decrease; an edge relaxation that lowers the target's value puts
-// the target in the next frontier. Each round scatters host-parallel over
-// every machine's edge list against the previous round's values
-// (candidates buffer per slot), then commits improvements in slot order —
-// level-synchronous GAS, deterministic at any host thread count.
-template <typename Value, typename Propose, typename Commit>
+// the target in the next frontier (a hybrid exec::Frontier). Two scatter
+// modes, chosen per round from frontier stats alone (deterministic at any
+// host thread count):
+//
+//   * dense (heavy frontier): the historical machine-by-machine sweep
+//     over every machine's edge permutation, testing endpoint activity
+//     against the frontier's dense bitset; machine m's commits land
+//     before machine m+1 scatters, so a label can hop machines within a
+//     round (PowerGraph's per-machine gather/apply interleave).
+//   * sparse (light frontier): scatter straight from the sparse queue
+//     over the CSR adjacency — work proportional to the frontier's edge
+//     volume instead of O(E) per round; candidates stage per slot and
+//     commit once after the scan.
+// `improves(target, value)` is commit's side-effect-free filter: the
+// sparse mode applies it at scan time so hopeless candidates never stage
+// (the dense sweep keeps its historical propose-everything behaviour).
+template <typename Value, typename Propose, typename Improves,
+          typename Commit>
 void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
                             const GasDeployment& deployment,
-                            GasRuntime& runtime, std::vector<char>* frontier,
+                            GasRuntime& runtime, exec::Frontier* frontier,
                             bool traverse_reverse, const std::string& label,
-                            Propose&& propose, Commit&& commit) {
+                            Propose&& propose, Improves&& improves,
+                            Commit&& commit) {
   struct Candidate {
     VertexIndex target;
     Value value;
   };
-  std::vector<char>& active = *frontier;
-  std::vector<char> next(active.size(), 0);
+  const bool directed = graph.is_directed();
+  const bool usable_reverse = !directed || traverse_reverse;
+  auto scan_degree = [&](VertexIndex v) -> EdgeIndex {
+    return graph.OutDegree(v) +
+           ((directed && traverse_reverse) ? graph.InDegree(v) : 0);
+  };
+  const auto total_scan =
+      static_cast<std::int64_t>(graph.num_adjacency_entries()) *
+      ((directed && traverse_reverse) ? 2 : 1);
+  exec::Frontier& active = *frontier;
   exec::SlotBuffers<Candidate> candidates;
   const int max_rounds = static_cast<int>(graph.num_vertices()) + 2;
-  for (int round = 0; round < max_rounds; ++round) {
-    bool any = false;
-    for (char a : active) {
-      if (a) {
-        any = true;
-        break;
-      }
-    }
-    if (!any) break;
-    std::fill(next.begin(), next.end(), 0);
+  for (int round = 0; round < max_rounds && !active.empty(); ++round) {
     std::span<const Edge> all_edges = graph.edges();
-    for (int m = 0; m < deployment.machines(); ++m) {
-      std::span<const EdgeIndex> edge_ids = deployment.edge_ids_of(m);
-      const std::int64_t num_edges =
-          static_cast<std::int64_t>(edge_ids.size());
-      const int num_slots = exec::ExecContext::NumSlots(num_edges);
+    if (active.Decide(total_scan, exec::Frontier::kPullAlphaSweep) ==
+        exec::TraversalDirection::kPull) {
+      // Dense sweep, one machine at a time.
+      for (int m = 0; m < deployment.machines(); ++m) {
+        std::span<const EdgeIndex> edge_ids = deployment.edge_ids_of(m);
+        const std::int64_t num_edges =
+            static_cast<std::int64_t>(edge_ids.size());
+        const int num_slots = exec::ExecContext::NumSlots(num_edges);
+        ctx.PrepareSlotCharges(num_slots);
+        candidates.Reset(num_slots);
+        exec::parallel_for(
+            ctx.exec(), 0, num_edges, [&](const exec::Slice& slice) {
+              JobContext::SlotCharges& charges =
+                  ctx.slot_charges(slice.slot);
+              std::vector<Candidate>& out = candidates.buf(slice.slot);
+              for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+                const Edge& edge =
+                    all_edges[static_cast<std::size_t>(edge_ids[e])];
+                bool touched = false;
+                if (active.Contains(edge.source)) {
+                  touched = true;
+                  out.push_back(
+                      {edge.target, propose(edge.source, edge.weight)});
+                }
+                if (usable_reverse && active.Contains(edge.target)) {
+                  touched = true;
+                  out.push_back(
+                      {edge.source, propose(edge.target, edge.weight)});
+                }
+                if (touched) {
+                  runtime.ChargeEdgeWork(charges, m,
+                                         static_cast<std::size_t>(e),
+                                         ctx.profile().ops_per_edge);
+                }
+              }
+            });
+        ctx.MergeSlotCharges();
+        candidates.Drain([&](const Candidate& candidate) {
+          if (commit(candidate.target, candidate.value)) {
+            active.Activate(candidate.target, scan_degree(candidate.target));
+          }
+        });
+      }
+    } else {
+      // Sparse scatter from the frontier queue over the CSR; the per-edge
+      // work lands at the scattering vertex's master (the edge-id hash
+      // placement needs the edge sweep, which this mode exists to skip).
+      const std::int64_t frontier_size = active.active_count();
+      const std::span<const VertexIndex> worklist = active.active();
+      const int num_slots = exec::ExecContext::NumSlots(frontier_size);
       ctx.PrepareSlotCharges(num_slots);
       candidates.Reset(num_slots);
       exec::parallel_for(
-          ctx.exec(), 0, num_edges, [&](const exec::Slice& slice) {
+          ctx.exec(), 0, frontier_size, [&](const exec::Slice& slice) {
             JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
             std::vector<Candidate>& out = candidates.buf(slice.slot);
-            for (std::int64_t e = slice.begin; e < slice.end; ++e) {
-              const Edge& edge =
-                  all_edges[static_cast<std::size_t>(edge_ids[e])];
-              bool touched = false;
-              if (active[edge.source]) {
-                touched = true;
-                out.push_back(
-                    {edge.target, propose(edge.source, edge.weight)});
+            for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+              const VertexIndex v = worklist[i];
+              EdgeIndex scanned = 0;
+              const auto neighbors = graph.OutNeighbors(v);
+              const auto weights = graph.OutWeights(v);
+              for (std::size_t j = 0; j < neighbors.size(); ++j) {
+                const Value value =
+                    propose(v, weights.empty() ? 1.0 : weights[j]);
+                if (improves(neighbors[j], value)) {
+                  out.push_back({neighbors[j], value});
+                }
+                ++scanned;
               }
-              const bool usable_reverse =
-                  !graph.is_directed() || traverse_reverse;
-              if (usable_reverse && active[edge.target]) {
-                touched = true;
-                out.push_back(
-                    {edge.source, propose(edge.target, edge.weight)});
+              if (directed && traverse_reverse) {
+                const auto sources = graph.InNeighbors(v);
+                const auto in_weights = graph.InWeights(v);
+                for (std::size_t j = 0; j < sources.size(); ++j) {
+                  const Value value = propose(
+                      v, in_weights.empty() ? 1.0 : in_weights[j]);
+                  if (improves(sources[j], value)) {
+                    out.push_back({sources[j], value});
+                  }
+                  ++scanned;
+                }
               }
-              if (touched) {
-                runtime.ChargeEdgeWork(charges, m,
-                                       static_cast<std::size_t>(e),
-                                       ctx.profile().ops_per_edge);
-              }
+              runtime.ChargeApply(charges, v,
+                                  ctx.profile().ops_per_edge *
+                                      static_cast<double>(scanned));
             }
           });
       ctx.MergeSlotCharges();
       candidates.Drain([&](const Candidate& candidate) {
         if (commit(candidate.target, candidate.value)) {
-          next[candidate.target] = 1;
+          active.Activate(candidate.target, scan_degree(candidate.target));
         }
       });
     }
-    const std::int64_t n = static_cast<std::int64_t>(next.size());
-    const int apply_slots = exec::ExecContext::NumSlots(n);
+    active.Advance();
+    // Apply at the masters of every vertex the round updated (the new
+    // current frontier), mirror sync included.
+    const std::int64_t updated = active.active_count();
+    const std::span<const VertexIndex> applied = active.active();
+    const int apply_slots = exec::ExecContext::NumSlots(updated);
     ctx.PrepareSlotCharges(apply_slots);
-    exec::parallel_for(ctx.exec(), 0, n, [&](const exec::Slice& slice) {
-      JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
-      for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-        if (next[v]) {
-          runtime.ChargeApply(charges, v, ctx.profile().ops_per_vertex);
-          runtime.ChargeMirrorSync(charges, v);
-        }
-      }
-    });
+    exec::parallel_for(
+        ctx.exec(), 0, updated, [&](const exec::Slice& slice) {
+          JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
+          for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+            runtime.ChargeApply(charges, applied[i],
+                                ctx.profile().ops_per_vertex);
+            runtime.ChargeMirrorSync(charges, applied[i]);
+          }
+        });
     ctx.MergeSlotCharges();
-    active.swap(next);
     ctx.EndSuperstep(label);
   }
 }
@@ -332,13 +402,17 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       output.algorithm = Algorithm::kBfs;
       output.int_values.assign(n, kUnreachableHops);
       output.int_values[root] = 0;
-      std::vector<char> frontier(n, 0);
-      frontier[root] = 1;
+      exec::Frontier frontier;
+      frontier.Init(n);
+      frontier.Seed(root, graph.OutDegree(root));
       RunFrontierPropagation<std::int64_t>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/false, "bfs",
           [&](VertexIndex from, Weight) {
             return output.int_values[from] + 1;
+          },
+          [&](VertexIndex to, std::int64_t candidate) {
+            return candidate < output.int_values[to];
           },
           [&](VertexIndex to, std::int64_t candidate) {
             if (candidate < output.int_values[to]) {
@@ -358,13 +432,17 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       output.algorithm = Algorithm::kSssp;
       output.double_values.assign(n, kUnreachableDistance);
       output.double_values[root] = 0.0;
-      std::vector<char> frontier(n, 0);
-      frontier[root] = 1;
+      exec::Frontier frontier;
+      frontier.Init(n);
+      frontier.Seed(root, graph.OutDegree(root));
       RunFrontierPropagation<double>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/false, "sssp",
           [&](VertexIndex from, Weight weight) {
             return output.double_values[from] + weight;
+          },
+          [&](VertexIndex to, double candidate) {
+            return candidate < output.double_values[to];
           },
           [&](VertexIndex to, double candidate) {
             if (candidate < output.double_values[to]) {
@@ -382,11 +460,18 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       for (VertexIndex v = 0; v < n; ++v) {
         output.int_values[v] = graph.ExternalId(v);
       }
-      std::vector<char> frontier(n, 1);
+      exec::Frontier frontier;
+      frontier.Init(n);
+      frontier.SeedAll(
+          static_cast<std::int64_t>(graph.num_adjacency_entries()) *
+          (graph.is_directed() ? 2 : 1));
       RunFrontierPropagation<std::int64_t>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/true, "wcc",
           [&](VertexIndex from, Weight) { return output.int_values[from]; },
+          [&](VertexIndex to, std::int64_t candidate) {
+            return candidate < output.int_values[to];
+          },
           [&](VertexIndex to, std::int64_t candidate) {
             if (candidate < output.int_values[to]) {
               output.int_values[to] = candidate;
@@ -506,55 +591,33 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       return output;
     }
     case Algorithm::kLcc: {
-      // Memory-frugal gather: per-vertex neighbourhood flags + CSR scans,
-      // no materialised inboxes — PowerGraph survives LCC (§4.2). Runs
-      // host-parallel over vertex slices, each owning its flag scratch.
+      // Memory-frugal gather, no materialised inboxes — PowerGraph
+      // survives LCC (§4.2). Host side: degree-oriented triangle
+      // counting over the sorted CSR (algo/lcc_kernel.h); the simulated
+      // ops still charge the modeled flag-array scan volume.
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
-      // Slot cap: each slice owns an O(n) pooled flag array.
+      lcc::NeighborhoodIndex index;
+      index.Build(ctx.exec(), graph);
+      std::vector<std::int64_t> links;
+      index.CountLinks(ctx.exec(), &links);
       const int num_slots =
           exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots);
       ctx.PrepareSlotCharges(num_slots);
-      ctx.scratch().Prepare(num_slots);
       exec::parallel_for(
           ctx.exec(), 0, n,
           [&](const exec::Slice& slice) {
         JobContext::SlotCharges& charges = ctx.slot_charges(slice.slot);
-        std::vector<char>& flag =
-            ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
-        std::vector<std::int64_t>& neighborhood =
-            ctx.scratch().indices(slice.slot);
         for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-          neighborhood.clear();
-          for (VertexIndex u : graph.OutNeighbors(v)) {
-            if (u != v && !flag[u]) {
-              flag[u] = 1;
-              neighborhood.push_back(u);
-            }
-          }
-          if (graph.is_directed()) {
-            for (VertexIndex u : graph.InNeighbors(v)) {
-              if (u != v && !flag[u]) {
-                flag[u] = 1;
-                neighborhood.push_back(u);
-              }
-            }
-          }
+          const std::span<const VertexIndex> neighborhood =
+              index.Neighbors(v);
           std::uint64_t scanned = 0;
-          std::int64_t links = 0;
           if (neighborhood.size() >= 2) {
-            for (VertexIndex u : neighborhood) {
-              for (VertexIndex w : graph.OutNeighbors(u)) {
-                ++scanned;
-                if (w != v && flag[w]) ++links;
-              }
-            }
-            const double degree = static_cast<double>(neighborhood.size());
-            output.double_values[v] =
-                static_cast<double>(links) / (degree * (degree - 1.0));
+            scanned = lcc::ScannedEdgesProxy(graph, neighborhood);
+            output.double_values[v] = lcc::Coefficient(
+                links[v], static_cast<std::int64_t>(neighborhood.size()));
           }
-          for (VertexIndex w : neighborhood) flag[w] = 0;
           runtime.ChargeApply(
               charges, v,
               ctx.profile().ops_per_vertex +

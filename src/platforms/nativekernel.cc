@@ -6,7 +6,9 @@
 #include <queue>
 #include <vector>
 
+#include "algo/lcc_kernel.h"
 #include "core/exec/exec.h"
+#include "core/exec/frontier.h"
 #include "core/exec/scratch_pool.h"
 #include "core/rng.h"
 
@@ -50,9 +52,14 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
   const VertexIndex n = graph.num_vertices();
   switch (algorithm) {
     case Algorithm::kBfs: {
-      // Queue-based BFS: work is proportional to the vertices and edges
-      // actually reached — no per-level full-vertex sweeps (the paper's
-      // explanation for OpenG's win on R2, §4.1).
+      // Direction-optimizing worklist BFS on the hybrid frontier
+      // (core/exec/frontier.h): light levels push from the sparse queue —
+      // work proportional to the vertices and edges actually reached, the
+      // paper's explanation for OpenG's win on R2 (§4.1) — and the heavy
+      // middle levels pull against the dense bitset, stopping at the
+      // first discovered parent. Depths are identical to the queue BFS
+      // this replaces; level structure is decided from frontier stats
+      // only, so the traversal is `--jobs`-invariant.
       const VertexIndex root = graph.IndexOf(params.source_vertex);
       if (root == kInvalidVertex) {
         return Status::InvalidArgument("BFS source not in graph");
@@ -61,22 +68,69 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
       output.algorithm = Algorithm::kBfs;
       output.int_values.assign(n, kUnreachableHops);
       output.int_values[root] = 0;
-      std::queue<VertexIndex> queue;
-      queue.push(root);
+      exec::Frontier frontier;
+      frontier.Init(n);
+      frontier.Seed(root, graph.OutDegree(root));
+      const std::int64_t total_entries =
+          static_cast<std::int64_t>(graph.num_adjacency_entries());
+      std::vector<std::uint64_t> touched_scratch;
+      std::int64_t depth = 0;
       std::uint64_t touched_edges = 0;
       std::uint64_t visited = 0;
-      while (!queue.empty()) {
-        const VertexIndex v = queue.front();
-        queue.pop();
-        ++visited;
-        const std::int64_t next_depth = output.int_values[v] + 1;
-        for (VertexIndex u : graph.OutNeighbors(v)) {
-          ++touched_edges;
-          if (output.int_values[u] == kUnreachableHops) {
-            output.int_values[u] = next_depth;
-            queue.push(u);
-          }
+      while (!frontier.empty()) {
+        ++depth;
+        visited += static_cast<std::uint64_t>(frontier.active_count());
+        std::uint64_t level_touched = 0;
+        if (frontier.Decide(total_entries) ==
+            exec::TraversalDirection::kPush) {
+          const std::int64_t frontier_size = frontier.active_count();
+          const std::span<const VertexIndex> active = frontier.active();
+          const int num_slots = exec::ExecContext::NumSlots(frontier_size);
+          frontier.PrepareStage(num_slots);
+          level_touched = exec::parallel_reduce(
+              ctx.exec(), 0, frontier_size, std::uint64_t{0},
+              [&](const exec::Slice& slice, std::uint64_t& acc) {
+                std::vector<VertexIndex>& out = frontier.stage(slice.slot);
+                for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+                  for (VertexIndex u : graph.OutNeighbors(active[i])) {
+                    ++acc;
+                    if (output.int_values[u] == kUnreachableHops) {
+                      out.push_back(u);
+                    }
+                  }
+                }
+              },
+              [](std::uint64_t& into, std::uint64_t from) { into += from; },
+              &touched_scratch);
+        } else {
+          // Pull: every undiscovered vertex scans in-neighbours, stopping
+          // at the first one in the (dense) frontier.
+          const int num_slots = exec::ExecContext::NumSlots(n);
+          frontier.PrepareStage(num_slots);
+          level_touched = exec::parallel_reduce(
+              ctx.exec(), 0, n, std::uint64_t{0},
+              [&](const exec::Slice& slice, std::uint64_t& acc) {
+                std::vector<VertexIndex>& out = frontier.stage(slice.slot);
+                for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                  if (output.int_values[v] != kUnreachableHops) continue;
+                  for (VertexIndex u : graph.InNeighbors(v)) {
+                    ++acc;
+                    if (frontier.Contains(u)) {
+                      out.push_back(v);
+                      break;
+                    }
+                  }
+                }
+              },
+              [](std::uint64_t& into, std::uint64_t from) { into += from; },
+              &touched_scratch);
         }
+        frontier.CommitStage([&](VertexIndex u) {
+          output.int_values[u] = depth;
+          return graph.OutDegree(u);
+        });
+        touched_edges += level_touched;
+        frontier.Advance();
       }
       DistributeOps(
           ctx, static_cast<std::uint64_t>(
@@ -263,54 +317,31 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
       return output;
     }
     case Algorithm::kLcc: {
-      // Flag-array neighbourhood intersection over CSR; memory stays
-      // O(n + m) — one of the two platforms that complete LCC (§4.2).
+      // Degree-oriented triangle counting over the sorted CSR
+      // (algo/lcc_kernel.h): no flag arrays, no O(n) per-slot scratch —
+      // one of the two platforms that complete LCC (§4.2). The simulated
+      // ops still charge the flag-array scan volume the modeled native
+      // kernel performs.
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
-      ctx.scratch().Prepare(
-          exec::ExecContext::NumSlots(n, exec::ExecContext::kScratchSlots));
+      lcc::NeighborhoodIndex index;
+      index.Build(ctx.exec(), graph);
+      std::vector<std::int64_t> links;
+      index.CountLinks(ctx.exec(), &links);
       const std::uint64_t scanned = exec::parallel_reduce(
           ctx.exec(), 0, n, std::uint64_t{0},
           [&](const exec::Slice& slice, std::uint64_t& acc) {
-            std::vector<char>& flag =
-                ctx.scratch().flags(slice.slot, static_cast<std::size_t>(n));
-            std::vector<std::int64_t>& neighborhood =
-                ctx.scratch().indices(slice.slot);
             for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-              neighborhood.clear();
-              for (VertexIndex u : graph.OutNeighbors(v)) {
-                if (u != v && !flag[u]) {
-                  flag[u] = 1;
-                  neighborhood.push_back(u);
-                }
-              }
-              if (graph.is_directed()) {
-                for (VertexIndex u : graph.InNeighbors(v)) {
-                  if (u != v && !flag[u]) {
-                    flag[u] = 1;
-                    neighborhood.push_back(u);
-                  }
-                }
-              }
-              std::int64_t links = 0;
-              if (neighborhood.size() >= 2) {
-                for (VertexIndex u : neighborhood) {
-                  for (VertexIndex w : graph.OutNeighbors(u)) {
-                    ++acc;
-                    if (w != v && flag[w]) ++links;
-                  }
-                }
-                const double degree =
-                    static_cast<double>(neighborhood.size());
-                output.double_values[v] =
-                    static_cast<double>(links) / (degree * (degree - 1.0));
-              }
-              for (VertexIndex w : neighborhood) flag[w] = 0;
+              const std::span<const VertexIndex> neighborhood =
+                  index.Neighbors(v);
+              if (neighborhood.size() < 2) continue;
+              acc += lcc::ScannedEdgesProxy(graph, neighborhood);
+              output.double_values[v] = lcc::Coefficient(
+                  links[v], static_cast<std::int64_t>(neighborhood.size()));
             }
           },
-          [](std::uint64_t& into, std::uint64_t from) { into += from; },
-          exec::ExecContext::kScratchSlots);
+          [](std::uint64_t& into, std::uint64_t from) { into += from; });
       DistributeOps(ctx, static_cast<std::uint64_t>(
                              static_cast<double>(scanned) *
                              ctx.profile().ops_per_edge));

@@ -2,9 +2,11 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "core/exec/exec.h"
+#include "core/exec/frontier.h"
 #include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
 
@@ -120,41 +122,45 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
   output.int_values.assign(n, kUnreachableHops);
   output.int_values[root] = 0;
   PushPullRuntime runtime(ctx, graph);
+  const bool multi = ctx.num_machines() > 1;
 
-  std::vector<VertexIndex> frontier{root};
-  std::vector<VertexIndex> next;
-  exec::SlotBuffers<VertexIndex> discovered;
+  // Hybrid frontier (core/exec/frontier.h): the sparse queue drives push
+  // levels, the dense bitset answers the pull level's parent tests, and
+  // the out-edge stat replaces the per-level degree-summing loop.
+  exec::Frontier frontier;
+  frontier.Init(n);
+  frontier.Seed(root, graph.OutDegree(root));
+  std::vector<std::uint64_t> remote_scratch;
   std::int64_t depth = 0;
-  const EdgeIndex total_entries = graph.num_adjacency_entries();
+  const auto total_entries =
+      static_cast<std::int64_t>(graph.num_adjacency_entries());
   while (!frontier.empty()) {
     ++depth;
-    next.clear();
-    EdgeIndex frontier_edges = 0;
-    for (VertexIndex v : frontier) frontier_edges += graph.OutDegree(v);
     GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(
-        frontier.size(), "bfs frontier"));
+        static_cast<std::uint64_t>(frontier.active_count()),
+        "bfs frontier"));
 
     // Both directions scan host-parallel against the previous level's
-    // state; discoveries buffer per slot and commit in slot order, which
+    // state; discoveries stage per slot and commit in slot order, which
     // matches the serial scan order exactly.
     std::uint64_t remote = 0;
-    if (frontier_edges * 20 < total_entries) {
+    if (frontier.Decide(total_entries) == exec::TraversalDirection::kPush) {
       // Push: sparse frontier writes to unvisited out-neighbours.
-      const std::int64_t frontier_size =
-          static_cast<std::int64_t>(frontier.size());
+      const std::int64_t frontier_size = frontier.active_count();
+      const std::span<const VertexIndex> active = frontier.active();
       const int num_slots = exec::ExecContext::NumSlots(frontier_size);
       runtime.PrepareSlots(num_slots);
-      discovered.Reset(num_slots);
+      frontier.PrepareStage(num_slots);
       remote = exec::parallel_reduce(
           ctx.exec(), 0, frontier_size, std::uint64_t{0},
           [&](const exec::Slice& slice, std::uint64_t& acc) {
-            std::vector<VertexIndex>& out = discovered.buf(slice.slot);
+            std::vector<VertexIndex>& out = frontier.stage(slice.slot);
             for (std::int64_t i = slice.begin; i < slice.end; ++i) {
-              const VertexIndex v = frontier[i];
+              const VertexIndex v = active[i];
               double ops = ctx.profile().ops_per_vertex;
               for (VertexIndex u : graph.OutNeighbors(v)) {
                 ops += ctx.profile().ops_per_edge;
-                if (runtime.IsRemote(v, u)) ++acc;
+                if (multi && runtime.IsRemote(v, u)) ++acc;
                 if (output.int_values[u] == kUnreachableHops) {
                   out.push_back(u);
                 }
@@ -162,30 +168,25 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
               runtime.ChargeVertexWork(slice.slot, v, ops);
             }
           },
-          [](std::uint64_t& into, std::uint64_t from) { into += from; });
-      discovered.Drain([&](VertexIndex u) {
-        if (output.int_values[u] == kUnreachableHops) {
-          output.int_values[u] = depth;
-          next.push_back(u);
-        }
-      });
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          &remote_scratch);
     } else {
       // Pull: every unvisited vertex scans in-neighbours, stopping at the
       // first frontier parent (the direction-optimisation payoff).
       const int num_slots = exec::ExecContext::NumSlots(n);
       runtime.PrepareSlots(num_slots);
-      discovered.Reset(num_slots);
+      frontier.PrepareStage(num_slots);
       remote = exec::parallel_reduce(
           ctx.exec(), 0, n, std::uint64_t{0},
           [&](const exec::Slice& slice, std::uint64_t& acc) {
-            std::vector<VertexIndex>& out = discovered.buf(slice.slot);
+            std::vector<VertexIndex>& out = frontier.stage(slice.slot);
             for (VertexIndex v = slice.begin; v < slice.end; ++v) {
               if (output.int_values[v] != kUnreachableHops) continue;
               double ops = ctx.profile().ops_per_vertex;
               for (VertexIndex u : graph.InNeighbors(v)) {
                 ops += ctx.profile().ops_per_edge;
-                if (runtime.IsRemote(u, v)) ++acc;
-                if (output.int_values[u] == depth - 1) {
+                if (multi && runtime.IsRemote(u, v)) ++acc;
+                if (frontier.Contains(u)) {
                   out.push_back(v);
                   break;
                 }
@@ -193,17 +194,18 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
               runtime.ChargeVertexWork(slice.slot, v, ops);
             }
           },
-          [](std::uint64_t& into, std::uint64_t from) { into += from; });
-      discovered.Drain([&](VertexIndex v) {
-        output.int_values[v] = depth;
-        next.push_back(v);
-      });
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          &remote_scratch);
     }
+    frontier.CommitStage([&](VertexIndex u) {
+      output.int_values[u] = depth;
+      return graph.OutDegree(u);
+    });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
     ctx.EndSuperstep("bfs");
     runtime.ReleaseFrontierBuffers();
-    frontier.swap(next);
+    frontier.Advance();
   }
   return output;
 }
@@ -216,6 +218,7 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
   output.double_values.assign(n, n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
   if (n == 0) return output;
   PushPullRuntime runtime(ctx, graph);
+  const bool multi = ctx.num_machines() > 1;
   std::vector<double> next(n, 0.0);
   std::vector<double> dangling_scratch;
   std::vector<std::uint64_t> remote_scratch;
@@ -242,7 +245,7 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
             double ops = ctx.profile().ops_per_vertex;
             for (VertexIndex u : graph.InNeighbors(v)) {
               ops += ctx.profile().ops_per_edge;
-              if (runtime.IsRemote(u, v)) ++acc;
+              if (multi && runtime.IsRemote(u, v)) ++acc;
               sum += output.double_values[u] /
                      static_cast<double>(graph.OutDegree(u));
             }
@@ -269,65 +272,117 @@ Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
     output.int_values[v] = graph.ExternalId(v);
   }
   PushPullRuntime runtime(ctx, graph);
-  std::vector<char> in_frontier(n, 1);
-  std::vector<VertexIndex> frontier(n);
-  for (VertexIndex v = 0; v < n; ++v) frontier[v] = v;
-  std::vector<VertexIndex> next;
+  const bool multi = ctx.num_machines() > 1;
+
+  // WCC propagates along both edge directions, so the frontier's degree
+  // stat counts both and the pull threshold compares against the full
+  // bidirectional scan volume.
+  const bool directed = graph.is_directed();
+  auto scan_degree = [&](VertexIndex v) {
+    return graph.OutDegree(v) + (directed ? graph.InDegree(v) : 0);
+  };
+  const auto total_scan =
+      static_cast<std::int64_t>(graph.num_adjacency_entries()) *
+      (directed ? 2 : 1);
+  exec::Frontier frontier;
+  frontier.Init(n);
+  frontier.SeedAll(total_scan);
+
   struct LabelPush {
     VertexIndex target;
     std::int64_t label;
   };
   exec::SlotBuffers<LabelPush> pushed;
+  std::vector<std::uint64_t> remote_scratch;
   const int max_rounds = static_cast<int>(n) + 2;
   for (int round = 0; round < max_rounds && !frontier.empty(); ++round) {
-    next.clear();
-    std::fill(in_frontier.begin(), in_frontier.end(), 0);
-    GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(frontier.size(),
-                                                     "wcc frontier"));
-    // Parallel expand against last round's labels; improving pushes are
-    // committed min-first in slot order.
-    const std::int64_t frontier_size =
-        static_cast<std::int64_t>(frontier.size());
-    const int num_slots = exec::ExecContext::NumSlots(frontier_size);
-    runtime.PrepareSlots(num_slots);
-    pushed.Reset(num_slots);
-    const std::uint64_t remote = exec::parallel_reduce(
-        ctx.exec(), 0, frontier_size, std::uint64_t{0},
-        [&](const exec::Slice& slice, std::uint64_t& acc) {
-          std::vector<LabelPush>& out = pushed.buf(slice.slot);
-          for (std::int64_t i = slice.begin; i < slice.end; ++i) {
-            const VertexIndex v = frontier[i];
-            double ops = ctx.profile().ops_per_vertex;
-            const std::int64_t label = output.int_values[v];
-            auto push_to = [&](VertexIndex u) {
-              ops += ctx.profile().ops_per_edge;
-              if (runtime.IsRemote(v, u)) ++acc;
-              if (label < output.int_values[u]) {
-                out.push_back({u, label});
+    GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(
+        static_cast<std::uint64_t>(frontier.active_count()),
+        "wcc frontier"));
+    std::uint64_t remote = 0;
+    // Deliberately the early-exit alpha (20), NOT kPullAlphaSweep: this
+    // engine's push stages a 16-byte candidate per improving edge, and
+    // in WCC's label-cascade rounds most scanned edges improve — so a
+    // pull round (at most one staged candidate per vertex) beats push
+    // well below full saturation. Measured on the bench graph: 2.4x at
+    // alpha 20 vs 1.0x at alpha 1.
+    if (frontier.Decide(total_scan) == exec::TraversalDirection::kPull) {
+      // Pull (the heavy early rounds, where nearly every vertex is
+      // active): each vertex folds the labels of all its neighbours —
+      // one improving candidate per vertex instead of a per-edge push
+      // multiset.
+      const int num_slots = exec::ExecContext::NumSlots(n);
+      runtime.PrepareSlots(num_slots);
+      pushed.Reset(num_slots);
+      remote = exec::parallel_reduce(
+          ctx.exec(), 0, n, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<LabelPush>& out = pushed.buf(slice.slot);
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              double ops = ctx.profile().ops_per_vertex;
+              std::int64_t best = output.int_values[v];
+              auto pull_from = [&](VertexIndex u) {
+                ops += ctx.profile().ops_per_edge;
+                if (multi && frontier.Contains(u) &&
+                    runtime.IsRemote(u, v)) {
+                  ++acc;
+                }
+                best = std::min(best, output.int_values[u]);
+              };
+              for (VertexIndex u : graph.OutNeighbors(v)) pull_from(u);
+              if (directed) {
+                for (VertexIndex u : graph.InNeighbors(v)) pull_from(u);
               }
-            };
-            for (VertexIndex u : graph.OutNeighbors(v)) push_to(u);
-            if (graph.is_directed()) {
-              for (VertexIndex u : graph.InNeighbors(v)) push_to(u);
+              if (best < output.int_values[v]) out.push_back({v, best});
+              runtime.ChargeVertexWork(slice.slot, v, ops);
             }
-            runtime.ChargeVertexWork(slice.slot, v, ops);
-          }
-        },
-        [](std::uint64_t& into, std::uint64_t from) { into += from; });
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          &remote_scratch);
+    } else {
+      // Push: parallel expand from the sparse queue against last round's
+      // labels; improving pushes commit min-first in slot order.
+      const std::int64_t frontier_size = frontier.active_count();
+      const std::span<const VertexIndex> active = frontier.active();
+      const int num_slots = exec::ExecContext::NumSlots(frontier_size);
+      runtime.PrepareSlots(num_slots);
+      pushed.Reset(num_slots);
+      remote = exec::parallel_reduce(
+          ctx.exec(), 0, frontier_size, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<LabelPush>& out = pushed.buf(slice.slot);
+            for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+              const VertexIndex v = active[i];
+              double ops = ctx.profile().ops_per_vertex;
+              const std::int64_t label = output.int_values[v];
+              auto push_to = [&](VertexIndex u) {
+                ops += ctx.profile().ops_per_edge;
+                if (multi && runtime.IsRemote(v, u)) ++acc;
+                if (label < output.int_values[u]) {
+                  out.push_back({u, label});
+                }
+              };
+              for (VertexIndex u : graph.OutNeighbors(v)) push_to(u);
+              if (directed) {
+                for (VertexIndex u : graph.InNeighbors(v)) push_to(u);
+              }
+              runtime.ChargeVertexWork(slice.slot, v, ops);
+            }
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          &remote_scratch);
+    }
     pushed.Drain([&](const LabelPush& push) {
       if (push.label < output.int_values[push.target]) {
         output.int_values[push.target] = push.label;
-        if (!in_frontier[push.target]) {
-          in_frontier[push.target] = 1;
-          next.push_back(push.target);
-        }
+        frontier.Activate(push.target, scan_degree(push.target));
       }
     });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
     ctx.EndSuperstep("wcc");
     runtime.ReleaseFrontierBuffers();
-    frontier.swap(next);
+    frontier.Advance();
   }
   return output;
 }
@@ -342,6 +397,7 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
     output.int_values[v] = graph.ExternalId(v);
   }
   PushPullRuntime runtime(ctx, graph);
+  const bool multi = ctx.num_machines() > 1;
   std::vector<std::int64_t> next(n);
   std::vector<std::uint64_t> remote_scratch;
   const int num_slots = exec::ExecContext::NumSlots(n);
@@ -356,13 +412,13 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
             double ops = ctx.profile().ops_per_vertex;
             for (VertexIndex u : graph.OutNeighbors(v)) {
               ops += ctx.profile().ops_per_edge * 3.5;
-              if (runtime.IsRemote(u, v)) ++acc;
+              if (multi && runtime.IsRemote(u, v)) ++acc;
               labels.Add(output.int_values[u]);
             }
             if (graph.is_directed()) {
               for (VertexIndex u : graph.InNeighbors(v)) {
                 ops += ctx.profile().ops_per_edge * 3.5;
-                if (runtime.IsRemote(u, v)) ++acc;
+                if (multi && runtime.IsRemote(u, v)) ++acc;
                 labels.Add(output.int_values[u]);
               }
             }
@@ -389,60 +445,101 @@ Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
   output.double_values.assign(n, kUnreachableDistance);
   output.double_values[root] = 0.0;
   PushPullRuntime runtime(ctx, graph);
-  std::vector<char> in_frontier(n, 0);
-  std::vector<VertexIndex> frontier{root};
-  std::vector<VertexIndex> next;
+  const bool multi = ctx.num_machines() > 1;
+  exec::Frontier frontier;
+  frontier.Init(n);
+  frontier.Seed(root, graph.OutDegree(root));
   struct Relaxation {
     VertexIndex target;
     double distance;
   };
   exec::SlotBuffers<Relaxation> relaxed;
+  std::vector<std::uint64_t> remote_scratch;
+  const auto total_entries =
+      static_cast<std::int64_t>(graph.num_adjacency_entries());
   const int max_rounds = static_cast<int>(n) + 2;
   for (int round = 0; round < max_rounds && !frontier.empty(); ++round) {
-    next.clear();
-    std::fill(in_frontier.begin(), in_frontier.end(), 0);
-    GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(frontier.size(),
-                                                     "sssp frontier"));
-    const std::int64_t frontier_size =
-        static_cast<std::int64_t>(frontier.size());
-    const int num_slots = exec::ExecContext::NumSlots(frontier_size);
-    runtime.PrepareSlots(num_slots);
-    relaxed.Reset(num_slots);
-    const std::uint64_t remote = exec::parallel_reduce(
-        ctx.exec(), 0, frontier_size, std::uint64_t{0},
-        [&](const exec::Slice& slice, std::uint64_t& acc) {
-          std::vector<Relaxation>& out = relaxed.buf(slice.slot);
-          for (std::int64_t i = slice.begin; i < slice.end; ++i) {
-            const VertexIndex v = frontier[i];
-            double ops = ctx.profile().ops_per_vertex;
-            const auto neighbors = graph.OutNeighbors(v);
-            const auto weights = graph.OutWeights(v);
-            for (std::size_t j = 0; j < neighbors.size(); ++j) {
-              ops += ctx.profile().ops_per_edge;
-              if (runtime.IsRemote(v, neighbors[j])) ++acc;
-              const double candidate = output.double_values[v] + weights[j];
-              if (candidate < output.double_values[neighbors[j]]) {
-                out.push_back({neighbors[j], candidate});
+    GA_RETURN_IF_ERROR(runtime.ChargeFrontierBuffers(
+        static_cast<std::uint64_t>(frontier.active_count()),
+        "sssp frontier"));
+    std::uint64_t remote = 0;
+    if (frontier.Decide(total_entries, exec::Frontier::kPullAlphaSweep) ==
+        exec::TraversalDirection::kPull) {
+      // Pull (heavy relaxation waves): each vertex folds the candidate
+      // distances of its frontier-resident in-neighbours — min is exact
+      // in floating point, so the committed distances match the push
+      // formulation bit for bit.
+      const int num_slots = exec::ExecContext::NumSlots(n);
+      runtime.PrepareSlots(num_slots);
+      relaxed.Reset(num_slots);
+      remote = exec::parallel_reduce(
+          ctx.exec(), 0, n, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<Relaxation>& out = relaxed.buf(slice.slot);
+            for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+              double ops = ctx.profile().ops_per_vertex;
+              double best = output.double_values[v];
+              const auto sources = graph.InNeighbors(v);
+              const auto weights = graph.InWeights(v);
+              for (std::size_t j = 0; j < sources.size(); ++j) {
+                ops += ctx.profile().ops_per_edge;
+                if (multi && frontier.Contains(sources[j]) &&
+                    runtime.IsRemote(sources[j], v)) {
+                  ++acc;
+                }
+                best = std::min(
+                    best, output.double_values[sources[j]] + weights[j]);
               }
+              if (best < output.double_values[v]) out.push_back({v, best});
+              runtime.ChargeVertexWork(slice.slot, v, ops);
             }
-            runtime.ChargeVertexWork(slice.slot, v, ops);
-          }
-        },
-        [](std::uint64_t& into, std::uint64_t from) { into += from; });
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          &remote_scratch);
+    } else {
+      // Push: parallel expand over the sparse queue against last round's
+      // distances; improving candidates commit min-first in slot order.
+      const std::int64_t frontier_size = frontier.active_count();
+      const std::span<const VertexIndex> active = frontier.active();
+      const int num_slots = exec::ExecContext::NumSlots(frontier_size);
+      runtime.PrepareSlots(num_slots);
+      relaxed.Reset(num_slots);
+      remote = exec::parallel_reduce(
+          ctx.exec(), 0, frontier_size, std::uint64_t{0},
+          [&](const exec::Slice& slice, std::uint64_t& acc) {
+            std::vector<Relaxation>& out = relaxed.buf(slice.slot);
+            for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+              const VertexIndex v = active[i];
+              double ops = ctx.profile().ops_per_vertex;
+              const auto neighbors = graph.OutNeighbors(v);
+              const auto weights = graph.OutWeights(v);
+              for (std::size_t j = 0; j < neighbors.size(); ++j) {
+                ops += ctx.profile().ops_per_edge;
+                if (multi && runtime.IsRemote(v, neighbors[j])) ++acc;
+                const double candidate =
+                    output.double_values[v] + weights[j];
+                if (candidate < output.double_values[neighbors[j]]) {
+                  out.push_back({neighbors[j], candidate});
+                }
+              }
+              runtime.ChargeVertexWork(slice.slot, v, ops);
+            }
+          },
+          [](std::uint64_t& into, std::uint64_t from) { into += from; },
+          &remote_scratch);
+    }
     relaxed.Drain([&](const Relaxation& relaxation) {
       if (relaxation.distance < output.double_values[relaxation.target]) {
         output.double_values[relaxation.target] = relaxation.distance;
-        if (!in_frontier[relaxation.target]) {
-          in_frontier[relaxation.target] = 1;
-          next.push_back(relaxation.target);
-        }
+        frontier.Activate(relaxation.target,
+                          graph.OutDegree(relaxation.target));
       }
     });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
     ctx.EndSuperstep("sssp");
     runtime.ReleaseFrontierBuffers();
-    frontier.swap(next);
+    frontier.Advance();
   }
   return output;
 }

@@ -2,10 +2,13 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
+#include "algo/lcc_kernel.h"
 #include "core/exec/exec.h"
+#include "core/exec/frontier.h"
 #include "core/exec/scratch_pool.h"
 #include "platforms/worker_map.h"
 
@@ -142,6 +145,7 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
     const AlgorithmParams& params) {
   const bool distributed = UsesDistributedBackend(algorithm, ctx.env());
   SpmvRuntime runtime(ctx, graph, distributed);
+  const bool multi = ctx.num_machines() > 1;
   const VertexIndex n = graph.num_vertices();
 
   switch (algorithm) {
@@ -154,46 +158,73 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       output.algorithm = Algorithm::kBfs;
       output.int_values.assign(n, kUnreachableHops);
       output.int_values[root] = 0;
-      std::vector<VertexIndex> frontier{root};
-      std::vector<VertexIndex> next;
+      exec::Frontier frontier;
+      frontier.Init(n);
+      frontier.Seed(root, graph.OutDegree(root));
+      const auto total_entries =
+          static_cast<std::int64_t>(graph.num_adjacency_entries());
+      std::vector<ExpandStats> stats_scratch;
       std::int64_t depth = 0;
-      exec::SlotBuffers<VertexIndex> discovered;
       while (!frontier.empty()) {
-        next.clear();
         ++depth;
-        // Frontier-masked SpMSpV (push along out-edges): the expand scans
-        // frontier slices host-parallel against last sweep's state; the
-        // slot-ordered commit dedupes discoveries exactly as the serial
-        // scan would.
-        const std::int64_t frontier_size =
-            static_cast<std::int64_t>(frontier.size());
-        discovered.Reset(exec::ExecContext::NumSlots(frontier_size));
-        const ExpandStats stats = exec::parallel_reduce(
-            ctx.exec(), 0, frontier_size, ExpandStats{},
-            [&](const exec::Slice& slice, ExpandStats& acc) {
-              std::vector<VertexIndex>& out = discovered.buf(slice.slot);
-              for (std::int64_t i = slice.begin; i < slice.end; ++i) {
-                const VertexIndex u = frontier[i];
-                for (VertexIndex v : graph.OutNeighbors(u)) {
-                  ++acc.touched;
-                  acc.remote += runtime.RemoteIfCross(u, v);
-                  if (output.int_values[v] == kUnreachableHops) {
-                    out.push_back(v);
+        ExpandStats stats;
+        if (frontier.Decide(total_entries) ==
+            exec::TraversalDirection::kPush) {
+          // Frontier-masked SpMSpV (push along out-edges): the expand
+          // scans frontier slices host-parallel against last sweep's
+          // state; the slot-ordered commit dedupes discoveries exactly
+          // as the serial scan would.
+          const std::int64_t frontier_size = frontier.active_count();
+          const std::span<const VertexIndex> active = frontier.active();
+          frontier.PrepareStage(
+              exec::ExecContext::NumSlots(frontier_size));
+          stats = exec::parallel_reduce(
+              ctx.exec(), 0, frontier_size, ExpandStats{},
+              [&](const exec::Slice& slice, ExpandStats& acc) {
+                std::vector<VertexIndex>& out = frontier.stage(slice.slot);
+                for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+                  const VertexIndex u = active[i];
+                  for (VertexIndex v : graph.OutNeighbors(u)) {
+                    ++acc.touched;
+                    if (multi) acc.remote += runtime.RemoteIfCross(u, v);
+                    if (output.int_values[v] == kUnreachableHops) {
+                      out.push_back(v);
+                    }
                   }
                 }
-              }
-            },
-            kMergeExpandStats);
-        discovered.Drain([&](VertexIndex v) {
-          if (output.int_values[v] == kUnreachableHops) {
-            output.int_values[v] = depth;
-            next.push_back(v);
-          }
+              },
+              kMergeExpandStats, &stats_scratch);
+        } else {
+          // Heavy frontier: masked pull SpMV — every undiscovered row
+          // scans its in-entries against the dense frontier mask,
+          // stopping at the first hit.
+          frontier.PrepareStage(exec::ExecContext::NumSlots(n));
+          stats = exec::parallel_reduce(
+              ctx.exec(), 0, n, ExpandStats{},
+              [&](const exec::Slice& slice, ExpandStats& acc) {
+                std::vector<VertexIndex>& out = frontier.stage(slice.slot);
+                for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                  if (output.int_values[v] != kUnreachableHops) continue;
+                  for (VertexIndex u : graph.InNeighbors(v)) {
+                    ++acc.touched;
+                    if (multi) acc.remote += runtime.RemoteIfCross(u, v);
+                    if (frontier.Contains(u)) {
+                      out.push_back(v);
+                      break;
+                    }
+                  }
+                }
+              },
+              kMergeExpandStats, &stats_scratch);
+        }
+        frontier.CommitStage([&](VertexIndex v) {
+          output.int_values[v] = depth;
+          return graph.OutDegree(v);
         });
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             stats.touched, static_cast<std::uint64_t>(n), stats.remote,
             "bfs"));
-        frontier.swap(next);
+        frontier.Advance();
       }
       return output;
     }
@@ -208,58 +239,90 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       output.algorithm = Algorithm::kSssp;
       output.double_values.assign(n, kUnreachableDistance);
       output.double_values[root] = 0.0;
-      std::vector<char> in_frontier(n, 0);
-      std::vector<VertexIndex> frontier{root};
-      std::vector<VertexIndex> next;
+      exec::Frontier frontier;
+      frontier.Init(n);
+      frontier.Seed(root, graph.OutDegree(root));
       struct Relaxation {
         VertexIndex target;
         double distance;
       };
       exec::SlotBuffers<Relaxation> relaxed;
+      std::vector<ExpandStats> stats_scratch;
+      const auto total_entries =
+          static_cast<std::int64_t>(graph.num_adjacency_entries());
       const int max_rounds = static_cast<int>(n) + 2;
       for (int round = 0; round < max_rounds && !frontier.empty();
            ++round) {
-        next.clear();
-        std::fill(in_frontier.begin(), in_frontier.end(), 0);
-        // Parallel expand against last sweep's distances; improving
-        // candidates are committed min-first in slot order.
-        const std::int64_t frontier_size =
-            static_cast<std::int64_t>(frontier.size());
-        relaxed.Reset(exec::ExecContext::NumSlots(frontier_size));
-        const ExpandStats stats = exec::parallel_reduce(
-            ctx.exec(), 0, frontier_size, ExpandStats{},
-            [&](const exec::Slice& slice, ExpandStats& acc) {
-              std::vector<Relaxation>& out = relaxed.buf(slice.slot);
-              for (std::int64_t i = slice.begin; i < slice.end; ++i) {
-                const VertexIndex u = frontier[i];
-                const auto neighbors = graph.OutNeighbors(u);
-                const auto weights = graph.OutWeights(u);
-                for (std::size_t j = 0; j < neighbors.size(); ++j) {
-                  ++acc.touched;
-                  acc.remote += runtime.RemoteIfCross(u, neighbors[j]);
-                  const double candidate =
-                      output.double_values[u] + weights[j];
-                  if (candidate < output.double_values[neighbors[j]]) {
-                    out.push_back({neighbors[j], candidate});
+        ExpandStats stats;
+        if (frontier.Decide(total_entries,
+                            exec::Frontier::kPullAlphaSweep) ==
+            exec::TraversalDirection::kPull) {
+          // Heavy relaxation wave: masked pull — every row folds the
+          // candidate distances of its frontier-resident in-entries (min
+          // is exact in floating point, so the committed distances match
+          // the push formulation bit for bit).
+          relaxed.Reset(exec::ExecContext::NumSlots(n));
+          stats = exec::parallel_reduce(
+              ctx.exec(), 0, n, ExpandStats{},
+              [&](const exec::Slice& slice, ExpandStats& acc) {
+                std::vector<Relaxation>& out = relaxed.buf(slice.slot);
+                for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                  double best = output.double_values[v];
+                  const auto sources = graph.InNeighbors(v);
+                  const auto weights = graph.InWeights(v);
+                  for (std::size_t j = 0; j < sources.size(); ++j) {
+                    ++acc.touched;
+                    if (multi) {
+                      acc.remote += runtime.RemoteIfCross(sources[j], v);
+                    }
+                    best = std::min(best, output.double_values[sources[j]] +
+                                              weights[j]);
+                  }
+                  if (best < output.double_values[v]) {
+                    out.push_back({v, best});
                   }
                 }
-              }
-            },
-            kMergeExpandStats);
+              },
+              kMergeExpandStats, &stats_scratch);
+        } else {
+          // Parallel expand against last sweep's distances; improving
+          // candidates are committed min-first in slot order.
+          const std::int64_t frontier_size = frontier.active_count();
+          const std::span<const VertexIndex> active = frontier.active();
+          relaxed.Reset(exec::ExecContext::NumSlots(frontier_size));
+          stats = exec::parallel_reduce(
+              ctx.exec(), 0, frontier_size, ExpandStats{},
+              [&](const exec::Slice& slice, ExpandStats& acc) {
+                std::vector<Relaxation>& out = relaxed.buf(slice.slot);
+                for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+                  const VertexIndex u = active[i];
+                  const auto neighbors = graph.OutNeighbors(u);
+                  const auto weights = graph.OutWeights(u);
+                  for (std::size_t j = 0; j < neighbors.size(); ++j) {
+                    ++acc.touched;
+                    if (multi) acc.remote += runtime.RemoteIfCross(u, neighbors[j]);
+                    const double candidate =
+                        output.double_values[u] + weights[j];
+                    if (candidate < output.double_values[neighbors[j]]) {
+                      out.push_back({neighbors[j], candidate});
+                    }
+                  }
+                }
+              },
+              kMergeExpandStats, &stats_scratch);
+        }
         relaxed.Drain([&](const Relaxation& relaxation) {
           if (relaxation.distance <
               output.double_values[relaxation.target]) {
             output.double_values[relaxation.target] = relaxation.distance;
-            if (!in_frontier[relaxation.target]) {
-              in_frontier[relaxation.target] = 1;
-              next.push_back(relaxation.target);
-            }
+            frontier.Activate(relaxation.target,
+                              graph.OutDegree(relaxation.target));
           }
         });
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             stats.touched, static_cast<std::uint64_t>(n), stats.remote,
             "sssp"));
-        frontier.swap(next);
+        frontier.Advance();
       }
       return output;
     }
@@ -270,50 +333,93 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       for (VertexIndex v = 0; v < n; ++v) {
         output.int_values[v] = graph.ExternalId(v);
       }
-      // Full min-SpMV sweeps until fixpoint (both edge directions). Each
-      // sweep reads the previous labels and writes next[v] — disjoint per
-      // vertex, so the sweep itself runs host-parallel.
-      bool changed = true;
-      const int max_rounds = static_cast<int>(n) + 2;
-      struct SweepStats {
-        std::uint64_t touched = 0;
-        bool changed = false;
+      // Frontier-masked min-SpMV sweeps until fixpoint (both edge
+      // directions). The frontier holds the rows whose label changed last
+      // sweep; heavy rounds run the full masked sweep (pull against the
+      // dense mask), light rounds push straight from the sparse queue —
+      // so tail rounds cost O(frontier edges), not O(E).
+      const bool directed = graph.is_directed();
+      auto scan_degree = [&](VertexIndex v) {
+        return graph.OutDegree(v) + (directed ? graph.InDegree(v) : 0);
       };
-      std::vector<std::int64_t> next;
-      std::vector<SweepStats> sweep_scratch;
-      for (int round = 0; round < max_rounds && changed; ++round) {
-        next.assign(output.int_values.begin(), output.int_values.end());
-        const SweepStats stats = exec::parallel_reduce(
-            ctx.exec(), 0, n, SweepStats{},
-            [&](const exec::Slice& slice, SweepStats& acc) {
-              for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-                std::int64_t best = next[v];
-                for (VertexIndex u : graph.InNeighbors(v)) {
-                  ++acc.touched;
-                  best = std::min(best, output.int_values[u]);
-                }
-                if (graph.is_directed()) {
-                  for (VertexIndex u : graph.OutNeighbors(v)) {
-                    ++acc.touched;
+      const auto total_scan =
+          static_cast<std::int64_t>(graph.num_adjacency_entries()) *
+          (directed ? 2 : 1);
+      exec::Frontier frontier;
+      frontier.Init(n);
+      frontier.SeedAll(total_scan);
+      struct LabelCand {
+        VertexIndex target;
+        std::int64_t label;
+      };
+      exec::SlotBuffers<LabelCand> cands;
+      std::vector<std::uint64_t> touched_scratch;
+      const int max_rounds = static_cast<int>(n) + 2;
+      for (int round = 0; round < max_rounds && !frontier.empty();
+           ++round) {
+        std::uint64_t touched = 0;
+        if (frontier.Decide(total_scan, /*alpha=*/2) ==
+            exec::TraversalDirection::kPull) {
+          cands.Reset(exec::ExecContext::NumSlots(n));
+          touched = exec::parallel_reduce(
+              ctx.exec(), 0, n, std::uint64_t{0},
+              [&](const exec::Slice& slice, std::uint64_t& acc) {
+                std::vector<LabelCand>& out = cands.buf(slice.slot);
+                for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+                  std::int64_t best = output.int_values[v];
+                  auto pull_from = [&](VertexIndex u) {
+                    ++acc;
                     best = std::min(best, output.int_values[u]);
+                  };
+                  for (VertexIndex u : graph.InNeighbors(v)) pull_from(u);
+                  if (directed) {
+                    for (VertexIndex u : graph.OutNeighbors(v)) {
+                      pull_from(u);
+                    }
+                  }
+                  if (best < output.int_values[v]) {
+                    out.push_back({v, best});
                   }
                 }
-                if (best < next[v]) {
-                  next[v] = best;
-                  acc.changed = true;
+              },
+              [](std::uint64_t& into, std::uint64_t from) { into += from; },
+              &touched_scratch);
+        } else {
+          const std::int64_t frontier_size = frontier.active_count();
+          const std::span<const VertexIndex> active = frontier.active();
+          cands.Reset(exec::ExecContext::NumSlots(frontier_size));
+          touched = exec::parallel_reduce(
+              ctx.exec(), 0, frontier_size, std::uint64_t{0},
+              [&](const exec::Slice& slice, std::uint64_t& acc) {
+                std::vector<LabelCand>& out = cands.buf(slice.slot);
+                for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+                  const VertexIndex v = active[i];
+                  const std::int64_t label = output.int_values[v];
+                  auto push_to = [&](VertexIndex u) {
+                    ++acc;
+                    if (label < output.int_values[u]) {
+                      out.push_back({u, label});
+                    }
+                  };
+                  for (VertexIndex u : graph.OutNeighbors(v)) push_to(u);
+                  if (directed) {
+                    for (VertexIndex u : graph.InNeighbors(v)) push_to(u);
+                  }
                 }
-              }
-            },
-            [](SweepStats& into, const SweepStats& from) {
-              into.touched += from.touched;
-              into.changed = into.changed || from.changed;
-            },
-            &sweep_scratch);
-        changed = stats.changed;
-        output.int_values.swap(next);
+              },
+              [](std::uint64_t& into, std::uint64_t from) { into += from; },
+              &touched_scratch);
+        }
+        cands.Drain([&](const LabelCand& cand) {
+          if (cand.label < output.int_values[cand.target]) {
+            output.int_values[cand.target] = cand.label;
+            frontier.Activate(cand.target, scan_degree(cand.target));
+          }
+        });
         GA_RETURN_IF_ERROR(runtime.EndSweep(
-            stats.touched, static_cast<std::uint64_t>(n),
+            touched, static_cast<std::uint64_t>(n),
             static_cast<std::uint64_t>(n), "wcc"));
+        frontier.Advance();
       }
       return output;
     }
@@ -437,46 +543,26 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       AlgorithmOutput output;
       output.algorithm = Algorithm::kLcc;
       output.double_values.assign(n, 0.0);
-      // Slot cap: each slice owns an O(n) flag array.
+      // Host side: degree-oriented triangle counting over the sorted CSR
+      // (algo/lcc_kernel.h); `touched` keeps the modeled flag-array scan
+      // volume so the simulated SpGEMM cost is unchanged.
+      lcc::NeighborhoodIndex index;
+      index.Build(ctx.exec(), graph);
+      std::vector<std::int64_t> links;
+      index.CountLinks(ctx.exec(), &links);
       const std::uint64_t touched = exec::parallel_reduce(
           ctx.exec(), 0, n, std::uint64_t{0},
           [&](const exec::Slice& slice, std::uint64_t& acc) {
-            std::vector<char> flag(n, 0);
-            std::vector<VertexIndex> neighborhood;
             for (VertexIndex v = slice.begin; v < slice.end; ++v) {
-              neighborhood.clear();
-              for (VertexIndex u : graph.OutNeighbors(v)) {
-                if (u != v && !flag[u]) {
-                  flag[u] = 1;
-                  neighborhood.push_back(u);
-                }
-              }
-              if (graph.is_directed()) {
-                for (VertexIndex u : graph.InNeighbors(v)) {
-                  if (u != v && !flag[u]) {
-                    flag[u] = 1;
-                    neighborhood.push_back(u);
-                  }
-                }
-              }
-              std::int64_t links = 0;
-              if (neighborhood.size() >= 2) {
-                for (VertexIndex u : neighborhood) {
-                  for (VertexIndex w : graph.OutNeighbors(u)) {
-                    ++acc;
-                    if (w != v && flag[w]) ++links;
-                  }
-                }
-                const double degree =
-                    static_cast<double>(neighborhood.size());
-                output.double_values[v] =
-                    static_cast<double>(links) / (degree * (degree - 1.0));
-              }
-              for (VertexIndex w : neighborhood) flag[w] = 0;
+              const std::span<const VertexIndex> neighborhood =
+                  index.Neighbors(v);
+              if (neighborhood.size() < 2) continue;
+              acc += lcc::ScannedEdgesProxy(graph, neighborhood);
+              output.double_values[v] = lcc::Coefficient(
+                  links[v], static_cast<std::int64_t>(neighborhood.size()));
             }
           },
-          [](std::uint64_t& into, std::uint64_t from) { into += from; },
-          exec::ExecContext::kScratchSlots);
+          [](std::uint64_t& into, std::uint64_t from) { into += from; });
       GA_RETURN_IF_ERROR(runtime.EndSweep(
           touched * 2, static_cast<std::uint64_t>(n), 0, "lcc"));
       for (int m = 0; m < ctx.num_machines(); ++m) {

@@ -51,5 +51,53 @@ TEST(BitsetTest, ForEachSetVisitsInOrder) {
   EXPECT_EQ(visited, expected);
 }
 
+TEST(BitsetTest, ResizeRetargetsAndClears) {
+  Bitset bits(10);
+  bits.Set(3);
+  bits.Resize(200);
+  EXPECT_EQ(bits.size(), 200u);
+  EXPECT_FALSE(bits.Test(3));
+  bits.Set(199);
+  EXPECT_TRUE(bits.Test(199));
+  bits.Resize(10);  // shrink keeps working too
+  EXPECT_EQ(bits.size(), 10u);
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(BitsetTest, SetAllMasksTailWord) {
+  Bitset bits(70);  // 64 + 6: tail word must be masked
+  bits.SetAll();
+  EXPECT_EQ(bits.Count(), 70u);
+  for (std::size_t i = 0; i < 70; ++i) EXPECT_TRUE(bits.Test(i));
+  // The words view exposes exactly two words, the tail partially set.
+  ASSERT_EQ(bits.words().size(), 2u);
+  EXPECT_EQ(bits.words()[0], ~std::uint64_t{0});
+  EXPECT_EQ(bits.words()[1], (std::uint64_t{1} << 6) - 1);
+}
+
+TEST(BitsetTest, ForEachSetInRangeMasksBoundaries) {
+  Bitset bits(300);
+  const std::vector<std::size_t> set = {0, 63, 64, 127, 128, 200, 299};
+  for (std::size_t i : set) bits.Set(i);
+  auto collect = [&](std::size_t begin, std::size_t end) {
+    std::vector<std::size_t> visited;
+    bits.ForEachSetInRange(begin, end,
+                           [&](std::size_t i) { visited.push_back(i); });
+    return visited;
+  };
+  EXPECT_EQ(collect(0, 300), set);
+  EXPECT_EQ(collect(63, 128), (std::vector<std::size_t>{63, 64, 127}));
+  EXPECT_EQ(collect(64, 64), (std::vector<std::size_t>{}));
+  EXPECT_EQ(collect(65, 127), (std::vector<std::size_t>{}));
+  EXPECT_EQ(collect(299, 300), (std::vector<std::size_t>{299}));
+  // Tiling sub-ranges visits every set bit exactly once, in order.
+  std::vector<std::size_t> tiled;
+  for (std::size_t begin = 0; begin < 300; begin += 37) {
+    bits.ForEachSetInRange(begin, std::min<std::size_t>(begin + 37, 300),
+                           [&](std::size_t i) { tiled.push_back(i); });
+  }
+  EXPECT_EQ(tiled, set);
+}
+
 }  // namespace
 }  // namespace ga

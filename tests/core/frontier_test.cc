@@ -1,0 +1,230 @@
+// Unit tests for the hybrid frontier (core/exec/frontier.h): sparse/dense
+// coherence, push<->pull promotion thresholds, swap/reset reuse without
+// allocation, and slot-ordered deterministic population.
+#include "core/exec/frontier.h"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <vector>
+
+#include "core/exec/thread_pool.h"
+
+namespace ga::exec {
+namespace {
+
+TEST(FrontierTest, StartsEmpty) {
+  Frontier frontier;
+  frontier.Init(64);
+  EXPECT_TRUE(frontier.empty());
+  EXPECT_EQ(frontier.active_count(), 0);
+  EXPECT_EQ(frontier.active_degree_sum(), 0);
+  EXPECT_EQ(frontier.universe(), 64);
+  for (VertexIndex v = 0; v < 64; ++v) EXPECT_FALSE(frontier.Contains(v));
+}
+
+TEST(FrontierTest, SeedPopulatesBothRepresentations) {
+  Frontier frontier;
+  frontier.Init(100);
+  frontier.Seed(7, 3);
+  frontier.Seed(42, 5);
+  frontier.Seed(7, 3);  // duplicate: ignored
+  EXPECT_EQ(frontier.active_count(), 2);
+  EXPECT_EQ(frontier.active_degree_sum(), 8);
+  EXPECT_TRUE(frontier.Contains(7));
+  EXPECT_TRUE(frontier.Contains(42));
+  EXPECT_FALSE(frontier.Contains(8));
+  const std::vector<VertexIndex> active(frontier.active().begin(),
+                                        frontier.active().end());
+  EXPECT_EQ(active, (std::vector<VertexIndex>{7, 42}));
+}
+
+TEST(FrontierTest, SeedAllIsAscendingWithGivenDegreeSum) {
+  Frontier frontier;
+  frontier.Init(10);
+  frontier.SeedAll(123);
+  EXPECT_EQ(frontier.active_count(), 10);
+  EXPECT_EQ(frontier.active_degree_sum(), 123);
+  for (VertexIndex v = 0; v < 10; ++v) {
+    EXPECT_TRUE(frontier.Contains(v));
+    EXPECT_EQ(frontier.active()[static_cast<std::size_t>(v)], v);
+  }
+}
+
+TEST(FrontierTest, ActivateBuildsNextSideAndAdvanceSwaps) {
+  Frontier frontier;
+  frontier.Init(50);
+  frontier.Seed(0, 1);
+  EXPECT_TRUE(frontier.Activate(3, 10));
+  EXPECT_TRUE(frontier.Activate(1, 20));
+  EXPECT_FALSE(frontier.Activate(3, 10));  // dedup via dense bitset
+  // Next-side state is invisible until Advance.
+  EXPECT_FALSE(frontier.Contains(3));
+  EXPECT_EQ(frontier.active_count(), 1);
+  frontier.Advance();
+  EXPECT_EQ(frontier.active_count(), 2);
+  EXPECT_EQ(frontier.active_degree_sum(), 30);
+  // Activation order, not id order.
+  EXPECT_EQ(frontier.active()[0], 3);
+  EXPECT_EQ(frontier.active()[1], 1);
+  EXPECT_TRUE(frontier.Contains(3));
+  EXPECT_FALSE(frontier.Contains(0));  // consumed side was wiped
+}
+
+TEST(FrontierTest, AdvanceCyclesReuseCleanSides) {
+  Frontier frontier;
+  frontier.Init(8);
+  frontier.Seed(0, 1);
+  // Walk an 8-cycle for 40 steps: both sides are reused many times and
+  // must come back clean after every swap.
+  VertexIndex expected = 0;
+  for (int step = 0; step < 40; ++step) {
+    ASSERT_EQ(frontier.active_count(), 1);
+    ASSERT_EQ(frontier.active()[0], expected);
+    const VertexIndex next = (expected + 1) % 8;
+    frontier.Activate(next, 1);
+    frontier.Advance();
+    expected = next;
+    for (VertexIndex v = 0; v < 8; ++v) {
+      EXPECT_EQ(frontier.Contains(v), v == expected);
+    }
+  }
+}
+
+TEST(FrontierTest, SteadyStateSwapsDoNotGrowDataPathStorage) {
+  Frontier frontier;
+  frontier.Init(256);
+  frontier.SeedAll(0);
+  frontier.Advance();  // dense wipe path
+  const std::uint64_t baseline = DataPathAllocEvents();
+  for (int round = 0; round < 100; ++round) {
+    for (VertexIndex v = 0; v < 256; v += 3) frontier.Activate(v, 2);
+    frontier.Advance();
+  }
+  EXPECT_EQ(DataPathAllocEvents(), baseline)
+      << "steady-state Activate/Advance cycles must not grow storage";
+}
+
+TEST(FrontierTest, DecideThresholdsMatchDocumentedAlphas) {
+  Frontier frontier;
+  frontier.Init(1000);
+  // degree sum 5 of total 100: 5 * 20 >= 100 -> pull at the default
+  // (early-exit) alpha; 4 * 20 < 100 -> push.
+  frontier.Seed(1, 5);
+  EXPECT_EQ(frontier.Decide(100), TraversalDirection::kPull);
+  EXPECT_EQ(frontier.Decide(101), TraversalDirection::kPush);
+  // Sweep alpha (no early exit): pull only once the frontier's edge
+  // volume covers the whole graph.
+  EXPECT_EQ(frontier.Decide(5, Frontier::kPullAlphaSweep),
+            TraversalDirection::kPull);
+  EXPECT_EQ(frontier.Decide(6, Frontier::kPullAlphaSweep),
+            TraversalDirection::kPush);
+}
+
+TEST(FrontierTest, DecideDependsOnlyOnFrontierStats) {
+  // Two frontiers with identical stats decide identically regardless of
+  // how the stats were populated (seeding vs staged commits).
+  Frontier a;
+  a.Init(100);
+  a.Seed(3, 30);
+  Frontier b;
+  b.Init(100);
+  b.PrepareStage(2);
+  b.stage(1).push_back(60);
+  b.CommitStage([](VertexIndex) { return EdgeIndex{30}; });
+  b.Advance();
+  ASSERT_EQ(a.active_degree_sum(), b.active_degree_sum());
+  for (std::int64_t total : {100, 599, 600, 601, 10000}) {
+    EXPECT_EQ(a.Decide(total), b.Decide(total)) << total;
+  }
+}
+
+TEST(FrontierTest, CommitStageReplaysSlotOrderAndDedupes) {
+  Frontier frontier;
+  frontier.Init(100);
+  frontier.PrepareStage(3);
+  // Slot buffers filled "in parallel" (any order); drain order is slot
+  // 0, 1, 2 — the serial emission order.
+  frontier.stage(2) = {9, 1};
+  frontier.stage(0) = {5, 9, 7};
+  frontier.stage(1) = {7, 3};
+  std::vector<VertexIndex> activated;
+  frontier.CommitStage([&](VertexIndex v) {
+    activated.push_back(v);
+    return EdgeIndex{1};
+  });
+  frontier.Advance();
+  // Duplicates (9, 7) activate once, at their first slot-order position.
+  EXPECT_EQ(activated, (std::vector<VertexIndex>{5, 9, 7, 3, 1}));
+  EXPECT_EQ(frontier.active_count(), 5);
+  EXPECT_EQ(frontier.active_degree_sum(), 5);
+  const std::vector<VertexIndex> active(frontier.active().begin(),
+                                        frontier.active().end());
+  EXPECT_EQ(active, activated);
+}
+
+TEST(FrontierTest, CommitStageMatchesSerialEmulation) {
+  // Deterministic population: the slot-staged commit must equal a serial
+  // loop emitting the same proposals in slice order, for any slot count.
+  const VertexIndex n = 500;
+  std::vector<VertexIndex> proposals(1000);
+  for (std::size_t i = 0; i < proposals.size(); ++i) {
+    proposals[i] = static_cast<VertexIndex>((i * 37 + 11) % n);
+  }
+  std::vector<VertexIndex> serial;
+  {
+    std::vector<char> seen(n, 0);
+    for (VertexIndex v : proposals) {
+      if (!seen[v]) {
+        seen[v] = 1;
+        serial.push_back(v);
+      }
+    }
+  }
+  for (int num_slots : {1, 2, 7}) {
+    Frontier frontier;
+    frontier.Init(n);
+    frontier.PrepareStage(num_slots);
+    const auto size = static_cast<std::int64_t>(proposals.size());
+    for (int slot = 0; slot < num_slots; ++slot) {
+      const Slice slice = ExecContext::SliceOf(0, size, slot, num_slots);
+      for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+        frontier.stage(slot).push_back(proposals[i]);
+      }
+    }
+    frontier.CommitStage([](VertexIndex) { return EdgeIndex{0}; });
+    frontier.Advance();
+    const std::vector<VertexIndex> active(frontier.active().begin(),
+                                          frontier.active().end());
+    EXPECT_EQ(active, serial) << "slots=" << num_slots;
+  }
+}
+
+TEST(FrontierTest, ForEachActiveInRangeIsAscendingAndMasked) {
+  Frontier frontier;
+  frontier.Init(200);
+  // Activation order is deliberately scrambled.
+  for (VertexIndex v : {130, 2, 65, 64, 199, 63, 100}) {
+    frontier.Seed(v, 0);
+  }
+  std::vector<VertexIndex> seen;
+  frontier.ForEachActiveInRange(0, 200,
+                                [&](VertexIndex v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<VertexIndex>{2, 63, 64, 65, 100, 130, 199}));
+  // Word-boundary masking: [64, 130) excludes 63, 130.
+  seen.clear();
+  frontier.ForEachActiveInRange(64, 130,
+                                [&](VertexIndex v) { seen.push_back(v); });
+  EXPECT_EQ(seen, (std::vector<VertexIndex>{64, 65, 100}));
+  // Range slices tile the universe exactly.
+  seen.clear();
+  for (int slot = 0; slot < 7; ++slot) {
+    const Slice slice = ExecContext::SliceOf(0, 200, slot, 7);
+    frontier.ForEachActiveInRange(slice.begin, slice.end,
+                                  [&](VertexIndex v) { seen.push_back(v); });
+  }
+  EXPECT_EQ(seen, (std::vector<VertexIndex>{2, 63, 64, 65, 100, 130, 199}));
+}
+
+}  // namespace
+}  // namespace ga::exec

@@ -32,6 +32,34 @@ TEST(GraphBuilderTest, RemapsSparseExternalIds) {
   EXPECT_EQ(graph.IndexOf(9999), kInvalidVertex);
 }
 
+TEST(GraphTest, IndexOfBinarySearchHitMissEmpty) {
+  // IndexOf is a binary search over the sorted external-id array (the
+  // flat index that replaced the id->index hash map).
+  Graph graph = MakeGraph(Directedness::kDirected,
+                          {{10, 20}, {20, 300}, {300, 4000}});
+  // Hits: every id maps to its sorted position.
+  EXPECT_EQ(graph.IndexOf(10), 0);
+  EXPECT_EQ(graph.IndexOf(20), 1);
+  EXPECT_EQ(graph.IndexOf(300), 2);
+  EXPECT_EQ(graph.IndexOf(4000), 3);
+  // Misses: below the range, between ids, and above the range (the
+  // lower_bound probe must not read past the end).
+  EXPECT_EQ(graph.IndexOf(-5), kInvalidVertex);
+  EXPECT_EQ(graph.IndexOf(15), kInvalidVertex);
+  EXPECT_EQ(graph.IndexOf(299), kInvalidVertex);
+  EXPECT_EQ(graph.IndexOf(301), kInvalidVertex);
+  EXPECT_EQ(graph.IndexOf(99999), kInvalidVertex);
+  // Round trip over every vertex.
+  for (VertexIndex v = 0; v < graph.num_vertices(); ++v) {
+    EXPECT_EQ(graph.IndexOf(graph.ExternalId(v)), v);
+  }
+  // Empty graph: any lookup misses.
+  auto empty = std::move(GraphBuilder(Directedness::kDirected)).Build();
+  ASSERT_TRUE(empty.ok());
+  EXPECT_EQ(empty->IndexOf(0), kInvalidVertex);
+  EXPECT_EQ(empty->IndexOf(123), kInvalidVertex);
+}
+
 TEST(GraphBuilderTest, IsolatedVerticesPreserved) {
   Graph graph =
       MakeGraph(Directedness::kDirected, {{0, 1}}, /*extra_vertices=*/{5, 9});

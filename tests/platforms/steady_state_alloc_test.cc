@@ -130,5 +130,118 @@ TEST(SteadyStateAllocTest, PushPullCdlp) {
   ExpectZeroSteadyStateAllocations("pushpull", Algorithm::kCdlp);
 }
 
+// --- Frontier engines (BFS / WCC) ------------------------------------------
+//
+// BFS and WCC terminate on their own, so the iteration-count probe above
+// does not apply. Instead, two runs are arranged to differ ONLY in how
+// many supersteps they take — same graph (or same topology), identical
+// frontier high-water profile — and their total allocation counts must be
+// EQUAL: with the hybrid frontier every per-superstep buffer is reused at
+// its high-water capacity, so extra supersteps contribute zero heap
+// allocations.
+
+/// Undirected path 0-1-...-n-1 with external ids permuted by `id`.
+template <typename IdFn>
+Graph PathGraph(VertexIndex n, IdFn&& id) {
+  GraphBuilder builder(Directedness::kUndirected);
+  for (VertexIndex v = 0; v < n; ++v) {
+    builder.AddVertex(id(v));
+  }
+  for (VertexIndex v = 0; v + 1 < n; ++v) {
+    builder.AddEdge(id(v), id(v + 1));
+  }
+  auto built = std::move(builder).Build();
+  if (!built.ok()) std::abort();
+  return std::move(built).value();
+}
+
+std::uint64_t AllocationsForGraphRun(const Graph& graph,
+                                     const std::string& platform_id,
+                                     Algorithm algorithm, VertexId source) {
+  auto platform = CreatePlatform(platform_id);
+  if (!platform.ok()) std::abort();
+  AlgorithmParams params;
+  params.source_vertex = source;
+  ExecutionEnvironment env;
+  env.host_pool = nullptr;
+  const CostProfile& profile = platform.value()->profile();
+  sysmodel::ClusterModel cluster(MakeClusterConfig(env, profile));
+  JobContext ctx(cluster, /*memory=*/nullptr, profile,
+                 /*processing_op=*/nullptr, env);
+  const std::uint64_t before = g_allocations.load();
+  auto output =
+      platform.value()->ExecuteKernel(ctx, graph, algorithm, params);
+  const std::uint64_t after = g_allocations.load();
+  if (!output.ok()) std::abort();
+  return after - before;
+}
+
+/// BFS from two interior roots of the same path: identical frontier
+/// profile (width <= 2 throughout), but max(k, n-1-k) supersteps — 1.5x
+/// more for the off-centre root. Equal totals == zero per-superstep
+/// allocations. Both roots share their exec-slice alignment (multiples
+/// of the 64-vertex slot grain), so per-slot staging high-water marks —
+/// which depend on which slices the two BFS waves traverse together —
+/// are identical too.
+void ExpectSuperstepInvariantBfsAllocations(const std::string& platform_id) {
+  const VertexIndex n = 256;
+  const Graph graph = PathGraph(n, [](VertexIndex v) { return v; });
+  const std::uint64_t short_run =
+      AllocationsForGraphRun(graph, platform_id, Algorithm::kBfs, n / 2);
+  const std::uint64_t long_run =
+      AllocationsForGraphRun(graph, platform_id, Algorithm::kBfs, n / 4);
+  ASSERT_GT(short_run, 0u);
+  EXPECT_EQ(long_run, short_run)
+      << platform_id << " BFS allocations scale with superstep count";
+}
+
+/// WCC on two labelings of the same path topology: the component minimum
+/// sits at one end vs in the middle, so convergence takes ~n vs ~n/2
+/// label-propagation rounds over an identical degree structure.
+void ExpectSuperstepInvariantWccAllocations(const std::string& platform_id) {
+  const VertexIndex n = 256;
+  const Graph end_min = PathGraph(n, [](VertexIndex v) { return v; });
+  const Graph middle_min = PathGraph(n, [n](VertexIndex v) {
+    // Bijection putting id 0 at the path's midpoint, ids growing outward.
+    const VertexIndex m = n / 2;
+    return v >= m ? 2 * (v - m) : 2 * (m - v) - 1;
+  });
+  const std::uint64_t long_run =
+      AllocationsForGraphRun(end_min, platform_id, Algorithm::kWcc, 0);
+  const std::uint64_t short_run =
+      AllocationsForGraphRun(middle_min, platform_id, Algorithm::kWcc, 0);
+  ASSERT_GT(short_run, 0u);
+  EXPECT_EQ(long_run, short_run)
+      << platform_id << " WCC allocations scale with superstep count";
+}
+
+TEST(SteadyStateAllocTest, PushPullBfsFrontier) {
+  ExpectSuperstepInvariantBfsAllocations("pushpull");
+}
+
+TEST(SteadyStateAllocTest, SpMatBfsFrontier) {
+  ExpectSuperstepInvariantBfsAllocations("spmat");
+}
+
+TEST(SteadyStateAllocTest, GasLiteBfsFrontier) {
+  ExpectSuperstepInvariantBfsAllocations("gaslite");
+}
+
+TEST(SteadyStateAllocTest, BspLiteBfsFrontier) {
+  ExpectSuperstepInvariantBfsAllocations("bsplite");
+}
+
+TEST(SteadyStateAllocTest, NativeKernelBfsFrontier) {
+  ExpectSuperstepInvariantBfsAllocations("nativekernel");
+}
+
+TEST(SteadyStateAllocTest, PushPullWccFrontier) {
+  ExpectSuperstepInvariantWccAllocations("pushpull");
+}
+
+TEST(SteadyStateAllocTest, SpMatWccFrontier) {
+  ExpectSuperstepInvariantWccAllocations("spmat");
+}
+
 }  // namespace
 }  // namespace ga::platform
