@@ -1,0 +1,297 @@
+// store_io: loader-throughput trajectory for the ga::store subsystem.
+//
+// Compares the three ways a registry dataset can materialise —
+//   generate   in-process generation (the only path before PR 5),
+//   text       LDBC `.v`/`.e` import (chunked parser, ga::store),
+//   snapshot   zero-copy mmap of a `.gab` snapshot (checksums verified)
+// — and times a cold (generate + snapshot store) vs warm (all datasets
+// snapshot-served) smoke-plan suite run. Every mmap-loaded graph is
+// byte-compared against its generated twin, so the artifact doubles as a
+// determinism check of the cache path.
+//
+// Emits the BENCH_PR5.json trajectory point (env GA_BENCH_OUT overrides
+// the output path). Environment: GA_SCALE_DIVISOR / GA_SEED as usual.
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/json_writer.h"
+#include "core/timer.h"
+#include "experiments/plan.h"
+#include "experiments/suite.h"
+#include "store/snapshot.h"
+#include "store/text_io.h"
+
+namespace {
+
+double MedianWallSeconds(const std::function<void()>& body, int repeats) {
+  std::vector<double> samples;
+  samples.reserve(repeats);
+  for (int r = 0; r < repeats; ++r) {
+    ga::WallTimer timer;
+    body();
+    samples.push_back(timer.ElapsedSeconds());
+  }
+  std::sort(samples.begin(), samples.end());
+  return samples[samples.size() / 2];
+}
+
+template <typename T>
+bool SpanBytesEqual(std::span<const T> a, std::span<const T> b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;  // empty spans may carry null data()
+  return std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+}
+
+bool GraphsBitIdentical(const ga::Graph& a, const ga::Graph& b) {
+  return a.directedness() == b.directedness() &&
+         a.is_weighted() == b.is_weighted() &&
+         SpanBytesEqual(a.external_ids(), b.external_ids()) &&
+         SpanBytesEqual(a.edges(), b.edges()) &&
+         SpanBytesEqual(a.out_offsets(), b.out_offsets()) &&
+         SpanBytesEqual(a.out_targets(), b.out_targets()) &&
+         SpanBytesEqual(a.out_weights(), b.out_weights()) &&
+         SpanBytesEqual(a.in_offsets(), b.in_offsets()) &&
+         SpanBytesEqual(a.in_sources(), b.in_sources()) &&
+         SpanBytesEqual(a.in_weights(), b.in_weights());
+}
+
+struct DatasetRow {
+  std::string id;
+  std::int64_t vertices = 0;
+  std::int64_t edges = 0;
+  std::int64_t snapshot_bytes = 0;
+  double generate_s = 0.0;
+  double snapshot_write_s = 0.0;
+  double snapshot_load_s = 0.0;
+  double snapshot_load_unverified_s = 0.0;
+  double text_export_s = 0.0;
+  double text_import_s = 0.0;
+  bool deterministic = false;
+};
+
+}  // namespace
+
+int main() {
+  ga::harness::BenchmarkConfig config =
+      ga::harness::BenchmarkConfig::FromEnv();
+  // The per-dataset section times *generation*; an inherited GA_DATA_DIR
+  // would quietly turn the generate column into another mmap load (and
+  // pollute the user's real cache). The suite section opts into its own
+  // scratch cache explicitly.
+  config.data_dir.clear();
+  ga::bench::PrintHeader(
+      "store_io",
+      "dataset acquisition paths: in-process generation vs .v/.e text "
+      "import vs .gab snapshot mmap (ga::store)",
+      config);
+
+  const std::filesystem::path work_dir =
+      std::filesystem::temp_directory_path() / "ga_bench_store_io";
+  std::error_code ec;
+  std::filesystem::remove_all(work_dir, ec);
+  std::filesystem::create_directories(work_dir);
+
+  // --- Per-dataset path comparison -----------------------------------
+  const std::vector<std::string> datasets = {"R1", "R2", "R3", "G22"};
+  std::vector<DatasetRow> rows;
+  double generate_total_s = 0.0;
+  double snapshot_total_s = 0.0;
+  std::printf("%-6s %10s %10s | %10s %10s %10s %10s | %8s\n", "id", "V",
+              "E", "generate", "text-in", "mmap", "mmap-raw", "speedup");
+  for (const std::string& id : datasets) {
+    ga::harness::DatasetRegistry registry(config);
+    DatasetRow row;
+    row.id = id;
+
+    ga::WallTimer generate_timer;
+    auto generated = registry.Load(id);
+    row.generate_s = generate_timer.ElapsedSeconds();
+    if (!generated.ok()) {
+      std::fprintf(stderr, "%s: %s\n", id.c_str(),
+                   generated.status().ToString().c_str());
+      return 1;
+    }
+    const ga::Graph& graph = **generated;
+    row.vertices = graph.num_vertices();
+    row.edges = graph.num_edges();
+
+    const std::string snapshot_path =
+        (work_dir / (id + ".gab")).string();
+    row.snapshot_write_s = MedianWallSeconds(
+        [&] {
+          ga::Status written = ga::store::WriteSnapshot(graph, snapshot_path);
+          if (!written.ok()) std::abort();
+        },
+        3);
+    row.snapshot_bytes = static_cast<std::int64_t>(
+        std::filesystem::file_size(snapshot_path, ec));
+
+    row.snapshot_load_s = MedianWallSeconds(
+        [&] {
+          auto loaded = ga::store::ReadSnapshot(snapshot_path);
+          if (!loaded.ok()) std::abort();
+        },
+        5);
+    ga::store::ReadOptions unverified;
+    unverified.verify_checksums = false;
+    row.snapshot_load_unverified_s = MedianWallSeconds(
+        [&] {
+          auto loaded = ga::store::ReadSnapshot(snapshot_path, unverified);
+          if (!loaded.ok()) std::abort();
+        },
+        5);
+
+    const std::string text_prefix = (work_dir / id).string();
+    row.text_export_s = MedianWallSeconds(
+        [&] {
+          ga::Status written =
+              ga::store::ExportGraphText(graph, text_prefix);
+          if (!written.ok()) std::abort();
+        },
+        3);
+    ga::store::ImportOptions import_options;
+    import_options.directedness = graph.directedness();
+    import_options.weighted = graph.is_weighted();
+    row.text_import_s = MedianWallSeconds(
+        [&] {
+          auto imported =
+              ga::store::ImportGraphText(text_prefix, import_options);
+          if (!imported.ok()) std::abort();
+        },
+        3);
+
+    auto loaded = ga::store::ReadSnapshot(snapshot_path);
+    row.deterministic = loaded.ok() && GraphsBitIdentical(graph, *loaded);
+    if (!row.deterministic) {
+      std::fprintf(stderr, "%s: mmap-loaded graph differs from generated\n",
+                   id.c_str());
+      return 1;
+    }
+
+    generate_total_s += row.generate_s;
+    snapshot_total_s += row.snapshot_load_s;
+    std::printf("%-6s %10lld %10lld | %9.4fs %9.4fs %9.4fs %9.4fs | %7.1fx\n",
+                id.c_str(), static_cast<long long>(row.vertices),
+                static_cast<long long>(row.edges), row.generate_s,
+                row.text_import_s, row.snapshot_load_s,
+                row.snapshot_load_unverified_s,
+                row.generate_s / std::max(row.snapshot_load_s, 1e-9));
+    rows.push_back(row);
+  }
+
+  // --- Cold vs warm suite smoke --------------------------------------
+  auto plan = ga::experiments::ResolvePlan("smoke");
+  if (!plan.ok()) {
+    std::fprintf(stderr, "%s\n", plan.status().ToString().c_str());
+    return 1;
+  }
+  ga::harness::BenchmarkConfig cached_config = config;
+  cached_config.data_dir = (work_dir / "cache").string();
+
+  double suite_cold_s = 0.0;
+  double suite_warm_s = 0.0;
+  std::string cold_json;
+  std::string warm_json;
+  {
+    // Cold: empty cache — every dataset generates, then snapshots.
+    ga::harness::BenchmarkRunner runner(cached_config);
+    ga::WallTimer timer;
+    auto result = ga::experiments::RunSuite(runner, *plan);
+    suite_cold_s = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    cold_json = ga::experiments::SuiteToJson(*result);
+  }
+  {
+    // Warm: every dataset mmap-served from the cache the cold run left.
+    ga::harness::BenchmarkRunner runner(cached_config);
+    ga::WallTimer timer;
+    auto result = ga::experiments::RunSuite(runner, *plan);
+    suite_warm_s = timer.ElapsedSeconds();
+    if (!result.ok()) {
+      std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+      return 1;
+    }
+    warm_json = ga::experiments::SuiteToJson(*result);
+  }
+  const bool suite_identical = cold_json == warm_json;
+  std::printf("\nsuite smoke: cold %.3fs, warm %.3fs (%.2fx); "
+              "artifacts %s\n",
+              suite_cold_s, suite_warm_s,
+              suite_cold_s / std::max(suite_warm_s, 1e-9),
+              suite_identical ? "bit-identical" : "DIFFER");
+  std::printf("dataset acquisition: generate %.3fs vs snapshot mmap "
+              "%.3fs (%.1fx)\n",
+              generate_total_s, snapshot_total_s,
+              generate_total_s / std::max(snapshot_total_s, 1e-9));
+  if (!suite_identical) {
+    std::fprintf(stderr,
+                 "cache-warm suite artifacts differ from cold run\n");
+    return 1;
+  }
+
+  // --- JSON trajectory point -----------------------------------------
+  const char* out_path = std::getenv("GA_BENCH_OUT");
+  const std::string json_path =
+      out_path != nullptr ? out_path : "BENCH_PR5.json";
+  ga::JsonWriter json;
+  json.BeginObject();
+  json.Field("artifact", "store_io");
+  json.Field("scale_divisor",
+             static_cast<std::int64_t>(config.scale_divisor));
+  json.Field("hardware_concurrency",
+             ga::exec::ThreadPool::HardwareConcurrency());
+  json.Key("datasets").BeginArray();
+  for (const DatasetRow& row : rows) {
+    json.BeginObject();
+    json.Field("id", row.id);
+    json.Field("vertices", row.vertices);
+    json.Field("edges", row.edges);
+    json.Field("snapshot_bytes", row.snapshot_bytes);
+    json.Field("generate_s", row.generate_s);
+    json.Field("snapshot_write_s", row.snapshot_write_s);
+    json.Field("snapshot_load_s", row.snapshot_load_s);
+    json.Field("snapshot_load_unverified_s",
+               row.snapshot_load_unverified_s);
+    json.Field("text_export_s", row.text_export_s);
+    json.Field("text_import_s", row.text_import_s);
+    json.Field("load_speedup_vs_generate",
+               row.generate_s / std::max(row.snapshot_load_s, 1e-9));
+    json.Field("deterministic", row.deterministic);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("suite_smoke").BeginObject();
+  json.Field("cold_s", suite_cold_s);
+  json.Field("warm_s", suite_warm_s);
+  json.Field("speedup", suite_cold_s / std::max(suite_warm_s, 1e-9));
+  json.Field("artifacts_bit_identical", suite_identical);
+  json.EndObject();
+  json.Key("load_path").BeginObject();
+  json.Field("generate_total_s", generate_total_s);
+  json.Field("snapshot_load_total_s", snapshot_total_s);
+  json.Field("speedup",
+             generate_total_s / std::max(snapshot_total_s, 1e-9));
+  json.EndObject();
+  json.EndObject();
+  std::FILE* out = std::fopen(json_path.c_str(), "w");
+  if (out == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    return 1;
+  }
+  std::fprintf(out, "%s\n", json.str().c_str());
+  std::fclose(out);
+  std::printf("trajectory point written to %s\n", json_path.c_str());
+
+  std::filesystem::remove_all(work_dir, ec);
+  return 0;
+}

@@ -5,10 +5,17 @@
 //   <name>.e : "<source> <target>[ <weight>]" per line
 // plus (by convention) reference-output files "<name>-<algo>" with
 // "<vertex id> <value>" per line, handled by algo/output.h.
+//
+// Malformed input is rejected with a Status naming the file and the
+// 1-based line number — lines are never silently skipped. Lines that are
+// empty or start with '#' are comments; a trailing '\r' (CRLF files) is
+// tolerated. The parallel chunked importer in ga::store builds on the
+// per-line parsers exported here.
 #ifndef GRAPHALYTICS_CORE_EDGE_LIST_H_
 #define GRAPHALYTICS_CORE_EDGE_LIST_H_
 
 #include <string>
+#include <string_view>
 
 #include "core/graph.h"
 #include "core/status.h"
@@ -16,20 +23,45 @@
 
 namespace ga {
 
+/// Outcome of parsing one line of a `.v`/`.e` file.
+enum class LineParse {
+  kOk,         // tokens parsed, nothing trailing
+  kSkip,       // blank line or '#' comment
+  kMalformed,  // bad token, missing column, or trailing garbage
+};
+
+/// Parses one `.v` line ("<vertex id>"). Rejects trailing non-whitespace.
+LineParse ParseVertexLine(std::string_view line, VertexId* id);
+
+/// Parses one `.e` line ("<source> <target>[ <weight>]"). The weight
+/// column is required iff `weighted` and rejected otherwise.
+LineParse ParseEdgeLine(std::string_view line, bool weighted,
+                        VertexId* source, VertexId* target, Weight* weight);
+
+/// Reads a whole file into memory (binary-exact).
+Result<std::string> ReadTextFile(const std::string& path);
+
 /// Writes `graph` as `<path_prefix>.v` and `<path_prefix>.e`.
 /// Weighted graphs emit a third column with the edge weight.
 Status WriteGraphFiles(const Graph& graph, const std::string& path_prefix);
 
-/// Loads a graph from `<path_prefix>.v` + `<path_prefix>.e`.
+/// Loads a graph from `<path_prefix>.v` + `<path_prefix>.e`. The optional
+/// pool parallelises the graph build (parsing is serial here; the chunked
+/// parallel importer lives in ga::store).
 Result<Graph> ReadGraphFiles(const std::string& path_prefix,
-                             Directedness directedness, bool weighted);
+                             Directedness directedness, bool weighted,
+                             exec::ThreadPool* pool = nullptr);
 
 /// Parses an in-memory edge-list text (the `.e` format). Vertices present
 /// only in `vertex_text` (the `.v` format) are added as isolated vertices;
-/// pass an empty string to derive vertices from edges alone.
+/// pass an empty string to derive vertices from edges alone. Error
+/// messages cite `vertex_name` / `edge_name` as the offending file.
 Result<Graph> ParseGraphText(const std::string& vertex_text,
                              const std::string& edge_text,
-                             Directedness directedness, bool weighted);
+                             Directedness directedness, bool weighted,
+                             const std::string& vertex_name = "<vertex text>",
+                             const std::string& edge_name = "<edge text>",
+                             exec::ThreadPool* pool = nullptr);
 
 }  // namespace ga
 

@@ -59,6 +59,41 @@ constexpr auto kByKeyThenOther = [](const AdjacencyEntry& a,
 
 }  // namespace
 
+void Graph::BindOwnedViews() {
+  external_ids_view_ = external_ids_;
+  edges_view_ = edges_;
+  out_offsets_view_ = out_offsets_;
+  out_targets_view_ = out_targets_;
+  out_weights_view_ = out_weights_;
+  const bool directed = is_directed();
+  in_offsets_view_ = directed ? std::span<const EdgeIndex>(in_offsets_)
+                              : out_offsets_view_;
+  in_sources_view_ = directed ? std::span<const VertexIndex>(in_sources_)
+                              : out_targets_view_;
+  in_weights_view_ = directed ? std::span<const Weight>(in_weights_)
+                              : out_weights_view_;
+}
+
+Graph Graph::FromParts(const GraphParts& parts,
+                       std::shared_ptr<const void> backing) {
+  Graph graph;
+  graph.directedness_ = parts.directedness;
+  graph.weighted_ = parts.weighted;
+  graph.external_ids_view_ = parts.external_ids;
+  graph.edges_view_ = parts.edges;
+  graph.out_offsets_view_ = parts.out_offsets;
+  graph.out_targets_view_ = parts.out_targets;
+  graph.out_weights_view_ = parts.out_weights;
+  const bool directed = parts.directedness == Directedness::kDirected;
+  graph.in_offsets_view_ = directed ? parts.in_offsets : parts.out_offsets;
+  graph.in_sources_view_ = directed ? parts.in_sources : parts.out_targets;
+  graph.in_weights_view_ = directed ? parts.in_weights : parts.out_weights;
+  graph.max_out_degree_ = parts.max_out_degree;
+  graph.max_in_degree_ = parts.max_in_degree;
+  graph.backing_ = std::move(backing);
+  return graph;
+}
+
 Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
   exec::ExecContext ctx(pool);
   Graph graph;
@@ -75,6 +110,9 @@ Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
   exec::parallel_sort(ctx, &ids, std::less<VertexId>{});
   ids.erase(std::unique(ids.begin(), ids.end()), ids.end());
   graph.external_ids_ = std::move(ids);
+  // IndexOf below reads through the view; bind it now (the remaining
+  // views are bound once every array is final).
+  graph.external_ids_view_ = graph.external_ids_;
   const VertexIndex n = graph.num_vertices();
 
   // 2. Canonicalise edges: remap ids, orient undirected edges low->high,
@@ -181,6 +219,7 @@ Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
     graph.max_in_degree_ = graph.max_out_degree_;
   }
 
+  graph.BindOwnedViews();
   return graph;
 }
 

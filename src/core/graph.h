@@ -11,11 +11,18 @@
 //   * a canonical edge array (each logical edge once),
 //   * out-adjacency in CSR form (undirected graphs include both directions),
 //   * in-adjacency in CSC form (directed graphs only; undirected aliases out).
+//
+// Storage backing: every accessor reads through std::span views. A built
+// graph binds the views to its owned vectors; a snapshot-backed graph
+// (ga::store) binds them straight into a read-only file mapping via
+// Graph::FromParts, with a shared keep-alive handle for the mapping — the
+// two paths are indistinguishable to algorithms and engines.
 #ifndef GRAPHALYTICS_CORE_GRAPH_H_
 #define GRAPHALYTICS_CORE_GRAPH_H_
 
 #include <algorithm>
 #include <cstdint>
+#include <memory>
 #include <span>
 #include <string>
 #include <vector>
@@ -34,22 +41,55 @@ struct Edge {
   Weight weight;
 };
 
+/// Borrowed views over a graph's materialised arrays, used to construct a
+/// Graph over externally owned storage (a snapshot mapping). For
+/// undirected graphs the in_* spans must be empty (in-adjacency aliases
+/// out-adjacency); unweighted graphs leave the weight spans empty.
+struct GraphParts {
+  Directedness directedness = Directedness::kDirected;
+  bool weighted = false;
+  std::span<const VertexId> external_ids;
+  std::span<const Edge> edges;
+  std::span<const EdgeIndex> out_offsets;  // size n+1
+  std::span<const VertexIndex> out_targets;
+  std::span<const Weight> out_weights;
+  std::span<const EdgeIndex> in_offsets;  // directed only
+  std::span<const VertexIndex> in_sources;
+  std::span<const Weight> in_weights;
+  EdgeIndex max_out_degree = 0;
+  EdgeIndex max_in_degree = 0;
+};
+
 class Graph {
  public:
   Graph() = default;
 
-  // Movable but not copyable: graphs can be large.
+  // Movable but not copyable: graphs can be large. Moving the owned
+  // vectors keeps their heap buffers in place, so the span views stay
+  // valid across moves.
   Graph(Graph&&) = default;
   Graph& operator=(Graph&&) = default;
   Graph(const Graph&) = delete;
   Graph& operator=(const Graph&) = delete;
 
+  /// Constructs a graph whose arrays live in externally owned storage
+  /// (e.g. an mmap-ed snapshot, see ga::store). `backing` keeps the
+  /// storage alive for the graph's lifetime; `parts` must already satisfy
+  /// the Graph invariants (sorted external ids, canonical sorted edges,
+  /// consistent CSR) — ga::store validates before calling.
+  static Graph FromParts(const GraphParts& parts,
+                         std::shared_ptr<const void> backing);
+
+  /// Whether the arrays live in externally owned (snapshot) storage
+  /// rather than owned vectors.
+  bool is_storage_backed() const { return backing_ != nullptr; }
+
   VertexIndex num_vertices() const {
-    return static_cast<VertexIndex>(external_ids_.size());
+    return static_cast<VertexIndex>(external_ids_view_.size());
   }
   /// Number of logical edges (an undirected edge counts once).
   EdgeIndex num_edges() const {
-    return static_cast<EdgeIndex>(edges_.size());
+    return static_cast<EdgeIndex>(edges_view_.size());
   }
   Directedness directedness() const { return directedness_; }
   bool is_directed() const {
@@ -58,68 +98,67 @@ class Graph {
   bool is_weighted() const { return weighted_; }
 
   /// The canonical edge array (each logical edge exactly once).
-  std::span<const Edge> edges() const { return edges_; }
+  std::span<const Edge> edges() const { return edges_view_; }
 
   /// Out-neighbours of v. For undirected graphs this is all neighbours.
   std::span<const VertexIndex> OutNeighbors(VertexIndex v) const {
-    return {&out_targets_[out_offsets_[v]],
-            static_cast<std::size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+    return {out_targets_view_.data() + out_offsets_view_[v],
+            static_cast<std::size_t>(out_offsets_view_[v + 1] -
+                                     out_offsets_view_[v])};
   }
   /// Weights parallel to OutNeighbors(v). Empty span if unweighted.
   std::span<const Weight> OutWeights(VertexIndex v) const {
     if (!weighted_) return {};
-    return {&out_weights_[out_offsets_[v]],
-            static_cast<std::size_t>(out_offsets_[v + 1] - out_offsets_[v])};
+    return {out_weights_view_.data() + out_offsets_view_[v],
+            static_cast<std::size_t>(out_offsets_view_[v + 1] -
+                                     out_offsets_view_[v])};
   }
   EdgeIndex OutDegree(VertexIndex v) const {
-    return out_offsets_[v + 1] - out_offsets_[v];
+    return out_offsets_view_[v + 1] - out_offsets_view_[v];
   }
 
-  /// In-neighbours of v (== OutNeighbors for undirected graphs).
+  /// In-neighbours of v (== OutNeighbors for undirected graphs; the in_*
+  /// views alias the out_* views then).
   std::span<const VertexIndex> InNeighbors(VertexIndex v) const {
-    const auto& offsets = is_directed() ? in_offsets_ : out_offsets_;
-    const auto& sources = is_directed() ? in_sources_ : out_targets_;
-    return {&sources[offsets[v]],
-            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+    return {in_sources_view_.data() + in_offsets_view_[v],
+            static_cast<std::size_t>(in_offsets_view_[v + 1] -
+                                     in_offsets_view_[v])};
   }
   std::span<const Weight> InWeights(VertexIndex v) const {
     if (!weighted_) return {};
-    const auto& offsets = is_directed() ? in_offsets_ : out_offsets_;
-    const auto& weights = is_directed() ? in_weights_ : out_weights_;
-    return {&weights[offsets[v]],
-            static_cast<std::size_t>(offsets[v + 1] - offsets[v])};
+    return {in_weights_view_.data() + in_offsets_view_[v],
+            static_cast<std::size_t>(in_offsets_view_[v + 1] -
+                                     in_offsets_view_[v])};
   }
   EdgeIndex InDegree(VertexIndex v) const {
-    const auto& offsets = is_directed() ? in_offsets_ : out_offsets_;
-    return offsets[v + 1] - offsets[v];
+    return in_offsets_view_[v + 1] - in_offsets_view_[v];
   }
 
   /// Raw CSR arrays, for engines that operate on the matrix directly.
-  std::span<const EdgeIndex> out_offsets() const { return out_offsets_; }
-  std::span<const VertexIndex> out_targets() const { return out_targets_; }
-  std::span<const Weight> out_weights() const { return out_weights_; }
-  std::span<const EdgeIndex> in_offsets() const {
-    return is_directed() ? std::span<const EdgeIndex>(in_offsets_)
-                         : std::span<const EdgeIndex>(out_offsets_);
+  std::span<const EdgeIndex> out_offsets() const { return out_offsets_view_; }
+  std::span<const VertexIndex> out_targets() const {
+    return out_targets_view_;
   }
-  std::span<const VertexIndex> in_sources() const {
-    return is_directed() ? std::span<const VertexIndex>(in_sources_)
-                         : std::span<const VertexIndex>(out_targets_);
-  }
+  std::span<const Weight> out_weights() const { return out_weights_view_; }
+  std::span<const EdgeIndex> in_offsets() const { return in_offsets_view_; }
+  std::span<const VertexIndex> in_sources() const { return in_sources_view_; }
+  std::span<const Weight> in_weights() const { return in_weights_view_; }
 
   /// External (dataset) id of an internal index.
-  VertexId ExternalId(VertexIndex v) const { return external_ids_[v]; }
-  std::span<const VertexId> external_ids() const { return external_ids_; }
+  VertexId ExternalId(VertexIndex v) const { return external_ids_view_[v]; }
+  std::span<const VertexId> external_ids() const {
+    return external_ids_view_;
+  }
 
   /// Internal index of an external id, or kInvalidVertex if absent.
   /// Build sorts external_ids_ ascending, so the id->index map IS a
   /// binary search over the id array — no separate hash index to build,
   /// fill or keep resident.
   VertexIndex IndexOf(VertexId id) const {
-    auto it =
-        std::lower_bound(external_ids_.begin(), external_ids_.end(), id);
-    if (it == external_ids_.end() || *it != id) return kInvalidVertex;
-    return static_cast<VertexIndex>(it - external_ids_.begin());
+    auto it = std::lower_bound(external_ids_view_.begin(),
+                               external_ids_view_.end(), id);
+    if (it == external_ids_view_.end() || *it != id) return kInvalidVertex;
+    return static_cast<VertexIndex>(it - external_ids_view_.begin());
   }
 
   /// Maximum out-degree (0 for an empty graph). Used by the memory model:
@@ -129,15 +168,20 @@ class Graph {
 
   /// Total directed adjacency entries: m for directed, 2m for undirected.
   EdgeIndex num_adjacency_entries() const {
-    return static_cast<EdgeIndex>(out_targets_.size());
+    return static_cast<EdgeIndex>(out_targets_view_.size());
   }
 
  private:
   friend class GraphBuilder;
 
+  /// Points the views at the owned vectors (in_* alias out_* for
+  /// undirected graphs, mirroring the old accessor branches).
+  void BindOwnedViews();
+
   Directedness directedness_ = Directedness::kDirected;
   bool weighted_ = false;
 
+  // Owned storage; empty when the graph is storage-backed.
   std::vector<VertexId> external_ids_;  // index -> external id, sorted
 
   std::vector<Edge> edges_;  // canonical logical edges
@@ -150,6 +194,20 @@ class Graph {
   std::vector<EdgeIndex> in_offsets_;
   std::vector<VertexIndex> in_sources_;
   std::vector<Weight> in_weights_;
+
+  // The views every accessor reads through: bound to the vectors above by
+  // Build, or to a snapshot mapping by FromParts.
+  std::span<const VertexId> external_ids_view_;
+  std::span<const Edge> edges_view_;
+  std::span<const EdgeIndex> out_offsets_view_;
+  std::span<const VertexIndex> out_targets_view_;
+  std::span<const Weight> out_weights_view_;
+  std::span<const EdgeIndex> in_offsets_view_;
+  std::span<const VertexIndex> in_sources_view_;
+  std::span<const Weight> in_weights_view_;
+
+  // Keep-alive for externally owned storage (null for owned graphs).
+  std::shared_ptr<const void> backing_;
 
   EdgeIndex max_out_degree_ = 0;
   EdgeIndex max_in_degree_ = 0;

@@ -18,6 +18,9 @@ BenchmarkConfig BenchmarkConfig::FromEnv() {
     const int value = std::atoi(jobs);
     if (value >= 0) config.host_jobs = value;
   }
+  if (const char* data_dir = std::getenv("GA_DATA_DIR")) {
+    config.data_dir = data_dir;
+  }
   return config;
 }
 

@@ -8,6 +8,7 @@
 #define GRAPHALYTICS_HARNESS_CONFIG_H_
 
 #include <cstdint>
+#include <string>
 
 namespace ga::harness {
 
@@ -26,6 +27,13 @@ struct BenchmarkConfig {
   /// --jobs). 0 selects the hardware concurrency. Purely a wall-time
   /// knob: simulated metrics and outputs are identical at any value.
   int host_jobs = 0;
+  /// Root of the persistent dataset cache (the CLI's --data-dir /
+  /// GA_DATA_DIR). Empty disables it: every run regenerates in RAM.
+  /// When set, DatasetRegistry::Load serves content-addressed `.gab`
+  /// snapshots (ga::store) and populates the cache on miss; cached
+  /// graphs are byte-identical to generated ones, so outputs and
+  /// simulated metrics do not depend on cache warmth.
+  std::string data_dir;
 
   /// Memory budget handed to a simulated machine.
   std::int64_t ScaledMemoryBudget() const {
@@ -36,8 +44,8 @@ struct BenchmarkConfig {
     return sim_seconds * static_cast<double>(scale_divisor);
   }
 
-  /// Reads GA_SCALE_DIVISOR / GA_SEED / GA_JOBS from the environment if
-  /// set.
+  /// Reads GA_SCALE_DIVISOR / GA_SEED / GA_JOBS / GA_DATA_DIR from the
+  /// environment if set.
   static BenchmarkConfig FromEnv();
 };
 

@@ -30,10 +30,29 @@ DatasetSpec MakeSpec(std::string id, std::string name,
   return spec;
 }
 
+std::string_view GeneratorName(DatasetSource source) {
+  switch (source) {
+    case DatasetSource::kRealProxy: return "realproxy";
+    case DatasetSource::kDatagen: return "datagen";
+    case DatasetSource::kGraph500: return "graph500";
+  }
+  return "unknown";
+}
+
+// Folded into every snapshot-cache key. BUMP THIS whenever any generator
+// in src/datagen/ changes the graph it produces for identical parameters
+// (recalibration, distribution tweaks, seeding changes) — the cache can
+// only detect staleness through the key, and serving a pre-change
+// snapshot would silently diverge warm runs from cold ones.
+constexpr int kGeneratorRevision = 1;
+
 }  // namespace
 
 DatasetRegistry::DatasetRegistry(const BenchmarkConfig& config)
     : config_(config) {
+  if (!config_.data_dir.empty()) {
+    disk_cache_.emplace(config_.data_dir);
+  }
   using enum DatasetSource;
   const auto kD = Directedness::kDirected;
   const auto kU = Directedness::kUndirected;
@@ -82,10 +101,60 @@ Result<DatasetSpec> DatasetRegistry::Find(const std::string& id) const {
   return Status::NotFound("no dataset with id " + id);
 }
 
+store::CacheKey DatasetRegistry::CacheKeyFor(const DatasetSpec& spec) const {
+  store::CacheKey key;
+  key.generator = GeneratorName(spec.source);
+  key.dataset_id = spec.id;
+  // Everything generation derives from goes into the key — including the
+  // catalogue sizes, so editing a spec (or a generator recalibration that
+  // shifts them) can never be served a stale snapshot.
+  key.params = "gen=" + std::to_string(kGeneratorRevision) +
+               ";seed=" + std::to_string(config_.seed) +
+               ";pv=" + std::to_string(spec.paper_vertices) +
+               ";pe=" + std::to_string(spec.paper_edges) +
+               ";dir=" + std::string(DirectednessName(spec.directedness)) +
+               ";weighted=" + (spec.weighted ? "1" : "0") +
+               ";cc=" + std::to_string(spec.target_clustering);
+  key.scale_divisor = config_.scale_divisor;
+  return key;
+}
+
+Result<std::string> DatasetRegistry::SnapshotPathFor(
+    const std::string& id) const {
+  if (!disk_cache_.has_value()) {
+    return Status::FailedPrecondition(
+        "no dataset cache configured (set --data-dir / GA_DATA_DIR)");
+  }
+  GA_ASSIGN_OR_RETURN(DatasetSpec spec, Find(id));
+  return disk_cache_->PathFor(CacheKeyFor(spec));
+}
+
+Status DatasetRegistry::Purge(const std::string& id) {
+  GA_ASSIGN_OR_RETURN(DatasetSpec spec, Find(id));
+  Evict(id);
+  if (disk_cache_.has_value()) {
+    return disk_cache_->Remove(CacheKeyFor(spec));
+  }
+  return Status::Ok();
+}
+
 Result<const Graph*> DatasetRegistry::Load(const std::string& id) {
   auto cached = cache_.find(id);
   if (cached != cache_.end()) return cached->second.get();
   GA_ASSIGN_OR_RETURN(DatasetSpec spec, Find(id));
+
+  if (disk_cache_.has_value()) {
+    // A hit is a checksum-verified zero-copy mmap of the stored CSR — no
+    // regeneration, no rebuild. A miss (or a corrupt/stale file) falls
+    // through to generation, which then rewrites the snapshot.
+    auto snapshot = disk_cache_->Load(CacheKeyFor(spec));
+    if (snapshot.ok()) {
+      auto owned = std::make_unique<Graph>(std::move(snapshot).value());
+      const Graph* pointer = owned.get();
+      cache_[id] = std::move(owned);
+      return pointer;
+    }
+  }
 
   const std::int64_t divisor = config_.scale_divisor;
   Graph graph;
@@ -135,6 +204,12 @@ Result<const Graph*> DatasetRegistry::Load(const std::string& id) {
   }
   auto owned = std::make_unique<Graph>(std::move(graph));
   const Graph* pointer = owned.get();
+  if (disk_cache_.has_value()) {
+    // Best-effort: a full cache disk or read-only directory must not
+    // fail the benchmark run — the next run simply regenerates.
+    Status stored = disk_cache_->Store(*pointer, CacheKeyFor(spec));
+    (void)stored;
+  }
   cache_[id] = std::move(owned);
   return pointer;
 }

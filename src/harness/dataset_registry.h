@@ -11,6 +11,7 @@
 
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -18,6 +19,7 @@
 #include "core/graph.h"
 #include "core/status.h"
 #include "harness/config.h"
+#include "store/dataset_cache.h"
 
 namespace ga::harness {
 
@@ -46,15 +48,41 @@ class DatasetRegistry {
 
   Result<DatasetSpec> Find(const std::string& id) const;
 
-  /// Generates (once) and returns the scaled instance.
+  /// Returns the scaled instance, resolving through two cache layers:
+  /// the in-RAM instance map, then (when config.data_dir is set) the
+  /// persistent snapshot cache — a zero-copy mmap load. Only on a full
+  /// miss is the dataset generated, and the snapshot cache is populated
+  /// for the next run. Cache-served graphs are byte-identical to
+  /// generated ones (same CSR, ids, flags), so every downstream output
+  /// and simulated metric is independent of cache warmth.
   Result<const Graph*> Load(const std::string& id);
 
   /// Host pool used to build generated graphs (not owned; may be null).
   /// Generation stays deterministic at any thread count.
   void set_host_pool(exec::ThreadPool* pool) { host_pool_ = pool; }
 
-  /// Releases a cached instance (bench sweeps over many datasets).
+  /// Releases the in-RAM instance only (bench sweeps over many
+  /// datasets); a persistent snapshot, if any, survives and the next
+  /// Load serves it without regenerating.
   void Evict(const std::string& id) { cache_.erase(id); }
+
+  /// Evict(id) plus removal of the dataset's on-disk snapshot, so the
+  /// next Load regenerates from scratch. Ok when nothing is cached;
+  /// NotFound for an unknown id.
+  Status Purge(const std::string& id);
+
+  /// The persistent snapshot cache (nullopt when config.data_dir is
+  /// empty).
+  const std::optional<store::DatasetCache>& disk_cache() const {
+    return disk_cache_;
+  }
+
+  /// Where the dataset's snapshot lives in the disk cache
+  /// (FailedPrecondition without a data_dir; NotFound for an unknown
+  /// id). The file exists only once a Load has populated it — callers
+  /// that need the write to have succeeded (e.g. `data gen`) check this
+  /// path, since Load treats cache stores as best-effort.
+  Result<std::string> SnapshotPathFor(const std::string& id) const;
 
   /// Benchmark parameters for a dataset (the benchmark description fixes
   /// the BFS/SSSP root per graph): the root is the first vertex with
@@ -64,10 +92,16 @@ class DatasetRegistry {
   const BenchmarkConfig& config() const { return config_; }
 
  private:
+  /// The snapshot-cache key for a dataset: generator id, dataset id,
+  /// canonical generation parameters and the scale divisor (the format
+  /// version is folded in by CacheKeyString).
+  store::CacheKey CacheKeyFor(const DatasetSpec& spec) const;
+
   BenchmarkConfig config_;
   exec::ThreadPool* host_pool_ = nullptr;
   std::vector<DatasetSpec> specs_;
   std::map<std::string, std::unique_ptr<Graph>> cache_;
+  std::optional<store::DatasetCache> disk_cache_;
 };
 
 }  // namespace ga::harness

@@ -1,0 +1,72 @@
+#include "store/dataset_cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <utility>
+
+#include "store/snapshot.h"
+
+namespace ga::store {
+
+std::string CacheKeyString(const CacheKey& key) {
+  return key.generator + "|" + key.dataset_id + "|" + key.params +
+         "|divisor=" + std::to_string(key.scale_divisor) +
+         "|gab=" + std::to_string(kSnapshotVersion);
+}
+
+std::uint64_t CacheKeyHash(const CacheKey& key) {
+  const std::string canonical = CacheKeyString(key);
+  return Fnv1a64(canonical.data(), canonical.size());
+}
+
+DatasetCache::DatasetCache(std::string root_dir)
+    : root_(std::move(root_dir)) {}
+
+std::string DatasetCache::PathFor(const CacheKey& key) const {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(CacheKeyHash(key)));
+  return root_ + "/" + key.dataset_id + "-" + hex + ".gab";
+}
+
+bool DatasetCache::Contains(const CacheKey& key) const {
+  std::error_code ec;
+  return std::filesystem::exists(PathFor(key), ec);
+}
+
+Result<Graph> DatasetCache::Load(const CacheKey& key) const {
+  const std::string path = PathFor(key);
+  auto snapshot = ReadSnapshot(path);
+  if (!snapshot.ok()) {
+    // One open attempt, classified after the fact: an absent file is the
+    // ordinary miss (NotFound); anything else (corrupt, truncated,
+    // unreadable) keeps its IoError so callers can tell the difference.
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+      return Status::NotFound("no cached snapshot at " + path);
+    }
+  }
+  return snapshot;
+}
+
+Status DatasetCache::Store(const Graph& graph, const CacheKey& key) {
+  std::error_code ec;
+  std::filesystem::create_directories(root_, ec);
+  if (ec) {
+    return Status::IoError("cannot create cache directory " + root_ + ": " +
+                           ec.message());
+  }
+  return WriteSnapshot(graph, PathFor(key));
+}
+
+Status DatasetCache::Remove(const CacheKey& key) {
+  std::error_code ec;
+  std::filesystem::remove(PathFor(key), ec);
+  if (ec) {
+    return Status::IoError("cannot remove " + PathFor(key) + ": " +
+                           ec.message());
+  }
+  return Status::Ok();
+}
+
+}  // namespace ga::store

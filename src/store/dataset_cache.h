@@ -1,0 +1,70 @@
+// Persistent content-addressed dataset cache.
+//
+// Generated benchmark datasets are expensive (the 687-job paper preset
+// regenerates every graph each run); this cache stores each generated
+// instance once as a `.gab` snapshot keyed by everything that determines
+// its content: generator id, dataset id, canonical parameter string,
+// scale divisor and the snapshot format version. The key hashes into the
+// file name, so any parameter change — a new seed, a different divisor, a
+// format bump — addresses a different file and stale snapshots can never
+// be served. Loads are zero-copy mmaps (checksum-verified), so a warm
+// cache turns dataset acquisition from minutes of generation into a
+// page-in.
+#ifndef GRAPHALYTICS_STORE_DATASET_CACHE_H_
+#define GRAPHALYTICS_STORE_DATASET_CACHE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/graph.h"
+#include "core/status.h"
+
+namespace ga::store {
+
+struct CacheKey {
+  std::string generator;   // "realproxy" | "datagen" | "graph500" | ...
+  std::string dataset_id;  // registry id, e.g. "R1"
+  std::string params;      // canonical "k=v;..." generator parameters
+  std::int64_t scale_divisor = 1;
+};
+
+/// The canonical key string; includes the snapshot format version so a
+/// format bump invalidates every old entry.
+std::string CacheKeyString(const CacheKey& key);
+
+/// FNV-1a 64 of CacheKeyString — the content address.
+std::uint64_t CacheKeyHash(const CacheKey& key);
+
+class DatasetCache {
+ public:
+  /// `root_dir` is created on first Store; it may be shared by concurrent
+  /// processes (snapshot writes are atomic renames).
+  explicit DatasetCache(std::string root_dir);
+
+  const std::string& root() const { return root_; }
+
+  /// `<root>/<dataset_id>-<key hash hex>.gab` — readable names, exact
+  /// addressing.
+  std::string PathFor(const CacheKey& key) const;
+
+  bool Contains(const CacheKey& key) const;
+
+  /// Zero-copy loads the cached snapshot (checksums verified). NotFound
+  /// if absent; IoError if present but unreadable/corrupt — callers
+  /// regenerate and overwrite in both cases.
+  Result<Graph> Load(const CacheKey& key) const;
+
+  /// Snapshots `graph` under the key (atomic rename; concurrent writers
+  /// of the same key race benignly to identical bytes).
+  Status Store(const Graph& graph, const CacheKey& key);
+
+  /// Removes the on-disk snapshot. Ok if it did not exist.
+  Status Remove(const CacheKey& key);
+
+ private:
+  std::string root_;
+};
+
+}  // namespace ga::store
+
+#endif  // GRAPHALYTICS_STORE_DATASET_CACHE_H_

@@ -1,0 +1,90 @@
+#include "store/mapped_file.h"
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__unix__) || defined(__APPLE__)
+#define GA_STORE_HAS_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#else
+#define GA_STORE_HAS_MMAP 0
+#include <cstdio>
+#endif
+
+namespace ga::store {
+
+void MappedFile::Reset() {
+  if (data_ == nullptr) return;
+#if GA_STORE_HAS_MMAP
+  if (mapped_) {
+    ::munmap(data_, size_);
+  } else {
+    std::free(data_);
+  }
+#else
+  std::free(data_);
+#endif
+  data_ = nullptr;
+  size_ = 0;
+  mapped_ = false;
+}
+
+Result<MappedFile> MappedFile::Open(const std::string& path) {
+  MappedFile file;
+#if GA_STORE_HAS_MMAP
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " +
+                           std::strerror(err));
+  }
+  file.size_ = static_cast<std::size_t>(st.st_size);
+  if (file.size_ == 0) {
+    ::close(fd);
+    return file;
+  }
+  void* mapping =
+      ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mapping == MAP_FAILED) {
+    return Status::IoError("cannot mmap " + path + ": " +
+                           std::strerror(errno));
+  }
+  file.data_ = mapping;
+  file.mapped_ = true;
+  return file;
+#else
+  std::FILE* handle = std::fopen(path.c_str(), "rb");
+  if (handle == nullptr) return Status::IoError("cannot open " + path);
+  std::fseek(handle, 0, SEEK_END);
+  const long end = std::ftell(handle);
+  if (end < 0) {
+    std::fclose(handle);
+    return Status::IoError("cannot size " + path);
+  }
+  std::fseek(handle, 0, SEEK_SET);
+  file.size_ = static_cast<std::size_t>(end);
+  if (file.size_ > 0) {
+    file.data_ = std::malloc(file.size_);
+    if (file.data_ == nullptr ||
+        std::fread(file.data_, 1, file.size_, handle) != file.size_) {
+      std::fclose(handle);
+      return Status::IoError("cannot read " + path);
+    }
+  }
+  std::fclose(handle);
+  return file;
+#endif
+}
+
+}  // namespace ga::store

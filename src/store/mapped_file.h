@@ -1,0 +1,56 @@
+// Read-only memory-mapped file (RAII).
+//
+// The zero-copy substrate of ga::store: a snapshot is mapped once and the
+// Graph's span views point straight into the mapping. On POSIX this is
+// mmap(PROT_READ, MAP_PRIVATE); elsewhere the file is read into a heap
+// buffer (same interface, one copy). The mapping is immutable for its
+// whole lifetime, so graphs backed by it are safe to share across
+// threads.
+#ifndef GRAPHALYTICS_STORE_MAPPED_FILE_H_
+#define GRAPHALYTICS_STORE_MAPPED_FILE_H_
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+#include "core/status.h"
+
+namespace ga::store {
+
+class MappedFile {
+ public:
+  MappedFile() = default;
+  ~MappedFile() { Reset(); }
+
+  MappedFile(MappedFile&& other) noexcept { *this = std::move(other); }
+  MappedFile& operator=(MappedFile&& other) noexcept {
+    if (this != &other) {
+      Reset();
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      mapped_ = std::exchange(other.mapped_, false);
+    }
+    return *this;
+  }
+  MappedFile(const MappedFile&) = delete;
+  MappedFile& operator=(const MappedFile&) = delete;
+
+  /// Maps `path` read-only. Empty files yield a valid zero-size mapping.
+  static Result<MappedFile> Open(const std::string& path);
+
+  const std::byte* data() const {
+    return static_cast<const std::byte*>(data_);
+  }
+  std::size_t size() const { return size_; }
+
+ private:
+  void Reset();
+
+  void* data_ = nullptr;
+  std::size_t size_ = 0;
+  bool mapped_ = false;  // mmap-ed (true) vs heap fallback (false)
+};
+
+}  // namespace ga::store
+
+#endif  // GRAPHALYTICS_STORE_MAPPED_FILE_H_

@@ -1,0 +1,121 @@
+// Versioned, checksummed binary graph snapshots (the `.gab` format).
+//
+// A snapshot holds everything GraphBuilder::Build materialises — external
+// ids, the canonical edge array, out-CSR (and in-CSC for directed graphs),
+// weights, flags, max degrees — so loading never rebuilds, sorts or
+// hashes anything. Layout (DESIGN.md §10):
+//
+//   [0,  64)  SnapshotHeader  magic "GABSNAP1", version, endian tag,
+//                             flags, counts, header checksum
+//   [64, ..)  section table   one 32-byte SectionEntry per section
+//   ...       sections        raw little-endian arrays, each offset
+//                             64-byte aligned, zero padding between
+//
+// Every section carries an FNV-1a 64 checksum; the header checksum covers
+// the header (with its checksum field zeroed) plus the section table.
+// All arrays are written exactly as they sit in memory (8-byte scalars,
+// 24-byte Edge records), so a reader on a same-endianness host can bind
+// Graph span views directly into the mapping — the zero-copy load path.
+// Foreign-endian files are rejected via the endian tag, not translated.
+#ifndef GRAPHALYTICS_STORE_SNAPSHOT_H_
+#define GRAPHALYTICS_STORE_SNAPSHOT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/status.h"
+
+namespace ga::store {
+
+inline constexpr char kSnapshotMagic[8] = {'G', 'A', 'B', 'S',
+                                           'N', 'A', 'P', '1'};
+inline constexpr std::uint32_t kSnapshotVersion = 1;
+/// Written as a u32 by the creator; a reader seeing it byte-swapped knows
+/// the file came from a foreign-endian host.
+inline constexpr std::uint32_t kEndianTag = 0x01020304u;
+/// Section payload offsets are multiples of this, so spans bound into a
+/// (page-aligned) mapping are always suitably aligned and cache-friendly.
+inline constexpr std::uint64_t kSectionAlignment = 64;
+
+enum class SectionKind : std::uint32_t {
+  kExternalIds = 1,  // VertexId[n]
+  kEdges = 2,        // Edge[m] (24-byte records)
+  kOutOffsets = 3,   // EdgeIndex[n+1]
+  kOutTargets = 4,   // VertexIndex[A]  (A = adjacency entries)
+  kOutWeights = 5,   // Weight[A], weighted graphs only
+  kInOffsets = 6,    // EdgeIndex[n+1], directed graphs only
+  kInSources = 7,    // VertexIndex[m], directed graphs only
+  kInWeights = 8,    // Weight[m], directed weighted graphs only
+};
+
+std::string_view SectionKindName(SectionKind kind);
+
+struct SnapshotHeader {
+  char magic[8];
+  std::uint32_t version;
+  std::uint32_t endian_tag;
+  std::uint32_t flags;  // bit0: directed, bit1: weighted
+  std::uint32_t section_count;
+  std::uint64_t num_vertices;
+  std::uint64_t num_edges;
+  std::uint64_t max_out_degree;
+  std::uint64_t max_in_degree;
+  std::uint64_t header_checksum;  // FNV over header (field zeroed) + table
+};
+static_assert(sizeof(SnapshotHeader) == 64);
+
+struct SectionEntry {
+  std::uint32_t kind;
+  std::uint32_t reserved;  // zero
+  std::uint64_t offset;    // from file start; kSectionAlignment-aligned
+  std::uint64_t size_bytes;
+  std::uint64_t checksum;  // FNV-1a 64 over the payload bytes
+};
+static_assert(sizeof(SectionEntry) == 32);
+
+inline constexpr std::uint32_t kFlagDirected = 1u << 0;
+inline constexpr std::uint32_t kFlagWeighted = 1u << 1;
+
+/// FNV-1a 64 over a byte range (the snapshot checksum).
+std::uint64_t Fnv1a64(const void* data, std::size_t size,
+                      std::uint64_t seed = 14695981039346656037ULL);
+
+/// Writes `graph` as a `.gab` snapshot at `path` (atomically: a temp file
+/// in the same directory is renamed over `path` on success).
+Status WriteSnapshot(const Graph& graph, const std::string& path);
+
+struct ReadOptions {
+  /// Verify every section checksum AND the structural invariants
+  /// (monotone offsets, in-range neighbours, sorted ids, canonical edge
+  /// order) before handing the graph out. Costs one streaming pass over
+  /// the file; turning it off makes the load O(1) but trades away both
+  /// corruption detection and index-range guarantees — only for files
+  /// this process just wrote or verified.
+  bool verify_checksums = true;
+};
+
+/// Maps a `.gab` snapshot and binds a Graph straight into the mapping
+/// (zero-copy; the mapping is released when the Graph dies). With the
+/// default options, malformed, truncated, version-skewed, corrupt or
+/// index-inconsistent files return a Status — never UB.
+Result<Graph> ReadSnapshot(const std::string& path,
+                           const ReadOptions& options = {});
+
+/// Header + section table of a snapshot, for `data inspect`.
+struct SnapshotInfo {
+  SnapshotHeader header;
+  std::vector<SectionEntry> sections;
+  std::uint64_t file_size = 0;
+};
+
+Result<SnapshotInfo> InspectSnapshot(const std::string& path);
+
+/// Full integrity check (== a default ReadSnapshot, result discarded):
+/// header + checksums + structural invariants. Reads every byte.
+Status VerifySnapshot(const std::string& path);
+
+}  // namespace ga::store
+
+#endif  // GRAPHALYTICS_STORE_SNAPSHOT_H_

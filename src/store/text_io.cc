@@ -1,0 +1,251 @@
+#include "store/text_io.h"
+
+#include <algorithm>
+#include <cstdarg>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <string_view>
+#include <vector>
+
+#include "core/exec/exec.h"
+
+namespace ga::store {
+
+namespace {
+
+struct RawEdgeRecord {
+  VertexId source;
+  VertexId target;
+  Weight weight;
+};
+
+// First parse failure inside one chunk: the chunk-local line index plus
+// the reason. Slots keep counting lines after an error so the global
+// line number of the earliest failure is still exact.
+struct ChunkError {
+  bool failed = false;
+  std::int64_t local_line = 0;
+  std::string message;
+};
+
+// Cuts [c_0=0, c_1, ..., c_k=size) splitting `text` into chunks that
+// start at line starts. c_i for 0<i<k is the first line start at or after
+// the i-th slot boundary — a pure function of the byte count, so the
+// decomposition (and thus the merged record order) is identical at any
+// thread count.
+std::vector<std::size_t> LineAlignedCuts(const std::string& text,
+                                         int num_chunks) {
+  std::vector<std::size_t> cuts;
+  cuts.reserve(static_cast<std::size_t>(num_chunks) + 1);
+  cuts.push_back(0);
+  const std::size_t size = text.size();
+  for (int chunk = 1; chunk < num_chunks; ++chunk) {
+    const std::size_t boundary = static_cast<std::size_t>(
+        exec::ExecContext::SliceOf(0, static_cast<std::int64_t>(size), chunk,
+                                   num_chunks)
+            .begin);
+    const std::size_t newline = text.find('\n', boundary);
+    cuts.push_back(newline == std::string::npos ? size : newline + 1);
+  }
+  cuts.push_back(size);
+  return cuts;
+}
+
+// Runs body(chunk) for every chunk, on the pool when present. The chunk
+// count comes from the byte size alone (exec determinism contract).
+template <typename Body>
+void ForEachChunk(exec::ExecContext& ctx, int num_chunks, Body&& body) {
+  if (ctx.pool() != nullptr && num_chunks > 1 &&
+      ctx.num_host_threads() > 1) {
+    ctx.pool()->Execute(num_chunks,
+                        [&](std::int64_t chunk) { body(chunk); });
+  } else {
+    for (int chunk = 0; chunk < num_chunks; ++chunk) body(chunk);
+  }
+}
+
+// Visits each line of [begin, end) in `text`, calling
+// fn(local_line, line) until it returns false.
+template <typename Fn>
+void ForEachLineInRange(const std::string& text, std::size_t begin,
+                        std::size_t end, Fn&& fn) {
+  std::size_t line_start = begin;
+  std::int64_t local_line = 0;
+  while (line_start < end) {
+    std::size_t line_end = text.find('\n', line_start);
+    if (line_end == std::string::npos || line_end > end) line_end = end;
+    std::string_view line(text.data() + line_start, line_end - line_start);
+    ++local_line;
+    line_start = line_end + 1;
+    if (!fn(local_line, line)) return;
+  }
+}
+
+// Shared skeleton for the two chunked parsers: splits `text`, parses each
+// chunk into its slot buffer, counts lines, and converts the earliest
+// failure into a "file:line: <malformed_message>" Status (same wording as
+// the serial core/edge_list path).
+template <typename Record, typename ParseLine>
+Status ParseChunked(const std::string& text, const std::string& name,
+                    const std::string& malformed_message,
+                    exec::ExecContext& ctx,
+                    exec::SlotBuffers<Record>* records,
+                    ParseLine&& parse_line) {
+  const int num_chunks =
+      std::max(1, exec::ExecContext::NumSlots(
+                      static_cast<std::int64_t>(text.size())));
+  const std::vector<std::size_t> cuts = LineAlignedCuts(text, num_chunks);
+  records->Reset(num_chunks);
+  std::vector<std::int64_t> chunk_lines(num_chunks, 0);
+  std::vector<ChunkError> chunk_errors(num_chunks);
+  ForEachChunk(ctx, num_chunks, [&](std::int64_t chunk) {
+    std::vector<Record>& out = records->buf(static_cast<int>(chunk));
+    ChunkError& error = chunk_errors[chunk];
+    ForEachLineInRange(
+        text, cuts[chunk], cuts[chunk + 1],
+        [&](std::int64_t local_line, std::string_view line) {
+          chunk_lines[chunk] = local_line;
+          if (error.failed) return true;  // keep counting lines only
+          Record record;
+          switch (parse_line(line, &record)) {
+            case LineParse::kSkip:
+              break;
+            case LineParse::kOk:
+              out.push_back(record);
+              break;
+            case LineParse::kMalformed:
+              error.failed = true;
+              error.local_line = local_line;
+              break;
+          }
+          return true;
+        });
+  });
+  std::int64_t lines_before = 0;
+  for (int chunk = 0; chunk < num_chunks; ++chunk) {
+    if (chunk_errors[chunk].failed) {
+      return Status::IoError(
+          name + ":" +
+          std::to_string(lines_before + chunk_errors[chunk].local_line) +
+          ": " + malformed_message);
+    }
+    lines_before += chunk_lines[chunk];
+  }
+  return Status::Ok();
+}
+
+Status WriteLineBlocks(const std::string& path, std::int64_t count,
+                       exec::ExecContext& ctx,
+                       const std::function<void(std::int64_t,
+                                                std::string*)>& format) {
+  // Format per-slot blocks in parallel, then concatenate in slot order —
+  // the file is byte-identical to a serial writer's.
+  const int num_slots = std::max(1, exec::ExecContext::NumSlots(count));
+  std::vector<std::string> blocks(num_slots);
+  ForEachChunk(ctx, num_slots, [&](std::int64_t slot) {
+    const exec::Slice slice = exec::ExecContext::SliceOf(
+        0, count, static_cast<int>(slot), num_slots);
+    std::string& block = blocks[slot];
+    block.reserve(static_cast<std::size_t>(slice.end - slice.begin) * 16);
+    for (std::int64_t i = slice.begin; i < slice.end; ++i) {
+      format(i, &block);
+    }
+  });
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return Status::IoError("cannot write " + path);
+  for (const std::string& block : blocks) {
+    out.write(block.data(), static_cast<std::streamsize>(block.size()));
+  }
+  if (!out) return Status::IoError("write failed for " + path);
+  return Status::Ok();
+}
+
+void AppendFormatted(std::string* out, const char* format, ...) {
+  char buffer[96];
+  va_list args;
+  va_start(args, format);
+  int written = std::vsnprintf(buffer, sizeof(buffer), format, args);
+  va_end(args);
+  // vsnprintf reports the untruncated length; clamp so a future
+  // over-long line can never read past the buffer.
+  written = std::min(written, static_cast<int>(sizeof(buffer) - 1));
+  if (written > 0) out->append(buffer, static_cast<std::size_t>(written));
+}
+
+}  // namespace
+
+Result<Graph> ImportGraphText(const std::string& path_prefix,
+                              const ImportOptions& options) {
+  GA_ASSIGN_OR_RETURN(std::string vertex_text,
+                      ReadTextFile(path_prefix + ".v"));
+  GA_ASSIGN_OR_RETURN(std::string edge_text,
+                      ReadTextFile(path_prefix + ".e"));
+  exec::ExecContext ctx(options.pool);
+
+  exec::SlotBuffers<VertexId> vertices;
+  GA_RETURN_IF_ERROR(ParseChunked(
+      vertex_text, path_prefix + ".v",
+      "malformed vertex line (expected \"<id>\")", ctx, &vertices,
+      [](std::string_view line, VertexId* id) {
+        return ParseVertexLine(line, id);
+      }));
+  exec::SlotBuffers<RawEdgeRecord> edges;
+  const bool weighted = options.weighted;
+  GA_RETURN_IF_ERROR(ParseChunked(
+      edge_text, path_prefix + ".e",
+      weighted
+          ? "malformed edge line (expected \"<source> <target> <weight>\")"
+          : "malformed edge line (expected \"<source> <target>\")",
+      ctx, &edges, [weighted](std::string_view line, RawEdgeRecord* record) {
+        record->weight = 1.0;
+        return ParseEdgeLine(line, weighted, &record->source,
+                             &record->target, &record->weight);
+      }));
+
+  GraphBuilder builder(options.directedness, options.weighted,
+                       GraphBuilder::AnomalyPolicy::kReject);
+  builder.ReserveVertices(vertices.TotalSize());
+  builder.ReserveEdges(edges.TotalSize());
+  vertices.Drain([&builder](const VertexId& id) { builder.AddVertex(id); });
+  edges.Drain([&builder](const RawEdgeRecord& record) {
+    builder.AddEdge(record.source, record.target, record.weight);
+  });
+  return std::move(builder).Build(options.pool);
+}
+
+Status ExportGraphText(const Graph& graph, const std::string& path_prefix,
+                       exec::ThreadPool* pool) {
+  exec::ExecContext ctx(pool);
+  GA_RETURN_IF_ERROR(WriteLineBlocks(
+      path_prefix + ".v", graph.num_vertices(), ctx,
+      [&graph](std::int64_t v, std::string* out) {
+        AppendFormatted(out, "%lld\n",
+                        static_cast<long long>(graph.ExternalId(v)));
+      }));
+  const auto edges = graph.edges();
+  const bool weighted = graph.is_weighted();
+  return WriteLineBlocks(
+      path_prefix + ".e", graph.num_edges(), ctx,
+      [&graph, edges, weighted](std::int64_t e, std::string* out) {
+        const Edge& edge = edges[e];
+        if (weighted) {
+          // %.17g prints the shortest-17 form: reparsing reproduces the
+          // exact double, so text round trips preserve weights bit-wise.
+          AppendFormatted(out, "%lld %lld %.17g\n",
+                          static_cast<long long>(
+                              graph.ExternalId(edge.source)),
+                          static_cast<long long>(
+                              graph.ExternalId(edge.target)),
+                          edge.weight);
+        } else {
+          AppendFormatted(out, "%lld %lld\n",
+                          static_cast<long long>(
+                              graph.ExternalId(edge.source)),
+                          static_cast<long long>(
+                              graph.ExternalId(edge.target)));
+        }
+      });
+}
+
+}  // namespace ga::store

@@ -55,6 +55,71 @@ TEST(ParseGraphTextTest, RejectsMissingWeight) {
   EXPECT_FALSE(graph.ok());
 }
 
+TEST(ParseGraphTextTest, ErrorsCiteSourceNameAndLineNumber) {
+  auto graph = ParseGraphText("1\n2\nbogus\n", "", Directedness::kDirected,
+                              false, "people.v", "people.e");
+  ASSERT_FALSE(graph.ok());
+  EXPECT_NE(graph.status().message().find("people.v:3:"),
+            std::string::npos)
+      << graph.status().ToString();
+
+  auto edges = ParseGraphText("", "1 2\n1 2 3 4\n", Directedness::kDirected,
+                              false, "people.v", "people.e");
+  ASSERT_FALSE(edges.ok());
+  EXPECT_NE(edges.status().message().find("people.e:2:"),
+            std::string::npos)
+      << edges.status().ToString();
+}
+
+TEST(ParseGraphTextTest, RejectsTrailingGarbage) {
+  // Extra columns were silently ignored before the ga::store hardening;
+  // now every unconsumed non-whitespace byte is an error.
+  EXPECT_FALSE(ParseGraphText("1 junk\n", "", Directedness::kDirected,
+                              false)
+                   .ok());
+  EXPECT_FALSE(ParseGraphText("", "1 2 0.5\n", Directedness::kDirected,
+                              /*weighted=*/false)
+                   .ok());
+  EXPECT_FALSE(ParseGraphText("", "1 2 0.5 extra\n",
+                              Directedness::kDirected,
+                              /*weighted=*/true)
+                   .ok());
+}
+
+TEST(ParseGraphTextTest, ToleratesCrlfAndMissingFinalNewline) {
+  auto graph = ParseGraphText("1\r\n2\r\n3", "1 2\r\n2 3",
+                              Directedness::kDirected, false);
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  EXPECT_EQ(graph->num_vertices(), 3);
+  EXPECT_EQ(graph->num_edges(), 2);
+}
+
+TEST(ParseLineTest, VertexAndEdgeLineParsers) {
+  VertexId id = 0;
+  EXPECT_EQ(ParseVertexLine("42", &id), LineParse::kOk);
+  EXPECT_EQ(id, 42);
+  EXPECT_EQ(ParseVertexLine("  7 \t", &id), LineParse::kOk);
+  EXPECT_EQ(ParseVertexLine("# comment", &id), LineParse::kSkip);
+  EXPECT_EQ(ParseVertexLine("", &id), LineParse::kSkip);
+  EXPECT_EQ(ParseVertexLine("9 9", &id), LineParse::kMalformed);
+
+  VertexId source = 0;
+  VertexId target = 0;
+  Weight weight = 0.0;
+  EXPECT_EQ(ParseEdgeLine("3 4", false, &source, &target, &weight),
+            LineParse::kOk);
+  EXPECT_EQ(source, 3);
+  EXPECT_EQ(target, 4);
+  EXPECT_EQ(weight, 1.0);  // implicit weight on unweighted datasets
+  EXPECT_EQ(ParseEdgeLine("3 4 2.5", true, &source, &target, &weight),
+            LineParse::kOk);
+  EXPECT_EQ(weight, 2.5);
+  EXPECT_EQ(ParseEdgeLine("3 4", true, &source, &target, &weight),
+            LineParse::kMalformed);
+  EXPECT_EQ(ParseEdgeLine("3 4 2.5", false, &source, &target, &weight),
+            LineParse::kMalformed);
+}
+
 TEST(ParseGraphTextTest, RejectsSelfLoop) {
   auto graph = ParseGraphText("", "3 3\n", Directedness::kDirected, false);
   EXPECT_FALSE(graph.ok());

@@ -1,6 +1,9 @@
 #include "harness/dataset_registry.h"
 
 #include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <filesystem>
 
 namespace ga::harness {
 namespace {
@@ -107,6 +110,101 @@ TEST(DatasetRegistryTest, DeterministicAcrossInstances) {
   ASSERT_TRUE(graph_b.ok());
   EXPECT_EQ((*graph_a)->num_vertices(), (*graph_b)->num_vertices());
   EXPECT_EQ((*graph_a)->num_edges(), (*graph_b)->num_edges());
+}
+
+class RegistryDiskCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_dir_ = std::filesystem::temp_directory_path() /
+                ("ga_registry_cache_" + std::to_string(::getpid()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(data_dir_, ec);
+  }
+
+  BenchmarkConfig CachedConfig() const {
+    BenchmarkConfig config = SmallConfig();
+    config.data_dir = data_dir_.string();
+    return config;
+  }
+
+  std::filesystem::path data_dir_;
+};
+
+TEST_F(RegistryDiskCacheTest, LoadPopulatesAndServesSnapshotCache) {
+  DatasetRegistry registry(CachedConfig());
+  ASSERT_TRUE(registry.disk_cache().has_value());
+  auto first = registry.Load("R1");
+  ASSERT_TRUE(first.ok()) << first.status().ToString();
+  EXPECT_FALSE((*first)->is_storage_backed());  // generated this run
+  auto spec = registry.Find("R1");
+  ASSERT_TRUE(spec.ok());
+
+  // A fresh registry over the same data dir serves the snapshot —
+  // storage-backed, no regeneration.
+  DatasetRegistry warm(CachedConfig());
+  auto warm_graph = warm.Load("R1");
+  ASSERT_TRUE(warm_graph.ok()) << warm_graph.status().ToString();
+  EXPECT_TRUE((*warm_graph)->is_storage_backed());
+  EXPECT_EQ((*warm_graph)->num_vertices(), (*first)->num_vertices());
+  EXPECT_EQ((*warm_graph)->num_edges(), (*first)->num_edges());
+}
+
+TEST_F(RegistryDiskCacheTest, EvictKeepsSnapshotPurgeRemovesIt) {
+  DatasetRegistry registry(CachedConfig());
+  ASSERT_TRUE(registry.Load("R1").ok());
+  auto spec = registry.Find("R1");
+  ASSERT_TRUE(spec.ok());
+
+  // Evict drops only the RAM instance: the snapshot survives and the
+  // next Load is an mmap, not a regeneration.
+  registry.Evict("R1");
+  auto after_evict = registry.Load("R1");
+  ASSERT_TRUE(after_evict.ok());
+  EXPECT_TRUE((*after_evict)->is_storage_backed());
+
+  // Purge removes both layers: the next Load regenerates.
+  ASSERT_TRUE(registry.Purge("R1").ok());
+  auto after_purge = registry.Load("R1");
+  ASSERT_TRUE(after_purge.ok());
+  EXPECT_FALSE((*after_purge)->is_storage_backed());
+}
+
+TEST_F(RegistryDiskCacheTest, PurgeUnknownIdIsNotFound) {
+  DatasetRegistry registry(CachedConfig());
+  EXPECT_EQ(registry.Purge("R99").code(), StatusCode::kNotFound);
+}
+
+TEST_F(RegistryDiskCacheTest, PurgeWithoutDataDirOnlyEvicts) {
+  DatasetRegistry registry(SmallConfig());
+  EXPECT_FALSE(registry.disk_cache().has_value());
+  ASSERT_TRUE(registry.Load("R1").ok());
+  EXPECT_TRUE(registry.Purge("R1").ok());
+  auto reloaded = registry.Load("R1");
+  ASSERT_TRUE(reloaded.ok());
+  EXPECT_FALSE((*reloaded)->is_storage_backed());
+}
+
+TEST_F(RegistryDiskCacheTest, CacheKeyedOnSeedAndDivisor) {
+  // A different seed or divisor must not be served someone else's
+  // snapshot: the key addresses a different file.
+  DatasetRegistry registry(CachedConfig());
+  ASSERT_TRUE(registry.Load("R1").ok());
+
+  BenchmarkConfig other_seed = CachedConfig();
+  other_seed.seed = 1234;
+  DatasetRegistry reseeded(other_seed);
+  auto graph = reseeded.Load("R1");
+  ASSERT_TRUE(graph.ok());
+  EXPECT_FALSE((*graph)->is_storage_backed());  // miss -> regenerated
+
+  BenchmarkConfig other_divisor = CachedConfig();
+  other_divisor.scale_divisor = 8192;
+  DatasetRegistry rescaled(other_divisor);
+  auto scaled = rescaled.Load("R1");
+  ASSERT_TRUE(scaled.ok());
+  EXPECT_FALSE((*scaled)->is_storage_backed());
 }
 
 TEST(BenchmarkConfigTest, ProjectionAndBudget) {

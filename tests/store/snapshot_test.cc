@@ -1,0 +1,304 @@
+// Round-trip and corruption coverage for the `.gab` snapshot format:
+// export -> mmap import must reproduce every CSR byte and every algorithm
+// output bit; malformed files of any kind must come back as a clean
+// Status, never UB.
+#include "store/snapshot.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "algo/reference.h"
+#include "store/mapped_file.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::store {
+namespace {
+
+class SnapshotTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ga_snapshot_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string PathFor(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  std::filesystem::path dir_;
+};
+
+// Deterministic pseudo-random graph: sparse external ids, `edges`
+// attempted random edges (duplicates dropped by the builder).
+Graph RandomGraph(std::uint64_t seed, int vertices, int edges,
+                  Directedness directedness, bool weighted) {
+  GraphBuilder builder(directedness, weighted);
+  std::uint64_t state = seed * 2654435761ULL + 1;
+  auto next = [&state]() {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state >> 11;
+  };
+  for (int v = 0; v < vertices; ++v) {
+    builder.AddVertex(static_cast<VertexId>(v) * 7 + (v % 5));
+  }
+  for (int e = 0; e < edges; ++e) {
+    const VertexId s = static_cast<VertexId>(next() % vertices) * 7 +
+                       (next() % vertices % 5);
+    const VertexId t = static_cast<VertexId>(next() % vertices) * 7 +
+                       (next() % vertices % 5);
+    if (s == t) continue;
+    const Weight w =
+        weighted ? static_cast<Weight>(next() % 1000003) / 997.0 : 1.0;
+    builder.AddEdge(s, t, w);
+  }
+  auto graph = std::move(builder).Build();
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+template <typename T>
+void ExpectSpanBytesEqual(std::span<const T> expected,
+                          std::span<const T> actual, const char* what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  if (expected.empty()) return;  // empty spans may carry null data()
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        expected.size_bytes()),
+            0)
+      << what;
+}
+
+void ExpectGraphsBitIdentical(const Graph& expected, const Graph& actual) {
+  EXPECT_EQ(expected.directedness(), actual.directedness());
+  EXPECT_EQ(expected.is_weighted(), actual.is_weighted());
+  EXPECT_EQ(expected.max_out_degree(), actual.max_out_degree());
+  EXPECT_EQ(expected.max_in_degree(), actual.max_in_degree());
+  ExpectSpanBytesEqual(expected.external_ids(), actual.external_ids(),
+                       "external_ids");
+  ExpectSpanBytesEqual(expected.edges(), actual.edges(), "edges");
+  ExpectSpanBytesEqual(expected.out_offsets(), actual.out_offsets(),
+                       "out_offsets");
+  ExpectSpanBytesEqual(expected.out_targets(), actual.out_targets(),
+                       "out_targets");
+  ExpectSpanBytesEqual(expected.out_weights(), actual.out_weights(),
+                       "out_weights");
+  ExpectSpanBytesEqual(expected.in_offsets(), actual.in_offsets(),
+                       "in_offsets");
+  ExpectSpanBytesEqual(expected.in_sources(), actual.in_sources(),
+                       "in_sources");
+  ExpectSpanBytesEqual(expected.in_weights(), actual.in_weights(),
+                       "in_weights");
+}
+
+TEST_F(SnapshotTest, RoundTripsEveryShape) {
+  int case_index = 0;
+  for (Directedness directedness :
+       {Directedness::kDirected, Directedness::kUndirected}) {
+    for (bool weighted : {false, true}) {
+      for (int vertices : {3, 97, 400}) {
+        SCOPED_TRACE("case " + std::to_string(case_index));
+        Graph original = RandomGraph(41 + case_index, vertices,
+                                     vertices * 6, directedness, weighted);
+        const std::string path =
+            PathFor("rt_" + std::to_string(case_index) + ".gab");
+        ++case_index;
+        ASSERT_TRUE(WriteSnapshot(original, path).ok());
+        auto loaded = ReadSnapshot(path);
+        ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+        EXPECT_TRUE(loaded->is_storage_backed());
+        EXPECT_FALSE(original.is_storage_backed());
+        ExpectGraphsBitIdentical(original, *loaded);
+        EXPECT_TRUE(VerifySnapshot(path).ok());
+      }
+    }
+  }
+}
+
+TEST_F(SnapshotTest, LoadedGraphProducesIdenticalAlgorithmOutputs) {
+  Graph original = RandomGraph(7, 300, 2400, Directedness::kDirected,
+                               /*weighted=*/true);
+  const std::string path = PathFor("algo.gab");
+  ASSERT_TRUE(WriteSnapshot(original, path).ok());
+  auto loaded = ReadSnapshot(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+
+  const VertexId source = original.ExternalId(0);
+  auto bfs_original = reference::Bfs(original, source);
+  auto bfs_loaded = reference::Bfs(*loaded, source);
+  ASSERT_TRUE(bfs_original.ok());
+  ASSERT_TRUE(bfs_loaded.ok());
+  EXPECT_EQ(bfs_original->int_values, bfs_loaded->int_values);
+
+  auto pr_original = reference::PageRank(original, 15, 0.85);
+  auto pr_loaded = reference::PageRank(*loaded, 15, 0.85);
+  ASSERT_TRUE(pr_original.ok());
+  ASSERT_TRUE(pr_loaded.ok());
+  ASSERT_EQ(pr_original->double_values.size(),
+            pr_loaded->double_values.size());
+  EXPECT_EQ(std::memcmp(pr_original->double_values.data(),
+                        pr_loaded->double_values.data(),
+                        pr_original->double_values.size() * sizeof(double)),
+            0);
+}
+
+TEST_F(SnapshotTest, RoundTripsEmptyAndIsolatedGraphs) {
+  {
+    GraphBuilder builder(Directedness::kDirected);
+    auto empty = std::move(builder).Build();
+    ASSERT_TRUE(empty.ok());
+    const std::string path = PathFor("empty.gab");
+    ASSERT_TRUE(WriteSnapshot(*empty, path).ok());
+    auto loaded = ReadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    EXPECT_EQ(loaded->num_vertices(), 0);
+    EXPECT_EQ(loaded->num_edges(), 0);
+  }
+  {
+    Graph isolated = ga::testing::MakeGraph(Directedness::kUndirected,
+                                            {{1, 2}}, {10, 20, 30});
+    const std::string path = PathFor("isolated.gab");
+    ASSERT_TRUE(WriteSnapshot(isolated, path).ok());
+    auto loaded = ReadSnapshot(path);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    ExpectGraphsBitIdentical(isolated, *loaded);
+  }
+}
+
+// --- Corruption: every failure is a clean Status, never UB. -----------
+
+class SnapshotCorruptionTest : public SnapshotTest {
+ protected:
+  void SetUp() override {
+    SnapshotTest::SetUp();
+    graph_ = RandomGraph(11, 200, 1200, Directedness::kDirected,
+                         /*weighted=*/true);
+    path_ = PathFor("victim.gab");
+    ASSERT_TRUE(WriteSnapshot(graph_, path_).ok());
+  }
+
+  std::vector<char> ReadAll() {
+    std::ifstream in(path_, std::ios::binary);
+    return {std::istreambuf_iterator<char>(in),
+            std::istreambuf_iterator<char>()};
+  }
+  void WriteAll(const std::vector<char>& bytes, std::size_t limit) {
+    std::ofstream out(path_, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(),
+              static_cast<std::streamsize>(std::min(limit, bytes.size())));
+  }
+
+  Graph graph_;
+  std::string path_;
+};
+
+TEST_F(SnapshotCorruptionTest, BadMagicRejected) {
+  std::vector<char> bytes = ReadAll();
+  bytes[0] = 'X';
+  WriteAll(bytes, bytes.size());
+  auto loaded = ReadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  EXPECT_NE(loaded.status().message().find("bad magic"), std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, VersionSkewRejected) {
+  std::vector<char> bytes = ReadAll();
+  const std::uint32_t future_version = 99;
+  std::memcpy(bytes.data() + 8, &future_version, sizeof(future_version));
+  WriteAll(bytes, bytes.size());
+  auto loaded = ReadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("unsupported snapshot version"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, ForeignEndianRejected) {
+  std::vector<char> bytes = ReadAll();
+  std::swap(bytes[12], bytes[15]);  // byte-swap the endian tag
+  std::swap(bytes[13], bytes[14]);
+  WriteAll(bytes, bytes.size());
+  auto loaded = ReadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("endian"), std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, TruncationRejectedAtEveryLayer) {
+  const std::vector<char> bytes = ReadAll();
+  // Shorter than the header, shorter than the section table, and inside
+  // the section payloads.
+  for (std::size_t limit :
+       {std::size_t{10}, std::size_t{70}, bytes.size() / 2}) {
+    WriteAll(bytes, limit);
+    auto loaded = ReadSnapshot(path_);
+    ASSERT_FALSE(loaded.ok()) << "limit " << limit;
+    EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, HeaderFieldTamperingRejected) {
+  std::vector<char> bytes = ReadAll();
+  ++bytes[24];  // num_vertices
+  WriteAll(bytes, bytes.size());
+  auto loaded = ReadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("header checksum"),
+            std::string::npos);
+}
+
+TEST_F(SnapshotCorruptionTest, PayloadBitFlipCaughtByChecksum) {
+  std::vector<char> bytes = ReadAll();
+  bytes[bytes.size() - 1] ^= 0x40;  // inside the last section's payload
+  WriteAll(bytes, bytes.size());
+  auto loaded = ReadSnapshot(path_);
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_NE(loaded.status().message().find("checksum mismatch"),
+            std::string::npos);
+  EXPECT_FALSE(VerifySnapshot(path_).ok());
+  // Checksums are the detection layer: the unverified fast path binds
+  // views without noticing (documented tradeoff of verify_checksums).
+  ReadOptions unverified;
+  unverified.verify_checksums = false;
+  EXPECT_TRUE(ReadSnapshot(path_, unverified).ok());
+}
+
+TEST_F(SnapshotCorruptionTest, MissingFileIsCleanIoError) {
+  auto loaded = ReadSnapshot(PathFor("does_not_exist.gab"));
+  ASSERT_FALSE(loaded.ok());
+  EXPECT_EQ(loaded.status().code(), StatusCode::kIoError);
+}
+
+TEST_F(SnapshotTest, InspectReportsHeaderAndSections) {
+  Graph graph = RandomGraph(13, 50, 300, Directedness::kUndirected,
+                            /*weighted=*/true);
+  const std::string path = PathFor("inspect.gab");
+  ASSERT_TRUE(WriteSnapshot(graph, path).ok());
+  auto info = InspectSnapshot(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->header.version, kSnapshotVersion);
+  EXPECT_EQ(info->header.num_vertices,
+            static_cast<std::uint64_t>(graph.num_vertices()));
+  EXPECT_EQ(info->header.num_edges,
+            static_cast<std::uint64_t>(graph.num_edges()));
+  // Undirected weighted: ids, edges, out_offsets, out_targets,
+  // out_weights; no in_* sections.
+  EXPECT_EQ(info->sections.size(), 5u);
+  for (const SectionEntry& section : info->sections) {
+    EXPECT_EQ(section.offset % kSectionAlignment, 0u);
+    EXPECT_NE(SectionKindName(static_cast<SectionKind>(section.kind)),
+              "unknown");
+  }
+}
+
+}  // namespace
+}  // namespace ga::store

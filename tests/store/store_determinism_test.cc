@@ -1,0 +1,201 @@
+// The acceptance proof for the dataset cache (ISSUE 5): for three
+// registry datasets covering all generator families and both
+// directedness/weight combinations, a generated-in-RAM graph and its
+// exported-then-mmap-loaded twin must be bit-identical — every CSR byte,
+// and every engine's outputs, WorkLedger counters and simulated metrics
+// at host --jobs 1, 2 and 8. Cache warmth must be invisible to the
+// benchmark.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <string>
+
+#include "core/exec/thread_pool.h"
+#include "harness/dataset_registry.h"
+#include "platforms/platform.h"
+
+namespace ga::harness {
+namespace {
+
+BenchmarkConfig SmallConfig() {
+  BenchmarkConfig config;
+  config.scale_divisor = 16384;
+  config.seed = 7;
+  return config;
+}
+
+template <typename T>
+void ExpectSpanBytesEqual(std::span<const T> expected,
+                          std::span<const T> actual, const char* what) {
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  if (expected.empty()) return;  // empty spans may carry null data()
+  EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                        expected.size_bytes()),
+            0)
+      << what;
+}
+
+void ExpectBitIdentical(const platform::RunResult& expected,
+                        const platform::RunResult& actual,
+                        const std::string& what) {
+  ASSERT_EQ(expected.output.int_values.size(),
+            actual.output.int_values.size())
+      << what;
+  EXPECT_EQ(expected.output.int_values, actual.output.int_values) << what;
+  ASSERT_EQ(expected.output.double_values.size(),
+            actual.output.double_values.size())
+      << what;
+  for (std::size_t i = 0; i < expected.output.double_values.size(); ++i) {
+    EXPECT_EQ(std::memcmp(&expected.output.double_values[i],
+                          &actual.output.double_values[i], sizeof(double)),
+              0)
+        << what << " double_values[" << i << "]";
+  }
+  EXPECT_EQ(expected.metrics.ledger.compute_ops,
+            actual.metrics.ledger.compute_ops)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.messages, actual.metrics.ledger.messages)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.remote_bytes,
+            actual.metrics.ledger.remote_bytes)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.allocations,
+            actual.metrics.ledger.allocations)
+      << what;
+  EXPECT_EQ(expected.metrics.ledger.rows_materialized,
+            actual.metrics.ledger.rows_materialized)
+      << what;
+  EXPECT_EQ(expected.metrics.supersteps, actual.metrics.supersteps) << what;
+  EXPECT_EQ(expected.metrics.processing_sim_seconds,
+            actual.metrics.processing_sim_seconds)
+      << what;
+  EXPECT_EQ(expected.metrics.makespan_sim_seconds,
+            actual.metrics.makespan_sim_seconds)
+      << what;
+}
+
+class StoreDeterminismTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    data_dir_ = std::filesystem::temp_directory_path() /
+                ("ga_store_determinism_" + std::to_string(::getpid()));
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(data_dir_, ec);
+  }
+
+  std::filesystem::path data_dir_;
+};
+
+// R1: realproxy, directed, unweighted. R4: realproxy, undirected,
+// weighted. G22: graph500, undirected, unweighted.
+constexpr const char* kDatasets[] = {"R1", "R4", "G22"};
+
+TEST_F(StoreDeterminismTest, CachedGraphsAreByteIdenticalToGenerated) {
+  DatasetRegistry generated_registry(SmallConfig());
+
+  BenchmarkConfig cached_config = SmallConfig();
+  cached_config.data_dir = data_dir_.string();
+  {
+    // First pass populates the snapshot cache (and returns the generated
+    // instances).
+    DatasetRegistry warmup(cached_config);
+    for (const char* id : kDatasets) {
+      auto graph = warmup.Load(id);
+      ASSERT_TRUE(graph.ok()) << id << ": " << graph.status().ToString();
+      EXPECT_FALSE((*graph)->is_storage_backed()) << id;
+    }
+  }
+  DatasetRegistry cached_registry(cached_config);
+  for (const char* id : kDatasets) {
+    SCOPED_TRACE(id);
+    auto generated = generated_registry.Load(id);
+    auto cached = cached_registry.Load(id);
+    ASSERT_TRUE(generated.ok()) << generated.status().ToString();
+    ASSERT_TRUE(cached.ok()) << cached.status().ToString();
+    // The warm path must actually be the mmap zero-copy loader.
+    ASSERT_TRUE((*cached)->is_storage_backed());
+
+    const Graph& expected = **generated;
+    const Graph& actual = **cached;
+    EXPECT_EQ(expected.directedness(), actual.directedness());
+    EXPECT_EQ(expected.is_weighted(), actual.is_weighted());
+    EXPECT_EQ(expected.max_out_degree(), actual.max_out_degree());
+    EXPECT_EQ(expected.max_in_degree(), actual.max_in_degree());
+    ExpectSpanBytesEqual(expected.external_ids(), actual.external_ids(),
+                         "external_ids");
+    ExpectSpanBytesEqual(expected.edges(), actual.edges(), "edges");
+    ExpectSpanBytesEqual(expected.out_offsets(), actual.out_offsets(),
+                         "out_offsets");
+    ExpectSpanBytesEqual(expected.out_targets(), actual.out_targets(),
+                         "out_targets");
+    ExpectSpanBytesEqual(expected.out_weights(), actual.out_weights(),
+                         "out_weights");
+    ExpectSpanBytesEqual(expected.in_offsets(), actual.in_offsets(),
+                         "in_offsets");
+    ExpectSpanBytesEqual(expected.in_sources(), actual.in_sources(),
+                         "in_sources");
+    ExpectSpanBytesEqual(expected.in_weights(), actual.in_weights(),
+                         "in_weights");
+  }
+}
+
+TEST_F(StoreDeterminismTest,
+       EnginesProduceIdenticalResultsOnCachedGraphsAtAnyJobs) {
+  DatasetRegistry generated_registry(SmallConfig());
+  BenchmarkConfig cached_config = SmallConfig();
+  cached_config.data_dir = data_dir_.string();
+  {
+    DatasetRegistry warmup(cached_config);
+    for (const char* id : kDatasets) {
+      ASSERT_TRUE(warmup.Load(id).ok());
+    }
+  }
+  DatasetRegistry cached_registry(cached_config);
+
+  for (const char* id : kDatasets) {
+    auto generated = generated_registry.Load(id);
+    auto cached = cached_registry.Load(id);
+    ASSERT_TRUE(generated.ok());
+    ASSERT_TRUE(cached.ok());
+    ASSERT_TRUE((*cached)->is_storage_backed());
+    auto params = generated_registry.ParamsFor(id);
+    ASSERT_TRUE(params.ok());
+
+    // Two engine families (matrix-sweep and Pregel-style message
+    // passing) x a traversal and a fixed-point algorithm.
+    for (const char* platform_id : {"spmat", "bsplite"}) {
+      auto platform = platform::CreatePlatform(platform_id);
+      ASSERT_TRUE(platform.ok());
+      for (Algorithm algorithm : {Algorithm::kBfs, Algorithm::kPageRank}) {
+        for (int jobs : {1, 2, 8}) {
+          exec::ThreadPool pool(jobs);
+          platform::ExecutionEnvironment env;
+          env.num_machines = 2;
+          env.threads_per_machine = 8;
+          env.memory_budget_bytes = 1LL << 30;
+          env.host_pool = &pool;
+          const std::string what = std::string(id) + "/" + platform_id +
+                                   "/" +
+                                   std::string(AlgorithmName(algorithm)) +
+                                   " @jobs " + std::to_string(jobs);
+          auto on_generated =
+              (*platform)->RunJob(**generated, algorithm, *params, env);
+          auto on_cached =
+              (*platform)->RunJob(**cached, algorithm, *params, env);
+          ASSERT_TRUE(on_generated.ok())
+              << what << ": " << on_generated.status().ToString();
+          ASSERT_TRUE(on_cached.ok())
+              << what << ": " << on_cached.status().ToString();
+          ExpectBitIdentical(*on_generated, *on_cached, what);
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ga::harness

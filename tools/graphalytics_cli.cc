@@ -1,4 +1,4 @@
-// graphalytics_cli: the benchmark driver. Two modes:
+// graphalytics_cli: the benchmark driver. Three modes:
 //
 //   run    (default) — a configurable slice of the Graphalytics workload
 //          matrix through the harness, with a JSON results database;
@@ -10,21 +10,28 @@
 //          strong/weak scalability, variability, and the class-L
 //          renewal, emitting a paper-style text report plus a
 //          machine-readable experiments.json. See docs/BENCHMARK_GUIDE.md.
+//   data   — the ga::store dataset tooling: import/export LDBC
+//          Graphalytics `.v`/`.e` text, generate registry datasets into
+//          `.gab` snapshots, and inspect/verify snapshot files.
 //
 // Usage:
 //   graphalytics_cli [run] [--platforms a,b] [--datasets X,Y]
 //                    [--algorithms ...] [--machines N] [--threads N]
-//                    [--repetitions N] [--jobs N] [--out results.json]
+//                    [--repetitions N] [--jobs N] [--data-dir DIR]
+//                    [--out results.json]
 //   graphalytics_cli suite --plan <smoke|paper|file> [--jobs N]
-//                    [--out experiments.json] [--report report.txt]
+//                    [--data-dir DIR] [--out experiments.json]
+//                    [--report report.txt]
+//   graphalytics_cli data <import|export|gen|inspect|verify> ...
 //
-// GA_SCALE_DIVISOR / GA_SEED / GA_JOBS configure the deployment scale and
-// host parallelism in both modes.
+// GA_SCALE_DIVISOR / GA_SEED / GA_JOBS / GA_DATA_DIR configure the
+// deployment scale, host parallelism and the persistent dataset cache.
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <memory>
 #include <string>
 #include <vector>
 
@@ -35,6 +42,8 @@
 #include "harness/report.h"
 #include "harness/results_db.h"
 #include "harness/runner.h"
+#include "store/snapshot.h"
+#include "store/text_io.h"
 
 namespace {
 
@@ -51,6 +60,19 @@ void PrintUsage(std::FILE* stream) {
       "  suite  run a declarative experiment plan reproducing the paper's\n"
       "         Section 4 evaluation (baseline, scalability, variability,\n"
       "         renewal) and emit a text report + experiments.json\n"
+      "  data   dataset storage tooling (ga::store):\n"
+      "           import  .v/.e text -> .gab binary snapshot\n"
+      "                   --in PREFIX --out FILE.gab\n"
+      "                   [--undirected] [--weighted] [--jobs N]\n"
+      "           export  .gab snapshot -> .v/.e text\n"
+      "                   --in FILE.gab --out PREFIX [--jobs N]\n"
+      "           gen     generate a registry dataset into the snapshot\n"
+      "                   cache and/or a file: --dataset ID\n"
+      "                   [--data-dir DIR] [--out FILE.gab] [--jobs N]\n"
+      "           inspect print a snapshot's header + section table\n"
+      "                   --in FILE.gab\n"
+      "           verify  full integrity check (checksums + structure)\n"
+      "                   --in FILE.gab\n"
       "\n"
       "run options:\n"
       "  --platforms a,b,...   platform ids (default: all six)\n"
@@ -62,6 +84,9 @@ void PrintUsage(std::FILE* stream) {
       "  --jobs N              host threads for real execution\n"
       "                        (default: hardware concurrency; results\n"
       "                        and simulated metrics do not depend on N)\n"
+      "  --data-dir DIR        persistent dataset cache: datasets load\n"
+      "                        from .gab snapshots instead of being\n"
+      "                        regenerated (populated on first use)\n"
       "  --out FILE            write the results database as JSON\n"
       "\n"
       "suite options:\n"
@@ -70,13 +95,15 @@ void PrintUsage(std::FILE* stream) {
       "                        docs/BENCHMARK_GUIDE.md)\n"
       "  --jobs N              host threads, as above; the suite's report\n"
       "                        and JSON are bit-identical at any N\n"
+      "  --data-dir DIR        persistent dataset cache, as above\n"
       "  --out FILE            write experiments.json\n"
       "  --report FILE         also write the text report to FILE\n"
       "\n"
       "common:\n"
       "  --help                show this help\n"
       "\n"
-      "environment: GA_SCALE_DIVISOR (default 1024), GA_SEED, GA_JOBS\n");
+      "environment: GA_SCALE_DIVISOR (default 1024), GA_SEED, GA_JOBS,\n"
+      "GA_DATA_DIR\n");
 }
 
 /// Parses --jobs values: non-negative integer, 0 = hardware concurrency.
@@ -105,6 +132,7 @@ int RunMode(const std::vector<std::string>& args) {
   int repetitions = 1;
   int jobs = -1;  // -1: keep GA_JOBS / hardware default
   std::string out_path;
+  std::string data_dir;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -125,6 +153,8 @@ int RunMode(const std::vector<std::string>& args) {
       repetitions = std::atoi(next());
     } else if (arg == "--jobs") {
       if (!ParseJobs(next(), &jobs)) return 2;
+    } else if (arg == "--data-dir") {
+      data_dir = next();
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--help" || arg == "-h") {
@@ -140,11 +170,15 @@ int RunMode(const std::vector<std::string>& args) {
   ga::harness::BenchmarkConfig config =
       ga::harness::BenchmarkConfig::FromEnv();
   if (jobs >= 0) config.host_jobs = jobs;
+  if (!data_dir.empty()) config.data_dir = data_dir;
   ga::harness::BenchmarkRunner runner(config);
   std::printf("host threads: %d\n",
               runner.host_pool() != nullptr
                   ? runner.host_pool()->num_threads()
                   : 1);
+  if (!config.data_dir.empty()) {
+    std::printf("dataset cache: %s\n", config.data_dir.c_str());
+  }
   ga::harness::ResultsDatabase database(config);
 
   ga::harness::TextTable table(
@@ -206,6 +240,7 @@ int SuiteMode(const std::vector<std::string>& args) {
   int jobs = -1;
   std::string out_path;
   std::string report_path;
+  std::string data_dir;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -216,6 +251,8 @@ int SuiteMode(const std::vector<std::string>& args) {
       plan_name = next();
     } else if (arg == "--jobs") {
       if (!ParseJobs(next(), &jobs)) return 2;
+    } else if (arg == "--data-dir") {
+      data_dir = next();
     } else if (arg == "--out") {
       out_path = next();
     } else if (arg == "--report") {
@@ -239,11 +276,15 @@ int SuiteMode(const std::vector<std::string>& args) {
   ga::harness::BenchmarkConfig config =
       ga::harness::BenchmarkConfig::FromEnv();
   if (jobs >= 0) config.host_jobs = jobs;
+  if (!data_dir.empty()) config.data_dir = data_dir;
   ga::harness::BenchmarkRunner runner(config);
   std::printf("host threads: %d\n",
               runner.host_pool() != nullptr
                   ? runner.host_pool()->num_threads()
                   : 1);
+  if (!config.data_dir.empty()) {
+    std::printf("dataset cache: %s\n", config.data_dir.c_str());
+  }
 
   auto result = ga::experiments::RunSuite(runner, *plan);
   if (!result.ok()) {
@@ -273,6 +314,221 @@ int SuiteMode(const std::vector<std::string>& args) {
   return 0;
 }
 
+// Shared flag state for the five `data` submodes.
+struct DataArgs {
+  std::string in;
+  std::string out;
+  std::string dataset;
+  std::string data_dir;
+  bool undirected = false;
+  bool weighted = false;
+  int jobs = -1;
+};
+
+// Outcome of parsing the flags of a `data` submode: proceed, exit
+// successfully (--help), or exit with a usage error.
+enum class DataParse { kOk, kHelp, kError };
+
+DataParse ParseDataArgs(const std::vector<std::string>& args,
+                        DataArgs* parsed) {
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : "";
+    };
+    if (arg == "--in") {
+      parsed->in = next();
+    } else if (arg == "--out") {
+      parsed->out = next();
+    } else if (arg == "--dataset") {
+      parsed->dataset = next();
+    } else if (arg == "--data-dir") {
+      parsed->data_dir = next();
+    } else if (arg == "--undirected") {
+      parsed->undirected = true;
+    } else if (arg == "--directed") {
+      parsed->undirected = false;
+    } else if (arg == "--weighted") {
+      parsed->weighted = true;
+    } else if (arg == "--jobs") {
+      if (!ParseJobs(next(), &parsed->jobs)) return DataParse::kError;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return DataParse::kHelp;
+    } else {
+      std::fprintf(stderr, "unknown data flag %s\n\n", arg.c_str());
+      PrintUsage(stderr);
+      return DataParse::kError;
+    }
+  }
+  return DataParse::kOk;
+}
+
+int Fail(const ga::Status& status) {
+  std::fprintf(stderr, "%s\n", status.ToString().c_str());
+  return 1;
+}
+
+void PrintGraphSummary(const ga::Graph& graph) {
+  std::printf("graph: %lld vertices, %lld edges, %s, %s\n",
+              static_cast<long long>(graph.num_vertices()),
+              static_cast<long long>(graph.num_edges()),
+              ga::DirectednessName(graph.directedness()).data(),
+              graph.is_weighted() ? "weighted" : "unweighted");
+}
+
+int DataMode(const std::vector<std::string>& args) {
+  if (args.empty()) {
+    std::fprintf(stderr, "data mode requires a subcommand "
+                         "(import|export|gen|inspect|verify)\n\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+  const std::string sub = args[0];
+  DataArgs parsed;
+  switch (ParseDataArgs({args.begin() + 1, args.end()}, &parsed)) {
+    case DataParse::kHelp:
+      return 0;
+    case DataParse::kError:
+      return 2;
+    case DataParse::kOk:
+      break;
+  }
+
+  // The text codec and the graph build parallelise on a host pool;
+  // data-mode results are byte-identical at any --jobs value. Default
+  // (like run/suite): hardware concurrency.
+  std::unique_ptr<ga::exec::ThreadPool> pool;
+  const int pool_threads =
+      parsed.jobs <= 0 ? ga::exec::ThreadPool::HardwareConcurrency()
+                       : parsed.jobs;
+  if (pool_threads > 1) {
+    pool = std::make_unique<ga::exec::ThreadPool>(pool_threads);
+  }
+
+  if (sub == "import") {
+    if (parsed.in.empty() || parsed.out.empty()) {
+      std::fprintf(stderr,
+                   "data import requires --in PREFIX and --out FILE.gab\n");
+      return 2;
+    }
+    ga::store::ImportOptions options;
+    options.directedness = parsed.undirected
+                               ? ga::Directedness::kUndirected
+                               : ga::Directedness::kDirected;
+    options.weighted = parsed.weighted;
+    options.pool = pool.get();
+    auto graph = ga::store::ImportGraphText(parsed.in, options);
+    if (!graph.ok()) return Fail(graph.status());
+    PrintGraphSummary(*graph);
+    ga::Status written = ga::store::WriteSnapshot(*graph, parsed.out);
+    if (!written.ok()) return Fail(written);
+    std::printf("snapshot written to %s\n", parsed.out.c_str());
+    return 0;
+  }
+  if (sub == "export") {
+    if (parsed.in.empty() || parsed.out.empty()) {
+      std::fprintf(stderr,
+                   "data export requires --in FILE.gab and --out PREFIX\n");
+      return 2;
+    }
+    auto graph = ga::store::ReadSnapshot(parsed.in);
+    if (!graph.ok()) return Fail(graph.status());
+    PrintGraphSummary(*graph);
+    ga::Status written =
+        ga::store::ExportGraphText(*graph, parsed.out, pool.get());
+    if (!written.ok()) return Fail(written);
+    std::printf("text dataset written to %s.v / %s.e\n", parsed.out.c_str(),
+                parsed.out.c_str());
+    return 0;
+  }
+  if (sub == "gen") {
+    ga::harness::BenchmarkConfig config =
+        ga::harness::BenchmarkConfig::FromEnv();
+    if (!parsed.data_dir.empty()) config.data_dir = parsed.data_dir;
+    if (parsed.dataset.empty() ||
+        (config.data_dir.empty() && parsed.out.empty())) {
+      std::fprintf(stderr,
+                   "data gen requires --dataset ID and at least one of "
+                   "--data-dir DIR (or GA_DATA_DIR) / --out FILE.gab\n");
+      return 2;
+    }
+    ga::harness::DatasetRegistry registry(config);  // Load fills the cache
+    registry.set_host_pool(pool.get());
+    auto graph = registry.Load(parsed.dataset);
+    if (!graph.ok()) return Fail(graph.status());
+    PrintGraphSummary(**graph);
+    if (!config.data_dir.empty()) {
+      // Load treats cache stores as best-effort; gen's whole purpose is
+      // the cached file, so confirm it actually landed.
+      auto snapshot_path = registry.SnapshotPathFor(parsed.dataset);
+      if (!snapshot_path.ok()) return Fail(snapshot_path.status());
+      ga::Status cached = ga::store::VerifySnapshot(*snapshot_path);
+      if (!cached.ok()) return Fail(cached);
+      std::printf("snapshot cached at %s\n", snapshot_path->c_str());
+    }
+    if (!parsed.out.empty()) {
+      ga::Status written = ga::store::WriteSnapshot(**graph, parsed.out);
+      if (!written.ok()) return Fail(written);
+      std::printf("snapshot written to %s\n", parsed.out.c_str());
+    }
+    return 0;
+  }
+  if (sub == "inspect") {
+    if (parsed.in.empty()) {
+      std::fprintf(stderr, "data inspect requires --in FILE.gab\n");
+      return 2;
+    }
+    auto info = ga::store::InspectSnapshot(parsed.in);
+    if (!info.ok()) return Fail(info.status());
+    const auto& header = info->header;
+    std::printf("%s: .gab snapshot version %u\n", parsed.in.c_str(),
+                header.version);
+    std::printf("  %llu vertices, %llu edges, %s, %s\n",
+                static_cast<unsigned long long>(header.num_vertices),
+                static_cast<unsigned long long>(header.num_edges),
+                (header.flags & ga::store::kFlagDirected) != 0
+                    ? "directed"
+                    : "undirected",
+                (header.flags & ga::store::kFlagWeighted) != 0
+                    ? "weighted"
+                    : "unweighted");
+    std::printf("  max out-degree %llu, max in-degree %llu, %llu bytes\n",
+                static_cast<unsigned long long>(header.max_out_degree),
+                static_cast<unsigned long long>(header.max_in_degree),
+                static_cast<unsigned long long>(info->file_size));
+    std::printf("  %-14s %12s %12s %18s\n", "section", "offset", "bytes",
+                "checksum");
+    for (const auto& section : info->sections) {
+      std::printf("  %-14s %12llu %12llu   %016llx\n",
+                  ga::store::SectionKindName(
+                      static_cast<ga::store::SectionKind>(section.kind))
+                      .data(),
+                  static_cast<unsigned long long>(section.offset),
+                  static_cast<unsigned long long>(section.size_bytes),
+                  static_cast<unsigned long long>(section.checksum));
+    }
+    return 0;
+  }
+  if (sub == "verify") {
+    if (parsed.in.empty()) {
+      std::fprintf(stderr, "data verify requires --in FILE.gab\n");
+      return 2;
+    }
+    ga::Status verified = ga::store::VerifySnapshot(parsed.in);
+    if (!verified.ok()) return Fail(verified);
+    std::printf("%s: OK (checksums and structure verified)\n",
+                parsed.in.c_str());
+    return 0;
+  }
+  std::fprintf(stderr,
+               "unknown data subcommand \"%s\" "
+               "(valid: import, export, gen, inspect, verify)\n\n",
+               sub.c_str());
+  PrintUsage(stderr);
+  return 2;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -299,12 +555,13 @@ int main(int argc, char** argv) {
     args.erase(args.begin());
     if (mode == "run") return RunMode(args);
     if (mode == "suite") return SuiteMode(args);
+    if (mode == "data") return DataMode(args);
     if (mode == "help") {
       PrintUsage(stdout);
       return 0;
     }
     std::fprintf(stderr,
-                 "unknown mode \"%s\" (valid modes: run, suite)\n\n",
+                 "unknown mode \"%s\" (valid modes: run, suite, data)\n\n",
                  mode.c_str());
     PrintUsage(stderr);
     return 2;
