@@ -5,7 +5,8 @@
 namespace ga::reference {
 
 Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source,
-                            exec::ThreadPool* pool) {
+                            exec::ThreadPool* pool, granula::Tracer* tracer,
+                            granula::Operation* trace_parent) {
   const VertexIndex root = graph.IndexOf(source);
   if (root == kInvalidVertex) {
     return Status::InvalidArgument("BFS source vertex " +
@@ -48,6 +49,15 @@ Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source,
         next.push_back(u);
       }
     });
+    if (tracer != nullptr && tracer->enabled() && trace_parent != nullptr) {
+      // One wall-clock Superstep child per BFS level, mirroring the
+      // engine-side per-superstep spans (the reference has no simulated
+      // clock, so only wall timestamps are meaningful).
+      tracer->AnnotateFrontier(frontier_size, 0);
+      tracer->Annotate("discovered",
+                       std::to_string(static_cast<std::int64_t>(next.size())));
+      tracer->CloseStepUnder(trace_parent, "Reference", "bfs");
+    }
     frontier.swap(next);
   }
   return output;

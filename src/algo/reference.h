@@ -14,17 +14,26 @@
 #include "core/graph.h"
 #include "core/status.h"
 #include "core/types.h"
+#include "granula/tracer.h"
 
 namespace ga::reference {
 
 // The frontier/sweep-parallel references (BFS, PageRank's pull sweep,
 // WCC's labelling pass) run their main loops through ga::exec; `pool` is
 // optional host parallelism — outputs are identical at any thread count.
+//
+// References share the deep-tracing API with the platform engines
+// (docs/OBSERVABILITY.md): pass an enabled granula::Tracer plus a parent
+// Operation and the frontier-driven references append one wall-clock
+// Superstep child per level/iteration (Tracer::CloseStepUnder). Tracing
+// never alters the computed output.
 
 /// Breadth-first search: minimum number of hops from `source` (external id)
 /// to every vertex, following out-edges; kUnreachableHops if unreachable.
 Result<AlgorithmOutput> Bfs(const Graph& graph, VertexId source,
-                            exec::ThreadPool* pool = nullptr);
+                            exec::ThreadPool* pool = nullptr,
+                            granula::Tracer* tracer = nullptr,
+                            granula::Operation* trace_parent = nullptr);
 
 /// PageRank with a fixed number of iterations, damping factor d, uniform
 /// 1/n initialisation, and dangling-vertex mass redistributed uniformly.

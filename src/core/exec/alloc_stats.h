@@ -1,33 +1,148 @@
 // Instrumentation for the flat data-path structures (MessageArena,
-// ScratchPool): a process-global counter of backing-storage growth events.
+// ScratchPool, Frontier): process-global counters of backing-storage
+// growth events, attributed per structure.
 //
 // The steady-state contract (DESIGN.md §8): after the first superstep has
 // warmed every buffer to its high-water capacity, further supersteps must
 // not grow anything. Tests pin this by running an engine for k and k+d
-// supersteps and asserting the counter advanced by the same amount — the
-// extra supersteps contributed zero growth events.
+// supersteps and asserting the counters advanced by the same amount — the
+// extra supersteps contributed zero growth events. Attribution exists so
+// a violated contract names the structure that grew (and by how many
+// bytes) instead of reporting a bare count.
+//
+// The growth paths are rare (cold-start only, by contract), so the
+// atomics here are never on a hot path; the per-superstep observability
+// counters that ARE hot live in counter_sheet.h, which is atomics-free.
 #ifndef GRAPHALYTICS_CORE_EXEC_ALLOC_STATS_H_
 #define GRAPHALYTICS_CORE_EXEC_ALLOC_STATS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
+#include <string>
+#include <string_view>
 
 namespace ga::exec {
 
-inline std::atomic<std::uint64_t>& DataPathAllocCounter() {
-  static std::atomic<std::uint64_t> counter{0};
-  return counter;
+/// The data-path structures whose backing-storage growth is tracked.
+enum class AllocSite : int {
+  kMessageArena = 0,  // MessageArena value/count buffers
+  kScratchPool,       // ScratchPool slot table
+  kScratchFlags,      // ScratchPool per-slot flag arrays
+  kLabelCounter,      // LabelCounter open-addressing table
+  kFrontier,          // Frontier sparse queues / bitsets
+  kOther,             // unattributed legacy call sites
+  kCount,
+};
+
+inline std::string_view AllocSiteName(AllocSite site) {
+  switch (site) {
+    case AllocSite::kMessageArena:
+      return "MessageArena";
+    case AllocSite::kScratchPool:
+      return "ScratchPool";
+    case AllocSite::kScratchFlags:
+      return "ScratchPool flags";
+    case AllocSite::kLabelCounter:
+      return "LabelCounter";
+    case AllocSite::kFrontier:
+      return "Frontier";
+    case AllocSite::kOther:
+    case AllocSite::kCount:
+      break;
+  }
+  return "other";
 }
 
-/// Records `events` backing-storage (re)allocations in a data-path
-/// structure. Relaxed: the counter is a diagnostic, not a synchroniser.
-inline void NoteDataPathAlloc(std::uint64_t events = 1) {
-  DataPathAllocCounter().fetch_add(events, std::memory_order_relaxed);
+namespace internal {
+
+struct AllocSiteCounters {
+  std::atomic<std::uint64_t> events{0};
+  std::atomic<std::uint64_t> bytes{0};
+};
+
+inline std::array<AllocSiteCounters,
+                  static_cast<std::size_t>(AllocSite::kCount)>&
+AllocCounters() {
+  static std::array<AllocSiteCounters,
+                    static_cast<std::size_t>(AllocSite::kCount)>
+      counters;
+  return counters;
 }
 
-/// Total growth events since process start.
+}  // namespace internal
+
+/// Records one backing-storage (re)allocation in a data-path structure,
+/// attributed to `site`, growing to roughly `bytes` of storage (0 when
+/// the caller cannot cheaply tell). Relaxed: the counters are a
+/// diagnostic, not a synchroniser.
+inline void NoteDataPathAlloc(AllocSite site = AllocSite::kOther,
+                              std::uint64_t bytes = 0) {
+  internal::AllocSiteCounters& counters =
+      internal::AllocCounters()[static_cast<std::size_t>(site)];
+  counters.events.fetch_add(1, std::memory_order_relaxed);
+  counters.bytes.fetch_add(bytes, std::memory_order_relaxed);
+}
+
+/// Growth events attributed to one site since process start.
+inline std::uint64_t DataPathAllocEvents(AllocSite site) {
+  return internal::AllocCounters()[static_cast<std::size_t>(site)]
+      .events.load(std::memory_order_relaxed);
+}
+
+/// Bytes the site's structures grew to, summed over growth events.
+inline std::uint64_t DataPathAllocBytes(AllocSite site) {
+  return internal::AllocCounters()[static_cast<std::size_t>(site)]
+      .bytes.load(std::memory_order_relaxed);
+}
+
+/// Total growth events across every site since process start.
 inline std::uint64_t DataPathAllocEvents() {
-  return DataPathAllocCounter().load(std::memory_order_relaxed);
+  std::uint64_t total = 0;
+  for (int s = 0; s < static_cast<int>(AllocSite::kCount); ++s) {
+    total += DataPathAllocEvents(static_cast<AllocSite>(s));
+  }
+  return total;
+}
+
+/// Point-in-time copy of every site's counters, for delta reporting.
+struct AllocSnapshot {
+  std::uint64_t events[static_cast<std::size_t>(AllocSite::kCount)] = {};
+  std::uint64_t bytes[static_cast<std::size_t>(AllocSite::kCount)] = {};
+
+  std::uint64_t total_events() const {
+    std::uint64_t total = 0;
+    for (std::uint64_t e : events) total += e;
+    return total;
+  }
+};
+
+inline AllocSnapshot TakeAllocSnapshot() {
+  AllocSnapshot snapshot;
+  for (int s = 0; s < static_cast<int>(AllocSite::kCount); ++s) {
+    snapshot.events[s] = DataPathAllocEvents(static_cast<AllocSite>(s));
+    snapshot.bytes[s] = DataPathAllocBytes(static_cast<AllocSite>(s));
+  }
+  return snapshot;
+}
+
+/// Human-readable per-site delta between two snapshots, e.g.
+/// "MessageArena +2 events (+49152 bytes), LabelCounter +1 event". Empty
+/// string when nothing grew.
+inline std::string FormatAllocDelta(const AllocSnapshot& before,
+                                    const AllocSnapshot& after) {
+  std::string out;
+  for (int s = 0; s < static_cast<int>(AllocSite::kCount); ++s) {
+    const std::uint64_t events = after.events[s] - before.events[s];
+    if (events == 0) continue;
+    if (!out.empty()) out += ", ";
+    out += AllocSiteName(static_cast<AllocSite>(s));
+    out += " +" + std::to_string(events);
+    out += events == 1 ? " event" : " events";
+    const std::uint64_t bytes = after.bytes[s] - before.bytes[s];
+    if (bytes > 0) out += " (+" + std::to_string(bytes) + " bytes)";
+  }
+  return out;
 }
 
 }  // namespace ga::exec

@@ -1,0 +1,214 @@
+// CounterSheet — slot-local observability counters for the exec layer.
+//
+// When tracing is enabled (ExecutionEnvironment::trace_enabled), the
+// ExecContext carries a pointer to one of these sheets and parallel_for
+// records, per chunk it dispatches, which slot ran it and for how long.
+// The design constraints come straight from the determinism contract
+// (DESIGN.md §6) and the bounded-overhead contract (docs/OBSERVABILITY.md):
+//
+//   * No atomics, no locks, no ordering effects on the hot path. Each
+//     slot writes only its own cache-line-padded row, exactly the
+//     ownership discipline of SlotBuffers / slot_charges. The rows are
+//     drained serially at superstep close (FlushStep), commit-side.
+//   * Tracing must not perturb results. The sheet only *observes* the
+//     slot decomposition — it never influences chunk sizing, scheduling
+//     or iteration order, so outputs and WorkLedger stay byte-identical
+//     with tracing on or off at any --jobs value.
+//   * Null fast path. With no sheet attached (the default), the only
+//     cost in parallel_for is one pointer test per loop and per chunk.
+//
+// Of the counters, loop/chunk *counts* are functions of range sizes alone
+// (slot decomposition is thread-count-invariant) and therefore
+// deterministic; chunk *timings* are host wall-clock and are not — the
+// split matters downstream, where experiments.json may only absorb the
+// deterministic ones.
+#ifndef GRAPHALYTICS_CORE_EXEC_COUNTER_SHEET_H_
+#define GRAPHALYTICS_CORE_EXEC_COUNTER_SHEET_H_
+
+#include <chrono>
+#include <cstdint>
+#include <vector>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#define GA_COUNTER_SHEET_TSC 1
+#else
+#define GA_COUNTER_SHEET_TSC 0
+#endif
+
+namespace ga::exec {
+
+/// One timed parallel_for chunk: host-clock nanoseconds since the sheet
+/// was enabled, the slot that executed it, and the superstep it was
+/// flushed under. Inside the sheet the stamps are raw NowTicks() values;
+/// FlushStep converts them to nanoseconds and stamps the step before any
+/// span leaves the sheet, so consumers only ever see nanoseconds.
+struct ChunkSpan {
+  std::int64_t begin_ns = 0;
+  std::int64_t end_ns = 0;
+  int slot = 0;
+  int step = 0;
+};
+
+class CounterSheet {
+ public:
+  // Matches ExecContext::kMaxSlots (static_assert'ed in exec.h; this
+  // header stays below exec.h in the include order).
+  static constexpr int kMaxSlots = 32;
+  /// Per-slot retained-span cap per superstep. A pathological superstep
+  /// with more chunks than this keeps counting (chunks/busy_ns stay
+  /// exact) but stops retaining individual spans, and reports the drop.
+  static constexpr std::size_t kMaxSpansPerSlot = 1u << 14;
+
+  /// Arms the sheet and starts its host-clock epoch. Disabled sheets
+  /// ignore every Note* call.
+  void Enable() {
+    enabled_ = true;
+    epoch_ = std::chrono::steady_clock::now();
+    tick_epoch_ = 0;
+    tick_epoch_ = NowTicks();
+    ns_per_tick_ = 0.0;  // calibrated lazily at the first FlushStep
+  }
+  bool enabled() const { return enabled_; }
+
+  /// Raw chunk timestamp in ticks since Enable(). On x86 this is one
+  /// RDTSC (~3x cheaper than the vDSO clock_gettime behind
+  /// steady_clock — the difference is the whole bounded-overhead story,
+  /// because traced parallel_for takes two of these per chunk);
+  /// elsewhere it falls back to steady_clock nanoseconds and the
+  /// tick->ns conversion below becomes the identity. Modern x86 TSCs
+  /// are constant-rate and core-synchronized, which is all the chunk
+  /// spans need.
+  std::int64_t NowTicks() const {
+#if GA_COUNTER_SHEET_TSC
+    return static_cast<std::int64_t>(__rdtsc()) - tick_epoch_;
+#else
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               std::chrono::steady_clock::now() - epoch_)
+        .count();
+#endif
+  }
+
+  /// Commit-side: one parallel_for / parallel_reduce dispatch started.
+  void NoteLoop() {
+    if (enabled_) ++loops_;
+  }
+
+  /// Slot-side: `slot` finished one chunk spanning [begin_ticks,
+  /// end_ticks) on the NowTicks() clock. Only the owning slot may call
+  /// this for its row. Span stamps stay in raw ticks here — the tick->ns
+  /// conversion is one multiply per span, paid serially at FlushStep
+  /// instead of on the hot path.
+  void NoteChunk(int slot, std::int64_t begin_ticks,
+                 std::int64_t end_ticks) {
+    Row& row = rows_[slot];
+    ++row.chunks;
+    row.busy_ticks += end_ticks - begin_ticks;
+    if (row.spans.size() < kMaxSpansPerSlot) {
+      // One up-front block per row beats the doubling realloc chain the
+      // first superstep would otherwise pay (clear() keeps capacity, so
+      // later supersteps reuse it either way).
+      if (row.spans.capacity() == 0) row.spans.reserve(kSpanReserve);
+      row.spans.push_back(ChunkSpan{begin_ticks, end_ticks, slot, 0});
+    } else {
+      ++row.dropped;
+    }
+  }
+
+  /// Serial fold of one superstep's rows.
+  struct StepTotals {
+    std::uint64_t loops = 0;
+    std::uint64_t chunks = 0;
+    std::int64_t busy_ns = 0;
+    std::uint64_t dropped = 0;
+  };
+
+  /// Commit-side, at superstep close: folds and resets every row, stamps
+  /// the retained spans with `step` and moves them into `sink` (pass
+  /// nullptr to discard). Returns the superstep's totals; job-lifetime
+  /// totals keep accumulating for the end-of-job summary.
+  StepTotals FlushStep(int step, std::vector<ChunkSpan>* sink) {
+    // Lazy calibration: the first flush measures both clocks over the
+    // same elapsed interval since Enable() and derives ns-per-tick from
+    // their ratio. Even the shortest supersteps put tens of
+    // microseconds between Enable and first flush, so the two ~25ns
+    // clock reads bound the calibration error well under 1%.
+    if (ns_per_tick_ == 0.0) {
+#if GA_COUNTER_SHEET_TSC
+      const std::int64_t ticks = NowTicks();
+      const std::int64_t ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - epoch_)
+              .count();
+      ns_per_tick_ = ticks > 0 ? static_cast<double>(ns) /
+                                     static_cast<double>(ticks)
+                               : 1.0;
+#else
+      ns_per_tick_ = 1.0;  // ticks already are nanoseconds
+#endif
+    }
+    StepTotals totals;
+    totals.loops = loops_;
+    loops_ = 0;
+    std::int64_t busy_ticks = 0;
+    for (Row& row : rows_) {
+      totals.chunks += row.chunks;
+      busy_ticks += row.busy_ticks;
+      totals.dropped += row.dropped;
+      row.chunks = 0;
+      row.busy_ticks = 0;
+      row.dropped = 0;
+      if (sink != nullptr) {
+        for (ChunkSpan& span : row.spans) {
+          span.begin_ns = ToNs(span.begin_ns);
+          span.end_ns = ToNs(span.end_ns);
+          span.step = step;
+          sink->push_back(span);
+        }
+      }
+      row.spans.clear();
+    }
+    totals.busy_ns = ToNs(busy_ticks);
+    job_totals_.loops += totals.loops;
+    job_totals_.chunks += totals.chunks;
+    job_totals_.busy_ns += totals.busy_ns;
+    job_totals_.dropped += totals.dropped;
+    return totals;
+  }
+
+  /// Totals accumulated across every flushed superstep.
+  const StepTotals& job_totals() const { return job_totals_; }
+
+ private:
+  /// Initial span capacity per row — covers a typical superstep's chunks
+  /// in one allocation (32 slots x a handful of loops).
+  static constexpr std::size_t kSpanReserve = 256;
+
+  std::int64_t ToNs(std::int64_t ticks) const {
+    return static_cast<std::int64_t>(static_cast<double>(ticks) *
+                                     ns_per_tick_);
+  }
+
+  // Padded so concurrent slots never share a line. The span vector grows
+  // on the slot's own thread — a heap allocation, but only on traced
+  // runs, which are explicitly outside the zero-steady-state-alloc
+  // contract (it is measured untraced).
+  struct alignas(64) Row {
+    std::uint64_t chunks = 0;
+    std::int64_t busy_ticks = 0;
+    std::uint64_t dropped = 0;
+    std::vector<ChunkSpan> spans;
+  };
+
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
+  std::int64_t tick_epoch_ = 0;
+  double ns_per_tick_ = 0.0;
+  std::uint64_t loops_ = 0;
+  Row rows_[kMaxSlots];
+  StepTotals job_totals_;
+};
+
+}  // namespace ga::exec
+
+#endif  // GRAPHALYTICS_CORE_EXEC_COUNTER_SHEET_H_

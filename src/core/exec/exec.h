@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/exec/counter_sheet.h"
 #include "core/exec/thread_pool.h"
 
 namespace ga::exec {
@@ -56,6 +57,13 @@ class ExecContext {
   ThreadPool* pool() const { return pool_; }
   int num_host_threads() const { return pool_ ? pool_->num_threads() : 1; }
 
+  /// Attaches an observability sheet (nullptr detaches — the default).
+  /// With a sheet attached, parallel_for/parallel_reduce time each chunk
+  /// they dispatch; without one, the only cost is a pointer test. The
+  /// sheet never influences decomposition or scheduling.
+  void set_counters(CounterSheet* sheet) { counters_ = sheet; }
+  CounterSheet* counters() const { return counters_; }
+
   /// Slot count for a range of `size` items — a function of the size
   /// (and an optional per-call-site cap) alone, never of the thread
   /// count, which is what makes the decomposition deterministic. Loops
@@ -82,7 +90,11 @@ class ExecContext {
 
  private:
   ThreadPool* pool_ = nullptr;
+  CounterSheet* counters_ = nullptr;
 };
+
+static_assert(CounterSheet::kMaxSlots >= ExecContext::kMaxSlots,
+              "CounterSheet rows must cover every exec slot");
 
 /// Runs body(slice) for every slot of [begin, end). Bodies may only write
 /// to locations owned by their slot (slot-indexed accumulators, their
@@ -93,16 +105,28 @@ void parallel_for(ExecContext& ctx, std::int64_t begin, std::int64_t end,
                   Body&& body, int max_slots = ExecContext::kMaxSlots) {
   const int num_slots = ExecContext::NumSlots(end - begin, max_slots);
   if (num_slots == 0) return;
+  CounterSheet* const sheet = ctx.counters();
+  if (sheet != nullptr) sheet->NoteLoop();
+  // The timed and untimed paths run the identical slot sequence; timing
+  // wraps the body without touching the decomposition.
+  const auto run = [&](int slot) {
+    if (sheet != nullptr) {
+      const std::int64_t chunk_begin = sheet->NowTicks();
+      body(ExecContext::SliceOf(begin, end, slot, num_slots));
+      sheet->NoteChunk(slot, chunk_begin, sheet->NowTicks());
+    } else {
+      body(ExecContext::SliceOf(begin, end, slot, num_slots));
+    }
+  };
   if (ctx.pool() == nullptr || num_slots == 1 ||
       ctx.num_host_threads() == 1) {
     for (int slot = 0; slot < num_slots; ++slot) {
-      body(ExecContext::SliceOf(begin, end, slot, num_slots));
+      run(slot);
     }
     return;
   }
-  ctx.pool()->Execute(num_slots, [&](std::int64_t slot) {
-    body(ExecContext::SliceOf(begin, end, static_cast<int>(slot), num_slots));
-  });
+  ctx.pool()->Execute(num_slots,
+                      [&](std::int64_t slot) { run(static_cast<int>(slot)); });
 }
 
 /// Per-slot map + reduction merged in slot order. `map(slice, acc)`

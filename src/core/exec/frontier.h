@@ -73,7 +73,9 @@ class Frontier {
     n_ = n;
     for (int side = 0; side < 2; ++side) {
       if (sparse_[side].capacity() < static_cast<std::size_t>(n)) {
-        NoteDataPathAlloc();
+        NoteDataPathAlloc(AllocSite::kFrontier,
+                          static_cast<std::uint64_t>(n) *
+                              sizeof(VertexIndex));
       }
       sparse_[side].clear();
       sparse_[side].reserve(static_cast<std::size_t>(n));

@@ -138,7 +138,8 @@ class MessageArena {
     const auto total = static_cast<std::size_t>(offsets_[n]);
     for (int b = 0; b < 2; ++b) {
       if (values_[b].capacity() < total || counts_[b].capacity() < n) {
-        NoteDataPathAlloc();
+        NoteDataPathAlloc(AllocSite::kMessageArena,
+                          total * sizeof(T) + n * sizeof(std::int64_t));
       }
       values_[b].resize(total);
       counts_[b].assign(n, 0);

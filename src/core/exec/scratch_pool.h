@@ -84,6 +84,14 @@ class LabelCounter {
     return best_label;
   }
 
+  /// Bytes of backing storage currently held (capacity, not size) — the
+  /// counter never shrinks, so this is its high-water footprint.
+  std::size_t ApproxBytes() const {
+    return slots_.capacity() * sizeof(Entry) +
+           stamps_.capacity() * sizeof(std::uint64_t) +
+           used_.capacity() * sizeof(std::size_t);
+  }
+
  private:
   struct Entry {
     std::int64_t label;
@@ -96,8 +104,9 @@ class LabelCounter {
   }
 
   void Grow() {
-    NoteDataPathAlloc();
     const std::size_t want = slots_.empty() ? 16 : slots_.size() * 2;
+    NoteDataPathAlloc(AllocSite::kLabelCounter,
+                      want * (sizeof(Entry) + sizeof(std::uint64_t)));
     std::vector<Entry> old_slots = std::move(slots_);
     std::vector<std::size_t> old_used = std::move(used_);
     slots_.assign(want, Entry{0, 0});
@@ -129,7 +138,8 @@ class ScratchPool {
   /// high-water storage.
   void Prepare(int num_slots) {
     if (static_cast<int>(slots_.size()) < num_slots) {
-      NoteDataPathAlloc();
+      NoteDataPathAlloc(AllocSite::kScratchPool,
+                        static_cast<std::uint64_t>(num_slots) * sizeof(Slot));
       slots_.resize(static_cast<std::size_t>(num_slots));
     }
   }
@@ -148,7 +158,7 @@ class ScratchPool {
   std::vector<char>& flags(int slot, std::size_t size) {
     std::vector<char>& flags = slots_[static_cast<std::size_t>(slot)].flags;
     if (flags.size() < size) {
-      NoteDataPathAlloc();
+      NoteDataPathAlloc(AllocSite::kScratchFlags, size);
       flags.assign(size, 0);
     }
     return flags;
@@ -160,6 +170,18 @@ class ScratchPool {
         slots_[static_cast<std::size_t>(slot)].indices;
     indices.clear();
     return indices;
+  }
+
+  /// High-water footprint of every slot's scratch storage in bytes. The
+  /// pool never shrinks, so this only grows over a job — sampled per
+  /// superstep by the tracer's counter flush.
+  std::size_t HighWaterBytes() const {
+    std::size_t bytes = slots_.capacity() * sizeof(Slot);
+    for (const Slot& slot : slots_) {
+      bytes += slot.labels.ApproxBytes() + slot.flags.capacity() +
+               slot.indices.capacity() * sizeof(std::int64_t);
+    }
+    return bytes;
   }
 
  private:

@@ -15,6 +15,7 @@ ThreadPool::ThreadPool(int num_threads)
   for (int i = 0; i < num_threads_; ++i) {
     bands_.push_back(std::make_unique<Band>());
   }
+  steals_.resize(num_threads_);
   workers_.reserve(num_threads_ - 1);
   for (int i = 1; i < num_threads_; ++i) {
     workers_.emplace_back([this, i] { WorkerLoop(i); });
@@ -105,6 +106,7 @@ void ThreadPool::RunShare(int self,
       const std::int64_t chunk =
           victim.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= victim.end) break;
+      ++steals_[self].count;
       body(chunk);
     }
   }

@@ -46,6 +46,18 @@ class ThreadPool {
   void Execute(std::int64_t num_chunks,
                const std::function<void(std::int64_t)>& body);
 
+  /// Chunks executed by a participant from some other participant's band,
+  /// summed over the pool's lifetime. Each participant counts its own
+  /// steals in a padded slot (no contention; steals are rare by design),
+  /// so call this only between Execute calls, where the count is exact.
+  /// Steal totals depend on host timing — observability only, never an
+  /// input to anything deterministic.
+  std::uint64_t TotalSteals() const {
+    std::uint64_t total = 0;
+    for (const StealCounter& counter : steals_) total += counter.count;
+    return total;
+  }
+
   static int HardwareConcurrency();
 
  private:
@@ -57,12 +69,19 @@ class ThreadPool {
     std::int64_t end = 0;
   };
 
+  // Self-written only (participant i touches steals_[i] alone), padded so
+  // the slots never share a cache line.
+  struct alignas(64) StealCounter {
+    std::uint64_t count = 0;
+  };
+
   void WorkerLoop(int self);
   /// Drains band `self`, then steals from the other bands round-robin.
   void RunShare(int self, const std::function<void(std::int64_t)>& body);
 
   int num_threads_;
   std::vector<std::unique_ptr<Band>> bands_;
+  std::vector<StealCounter> steals_;
   std::vector<std::thread> workers_;
 
   std::mutex mutex_;

@@ -429,6 +429,22 @@ std::string SuiteToJson(const SuiteResult& result) {
       if (report.tproc_samples.size() > 1) {
         json.Field("tproc_cv", report.tproc_cv);
       }
+      if (report.trace.enabled) {
+        // Deterministic exec-layer counters only: these are functions of
+        // the slot decomposition and the algorithm's frontier evolution,
+        // so traced experiments.json stays reproducible at any --jobs.
+        // Host-timing counters (chunk wall time, steal counts) stay in
+        // the archive / Chrome trace.
+        json.Key("trace").BeginObject();
+        json.Field("parallel_loops", report.trace.parallel_loops);
+        json.Field("parallel_chunks", report.trace.parallel_chunks);
+        json.Field("datapath_growth_events",
+                   report.trace.datapath_growth_events);
+        json.Field("frontier_peak_active", report.trace.frontier_peak_active);
+        json.Field("scratch_high_water_bytes",
+                   report.trace.scratch_high_water_bytes);
+        json.EndObject();
+      }
     } else {
       json.Field("failure", std::string_view(report.failure));
     }

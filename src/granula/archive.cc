@@ -37,11 +37,14 @@ void RenderNode(const Operation& op, int depth, double parent_duration,
                 std::string* out) {
   char line[256];
   const double duration = op.SimDuration();
+  // Shares are of the PARENT phase, so every level of the drill-down
+  // reads as a local breakdown (children of ProcessGraph sum to ~100%
+  // of ProcessGraph, not of the whole job).
   const double share =
       parent_duration > 0 ? 100.0 * duration / parent_duration : 100.0;
-  std::snprintf(line, sizeof(line), "%*s%s/%s: %.6fs (%.1f%%)\n", depth * 2,
-                "", op.actor().c_str(), op.mission().c_str(), duration,
-                share);
+  std::snprintf(line, sizeof(line), "%*s%s/%s: %.6fs (%.1f%%) [wall %.6fs]\n",
+                depth * 2, "", op.actor().c_str(), op.mission().c_str(),
+                duration, share, op.WallDuration());
   *out += line;
   for (const auto& [key, value] : op.info()) {
     std::snprintf(line, sizeof(line), "%*s- %s: %s\n", depth * 2 + 2, "",

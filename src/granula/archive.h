@@ -7,7 +7,10 @@
 
 #include <memory>
 #include <string>
+#include <utility>
+#include <vector>
 
+#include "core/exec/counter_sheet.h"
 #include "granula/model.h"
 
 namespace ga::granula {
@@ -24,11 +27,26 @@ class Archive {
   const Operation& root() const { return *root_; }
   bool valid() const { return root_ != nullptr; }
 
+  /// Host-side parallel_for chunk timeline collected by the tracer's
+  /// CounterSheet (empty on untraced runs). Rendered as one track per
+  /// exec slot in the Chrome-trace export.
+  void set_host_spans(std::vector<exec::ChunkSpan> spans) {
+    host_spans_ = std::move(spans);
+  }
+  const std::vector<exec::ChunkSpan>& host_spans() const {
+    return host_spans_;
+  }
+
   /// The complete archive as a JSON document.
   std::string ToJson() const;
 
+  /// The archive as a chrome://tracing / Perfetto trace-event document
+  /// (see chrome_trace.h). `name` labels the trace's process track.
+  std::string ToChromeTrace(const std::string& name = "job") const;
+
  private:
   std::unique_ptr<Operation> root_;
+  std::vector<exec::ChunkSpan> host_spans_;
 };
 
 /// Renders the archive as an indented text tree with simulated durations

@@ -1,0 +1,156 @@
+#include "granula/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <set>
+
+namespace ga::granula {
+
+namespace {
+
+// Per-superstep info keys that also make sense as counter tracks. The
+// values are numeric strings written by the tracer.
+constexpr std::string_view kCounterKeys[] = {
+    "active", "frontier_degree_sum", "messages", "residual"};
+
+void EmitMetadata(int pid, int tid, std::string_view kind,
+                  const std::string& name, JsonWriter* json) {
+  json->BeginObject();
+  json->Field("name", kind);
+  json->Field("ph", "M");
+  json->Field("pid", pid);
+  json->Field("tid", tid);
+  json->Key("args").BeginObject();
+  json->Field("name", name);
+  json->EndObject();
+  json->EndObject();
+}
+
+/// DFS over the operation tree emitting B (with args) ... children ... E.
+/// Parent B precedes child B and child E precedes parent E in stream
+/// order, and timestamps nest by construction, which is exactly the
+/// nesting discipline the trace viewer requires of duration events.
+void EmitOperation(const Operation& op, int pid, bool use_wall,
+                   JsonWriter* json) {
+  const double begin_us =
+      1e6 * (use_wall ? op.wall_begin() : op.sim_begin());
+  const double end_us =
+      std::max(begin_us, 1e6 * (use_wall ? op.wall_end() : op.sim_end()));
+  const std::string name = op.actor() + "/" + op.mission();
+
+  json->BeginObject();
+  json->Field("name", name);
+  json->Field("cat", op.mission());
+  json->Field("ph", "B");
+  json->Field("ts", begin_us);
+  json->Field("pid", pid);
+  json->Field("tid", 0);
+  if (!op.info().empty()) {
+    json->Key("args").BeginObject();
+    for (const auto& [key, value] : op.info()) {
+      json->Field(key, value);
+    }
+    json->EndObject();
+  }
+  json->EndObject();
+
+  if (op.mission() == kMissionSuperstep) {
+    for (std::string_view key : kCounterKeys) {
+      const auto it = op.info().find(std::string(key));
+      if (it == op.info().end()) continue;
+      json->BeginObject();
+      json->Field("name", key);
+      json->Field("ph", "C");
+      json->Field("ts", begin_us);
+      json->Field("pid", pid);
+      json->Field("tid", 0);
+      json->Key("args").BeginObject();
+      json->Field(key, std::strtod(it->second.c_str(), nullptr));
+      json->EndObject();
+      json->EndObject();
+    }
+  }
+
+  for (const auto& child : op.children()) {
+    EmitOperation(*child, pid, use_wall, json);
+  }
+
+  json->BeginObject();
+  json->Field("name", name);
+  json->Field("cat", op.mission());
+  json->Field("ph", "E");
+  json->Field("ts", end_us);
+  json->Field("pid", pid);
+  json->Field("tid", 0);
+  json->EndObject();
+}
+
+}  // namespace
+
+ChromeTraceBuilder::ChromeTraceBuilder() {
+  json_.BeginObject();
+  json_.Key("traceEvents").BeginArray();
+}
+
+void ChromeTraceBuilder::AddJob(const Archive& archive,
+                                const std::string& name) {
+  if (!archive.valid()) return;
+  const Operation& root = archive.root();
+  // Reference-algorithm archives carry no simulated clock; render their
+  // tree on the wall timeline instead of collapsing to a zero-width job.
+  const bool use_wall = root.SimDuration() <= 0.0;
+
+  const int sim_pid = next_pid_++;
+  EmitMetadata(sim_pid, 0, "process_name",
+               name + (use_wall ? " [wall clock]" : " [simulated clock]"),
+               &json_);
+  EmitMetadata(sim_pid, 0, "thread_name", "operations", &json_);
+  EmitOperation(root, sim_pid, use_wall, &json_);
+
+  if (archive.host_spans().empty()) return;
+  const int host_pid = next_pid_++;
+  EmitMetadata(host_pid, 0, "process_name", name + " [host chunks]",
+               &json_);
+  std::set<int> slots;
+  for (const exec::ChunkSpan& span : archive.host_spans()) {
+    slots.insert(span.slot);
+  }
+  for (int slot : slots) {
+    EmitMetadata(host_pid, slot, "thread_name",
+                 "slot " + std::to_string(slot), &json_);
+  }
+  for (const exec::ChunkSpan& span : archive.host_spans()) {
+    json_.BeginObject();
+    json_.Field("name", "chunk");
+    json_.Field("cat", "parallel_for");
+    json_.Field("ph", "X");
+    json_.Field("ts", static_cast<double>(span.begin_ns) / 1e3);
+    json_.Field("dur",
+                static_cast<double>(span.end_ns - span.begin_ns) / 1e3);
+    json_.Field("pid", host_pid);
+    json_.Field("tid", span.slot);
+    json_.Key("args").BeginObject();
+    json_.Field("step", span.step);
+    json_.EndObject();
+    json_.EndObject();
+  }
+}
+
+std::string ChromeTraceBuilder::Finish() {
+  json_.EndArray();
+  json_.Field("displayTimeUnit", "ms");
+  json_.EndObject();
+  return json_.str();
+}
+
+std::string ToChromeTrace(const Archive& archive, const std::string& name) {
+  ChromeTraceBuilder builder;
+  builder.AddJob(archive, name);
+  return builder.Finish();
+}
+
+std::string Archive::ToChromeTrace(const std::string& name) const {
+  return granula::ToChromeTrace(*this, name);
+}
+
+}  // namespace ga::granula

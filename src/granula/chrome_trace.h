@@ -1,0 +1,52 @@
+// Chrome trace-event export of Granula archives.
+//
+// Converts Operation trees (and the host chunk timeline the tracer's
+// CounterSheet collects) into the Trace Event Format consumed by
+// chrome://tracing and Perfetto (ui.perfetto.dev → "Open trace file").
+// Layout per job:
+//
+//   * one process (pid) for the operation tree on the SIMULATED clock:
+//     tid 0 carries nested B/E duration events per Operation (args = the
+//     node's info map), plus "C" counter tracks for per-superstep series
+//     (active vertices, frontier degree sum, messages, rank residual).
+//     Archives whose root has no simulated extent (reference-algorithm
+//     runs) fall back to the wall clock for this track;
+//   * one process for the HOST chunk timeline, when present: one thread
+//     (tid) per exec slot, "X" complete events per parallel_for chunk,
+//     each tagged with the superstep it was flushed under.
+//
+// Timestamps are microseconds, as the format requires; the simulated and
+// host tracks use different clocks and are deliberately kept in separate
+// processes so the viewer never implies alignment between them.
+#ifndef GRAPHALYTICS_GRANULA_CHROME_TRACE_H_
+#define GRAPHALYTICS_GRANULA_CHROME_TRACE_H_
+
+#include <string>
+
+#include "core/json_writer.h"
+#include "granula/archive.h"
+
+namespace ga::granula {
+
+class ChromeTraceBuilder {
+ public:
+  ChromeTraceBuilder();
+
+  /// Appends one job's tracks. `name` labels the process(es) in the
+  /// viewer — e.g. "spmat/example-directed/bfs".
+  void AddJob(const Archive& archive, const std::string& name);
+
+  /// Closes the document and returns it. Call once.
+  std::string Finish();
+
+ private:
+  JsonWriter json_;
+  int next_pid_ = 1;
+};
+
+/// One-job convenience used by Archive::ToChromeTrace.
+std::string ToChromeTrace(const Archive& archive, const std::string& name);
+
+}  // namespace ga::granula
+
+#endif  // GRAPHALYTICS_GRANULA_CHROME_TRACE_H_

@@ -57,6 +57,8 @@ class Operation {
 
   double sim_begin() const { return sim_begin_; }
   double sim_end() const { return sim_end_; }
+  double wall_begin() const { return wall_begin_; }
+  double wall_end() const { return wall_end_; }
   double SimDuration() const { return sim_end_ - sim_begin_; }
   double WallDuration() const { return wall_end_ - wall_begin_; }
 

@@ -1,0 +1,172 @@
+// ga::granula::Tracer — the engine-facing handle of the deep tracing
+// layer (docs/OBSERVABILITY.md).
+//
+// Granula's modeler (paper §2.5.2) wants phases "recursively defined as a
+// collection of smaller, lower-level phases". The coarse job phases
+// (Startup/UploadGraph/ProcessGraph/...) are built by Platform::RunJob;
+// the tracer supplies the next level down: it collects per-superstep
+// annotations from inside engine loops (frontier occupancy, push-vs-pull
+// decisions and the Decide() inputs that drove them, PageRank residuals)
+// and drains them into the Superstep Operation that JobContext creates at
+// superstep close, stamped with host wall-clock begin/end.
+//
+// Contract with the determinism rules (DESIGN.md §6):
+//   * Disabled is the default and is (nearly) free: every entry point
+//     starts with a branch on `enabled_`, takes no timestamps and stages
+//     nothing. Engines call the annotation hooks unconditionally.
+//   * Tracing observes, never steers. TracedDecide returns exactly what
+//     Frontier::Decide returns; no annotation feeds back into any
+//     algorithm or cost-model input. Outputs, WorkLedger and simulated
+//     metrics are byte-identical with tracing on or off at any --jobs.
+//   * Annotations are staged commit-side (serial) — engines call the
+//     hooks outside parallel regions, like all frontier commit ops.
+#ifndef GRAPHALYTICS_GRANULA_TRACER_H_
+#define GRAPHALYTICS_GRANULA_TRACER_H_
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/exec/frontier.h"
+#include "granula/model.h"
+
+namespace ga::granula {
+
+class Tracer {
+ public:
+  /// Arms the tracer and starts its wall-clock epoch. Never called on the
+  /// bench/steady-state paths, which rely on the disabled fast path.
+  void Enable() {
+    enabled_ = true;
+    epoch_ = std::chrono::steady_clock::now();
+    step_wall_begin_ = 0.0;
+  }
+  bool enabled() const { return enabled_; }
+
+  /// Host seconds since Enable().
+  double NowWallSeconds() const {
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         epoch_)
+        .count();
+  }
+
+  // --- staged annotations (engine side, during a superstep) -------------
+
+  /// Stages a free-form key/value for the superstep being executed.
+  void Annotate(const std::string& key, std::string value) {
+    if (!enabled_) return;
+    staged_.emplace_back(key, std::move(value));
+  }
+
+  /// Active-vertex count for engines without a Frontier (dense sweeps).
+  void AnnotateActive(std::int64_t active) {
+    if (!enabled_) return;
+    NotePeak(active);
+    staged_.emplace_back("active", std::to_string(active));
+  }
+
+  /// Frontier occupancy: active count plus the activated vertices'
+  /// degree sum (the Beamer heuristic's numerator).
+  void AnnotateFrontier(std::int64_t active, std::int64_t degree_sum) {
+    if (!enabled_) return;
+    NotePeak(active);
+    staged_.emplace_back("active", std::to_string(active));
+    staged_.emplace_back("frontier_degree_sum", std::to_string(degree_sum));
+  }
+
+  /// The push-vs-pull choice and the Decide(total, alpha) inputs behind
+  /// it. Prefer TracedDecide below, which records and decides in one go.
+  void AnnotateDecision(std::string_view direction,
+                        std::int64_t total_adjacency, std::int64_t alpha) {
+    if (!enabled_) return;
+    staged_.emplace_back("direction", std::string(direction));
+    staged_.emplace_back("decide_total_adjacency",
+                         std::to_string(total_adjacency));
+    staged_.emplace_back("decide_alpha", std::to_string(alpha));
+  }
+
+  /// Iterative-refinement residual (PageRank L1 rank movement).
+  void AnnotateResidual(double residual) {
+    if (!enabled_) return;
+    char buffer[32];
+    std::snprintf(buffer, sizeof(buffer), "%.9g", residual);
+    staged_.emplace_back("residual", std::string(buffer));
+  }
+
+  // --- superstep close (JobContext / reference-runner side) -------------
+
+  /// Stamps `op` with [sim_begin, sim_end) on the simulated clock and
+  /// [previous close, now) on the wall clock, then drains the staged
+  /// annotations into its info map.
+  void CloseStep(Operation* op, double sim_begin, double sim_end) {
+    const double wall_end = NowWallSeconds();
+    op->Begin(sim_begin, step_wall_begin_);
+    op->End(sim_end, wall_end);
+    step_wall_begin_ = wall_end;
+    DrainInto(op);
+  }
+
+  /// Reference-algorithm variant: creates a wall-only Superstep child of
+  /// `parent` (reference code runs outside the simulated clock, so sim
+  /// begin == end == 0). Returns the new node.
+  Operation* CloseStepUnder(Operation* parent, const std::string& actor,
+                            const std::string& label) {
+    Operation* step = parent->AddChild(actor, std::string(kMissionSuperstep));
+    step->AddInfo("label", label);
+    step->AddInfo("step", std::to_string(reference_steps_++));
+    CloseStep(step, 0.0, 0.0);
+    return step;
+  }
+
+  /// Largest active-vertex count seen by any annotation — deterministic
+  /// (a function of the algorithm's frontier evolution alone), so it may
+  /// surface in experiments.json.
+  std::int64_t peak_active() const { return peak_active_; }
+
+ private:
+  void NotePeak(std::int64_t active) {
+    if (active > peak_active_) peak_active_ = active;
+  }
+
+  void DrainInto(Operation* op) {
+    for (auto& [key, value] : staged_) {
+      op->AddInfo(key, std::move(value));
+    }
+    staged_.clear();
+  }
+
+  bool enabled_ = false;
+  std::chrono::steady_clock::time_point epoch_{};
+  double step_wall_begin_ = 0.0;
+  std::vector<std::pair<std::string, std::string>> staged_;
+  std::int64_t peak_active_ = 0;
+  std::int64_t reference_steps_ = 0;
+};
+
+/// Decides push-vs-pull exactly as frontier.Decide(total_adjacency, alpha)
+/// would, and — when tracing — records the decision and its inputs for
+/// the current superstep. The return value is untouched by tracing, so
+/// swapping this in for a bare Decide call cannot change control flow.
+inline exec::TraversalDirection TracedDecide(
+    Tracer& tracer, const exec::Frontier& frontier,
+    std::int64_t total_adjacency,
+    std::int64_t alpha = exec::Frontier::kPullAlpha) {
+  const exec::TraversalDirection direction =
+      frontier.Decide(total_adjacency, alpha);
+  if (tracer.enabled()) {
+    tracer.AnnotateFrontier(frontier.active_count(),
+                            frontier.active_degree_sum());
+    tracer.AnnotateDecision(
+        direction == exec::TraversalDirection::kPull ? "pull" : "push",
+        total_adjacency, alpha);
+  }
+  return direction;
+}
+
+}  // namespace ga::granula
+
+#endif  // GRAPHALYTICS_GRANULA_TRACER_H_

@@ -34,6 +34,12 @@ struct BenchmarkConfig {
   /// graphs are byte-identical to generated ones, so outputs and
   /// simulated metrics do not depend on cache warmth.
   std::string data_dir;
+  /// Deep tracing (the CLI's --trace, docs/OBSERVABILITY.md): arm the
+  /// per-superstep span tree and exec-layer counters and retain each
+  /// job's Granula archive on its JobReport. Purely observational —
+  /// outputs, WorkLedger and simulated metrics are byte-identical with
+  /// tracing on or off at any host_jobs value.
+  bool trace_enabled = false;
 
   /// Memory budget handed to a simulated machine.
   std::int64_t ScaledMemoryBudget() const {

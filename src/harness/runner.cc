@@ -76,6 +76,7 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
   env.prefer_distributed_backend = spec.prefer_distributed_backend;
   env.overhead_scale = 1.0 / static_cast<double>(config_.scale_divisor);
   env.host_pool = host_pool_.get();
+  env.trace_enabled = config_.trace_enabled;
 
   JobReport report;
   report.spec = spec;
@@ -95,6 +96,12 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
         break;
     }
     return report;
+  }
+
+  report.trace = run->metrics.trace;
+  if (config_.trace_enabled) {
+    report.archive =
+        std::make_shared<granula::Archive>(std::move(run->archive));
   }
 
   report.upload_seconds = config_.Project(run->metrics.upload_sim_seconds);

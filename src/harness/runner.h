@@ -62,6 +62,15 @@ struct JobReport {
   int supersteps = 0;
   bool output_validated = false;
 
+  /// Exec-layer counter totals for the traced run (trace.enabled is false
+  /// when the harness ran untraced). See platform::TraceCounters for the
+  /// deterministic/host-timing split.
+  platform::TraceCounters trace;
+  /// The job's full Granula archive (span tree + host chunk spans),
+  /// retained only when BenchmarkConfig::trace_enabled — feed it to
+  /// granula::ChromeTraceBuilder or Archive::ToChromeTrace.
+  std::shared_ptr<const granula::Archive> archive;
+
   bool completed() const { return outcome == JobOutcome::kCompleted; }
 };
 

@@ -10,6 +10,7 @@
 #include "core/exec/frontier.h"
 #include "core/exec/message_arena.h"
 #include "core/exec/scratch_pool.h"
+#include "granula/tracer.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -200,6 +201,11 @@ class PregelRuntime {
       // O(range/64 + runnable).
       const VertexIndex n = graph_.num_vertices();
       const bool dense = runnable_.active_count() == n;
+      if (ctx_.tracer().enabled()) {
+        ctx_.tracer().AnnotateActive(
+            static_cast<std::int64_t>(runnable_.active_count()));
+        ctx_.tracer().Annotate("mode", dense ? "dense" : "sparse");
+      }
       const int num_slots = exec::ExecContext::NumSlots(n);
       ctx_.PrepareSlotCharges(num_slots);
       ctx_.scratch().Prepare(num_slots);

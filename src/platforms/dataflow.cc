@@ -9,6 +9,7 @@
 #include "algo/lcc_kernel.h"
 #include "core/exec/exec.h"
 #include "core/exec/scratch_pool.h"
+#include "granula/tracer.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -187,6 +188,13 @@ Status RunGraphxPregel(JobContext& ctx, const Graph& graph,
       }
     }
     if (!any_active) break;
+    if (ctx.tracer().enabled()) {
+      // Traced-only occupancy probe: count of active vertices feeding
+      // this iteration's full-edge-table triplet scan.
+      std::int64_t active_count = 0;
+      for (char a : *active) active_count += a ? 1 : 0;
+      ctx.tracer().AnnotateActive(active_count);
+    }
 
     // Triplet phase: the FULL edge table is scanned (GraphX cannot skip
     // inactive triplets without a full pass). The scan runs host-parallel
@@ -407,6 +415,16 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
       next[row.dst] += damping * row.value;
     }
     runtime.ChargeRows(messages.size() + n);
+    if (ctx.tracer().enabled()) {
+      // Traced-only convergence probe: L1 delta between successive
+      // rank vectors, observed before the swap installs the update.
+      double residual = 0.0;
+      for (VertexIndex v = 0; v < n; ++v) {
+        residual += std::abs(next[v] - rank[v]);
+      }
+      ctx.tracer().AnnotateResidual(residual);
+      ctx.tracer().AnnotateActive(n);
+    }
     rank.swap(next);
     ctx.EndSuperstep("pr");
   }
@@ -474,6 +492,7 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
     }
     runtime.ChargeRows(messages.size(), 4.0);
     output.int_values.swap(next);
+    ctx.tracer().AnnotateActive(n);
     ctx.EndSuperstep("cdlp");
   }
   runtime.ReleaseIterationBuffers();

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <bit>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -12,6 +13,7 @@
 #include "core/exec/scratch_pool.h"
 #include "core/partition.h"
 #include "core/rng.h"
+#include "granula/tracer.h"
 
 namespace ga::platform {
 
@@ -205,7 +207,8 @@ void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
   const int max_rounds = static_cast<int>(graph.num_vertices()) + 2;
   for (int round = 0; round < max_rounds && !active.empty(); ++round) {
     std::span<const Edge> all_edges = graph.edges();
-    if (active.Decide(total_scan, exec::Frontier::kPullAlphaSweep) ==
+    if (granula::TracedDecide(ctx.tracer(), active, total_scan,
+                              exec::Frontier::kPullAlphaSweep) ==
         exec::TraversalDirection::kPull) {
       // Dense sweep, one machine at a time.
       for (int m = 0; m < deployment.machines(); ++m) {
@@ -525,6 +528,17 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
         const double base =
             (1.0 - params.damping_factor) / static_cast<double>(n) +
             params.damping_factor * dangling / static_cast<double>(n);
+        if (ctx.tracer().enabled()) {
+          // Traced-only convergence probe: L1 delta between the incoming
+          // ranks and the values the apply sweep is about to install.
+          double residual = 0.0;
+          for (VertexIndex v = 0; v < n; ++v) {
+            residual += std::abs(
+                base + params.damping_factor * partial[v] - rank[v]);
+          }
+          ctx.tracer().AnnotateResidual(residual);
+          ctx.tracer().AnnotateActive(n);
+        }
         const int apply_slots = exec::ExecContext::NumSlots(n);
         ctx.PrepareSlotCharges(apply_slots);
         exec::parallel_for(
@@ -586,6 +600,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
             });
         ctx.MergeSlotCharges();
         output.int_values.swap(next);
+        ctx.tracer().AnnotateActive(n);
         ctx.EndSuperstep("cdlp");
       }
       return output;

@@ -11,6 +11,7 @@
 #include "core/exec/frontier.h"
 #include "core/exec/scratch_pool.h"
 #include "core/rng.h"
+#include "granula/tracer.h"
 
 namespace ga::platform {
 
@@ -81,7 +82,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
         ++depth;
         visited += static_cast<std::uint64_t>(frontier.active_count());
         std::uint64_t level_touched = 0;
-        if (frontier.Decide(total_entries) ==
+        if (granula::TracedDecide(ctx.tracer(), frontier, total_entries) ==
             exec::TraversalDirection::kPush) {
           const std::int64_t frontier_size = frontier.active_count();
           const std::span<const VertexIndex> active = frontier.active();
@@ -260,6 +261,16 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
             },
             [](std::uint64_t& into, std::uint64_t from) { into += from; },
             &touched_scratch);
+        if (ctx.tracer().enabled()) {
+          // Traced-only convergence probe: L1 delta between successive
+          // rank vectors, observed before the swap installs the update.
+          double residual = 0.0;
+          for (VertexIndex v = 0; v < n; ++v) {
+            residual += std::abs(next[v] - output.double_values[v]);
+          }
+          ctx.tracer().AnnotateResidual(residual);
+          ctx.tracer().AnnotateActive(n);
+        }
         output.double_values.swap(next);
         DistributeOps(
             ctx, static_cast<std::uint64_t>(
@@ -312,6 +323,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                      static_cast<double>(touched) *
                          ctx.profile().ops_per_edge * 0.5 +
                      static_cast<double>(n) * ctx.profile().ops_per_vertex));
+        ctx.tracer().AnnotateActive(n);
         ctx.EndSuperstep("cdlp");
       }
       return output;

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <utility>
 
+#include "core/exec/alloc_stats.h"
 #include "core/partition.h"
 #include "core/timer.h"
 
@@ -24,7 +25,15 @@ JobContext::JobContext(const sysmodel::ClusterModel& cluster,
       env_(env),
       exec_(env.host_pool),
       worker_ops_(cluster.num_workers(), 0),
-      machine_comm_(cluster.num_machines()) {}
+      machine_comm_(cluster.num_machines()) {
+  if (env_.trace_enabled) {
+    tracer_.Enable();
+    sheet_.Enable();
+    exec_.set_counters(&sheet_);
+    steal_base_ = env_.host_pool ? env_.host_pool->TotalSteals() : 0;
+    alloc_base_ = exec::DataPathAllocEvents();
+  }
+}
 
 void JobContext::PrepareSlotCharges(int num_slots) {
   if (static_cast<int>(slot_charges_.size()) < num_slots) {
@@ -74,12 +83,57 @@ void JobContext::EndSuperstep(const std::string& label) {
   if (processing_op_ != nullptr) {
     granula::Operation* step = processing_op_->AddChild(
         "engine", std::string(granula::kMissionSuperstep));
-    step->Begin(begin, 0.0);
-    step->End(sim_seconds_, 0.0);
+    step->Begin(sim_origin_ + begin, 0.0);
+    step->End(sim_origin_ + sim_seconds_, 0.0);
     step->AddInfo("label", label);
     step->AddInfo("ops", std::to_string(total_ops));
+    step->AddInfo("step", std::to_string(supersteps_ - 1));
+    step->AddInfo("messages",
+                  std::to_string(ledger_.messages - last_messages_));
+    if (tracer_.enabled()) {
+      // Wall stamps + staged engine annotations (frontier occupancy,
+      // push/pull decision, residual) land on the span...
+      tracer_.CloseStep(step, sim_origin_ + begin,
+                        sim_origin_ + sim_seconds_);
+      // ...plus this superstep's exec-layer counter flush; the retained
+      // chunk spans join the job-wide host timeline, keyed by step.
+      const exec::CounterSheet::StepTotals totals =
+          sheet_.FlushStep(supersteps_ - 1, &host_spans_);
+      step->AddInfo("parallel_loops", std::to_string(totals.loops));
+      step->AddInfo("parallel_chunks", std::to_string(totals.chunks));
+      step->AddInfo("chunk_busy_ns", std::to_string(totals.busy_ns));
+      if (totals.dropped > 0) {
+        step->AddInfo("chunk_spans_dropped",
+                      std::to_string(totals.dropped));
+      }
+    }
   }
+  last_messages_ = ledger_.messages;
   ResetSuperstepCounters();
+}
+
+void JobContext::FlushTrailingTrace() {
+  if (!tracer_.enabled()) return;
+  // Chunks after the last EndSuperstep belong to no superstep; stamp
+  // them with the one-past-the-end index.
+  sheet_.FlushStep(supersteps_, &host_spans_);
+}
+
+TraceCounters JobContext::TraceTotals() const {
+  TraceCounters trace;
+  if (!tracer_.enabled()) return trace;
+  trace.enabled = true;
+  const exec::CounterSheet::StepTotals& totals = sheet_.job_totals();
+  trace.parallel_loops = totals.loops;
+  trace.parallel_chunks = totals.chunks;
+  trace.chunk_busy_ns = totals.busy_ns;
+  trace.dropped_spans = totals.dropped;
+  trace.datapath_growth_events = exec::DataPathAllocEvents() - alloc_base_;
+  trace.frontier_peak_active = tracer_.peak_active();
+  trace.scratch_high_water_bytes = scratch_.HighWaterBytes();
+  trace.steal_count =
+      env_.host_pool ? env_.host_pool->TotalSteals() - steal_base_ : 0;
+  return trace;
 }
 
 void JobContext::ChargeSequential(std::uint64_t ops,
@@ -222,6 +276,7 @@ Result<RunResult> Platform::RunJob(const Graph& graph, Algorithm algorithm,
       info().id, std::string(granula::kMissionProcessGraph));
   processing->Begin(sim_now, 0.0);
   JobContext ctx(cluster, &memory, cost, processing, env);
+  ctx.set_sim_origin(sim_now);
   auto output = Execute(ctx, graph, algorithm, params);
   if (!output.ok()) return output.status();
   double processing_seconds = ctx.sim_seconds();
@@ -238,6 +293,25 @@ Result<RunResult> Platform::RunJob(const Graph& graph, Algorithm algorithm,
   sim_now += processing_seconds;
   processing->End(sim_now, 0.0);
   processing->AddInfo("supersteps", std::to_string(ctx.supersteps()));
+  if (env.trace_enabled) {
+    // Job-level counter summary folded into the archive (per-superstep
+    // detail already sits on the Superstep children).
+    ctx.FlushTrailingTrace();
+    const TraceCounters trace = ctx.TraceTotals();
+    processing->AddInfo("parallel_loops",
+                        std::to_string(trace.parallel_loops));
+    processing->AddInfo("parallel_chunks",
+                        std::to_string(trace.parallel_chunks));
+    processing->AddInfo("chunk_busy_ns",
+                        std::to_string(trace.chunk_busy_ns));
+    processing->AddInfo("steal_count", std::to_string(trace.steal_count));
+    processing->AddInfo("datapath_growth_events",
+                        std::to_string(trace.datapath_growth_events));
+    processing->AddInfo("frontier_peak_active",
+                        std::to_string(trace.frontier_peak_active));
+    processing->AddInfo("scratch_high_water_bytes",
+                        std::to_string(trace.scratch_high_water_bytes));
+  }
 
   // --- OffloadGraph: write results back for validation. -----------------
   granula::Operation* offload = root->AddChild(
@@ -264,6 +338,10 @@ Result<RunResult> Platform::RunJob(const Graph& graph, Algorithm algorithm,
   result.metrics.wall_seconds = wall.ElapsedSeconds();
   result.metrics.supersteps = ctx.supersteps();
   result.metrics.ledger = ctx.ledger();
+  if (env.trace_enabled) {
+    result.metrics.trace = ctx.TraceTotals();
+    result.archive.set_host_spans(ctx.TakeHostSpans());
+  }
   return result;
 }
 

@@ -21,6 +21,7 @@
 
 #include "algo/output.h"
 #include "algo/params.h"
+#include "core/exec/counter_sheet.h"
 #include "core/exec/exec.h"
 #include "core/exec/scratch_pool.h"
 #include "core/graph.h"
@@ -29,6 +30,7 @@
 #include "core/work_ledger.h"
 #include "granula/archive.h"
 #include "granula/model.h"
+#include "granula/tracer.h"
 #include "sysmodel/cluster.h"
 
 namespace ga::platform {
@@ -111,6 +113,32 @@ struct ExecutionEnvironment {
   /// *simulated* cluster; results and simulated metrics are identical at
   /// any host parallelism (DESIGN.md §6).
   exec::ThreadPool* host_pool = nullptr;
+  /// Arms the deep-tracing layer (granula::Tracer + exec::CounterSheet):
+  /// per-superstep spans gain wall-clock stamps, engine annotations and
+  /// exec-layer counters, and the archive carries a host chunk timeline.
+  /// Off by default — the disabled path costs one branch per hook.
+  /// Tracing never changes outputs, WorkLedger or simulated metrics
+  /// (docs/OBSERVABILITY.md).
+  bool trace_enabled = false;
+};
+
+/// Deep-tracing summary of one job, filled only when tracing was enabled.
+/// The deterministic group is a function of the slot decomposition and
+/// the algorithm's own state evolution — identical at any --jobs value —
+/// and is the ONLY part allowed into experiments.json. The host-timing
+/// group varies run to run and stays in the archive / Chrome trace.
+struct TraceCounters {
+  bool enabled = false;
+  // Deterministic.
+  std::uint64_t parallel_loops = 0;       // parallel_for/reduce dispatches
+  std::uint64_t parallel_chunks = 0;      // slot chunks executed
+  std::uint64_t datapath_growth_events = 0;  // alloc_stats.h, this job
+  std::int64_t frontier_peak_active = 0;  // max annotated active count
+  std::uint64_t scratch_high_water_bytes = 0;  // ScratchPool footprint
+  // Host-timing dependent.
+  std::int64_t chunk_busy_ns = 0;   // summed chunk wall time
+  std::uint64_t steal_count = 0;    // ThreadPool cross-band claims
+  std::uint64_t dropped_spans = 0;  // chunk spans past the retention cap
 };
 
 struct RunMetrics {
@@ -120,6 +148,7 @@ struct RunMetrics {
   double wall_seconds = 0.0;            // real host time spent
   int supersteps = 0;
   WorkLedger ledger;
+  TraceCounters trace;  // all-zero unless env.trace_enabled
 };
 
 struct RunResult {
@@ -161,6 +190,34 @@ class JobContext {
 
   /// Host-parallel execution handle for the engine's real work.
   exec::ExecContext& exec() { return exec_; }
+
+  /// Deep-tracing handle. Disabled (near-free hooks) unless the job's
+  /// environment set trace_enabled; engines call the annotation API
+  /// unconditionally. Tracing observes — it never changes control flow,
+  /// outputs or simulated accounting.
+  granula::Tracer& tracer() { return tracer_; }
+
+  /// Folds exec counters recorded after the last superstep (result
+  /// assembly, serial-phase loops) into the job totals and host timeline.
+  /// RunJob calls this once, after Execute returns.
+  void FlushTrailingTrace();
+
+  /// End-of-job tracing summary (all-zero when tracing is off).
+  TraceCounters TraceTotals() const;
+
+  /// Job-clock sim time at which processing began. The context's own
+  /// sim clock starts at 0 (T_proc accounting); Superstep Operations are
+  /// stamped at origin + local time so the archive's span tree shares
+  /// one monotonic clock with the Startup/UploadGraph phases.
+  void set_sim_origin(double origin_seconds) {
+    sim_origin_ = origin_seconds;
+  }
+
+  /// Moves out the host chunk timeline accumulated across supersteps
+  /// (RunJob attaches it to the archive).
+  std::vector<exec::ChunkSpan> TakeHostSpans() {
+    return std::move(host_spans_);
+  }
 
   /// Slot-local reusable scratch (CDLP label counters, LCC flag arrays).
   /// Prepare() outside parallel regions; bodies touch only their slot's
@@ -218,7 +275,16 @@ class JobContext {
   std::vector<SlotCharges> slot_charges_;
   WorkLedger ledger_;
   double sim_seconds_ = 0.0;
+  double sim_origin_ = 0.0;
   int supersteps_ = 0;
+
+  // Deep tracing (inert unless env.trace_enabled armed them in the ctor).
+  granula::Tracer tracer_;
+  exec::CounterSheet sheet_;
+  std::vector<exec::ChunkSpan> host_spans_;
+  std::uint64_t last_messages_ = 0;  // ledger messages at last superstep
+  std::uint64_t steal_base_ = 0;     // pool steals when the job started
+  std::uint64_t alloc_base_ = 0;     // global growth events at job start
 };
 
 class Platform {

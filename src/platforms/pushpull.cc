@@ -1,6 +1,7 @@
 #include "platforms/pushpull.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <vector>
@@ -8,6 +9,7 @@
 #include "core/exec/exec.h"
 #include "core/exec/frontier.h"
 #include "core/exec/scratch_pool.h"
+#include "granula/tracer.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -144,7 +146,8 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
     // state; discoveries stage per slot and commit in slot order, which
     // matches the serial scan order exactly.
     std::uint64_t remote = 0;
-    if (frontier.Decide(total_entries) == exec::TraversalDirection::kPush) {
+    if (granula::TracedDecide(ctx.tracer(), frontier, total_entries) ==
+        exec::TraversalDirection::kPush) {
       // Push: sparse frontier writes to unvisited out-neighbours.
       const std::int64_t frontier_size = frontier.active_count();
       const std::span<const VertexIndex> active = frontier.active();
@@ -255,6 +258,16 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
         },
         [](std::uint64_t& into, std::uint64_t from) { into += from; },
         &remote_scratch);
+    if (ctx.tracer().enabled()) {
+      // L1 rank movement of this sweep — observability only, computed
+      // serially on the traced path so the untraced run does no work.
+      double residual = 0.0;
+      for (VertexIndex v = 0; v < n; ++v) {
+        residual += std::abs(next[v] - output.double_values[v]);
+      }
+      ctx.tracer().AnnotateResidual(residual);
+      ctx.tracer().AnnotateActive(n);
+    }
     output.double_values.swap(next);
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
@@ -306,7 +319,8 @@ Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
     // pull round (at most one staged candidate per vertex) beats push
     // well below full saturation. Measured on the bench graph: 2.4x at
     // alpha 20 vs 1.0x at alpha 1.
-    if (frontier.Decide(total_scan) == exec::TraversalDirection::kPull) {
+    if (granula::TracedDecide(ctx.tracer(), frontier, total_scan) ==
+        exec::TraversalDirection::kPull) {
       // Pull (the heavy early rounds, where nearly every vertex is
       // active): each vertex folds the labels of all its neighbours —
       // one improving candidate per vertex instead of a per-edge push
@@ -429,6 +443,7 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
         [](std::uint64_t& into, std::uint64_t from) { into += from; },
         &remote_scratch);
     output.int_values.swap(next);
+    ctx.tracer().AnnotateActive(n);
     // CDLP label votes cannot be combined per machine (mode aggregation).
     runtime.ChargeRemoteValues(remote * 2);
     runtime.FlushMachineOps();
@@ -463,7 +478,8 @@ Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
         static_cast<std::uint64_t>(frontier.active_count()),
         "sssp frontier"));
     std::uint64_t remote = 0;
-    if (frontier.Decide(total_entries, exec::Frontier::kPullAlphaSweep) ==
+    if (granula::TracedDecide(ctx.tracer(), frontier, total_entries,
+                              exec::Frontier::kPullAlphaSweep) ==
         exec::TraversalDirection::kPull) {
       // Pull (heavy relaxation waves): each vertex folds the candidate
       // distances of its frontier-resident in-neighbours — min is exact

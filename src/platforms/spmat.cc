@@ -1,6 +1,7 @@
 #include "platforms/spmat.h"
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <span>
 #include <string>
@@ -10,6 +11,7 @@
 #include "core/exec/exec.h"
 #include "core/exec/frontier.h"
 #include "core/exec/scratch_pool.h"
+#include "granula/tracer.h"
 #include "platforms/worker_map.h"
 
 namespace ga::platform {
@@ -168,7 +170,7 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       while (!frontier.empty()) {
         ++depth;
         ExpandStats stats;
-        if (frontier.Decide(total_entries) ==
+        if (granula::TracedDecide(ctx.tracer(), frontier, total_entries) ==
             exec::TraversalDirection::kPush) {
           // Frontier-masked SpMSpV (push along out-edges): the expand
           // scans frontier slices host-parallel against last sweep's
@@ -254,8 +256,8 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       for (int round = 0; round < max_rounds && !frontier.empty();
            ++round) {
         ExpandStats stats;
-        if (frontier.Decide(total_entries,
-                            exec::Frontier::kPullAlphaSweep) ==
+        if (granula::TracedDecide(ctx.tracer(), frontier, total_entries,
+                                  exec::Frontier::kPullAlphaSweep) ==
             exec::TraversalDirection::kPull) {
           // Heavy relaxation wave: masked pull — every row folds the
           // candidate distances of its frontier-resident in-entries (min
@@ -358,7 +360,8 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       for (int round = 0; round < max_rounds && !frontier.empty();
            ++round) {
         std::uint64_t touched = 0;
-        if (frontier.Decide(total_scan, /*alpha=*/2) ==
+        if (granula::TracedDecide(ctx.tracer(), frontier, total_scan,
+                                  /*alpha=*/2) ==
             exec::TraversalDirection::kPull) {
           cands.Reset(exec::ExecContext::NumSlots(n));
           touched = exec::parallel_reduce(
@@ -463,6 +466,14 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
             },
             [](std::uint64_t& into, std::uint64_t from) { into += from; },
             &touched_scratch);
+        if (ctx.tracer().enabled()) {
+          double residual = 0.0;
+          for (VertexIndex v = 0; v < n; ++v) {
+            residual += std::abs(next[v] - output.double_values[v]);
+          }
+          ctx.tracer().AnnotateResidual(residual);
+          ctx.tracer().AnnotateActive(n);
+        }
         output.double_values.swap(next);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             touched, static_cast<std::uint64_t>(n),
@@ -505,6 +516,7 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
             [](std::uint64_t& into, std::uint64_t from) { into += from; },
             &touched_scratch);
         output.int_values.swap(next);
+        ctx.tracer().AnnotateActive(n);
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             touched * 3,  // histogram insertion is pricier than a MAC
             static_cast<std::uint64_t>(n),

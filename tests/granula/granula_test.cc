@@ -81,6 +81,16 @@ TEST(GranulaVisualizerTest, TextTreeShowsPhasesAndShares) {
   EXPECT_NE(text.find("(60.0%)"), std::string::npos);
   // Nested supersteps are indented below ProcessGraph.
   EXPECT_NE(text.find("  engine/Superstep"), std::string::npos);
+  // Drill-down: every node renders a wall-clock column (the job's wall
+  // extent is 0.5s in the sample model).
+  EXPECT_NE(text.find("[wall 0.500000s]"), std::string::npos);
+  // Percentages are shares of the PARENT phase, not the whole job: each
+  // superstep is 1 of ProcessGraph's 3 simulated seconds = 33.3% (a
+  // job-global denominator would print 20.0%).
+  EXPECT_NE(text.find("(33.3%)"), std::string::npos);
+  EXPECT_EQ(text.find("(20.0%)"), std::string::npos);
+  // Info key/values annotate the tree lines.
+  EXPECT_NE(text.find("vertices_processed"), std::string::npos);
 }
 
 }  // namespace

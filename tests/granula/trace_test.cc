@@ -1,0 +1,332 @@
+// Deep-tracing contract tests (docs/OBSERVABILITY.md):
+//
+//   1. Bounded-overhead/determinism contract — tracing observes, never
+//      steers: outputs, WorkLedger and simulated metrics are identical
+//      with tracing on or off, at host parallelism 1, 2 and 8
+//      (DESIGN.md §6 extended to the observability layer).
+//   2. Per-superstep spans: every engine's traced archive carries one
+//      Superstep Operation per EndSuperstep under ProcessGraph, stamped
+//      with step index and annotations.
+//   3. Chrome trace-event export: the JSON document is structurally
+//      valid — balanced B/E nesting per (pid, tid) track, monotonic
+//      timestamps in emission order, non-negative X durations.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "algo/params.h"
+#include "core/exec/thread_pool.h"
+#include "core/graph.h"
+#include "datagen/graph500.h"
+#include "granula/chrome_trace.h"
+#include "granula/model.h"
+#include "platforms/platform.h"
+
+namespace ga::platform {
+namespace {
+
+const Graph& TestGraph() {
+  static const Graph graph = [] {
+    datagen::Graph500Config config;
+    config.scale = 9;
+    config.num_edges = 4000;
+    config.directedness = Directedness::kDirected;
+    config.seed = 7;
+    auto built = datagen::GenerateGraph500(config);
+    if (!built.ok()) std::abort();
+    return std::move(built).value();
+  }();
+  return graph;
+}
+
+RunResult RunOnce(const std::string& platform_id, Algorithm algorithm,
+                  exec::ThreadPool* pool, bool traced) {
+  auto platform = CreatePlatform(platform_id);
+  if (!platform.ok()) std::abort();
+  AlgorithmParams params;
+  params.source_vertex = TestGraph().ExternalId(0);
+  params.pagerank_iterations = 5;
+  params.cdlp_iterations = 4;
+  ExecutionEnvironment env;
+  env.host_pool = pool;
+  env.trace_enabled = traced;
+  auto result =
+      platform.value()->RunJob(TestGraph(), algorithm, params, env);
+  if (!result.ok()) std::abort();
+  return std::move(result).value();
+}
+
+void ExpectIdenticalObservableState(const RunResult& expected,
+                                    const RunResult& actual,
+                                    const std::string& label) {
+  // Outputs: exact (bitwise for doubles — determinism, not tolerance).
+  EXPECT_EQ(expected.output.int_values, actual.output.int_values) << label;
+  EXPECT_EQ(expected.output.double_values, actual.output.double_values)
+      << label;
+  // Simulated metrics.
+  EXPECT_EQ(expected.metrics.upload_sim_seconds,
+            actual.metrics.upload_sim_seconds)
+      << label;
+  EXPECT_EQ(expected.metrics.makespan_sim_seconds,
+            actual.metrics.makespan_sim_seconds)
+      << label;
+  EXPECT_EQ(expected.metrics.processing_sim_seconds,
+            actual.metrics.processing_sim_seconds)
+      << label;
+  EXPECT_EQ(expected.metrics.supersteps, actual.metrics.supersteps) << label;
+  // WorkLedger.
+  EXPECT_EQ(expected.metrics.ledger.compute_ops,
+            actual.metrics.ledger.compute_ops)
+      << label;
+  EXPECT_EQ(expected.metrics.ledger.messages, actual.metrics.ledger.messages)
+      << label;
+  EXPECT_EQ(expected.metrics.ledger.remote_bytes,
+            actual.metrics.ledger.remote_bytes)
+      << label;
+  EXPECT_EQ(expected.metrics.ledger.allocations,
+            actual.metrics.ledger.allocations)
+      << label;
+  EXPECT_EQ(expected.metrics.ledger.rows_materialized,
+            actual.metrics.ledger.rows_materialized)
+      << label;
+}
+
+/// The contract matrix for one platform/algorithm cell: baseline is the
+/// untraced serial run; every {host jobs 1, 2, 8} x {traced, untraced}
+/// combination must present identical observable state.
+void ExpectTracingInvariance(const std::string& platform_id,
+                             Algorithm algorithm) {
+  const RunResult baseline =
+      RunOnce(platform_id, algorithm, nullptr, /*traced=*/false);
+  for (int jobs : {1, 2, 8}) {
+    std::unique_ptr<exec::ThreadPool> pool;
+    if (jobs > 1) pool = std::make_unique<exec::ThreadPool>(jobs);
+    for (bool traced : {false, true}) {
+      const RunResult run =
+          RunOnce(platform_id, algorithm, pool.get(), traced);
+      ExpectIdenticalObservableState(
+          baseline, run,
+          platform_id + "/" + std::string(AlgorithmName(algorithm)) +
+              " jobs=" + std::to_string(jobs) +
+              (traced ? " traced" : " untraced"));
+      EXPECT_EQ(run.metrics.trace.enabled, traced);
+      if (traced) {
+        // The deterministic counter group must not depend on --jobs.
+        const RunResult serial_traced =
+            RunOnce(platform_id, algorithm, nullptr, /*traced=*/true);
+        EXPECT_EQ(run.metrics.trace.parallel_loops,
+                  serial_traced.metrics.trace.parallel_loops);
+        EXPECT_EQ(run.metrics.trace.parallel_chunks,
+                  serial_traced.metrics.trace.parallel_chunks);
+        EXPECT_EQ(run.metrics.trace.frontier_peak_active,
+                  serial_traced.metrics.trace.frontier_peak_active);
+      }
+    }
+  }
+}
+
+TEST(TraceDeterminismTest, SpMatBfs) {
+  ExpectTracingInvariance("spmat", Algorithm::kBfs);
+}
+
+TEST(TraceDeterminismTest, SpMatPageRank) {
+  ExpectTracingInvariance("spmat", Algorithm::kPageRank);
+}
+
+TEST(TraceDeterminismTest, BspLiteBfs) {
+  ExpectTracingInvariance("bsplite", Algorithm::kBfs);
+}
+
+TEST(TraceDeterminismTest, BspLitePageRank) {
+  ExpectTracingInvariance("bsplite", Algorithm::kPageRank);
+}
+
+// --- Per-superstep spans, all engines ---------------------------------------
+
+TEST(TraceSpanTest, EveryEngineEmitsSuperstepSpans) {
+  for (const std::string& platform_id : AllPlatformIds()) {
+    const RunResult run =
+        RunOnce(platform_id, Algorithm::kBfs, nullptr, /*traced=*/true);
+    ASSERT_TRUE(run.archive.valid()) << platform_id;
+    const granula::Operation* processing =
+        run.archive.root().Find(granula::kMissionProcessGraph);
+    ASSERT_NE(processing, nullptr) << platform_id;
+    int steps = 0;
+    for (const auto& child : processing->children()) {
+      if (child->mission() != granula::kMissionSuperstep) continue;
+      // Stamped with its step index and the per-superstep message delta.
+      EXPECT_NE(child->info().find("step"), child->info().end())
+          << platform_id;
+      EXPECT_NE(child->info().find("messages"), child->info().end())
+          << platform_id;
+      ++steps;
+    }
+    EXPECT_EQ(steps, run.metrics.supersteps) << platform_id;
+    EXPECT_GT(steps, 0) << platform_id;
+    // Frontier engines record the push/pull decision and its inputs on at
+    // least one superstep (spmat/pushpull/gaslite/nativekernel BFS).
+    if (platform_id == "spmat" || platform_id == "pushpull" ||
+        platform_id == "gaslite" || platform_id == "nativekernel") {
+      bool any_direction = false;
+      for (const auto& child : processing->children()) {
+        if (child->info().count("direction") > 0 &&
+            child->info().count("decide_total_adjacency") > 0 &&
+            child->info().count("decide_alpha") > 0) {
+          any_direction = true;
+        }
+      }
+      EXPECT_TRUE(any_direction) << platform_id;
+    }
+  }
+}
+
+TEST(TraceSpanTest, UntracedRunsCarryNoTraceState) {
+  const RunResult run =
+      RunOnce("spmat", Algorithm::kBfs, nullptr, /*traced=*/false);
+  EXPECT_FALSE(run.metrics.trace.enabled);
+  EXPECT_EQ(run.metrics.trace.parallel_loops, 0u);
+  EXPECT_TRUE(run.archive.host_spans().empty());
+}
+
+// --- Chrome trace-event schema ----------------------------------------------
+
+/// Minimal trace-event scanner: splits the traceEvents array into event
+/// object substrings by brace matching (string-literal aware), then
+/// validates per-track nesting and timestamp monotonicity.
+std::vector<std::string> SplitEvents(const std::string& json) {
+  std::vector<std::string> events;
+  const std::size_t array_begin = json.find("\"traceEvents\":[");
+  if (array_begin == std::string::npos) return events;
+  int depth = 0;
+  bool in_string = false;
+  std::size_t event_begin = 0;
+  for (std::size_t i = array_begin; i < json.size(); ++i) {
+    const char c = json[i];
+    if (in_string) {
+      if (c == '\\') {
+        ++i;
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    if (c == '"') {
+      in_string = true;
+    } else if (c == '{') {
+      if (++depth == 1) event_begin = i;
+    } else if (c == '}') {
+      if (--depth == 0) {
+        events.push_back(json.substr(event_begin, i - event_begin + 1));
+      }
+    } else if (c == ']' && depth == 0) {
+      break;  // end of traceEvents
+    }
+  }
+  return events;
+}
+
+/// Extracts a scalar field ("key":value or "key":"value") as text.
+std::string FieldOf(const std::string& event, const std::string& key) {
+  const std::string needle = "\"" + key + "\":";
+  const std::size_t at = event.find(needle);
+  if (at == std::string::npos) return "";
+  std::size_t begin = at + needle.size();
+  if (begin < event.size() && event[begin] == '"') {
+    const std::size_t end = event.find('"', begin + 1);
+    return event.substr(begin + 1, end - begin - 1);
+  }
+  std::size_t end = begin;
+  while (end < event.size() && event[end] != ',' && event[end] != '}') ++end;
+  return event.substr(begin, end - begin);
+}
+
+TEST(ChromeTraceTest, ExportIsSchemaValid) {
+  const RunResult run =
+      RunOnce("spmat", Algorithm::kPageRank, nullptr, /*traced=*/true);
+  ASSERT_TRUE(run.archive.valid());
+  const std::string json = run.archive.ToChromeTrace("spmat/test/pr");
+  EXPECT_NE(json.find("\"displayTimeUnit\""), std::string::npos);
+
+  const std::vector<std::string> events = SplitEvents(json);
+  ASSERT_GT(events.size(), 0u);
+
+  // Per-(pid, tid) track state: B/E stack depth and last timestamp.
+  std::map<std::pair<std::string, std::string>, int> stack_depth;
+  std::map<std::pair<std::string, std::string>, double> last_ts;
+  std::map<std::pair<std::string, std::string>, std::vector<double>>
+      open_begin_ts;
+  int duration_events = 0;
+  int complete_events = 0;
+  int counter_events = 0;
+  for (const std::string& event : events) {
+    const std::string ph = FieldOf(event, "ph");
+    ASSERT_FALSE(ph.empty()) << event;
+    if (ph == "M") continue;  // metadata carries no timestamp
+    const std::string ts_text = FieldOf(event, "ts");
+    ASSERT_FALSE(ts_text.empty()) << event;
+    const double ts = std::stod(ts_text);
+    const auto track = std::make_pair(FieldOf(event, "pid"),
+                                      FieldOf(event, "tid"));
+    // Emission order is monotonic per track (DFS over the span tree; host
+    // chunks are flushed in step order per slot).
+    if (ph == "B" || ph == "E") {
+      auto seen = last_ts.find(track);
+      if (seen != last_ts.end()) {
+        EXPECT_GE(ts, seen->second) << event;
+      }
+      last_ts[track] = ts;
+    }
+    if (ph == "B") {
+      ++duration_events;
+      ++stack_depth[track];
+      open_begin_ts[track].push_back(ts);
+    } else if (ph == "E") {
+      ASSERT_GT(stack_depth[track], 0) << "E without B: " << event;
+      --stack_depth[track];
+      // A span ends at or after it began.
+      EXPECT_GE(ts, open_begin_ts[track].back()) << event;
+      open_begin_ts[track].pop_back();
+    } else if (ph == "X") {
+      ++complete_events;
+      const std::string dur = FieldOf(event, "dur");
+      ASSERT_FALSE(dur.empty()) << event;
+      EXPECT_GE(std::stod(dur), 0.0) << event;
+    } else if (ph == "C") {
+      ++counter_events;
+    }
+  }
+  // Every track's B/E events are balanced.
+  for (const auto& [track, depth] : stack_depth) {
+    EXPECT_EQ(depth, 0) << "unbalanced track pid=" << track.first
+                        << " tid=" << track.second;
+  }
+  EXPECT_GT(duration_events, 0);
+  // PageRank supersteps feed counter tracks (active, residual).
+  EXPECT_GT(counter_events, 0);
+  // The serial run still times chunks (slot 0 executes inline).
+  EXPECT_GT(complete_events, 0);
+}
+
+TEST(ChromeTraceTest, BuilderAggregatesMultipleJobs) {
+  const RunResult first =
+      RunOnce("spmat", Algorithm::kBfs, nullptr, /*traced=*/true);
+  const RunResult second =
+      RunOnce("bsplite", Algorithm::kBfs, nullptr, /*traced=*/true);
+  granula::ChromeTraceBuilder builder;
+  builder.AddJob(first.archive, "spmat/bfs");
+  builder.AddJob(second.archive, "bsplite/bfs");
+  const std::string json = builder.Finish();
+  EXPECT_NE(json.find("spmat/bfs"), std::string::npos);
+  EXPECT_NE(json.find("bsplite/bfs"), std::string::npos);
+  // Distinct jobs land on distinct pids.
+  EXPECT_NE(json.find("\"pid\":1"), std::string::npos);
+  EXPECT_NE(json.find("\"pid\":3"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ga::platform

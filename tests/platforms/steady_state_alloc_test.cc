@@ -18,6 +18,7 @@
 #include <string>
 
 #include "algo/params.h"
+#include "core/exec/alloc_stats.h"
 #include "core/graph.h"
 #include "datagen/graph500.h"
 #include "platforms/platform.h"
@@ -59,10 +60,18 @@ const Graph& TestGraph() {
   return graph;
 }
 
-/// Total operator-new count of one kernel run with `iterations`
-/// PR/CDLP iterations, single-threaded, raw data path.
-std::uint64_t AllocationsForRun(const std::string& platform_id,
-                                Algorithm algorithm, int iterations) {
+/// One kernel run's allocation audit: the interposed operator-new count
+/// plus the per-site data-path growth report (AllocSite attribution —
+/// which arena/pool grew and by how many bytes) for failure diagnosis.
+struct RunAudit {
+  std::uint64_t heap_allocations = 0;
+  std::string datapath_growth;
+};
+
+/// Audits one kernel run with `iterations` PR/CDLP iterations,
+/// single-threaded, raw data path.
+RunAudit AllocationsForRun(const std::string& platform_id,
+                           Algorithm algorithm, int iterations) {
   const Graph& graph = TestGraph();
   auto platform = CreatePlatform(platform_id);
   if (!platform.ok()) std::abort();
@@ -77,29 +86,32 @@ std::uint64_t AllocationsForRun(const std::string& platform_id,
   JobContext ctx(cluster, /*memory=*/nullptr, profile,
                  /*processing_op=*/nullptr, env);
 
+  const exec::AllocSnapshot sites_before = exec::TakeAllocSnapshot();
   const std::uint64_t before = g_allocations.load();
   auto output = platform.value()->ExecuteKernel(ctx, graph, algorithm,
                                                 params);
   const std::uint64_t after = g_allocations.load();
   if (!output.ok()) std::abort();
-  return after - before;
+  return {after - before,
+          exec::FormatAllocDelta(sites_before, exec::TakeAllocSnapshot())};
 }
 
 void ExpectZeroSteadyStateAllocations(const std::string& platform_id,
                                       Algorithm algorithm) {
   // 4 iterations warm every buffer past its high-water mark; the 4 extra
   // iterations of the second run must then allocate nothing.
-  const std::uint64_t short_run =
-      AllocationsForRun(platform_id, algorithm, 4);
-  const std::uint64_t long_run =
-      AllocationsForRun(platform_id, algorithm, 8);
+  const RunAudit short_run = AllocationsForRun(platform_id, algorithm, 4);
+  const RunAudit long_run = AllocationsForRun(platform_id, algorithm, 8);
   // Guard against a dead counter: warm-up (arena layout, outputs,
   // deployment) must be visible to the interposed operator new.
-  ASSERT_GT(short_run, 0u);
-  EXPECT_EQ(long_run, short_run)
+  ASSERT_GT(short_run.heap_allocations, 0u);
+  EXPECT_EQ(long_run.heap_allocations, short_run.heap_allocations)
       << platform_id << " allocated "
-      << (long_run - short_run) / 4.0
-      << " times per steady-state superstep";
+      << (long_run.heap_allocations - short_run.heap_allocations) / 4.0
+      << " times per steady-state superstep; data-path growth in the "
+      << "longer run: "
+      << (long_run.datapath_growth.empty() ? "none tracked"
+                                           : long_run.datapath_growth);
 }
 
 TEST(SteadyStateAllocTest, BspLitePageRank) {
@@ -155,9 +167,9 @@ Graph PathGraph(VertexIndex n, IdFn&& id) {
   return std::move(built).value();
 }
 
-std::uint64_t AllocationsForGraphRun(const Graph& graph,
-                                     const std::string& platform_id,
-                                     Algorithm algorithm, VertexId source) {
+RunAudit AllocationsForGraphRun(const Graph& graph,
+                                const std::string& platform_id,
+                                Algorithm algorithm, VertexId source) {
   auto platform = CreatePlatform(platform_id);
   if (!platform.ok()) std::abort();
   AlgorithmParams params;
@@ -168,12 +180,14 @@ std::uint64_t AllocationsForGraphRun(const Graph& graph,
   sysmodel::ClusterModel cluster(MakeClusterConfig(env, profile));
   JobContext ctx(cluster, /*memory=*/nullptr, profile,
                  /*processing_op=*/nullptr, env);
+  const exec::AllocSnapshot sites_before = exec::TakeAllocSnapshot();
   const std::uint64_t before = g_allocations.load();
   auto output =
       platform.value()->ExecuteKernel(ctx, graph, algorithm, params);
   const std::uint64_t after = g_allocations.load();
   if (!output.ok()) std::abort();
-  return after - before;
+  return {after - before,
+          exec::FormatAllocDelta(sites_before, exec::TakeAllocSnapshot())};
 }
 
 /// BFS from two interior roots of the same path: identical frontier
@@ -186,13 +200,16 @@ std::uint64_t AllocationsForGraphRun(const Graph& graph,
 void ExpectSuperstepInvariantBfsAllocations(const std::string& platform_id) {
   const VertexIndex n = 256;
   const Graph graph = PathGraph(n, [](VertexIndex v) { return v; });
-  const std::uint64_t short_run =
+  const RunAudit short_run =
       AllocationsForGraphRun(graph, platform_id, Algorithm::kBfs, n / 2);
-  const std::uint64_t long_run =
+  const RunAudit long_run =
       AllocationsForGraphRun(graph, platform_id, Algorithm::kBfs, n / 4);
-  ASSERT_GT(short_run, 0u);
-  EXPECT_EQ(long_run, short_run)
-      << platform_id << " BFS allocations scale with superstep count";
+  ASSERT_GT(short_run.heap_allocations, 0u);
+  EXPECT_EQ(long_run.heap_allocations, short_run.heap_allocations)
+      << platform_id << " BFS allocations scale with superstep count; "
+      << "data-path growth in the longer run: "
+      << (long_run.datapath_growth.empty() ? "none tracked"
+                                           : long_run.datapath_growth);
 }
 
 /// WCC on two labelings of the same path topology: the component minimum
@@ -206,13 +223,16 @@ void ExpectSuperstepInvariantWccAllocations(const std::string& platform_id) {
     const VertexIndex m = n / 2;
     return v >= m ? 2 * (v - m) : 2 * (m - v) - 1;
   });
-  const std::uint64_t long_run =
+  const RunAudit long_run =
       AllocationsForGraphRun(end_min, platform_id, Algorithm::kWcc, 0);
-  const std::uint64_t short_run =
+  const RunAudit short_run =
       AllocationsForGraphRun(middle_min, platform_id, Algorithm::kWcc, 0);
-  ASSERT_GT(short_run, 0u);
-  EXPECT_EQ(long_run, short_run)
-      << platform_id << " WCC allocations scale with superstep count";
+  ASSERT_GT(short_run.heap_allocations, 0u);
+  EXPECT_EQ(long_run.heap_allocations, short_run.heap_allocations)
+      << platform_id << " WCC allocations scale with superstep count; "
+      << "data-path growth in the longer run: "
+      << (long_run.datapath_growth.empty() ? "none tracked"
+                                           : long_run.datapath_growth);
 }
 
 TEST(SteadyStateAllocTest, PushPullBfsFrontier) {

@@ -37,6 +37,7 @@
 
 #include "core/exec/thread_pool.h"
 #include "core/strings.h"
+#include "granula/chrome_trace.h"
 #include "experiments/plan.h"
 #include "experiments/suite.h"
 #include "harness/report.h"
@@ -88,6 +89,11 @@ void PrintUsage(std::FILE* stream) {
       "                        from .gab snapshots instead of being\n"
       "                        regenerated (populated on first use)\n"
       "  --out FILE            write the results database as JSON\n"
+      "  --trace FILE          deep tracing: per-superstep spans +\n"
+      "                        exec-layer counters, exported as a Chrome\n"
+      "                        trace-event JSON (chrome://tracing /\n"
+      "                        Perfetto); outputs and simulated metrics\n"
+      "                        are unchanged (docs/OBSERVABILITY.md)\n"
       "\n"
       "suite options:\n"
       "  --plan NAME|FILE      preset (smoke, paper) or plan file\n"
@@ -98,6 +104,10 @@ void PrintUsage(std::FILE* stream) {
       "  --data-dir DIR        persistent dataset cache, as above\n"
       "  --out FILE            write experiments.json\n"
       "  --report FILE         also write the text report to FILE\n"
+      "  --trace FILE          deep tracing across the whole plan, one\n"
+      "                        process group per cell in the exported\n"
+      "                        Chrome trace; adds deterministic exec\n"
+      "                        counters to experiments.json\n"
       "\n"
       "common:\n"
       "  --help                show this help\n"
@@ -123,6 +133,22 @@ bool ParseJobs(const char* text, int* jobs) {
   return true;
 }
 
+/// Writes a complete document to `path` (used for the --trace export).
+bool WriteFileOrComplain(const std::string& path,
+                         const std::string& content) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot open %s for writing: %s\n", path.c_str(),
+                 std::strerror(errno));
+    return false;
+  }
+  const std::size_t written =
+      std::fwrite(content.data(), 1, content.size(), file);
+  const bool ok = written == content.size() && std::fclose(file) == 0;
+  if (!ok) std::fprintf(stderr, "short write to %s\n", path.c_str());
+  return ok;
+}
+
 int RunMode(const std::vector<std::string>& args) {
   std::vector<std::string> platforms = ga::platform::AllPlatformIds();
   std::vector<std::string> datasets = {"R1", "R2", "R3", "R4"};
@@ -133,6 +159,7 @@ int RunMode(const std::vector<std::string>& args) {
   int jobs = -1;  // -1: keep GA_JOBS / hardware default
   std::string out_path;
   std::string data_dir;
+  std::string trace_path;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -157,6 +184,8 @@ int RunMode(const std::vector<std::string>& args) {
       data_dir = next();
     } else if (arg == "--out") {
       out_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -171,6 +200,7 @@ int RunMode(const std::vector<std::string>& args) {
       ga::harness::BenchmarkConfig::FromEnv();
   if (jobs >= 0) config.host_jobs = jobs;
   if (!data_dir.empty()) config.data_dir = data_dir;
+  config.trace_enabled = !trace_path.empty();
   ga::harness::BenchmarkRunner runner(config);
   std::printf("host threads: %d\n",
               runner.host_pool() != nullptr
@@ -179,7 +209,12 @@ int RunMode(const std::vector<std::string>& args) {
   if (!config.data_dir.empty()) {
     std::printf("dataset cache: %s\n", config.data_dir.c_str());
   }
+  if (config.trace_enabled) {
+    std::printf("deep tracing enabled -> %s\n", trace_path.c_str());
+  }
   ga::harness::ResultsDatabase database(config);
+  ga::granula::ChromeTraceBuilder trace_builder;
+  std::size_t traced_jobs = 0;
 
   ga::harness::TextTable table(
       "benchmark run",
@@ -208,6 +243,11 @@ int RunMode(const std::vector<std::string>& args) {
           continue;
         }
         database.Record(*report);
+        if (report->archive != nullptr && report->archive->valid()) {
+          trace_builder.AddJob(*report->archive, platform + "/" + dataset +
+                                                     "/" + algorithm_name);
+          ++traced_jobs;
+        }
         table.AddRow(
             {platform, dataset, algorithm_name,
              std::string(ga::harness::JobOutcomeName(report->outcome)),
@@ -232,6 +272,11 @@ int RunMode(const std::vector<std::string>& args) {
     }
     std::printf("results database written to %s\n", out_path.c_str());
   }
+  if (!trace_path.empty()) {
+    if (!WriteFileOrComplain(trace_path, trace_builder.Finish())) return 1;
+    std::printf("chrome trace (%zu jobs) written to %s\n", traced_jobs,
+                trace_path.c_str());
+  }
   return 0;
 }
 
@@ -241,6 +286,7 @@ int SuiteMode(const std::vector<std::string>& args) {
   std::string out_path;
   std::string report_path;
   std::string data_dir;
+  std::string trace_path;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -257,6 +303,8 @@ int SuiteMode(const std::vector<std::string>& args) {
       out_path = next();
     } else if (arg == "--report") {
       report_path = next();
+    } else if (arg == "--trace") {
+      trace_path = next();
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -277,6 +325,7 @@ int SuiteMode(const std::vector<std::string>& args) {
       ga::harness::BenchmarkConfig::FromEnv();
   if (jobs >= 0) config.host_jobs = jobs;
   if (!data_dir.empty()) config.data_dir = data_dir;
+  config.trace_enabled = !trace_path.empty();
   ga::harness::BenchmarkRunner runner(config);
   std::printf("host threads: %d\n",
               runner.host_pool() != nullptr
@@ -284,6 +333,9 @@ int SuiteMode(const std::vector<std::string>& args) {
                   : 1);
   if (!config.data_dir.empty()) {
     std::printf("dataset cache: %s\n", config.data_dir.c_str());
+  }
+  if (config.trace_enabled) {
+    std::printf("deep tracing enabled -> %s\n", trace_path.c_str());
   }
 
   auto result = ga::experiments::RunSuite(runner, *plan);
@@ -310,6 +362,23 @@ int SuiteMode(const std::vector<std::string>& args) {
       return 1;
     }
     std::printf("report written to %s\n", report_path.c_str());
+  }
+  if (!trace_path.empty()) {
+    ga::granula::ChromeTraceBuilder trace_builder;
+    std::size_t traced_jobs = 0;
+    for (std::size_t i = 0; i < result->reports.size(); ++i) {
+      const ga::harness::JobReport& report = result->reports[i];
+      if (report.archive == nullptr || !report.archive->valid()) continue;
+      trace_builder.AddJob(*report.archive,
+                           i < result->schedule.jobs.size()
+                               ? result->schedule.jobs[i].cell_id
+                               : report.spec.platform_id + "/" +
+                                     report.spec.dataset_id);
+      ++traced_jobs;
+    }
+    if (!WriteFileOrComplain(trace_path, trace_builder.Finish())) return 1;
+    std::printf("chrome trace (%zu jobs) written to %s\n", traced_jobs,
+                trace_path.c_str());
   }
   return 0;
 }
