@@ -42,26 +42,6 @@ double MedianWallSeconds(const std::function<void()>& body, int repeats) {
   return samples[samples.size() / 2];
 }
 
-template <typename T>
-bool SpanBytesEqual(std::span<const T> a, std::span<const T> b) {
-  if (a.size() != b.size()) return false;
-  if (a.empty()) return true;  // empty spans may carry null data()
-  return std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
-}
-
-bool GraphsBitIdentical(const ga::Graph& a, const ga::Graph& b) {
-  return a.directedness() == b.directedness() &&
-         a.is_weighted() == b.is_weighted() &&
-         SpanBytesEqual(a.external_ids(), b.external_ids()) &&
-         SpanBytesEqual(a.edges(), b.edges()) &&
-         SpanBytesEqual(a.out_offsets(), b.out_offsets()) &&
-         SpanBytesEqual(a.out_targets(), b.out_targets()) &&
-         SpanBytesEqual(a.out_weights(), b.out_weights()) &&
-         SpanBytesEqual(a.in_offsets(), b.in_offsets()) &&
-         SpanBytesEqual(a.in_sources(), b.in_sources()) &&
-         SpanBytesEqual(a.in_weights(), b.in_weights());
-}
-
 struct DatasetRow {
   std::string id;
   std::int64_t vertices = 0;

@@ -31,6 +31,7 @@ enum class AllocSite : int {
   kScratchFlags,      // ScratchPool per-slot flag arrays
   kLabelCounter,      // LabelCounter open-addressing table
   kFrontier,          // Frontier sparse queues / bitsets
+  kMutate,            // ga::mutate incremental-algorithm state buffers
   kOther,             // unattributed legacy call sites
   kCount,
 };
@@ -47,6 +48,8 @@ inline std::string_view AllocSiteName(AllocSite site) {
       return "LabelCounter";
     case AllocSite::kFrontier:
       return "Frontier";
+    case AllocSite::kMutate:
+      return "Mutate";
     case AllocSite::kOther:
     case AllocSite::kCount:
       break;

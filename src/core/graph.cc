@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <utility>
 
 namespace ga {
@@ -74,6 +75,91 @@ void Graph::BindOwnedViews() {
                               : out_weights_view_;
 }
 
+void Graph::MaterialiseAdjacency(exec::ExecContext& ctx) {
+  const bool undirected = !is_directed();
+  const VertexIndex n = static_cast<VertexIndex>(external_ids_.size());
+  const std::int64_t num_edges = static_cast<std::int64_t>(edges_.size());
+  std::vector<AdjacencyEntry> out_entries(
+      static_cast<std::size_t>(num_edges) * (undirected ? 2 : 1));
+  exec::parallel_for(ctx, 0, num_edges, [&](const exec::Slice& slice) {
+    for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+      const Edge& edge = edges_[e];
+      if (undirected) {
+        out_entries[2 * e] = {edge.source, edge.target, edge.weight};
+        out_entries[2 * e + 1] = {edge.target, edge.source, edge.weight};
+      } else {
+        out_entries[e] = {edge.source, edge.target, edge.weight};
+      }
+    }
+  });
+  exec::parallel_sort(ctx, &out_entries, kByKeyThenOther);
+  BuildCsr(ctx, out_entries, n, weighted_, &out_offsets_, &out_targets_,
+           &out_weights_);
+  max_out_degree_ = MaxDegree(out_offsets_);
+
+  if (!undirected) {
+    std::vector<AdjacencyEntry> in_entries(
+        static_cast<std::size_t>(num_edges));
+    exec::parallel_for(ctx, 0, num_edges, [&](const exec::Slice& slice) {
+      for (std::int64_t e = slice.begin; e < slice.end; ++e) {
+        const Edge& edge = edges_[e];
+        in_entries[e] = {edge.target, edge.source, edge.weight};
+      }
+    });
+    exec::parallel_sort(ctx, &in_entries, kByKeyThenOther);
+    BuildCsr(ctx, in_entries, n, weighted_, &in_offsets_, &in_sources_,
+             &in_weights_);
+    max_in_degree_ = MaxDegree(in_offsets_);
+  } else {
+    max_in_degree_ = max_out_degree_;
+  }
+
+  BindOwnedViews();
+}
+
+Result<Graph> Graph::FromCanonical(std::vector<VertexId> external_ids,
+                                   std::vector<Edge> edges,
+                                   Directedness directedness, bool weighted,
+                                   exec::ThreadPool* pool) {
+  const VertexIndex n = static_cast<VertexIndex>(external_ids.size());
+  for (VertexIndex v = 0; v + 1 < n; ++v) {
+    if (external_ids[v] >= external_ids[v + 1]) {
+      return Status::InvalidArgument(
+          "FromCanonical: external ids not strictly ascending");
+    }
+  }
+  const bool undirected = directedness == Directedness::kUndirected;
+  for (std::size_t e = 0; e < edges.size(); ++e) {
+    const Edge& edge = edges[e];
+    if (edge.source < 0 || edge.source >= n || edge.target < 0 ||
+        edge.target >= n) {
+      return Status::InvalidArgument(
+          "FromCanonical: edge endpoint out of range");
+    }
+    if (edge.source == edge.target) {
+      return Status::InvalidArgument("FromCanonical: self-loop");
+    }
+    if (undirected && edge.source > edge.target) {
+      return Status::InvalidArgument(
+          "FromCanonical: undirected edge not oriented low->high");
+    }
+    if (e > 0 && !(edges[e - 1].source < edge.source ||
+                   (edges[e - 1].source == edge.source &&
+                    edges[e - 1].target < edge.target))) {
+      return Status::InvalidArgument(
+          "FromCanonical: edge array not strictly sorted");
+    }
+  }
+  exec::ExecContext ctx(pool);
+  Graph graph;
+  graph.directedness_ = directedness;
+  graph.weighted_ = weighted;
+  graph.external_ids_ = std::move(external_ids);
+  graph.edges_ = std::move(edges);
+  graph.MaterialiseAdjacency(ctx);
+  return graph;
+}
+
 Graph Graph::FromParts(const GraphParts& parts,
                        std::shared_ptr<const void> backing) {
   Graph graph;
@@ -113,7 +199,6 @@ Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
   // IndexOf below reads through the view; bind it now (the remaining
   // views are bound once every array is final).
   graph.external_ids_view_ = graph.external_ids_;
-  const VertexIndex n = graph.num_vertices();
 
   // 2. Canonicalise edges: remap ids, orient undirected edges low->high,
   //    drop or reject self-loops, sort, dedupe. The remap runs
@@ -181,46 +266,36 @@ Result<Graph> GraphBuilder::Build(exec::ThreadPool* pool) && {
   graph.edges_ = std::move(edges);
 
   // 3. Materialise adjacency: indexed parallel writes into a presized
-  //    entry array, parallel sort, parallel CSR scatter.
-  const std::int64_t num_edges =
-      static_cast<std::int64_t>(graph.edges_.size());
-  std::vector<AdjacencyEntry> out_entries(
-      static_cast<std::size_t>(num_edges) * (undirected ? 2 : 1));
-  exec::parallel_for(ctx, 0, num_edges, [&](const exec::Slice& slice) {
-    for (std::int64_t e = slice.begin; e < slice.end; ++e) {
-      const Edge& edge = graph.edges_[e];
-      if (undirected) {
-        out_entries[2 * e] = {edge.source, edge.target, edge.weight};
-        out_entries[2 * e + 1] = {edge.target, edge.source, edge.weight};
-      } else {
-        out_entries[e] = {edge.source, edge.target, edge.weight};
-      }
-    }
-  });
-  exec::parallel_sort(ctx, &out_entries, kByKeyThenOther);
-  BuildCsr(ctx, out_entries, n, weighted_, &graph.out_offsets_,
-           &graph.out_targets_, &graph.out_weights_);
-  graph.max_out_degree_ = MaxDegree(graph.out_offsets_);
-
-  if (!undirected) {
-    std::vector<AdjacencyEntry> in_entries(
-        static_cast<std::size_t>(num_edges));
-    exec::parallel_for(ctx, 0, num_edges, [&](const exec::Slice& slice) {
-      for (std::int64_t e = slice.begin; e < slice.end; ++e) {
-        const Edge& edge = graph.edges_[e];
-        in_entries[e] = {edge.target, edge.source, edge.weight};
-      }
-    });
-    exec::parallel_sort(ctx, &in_entries, kByKeyThenOther);
-    BuildCsr(ctx, in_entries, n, weighted_, &graph.in_offsets_,
-             &graph.in_sources_, &graph.in_weights_);
-    graph.max_in_degree_ = MaxDegree(graph.in_offsets_);
-  } else {
-    graph.max_in_degree_ = graph.max_out_degree_;
-  }
-
-  graph.BindOwnedViews();
+  //    entry array, parallel sort, parallel CSR scatter (shared with
+  //    FromCanonical).
+  graph.MaterialiseAdjacency(ctx);
   return graph;
+}
+
+namespace {
+
+template <typename T>
+bool SpanBytesEqual(std::span<const T> a, std::span<const T> b) {
+  if (a.size() != b.size()) return false;
+  if (a.empty()) return true;
+  return std::memcmp(a.data(), b.data(), a.size_bytes()) == 0;
+}
+
+}  // namespace
+
+bool GraphsBitIdentical(const Graph& a, const Graph& b) {
+  return a.directedness() == b.directedness() &&
+         a.is_weighted() == b.is_weighted() &&
+         a.max_out_degree() == b.max_out_degree() &&
+         a.max_in_degree() == b.max_in_degree() &&
+         SpanBytesEqual(a.external_ids(), b.external_ids()) &&
+         SpanBytesEqual(a.edges(), b.edges()) &&
+         SpanBytesEqual(a.out_offsets(), b.out_offsets()) &&
+         SpanBytesEqual(a.out_targets(), b.out_targets()) &&
+         SpanBytesEqual(a.out_weights(), b.out_weights()) &&
+         SpanBytesEqual(a.in_offsets(), b.in_offsets()) &&
+         SpanBytesEqual(a.in_sources(), b.in_sources()) &&
+         SpanBytesEqual(a.in_weights(), b.in_weights());
 }
 
 double GraphScale(std::int64_t num_vertices, std::int64_t num_edges) {

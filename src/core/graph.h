@@ -80,6 +80,21 @@ class Graph {
   static Graph FromParts(const GraphParts& parts,
                          std::shared_ptr<const void> backing);
 
+  /// Builds a graph from inputs that are ALREADY canonical: `external_ids`
+  /// strictly ascending, `edges` in internal-index space, strictly sorted
+  /// by (source, target), self-loop free, and (for undirected graphs)
+  /// oriented source <= target. Used by ga::mutate, whose epoch apply
+  /// produces canonical arrays directly — the id collection, remap, sort
+  /// and dedupe of GraphBuilder::Build would be wasted work there. The
+  /// inputs are validated (O(n + m) scans) and the adjacency arrays are
+  /// materialised through the same deterministic exec machinery as Build,
+  /// so the result is bit-identical at any host thread count — and
+  /// bit-identical to a GraphBuilder::Build over the same logical graph.
+  static Result<Graph> FromCanonical(std::vector<VertexId> external_ids,
+                                     std::vector<Edge> edges,
+                                     Directedness directedness, bool weighted,
+                                     exec::ThreadPool* pool = nullptr);
+
   /// Whether the arrays live in externally owned (snapshot) storage
   /// rather than owned vectors.
   bool is_storage_backed() const { return backing_ != nullptr; }
@@ -178,6 +193,12 @@ class Graph {
   /// undirected graphs, mirroring the old accessor branches).
   void BindOwnedViews();
 
+  /// Materialises out-CSR (and in-CSC for directed graphs) plus max
+  /// degrees from the graph's canonical edge array, then binds the owned
+  /// views. Shared by GraphBuilder::Build and FromCanonical; requires
+  /// directedness_, weighted_, external_ids_ and edges_ to be final.
+  void MaterialiseAdjacency(exec::ExecContext& ctx);
+
   Directedness directedness_ = Directedness::kDirected;
   bool weighted_ = false;
 
@@ -265,6 +286,12 @@ class GraphBuilder {
 /// Graphalytics graph scale: log10(|V| + |E|) rounded to one decimal
 /// (Section 2.2.4).
 double GraphScale(std::int64_t num_vertices, std::int64_t num_edges);
+
+/// Whether two graphs are byte-identical: same flags and the same bytes in
+/// every materialised array (ids, canonical edges, CSR/CSC, weights).
+/// This is the equality the determinism and snapshot-chain contracts are
+/// stated in — stronger than isomorphism or output equivalence.
+bool GraphsBitIdentical(const Graph& a, const Graph& b);
 
 }  // namespace ga
 

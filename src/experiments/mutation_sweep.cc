@@ -1,0 +1,309 @@
+#include "experiments/mutation_sweep.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "algo/reference.h"
+#include "core/graph.h"
+#include "core/json_writer.h"
+#include "core/rng.h"
+
+namespace ga::experiments {
+
+namespace {
+
+double Seconds(std::chrono::steady_clock::time_point begin,
+               std::chrono::steady_clock::time_point end) {
+  return std::chrono::duration<double>(end - begin).count();
+}
+
+bool DoublesBitEqual(const std::vector<double>& a,
+                     const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+bool IntsBitEqual(const std::vector<std::int64_t>& a,
+                  const std::vector<std::int64_t>& b) {
+  return a.size() == b.size() &&
+         (a.empty() || std::memcmp(a.data(), b.data(),
+                                   a.size() * sizeof(std::int64_t)) == 0);
+}
+
+// "rings:<count>x<size>" — `count` disjoint cycles of `size` vertices
+// each, unweighted and undirected. Mutations stay inside the cycle (or
+// pair of cycles) they touch: PageRank's dirty wave advances two hops
+// per iteration instead of engulfing the graph, and a delete's affected
+// component is one ring, not a scale-free giant. This is the locality
+// regime streaming systems are built for; the registry's power-law
+// datasets are the adversarial one (both appear in BENCH_PR7.json).
+Result<Graph> BuildRingLattice(const std::string& id,
+                               exec::ThreadPool* pool) {
+  long long count = 0;
+  long long size = 0;
+  if (std::sscanf(id.c_str(), "rings:%lldx%lld", &count, &size) != 2 ||
+      count < 1 || size < 3) {
+    return Status::InvalidArgument(
+        "synthetic dataset id must be rings:<count>x<size> with count >= 1 "
+        "and size >= 3, got '" + id + "'");
+  }
+  GraphBuilder builder(Directedness::kUndirected, /*weighted=*/false);
+  for (long long ring = 0; ring < count; ++ring) {
+    const long long base = ring * size;
+    for (long long i = 0; i < size; ++i) {
+      builder.AddEdge(static_cast<VertexId>(base + i),
+                      static_cast<VertexId>(base + (i + 1) % size));
+      // Second-neighbour chord: doubles |E| without shrinking the
+      // diameter below size/4, so full recomputes pay O(n + 2n) per
+      // sweep while the incremental engines stay O(n + dirty).
+      if (size >= 5) {
+        builder.AddEdge(static_cast<VertexId>(base + i),
+                        static_cast<VertexId>(base + (i + 2) % size));
+      }
+    }
+  }
+  return std::move(builder).Build(pool);
+}
+
+}  // namespace
+
+Result<MutationSweepResult> RunMutationSweep(
+    const MutationSweepConfig& config, harness::DatasetRegistry& registry,
+    exec::ThreadPool* pool) {
+  if (config.epochs <= 0) {
+    return Status::InvalidArgument("mutation sweep needs epochs > 0");
+  }
+  if (config.insert_fraction < 0.0 || config.insert_fraction > 1.0) {
+    return Status::InvalidArgument("insert_fraction must be in [0, 1]");
+  }
+  MutationSweepResult result;
+  result.config = config;
+  Graph synthetic;
+  const Graph* start = nullptr;
+  if (config.dataset_id.rfind("rings:", 0) == 0) {
+    GA_ASSIGN_OR_RETURN(synthetic, BuildRingLattice(config.dataset_id, pool));
+    start = &synthetic;
+    result.dataset_name = "synthetic disjoint ring lattice";
+  } else {
+    GA_ASSIGN_OR_RETURN(harness::DatasetSpec spec,
+                        registry.Find(config.dataset_id));
+    GA_ASSIGN_OR_RETURN(start, registry.Load(config.dataset_id));
+    result.dataset_name = spec.name;
+  }
+  result.start_vertices = start->num_vertices();
+  result.start_edges = start->num_edges();
+
+  using Clock = std::chrono::steady_clock;
+  for (std::size_t rate_index = 0; rate_index < config.update_rates.size();
+       ++rate_index) {
+    const double rate = config.update_rates[rate_index];
+    // Each rate evolves its own chain from the pristine dataset, with its
+    // own deterministic delta stream.
+    SplitMix64 rng(config.seed ^ Mix64(rate_index + 1));
+
+    mutate::IncrementalPageRank inc_pagerank(config.pagerank_iterations,
+                                             config.damping_factor);
+    mutate::IncrementalWcc inc_wcc;
+    GA_RETURN_IF_ERROR(inc_pagerank.Initialize(*start, pool));
+    GA_RETURN_IF_ERROR(inc_wcc.Initialize(*start, pool));
+
+    const std::int64_t batch_size = std::max<std::int64_t>(
+        1, static_cast<std::int64_t>(
+               rate * static_cast<double>(start->num_edges()) + 0.5));
+    mutate::RandomBatchSpec batch_spec;
+    batch_spec.inserts = static_cast<std::int64_t>(
+        static_cast<double>(batch_size) * config.insert_fraction + 0.5);
+    batch_spec.deletes = batch_size - batch_spec.inserts;
+
+    const Graph* current = start;
+    mutate::MutationResult chain_head;  // keeps the latest child alive
+    mutate::EpochStats last_pr_stats;
+    mutate::EpochStats last_wcc_stats;
+    for (int epoch = 1; epoch <= config.epochs; ++epoch) {
+      const mutate::DeltaBatch batch =
+          mutate::RandomDeltaBatch(*current, batch_spec, rng);
+
+      MutationEpochRow row;
+      row.update_rate = rate;
+      row.epoch = epoch;
+      row.batch_ops = static_cast<std::int64_t>(batch.ops.size());
+
+      auto t0 = Clock::now();
+      auto applied = mutate::ApplyDeltas(*current, batch, pool);
+      auto t1 = Clock::now();
+      if (!applied.ok()) return applied.status();
+      row.apply_seconds = Seconds(t0, t1);
+      row.applied_inserts =
+          static_cast<std::int64_t>(applied->applied_inserts.size());
+      row.applied_deletes =
+          static_cast<std::int64_t>(applied->applied_deletes.size());
+
+      t0 = Clock::now();
+      GA_RETURN_IF_ERROR(inc_pagerank.Update(*applied, pool));
+      t1 = Clock::now();
+      row.inc_pagerank_seconds = Seconds(t0, t1);
+      row.pagerank_dirty_recomputes =
+          inc_pagerank.stats().dirty_recomputes -
+          last_pr_stats.dirty_recomputes;
+      row.pagerank_full_sweeps =
+          inc_pagerank.stats().full_sweep_iterations -
+          last_pr_stats.full_sweep_iterations;
+      last_pr_stats = inc_pagerank.stats();
+
+      t0 = Clock::now();
+      GA_RETURN_IF_ERROR(inc_wcc.Update(*applied, pool));
+      t1 = Clock::now();
+      row.inc_wcc_seconds = Seconds(t0, t1);
+      row.wcc_affected_vertices = inc_wcc.stats().affected_vertices -
+                                  last_wcc_stats.affected_vertices;
+      last_wcc_stats = inc_wcc.stats();
+
+      t0 = Clock::now();
+      auto full_pagerank = reference::PageRank(
+          applied->graph, config.pagerank_iterations,
+          config.damping_factor, pool);
+      t1 = Clock::now();
+      if (!full_pagerank.ok()) return full_pagerank.status();
+      row.full_pagerank_seconds = Seconds(t0, t1);
+
+      t0 = Clock::now();
+      auto full_wcc = reference::Wcc(applied->graph, pool);
+      t1 = Clock::now();
+      if (!full_wcc.ok()) return full_wcc.status();
+      row.full_wcc_seconds = Seconds(t0, t1);
+
+      if (config.verify) {
+        row.pagerank_verified =
+            DoublesBitEqual(inc_pagerank.output().double_values,
+                            full_pagerank->double_values);
+        row.wcc_verified =
+            IntsBitEqual(inc_wcc.output().int_values,
+                         full_wcc->int_values);
+        if (!row.pagerank_verified || !row.wcc_verified) {
+          result.all_verified = false;
+          result.rows.push_back(row);
+          return Status::FailedPrecondition(
+              "incremental/" +
+              std::string(!row.pagerank_verified ? "PageRank" : "WCC") +
+              " diverged from the recompute oracle at rate " +
+              std::to_string(rate) + ", epoch " + std::to_string(epoch));
+        }
+      }
+      result.rows.push_back(row);
+
+      chain_head = std::move(*applied);
+      current = &chain_head.graph;
+    }
+  }
+  return result;
+}
+
+std::string RenderMutationReport(const MutationSweepResult& result) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "Mutation sweep: %s (%s), start |V|=%lld |E|=%lld\n",
+                result.config.dataset_id.c_str(),
+                result.dataset_name.c_str(),
+                static_cast<long long>(result.start_vertices),
+                static_cast<long long>(result.start_edges));
+  out += line;
+  double prev_rate = -1.0;
+  for (const MutationEpochRow& row : result.rows) {
+    if (row.update_rate != prev_rate) {
+      prev_rate = row.update_rate;
+      std::snprintf(line, sizeof(line),
+                    "\nupdate rate %.4f (%lld ops/epoch)\n"
+                    "%-6s %9s %9s %11s %11s %9s %9s %8s %6s\n",
+                    row.update_rate,
+                    static_cast<long long>(row.batch_ops), "epoch",
+                    "apply_ms", "incPR_ms", "fullPR_ms", "incWCC_ms",
+                    "fullWCC_ms", "dirtyPR", "affWCC", "ok");
+      out += line;
+    }
+    std::snprintf(
+        line, sizeof(line),
+        "%-6d %9.2f %9.2f %11.2f %11.2f %9.2f %9lld %8lld %6s\n",
+        row.epoch, row.apply_seconds * 1e3, row.inc_pagerank_seconds * 1e3,
+        row.full_pagerank_seconds * 1e3, row.inc_wcc_seconds * 1e3,
+        row.full_wcc_seconds * 1e3,
+        static_cast<long long>(row.pagerank_dirty_recomputes),
+        static_cast<long long>(row.wcc_affected_vertices),
+        result.config.verify
+            ? (row.pagerank_verified && row.wcc_verified ? "yes" : "NO")
+            : "-");
+    out += line;
+  }
+  double inc_pr = 0, full_pr = 0, inc_wcc = 0, full_wcc = 0;
+  for (const MutationEpochRow& row : result.rows) {
+    inc_pr += row.inc_pagerank_seconds;
+    full_pr += row.full_pagerank_seconds;
+    inc_wcc += row.inc_wcc_seconds;
+    full_wcc += row.full_wcc_seconds;
+  }
+  std::snprintf(line, sizeof(line),
+                "\naggregate speedup: PageRank %.2fx, WCC %.2fx\n",
+                inc_pr > 0 ? full_pr / inc_pr : 0.0,
+                inc_wcc > 0 ? full_wcc / inc_wcc : 0.0);
+  out += line;
+  return out;
+}
+
+std::string MutationSweepToJson(const MutationSweepResult& result) {
+  JsonWriter json;
+  json.BeginObject();
+  json.Key("config").BeginObject();
+  json.Field("dataset", result.config.dataset_id);
+  json.Field("epochs", result.config.epochs);
+  json.Field("insert_fraction", result.config.insert_fraction);
+  json.Field("pagerank_iterations", result.config.pagerank_iterations);
+  json.Field("damping_factor", result.config.damping_factor);
+  json.Field("seed", static_cast<std::uint64_t>(result.config.seed));
+  json.Field("verify", result.config.verify);
+  json.Key("update_rates").BeginArray();
+  for (double rate : result.config.update_rates) json.Value(rate);
+  json.EndArray();
+  json.EndObject();
+  json.Field("dataset_name", result.dataset_name);
+  json.Field("start_vertices",
+             static_cast<std::int64_t>(result.start_vertices));
+  json.Field("start_edges", static_cast<std::int64_t>(result.start_edges));
+  json.Field("all_verified", result.all_verified);
+
+  double inc_pr = 0, full_pr = 0, inc_wcc = 0, full_wcc = 0;
+  json.Key("rows").BeginArray();
+  for (const MutationEpochRow& row : result.rows) {
+    inc_pr += row.inc_pagerank_seconds;
+    full_pr += row.full_pagerank_seconds;
+    inc_wcc += row.inc_wcc_seconds;
+    full_wcc += row.full_wcc_seconds;
+    json.BeginObject();
+    json.Field("update_rate", row.update_rate);
+    json.Field("epoch", row.epoch);
+    json.Field("batch_ops", row.batch_ops);
+    json.Field("applied_inserts", row.applied_inserts);
+    json.Field("applied_deletes", row.applied_deletes);
+    json.Field("apply_seconds", row.apply_seconds);
+    json.Field("inc_pagerank_seconds", row.inc_pagerank_seconds);
+    json.Field("full_pagerank_seconds", row.full_pagerank_seconds);
+    json.Field("inc_wcc_seconds", row.inc_wcc_seconds);
+    json.Field("full_wcc_seconds", row.full_wcc_seconds);
+    json.Field("pagerank_dirty_recomputes", row.pagerank_dirty_recomputes);
+    json.Field("pagerank_full_sweeps", row.pagerank_full_sweeps);
+    json.Field("wcc_affected_vertices", row.wcc_affected_vertices);
+    json.Field("pagerank_verified", row.pagerank_verified);
+    json.Field("wcc_verified", row.wcc_verified);
+    json.EndObject();
+  }
+  json.EndArray();
+  json.Key("aggregate").BeginObject();
+  json.Field("pagerank_speedup", inc_pr > 0 ? full_pr / inc_pr : 0.0);
+  json.Field("wcc_speedup", inc_wcc > 0 ? full_wcc / inc_wcc : 0.0);
+  json.EndObject();
+  json.EndObject();
+  return json.str();
+}
+
+}  // namespace ga::experiments

@@ -1,0 +1,93 @@
+// Update-rate sweep over streaming mutation epochs (the ga::mutate
+// experiment preset): for each update rate, evolve a dataset through a
+// chain of random delta epochs and race the incremental PageRank/WCC
+// engines against full recomputes, verifying byte-identity at every
+// epoch. Emits one row per (rate, epoch) — the per-epoch latencies the
+// streaming-graphalytics follow-up literature reports — as a text table
+// and a JSON artifact (BENCH_PR7-style).
+//
+// Determinism: batches come from SplitMix64 streams derived from the
+// config seed, application and both engines are bit-identical at any
+// --jobs value, so everything here except the wall-clock columns is
+// reproducible byte-for-byte.
+#ifndef GRAPHALYTICS_EXPERIMENTS_MUTATION_SWEEP_H_
+#define GRAPHALYTICS_EXPERIMENTS_MUTATION_SWEEP_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/status.h"
+#include "harness/dataset_registry.h"
+#include "mutate/incremental.h"
+
+namespace ga::experiments {
+
+struct MutationSweepConfig {
+  /// Dataset to evolve: a registry id, or the synthetic high-locality
+  /// form "rings:<count>x<size>" — `count` disjoint cycles of `size`
+  /// vertices each. Default G22 (undirected): its dangling set is
+  /// rank-stable under edge churn so the engines never fall back, but
+  /// its tiny diameter lets the dirty wave engulf the graph — the
+  /// regime where byte-identical incrementality cannot beat recompute.
+  /// The rings form is the opposite regime: perturbations stay inside
+  /// one cycle, so incremental epochs win outright (BENCH_PR7.json
+  /// records both).
+  std::string dataset_id = "G22";
+  /// Batch size per epoch = rate * |E|, split between inserts/deletes.
+  std::vector<double> update_rates = {0.001, 0.01, 0.05};
+  int epochs = 6;
+  /// Fraction of each batch that is inserts (rest are deletes).
+  double insert_fraction = 0.5;
+  int pagerank_iterations = 20;
+  double damping_factor = 0.85;
+  std::uint64_t seed = 42;
+  /// Byte-compare each incremental output against the full recompute
+  /// (the oracle). Off only for pure timing runs.
+  bool verify = true;
+};
+
+/// One (update rate, epoch) cell.
+struct MutationEpochRow {
+  double update_rate = 0.0;
+  int epoch = 0;  // 1-based
+  std::int64_t batch_ops = 0;
+  std::int64_t applied_inserts = 0;
+  std::int64_t applied_deletes = 0;
+  double apply_seconds = 0.0;
+  double inc_pagerank_seconds = 0.0;
+  double full_pagerank_seconds = 0.0;
+  double inc_wcc_seconds = 0.0;
+  double full_wcc_seconds = 0.0;
+  std::int64_t pagerank_dirty_recomputes = 0;
+  std::int64_t pagerank_full_sweeps = 0;  // fallback iterations this epoch
+  std::int64_t wcc_affected_vertices = 0;
+  bool pagerank_verified = false;
+  bool wcc_verified = false;
+};
+
+struct MutationSweepResult {
+  MutationSweepConfig config;
+  std::string dataset_name;
+  VertexIndex start_vertices = 0;
+  EdgeIndex start_edges = 0;
+  std::vector<MutationEpochRow> rows;
+  /// True iff every verified row byte-matched its oracle.
+  bool all_verified = true;
+};
+
+/// Runs the sweep. FailedPrecondition when verification is on and any
+/// epoch's incremental output diverges from the recompute oracle.
+Result<MutationSweepResult> RunMutationSweep(
+    const MutationSweepConfig& config, harness::DatasetRegistry& registry,
+    exec::ThreadPool* pool = nullptr);
+
+/// Text table, one section per update rate.
+std::string RenderMutationReport(const MutationSweepResult& result);
+
+/// JSON artifact (config + rows + aggregate speedups).
+std::string MutationSweepToJson(const MutationSweepResult& result);
+
+}  // namespace ga::experiments
+
+#endif  // GRAPHALYTICS_EXPERIMENTS_MUTATION_SWEEP_H_

@@ -1,0 +1,145 @@
+// ga::mutate — batched streaming mutation of immutable graphs.
+//
+// The paper benchmarks static snapshots; the follow-up literature (and
+// ROADMAP) treats update streams as first-class. This layer keeps the
+// repo's immutability and determinism contracts intact by making
+// mutation EPOCHAL: a DeltaBatch of edge insert/delete (and vertex add)
+// operations is applied in one step to a parent Graph, producing a brand
+// new child Graph plus a MutationResult describing exactly what changed —
+// in the child's index space, canonically ordered. Algorithms never see a
+// half-applied graph, and the child is bit-identical at any --jobs value
+// (the apply is a serial O(m + d log d) canonical merge; the CSR
+// materialisation reuses Graph::FromCanonical's exec machinery).
+//
+// Batch semantics (DESIGN.md §12):
+//   * operations apply in batch order; the LAST operation on a logical
+//     edge wins (insert;delete == net no-op);
+//   * inserting an edge that already exists updates its weight (an
+//     upsert, counted in stats.redundant_inserts). Upsert — not
+//     keep-existing — is what makes application CHUNKING-INVARIANT:
+//     replaying one big batch or the same ops split across epochs ends
+//     on the same weight (the stream's last), bit for bit;
+//   * deleting an absent edge is a recorded no-op (stats.missing_deletes);
+//   * undirected edges are canonicalised (low, high) before matching, so
+//     delete b->a removes the undirected edge a-b;
+//   * self-loops are rejected (InvalidArgument), mirroring the
+//     Graphalytics data model;
+//   * kAddVertex and insert endpoints may mint new vertices; deletes
+//     never remove vertices — a vertex whose last edge is deleted stays,
+//     isolated (so n is monotone along a chain and old_to_new is a
+//     strictly increasing remap).
+#ifndef GRAPHALYTICS_MUTATE_DELTA_H_
+#define GRAPHALYTICS_MUTATE_DELTA_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/rng.h"
+#include "core/status.h"
+#include "core/types.h"
+
+namespace ga::mutate {
+
+enum class DeltaOp : std::uint32_t {
+  kInsertEdge = 1,
+  kDeleteEdge = 2,
+  kAddVertex = 3,  // target/weight ignored
+};
+
+std::string_view DeltaOpName(DeltaOp op);
+
+/// One mutation operation, in EXTERNAL id space (the ids datasets and
+/// update streams speak). The layout is fixed — 32 trivially copyable
+/// bytes — because ga::store serialises these records verbatim into the
+/// kDeltaOps section of chained snapshots.
+struct EdgeDelta {
+  DeltaOp op = DeltaOp::kInsertEdge;
+  std::uint32_t reserved = 0;  // zero on the wire
+  VertexId source = 0;
+  VertexId target = 0;
+  Weight weight = 1.0;
+};
+static_assert(sizeof(EdgeDelta) == 32, "EdgeDelta is a wire format");
+
+/// One epoch's worth of operations, applied atomically.
+struct DeltaBatch {
+  std::vector<EdgeDelta> ops;
+};
+
+struct MutationStats {
+  std::int64_t inserted_edges = 0;    // net edges added
+  std::int64_t deleted_edges = 0;     // net edges removed
+  std::int64_t redundant_inserts = 0; // edge already present (weight upsert)
+  std::int64_t missing_deletes = 0;   // edge (or an endpoint) absent
+  std::int64_t added_vertices = 0;    // new external ids minted
+};
+
+/// The child graph plus the exact structural difference from the parent,
+/// expressed in the CHILD's internal index space — which is what the
+/// incremental algorithms consume.
+struct MutationResult {
+  Graph graph;
+  MutationStats stats;
+  /// True iff new vertices were minted (n grew). The remap below is the
+  /// identity when false.
+  bool vertex_set_changed = false;
+  /// parent index -> child index; strictly increasing (external ids stay
+  /// sorted and are never removed). Size = parent n.
+  std::vector<VertexIndex> old_to_new;
+  /// Net inserted/deleted edges in child-index space, canonical order.
+  /// applied_deletes carries the PARENT's stored weight.
+  std::vector<Edge> applied_inserts;
+  std::vector<Edge> applied_deletes;
+};
+
+/// Applies `batch` to `parent`, producing the child graph and the applied
+/// difference. O(m + d log d) for m parent edges and d batch operations;
+/// the op canonicalisation/merge is serial (deterministic regardless of
+/// --jobs), the child's CSR materialisation is host-parallel and
+/// bit-identical at any thread count.
+Result<MutationResult> ApplyDeltas(const Graph& parent,
+                                   const DeltaBatch& batch,
+                                   exec::ThreadPool* pool = nullptr);
+
+// --- text codec --------------------------------------------------------
+//
+// Line format (the `data apply --deltas` file format):
+//   + <source> <target> [weight]     insert edge
+//   - <source> <target>              delete edge
+//   v <id>                           add vertex
+// Blank lines and lines starting with '#' are skipped.
+
+Result<DeltaBatch> ParseDeltaText(std::string_view text);
+Result<DeltaBatch> LoadDeltaFile(const std::string& path);
+std::string FormatDeltaText(const DeltaBatch& batch);
+
+// --- deterministic random batches --------------------------------------
+
+/// Shape of a generated batch: inserts draw degree-weighted random
+/// non-loop pairs from the non-isolated part of the graph (colliding
+/// with existing edges is allowed — those become weight upserts, part
+/// of the semantics under test); deletes draw uniform random existing
+/// parent edges but never isolate an endpoint (duplicate draws are
+/// allowed — the last-wins rule dedups). Keeping the isolated set
+/// invariant keeps an undirected graph's dangling-mass history bitwise
+/// stable across the epoch, which is what lets IncrementalPageRank
+/// actually prune (mutate/incremental.h); isolation is exercised by
+/// targeted tests instead. `new_vertex_every` > 0 mints a fresh
+/// external id (max parent id + k) for every k-th insert's target,
+/// exercising vertex growth.
+struct RandomBatchSpec {
+  std::int64_t inserts = 0;
+  std::int64_t deletes = 0;
+  std::int64_t new_vertex_every = 0;  // 0: never mint new vertices
+};
+
+/// Deterministic function of (parent, spec, rng state).
+DeltaBatch RandomDeltaBatch(const Graph& parent, const RandomBatchSpec& spec,
+                            SplitMix64& rng);
+
+}  // namespace ga::mutate
+
+#endif  // GRAPHALYTICS_MUTATE_DELTA_H_

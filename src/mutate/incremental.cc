@@ -1,0 +1,407 @@
+#include "mutate/incremental.h"
+
+#include <algorithm>
+#include <cstring>
+#include <numeric>
+
+#include "core/exec/alloc_stats.h"
+
+namespace ga::mutate {
+
+// --- IncrementalPageRank -----------------------------------------------
+
+Status IncrementalPageRank::Initialize(const Graph& graph,
+                                       exec::ThreadPool* pool) {
+  if (iterations_ < 0) {
+    return Status::InvalidArgument("PageRank iterations must be >= 0");
+  }
+  if (damping_ < 0.0 || damping_ > 1.0) {
+    return Status::InvalidArgument("damping factor must be in [0, 1]");
+  }
+  n_ = graph.num_vertices();
+  const VertexIndex n = n_;
+
+  const std::size_t levels = static_cast<std::size_t>(iterations_) + 1;
+  const bool grew =
+      history_.size() != levels ||
+      history_[0].size() != static_cast<std::size_t>(n);
+  if (grew) {
+    exec::NoteDataPathAlloc(
+        exec::AllocSite::kMutate,
+        2 * levels * static_cast<std::uint64_t>(n) * sizeof(double));
+  }
+  history_.resize(levels);
+  prev_history_.resize(levels);
+  for (auto& level : history_) {
+    level.resize(static_cast<std::size_t>(n));
+  }
+  history_[0].assign(static_cast<std::size_t>(n),
+                     n > 0 ? 1.0 / static_cast<double>(n) : 0.0);
+  dangling_.resize(static_cast<std::size_t>(iterations_));
+  prev_dangling_.resize(static_cast<std::size_t>(iterations_));
+
+  exec::ExecContext ctx(pool);
+  reduce_scratch_.reserve(exec::ExecContext::kMaxSlots);
+  FullSweeps(graph, ctx, 0);
+
+  // Seed the parent-epoch copies so the FIRST Update's swap hands it a
+  // fully populated history rather than stale (or empty) buffers.
+  for (std::size_t k = 0; k < levels; ++k) {
+    prev_history_[k].assign(history_[k].begin(), history_[k].end());
+  }
+  prev_dangling_.assign(dangling_.begin(), dangling_.end());
+
+  output_.algorithm = Algorithm::kPageRank;
+  output_.int_values.clear();
+  output_.double_values.assign(history_[levels - 1].begin(),
+                               history_[levels - 1].end());
+
+  changed_.Init(n);
+  structural_bits_.Resize(static_cast<std::size_t>(n));
+  structural_.clear();
+  structural_.reserve(static_cast<std::size_t>(n));
+
+  // Fresh baseline, fresh counters — Initialize's own sweeps are the
+  // baseline compute, not a dangling-divergence fallback. (The
+  // vertex-set-change path in Update saves and restores stats_ around
+  // this call, so chained full recomputes keep their running totals.)
+  stats_ = EpochStats{};
+  return Status::Ok();
+}
+
+void IncrementalPageRank::FullSweeps(const Graph& graph,
+                                     exec::ExecContext& ctx,
+                                     int first_iteration) {
+  // Reference-identical power iteration (algo/pagerank.cc): same reduce
+  // decomposition, same operand order, same expressions — any deviation
+  // here would void the byte-identity contract.
+  const VertexIndex n = n_;
+  for (int iteration = first_iteration; iteration < iterations_;
+       ++iteration) {
+    const std::vector<double>& rank = history_[iteration];
+    std::vector<double>& next = history_[iteration + 1];
+    const double dangling_mass = exec::parallel_reduce(
+        ctx, 0, n, 0.0,
+        [&](const exec::Slice& slice, double& acc) {
+          for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+            if (graph.OutDegree(v) == 0) acc += rank[v];
+          }
+        },
+        [](double& into, double from) { into += from; }, &reduce_scratch_);
+    dangling_[iteration] = dangling_mass;
+    const double base = (1.0 - damping_) / static_cast<double>(n) +
+                        damping_ * dangling_mass / static_cast<double>(n);
+    exec::parallel_for(ctx, 0, n, [&](const exec::Slice& slice) {
+      for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+        double incoming = 0.0;
+        for (VertexIndex u : graph.InNeighbors(v)) {
+          incoming += rank[u] / static_cast<double>(graph.OutDegree(u));
+        }
+        next[v] = base + damping_ * incoming;
+      }
+    });
+    ++stats_.full_sweep_iterations;
+  }
+}
+
+Status IncrementalPageRank::Update(const MutationResult& mutation,
+                                   exec::ThreadPool* pool) {
+  if (n_ < 0) {
+    return Status::FailedPrecondition(
+        "IncrementalPageRank::Update before Initialize");
+  }
+  const Graph& graph = mutation.graph;
+
+  if (mutation.vertex_set_changed || graph.num_vertices() != n_) {
+    // n changed, so every 1/n term — and therefore every rank — changes.
+    // Nothing from the parent epoch is reusable; re-derive from scratch.
+    const EpochStats saved = stats_;
+    GA_RETURN_IF_ERROR(Initialize(graph, pool));
+    stats_ = saved;
+    ++stats_.epochs;
+    ++stats_.full_recomputes;
+    return Status::Ok();
+  }
+
+  ++stats_.epochs;
+  const VertexIndex n = n_;
+  if (n == 0 || iterations_ == 0) return Status::Ok();
+  exec::ExecContext ctx(pool);
+
+  // The parent epoch's trajectory becomes prev_*; this epoch's is rebuilt
+  // in-place in history_/dangling_ (whose buffers hold the two-epochs-ago
+  // trajectory, overwritten level by level below). history_[0] is all 1/n
+  // in every epoch at constant n — already byte-correct, never touched.
+  history_.swap(prev_history_);
+  dangling_.swap(prev_dangling_);
+
+  // Structural dirt S: vertices whose gather reads anything the batch
+  // changed — an altered in-list, or an in-neighbour whose out-degree
+  // (the divisor of its contribution) changed.
+  structural_.clear();
+  auto mark = [&](VertexIndex v) {
+    if (structural_bits_.TestAndSet(static_cast<std::size_t>(v))) {
+      structural_.push_back(v);
+    }
+  };
+  auto mark_edge = [&](const Edge& edge) {
+    if (graph.is_directed()) {
+      mark(edge.target);
+      for (VertexIndex w : graph.OutNeighbors(edge.source)) mark(w);
+    } else {
+      mark(edge.source);
+      mark(edge.target);
+      for (VertexIndex w : graph.OutNeighbors(edge.source)) mark(w);
+      for (VertexIndex w : graph.OutNeighbors(edge.target)) mark(w);
+    }
+  };
+  for (const Edge& edge : mutation.applied_inserts) mark_edge(edge);
+  for (const Edge& edge : mutation.applied_deletes) mark_edge(edge);
+
+  // changed_'s current side carries {v : history_[k][v] differs bitwise
+  // from prev_history_[k][v]} — empty at k = 0 by the invariant above.
+  for (int iteration = 0; iteration < iterations_; ++iteration) {
+    // The dangling term couples every vertex to the global dangling set;
+    // recompute it exactly (the reference's reduce) and reuse the parent
+    // iteration only while it lands on the very same bits.
+    const double dangling_mass = exec::parallel_reduce(
+        ctx, 0, n, 0.0,
+        [&](const exec::Slice& slice, double& acc) {
+          const std::vector<double>& rank = history_[iteration];
+          for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+            if (graph.OutDegree(v) == 0) acc += rank[v];
+          }
+        },
+        [](double& into, double from) { into += from; }, &reduce_scratch_);
+    if (std::memcmp(&dangling_mass, &prev_dangling_[iteration],
+                    sizeof(double)) != 0) {
+      // base differs, so no vertex's parent rank is provably reusable.
+      // Finish the epoch with reference-identical full sweeps (levels
+      // below `iteration` are already byte-correct).
+      FullSweeps(graph, ctx, iteration);
+      break;
+    }
+    dangling_[iteration] = dangling_mass;
+    const double base = (1.0 - damping_) / static_cast<double>(n) +
+                        damping_ * dangling_mass / static_cast<double>(n);
+
+    // Candidates: S plus everyone downstream of a bitwise rank change.
+    for (VertexIndex v : structural_) {
+      changed_.Activate(v, 0);
+    }
+    for (VertexIndex v : changed_.active()) {
+      for (VertexIndex w : graph.OutNeighbors(v)) {
+        changed_.Activate(w, 0);
+      }
+    }
+    changed_.Advance();  // current side: candidate set C_k
+
+    // Start from the parent's iteration-(k+1) ranks; re-gather only the
+    // candidates. Every non-candidate provably reproduces its parent
+    // bits, so inheriting them IS the reference computation.
+    std::memcpy(history_[iteration + 1].data(),
+                prev_history_[iteration + 1].data(),
+                static_cast<std::size_t>(n) * sizeof(double));
+    const std::vector<double>& rank = history_[iteration];
+    std::vector<double>& next = history_[iteration + 1];
+    exec::parallel_for(ctx, 0, n, [&](const exec::Slice& slice) {
+      changed_.ForEachActiveInRange(
+          slice.begin, slice.end, [&](VertexIndex v) {
+            double incoming = 0.0;
+            for (VertexIndex u : graph.InNeighbors(v)) {
+              incoming +=
+                  rank[u] / static_cast<double>(graph.OutDegree(u));
+            }
+            next[v] = base + damping_ * incoming;
+          });
+    });
+    stats_.dirty_recomputes += changed_.active_count();
+    ++stats_.incremental_iterations;
+
+    // Value pruning: only candidates whose recomputed rank landed on
+    // DIFFERENT bits than the parent's propagate dirt to iteration k+2.
+    for (VertexIndex v : changed_.active()) {
+      if (std::memcmp(&next[v], &prev_history_[iteration + 1][v],
+                      sizeof(double)) != 0) {
+        changed_.Activate(v, 0);
+      }
+    }
+    changed_.Advance();  // current side: changed_k
+  }
+  changed_.Advance();  // wipe the final changed set for the next epoch
+  for (VertexIndex v : structural_) {
+    structural_bits_.Reset(static_cast<std::size_t>(v));
+  }
+  structural_.clear();
+
+  std::memcpy(output_.double_values.data(), history_[iterations_].data(),
+              static_cast<std::size_t>(n) * sizeof(double));
+  return Status::Ok();
+}
+
+// --- IncrementalWcc -----------------------------------------------------
+
+VertexIndex IncrementalWcc::Find(VertexIndex v) {
+  while (parent_[v] != v) {
+    parent_[v] = parent_[parent_[v]];
+    v = parent_[v];
+  }
+  return v;
+}
+
+void IncrementalWcc::Union(VertexIndex a, VertexIndex b) {
+  VertexIndex ra = Find(a);
+  VertexIndex rb = Find(b);
+  if (ra == rb) return;
+  if (size_[ra] < size_[rb]) std::swap(ra, rb);
+  parent_[rb] = ra;
+  size_[ra] += size_[rb];
+}
+
+void IncrementalWcc::Relabel(const Graph& graph, exec::ExecContext& ctx) {
+  // The reference's canonical labelling sweep (algo/wcc.cc): external ids
+  // ascend with vertex index, so the first member seen per root carries
+  // the component's smallest external id. Equal partitions therefore
+  // produce byte-equal outputs, whatever union order built them.
+  const VertexIndex n = n_;
+  std::fill(label_of_root_.begin(), label_of_root_.end(),
+            std::int64_t{-1});
+  std::fill(comp_size_.begin(), comp_size_.end(), VertexIndex{0});
+  for (VertexIndex v = 0; v < n; ++v) {
+    const VertexIndex root = Find(v);
+    comp_[v] = root;
+    ++comp_size_[root];
+    if (label_of_root_[root] == -1) {
+      label_of_root_[root] = graph.ExternalId(v);
+    }
+  }
+  exec::parallel_for(ctx, 0, n, [&](const exec::Slice& slice) {
+    for (VertexIndex v = slice.begin; v < slice.end; ++v) {
+      output_.int_values[v] = label_of_root_[comp_[v]];
+    }
+  });
+}
+
+Status IncrementalWcc::Initialize(const Graph& graph,
+                                  exec::ThreadPool* pool) {
+  n_ = graph.num_vertices();
+  const VertexIndex n = n_;
+  stats_ = EpochStats{};  // fresh baseline, fresh counters
+  const bool grew = parent_.size() != static_cast<std::size_t>(n);
+  if (grew) {
+    exec::NoteDataPathAlloc(
+        exec::AllocSite::kMutate,
+        5 * static_cast<std::uint64_t>(n) * sizeof(VertexIndex));
+  }
+  parent_.resize(static_cast<std::size_t>(n));
+  size_.assign(static_cast<std::size_t>(n), VertexIndex{1});
+  comp_.resize(static_cast<std::size_t>(n));
+  comp_size_.resize(static_cast<std::size_t>(n));
+  label_of_root_.resize(static_cast<std::size_t>(n));
+  root_affected_.Resize(static_cast<std::size_t>(n));
+  affected_.Resize(static_cast<std::size_t>(n));
+  std::iota(parent_.begin(), parent_.end(), VertexIndex{0});
+
+  for (const Edge& edge : graph.edges()) {
+    Union(edge.source, edge.target);
+  }
+  output_.algorithm = Algorithm::kWcc;
+  output_.double_values.clear();
+  output_.int_values.assign(static_cast<std::size_t>(n), -1);
+  exec::ExecContext ctx(pool);
+  Relabel(graph, ctx);
+  return Status::Ok();
+}
+
+Status IncrementalWcc::Update(const MutationResult& mutation,
+                              exec::ThreadPool* pool) {
+  if (n_ < 0) {
+    return Status::FailedPrecondition(
+        "IncrementalWcc::Update before Initialize");
+  }
+  const Graph& graph = mutation.graph;
+  ++stats_.epochs;
+
+  if (mutation.vertex_set_changed || graph.num_vertices() != n_) {
+    // Growth is a structural event (allocation allowed), but NOT a
+    // recompute: the old partition survives an index remap — old_to_new
+    // is strictly increasing, minted vertices start as singletons.
+    const VertexIndex old_n = n_;
+    const VertexIndex new_n = graph.num_vertices();
+    exec::NoteDataPathAlloc(
+        exec::AllocSite::kMutate,
+        2 * static_cast<std::uint64_t>(new_n) * sizeof(VertexIndex));
+    std::vector<VertexIndex> remapped_comp(static_cast<std::size_t>(new_n));
+    std::vector<VertexIndex> remapped_size(static_cast<std::size_t>(new_n),
+                                           VertexIndex{1});
+    std::iota(remapped_comp.begin(), remapped_comp.end(), VertexIndex{0});
+    for (VertexIndex v = 0; v < old_n; ++v) {
+      remapped_comp[mutation.old_to_new[v]] =
+          mutation.old_to_new[comp_[v]];
+      if (comp_[v] == v) {
+        remapped_size[mutation.old_to_new[v]] = comp_size_[v];
+      }
+    }
+    comp_ = std::move(remapped_comp);
+    comp_size_ = std::move(remapped_size);
+    n_ = new_n;
+    parent_.resize(static_cast<std::size_t>(new_n));
+    size_.resize(static_cast<std::size_t>(new_n));
+    label_of_root_.resize(static_cast<std::size_t>(new_n));
+    root_affected_.Resize(static_cast<std::size_t>(new_n));
+    affected_.Resize(static_cast<std::size_t>(new_n));
+    output_.int_values.resize(static_cast<std::size_t>(new_n));
+  }
+
+  const VertexIndex n = n_;
+  exec::ExecContext ctx(pool);
+
+  // Deletes can split a component, so every component that lost an edge
+  // dissolves to singletons and is re-unioned from its members' surviving
+  // adjacency. Inserts only ever union, so untouched components keep
+  // their partition (seeded below as one preloaded union-find node per
+  // component).
+  const bool any_deletes = !mutation.applied_deletes.empty();
+  if (any_deletes) {
+    root_affected_.Clear();
+    affected_.Clear();
+    for (const Edge& edge : mutation.applied_deletes) {
+      // Both endpoints shared a component in the parent (this very edge
+      // connected them), so one Set would do; two are harmless.
+      root_affected_.Set(static_cast<std::size_t>(comp_[edge.source]));
+      root_affected_.Set(static_cast<std::size_t>(comp_[edge.target]));
+    }
+  }
+  for (VertexIndex v = 0; v < n; ++v) {
+    if (any_deletes &&
+        root_affected_.Test(static_cast<std::size_t>(comp_[v]))) {
+      parent_[v] = v;
+      size_[v] = 1;
+      affected_.Set(static_cast<std::size_t>(v));
+      ++stats_.affected_vertices;
+    } else {
+      parent_[v] = comp_[v];
+      size_[v] = comp_size_[v];  // only read where v is a root
+    }
+  }
+  if (any_deletes) {
+    // Old surviving edges never cross the affected/unaffected boundary
+    // (their endpoints shared an old component), so out-list scans of the
+    // affected vertices cover every edge that needs re-unioning —
+    // in-lists included, because the in-edge (u, v) of an affected v has
+    // an affected u and appears in u's out-list.
+    affected_.ForEachSet([&](std::size_t v) {
+      for (VertexIndex w :
+           graph.OutNeighbors(static_cast<VertexIndex>(v))) {
+        Union(static_cast<VertexIndex>(v), w);
+      }
+    });
+  }
+  for (const Edge& edge : mutation.applied_inserts) {
+    Union(edge.source, edge.target);
+  }
+  Relabel(graph, ctx);
+  return Status::Ok();
+}
+
+}  // namespace ga::mutate

@@ -1,0 +1,166 @@
+// Incremental PageRank and WCC over ga::mutate epochs, with a
+// BYTE-IDENTITY contract: after every Update, output() is bit-for-bit
+// the vector a full recompute (reference::PageRank / reference::Wcc)
+// would produce on the epoch's graph — at any --jobs value. The
+// recompute-equivalence oracle suite (tests/mutate/) holds them to it.
+//
+// Byte-identity is a much harder bar than epsilon closeness: an
+// incremental engine may only skip work it can PROVE reproduces the
+// reference's floating-point operations exactly, with the same operand
+// order and the same rounding. The two algorithms meet it differently.
+//
+// IncrementalPageRank keeps the parent epoch's full per-iteration rank
+// history (K+1 vectors) and per-iteration dangling masses. Each epoch it
+// replays the reference's iteration structure, but per iteration it only
+// re-executes the gather of a CANDIDATE set
+//
+//   C_k = S  ∪  out-neighbours(changed_{k-1})
+//
+// where S is the structural dirt (vertices whose in-list or whose
+// in-neighbours' out-degrees the batch changed) and changed_{k-1} is the
+// set of vertices whose iteration-(k-1) rank differs BITWISE from the
+// parent epoch's. Every other vertex reuses the parent's iteration-k rank
+// byte-for-byte — valid because its gather would read bitwise-identical
+// operands in the identical order. Value pruning (a recomputed rank that
+// lands on the parent's exact bits does not propagate) is what makes the
+// dirty wave die out instead of growing like a BFS ball: rank
+// perturbations attenuate by ~damping/out-degree per hop and vanish once
+// they round below one ulp of the receiving sum.
+//
+// The global coupling is the dangling-mass term: base_k folds a sum over
+// all zero-out-degree vertices into every rank. The term is recomputed
+// exactly each iteration (same slot-decomposed reduce as the reference)
+// and compared bitwise with the parent's; if it ever differs, clean-reuse
+// is no longer sound and the epoch falls back to full reference sweeps
+// from that iteration on — still byte-identical, just not cheap. In
+// practice this makes incrementality effective on graphs whose dangling
+// set is rank-stable (undirected graphs, where only isolated vertices
+// dangle) and a graceful fallback on directed graphs with rank-carrying
+// dangling vertices. Epochs that mint vertices change n (and the 1/n
+// terms in every rank), so they trigger a full recompute too.
+//
+// IncrementalWcc maintains the component partition across epochs.
+// Inserts only union; deletes can split, so every component touched by a
+// delete is reset to singletons and re-unioned from the surviving
+// adjacency of its (old) members — sound because an edge never crosses
+// from an affected into an unaffected component (its endpoints shared a
+// component before the delete). Labels (smallest external id per
+// component) are recomputed by the same canonical relabelling sweep as
+// the reference, so equal partitions give equal bytes.
+//
+// Both classes follow the steady-state zero-allocation contract
+// (DESIGN.md §8): Initialize sizes every buffer; Update at constant n
+// performs no data-path heap allocation (epochs that grow the vertex set
+// are structural events and may reallocate). Update returns Status and
+// results are read through output() — returning AlgorithmOutput by value
+// would copy-allocate per epoch.
+#ifndef GRAPHALYTICS_MUTATE_INCREMENTAL_H_
+#define GRAPHALYTICS_MUTATE_INCREMENTAL_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "algo/output.h"
+#include "core/bitset.h"
+#include "core/exec/frontier.h"
+#include "core/graph.h"
+#include "core/status.h"
+#include "mutate/delta.h"
+
+namespace ga::mutate {
+
+/// Counters describing how an incremental engine earned its epochs.
+struct EpochStats {
+  std::int64_t epochs = 0;            // Update calls since Initialize
+  std::int64_t full_recomputes = 0;   // vertex-set-change fallbacks
+  // PageRank:
+  std::int64_t incremental_iterations = 0;  // candidate-set iterations
+  std::int64_t full_sweep_iterations = 0;   // dangling-divergence fallback
+  std::int64_t dirty_recomputes = 0;        // per-vertex gathers re-run
+  // WCC:
+  std::int64_t affected_vertices = 0;  // vertices reset by delete epochs
+};
+
+class IncrementalPageRank {
+ public:
+  IncrementalPageRank(int iterations, double damping)
+      : iterations_(iterations), damping_(damping) {}
+
+  /// Full compute on `graph` (the reference algorithm, plus history
+  /// capture). Sizes every epoch buffer. Call once per chain root — and
+  /// it is what Update falls back to when the vertex set changes.
+  Status Initialize(const Graph& graph, exec::ThreadPool* pool = nullptr);
+
+  /// Advances the state across one mutation epoch. `mutation` MUST have
+  /// been produced by ApplyDeltas from the graph this state last saw
+  /// (Initialize's graph or the previous Update's mutation.graph).
+  /// Afterwards output() is byte-identical to a full recompute on
+  /// mutation.graph. Allocation-free at constant n (after the first
+  /// epoch warms the frontier).
+  Status Update(const MutationResult& mutation,
+                exec::ThreadPool* pool = nullptr);
+
+  const AlgorithmOutput& output() const { return output_; }
+  const EpochStats& stats() const { return stats_; }
+
+ private:
+  /// Reference-identical iteration sweeps from `first_iteration`,
+  /// recording the dangling/rank histories as they go.
+  void FullSweeps(const Graph& graph, exec::ExecContext& ctx,
+                  int first_iteration);
+
+  int iterations_;
+  double damping_;
+  VertexIndex n_ = -1;  // -1: not initialized
+
+  // history_[k] = rank vector after k iterations on the current epoch's
+  // graph; dangling_[k] = the dangling mass folded into iteration k+1.
+  // prev_* hold the parent epoch's copies; Update swaps then rebuilds.
+  std::vector<std::vector<double>> history_, prev_history_;
+  std::vector<double> dangling_, prev_dangling_;
+
+  exec::Frontier changed_;             // bitwise rank differences vs parent
+  Bitset structural_bits_;             // structural dirt S (dense)
+  std::vector<VertexIndex> structural_;  // structural dirt S (sparse)
+  std::vector<double> reduce_scratch_;
+
+  AlgorithmOutput output_;
+  EpochStats stats_;
+};
+
+class IncrementalWcc {
+ public:
+  /// Full compute on `graph`; sizes every epoch buffer.
+  Status Initialize(const Graph& graph, exec::ThreadPool* pool = nullptr);
+
+  /// Advances across one mutation epoch (same parent contract as
+  /// IncrementalPageRank::Update). Afterwards output() is byte-identical
+  /// to reference::Wcc on mutation.graph. Allocation-free at constant n.
+  Status Update(const MutationResult& mutation,
+                exec::ThreadPool* pool = nullptr);
+
+  const AlgorithmOutput& output() const { return output_; }
+  const EpochStats& stats() const { return stats_; }
+
+ private:
+  VertexIndex Find(VertexIndex v);
+  void Union(VertexIndex a, VertexIndex b);
+  /// Canonical relabel: comp_/comp_size_ from the union-find state, then
+  /// labels = smallest external id per component (ascending first-seen,
+  /// exactly the reference's sweep) into output_.
+  void Relabel(const Graph& graph, exec::ExecContext& ctx);
+
+  VertexIndex n_ = -1;
+  std::vector<VertexIndex> parent_, size_;  // union-find working state
+  std::vector<VertexIndex> comp_;       // canonical root per vertex
+  std::vector<VertexIndex> comp_size_;  // members per root (roots only)
+  std::vector<std::int64_t> label_of_root_;
+  Bitset root_affected_, affected_;
+
+  AlgorithmOutput output_;
+  EpochStats stats_;
+};
+
+}  // namespace ga::mutate
+
+#endif  // GRAPHALYTICS_MUTATE_INCREMENTAL_H_

@@ -1,0 +1,115 @@
+#include "store/chain.h"
+
+#include <cstring>
+
+#include "store/snapshot.h"
+
+namespace ga::store {
+
+Result<std::uint64_t> SnapshotChecksum(const std::string& path) {
+  GA_ASSIGN_OR_RETURN(SnapshotInfo info, InspectSnapshot(path));
+  return info.header.header_checksum;
+}
+
+Status WriteChainedSnapshot(const Graph& child, const std::string& path,
+                            std::uint64_t parent_checksum,
+                            std::uint64_t epoch,
+                            const mutate::DeltaBatch& applied) {
+  ChainInfoRecord record;
+  record.parent_checksum = parent_checksum;
+  record.epoch = epoch;
+  record.op_count = static_cast<std::uint64_t>(applied.ops.size());
+  // An empty batch still gets a (zero-byte) kDeltaOps section; point it
+  // at a real object so the writer never touches a null data pointer.
+  static const mutate::EdgeDelta kNoOps{};
+  const void* ops_data =
+      applied.ops.empty() ? static_cast<const void*>(&kNoOps)
+                          : static_cast<const void*>(applied.ops.data());
+  const ExtraSection extra[] = {
+      {SectionKind::kChainInfo, &record, sizeof(record)},
+      {SectionKind::kDeltaOps, ops_data,
+       applied.ops.size() * sizeof(mutate::EdgeDelta)},
+  };
+  return WriteSnapshot(child, path, extra);
+}
+
+Result<std::optional<ChainRecord>> ReadChainRecord(
+    const std::string& path) {
+  auto info_bytes = ReadSectionPayload(path, SectionKind::kChainInfo);
+  if (!info_bytes.ok()) {
+    if (info_bytes.status().code() == StatusCode::kNotFound) {
+      return std::optional<ChainRecord>{};  // unchained root snapshot
+    }
+    return info_bytes.status();
+  }
+  if (info_bytes->size() != sizeof(ChainInfoRecord)) {
+    return Status::IoError(path + ": chain_info section has " +
+                           std::to_string(info_bytes->size()) +
+                           " bytes, expected " +
+                           std::to_string(sizeof(ChainInfoRecord)));
+  }
+  ChainInfoRecord record;
+  std::memcpy(&record, info_bytes->data(), sizeof(record));
+
+  GA_ASSIGN_OR_RETURN(std::vector<std::byte> ops_bytes,
+                      ReadSectionPayload(path, SectionKind::kDeltaOps));
+  if (ops_bytes.size() != record.op_count * sizeof(mutate::EdgeDelta)) {
+    return Status::IoError(
+        path + ": delta_ops section has " +
+        std::to_string(ops_bytes.size()) + " bytes, expected " +
+        std::to_string(record.op_count * sizeof(mutate::EdgeDelta)) +
+        " for " + std::to_string(record.op_count) + " ops");
+  }
+
+  std::optional<ChainRecord> out;
+  out.emplace();
+  out->parent_checksum = record.parent_checksum;
+  out->epoch = record.epoch;
+  out->deltas.ops.resize(static_cast<std::size_t>(record.op_count));
+  if (!ops_bytes.empty()) {
+    std::memcpy(out->deltas.ops.data(), ops_bytes.data(),
+                ops_bytes.size());
+  }
+  return out;
+}
+
+Result<Graph> ReplayChain(const std::vector<std::string>& paths,
+                          exec::ThreadPool* pool) {
+  if (paths.empty()) {
+    return Status::InvalidArgument("ReplayChain needs at least one path");
+  }
+  GA_ASSIGN_OR_RETURN(Graph current, ReadSnapshot(paths[0]));
+  GA_ASSIGN_OR_RETURN(std::uint64_t current_checksum,
+                      SnapshotChecksum(paths[0]));
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    GA_ASSIGN_OR_RETURN(std::optional<ChainRecord> record,
+                        ReadChainRecord(paths[i]));
+    if (!record.has_value()) {
+      return Status::FailedPrecondition(
+          paths[i] + ": not a chained snapshot (no chain_info section)");
+    }
+    if (record->parent_checksum != current_checksum) {
+      return Status::FailedPrecondition(
+          paths[i] + ": parent checksum mismatch (snapshot was chained " +
+          "from a different parent than " + paths[i - 1] + ")");
+    }
+    auto replayed = mutate::ApplyDeltas(current, record->deltas, pool);
+    if (!replayed.ok()) {
+      return Status::FailedPrecondition(paths[i] +
+                                        ": stored delta batch no longer " +
+                                        "applies: " +
+                                        replayed.status().message());
+    }
+    GA_ASSIGN_OR_RETURN(Graph stored, ReadSnapshot(paths[i]));
+    if (!GraphsBitIdentical(replayed->graph, stored)) {
+      return Status::FailedPrecondition(
+          paths[i] + ": replaying the stored deltas onto " + paths[i - 1] +
+          " does not reproduce the stored child bit-for-bit");
+    }
+    current = std::move(stored);
+    GA_ASSIGN_OR_RETURN(current_checksum, SnapshotChecksum(paths[i]));
+  }
+  return current;
+}
+
+}  // namespace ga::store

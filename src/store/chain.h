@@ -1,0 +1,78 @@
+// Versioned snapshot chains: `.gab` files that record their provenance.
+//
+// A chained snapshot is an ordinary snapshot (fully self-contained — any
+// reader can load it without its ancestors) carrying two extra sections:
+//
+//   kChainInfo  a ChainInfoRecord naming the PARENT snapshot by its
+//               header checksum, the epoch number, and the op count;
+//   kDeltaOps   the raw mutate::EdgeDelta batch that produced this child
+//               from that parent.
+//
+// The parent checksum links snapshots into a hash chain: the header
+// checksum covers the section table, the table covers every payload, so
+// two snapshots with equal checksums hold byte-equal content — including
+// their own chain sections, which transitively pins the whole ancestry.
+// ReplayChain exploits the redundancy as an end-to-end oracle: it walks
+// root -> head re-applying each stored delta batch and demands the result
+// be bit-identical to the stored child at every link.
+#ifndef GRAPHALYTICS_STORE_CHAIN_H_
+#define GRAPHALYTICS_STORE_CHAIN_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/graph.h"
+#include "core/status.h"
+#include "mutate/delta.h"
+
+namespace ga::store {
+
+/// Wire format of the kChainInfo section.
+struct ChainInfoRecord {
+  std::uint64_t parent_checksum = 0;  // parent's header_checksum
+  std::uint64_t epoch = 0;            // 1-based link position
+  std::uint64_t op_count = 0;         // EdgeDelta records in kDeltaOps
+  std::uint64_t reserved = 0;         // zero on the wire
+};
+static_assert(sizeof(ChainInfoRecord) == 32,
+              "ChainInfoRecord is a wire format");
+
+/// A decoded chain link: who the parent was, plus the batch to replay.
+struct ChainRecord {
+  std::uint64_t parent_checksum = 0;
+  std::uint64_t epoch = 0;
+  mutate::DeltaBatch deltas;
+};
+
+/// A snapshot's identity for chaining purposes: its header checksum
+/// (which covers the section table, whose entries carry the payload
+/// checksums — equal checksum implies byte-equal content). O(header).
+Result<std::uint64_t> SnapshotChecksum(const std::string& path);
+
+/// Writes `child` at `path` with chain provenance attached: parent
+/// checksum, 1-based epoch number, and the raw delta batch that produced
+/// it. Atomic like WriteSnapshot.
+Status WriteChainedSnapshot(const Graph& child, const std::string& path,
+                            std::uint64_t parent_checksum,
+                            std::uint64_t epoch,
+                            const mutate::DeltaBatch& applied);
+
+/// Decodes a snapshot's chain link. nullopt for an unchained (root)
+/// snapshot; IoError for files whose chain sections are malformed,
+/// truncated or checksum-corrupt.
+Result<std::optional<ChainRecord>> ReadChainRecord(const std::string& path);
+
+/// Verifies and replays a chain. `paths[0]` is the root (chained or
+/// not); every later snapshot must name its predecessor's checksum as
+/// parent (FailedPrecondition otherwise). Each link's stored batch is
+/// re-applied and the result compared bit-for-bit against the stored
+/// child graph — any divergence is a FailedPrecondition naming the link.
+/// Returns the head (last) graph, loaded with full verification.
+Result<Graph> ReplayChain(const std::vector<std::string>& paths,
+                          exec::ThreadPool* pool = nullptr);
+
+}  // namespace ga::store
+
+#endif  // GRAPHALYTICS_STORE_CHAIN_H_

@@ -37,6 +37,8 @@ std::string_view SectionKindName(SectionKind kind) {
     case SectionKind::kInOffsets: return "in_offsets";
     case SectionKind::kInSources: return "in_sources";
     case SectionKind::kInWeights: return "in_weights";
+    case SectionKind::kChainInfo: return "chain_info";
+    case SectionKind::kDeltaOps: return "delta_ops";
   }
   return "unknown";
 }
@@ -54,7 +56,7 @@ std::uint64_t Fnv1a64(const void* data, std::size_t size,
 
 namespace {
 
-constexpr std::uint32_t kMaxSections = 8;
+constexpr std::uint32_t kMaxSections = 10;
 
 std::uint64_t AlignUp(std::uint64_t value) {
   return (value + kSectionAlignment - 1) / kSectionAlignment *
@@ -274,6 +276,11 @@ Status CheckStructure(const Graph& graph, const std::string& path) {
 }  // namespace
 
 Status WriteSnapshot(const Graph& graph, const std::string& path) {
+  return WriteSnapshot(graph, path, {});
+}
+
+Status WriteSnapshot(const Graph& graph, const std::string& path,
+                     std::span<const ExtraSection> extra_sections) {
   const std::uint64_t n = static_cast<std::uint64_t>(graph.num_vertices());
   const std::uint64_t m = static_cast<std::uint64_t>(graph.num_edges());
   const bool directed = graph.is_directed();
@@ -293,6 +300,15 @@ Status WriteSnapshot(const Graph& graph, const std::string& path) {
     add(SectionKind::kInOffsets, graph.in_offsets());
     add(SectionKind::kInSources, graph.in_sources());
     if (weighted) add(SectionKind::kInWeights, graph.in_weights());
+  }
+  for (const ExtraSection& extra : extra_sections) {
+    payloads.push_back({extra.kind, extra.data, extra.size_bytes});
+  }
+  if (payloads.size() > kMaxSections) {
+    return Status::InvalidArgument(
+        path + ": too many snapshot sections (" +
+        std::to_string(payloads.size()) + " > " +
+        std::to_string(kMaxSections) + ")");
   }
 
   SnapshotHeader header{};
@@ -438,6 +454,33 @@ Result<Graph> ReadSnapshot(const std::string& path,
     GA_RETURN_IF_ERROR(CheckStructure(graph, path));
   }
   return graph;
+}
+
+Result<std::vector<std::byte>> ReadSectionPayload(const std::string& path,
+                                                  SectionKind kind) {
+  GA_ASSIGN_OR_RETURN(MappedFile file, MappedFile::Open(path));
+  GA_ASSIGN_OR_RETURN(SnapshotView view, OpenView(file, path));
+  const SectionEntry* found = nullptr;
+  for (const SectionEntry& entry : view.table) {
+    if (entry.kind != static_cast<std::uint32_t>(kind)) continue;
+    if (found != nullptr) {
+      return IoErrorAt(path, "duplicate section " +
+                                 std::string(SectionKindName(kind)));
+    }
+    found = &entry;
+  }
+  if (found == nullptr) {
+    return Status::NotFound(path + ": no section " +
+                            std::string(SectionKindName(kind)));
+  }
+  if (Fnv1a64(view.base + found->offset, found->size_bytes) !=
+      found->checksum) {
+    return IoErrorAt(path, "checksum mismatch in section " +
+                               std::string(SectionKindName(kind)) +
+                               " (corrupt snapshot)");
+  }
+  const std::byte* begin = view.base + found->offset;
+  return std::vector<std::byte>(begin, begin + found->size_bytes);
 }
 
 Result<SnapshotInfo> InspectSnapshot(const std::string& path) {

@@ -20,7 +20,9 @@
 #ifndef GRAPHALYTICS_STORE_SNAPSHOT_H_
 #define GRAPHALYTICS_STORE_SNAPSHOT_H_
 
+#include <cstddef>
 #include <cstdint>
+#include <span>
 #include <string>
 #include <vector>
 
@@ -48,6 +50,11 @@ enum class SectionKind : std::uint32_t {
   kInOffsets = 6,    // EdgeIndex[n+1], directed graphs only
   kInSources = 7,    // VertexIndex[m], directed graphs only
   kInWeights = 8,    // Weight[m], directed weighted graphs only
+  // Chained (mutation-epoch) snapshots only — see store/chain.h. Readers
+  // that predate these kinds skip them: ReadSnapshot binds sections by
+  // kind and ignores the rest.
+  kChainInfo = 9,  // ChainInfoRecord (parent checksum, epoch, op count)
+  kDeltaOps = 10,  // mutate::EdgeDelta[op_count] (32-byte wire records)
 };
 
 std::string_view SectionKindName(SectionKind kind);
@@ -85,6 +92,27 @@ std::uint64_t Fnv1a64(const void* data, std::size_t size,
 /// Writes `graph` as a `.gab` snapshot at `path` (atomically: a temp file
 /// in the same directory is renamed over `path` on success).
 Status WriteSnapshot(const Graph& graph, const std::string& path);
+
+/// An application-defined section appended after the graph sections.
+/// Checksummed and table-listed like any other section; readers that do
+/// not know the kind simply never bind it.
+struct ExtraSection {
+  SectionKind kind;
+  const void* data;
+  std::uint64_t size_bytes;
+};
+
+/// WriteSnapshot plus caller-supplied extra sections (ga::store::chain
+/// uses this to embed provenance records in `.gab` files).
+Status WriteSnapshot(const Graph& graph, const std::string& path,
+                     std::span<const ExtraSection> extra_sections);
+
+/// Copies one section's payload out of a snapshot, verifying that
+/// section's checksum (only that one — O(section), not O(file)).
+/// NotFound when the snapshot has no section of `kind`; IoError on a
+/// malformed file or checksum mismatch.
+Result<std::vector<std::byte>> ReadSectionPayload(const std::string& path,
+                                                  SectionKind kind);
 
 struct ReadOptions {
   /// Verify every section checksum AND the structural invariants

@@ -1,0 +1,207 @@
+// Determinism contracts of the mutation layer itself (DESIGN.md §12):
+// applying the same delta stream must yield bit-identical child CSRs at
+// any --jobs value; re-chunking one stream into different epoch sizes
+// must end on the same graph (the upsert/last-wins semantics exist
+// precisely to make application chunking-invariant); and platform jobs
+// on a mutated graph must keep the exec determinism contract — equal
+// WorkLedgers and simulated clocks across host thread counts.
+#include "mutate/delta.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/exec/thread_pool.h"
+#include "core/rng.h"
+#include "datagen/graph500.h"
+#include "platforms/platform.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::mutate {
+namespace {
+
+Graph TestGraph(bool directed = true) {
+  datagen::Graph500Config config;
+  config.scale = 9;
+  config.num_edges = 3000;
+  config.directedness =
+      directed ? Directedness::kDirected : Directedness::kUndirected;
+  config.weighted = true;
+  config.seed = 13;
+  auto graph = datagen::GenerateGraph500(config);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST(DeltaDeterminismTest, SameStreamAnyJobsBitIdenticalChain) {
+  const Graph start = TestGraph();
+  // The delta stream is a pure function of (parent, spec, rng), so
+  // replaying the same seeds per epoch gives every run the same stream.
+  const RandomBatchSpec spec{/*inserts=*/40, /*deletes=*/40,
+                             /*new_vertex_every=*/7};
+  constexpr int kEpochs = 4;
+
+  // Serial chain is the baseline.
+  std::vector<Graph> baseline;
+  {
+    const Graph* current = &start;
+    MutationResult keep;
+    SplitMix64 rng(1234);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      auto applied = ApplyDeltas(*current, RandomDeltaBatch(*current, spec,
+                                                            rng));
+      ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+      keep = std::move(*applied);
+      baseline.push_back(std::move(keep.graph));
+      current = &baseline.back();
+    }
+  }
+
+  for (int jobs : {2, 8}) {
+    exec::ThreadPool pool(jobs);
+    const Graph* current = &start;
+    MutationResult keep;
+    SplitMix64 rng(1234);
+    for (int epoch = 0; epoch < kEpochs; ++epoch) {
+      auto applied = ApplyDeltas(*current,
+                                 RandomDeltaBatch(*current, spec, rng),
+                                 &pool);
+      ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+      EXPECT_TRUE(GraphsBitIdentical(applied->graph, baseline[epoch]))
+          << "epoch " << epoch << " CSR differs at --jobs " << jobs;
+      keep = std::move(*applied);
+      current = &keep.graph;
+    }
+  }
+}
+
+TEST(DeltaDeterminismTest, RechunkedEpochsReachTheSameGraph) {
+  const Graph start = TestGraph(/*directed=*/false);
+  // A stream with deliberate overlap: weight upserts on one edge,
+  // insert-then-delete and delete-then-insert pairs that will land in
+  // different chunks depending on the epoch size.
+  const VertexId a = start.ExternalId(1);
+  const VertexId b = start.ExternalId(2);
+  const VertexId c = start.ExternalId(3);
+  const VertexId d = start.ExternalId(4);
+  std::vector<EdgeDelta> stream = {
+      {DeltaOp::kInsertEdge, 0, a, b, 1.5},
+      {DeltaOp::kInsertEdge, 0, c, d, 2.0},
+      {DeltaOp::kInsertEdge, 0, b, a, 7.25},  // upsert, canonical dup of a-b
+      {DeltaOp::kDeleteEdge, 0, c, d, 0.0},
+      {DeltaOp::kInsertEdge, 0, a, c, 3.0},
+      {DeltaOp::kDeleteEdge, 0, a, c, 0.0},
+      {DeltaOp::kInsertEdge, 0, a, c, 4.5},
+      {DeltaOp::kAddVertex, 0, 1u << 20, 0, 1.0},
+      {DeltaOp::kInsertEdge, 0, 1u << 20, b, 9.0},
+  };
+  SplitMix64 rng(777);
+  const DeltaBatch random_tail =
+      RandomDeltaBatch(start, {/*inserts=*/30, /*deletes=*/30, 0}, rng);
+  stream.insert(stream.end(), random_tail.ops.begin(),
+                random_tail.ops.end());
+
+  // Reference: everything in one epoch.
+  DeltaBatch one_batch;
+  one_batch.ops = stream;
+  auto all_at_once = ApplyDeltas(start, one_batch);
+  ASSERT_TRUE(all_at_once.ok()) << all_at_once.status().ToString();
+
+  for (std::size_t chunk : {1u, 3u, 7u, 16u}) {
+    const Graph* current = &start;
+    MutationResult keep;
+    for (std::size_t begin = 0; begin < stream.size(); begin += chunk) {
+      DeltaBatch batch;
+      const std::size_t end = std::min(begin + chunk, stream.size());
+      batch.ops.assign(stream.begin() + begin, stream.begin() + end);
+      auto applied = ApplyDeltas(*current, batch);
+      ASSERT_TRUE(applied.ok())
+          << "chunk size " << chunk << " at op " << begin << ": "
+          << applied.status().ToString();
+      keep = std::move(*applied);
+      current = &keep.graph;
+    }
+    EXPECT_TRUE(GraphsBitIdentical(*current, all_at_once->graph))
+        << "chunk size " << chunk
+        << " ends on a different graph than one-shot application";
+  }
+}
+
+TEST(DeltaDeterminismTest, LedgersIdenticalAcrossJobsOnMutatedGraph) {
+  // The exec determinism contract must survive mutation: platform jobs
+  // on an ApplyDeltas child report bit-identical outputs, WorkLedgers
+  // and simulated clocks at 1, 2 and 8 host threads.
+  const Graph start = TestGraph();
+  SplitMix64 rng(4321);
+  auto applied = ApplyDeltas(
+      start,
+      RandomDeltaBatch(start, {/*inserts=*/60, /*deletes=*/60,
+                               /*new_vertex_every=*/5},
+                       rng));
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  const Graph& mutated = applied->graph;
+
+  AlgorithmParams params;
+  params.source_vertex = mutated.ExternalId(0);
+  params.pagerank_iterations = 6;
+
+  for (const char* platform_id : {"spmat", "bsplite"}) {
+    for (Algorithm algorithm : {Algorithm::kPageRank, Algorithm::kWcc}) {
+      auto platform = platform::CreatePlatform(platform_id);
+      ASSERT_TRUE(platform.ok());
+      platform::ExecutionEnvironment env;
+      env.num_machines = 2;
+      env.threads_per_machine = 8;
+      env.memory_budget_bytes = 1LL << 30;
+      env.host_pool = nullptr;
+      const std::string what = std::string(platform_id) + "/" +
+                               std::string(AlgorithmName(algorithm));
+      auto baseline = (*platform)->RunJob(mutated, algorithm, params, env);
+      ASSERT_TRUE(baseline.ok()) << what << ": "
+                                 << baseline.status().ToString();
+      for (int jobs : {2, 8}) {
+        exec::ThreadPool pool(jobs);
+        env.host_pool = &pool;
+        auto run = (*platform)->RunJob(mutated, algorithm, params, env);
+        ASSERT_TRUE(run.ok()) << what << ": " << run.status().ToString();
+        EXPECT_EQ(baseline->output.int_values, run->output.int_values)
+            << what;
+        ASSERT_EQ(baseline->output.double_values.size(),
+                  run->output.double_values.size())
+            << what;
+        if (!baseline->output.double_values.empty()) {
+          EXPECT_EQ(
+              std::memcmp(baseline->output.double_values.data(),
+                          run->output.double_values.data(),
+                          baseline->output.double_values.size() *
+                              sizeof(double)),
+              0)
+              << what << " at --jobs " << jobs;
+        }
+        EXPECT_EQ(baseline->metrics.ledger.compute_ops,
+                  run->metrics.ledger.compute_ops)
+            << what;
+        EXPECT_EQ(baseline->metrics.ledger.messages,
+                  run->metrics.ledger.messages)
+            << what;
+        EXPECT_EQ(baseline->metrics.ledger.remote_bytes,
+                  run->metrics.ledger.remote_bytes)
+            << what;
+        EXPECT_EQ(baseline->metrics.supersteps, run->metrics.supersteps)
+            << what;
+        EXPECT_EQ(baseline->metrics.processing_sim_seconds,
+                  run->metrics.processing_sim_seconds)
+            << what;
+        EXPECT_EQ(baseline->metrics.makespan_sim_seconds,
+                  run->metrics.makespan_sim_seconds)
+            << what;
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ga::mutate

@@ -1,0 +1,316 @@
+// The recompute-equivalence oracle suite (ISSUE PR7 tentpole): after
+// every mutation epoch, IncrementalPageRank::output() and
+// IncrementalWcc::output() must be BYTE-IDENTICAL to reference::PageRank
+// / reference::Wcc run from scratch on that epoch's graph — on directed
+// (R1) and undirected (G22) registry datasets, across randomized
+// insert-only / delete-only / mixed / vertex-minting batches, and at
+// --jobs 1, 2 and 8. The oracle is memcmp, not EXPECT_NEAR: an
+// incremental engine may only skip work it can prove reproduces the
+// reference's floating-point stream exactly.
+#include "mutate/incremental.h"
+
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "algo/reference.h"
+#include "core/exec/thread_pool.h"
+#include "core/rng.h"
+#include "harness/dataset_registry.h"
+#include "mutate/delta.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::mutate {
+namespace {
+
+constexpr int kIterations = 10;
+constexpr double kDamping = 0.85;
+
+harness::BenchmarkConfig SmallConfig() {
+  harness::BenchmarkConfig config;
+  config.scale_divisor = 16384;  // tiny paper-catalogue instances
+  config.seed = 7;
+  return config;
+}
+
+void ExpectOracleMatch(const IncrementalPageRank& pagerank,
+                       const IncrementalWcc& wcc, const Graph& graph,
+                       exec::ThreadPool* pool, const std::string& what) {
+  auto full_pr = reference::PageRank(graph, kIterations, kDamping, pool);
+  ASSERT_TRUE(full_pr.ok()) << what << ": " << full_pr.status().ToString();
+  const std::vector<double>& expected = full_pr->double_values;
+  const std::vector<double>& actual = pagerank.output().double_values;
+  ASSERT_EQ(expected.size(), actual.size()) << what;
+  if (!expected.empty()) {
+    EXPECT_EQ(std::memcmp(expected.data(), actual.data(),
+                          expected.size() * sizeof(double)),
+              0)
+        << what << ": incremental PageRank diverged from recompute";
+  }
+
+  auto full_wcc = reference::Wcc(graph, pool);
+  ASSERT_TRUE(full_wcc.ok()) << what << ": "
+                             << full_wcc.status().ToString();
+  EXPECT_EQ(full_wcc->int_values, wcc.output().int_values)
+      << what << ": incremental WCC diverged from recompute";
+}
+
+/// Drives a chain of randomized epochs over `start` and oracle-checks
+/// both engines after every epoch. Returns the concatenated outputs so
+/// callers can additionally compare runs across --jobs values.
+struct ChainOutputs {
+  std::vector<double> pagerank;  // all epochs, concatenated
+  std::vector<std::int64_t> wcc;
+};
+
+void DriveRandomChain(const Graph& start, exec::ThreadPool* pool,
+                      const std::string& what, ChainOutputs* outputs) {
+  // Epoch schedule: mixed, insert-only, delete-only, vertex-minting,
+  // then mixed again on the grown graph.
+  const RandomBatchSpec kSchedule[] = {
+      {/*inserts=*/12, /*deletes=*/12, /*new_vertex_every=*/0},
+      {/*inserts=*/20, /*deletes=*/0, /*new_vertex_every=*/0},
+      {/*inserts=*/0, /*deletes=*/20, /*new_vertex_every=*/0},
+      {/*inserts=*/9, /*deletes=*/3, /*new_vertex_every=*/3},
+      {/*inserts=*/10, /*deletes=*/10, /*new_vertex_every=*/0},
+  };
+
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  IncrementalWcc wcc;
+  EXPECT_TRUE(pagerank.Initialize(start, pool).ok());
+  EXPECT_TRUE(wcc.Initialize(start, pool).ok());
+  ExpectOracleMatch(pagerank, wcc, start, pool, what + "/init");
+
+  SplitMix64 rng(start.num_vertices() * 1000003ULL + 17);
+  const Graph* current = &start;
+  MutationResult chain_head;
+  int epoch = 0;
+  for (const RandomBatchSpec& spec : kSchedule) {
+    ++epoch;
+    const DeltaBatch batch = RandomDeltaBatch(*current, spec, rng);
+    auto applied = ApplyDeltas(*current, batch, pool);
+    ASSERT_TRUE(applied.ok()) << what << "/epoch" << epoch << ": "
+                              << applied.status().ToString();
+    EXPECT_TRUE(pagerank.Update(*applied, pool).ok());
+    EXPECT_TRUE(wcc.Update(*applied, pool).ok());
+    ExpectOracleMatch(pagerank, wcc, applied->graph, pool,
+                      what + "/epoch" + std::to_string(epoch));
+    const std::vector<double>& pr = pagerank.output().double_values;
+    outputs->pagerank.insert(outputs->pagerank.end(), pr.begin(),
+                             pr.end());
+    const std::vector<std::int64_t>& cc = wcc.output().int_values;
+    outputs->wcc.insert(outputs->wcc.end(), cc.begin(), cc.end());
+    chain_head = std::move(*applied);
+    current = &chain_head.graph;
+  }
+  EXPECT_EQ(pagerank.stats().epochs, epoch);
+  EXPECT_EQ(wcc.stats().epochs, epoch);
+}
+
+void ExpectChainIdenticalAcrossJobs(const Graph& start,
+                                    const std::string& what) {
+  ChainOutputs serial;
+  DriveRandomChain(start, nullptr, what + "/j1", &serial);
+  for (int jobs : {2, 8}) {
+    exec::ThreadPool pool(jobs);
+    ChainOutputs threaded;
+    DriveRandomChain(start, &pool, what + "/j" + std::to_string(jobs),
+                     &threaded);
+    ASSERT_EQ(serial.pagerank.size(), threaded.pagerank.size()) << what;
+    EXPECT_EQ(std::memcmp(serial.pagerank.data(), threaded.pagerank.data(),
+                          serial.pagerank.size() * sizeof(double)),
+              0)
+        << what << ": PageRank chain differs between --jobs 1 and "
+        << jobs;
+    EXPECT_EQ(serial.wcc, threaded.wcc)
+        << what << ": WCC chain differs between --jobs 1 and " << jobs;
+  }
+}
+
+TEST(IncrementalEquivalenceTest, RandomChainDirectedR1AcrossJobs) {
+  harness::DatasetRegistry registry(SmallConfig());
+  auto graph = registry.Load("R1");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ASSERT_TRUE((*graph)->is_directed());
+  ExpectChainIdenticalAcrossJobs(**graph, "R1");
+}
+
+TEST(IncrementalEquivalenceTest, RandomChainUndirectedG22AcrossJobs) {
+  harness::DatasetRegistry registry(SmallConfig());
+  auto graph = registry.Load("G22");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+  ASSERT_FALSE((*graph)->is_directed());
+  ExpectChainIdenticalAcrossJobs(**graph, "G22");
+}
+
+TEST(IncrementalEquivalenceTest, UndirectedChainStaysIncremental) {
+  // The reason G22 is the sweep default: on undirected graphs only
+  // isolated vertices dangle, RandomDeltaBatch keeps the isolated set
+  // invariant, so the dangling-mass history matches bitwise and the
+  // engine must never trip the full-sweep fallback.
+  harness::DatasetRegistry registry(SmallConfig());
+  auto graph = registry.Load("G22");
+  ASSERT_TRUE(graph.ok()) << graph.status().ToString();
+
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  ASSERT_TRUE(pagerank.Initialize(**graph).ok());
+  SplitMix64 rng(99);
+  const DeltaBatch batch =
+      RandomDeltaBatch(**graph, {/*inserts=*/4, /*deletes=*/4, 0}, rng);
+  auto applied = ApplyDeltas(**graph, batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_TRUE(pagerank.Update(*applied).ok());
+  EXPECT_EQ(pagerank.stats().full_recomputes, 0);
+  EXPECT_GT(pagerank.stats().incremental_iterations, 0);
+  EXPECT_EQ(pagerank.stats().full_sweep_iterations, 0)
+      << "small undirected churn should never trip the dangling fallback";
+}
+
+TEST(IncrementalEquivalenceTest, ValuePruningKeepsDirtyWaveLocal) {
+  // On a large cycle the rank perturbation from one chord insert and
+  // one safe delete can only travel one hop per iteration, so the
+  // dirty wave must stay a tiny fraction of a full recompute's
+  // n * iterations gathers — this is the pruning actually paying off,
+  // not just matching the oracle.
+  const int n = 4096;
+  const Graph start = testing::MakeUndirectedCycle(n);
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  ASSERT_TRUE(pagerank.Initialize(start).ok());
+
+  DeltaBatch batch;
+  batch.ops.push_back({DeltaOp::kInsertEdge, 0, 100, 2100, 1.0});
+  batch.ops.push_back({DeltaOp::kDeleteEdge, 0, 3000, 3001, 1.0});
+  auto applied = ApplyDeltas(start, batch);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+  ASSERT_TRUE(pagerank.Update(*applied).ok());
+  EXPECT_EQ(pagerank.stats().full_sweep_iterations, 0);
+  EXPECT_GT(pagerank.stats().dirty_recomputes, 0);
+  EXPECT_LT(pagerank.stats().dirty_recomputes, n)
+      << "the dirty wave covered a whole graph's worth of gathers";
+
+  IncrementalWcc wcc;
+  ASSERT_TRUE(wcc.Initialize(start).ok());
+  ASSERT_TRUE(wcc.Update(*applied).ok());
+  ExpectOracleMatch(pagerank, wcc, applied->graph, nullptr, "cycle");
+}
+
+// --- targeted batch-semantics cases on small fixtures -------------------
+
+/// Applies `batch` and checks both engines against the oracle.
+void ExpectEpochMatchesOracle(const Graph& start, const DeltaBatch& batch,
+                              const std::string& what) {
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  IncrementalWcc wcc;
+  ASSERT_TRUE(pagerank.Initialize(start).ok());
+  ASSERT_TRUE(wcc.Initialize(start).ok());
+  auto applied = ApplyDeltas(start, batch);
+  ASSERT_TRUE(applied.ok()) << what << ": " << applied.status().ToString();
+  ASSERT_TRUE(pagerank.Update(*applied).ok());
+  ASSERT_TRUE(wcc.Update(*applied).ok());
+  ExpectOracleMatch(pagerank, wcc, applied->graph, nullptr, what);
+}
+
+TEST(IncrementalEquivalenceTest, EmptyBatchIsIdentity) {
+  const Graph start = testing::MakeUndirectedCycle(12);
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  IncrementalWcc wcc;
+  ASSERT_TRUE(pagerank.Initialize(start).ok());
+  ASSERT_TRUE(wcc.Initialize(start).ok());
+  const std::vector<double> before = pagerank.output().double_values;
+
+  auto applied = ApplyDeltas(start, DeltaBatch{});
+  ASSERT_TRUE(applied.ok());
+  ASSERT_TRUE(pagerank.Update(*applied).ok());
+  ASSERT_TRUE(wcc.Update(*applied).ok());
+  EXPECT_EQ(std::memcmp(before.data(),
+                        pagerank.output().double_values.data(),
+                        before.size() * sizeof(double)),
+            0);
+  EXPECT_EQ(pagerank.stats().dirty_recomputes, 0)
+      << "an empty epoch must not re-gather anything";
+  ExpectOracleMatch(pagerank, wcc, applied->graph, nullptr, "empty");
+}
+
+TEST(IncrementalEquivalenceTest, DuplicateEdgeInBatchLastWins) {
+  const Graph start = testing::MakeStar(8);
+  DeltaBatch batch;
+  // Same logical edge three times: insert, delete, insert — net insert.
+  batch.ops.push_back({DeltaOp::kInsertEdge, 0, 3, 5, 1.0});
+  batch.ops.push_back({DeltaOp::kDeleteEdge, 0, 3, 5, 1.0});
+  batch.ops.push_back({DeltaOp::kInsertEdge, 0, 5, 3, 1.0});  // canonical dup
+  ExpectEpochMatchesOracle(start, batch, "duplicate-edge");
+}
+
+TEST(IncrementalEquivalenceTest, DeleteNonexistentIsRecordedNoOp) {
+  const Graph start = testing::MakeUndirectedCycle(10);
+  DeltaBatch batch;
+  batch.ops.push_back({DeltaOp::kDeleteEdge, 0, 2, 7, 1.0});   // absent edge
+  batch.ops.push_back({DeltaOp::kDeleteEdge, 0, 500, 1, 1.0});  // absent id
+  auto applied = ApplyDeltas(start, batch);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->stats.missing_deletes, 2);
+  EXPECT_EQ(applied->stats.deleted_edges, 0);
+  ExpectEpochMatchesOracle(start, batch, "delete-nonexistent");
+}
+
+TEST(IncrementalEquivalenceTest, VertexIsolationKeepsVertex) {
+  // Deleting a vertex's last edge leaves it isolated: n stays constant,
+  // PageRank treats it as dangling, WCC gives it a singleton label.
+  const Graph start = testing::MakeGraph(
+      Directedness::kUndirected,
+      {{0, 1}, {1, 2}, {2, 0}, {3, 0}});
+  DeltaBatch batch;
+  batch.ops.push_back({DeltaOp::kDeleteEdge, 0, 3, 0, 1.0});
+  auto applied = ApplyDeltas(start, batch);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_EQ(applied->graph.num_vertices(), start.num_vertices());
+  EXPECT_FALSE(applied->vertex_set_changed);
+
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  IncrementalWcc wcc;
+  ASSERT_TRUE(pagerank.Initialize(start).ok());
+  ASSERT_TRUE(wcc.Initialize(start).ok());
+  ASSERT_TRUE(pagerank.Update(*applied).ok());
+  ASSERT_TRUE(wcc.Update(*applied).ok());
+  ExpectOracleMatch(pagerank, wcc, applied->graph, nullptr, "isolation");
+  // Vertex 3 is its own (singleton) component now.
+  const VertexIndex isolated = applied->graph.IndexOf(3);
+  EXPECT_EQ(wcc.output().int_values[isolated], 3);
+}
+
+TEST(IncrementalEquivalenceTest, MintedVerticesTriggerCleanRecompute) {
+  const Graph start = testing::MakeUndirectedCycle(8);
+  DeltaBatch batch;
+  batch.ops.push_back({DeltaOp::kAddVertex, 0, 40, 0, 1.0});
+  batch.ops.push_back({DeltaOp::kInsertEdge, 0, 41, 2, 1.0});
+  auto applied = ApplyDeltas(start, batch);
+  ASSERT_TRUE(applied.ok());
+  EXPECT_TRUE(applied->vertex_set_changed);
+  EXPECT_EQ(applied->graph.num_vertices(), start.num_vertices() + 2);
+
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  IncrementalWcc wcc;
+  ASSERT_TRUE(pagerank.Initialize(start).ok());
+  ASSERT_TRUE(wcc.Initialize(start).ok());
+  ASSERT_TRUE(pagerank.Update(*applied).ok());
+  ASSERT_TRUE(wcc.Update(*applied).ok());
+  EXPECT_EQ(pagerank.stats().full_recomputes, 1)
+      << "n changed, so the 1/n terms force a full recompute";
+  EXPECT_EQ(pagerank.stats().epochs, 1);
+  ExpectOracleMatch(pagerank, wcc, applied->graph, nullptr, "minted");
+}
+
+TEST(IncrementalEquivalenceTest, UpdateBeforeInitializeRejected) {
+  const Graph start = testing::MakeUndirectedCycle(4);
+  auto applied = ApplyDeltas(start, DeltaBatch{});
+  ASSERT_TRUE(applied.ok());
+  IncrementalPageRank pagerank(kIterations, kDamping);
+  EXPECT_EQ(pagerank.Update(*applied).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+}  // namespace
+}  // namespace ga::mutate

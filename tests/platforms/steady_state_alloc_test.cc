@@ -16,11 +16,15 @@
 #include <cstdlib>
 #include <new>
 #include <string>
+#include <vector>
 
 #include "algo/params.h"
 #include "core/exec/alloc_stats.h"
 #include "core/graph.h"
+#include "core/rng.h"
 #include "datagen/graph500.h"
+#include "mutate/delta.h"
+#include "mutate/incremental.h"
 #include "platforms/platform.h"
 #include "sysmodel/cluster.h"
 
@@ -261,6 +265,95 @@ TEST(SteadyStateAllocTest, PushPullWccFrontier) {
 
 TEST(SteadyStateAllocTest, SpMatWccFrontier) {
   ExpectSuperstepInvariantWccAllocations("spmat");
+}
+
+// --- Incremental engines (ga::mutate) ---------------------------------------
+//
+// The same contract extended to mutation epochs (DESIGN.md §12): after
+// Initialize and the first Update have warmed the frontier staging, every
+// further Update at constant n must perform zero data-path heap
+// allocations. Probe: two runs over a SHARED pregenerated epoch chain,
+// consuming 2 vs 6 epochs — identical warm-up prefix, so any count
+// difference is attributable to the 4 extra steady-state epochs.
+
+const Graph& MutateBaseGraph() {
+  static const Graph graph = [] {
+    datagen::Graph500Config config;
+    config.scale = 9;
+    config.num_edges = 3000;
+    config.directedness = Directedness::kUndirected;
+    config.seed = 17;
+    auto built = datagen::GenerateGraph500(config);
+    if (!built.ok()) std::abort();
+    return std::move(built).value();
+  }();
+  return graph;
+}
+
+/// Six constant-n epochs (no vertex minting — growth epochs are allowed
+/// to reallocate), pregenerated once so every audited run replays the
+/// identical chain without ApplyDeltas inside the counted region.
+const std::vector<mutate::MutationResult>& MutationChain() {
+  static const std::vector<mutate::MutationResult>& chain = *[] {
+    auto* results = new std::vector<mutate::MutationResult>();
+    results->reserve(6);
+    SplitMix64 rng(5);
+    const Graph* current = &MutateBaseGraph();
+    for (int epoch = 0; epoch < 6; ++epoch) {
+      const mutate::DeltaBatch batch = mutate::RandomDeltaBatch(
+          *current, {/*inserts=*/20, /*deletes=*/20, /*new_vertex_every=*/0},
+          rng);
+      auto applied = mutate::ApplyDeltas(*current, batch);
+      if (!applied.ok()) std::abort();
+      results->push_back(std::move(*applied));
+      current = &results->back().graph;
+    }
+    return results;
+  }();
+  return chain;
+}
+
+std::uint64_t IncrementalPageRankAllocations(int epochs) {
+  const std::vector<mutate::MutationResult>& chain = MutationChain();
+  const std::uint64_t before = g_allocations.load();
+  mutate::IncrementalPageRank engine(/*iterations=*/8, /*damping=*/0.85);
+  if (!engine.Initialize(MutateBaseGraph()).ok()) std::abort();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (!engine.Update(chain[epoch]).ok()) std::abort();
+  }
+  return g_allocations.load() - before;
+}
+
+std::uint64_t IncrementalWccAllocations(int epochs) {
+  const std::vector<mutate::MutationResult>& chain = MutationChain();
+  const std::uint64_t before = g_allocations.load();
+  mutate::IncrementalWcc engine;
+  if (!engine.Initialize(MutateBaseGraph()).ok()) std::abort();
+  for (int epoch = 0; epoch < epochs; ++epoch) {
+    if (!engine.Update(chain[epoch]).ok()) std::abort();
+  }
+  return g_allocations.load() - before;
+}
+
+TEST(SteadyStateAllocTest, IncrementalPageRankEpochs) {
+  MutationChain();  // pregenerate outside the audit
+  const std::uint64_t short_run = IncrementalPageRankAllocations(2);
+  const std::uint64_t long_run = IncrementalPageRankAllocations(6);
+  ASSERT_GT(short_run, 0u);  // Initialize must be visible to the counter
+  EXPECT_EQ(long_run, short_run)
+      << "IncrementalPageRank allocated "
+      << (long_run - short_run) / 4.0
+      << " times per steady-state mutation epoch";
+}
+
+TEST(SteadyStateAllocTest, IncrementalWccEpochs) {
+  MutationChain();
+  const std::uint64_t short_run = IncrementalWccAllocations(2);
+  const std::uint64_t long_run = IncrementalWccAllocations(6);
+  ASSERT_GT(short_run, 0u);
+  EXPECT_EQ(long_run, short_run)
+      << "IncrementalWcc allocated " << (long_run - short_run) / 4.0
+      << " times per steady-state mutation epoch";
 }
 
 }  // namespace

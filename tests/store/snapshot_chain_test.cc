@@ -1,0 +1,236 @@
+// Versioned snapshot chains (ISSUE PR7): a chained `.gab` child records
+// its parent's snapshot checksum plus the exact delta ops that produced
+// it. This suite covers the round-trip (ReadChainRecord returns the
+// bytes WriteChainedSnapshot stored), the hash-chain integrity checks
+// (wrong parent, tampering, truncation — all clean Status, never UB),
+// and the replay oracle: ReplayChain re-applies every stored batch and
+// must reproduce the stored head CSR bit-for-bit.
+#include "store/chain.h"
+
+#include <gtest/gtest.h>
+
+#include <unistd.h>
+
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "core/rng.h"
+#include "datagen/graph500.h"
+#include "mutate/delta.h"
+#include "store/snapshot.h"
+
+namespace ga::store {
+namespace {
+
+class SnapshotChainTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    dir_ = std::filesystem::temp_directory_path() /
+           ("ga_chain_test_" + std::to_string(::getpid()));
+    std::filesystem::create_directories(dir_);
+  }
+  void TearDown() override {
+    std::error_code ec;
+    std::filesystem::remove_all(dir_, ec);
+  }
+
+  std::string PathFor(const std::string& name) const {
+    return (dir_ / name).string();
+  }
+
+  /// Writes root + `epochs` chained children into the fixture dir and
+  /// returns their paths; `head` receives the final in-memory graph.
+  void BuildChain(const Graph& root, int epochs,
+                  std::vector<std::string>* paths, Graph* head) {
+    paths->clear();
+    paths->push_back(PathFor("root.gab"));
+    ASSERT_TRUE(WriteSnapshot(root, paths->front()).ok());
+    auto checksum = SnapshotChecksum(paths->front());
+    ASSERT_TRUE(checksum.ok());
+
+    SplitMix64 rng(4242);
+    const Graph* current = &root;
+    mutate::MutationResult keep;
+    for (int epoch = 1; epoch <= epochs; ++epoch) {
+      const mutate::DeltaBatch batch = mutate::RandomDeltaBatch(
+          *current,
+          {/*inserts=*/25, /*deletes=*/25, /*new_vertex_every=*/11}, rng);
+      auto applied = mutate::ApplyDeltas(*current, batch);
+      ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+      const std::string path =
+          PathFor("epoch" + std::to_string(epoch) + ".gab");
+      ASSERT_TRUE(WriteChainedSnapshot(applied->graph, path, *checksum,
+                                       static_cast<std::uint64_t>(epoch),
+                                       batch)
+                      .ok());
+      paths->push_back(path);
+      checksum = SnapshotChecksum(path);
+      ASSERT_TRUE(checksum.ok());
+      keep = std::move(*applied);
+      current = &keep.graph;
+    }
+    *head = std::move(keep.graph);
+  }
+
+  std::filesystem::path dir_;
+};
+
+Graph BaseGraph() {
+  datagen::Graph500Config config;
+  config.scale = 8;
+  config.num_edges = 1500;
+  config.directedness = Directedness::kUndirected;
+  config.seed = 29;
+  auto graph = datagen::GenerateGraph500(config);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+TEST_F(SnapshotChainTest, ChainRecordRoundTrip) {
+  const Graph root = BaseGraph();
+  const std::string root_path = PathFor("root.gab");
+  ASSERT_TRUE(WriteSnapshot(root, root_path).ok());
+  auto parent_checksum = SnapshotChecksum(root_path);
+  ASSERT_TRUE(parent_checksum.ok());
+
+  SplitMix64 rng(7);
+  const mutate::DeltaBatch batch = mutate::RandomDeltaBatch(
+      root, {/*inserts=*/10, /*deletes=*/10, /*new_vertex_every=*/0}, rng);
+  auto applied = mutate::ApplyDeltas(root, batch);
+  ASSERT_TRUE(applied.ok());
+  const std::string child_path = PathFor("child.gab");
+  ASSERT_TRUE(WriteChainedSnapshot(applied->graph, child_path,
+                                   *parent_checksum, /*epoch=*/1, batch)
+                  .ok());
+
+  // The chained child is still a fully valid snapshot of the child CSR.
+  auto loaded = ReadSnapshot(child_path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE(GraphsBitIdentical(*loaded, applied->graph));
+
+  auto record = ReadChainRecord(child_path);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  ASSERT_TRUE(record->has_value());
+  EXPECT_EQ((*record)->parent_checksum, *parent_checksum);
+  EXPECT_EQ((*record)->epoch, 1u);
+  ASSERT_EQ((*record)->deltas.ops.size(), batch.ops.size());
+  EXPECT_EQ(std::memcmp((*record)->deltas.ops.data(), batch.ops.data(),
+                        batch.ops.size() * sizeof(mutate::EdgeDelta)),
+            0)
+      << "stored delta ops are not the bytes that were written";
+
+  // The unchained root reads back as "no chain record", not an error.
+  auto root_record = ReadChainRecord(root_path);
+  ASSERT_TRUE(root_record.ok()) << root_record.status().ToString();
+  EXPECT_FALSE(root_record->has_value());
+}
+
+TEST_F(SnapshotChainTest, EmptyBatchLinkRoundTrips) {
+  const Graph root = BaseGraph();
+  const std::string root_path = PathFor("root.gab");
+  ASSERT_TRUE(WriteSnapshot(root, root_path).ok());
+  auto checksum = SnapshotChecksum(root_path);
+  ASSERT_TRUE(checksum.ok());
+
+  mutate::DeltaBatch empty;
+  auto applied = mutate::ApplyDeltas(root, empty);
+  ASSERT_TRUE(applied.ok());
+  const std::string child_path = PathFor("noop.gab");
+  ASSERT_TRUE(WriteChainedSnapshot(applied->graph, child_path, *checksum,
+                                   /*epoch=*/1, empty)
+                  .ok());
+  auto record = ReadChainRecord(child_path);
+  ASSERT_TRUE(record.ok()) << record.status().ToString();
+  ASSERT_TRUE(record->has_value());
+  EXPECT_TRUE((*record)->deltas.ops.empty());
+
+  auto replayed = ReplayChain({root_path, child_path});
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(GraphsBitIdentical(*replayed, root));
+}
+
+TEST_F(SnapshotChainTest, ReplayChainReproducesHeadBitExactly) {
+  const Graph root = BaseGraph();
+  std::vector<std::string> paths;
+  Graph head;
+  BuildChain(root, /*epochs=*/3, &paths, &head);
+  ASSERT_EQ(paths.size(), 4u);
+
+  auto replayed = ReplayChain(paths);
+  ASSERT_TRUE(replayed.ok()) << replayed.status().ToString();
+  EXPECT_TRUE(GraphsBitIdentical(*replayed, head));
+
+  // A replay can also start from any interior snapshot.
+  auto suffix = ReplayChain({paths[1], paths[2], paths[3]});
+  ASSERT_TRUE(suffix.ok()) << suffix.status().ToString();
+  EXPECT_TRUE(GraphsBitIdentical(*suffix, head));
+}
+
+TEST_F(SnapshotChainTest, BrokenParentLinkRejected) {
+  const Graph root = BaseGraph();
+  std::vector<std::string> paths;
+  Graph head;
+  BuildChain(root, /*epochs=*/3, &paths, &head);
+
+  // Skipping a link breaks the parent-checksum chain.
+  auto skipped = ReplayChain({paths[0], paths[2]});
+  EXPECT_EQ(skipped.status().code(), StatusCode::kFailedPrecondition);
+
+  // An unchained snapshot cannot sit mid-chain.
+  auto unchained = ReplayChain({paths[1], paths[0]});
+  EXPECT_EQ(unchained.status().code(), StatusCode::kFailedPrecondition);
+
+  // Reversing the order breaks it too.
+  auto reversed = ReplayChain({paths[2], paths[1]});
+  EXPECT_EQ(reversed.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotChainTest, TamperedChainPayloadRejected) {
+  const Graph root = BaseGraph();
+  std::vector<std::string> paths;
+  Graph head;
+  BuildChain(root, /*epochs=*/1, &paths, &head);
+
+  // The chain sections are the file's final payloads; flipping a byte
+  // near the end corrupts them without touching the CSR sections.
+  const std::string& victim = paths[1];
+  const auto size = std::filesystem::file_size(victim);
+  {
+    std::fstream file(victim,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.good());
+    file.seekg(static_cast<std::streamoff>(size - 5));
+    char byte = 0;
+    file.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x5a);
+    file.seekp(static_cast<std::streamoff>(size - 5));
+    file.write(&byte, 1);
+  }
+
+  auto record = ReadChainRecord(victim);
+  EXPECT_FALSE(record.ok())
+      << "tampered chain payload must fail its section checksum";
+  auto replayed = ReplayChain(paths);
+  EXPECT_FALSE(replayed.ok());
+}
+
+TEST_F(SnapshotChainTest, TruncatedChainedSnapshotRejected) {
+  const Graph root = BaseGraph();
+  std::vector<std::string> paths;
+  Graph head;
+  BuildChain(root, /*epochs=*/1, &paths, &head);
+
+  const std::string& victim = paths[1];
+  const auto size = std::filesystem::file_size(victim);
+  std::filesystem::resize_file(victim, size / 2);
+
+  EXPECT_FALSE(ReadChainRecord(victim).ok());
+  EXPECT_FALSE(ReadSnapshot(victim).ok());
+  EXPECT_FALSE(ReplayChain(paths).ok());
+}
+
+}  // namespace
+}  // namespace ga::store

@@ -12,7 +12,11 @@
 //          machine-readable experiments.json. See docs/BENCHMARK_GUIDE.md.
 //   data   — the ga::store dataset tooling: import/export LDBC
 //          Graphalytics `.v`/`.e` text, generate registry datasets into
-//          `.gab` snapshots, and inspect/verify snapshot files.
+//          `.gab` snapshots, inspect/verify snapshot files, apply delta
+//          batches into chained snapshots, and show chain provenance.
+//   mutate — the streaming-mutation sweep (ga::mutate): evolve a dataset
+//          through random delta epochs, race incremental PageRank/WCC
+//          against full recomputes, verify byte-identity per epoch.
 //
 // Usage:
 //   graphalytics_cli [run] [--platforms a,b] [--datasets X,Y]
@@ -22,27 +26,37 @@
 //   graphalytics_cli suite --plan <smoke|paper|file> [--jobs N]
 //                    [--data-dir DIR] [--out experiments.json]
 //                    [--report report.txt]
-//   graphalytics_cli data <import|export|gen|inspect|verify> ...
+//   graphalytics_cli data <import|export|gen|inspect|verify|apply|log> ...
+//   graphalytics_cli mutate [--dataset ID] [--rates r1,r2] [--epochs N]
+//                    [--jobs N] [--out FILE.json] [--report FILE]
 //
 // GA_SCALE_DIVISOR / GA_SEED / GA_JOBS / GA_DATA_DIR configure the
 // deployment scale, host parallelism and the persistent dataset cache.
+#include <algorithm>
 #include <cerrno>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <limits>
+#include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
+
+#include <filesystem>
 
 #include "core/exec/thread_pool.h"
 #include "core/strings.h"
 #include "granula/chrome_trace.h"
+#include "experiments/mutation_sweep.h"
 #include "experiments/plan.h"
 #include "experiments/suite.h"
 #include "harness/report.h"
 #include "harness/results_db.h"
 #include "harness/runner.h"
+#include "mutate/delta.h"
+#include "store/chain.h"
 #include "store/snapshot.h"
 #include "store/text_io.h"
 
@@ -74,6 +88,17 @@ void PrintUsage(std::FILE* stream) {
       "                   --in FILE.gab\n"
       "           verify  full integrity check (checksums + structure)\n"
       "                   --in FILE.gab\n"
+      "           apply   apply a delta batch, writing a CHAINED child\n"
+      "                   snapshot (records the parent's checksum + the\n"
+      "                   raw ops): --in PARENT.gab --deltas FILE\n"
+      "                   --out CHILD.gab [--jobs N]\n"
+      "                   (delta lines: \"+ s t [w]\", \"- s t\", \"v id\")\n"
+      "           log     show a snapshot's chain provenance; with\n"
+      "                   --dir DIR, resolve and verify the whole\n"
+      "                   ancestry by checksum: --in FILE.gab [--dir DIR]\n"
+      "  mutate streaming-mutation sweep: evolve a dataset through random\n"
+      "         delta epochs; incremental PageRank/WCC vs full recompute,\n"
+      "         byte-identity verified per epoch (see DESIGN.md Section 12)\n"
       "\n"
       "run options:\n"
       "  --platforms a,b,...   platform ids (default: all six)\n"
@@ -108,6 +133,20 @@ void PrintUsage(std::FILE* stream) {
       "                        process group per cell in the exported\n"
       "                        Chrome trace; adds deterministic exec\n"
       "                        counters to experiments.json\n"
+      "\n"
+      "mutate options:\n"
+      "  --dataset ID          dataset to evolve (default: G22)\n"
+      "  --rates r1,r2,...     update rates, batch = rate*|E| ops/epoch\n"
+      "                        (default: 0.001,0.01,0.05)\n"
+      "  --epochs N            delta epochs per rate (default: 6)\n"
+      "  --iterations N        PageRank iterations (default: 20)\n"
+      "  --seed N              delta-stream seed (default: 42)\n"
+      "  --no-verify           skip the per-epoch recompute oracle\n"
+      "  --jobs N              host threads; outputs are bit-identical\n"
+      "                        at any N\n"
+      "  --data-dir DIR        persistent dataset cache, as above\n"
+      "  --out FILE            write the sweep JSON artifact\n"
+      "  --report FILE         also write the text report to FILE\n"
       "\n"
       "common:\n"
       "  --help                show this help\n"
@@ -383,12 +422,14 @@ int SuiteMode(const std::vector<std::string>& args) {
   return 0;
 }
 
-// Shared flag state for the five `data` submodes.
+// Shared flag state for the seven `data` submodes.
 struct DataArgs {
   std::string in;
   std::string out;
   std::string dataset;
   std::string data_dir;
+  std::string deltas;  // apply: delta batch file
+  std::string dir;     // log: directory to resolve ancestors in
   bool undirected = false;
   bool weighted = false;
   int jobs = -1;
@@ -413,6 +454,10 @@ DataParse ParseDataArgs(const std::vector<std::string>& args,
       parsed->dataset = next();
     } else if (arg == "--data-dir") {
       parsed->data_dir = next();
+    } else if (arg == "--deltas") {
+      parsed->deltas = next();
+    } else if (arg == "--dir") {
+      parsed->dir = next();
     } else if (arg == "--undirected") {
       parsed->undirected = true;
     } else if (arg == "--directed") {
@@ -590,12 +635,231 @@ int DataMode(const std::vector<std::string>& args) {
                 parsed.in.c_str());
     return 0;
   }
+  if (sub == "apply") {
+    if (parsed.in.empty() || parsed.deltas.empty() || parsed.out.empty()) {
+      std::fprintf(stderr,
+                   "data apply requires --in PARENT.gab --deltas FILE "
+                   "--out CHILD.gab\n");
+      return 2;
+    }
+    auto parent = ga::store::ReadSnapshot(parsed.in);
+    if (!parent.ok()) return Fail(parent.status());
+    auto parent_checksum = ga::store::SnapshotChecksum(parsed.in);
+    if (!parent_checksum.ok()) return Fail(parent_checksum.status());
+    auto parent_record = ga::store::ReadChainRecord(parsed.in);
+    if (!parent_record.ok()) return Fail(parent_record.status());
+    const std::uint64_t epoch =
+        parent_record->has_value() ? (*parent_record)->epoch + 1 : 1;
+
+    auto batch = ga::mutate::LoadDeltaFile(parsed.deltas);
+    if (!batch.ok()) return Fail(batch.status());
+    auto applied = ga::mutate::ApplyDeltas(*parent, *batch, pool.get());
+    if (!applied.ok()) return Fail(applied.status());
+    PrintGraphSummary(applied->graph);
+    const auto& stats = applied->stats;
+    std::printf("applied %zu ops: +%lld edges, -%lld edges, "
+                "%lld upserts, %lld missing deletes, +%lld vertices\n",
+                batch->ops.size(),
+                static_cast<long long>(stats.inserted_edges),
+                static_cast<long long>(stats.deleted_edges),
+                static_cast<long long>(stats.redundant_inserts),
+                static_cast<long long>(stats.missing_deletes),
+                static_cast<long long>(stats.added_vertices));
+    ga::Status written = ga::store::WriteChainedSnapshot(
+        applied->graph, parsed.out, *parent_checksum, epoch, *batch);
+    if (!written.ok()) return Fail(written);
+    std::printf("chained snapshot (epoch %llu) written to %s\n",
+                static_cast<unsigned long long>(epoch), parsed.out.c_str());
+    return 0;
+  }
+  if (sub == "log") {
+    if (parsed.in.empty()) {
+      std::fprintf(stderr, "data log requires --in FILE.gab [--dir DIR]\n");
+      return 2;
+    }
+    auto print_link = [](const std::string& path,
+                         std::uint64_t checksum,
+                         const std::optional<ga::store::ChainRecord>&
+                             record) {
+      if (record.has_value()) {
+        std::printf("%s  checksum %016llx  epoch %llu  parent %016llx  "
+                    "%zu ops\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(checksum),
+                    static_cast<unsigned long long>(record->epoch),
+                    static_cast<unsigned long long>(
+                        record->parent_checksum),
+                    record->deltas.ops.size());
+      } else {
+        std::printf("%s  checksum %016llx  (root: unchained snapshot)\n",
+                    path.c_str(),
+                    static_cast<unsigned long long>(checksum));
+      }
+    };
+    auto checksum = ga::store::SnapshotChecksum(parsed.in);
+    if (!checksum.ok()) return Fail(checksum.status());
+    auto record = ga::store::ReadChainRecord(parsed.in);
+    if (!record.ok()) return Fail(record.status());
+    if (parsed.dir.empty()) {
+      print_link(parsed.in, *checksum, *record);
+      return 0;
+    }
+    // Resolve ancestry inside --dir by checksum, then verify the chain
+    // end-to-end (parent links + delta replay, bit-for-bit).
+    std::map<std::uint64_t, std::string> by_checksum;
+    std::error_code ec;
+    for (const auto& entry :
+         std::filesystem::directory_iterator(parsed.dir, ec)) {
+      if (!entry.is_regular_file() ||
+          entry.path().extension() != ".gab") {
+        continue;
+      }
+      auto entry_checksum =
+          ga::store::SnapshotChecksum(entry.path().string());
+      if (entry_checksum.ok()) {
+        by_checksum[*entry_checksum] = entry.path().string();
+      }
+    }
+    if (ec) {
+      std::fprintf(stderr, "cannot scan %s: %s\n", parsed.dir.c_str(),
+                   ec.message().c_str());
+      return 1;
+    }
+    std::vector<std::string> chain = {parsed.in};
+    auto walk = *record;
+    while (walk.has_value()) {
+      auto parent_it = by_checksum.find(walk->parent_checksum);
+      if (parent_it == by_checksum.end()) {
+        std::fprintf(stderr,
+                     "parent %016llx not found in %s (chain truncated)\n",
+                     static_cast<unsigned long long>(
+                         walk->parent_checksum),
+                     parsed.dir.c_str());
+        return 1;
+      }
+      chain.push_back(parent_it->second);
+      auto parent_rec = ga::store::ReadChainRecord(parent_it->second);
+      if (!parent_rec.ok()) return Fail(parent_rec.status());
+      walk = *parent_rec;
+    }
+    // Root-first for replay and display.
+    std::reverse(chain.begin(), chain.end());
+    for (const std::string& path : chain) {
+      auto link_checksum = ga::store::SnapshotChecksum(path);
+      if (!link_checksum.ok()) return Fail(link_checksum.status());
+      auto link_record = ga::store::ReadChainRecord(path);
+      if (!link_record.ok()) return Fail(link_record.status());
+      print_link(path, *link_checksum, *link_record);
+    }
+    auto head = ga::store::ReplayChain(chain, pool.get());
+    if (!head.ok()) return Fail(head.status());
+    std::printf("chain verified: %zu snapshots, replay reproduces the "
+                "head bit-for-bit\n",
+                chain.size());
+    return 0;
+  }
   std::fprintf(stderr,
                "unknown data subcommand \"%s\" "
-               "(valid: import, export, gen, inspect, verify)\n\n",
+               "(valid: import, export, gen, inspect, verify, apply, "
+               "log)\n\n",
                sub.c_str());
   PrintUsage(stderr);
   return 2;
+}
+
+int MutateMode(const std::vector<std::string>& args) {
+  ga::experiments::MutationSweepConfig sweep;
+  int jobs = -1;
+  std::string data_dir;
+  std::string out_path;
+  std::string report_path;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : "";
+    };
+    if (arg == "--dataset") {
+      sweep.dataset_id = next();
+    } else if (arg == "--rates") {
+      sweep.update_rates.clear();
+      for (const std::string& rate : SplitCsv(next())) {
+        const double value = std::atof(rate.c_str());
+        if (value <= 0.0) {
+          std::fprintf(stderr, "--rates needs positive numbers, got %s\n",
+                       rate.c_str());
+          return 2;
+        }
+        sweep.update_rates.push_back(value);
+      }
+      if (sweep.update_rates.empty()) {
+        std::fprintf(stderr, "--rates needs at least one rate\n");
+        return 2;
+      }
+    } else if (arg == "--epochs") {
+      sweep.epochs = std::atoi(next());
+    } else if (arg == "--iterations") {
+      sweep.pagerank_iterations = std::atoi(next());
+    } else if (arg == "--seed") {
+      sweep.seed = static_cast<std::uint64_t>(
+          std::strtoull(next(), nullptr, 10));
+    } else if (arg == "--no-verify") {
+      sweep.verify = false;
+    } else if (arg == "--jobs") {
+      if (!ParseJobs(next(), &jobs)) return 2;
+    } else if (arg == "--data-dir") {
+      data_dir = next();
+    } else if (arg == "--out") {
+      out_path = next();
+    } else if (arg == "--report") {
+      report_path = next();
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown mutate flag %s\n\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+
+  ga::harness::BenchmarkConfig config =
+      ga::harness::BenchmarkConfig::FromEnv();
+  if (jobs >= 0) config.host_jobs = jobs;
+  if (!data_dir.empty()) config.data_dir = data_dir;
+  sweep.pagerank_iterations = std::max(sweep.pagerank_iterations, 0);
+
+  std::unique_ptr<ga::exec::ThreadPool> pool;
+  const int pool_threads =
+      config.host_jobs <= 0 ? ga::exec::ThreadPool::HardwareConcurrency()
+                            : config.host_jobs;
+  if (pool_threads > 1) {
+    pool = std::make_unique<ga::exec::ThreadPool>(pool_threads);
+  }
+  std::printf("host threads: %d\n", pool != nullptr ? pool_threads : 1);
+
+  ga::harness::DatasetRegistry registry(config);
+  registry.set_host_pool(pool.get());
+  auto result =
+      ga::experiments::RunMutationSweep(sweep, registry, pool.get());
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  const std::string report = ga::experiments::RenderMutationReport(*result);
+  std::printf("%s", report.c_str());
+  if (!out_path.empty()) {
+    if (!WriteFileOrComplain(out_path,
+                             ga::experiments::MutationSweepToJson(*result))) {
+      return 1;
+    }
+    std::printf("sweep JSON written to %s\n", out_path.c_str());
+  }
+  if (!report_path.empty()) {
+    if (!WriteFileOrComplain(report_path, report)) return 1;
+    std::printf("report written to %s\n", report_path.c_str());
+  }
+  return 0;
 }
 
 }  // namespace
@@ -625,12 +889,14 @@ int main(int argc, char** argv) {
     if (mode == "run") return RunMode(args);
     if (mode == "suite") return SuiteMode(args);
     if (mode == "data") return DataMode(args);
+    if (mode == "mutate") return MutateMode(args);
     if (mode == "help") {
       PrintUsage(stdout);
       return 0;
     }
     std::fprintf(stderr,
-                 "unknown mode \"%s\" (valid modes: run, suite, data)\n\n",
+                 "unknown mode \"%s\" (valid modes: run, suite, data, "
+                 "mutate)\n\n",
                  mode.c_str());
     PrintUsage(stderr);
     return 2;
