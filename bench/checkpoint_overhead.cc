@@ -1,0 +1,255 @@
+// Bounded-overhead gate for superstep checkpointing (PR 8,
+// docs/ROBUSTNESS.md): running a checkpoint-capable kernel with the
+// default cadence-8 checkpoint plan (state serialized, checksummed and
+// atomically renamed every 8th superstep) must cost < 5% wall time
+// versus the plain run, geomean over the kernels — and the checkpointed
+// run's outputs and ledger must be byte-identical to the plain run's.
+//
+// Hand-rolled min-of-N timing (no google-benchmark dependency), with
+// plain/checkpointed reps interleaved so scheduler noise and frequency
+// drift hit both sides alike. Emits BENCH_PR8.json to the path in
+// argv[1] (default: stdout).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/json_writer.h"
+#include "platforms/platform.h"
+
+namespace ga::bench {
+namespace {
+
+struct Kernel {
+  const char* platform_id;
+  Algorithm algorithm;
+};
+
+// Every engine/algorithm pair that participates in checkpointing: the
+// sparse-matrix sweeps and the Pregel runtime, over the frontier (BFS),
+// fixed-iteration (PR) and label-propagation (WCC) shapes.
+constexpr Kernel kKernels[] = {
+    {"spmat", Algorithm::kBfs},   {"spmat", Algorithm::kPageRank},
+    {"spmat", Algorithm::kWcc},   {"bsplite", Algorithm::kBfs},
+    {"bsplite", Algorithm::kPageRank}, {"bsplite", Algorithm::kWcc},
+};
+
+// The gate runs at the recommended production cadence (checkpoint every
+// 8th superstep, docs/ROBUSTNESS.md). The cadence is the amortization
+// knob the <5% bound is ABOUT: a checkpoint serializes O(n) state, so
+// writing one every superstep of a short job can never be cheap —
+// instead short jobs (BFS/WCC finish in < cadence supersteps here)
+// write none and restart from scratch, while long iterative jobs (PR)
+// spread a handful of writes over many supersteps. Cadence-1 chaos runs
+// trade this overhead for superstep-exact restart; the kill/restart
+// tests cover that mode's correctness, this bench gates the default's
+// cost.
+constexpr int kGateCadence = 8;
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+platform::RunResult RunOnce(const Kernel& kernel, const Graph& graph,
+                            const AlgorithmParams& params,
+                            const harness::BenchmarkConfig& config,
+                            const std::string& checkpoint_path) {
+  auto platform = platform::CreatePlatform(kernel.platform_id);
+  if (!platform.ok()) std::abort();
+  platform::ExecutionEnvironment env;
+  env.memory_budget_bytes = config.ScaledMemoryBudget();
+  env.overhead_scale = 1.0 / static_cast<double>(config.scale_divisor);
+  env.host_pool = nullptr;  // serial: measures hook cost, not scheduling
+  if (!checkpoint_path.empty()) {
+    env.checkpoint.path = checkpoint_path;
+    env.checkpoint.cadence = kGateCadence;
+    env.checkpoint.resume = false;
+  }
+  auto run = (*platform)->RunJob(graph, kernel.algorithm, params, env);
+  if (!run.ok()) {
+    std::fprintf(stderr, "%s/%s: %s\n", kernel.platform_id,
+                 AlgorithmName(kernel.algorithm).data(),
+                 run.status().ToString().c_str());
+    std::abort();
+  }
+  return std::move(run).value();
+}
+
+double WallSecondsOnce(const Kernel& kernel, const Graph& graph,
+                       const AlgorithmParams& params,
+                       const harness::BenchmarkConfig& config,
+                       const std::string& checkpoint_path) {
+  const double begin = Now();
+  platform::RunResult run =
+      RunOnce(kernel, graph, params, config, checkpoint_path);
+  const double elapsed = Now() - begin;
+  (void)run;
+  return elapsed;
+}
+
+struct PairedTiming {
+  double plain_s = 0.0;
+  double checkpointed_s = 0.0;
+  int reps = 0;
+};
+
+PairedTiming MeasurePair(const Kernel& kernel, const Graph& graph,
+                         const AlgorithmParams& params,
+                         const harness::BenchmarkConfig& config,
+                         const std::string& checkpoint_path) {
+  const double estimate =
+      WallSecondsOnce(kernel, graph, params, config, {});
+  const double target_total_s = 0.04;  // per configuration
+  const int reps = static_cast<int>(std::clamp(
+      target_total_s / std::max(estimate, 1e-6), 7.0, 150.0));
+  PairedTiming timing;
+  timing.reps = reps;
+  timing.plain_s = 1e300;
+  timing.checkpointed_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    timing.plain_s = std::min(
+        timing.plain_s, WallSecondsOnce(kernel, graph, params, config, {}));
+    timing.checkpointed_s = std::min(
+        timing.checkpointed_s,
+        WallSecondsOnce(kernel, graph, params, config, checkpoint_path));
+  }
+  return timing;
+}
+
+bool BitIdentical(const platform::RunResult& a,
+                  const platform::RunResult& b) {
+  if (a.output.int_values != b.output.int_values) return false;
+  if (a.output.double_values.size() != b.output.double_values.size()) {
+    return false;
+  }
+  for (std::size_t i = 0; i < a.output.double_values.size(); ++i) {
+    if (std::memcmp(&a.output.double_values[i], &b.output.double_values[i],
+                    sizeof(double)) != 0) {
+      return false;
+    }
+  }
+  return a.metrics.supersteps == b.metrics.supersteps &&
+         a.metrics.ledger.compute_ops == b.metrics.ledger.compute_ops &&
+         a.metrics.ledger.messages == b.metrics.ledger.messages &&
+         a.metrics.processing_sim_seconds ==
+             b.metrics.processing_sim_seconds &&
+         a.metrics.makespan_sim_seconds == b.metrics.makespan_sim_seconds;
+}
+
+int Main(int argc, char** argv) {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  PrintHeader("checkpoint_overhead (PR 8 gate)",
+              "superstep checkpointing at the default cadence (8) on vs "
+              "off: <5% geomean wall overhead, byte-identical outputs",
+              config);
+
+  // D300, as the trace-overhead gate uses: big enough that per-superstep
+  // serialization amortizes the way it does on real workloads; tiny
+  // graphs would measure the file-create constant, not the streaming
+  // write.
+  harness::DatasetRegistry registry(config);
+  auto graph = registry.Load("D300");
+  auto params = registry.ParamsFor("D300");
+  if (!graph.ok() || !params.ok()) {
+    std::fprintf(stderr, "dataset load failed\n");
+    return 1;
+  }
+  const std::string checkpoint_path = "/tmp/ga_checkpoint_overhead.ckpt";
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("artifact", std::string_view("checkpoint_overhead"));
+  json.Field("scale_divisor", config.scale_divisor);
+  json.Field("dataset", std::string_view("D300"));
+  json.Field("cadence", kGateCadence);
+  json.Key("kernels").BeginArray();
+
+  harness::TextTable table(
+      "checkpoint overhead, interleaved min-of-N (serial host, cadence 8)",
+      {"kernel", "plain", "checkpointed", "overhead", "writes", "reps",
+       "outputs"});
+  double log_sum = 0.0;
+  int measured = 0;
+  bool all_identical = true;
+  for (const Kernel& kernel : kKernels) {
+    // Byte-identity first (also warms caches for the timed runs).
+    const platform::RunResult plain_run =
+        RunOnce(kernel, **graph, *params, config, {});
+    std::remove(checkpoint_path.c_str());
+    const platform::RunResult checkpointed_run =
+        RunOnce(kernel, **graph, *params, config, checkpoint_path);
+    const bool identical = BitIdentical(plain_run, checkpointed_run);
+    all_identical = all_identical && identical;
+    const int writes = plain_run.metrics.supersteps / kGateCadence;
+
+    const PairedTiming timing =
+        MeasurePair(kernel, **graph, *params, config, checkpoint_path);
+    const double ratio = timing.checkpointed_s / timing.plain_s;
+    log_sum += std::log(ratio);
+    ++measured;
+
+    const std::string name = std::string(kernel.platform_id) + "/" +
+                             std::string(AlgorithmName(kernel.algorithm));
+    char overhead_text[32];
+    std::snprintf(overhead_text, sizeof(overhead_text), "%+.2f%%",
+                  (ratio - 1.0) * 100.0);
+    table.AddRow({name, harness::FormatSeconds(timing.plain_s),
+                  harness::FormatSeconds(timing.checkpointed_s),
+                  overhead_text, std::to_string(writes),
+                  std::to_string(timing.reps),
+                  identical ? "identical" : "DIFFER"});
+
+    json.BeginObject();
+    json.Field("platform", std::string_view(kernel.platform_id));
+    json.Field("algorithm", AlgorithmName(kernel.algorithm));
+    json.Field("plain_s", timing.plain_s);
+    json.Field("checkpointed_s", timing.checkpointed_s);
+    json.Field("reps", timing.reps);
+    json.Field("checkpoint_writes", writes);
+    json.Field("overhead_ratio", ratio);
+    json.Field("outputs_identical", identical);
+    json.EndObject();
+  }
+  json.EndArray();
+  std::remove(checkpoint_path.c_str());
+
+  const double geomean =
+      measured > 0 ? std::exp(log_sum / measured) : 1.0;
+  const bool pass = geomean < 1.05 && all_identical;
+  json.Field("geomean_overhead_ratio", geomean);
+  json.Field("gate_max_ratio", 1.05);
+  json.Field("outputs_identical", all_identical);
+  json.Field("pass", pass);
+  json.EndObject();
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("geomean overhead: %+.2f%% (gate: <5%%) — %s\n",
+              (geomean - 1.0) * 100.0, pass ? "PASS" : "FAIL");
+
+  const std::string document = json.str();
+  if (argc > 1) {
+    std::FILE* file = std::fopen(argv[1], "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fwrite(document.data(), 1, document.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("json written to %s\n", argv[1]);
+  } else {
+    std::printf("%s\n", document.c_str());
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main(int argc, char** argv) { return ga::bench::Main(argc, argv); }

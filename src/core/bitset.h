@@ -56,6 +56,14 @@ class Bitset {
   /// run word-parallel scans (popcounts, unions) without per-bit calls.
   std::span<const std::uint64_t> words() const { return words_; }
 
+  /// Replaces the whole bit array from a checkpointed word dump
+  /// (ga::resilience). `size` is the bit count; `words` must hold
+  /// exactly (size+63)/64 entries — callers validate before restoring.
+  void RestoreWords(std::size_t size, std::span<const std::uint64_t> words) {
+    size_ = size;
+    words_.assign(words.begin(), words.end());
+  }
+
   std::size_t Count() const {
     std::size_t total = 0;
     for (std::uint64_t word : words_) total += std::popcount(word);

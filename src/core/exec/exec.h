@@ -107,9 +107,17 @@ void parallel_for(ExecContext& ctx, std::int64_t begin, std::int64_t end,
   if (num_slots == 0) return;
   CounterSheet* const sheet = ctx.counters();
   if (sheet != nullptr) sheet->NoteLoop();
+  // Fault-injection hooks (null unless a ga::faults plan is installed).
+  // The loop hook counts dispatches on the submitting thread; the chunk
+  // hook may throw an injected fault inside a worker chunk. Both fire on
+  // the inline and pooled paths alike, so an armed plan reproduces the
+  // same failure sequence at any host thread count.
+  if (ParallelLoopHook loop_hook = GetParallelLoopHook()) loop_hook();
+  const ParallelChunkHook chunk_hook = GetParallelChunkHook();
   // The timed and untimed paths run the identical slot sequence; timing
   // wraps the body without touching the decomposition.
   const auto run = [&](int slot) {
+    if (chunk_hook != nullptr) chunk_hook(slot);
     if (sheet != nullptr) {
       const std::int64_t chunk_begin = sheet->NowTicks();
       body(ExecContext::SliceOf(begin, end, slot, num_slots));

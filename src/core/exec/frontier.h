@@ -184,6 +184,33 @@ class Frontier {
     current_ = 1 - current_;
   }
 
+  // --- checkpoint/restart (ga::resilience) ------------------------------
+
+  /// Which double-buffer side is current — checkpointed so a restored
+  /// frontier continues the same swap phase as the uninterrupted run.
+  int current_side() const { return current_; }
+
+  /// Restores the CURRENT side wholesale at a superstep boundary (where
+  /// the next side and the stage are empty — Advance just ran, so the
+  /// consumed side was wiped, which matches the post-Init state). Call
+  /// Init(n) first; `bit_words` must hold (n+63)/64 entries.
+  void RestoreCurrent(int side, std::span<const VertexIndex> sparse,
+                      std::span<const std::uint64_t> bit_words,
+                      std::int64_t degree_sum) {
+    current_ = side;
+    sparse_[side].assign(sparse.begin(), sparse.end());
+    bits_[side].RestoreWords(static_cast<std::size_t>(n_), bit_words);
+    degree_sum_[side] = degree_sum;
+    // Re-establish the superstep-boundary invariant on the OTHER side
+    // too: engines seed their initial frontier before Run() notices a
+    // resume, and when the checkpointed side differs from the seeded one
+    // that seed would survive the restore, go live at the next Advance
+    // and re-run vertices the uninterrupted run never revisited.
+    sparse_[1 - side].clear();
+    bits_[1 - side].Clear();
+    degree_sum_[1 - side] = 0;
+  }
+
   // --- slot-staged population from parallel regions ---------------------
 
   /// Prepares `num_slots` stage buffers for one parallel producer loop.

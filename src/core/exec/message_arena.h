@@ -133,6 +133,37 @@ class MessageArena {
     current_ = 1 - current_;
   }
 
+  // --- checkpoint/restart (ga::resilience) ------------------------------
+
+  /// Which double-buffer side is current (checkpointed with the values).
+  int current_side() const { return current_; }
+  /// The current side's full value array (per-vertex segments are
+  /// length-delimited by counts; unfilled tails are never observable).
+  std::span<const T> current_values() const { return values_[current_]; }
+  std::span<const std::int64_t> current_counts() const {
+    return counts_[current_];
+  }
+
+  /// Restores the CURRENT side wholesale at a superstep boundary, where
+  /// the other side's counts are all zero (AdvanceSuperstep* just zeroed
+  /// them) — which matches the post-Reset state, so only one side needs
+  /// checkpointing. Call Reset/ResetUniform with the same layout first.
+  void RestoreCurrent(int side, std::span<const T> values,
+                      std::span<const std::int64_t> counts,
+                      std::uint64_t total) {
+    current_ = side;
+    values_[side].assign(values.begin(), values.end());
+    counts_[side].assign(counts.begin(), counts.end());
+    totals_[side] = total;
+    // Scrub the other side back to its post-Reset state: pre-Run seeding
+    // (SeedCurrent) may have landed there, and a surviving seed would be
+    // delivered again after the next buffer flip. Values can stay —
+    // segments are length-delimited by the zeroed counts.
+    std::fill(counts_[1 - side].begin(), counts_[1 - side].end(),
+              std::int64_t{0});
+    totals_[1 - side] = 0;
+  }
+
  private:
   void ResetBuffers(std::size_t n) {
     const auto total = static_cast<std::size_t>(offsets_[n]);

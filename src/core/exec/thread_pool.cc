@@ -1,8 +1,29 @@
 #include "core/exec/thread_pool.h"
 
 #include <algorithm>
+#include <string>
+#include <utility>
 
 namespace ga::exec {
+
+namespace {
+std::atomic<ParallelLoopHook> g_loop_hook{nullptr};
+std::atomic<ParallelChunkHook> g_chunk_hook{nullptr};
+}  // namespace
+
+void SetParallelFaultHooks(ParallelLoopHook loop_hook,
+                           ParallelChunkHook chunk_hook) {
+  g_loop_hook.store(loop_hook, std::memory_order_relaxed);
+  g_chunk_hook.store(chunk_hook, std::memory_order_relaxed);
+}
+
+ParallelLoopHook GetParallelLoopHook() {
+  return g_loop_hook.load(std::memory_order_relaxed);
+}
+
+ParallelChunkHook GetParallelChunkHook() {
+  return g_chunk_hook.load(std::memory_order_relaxed);
+}
 
 int ThreadPool::HardwareConcurrency() {
   const unsigned hw = std::thread::hardware_concurrency();
@@ -22,6 +43,16 @@ ThreadPool::ThreadPool(int num_threads)
   }
 }
 
+Result<std::unique_ptr<ThreadPool>> ThreadPool::Create(int num_threads) {
+  if (num_threads <= 0) {
+    return Status::InvalidArgument(
+        "thread pool needs at least 1 thread, got " +
+        std::to_string(num_threads) +
+        " (size from ThreadPool::HardwareConcurrency() instead)");
+  }
+  return std::make_unique<ThreadPool>(num_threads);
+}
+
 ThreadPool::~ThreadPool() {
   {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -35,7 +66,18 @@ void ThreadPool::Execute(std::int64_t num_chunks,
                          const std::function<void(std::int64_t)>& body) {
   if (num_chunks <= 0) return;
   if (num_threads_ == 1) {
-    for (std::int64_t chunk = 0; chunk < num_chunks; ++chunk) body(chunk);
+    // Same contract as the pooled path: every chunk runs even if one
+    // throws, and the lowest throwing chunk's exception surfaces after
+    // the job drains (ascending order makes the first catch the lowest).
+    std::exception_ptr inline_error;
+    for (std::int64_t chunk = 0; chunk < num_chunks; ++chunk) {
+      try {
+        body(chunk);
+      } catch (...) {
+        if (!inline_error) inline_error = std::current_exception();
+      }
+    }
+    if (inline_error) std::rethrow_exception(inline_error);
     return;
   }
 
@@ -60,13 +102,26 @@ void ThreadPool::Execute(std::int64_t num_chunks,
 
   RunShare(0, body);
 
-  std::unique_lock<std::mutex> lock(mutex_);
-  if (--unfinished_ > 0) {
-    done_cv_.wait(lock, [this] { return unfinished_ == 0; });
-  } else {
-    done_cv_.notify_all();
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (--unfinished_ > 0) {
+      done_cv_.wait(lock, [this] { return unfinished_ == 0; });
+    } else {
+      done_cv_.notify_all();
+    }
+    job_ = nullptr;
   }
-  job_ = nullptr;
+
+  // Surface the lowest-chunk exception (if any) on the submitting thread,
+  // after every participant finished — never from a worker, which would
+  // std::terminate.
+  std::exception_ptr error;
+  {
+    std::lock_guard<std::mutex> lock(error_mutex_);
+    error = std::exchange(error_, nullptr);
+    error_chunk_ = -1;
+  }
+  if (error) std::rethrow_exception(error);
 }
 
 void ThreadPool::WorkerLoop(int self) {
@@ -92,12 +147,26 @@ void ThreadPool::WorkerLoop(int self) {
 
 void ThreadPool::RunShare(int self,
                           const std::function<void(std::int64_t)>& body) {
+  // Remaining chunks still run after a throw (the completed-chunk set
+  // must not depend on host timing); Execute rethrows the lowest-index
+  // capture once the job has drained.
+  const auto run_chunk = [&](std::int64_t chunk) {
+    try {
+      body(chunk);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mutex_);
+      if (error_chunk_ < 0 || chunk < error_chunk_) {
+        error_chunk_ = chunk;
+        error_ = std::current_exception();
+      }
+    }
+  };
   // Own band first.
   Band& own = *bands_[self];
   for (;;) {
     const std::int64_t chunk = own.next.fetch_add(1, std::memory_order_relaxed);
     if (chunk >= own.end) break;
-    body(chunk);
+    run_chunk(chunk);
   }
   // Then steal round-robin from everyone else.
   for (int offset = 1; offset < num_threads_; ++offset) {
@@ -107,7 +176,7 @@ void ThreadPool::RunShare(int self,
           victim.next.fetch_add(1, std::memory_order_relaxed);
       if (chunk >= victim.end) break;
       ++steals_[self].count;
-      body(chunk);
+      run_chunk(chunk);
     }
   }
 }

@@ -18,13 +18,32 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <exception>
 #include <functional>
 #include <memory>
 #include <mutex>
 #include <thread>
 #include <vector>
 
+#include "core/status.h"
+
 namespace ga::exec {
+
+/// Process-wide fault/test hooks for the exec-layer parallel constructs
+/// (ga::faults installs them; null — the default — costs one relaxed
+/// atomic load per call site). The loop hook runs once per parallel_for/
+/// parallel_reduce dispatch, on the submitting thread, BEFORE any chunk;
+/// the chunk hook runs before each chunk body, on whichever thread claimed
+/// it, and may throw (the pool propagates the exception to the submitting
+/// thread — see ThreadPool::Execute). Both fire on the inline (no-pool)
+/// path too, so an installed fault plan reproduces the same failure
+/// sequence at any --jobs value.
+using ParallelLoopHook = void (*)();
+using ParallelChunkHook = void (*)(int slot);
+void SetParallelFaultHooks(ParallelLoopHook loop_hook,
+                           ParallelChunkHook chunk_hook);
+ParallelLoopHook GetParallelLoopHook();
+ParallelChunkHook GetParallelChunkHook();
 
 class ThreadPool {
  public:
@@ -34,6 +53,12 @@ class ThreadPool {
   explicit ThreadPool(int num_threads = 0);
   ~ThreadPool();
 
+  /// Validating factory: rejects a non-positive thread count with
+  /// kInvalidArgument instead of the constructor's silent fall-back to
+  /// the hardware concurrency. Entry point for explicitly user-supplied
+  /// counts (a `--jobs 0` typo should be an error, not a 64-thread pool).
+  static Result<std::unique_ptr<ThreadPool>> Create(int num_threads);
+
   ThreadPool(const ThreadPool&) = delete;
   ThreadPool& operator=(const ThreadPool&) = delete;
 
@@ -41,8 +66,16 @@ class ThreadPool {
 
   /// Runs body(chunk) for every chunk in [0, num_chunks), blocking until
   /// all chunks completed. The calling thread participates. Bodies must
-  /// not throw and must not call Execute on the same pool (jobs do not
-  /// nest).
+  /// not call Execute on the same pool (jobs do not nest).
+  ///
+  /// A body that throws no longer terminates the process: every chunk
+  /// still runs (no early abort — the completed-chunk set must not depend
+  /// on host timing), and after the job the exception of the LOWEST
+  /// throwing chunk index is rethrown on the submitting thread. Combined
+  /// with the ascending inline path this makes the surfaced exception
+  /// identical at any thread count whenever throwing is a deterministic
+  /// property of a chunk. The platform layer converts it to a Status at
+  /// the job boundary (StatusException carries one verbatim).
   void Execute(std::int64_t num_chunks,
                const std::function<void(std::int64_t)>& body);
 
@@ -91,6 +124,12 @@ class ThreadPool {
   std::uint64_t epoch_ = 0;  // bumped per job; workers wait on it
   int unfinished_ = 0;
   bool shutdown_ = false;
+
+  // First-by-chunk-index exception capture for the current job. Guarded
+  // by error_mutex_ (taken only on the throw path — errors are rare).
+  std::mutex error_mutex_;
+  std::exception_ptr error_;
+  std::int64_t error_chunk_ = -1;
 };
 
 }  // namespace ga::exec

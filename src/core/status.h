@@ -7,6 +7,7 @@
 #define GRAPHALYTICS_CORE_STATUS_H_
 
 #include <cassert>
+#include <exception>
 #include <optional>
 #include <string>
 #include <string_view>
@@ -25,6 +26,8 @@ enum class StatusCode {
   kIoError,
   kInternal,
   kFailedPrecondition,
+  kAborted,          // Execution aborted mid-flight (worker exception,
+                     // injected fault); retryable by the hardened runner.
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -63,6 +66,9 @@ class Status {
   }
   static Status FailedPrecondition(std::string message) {
     return Status(StatusCode::kFailedPrecondition, std::move(message));
+  }
+  static Status Aborted(std::string message) {
+    return Status(StatusCode::kAborted, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }
@@ -111,6 +117,24 @@ class Result {
  private:
   Status status_;
   std::optional<T> value_;
+};
+
+/// Exception wrapper for a Status, for the few places where an error must
+/// cross a non-Status boundary (a worker-chunk body inside
+/// ThreadPool::Execute, whose signature returns void). The pool rethrows
+/// it on the submitting thread; the platform layer catches it at the job
+/// boundary and converts it back into the Status it carries.
+class StatusException : public std::exception {
+ public:
+  explicit StatusException(Status status)
+      : status_(std::move(status)), what_(status_.ToString()) {}
+
+  const Status& status() const { return status_; }
+  const char* what() const noexcept override { return what_.c_str(); }
+
+ private:
+  Status status_;
+  std::string what_;
 };
 
 }  // namespace ga

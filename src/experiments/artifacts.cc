@@ -447,7 +447,12 @@ std::string SuiteToJson(const SuiteResult& result) {
       }
     } else {
       json.Field("failure", std::string_view(report.failure));
+      json.Field("failure_cause",
+                 report.failure_cause.empty()
+                     ? harness::FailureCauseName(report.failure_code)
+                     : std::string_view(report.failure_cause));
     }
+    if (report.attempts > 1) json.Field("attempts", report.attempts);
     json.EndObject();
   }
   json.EndArray();

@@ -218,18 +218,12 @@ Result<SuiteResult> RunSuite(harness::BenchmarkRunner& runner,
 
   result.reports.reserve(result.schedule.jobs.size());
   for (const ScheduledJob& job : result.schedule.jobs) {
-    auto report = runner.Run(job.spec);
-    if (report.ok()) {
-      result.reports.push_back(std::move(*report));
-    } else {
-      // Infrastructure errors become kFailed records so the matrix stays
-      // complete and the artifacts are emitted either way.
-      harness::JobReport failed;
-      failed.spec = job.spec;
-      failed.outcome = harness::JobOutcome::kFailed;
-      failed.failure = report.status().ToString();
-      result.reports.push_back(std::move(failed));
-    }
+    // Hardened execution (docs/ROBUSTNESS.md): fault injection, wall
+    // timeout and bounded retry per the config; any cell that still
+    // fails is quarantined as a kFailed/kCrashed/kTimedOut record with
+    // its cause, so the matrix stays complete and the artifacts are
+    // emitted either way.
+    result.reports.push_back(runner.RunWithPolicy(job.spec));
   }
 
   if (result.schedule.run_renewal) {

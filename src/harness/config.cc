@@ -21,6 +21,12 @@ BenchmarkConfig BenchmarkConfig::FromEnv() {
   if (const char* data_dir = std::getenv("GA_DATA_DIR")) {
     config.data_dir = data_dir;
   }
+  if (const char* faults = std::getenv("GA_FAULTS")) {
+    config.fault_spec = faults;
+  }
+  if (const char* dir = std::getenv("GA_CHECKPOINT_DIR")) {
+    config.checkpoint_dir = dir;
+  }
   return config;
 }
 

@@ -41,6 +41,34 @@ struct BenchmarkConfig {
   /// tracing on or off at any host_jobs value.
   bool trace_enabled = false;
 
+  // --- resilience knobs (docs/ROBUSTNESS.md) ---------------------------
+
+  /// Per-attempt wall-clock timeout in HOST seconds, enforced at
+  /// superstep boundaries (the CLI's --timeout). 0 disables. Distinct
+  /// from the SLA: the SLA judges the *simulated* makespan, the timeout
+  /// protects the harness from a hung or stalled engine.
+  double job_timeout_seconds = 0.0;
+  /// Bounded retry for retryable failures (worker aborts, I/O errors,
+  /// wall timeouts): a job is attempted up to 1 + max_retries times
+  /// before being quarantined (the CLI's --retries).
+  int max_retries = 0;
+  /// Host-seconds slept before retry attempt k, scaled by 2^(k-1)
+  /// (the CLI's --backoff).
+  double retry_backoff_seconds = 0.05;
+  /// Fault-injection plan for chaos runs, in faults::FaultPlan::Parse
+  /// spec syntax (the CLI's --faults). Empty runs without injection.
+  std::string fault_spec;
+  /// Directory for superstep checkpoints (the CLI's --checkpoint-dir).
+  /// Empty disables checkpointing. Each job checkpoints to its own file
+  /// named from platform/dataset/algorithm/deployment.
+  std::string checkpoint_dir;
+  /// Checkpoint every N supersteps (the CLI's --checkpoint-cadence).
+  int checkpoint_cadence = 1;
+  /// Resume jobs from their checkpoint file when one exists (the CLI's
+  /// --resume). Restarted jobs produce byte-identical outputs, ledgers
+  /// and simulated metrics (DESIGN.md §13).
+  bool resume = false;
+
   /// Memory budget handed to a simulated machine.
   std::int64_t ScaledMemoryBudget() const {
     return machine_memory_bytes / scale_divisor;

@@ -60,7 +60,12 @@ std::string ResultsDatabase::ToJson() const {
       }
     } else {
       json.Field("failure", report.failure);
+      json.Field("failure_cause", report.failure_cause.empty()
+                                      ? std::string(FailureCauseName(
+                                            report.failure_code))
+                                      : report.failure_cause);
     }
+    if (report.attempts > 1) json.Field("attempts", report.attempts);
     json.EndObject();
   }
   json.EndArray();

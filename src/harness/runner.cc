@@ -1,6 +1,10 @@
 #include "harness/runner.h"
 
+#include <sys/stat.h>
+
+#include <chrono>
 #include <cmath>
+#include <thread>
 
 #include "algo/reference.h"
 #include "core/rng.h"
@@ -37,6 +41,45 @@ std::string_view JobOutcomeName(JobOutcome outcome) {
   return "unknown";
 }
 
+std::string_view FailureCauseName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "none";
+    case StatusCode::kInvalidArgument:
+      return "invalid-input";
+    case StatusCode::kNotFound:
+      return "not-found";
+    case StatusCode::kAlreadyExists:
+      return "already-exists";
+    case StatusCode::kOutOfMemory:
+      return "out-of-memory";
+    case StatusCode::kDeadlineExceeded:
+      return "wall-timeout";
+    case StatusCode::kUnsupported:
+      return "unsupported";
+    case StatusCode::kIoError:
+      return "io-error";
+    case StatusCode::kInternal:
+      return "internal";
+    case StatusCode::kFailedPrecondition:
+      return "failed-precondition";
+    case StatusCode::kAborted:
+      return "worker-abort";
+  }
+  return "error";
+}
+
+bool IsRetryableFailure(StatusCode code) {
+  switch (code) {
+    case StatusCode::kAborted:           // worker crash / machine crash
+    case StatusCode::kIoError:           // torn snapshot / checkpoint read
+    case StatusCode::kDeadlineExceeded:  // wall-clock stall
+      return true;
+    default:
+      return false;
+  }
+}
+
 BenchmarkRunner::BenchmarkRunner(const BenchmarkConfig& config)
     : config_(config),
       host_pool_(std::make_unique<exec::ThreadPool>(config.host_jobs)),
@@ -62,7 +105,8 @@ Result<const AlgorithmOutput*> BenchmarkRunner::ReferenceFor(
   return pointer;
 }
 
-Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
+Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec,
+                                       faults::FaultInjector* injector) {
   GA_ASSIGN_OR_RETURN(auto platform,
                       platform::CreatePlatform(spec.platform_id));
   GA_ASSIGN_OR_RETURN(const Graph* graph, registry_.Load(spec.dataset_id));
@@ -77,16 +121,44 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
   env.overhead_scale = 1.0 / static_cast<double>(config_.scale_divisor);
   env.host_pool = host_pool_.get();
   env.trace_enabled = config_.trace_enabled;
+  env.wall_timeout_seconds = config_.job_timeout_seconds;
+  if (!config_.checkpoint_dir.empty()) {
+    // A missing directory must not quarantine every cell with an io
+    // error; the runner owns the directory the same way it owns the
+    // dataset cache. EEXIST is fine, anything else surfaces on the
+    // first checkpoint write.
+    ::mkdir(config_.checkpoint_dir.c_str(), 0755);
+    // One file per matrix cell: the deployment is part of the name (and
+    // of the checkpoint's job key), so suite cells never collide.
+    env.checkpoint.path =
+        config_.checkpoint_dir + "/" + spec.platform_id + "." +
+        spec.dataset_id + "." + std::string(AlgorithmName(spec.algorithm)) +
+        ".m" + std::to_string(spec.num_machines) + ".t" +
+        std::to_string(spec.threads_per_machine) + ".ckpt";
+    env.checkpoint.cadence = std::max(config_.checkpoint_cadence, 1);
+    env.checkpoint.resume = config_.resume;
+  }
 
   JobReport report;
   report.spec = spec;
 
-  auto run = platform->RunJob(*graph, spec.algorithm, params, env);
+  // The injector scope covers the platform execution ONLY: loading,
+  // validation and the reference implementation run clean.
+  auto run = [&] {
+    faults::ScopedGlobalInjector scoped(injector);
+    return platform->RunJob(*graph, spec.algorithm, params, env);
+  }();
   if (!run.ok()) {
     report.failure = run.status().ToString();
+    report.failure_code = run.status().code();
+    report.failure_cause = std::string(FailureCauseName(report.failure_code));
     switch (run.status().code()) {
       case StatusCode::kOutOfMemory:
+      case StatusCode::kAborted:  // worker exception / injected crash
         report.outcome = JobOutcome::kCrashed;
+        break;
+      case StatusCode::kDeadlineExceeded:  // wall-clock timeout
+        report.outcome = JobOutcome::kTimedOut;
         break;
       case StatusCode::kUnsupported:
         report.outcome = JobOutcome::kUnsupported;
@@ -141,6 +213,9 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
     report.failure = "SLA breach: makespan " +
                      std::to_string(report.makespan_seconds) + "s > " +
                      std::to_string(config_.sla_projected_seconds) + "s";
+    // A deterministic benchmark verdict, not an execution error: the
+    // failure_code stays kOk so the hardened runner never retries it.
+    report.failure_cause = "sla-breach";
     return report;
   }
 
@@ -151,6 +226,7 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
     if (!valid.ok()) {
       report.outcome = JobOutcome::kFailed;
       report.failure = "output validation: " + valid.ToString();
+      report.failure_cause = "validation-mismatch";  // deterministic too
       return report;
     }
     report.output_validated = true;
@@ -158,6 +234,64 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec) {
 
   report.outcome = JobOutcome::kCompleted;
   return report;
+}
+
+faults::FaultInjector* BenchmarkRunner::fault_injector() {
+  if (!injector_parsed_) {
+    injector_parsed_ = true;
+    if (!config_.fault_spec.empty()) {
+      auto plan = faults::FaultPlan::Parse(config_.fault_spec);
+      if (plan.ok()) {
+        injector_ = std::make_unique<faults::FaultInjector>(*plan);
+      } else {
+        injector_status_ = plan.status();
+      }
+    }
+  }
+  return injector_.get();
+}
+
+JobReport BenchmarkRunner::RunWithPolicy(const JobSpec& spec) {
+  faults::FaultInjector* injector = fault_injector();
+  if (!injector_status_.ok()) {
+    JobReport report;
+    report.spec = spec;
+    report.outcome = JobOutcome::kFailed;
+    report.failure = "fault plan: " + injector_status_.ToString();
+    report.failure_code = injector_status_.code();
+    report.failure_cause = "infrastructure";
+    return report;
+  }
+
+  const int attempts_allowed = 1 + std::max(config_.max_retries, 0);
+  JobReport last;
+  for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+    if (attempt > 1 && config_.retry_backoff_seconds > 0.0) {
+      const double backoff = config_.retry_backoff_seconds *
+                             static_cast<double>(1LL << (attempt - 2));
+      std::this_thread::sleep_for(std::chrono::duration<double>(backoff));
+    }
+    auto run = Run(spec, injector);
+    if (run.ok()) {
+      last = std::move(*run);
+    } else {
+      // Infrastructure errors are quarantined like any other failure so
+      // a suite loop keeps going; they are not retryable.
+      last = JobReport{};
+      last.spec = spec;
+      last.outcome = JobOutcome::kFailed;
+      last.failure = run.status().ToString();
+      last.failure_code = run.status().code();
+      last.failure_cause = "infrastructure";
+      last.attempts = attempt;
+      return last;
+    }
+    last.attempts = attempt;
+    if (last.completed() || !IsRetryableFailure(last.failure_code)) {
+      return last;
+    }
+  }
+  return last;  // retries exhausted: quarantined with the final verdict
 }
 
 }  // namespace ga::harness

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "algo/output.h"
+#include "faults/faults.h"
 #include "harness/config.h"
 #include "harness/dataset_registry.h"
 #include "platforms/platform.h"
@@ -44,10 +45,31 @@ enum class JobOutcome {
 
 std::string_view JobOutcomeName(JobOutcome outcome);
 
+/// Failure-cause taxonomy (docs/ROBUSTNESS.md): a stable slug per
+/// StatusCode, recorded on quarantined reports and in the JSON artifacts
+/// so chaos runs can be asserted on. kOk maps to "none".
+std::string_view FailureCauseName(StatusCode code);
+
+/// Whether a failure with this code is worth a bounded retry: transient
+/// shapes (worker aborts, I/O errors, wall-clock timeouts) are; memory
+/// exhaustion, unsupported workloads and validation mismatches are
+/// deterministic and retry cannot fix them.
+bool IsRetryableFailure(StatusCode code);
+
 struct JobReport {
   JobSpec spec;
   JobOutcome outcome = JobOutcome::kFailed;
   std::string failure;  // status message for non-completed jobs
+  /// Attempts consumed (1 = first try succeeded or was not retryable;
+  /// > 1 means the hardened runner retried).
+  int attempts = 1;
+  /// Status code of the final failed attempt (kOk for completed jobs and
+  /// for benchmark-visible verdicts like an SLA breach, which is a
+  /// *result*, not an execution error).
+  StatusCode failure_code = StatusCode::kOk;
+  /// FailureCauseName(failure_code), or a harness-level cause like
+  /// "sla-breach" / "validation-mismatch" / "infrastructure".
+  std::string failure_cause;
 
   // Projected (paper-scale) seconds; see BenchmarkConfig::Project.
   double upload_seconds = 0.0;
@@ -89,7 +111,29 @@ class BenchmarkRunner {
   /// surface as a non-OK status; *benchmark-visible* failures (crash,
   /// SLA breach, unsupported workload) come back as a JobReport with the
   /// corresponding outcome, as the paper's harness records them.
-  Result<JobReport> Run(const JobSpec& spec);
+  ///
+  /// `injector` (optional) is installed as the process-global fault
+  /// injector for the platform execution only — dataset loading,
+  /// validation and the reference run are never fault-injected.
+  Result<JobReport> Run(const JobSpec& spec,
+                        faults::FaultInjector* injector = nullptr);
+
+  /// Hardened entry point (docs/ROBUSTNESS.md): runs `spec` under the
+  /// config's fault plan, wall-clock timeout and bounded-retry policy.
+  /// Retryable failures are re-attempted up to config.max_retries times
+  /// with exponential backoff; anything still failing is QUARANTINED —
+  /// returned as a kFailed/kCrashed/kTimedOut report (never a thrown
+  /// error), so a suite loop records the cell and moves on. Always
+  /// returns a report; infrastructure errors become kFailed reports with
+  /// failure_cause "infrastructure".
+  JobReport RunWithPolicy(const JobSpec& spec);
+
+  /// The injector RunWithPolicy installs, parsed lazily from
+  /// config.fault_spec (null when the spec is empty or invalid). Shared
+  /// across a suite's jobs and retries, so one-shot ordinal faults
+  /// (abort_at_loop) fire exactly once process-wide while superstep-keyed
+  /// faults re-fire every attempt — see faults::FaultInjector.
+  faults::FaultInjector* fault_injector();
 
  private:
   Result<const AlgorithmOutput*> ReferenceFor(const std::string& dataset_id,
@@ -99,6 +143,9 @@ class BenchmarkRunner {
   std::unique_ptr<exec::ThreadPool> host_pool_;
   DatasetRegistry registry_;
   std::map<std::string, std::unique_ptr<AlgorithmOutput>> reference_cache_;
+  bool injector_parsed_ = false;
+  Status injector_status_;
+  std::unique_ptr<faults::FaultInjector> injector_;
 };
 
 }  // namespace ga::harness

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <functional>
 #include <span>
 #include <vector>
 
@@ -12,6 +13,7 @@
 #include "core/exec/scratch_pool.h"
 #include "granula/tracer.h"
 #include "platforms/worker_map.h"
+#include "resilience/engine_state.h"
 
 namespace ga::platform {
 
@@ -185,10 +187,38 @@ class PregelRuntime {
     bool halt_requested_ = false;
   };
 
+  /// Runs the vertex program to quiescence (or max_supersteps). The
+  /// optional save/load hooks make the algorithm checkpointable: the
+  /// runtime checkpoints its OWN state (superstep index, runnable
+  /// frontier, pending mail, aggregator) and delegates the algorithm's
+  /// vertex values to the hooks. Algorithms that pass no hooks run
+  /// exactly as before and never touch a checkpoint.
   template <typename VertexProgram>
   Status Run(VertexProgram&& program, int max_supersteps,
-             const std::string& label) {
-    for (int superstep = 0; superstep < max_supersteps; ++superstep) {
+             const std::string& label,
+             const std::function<void(resilience::StateWriter&)>&
+                 save_algo = {},
+             const std::function<Status(const resilience::StateReader&)>&
+                 load_algo = {}) {
+    int first_superstep = 0;
+    if (load_algo) {
+      GA_ASSIGN_OR_RETURN(const resilience::StateReader* resume,
+                          ctx_.MaybeRestore());
+      if (resume != nullptr) {
+        std::int64_t step = 0;
+        GA_RETURN_IF_ERROR(resume->ReadScalar("bsp/superstep", &step));
+        GA_RETURN_IF_ERROR(
+            resume->ReadScalar("bsp/aggregator", &aggregator_));
+        GA_RETURN_IF_ERROR(
+            resilience::LoadFrontier(*resume, "bsp/runnable", &runnable_));
+        GA_RETURN_IF_ERROR(
+            resilience::LoadArena(*resume, "bsp/inboxes", &inboxes_));
+        GA_RETURN_IF_ERROR(load_algo(*resume));
+        first_superstep = static_cast<int>(step);
+      }
+    }
+    for (int superstep = first_superstep; superstep < max_supersteps;
+         ++superstep) {
       if (runnable_.empty()) break;  // quiescence: no votes, no mail
       GA_RETURN_IF_ERROR(ChargeInboxBuffers(label));
 
@@ -333,7 +363,25 @@ class PregelRuntime {
       // O(1) — no O(n) count sweep.
       inboxes_.AdvanceSuperstepRecycled();
       if (advance) runnable_.Advance();
-      ctx_.EndSuperstep(label);
+      GA_RETURN_IF_ERROR(ctx_.EndSuperstep(label));
+      // Superstep boundary: the frontier's next side and stage are empty
+      // (Advance ran, or a dense no-halt step never staged) and the
+      // arena's non-current counts are zero — the narrow state
+      // engine_state.h serialises.
+      // The writes_enabled() guard keeps the per-superstep cost at zero
+      // for non-checkpointed jobs (no std::function construction — the
+      // steady-state alloc discipline covers this loop).
+      if (save_algo && ctx_.checkpoint_writes_enabled()) {
+        GA_RETURN_IF_ERROR(
+            ctx_.MaybeCheckpoint([&](resilience::StateWriter& writer) {
+              writer.AddScalar("bsp/superstep",
+                               static_cast<std::int64_t>(superstep + 1));
+              writer.AddScalar("bsp/aggregator", aggregator_);
+              resilience::SaveFrontier(writer, "bsp/runnable", runnable_);
+              resilience::SaveArena(writer, "bsp/inboxes", inboxes_);
+              save_algo(writer);
+            }));
+      }
     }
     return Status::Ok();
   }
@@ -397,7 +445,13 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
         }
         rt.VoteToHalt();
       },
-      static_cast<int>(graph.num_vertices()) + 2, "bfs"));
+      static_cast<int>(graph.num_vertices()) + 2, "bfs",
+      [&](resilience::StateWriter& writer) {
+        writer.AddVector("bfs/depths", output.int_values);
+      },
+      [&](const resilience::StateReader& reader) {
+        return reader.ReadVector("bfs/depths", &output.int_values);
+      }));
   return output;
 }
 
@@ -458,7 +512,13 @@ Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
         }
         rt.VoteToHalt();
       },
-      static_cast<int>(graph.num_vertices()) + 2, "wcc"));
+      static_cast<int>(graph.num_vertices()) + 2, "wcc",
+      [&](resilience::StateWriter& writer) {
+        writer.AddVector("wcc/labels", output.int_values);
+      },
+      [&](const resilience::StateReader& reader) {
+        return reader.ReadVector("wcc/labels", &output.int_values);
+      }));
   return output;
 }
 
@@ -499,7 +559,13 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
           rt.VoteToHalt();
         }
       },
-      iterations + 1, "pr"));
+      iterations + 1, "pr",
+      [&](resilience::StateWriter& writer) {
+        writer.AddVector("pr/ranks", output.double_values);
+      },
+      [&](const resilience::StateReader& reader) {
+        return reader.ReadVector("pr/ranks", &output.double_values);
+      }));
   return output;
 }
 
@@ -609,7 +675,7 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
     GA_RETURN_IF_ERROR(
         ctx.ChargeMemory(m, machine_bytes[m], "lcc neighbour lists"));
   }
-  ctx.EndSuperstep("lcc/exchange");
+  GA_RETURN_IF_ERROR(ctx.EndSuperstep("lcc/exchange"));
 
   // Phase 2: intersect received lists with the local neighbourhood
   // (degree-oriented triangle counting; `scanned` keeps the modeled
@@ -634,7 +700,7 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
     }
   });
   ctx.MergeSlotCharges();
-  ctx.EndSuperstep("lcc/intersect");
+  GA_RETURN_IF_ERROR(ctx.EndSuperstep("lcc/intersect"));
   for (int m = 0; m < ctx.num_machines(); ++m) {
     ctx.ReleaseMemory(m, machine_bytes[m]);
   }

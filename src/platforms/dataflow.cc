@@ -251,7 +251,7 @@ Status RunGraphxPregel(JobContext& ctx, const Graph& graph,
     GA_RETURN_IF_ERROR(runtime.ChargeIterationBuffers(
         groups + state->size(), row_bytes));
     active->swap(next_active);
-    ctx.EndSuperstep(label);
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep(label));
   }
   runtime.ReleaseIterationBuffers();
   return Status::Ok();
@@ -426,7 +426,7 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
       ctx.tracer().AnnotateActive(n);
     }
     rank.swap(next);
-    ctx.EndSuperstep("pr");
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep("pr"));
   }
   runtime.ReleaseIterationBuffers();
   return output;
@@ -493,7 +493,7 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
     runtime.ChargeRows(messages.size(), 4.0);
     output.int_values.swap(next);
     ctx.tracer().AnnotateActive(n);
-    ctx.EndSuperstep("cdlp");
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep("cdlp"));
   }
   runtime.ReleaseIterationBuffers();
   return output;
@@ -551,7 +551,7 @@ Result<AlgorithmOutput> RunLcc(JobContext& ctx, const Graph& graph) {
   for (int slot = 0; slot < num_slots; ++slot) {
     runtime.ChargeRows(slot_scanned[slot]);
   }
-  ctx.EndSuperstep("lcc");
+  GA_RETURN_IF_ERROR(ctx.EndSuperstep("lcc"));
   runtime.ReleaseIterationBuffers();
   return output;
 }

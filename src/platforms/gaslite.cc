@@ -183,7 +183,7 @@ class GasRuntime {
 // (the dense sweep keeps its historical propose-everything behaviour).
 template <typename Value, typename Propose, typename Improves,
           typename Commit>
-void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
+Status RunFrontierPropagation(JobContext& ctx, const Graph& graph,
                             const GasDeployment& deployment,
                             GasRuntime& runtime, exec::Frontier* frontier,
                             bool traverse_reverse, const std::string& label,
@@ -318,8 +318,9 @@ void RunFrontierPropagation(JobContext& ctx, const Graph& graph,
           }
         });
     ctx.MergeSlotCharges();
-    ctx.EndSuperstep(label);
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep(label));
   }
+  return Status::Ok();
 }
 
 }  // namespace
@@ -408,7 +409,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       exec::Frontier frontier;
       frontier.Init(n);
       frontier.Seed(root, graph.OutDegree(root));
-      RunFrontierPropagation<std::int64_t>(
+      GA_RETURN_IF_ERROR(RunFrontierPropagation<std::int64_t>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/false, "bfs",
           [&](VertexIndex from, Weight) {
@@ -423,7 +424,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
               return true;
             }
             return false;
-          });
+          }));
       return output;
     }
     case Algorithm::kSssp: {
@@ -438,7 +439,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       exec::Frontier frontier;
       frontier.Init(n);
       frontier.Seed(root, graph.OutDegree(root));
-      RunFrontierPropagation<double>(
+      GA_RETURN_IF_ERROR(RunFrontierPropagation<double>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/false, "sssp",
           [&](VertexIndex from, Weight weight) {
@@ -453,7 +454,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
               return true;
             }
             return false;
-          });
+          }));
       return output;
     }
     case Algorithm::kWcc: {
@@ -468,7 +469,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
       frontier.SeedAll(
           static_cast<std::int64_t>(graph.num_adjacency_entries()) *
           (graph.is_directed() ? 2 : 1));
-      RunFrontierPropagation<std::int64_t>(
+      GA_RETURN_IF_ERROR(RunFrontierPropagation<std::int64_t>(
           ctx, graph, deployment, runtime, &frontier,
           /*traverse_reverse=*/true, "wcc",
           [&](VertexIndex from, Weight) { return output.int_values[from]; },
@@ -481,7 +482,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
               return true;
             }
             return false;
-          });
+          }));
       return output;
     }
     case Algorithm::kPageRank: {
@@ -553,7 +554,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
               }
             });
         ctx.MergeSlotCharges();
-        ctx.EndSuperstep("pr");
+        GA_RETURN_IF_ERROR(ctx.EndSuperstep("pr"));
       }
       return output;
     }
@@ -601,7 +602,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
         ctx.MergeSlotCharges();
         output.int_values.swap(next);
         ctx.tracer().AnnotateActive(n);
-        ctx.EndSuperstep("cdlp");
+        GA_RETURN_IF_ERROR(ctx.EndSuperstep("cdlp"));
       }
       return output;
     }
@@ -641,7 +642,7 @@ Result<AlgorithmOutput> GasLitePlatform::Execute(
           },
           exec::ExecContext::kScratchSlots);
       ctx.MergeSlotCharges();
-      ctx.EndSuperstep("lcc");
+      GA_RETURN_IF_ERROR(ctx.EndSuperstep("lcc"));
       return output;
     }
   }

@@ -139,7 +139,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                        ctx.profile().ops_per_edge +
                    static_cast<double>(visited) *
                        ctx.profile().ops_per_vertex));
-      ctx.EndSuperstep("bfs");
+      GA_RETURN_IF_ERROR(ctx.EndSuperstep("bfs"));
       return output;
     }
     case Algorithm::kSssp: {
@@ -180,7 +180,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                    static_cast<double>(relaxations) *
                        (ctx.profile().ops_per_edge + log_n) +
                    static_cast<double>(pops) * log_n));
-      ctx.EndSuperstep("sssp");
+      GA_RETURN_IF_ERROR(ctx.EndSuperstep("sssp"));
       return output;
     }
     case Algorithm::kWcc: {
@@ -218,7 +218,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                    static_cast<double>(graph.num_edges()) *
                        ctx.profile().ops_per_edge * 1.5 +
                    static_cast<double>(n) * ctx.profile().ops_per_vertex));
-      ctx.EndSuperstep("wcc");
+      GA_RETURN_IF_ERROR(ctx.EndSuperstep("wcc"));
       return output;
     }
     case Algorithm::kPageRank: {
@@ -277,7 +277,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                      static_cast<double>(touched) *
                          ctx.profile().ops_per_edge +
                      static_cast<double>(n) * ctx.profile().ops_per_vertex));
-        ctx.EndSuperstep("pr");
+        GA_RETURN_IF_ERROR(ctx.EndSuperstep("pr"));
       }
       return output;
     }
@@ -324,7 +324,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
                          ctx.profile().ops_per_edge * 0.5 +
                      static_cast<double>(n) * ctx.profile().ops_per_vertex));
         ctx.tracer().AnnotateActive(n);
-        ctx.EndSuperstep("cdlp");
+        GA_RETURN_IF_ERROR(ctx.EndSuperstep("cdlp"));
       }
       return output;
     }
@@ -357,7 +357,7 @@ Result<AlgorithmOutput> NativeKernelPlatform::Execute(
       DistributeOps(ctx, static_cast<std::uint64_t>(
                              static_cast<double>(scanned) *
                              ctx.profile().ops_per_edge));
-      ctx.EndSuperstep("lcc");
+      GA_RETURN_IF_ERROR(ctx.EndSuperstep("lcc"));
       return output;
     }
   }

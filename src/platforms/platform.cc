@@ -7,6 +7,7 @@
 #include "core/exec/alloc_stats.h"
 #include "core/partition.h"
 #include "core/timer.h"
+#include "faults/faults.h"
 
 namespace ga::platform {
 
@@ -69,7 +70,7 @@ void JobContext::ResetSuperstepCounters() {
             sysmodel::MachineComm{});
 }
 
-void JobContext::EndSuperstep(const std::string& label) {
+Status JobContext::EndSuperstep(const std::string& label) {
   const double begin = sim_seconds_;
   std::uint64_t total_ops = 0;
   for (std::uint64_t ops : worker_ops_) total_ops += ops;
@@ -110,6 +111,90 @@ void JobContext::EndSuperstep(const std::string& label) {
   }
   last_messages_ = ledger_.messages;
   ResetSuperstepCounters();
+  // Resilience boundary: injected machine crashes land here (the end of
+  // superstep `supersteps_`, 1-based), as does the wall-clock budget
+  // check — both keyed by deterministic state, never host timing.
+  if (faults::FaultInjector* injector = faults::GlobalInjector()) {
+    GA_RETURN_IF_ERROR(injector->OnSuperstep(supersteps_));
+  }
+  if (env_.wall_timeout_seconds > 0.0 &&
+      wall_.ElapsedSeconds() > env_.wall_timeout_seconds) {
+    return Status::DeadlineExceeded(
+        "job exceeded its wall-clock budget of " +
+        std::to_string(env_.wall_timeout_seconds) + "s at superstep " +
+        std::to_string(supersteps_));
+  }
+  return Status::Ok();
+}
+
+// ---------------------------------------------------------------------------
+// Superstep checkpoint/restart (ga::resilience)
+
+void JobContext::ConfigureCheckpoint(const resilience::CheckpointPlan& plan,
+                                     std::uint64_t job_key) {
+  checkpoint_plan_ = plan;
+  checkpoint_key_ = job_key;
+}
+
+Result<const resilience::StateReader*> JobContext::MaybeRestore() {
+  restore_.reset();
+  if (!checkpoint_plan_.resume_enabled() ||
+      !resilience::CheckpointExists(checkpoint_plan_.path)) {
+    return static_cast<const resilience::StateReader*>(nullptr);
+  }
+  GA_ASSIGN_OR_RETURN(
+      resilience::StateReader reader,
+      resilience::StateReader::Open(checkpoint_plan_.path,
+                                    checkpoint_key_));
+  std::int64_t supersteps = 0;
+  GA_RETURN_IF_ERROR(reader.ReadScalar("ctx/supersteps", &supersteps));
+  // Raw double bytes round-trip bit-exact, so every simulated second
+  // accumulated after the restore point lands on the same bit pattern as
+  // the uninterrupted run — the byte-identity contract.
+  GA_RETURN_IF_ERROR(reader.ReadScalar("ctx/sim_seconds", &sim_seconds_));
+  GA_RETURN_IF_ERROR(reader.ReadScalar("ctx/ledger", &ledger_));
+  std::vector<std::int64_t> used;
+  std::vector<std::int64_t> peak;
+  GA_RETURN_IF_ERROR(reader.ReadVector("ctx/mem_used", &used));
+  GA_RETURN_IF_ERROR(reader.ReadVector("ctx/mem_peak", &peak));
+  if (memory_ != nullptr) {
+    GA_RETURN_IF_ERROR(memory_->RestoreState(used, peak));
+  }
+  supersteps_ = static_cast<int>(supersteps);
+  last_messages_ = ledger_.messages;
+  last_checkpoint_step_ = supersteps_;
+  ResetSuperstepCounters();
+  restore_.emplace(std::move(reader));
+  return static_cast<const resilience::StateReader*>(&*restore_);
+}
+
+Status JobContext::MaybeCheckpoint(
+    const std::function<void(resilience::StateWriter&)>& save_engine) {
+  if (!checkpoint_plan_.writes_enabled() || supersteps_ == 0 ||
+      supersteps_ % checkpoint_plan_.cadence != 0 ||
+      supersteps_ == last_checkpoint_step_) {
+    return Status::Ok();
+  }
+  resilience::StateWriter writer;
+  writer.AddScalar("ctx/supersteps",
+                   static_cast<std::int64_t>(supersteps_));
+  writer.AddScalar("ctx/sim_seconds", sim_seconds_);
+  writer.AddScalar("ctx/ledger", ledger_);
+  std::vector<std::int64_t> used;
+  std::vector<std::int64_t> peak;
+  if (memory_ != nullptr) {
+    for (int m = 0; m < cluster_.num_machines(); ++m) {
+      used.push_back(memory_->used(m));
+      peak.push_back(memory_->peak(m));
+    }
+  }
+  writer.AddVector("ctx/mem_used", used);
+  writer.AddVector("ctx/mem_peak", peak);
+  save_engine(writer);
+  GA_RETURN_IF_ERROR(resilience::WriteCheckpoint(
+      checkpoint_plan_.path, checkpoint_key_, supersteps_, writer));
+  last_checkpoint_step_ = supersteps_;
+  return Status::Ok();
 }
 
 void JobContext::FlushTrailingTrace() {
@@ -145,6 +230,11 @@ void JobContext::ChargeSequential(std::uint64_t ops,
 
 Status JobContext::ChargeMemory(int machine, std::int64_t bytes,
                                 const std::string& what) {
+  // Injected allocation failures are keyed by the charge ordinal, which
+  // is a deterministic property of the engine's charge sequence.
+  if (faults::FaultInjector* injector = faults::GlobalInjector()) {
+    GA_RETURN_IF_ERROR(injector->OnMemoryCharge());
+  }
   if (memory_ == nullptr) return Status::Ok();
   return memory_->Charge(machine, bytes, what);
 }
@@ -277,7 +367,28 @@ Result<RunResult> Platform::RunJob(const Graph& graph, Algorithm algorithm,
   processing->Begin(sim_now, 0.0);
   JobContext ctx(cluster, &memory, cost, processing, env);
   ctx.set_sim_origin(sim_now);
-  auto output = Execute(ctx, graph, algorithm, params);
+  if (env.checkpoint.writes_enabled() || env.checkpoint.resume_enabled()) {
+    ctx.ConfigureCheckpoint(
+        env.checkpoint,
+        resilience::MakeJobKey(
+            info().id, std::string(AlgorithmName(algorithm)),
+            graph.num_vertices(), graph.num_edges(), env.num_machines,
+            env.threads_per_machine));
+  }
+  // The job boundary converts worker-chunk exceptions (surfaced by the
+  // ThreadPool on the submitting thread) back into Status: the suite
+  // must quarantine a crashing cell, never die with it.
+  auto output = [&]() -> Result<AlgorithmOutput> {
+    try {
+      return Execute(ctx, graph, algorithm, params);
+    } catch (const StatusException& e) {
+      return e.status();
+    } catch (const std::exception& e) {
+      return Status::Aborted(std::string("worker exception escaped the "
+                                         "engine: ") +
+                             e.what());
+    }
+  }();
   if (!output.ok()) return output.status();
   double processing_seconds = ctx.sim_seconds();
   if (swap_capable) {

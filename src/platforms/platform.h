@@ -15,7 +15,9 @@
 #define GRAPHALYTICS_PLATFORMS_PLATFORM_H_
 
 #include <cstdint>
+#include <functional>
 #include <memory>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -26,11 +28,13 @@
 #include "core/exec/scratch_pool.h"
 #include "core/graph.h"
 #include "core/status.h"
+#include "core/timer.h"
 #include "core/types.h"
 #include "core/work_ledger.h"
 #include "granula/archive.h"
 #include "granula/model.h"
 #include "granula/tracer.h"
+#include "resilience/checkpoint.h"
 #include "sysmodel/cluster.h"
 
 namespace ga::platform {
@@ -120,6 +124,14 @@ struct ExecutionEnvironment {
   /// Tracing never changes outputs, WorkLedger or simulated metrics
   /// (docs/OBSERVABILITY.md).
   bool trace_enabled = false;
+  /// Superstep checkpoint/restart plan (ga::resilience, DESIGN.md §13).
+  /// Default-constructed = no checkpointing, no resume.
+  resilience::CheckpointPlan checkpoint;
+  /// Wall-clock (host time) budget for the processing phase. Checked at
+  /// superstep boundaries; a job past its budget fails with
+  /// kDeadlineExceeded, which the hardened runner reports as kTimedOut.
+  /// <= 0 disables the check.
+  double wall_timeout_seconds = 0.0;
 };
 
 /// Deep-tracing summary of one job, filled only when tracing was enabled.
@@ -243,7 +255,46 @@ class JobContext {
   /// Completes one superstep: charges the accumulated worker_ops() and
   /// machine_comm() to the simulated clock (plus the profile's per-
   /// superstep overhead) and records a Granula child operation.
-  void EndSuperstep(const std::string& label);
+  ///
+  /// This is also the job's resilience boundary: an armed fault injector
+  /// may fail the superstep (kAborted machine crash, or a real SIGKILL
+  /// for the crash/restart harness), and a job past its wall-clock
+  /// budget fails with kDeadlineExceeded. Engines must propagate the
+  /// status (GA_RETURN_IF_ERROR).
+  Status EndSuperstep(const std::string& label);
+
+  // --- superstep checkpoint/restart (ga::resilience, DESIGN.md §13) ----
+
+  /// Arms checkpointing for this job. RunJob calls this with the
+  /// environment's plan and a key derived from (platform, algorithm,
+  /// graph, simulated cluster); engines never configure it themselves.
+  void ConfigureCheckpoint(const resilience::CheckpointPlan& plan,
+                           std::uint64_t job_key);
+
+  /// Probes for a checkpoint to resume from. Returns null when the job
+  /// starts fresh (no plan, resume off, or no file yet); otherwise
+  /// restores the context's own state — superstep count, simulated
+  /// clock (bit-exact), ledger, memory accountant — and returns a
+  /// reader positioned on the same checkpoint for the ENGINE to restore
+  /// its vertex values / frontier / mail / loop counters from. Engines
+  /// call this once, after building their structures, before the
+  /// superstep loop.
+  Result<const resilience::StateReader*> MaybeRestore();
+
+  /// At a superstep boundary (after EndSuperstep + Advance): writes a
+  /// checkpoint when the plan's cadence divides the superstep count.
+  /// `save_engine` contributes the engine's state sections on top of the
+  /// context's own. No-op (and no callback invocation) when a checkpoint
+  /// is not due.
+  Status MaybeCheckpoint(
+      const std::function<void(resilience::StateWriter&)>& save_engine);
+
+  /// Whether MaybeCheckpoint can ever fire for this job — engines that
+  /// support checkpointing may skip assembling state for jobs that never
+  /// write.
+  bool checkpoint_writes_enabled() const {
+    return checkpoint_plan_.writes_enabled();
+  }
 
   /// Charges sequential (single-threaded) work, e.g. result assembly.
   void ChargeSequential(std::uint64_t ops, const std::string& label);
@@ -277,6 +328,13 @@ class JobContext {
   double sim_seconds_ = 0.0;
   double sim_origin_ = 0.0;
   int supersteps_ = 0;
+
+  // Resilience state (ConfigureCheckpoint; inert by default).
+  resilience::CheckpointPlan checkpoint_plan_;
+  std::uint64_t checkpoint_key_ = 0;
+  std::optional<resilience::StateReader> restore_;
+  int last_checkpoint_step_ = -1;
+  WallTimer wall_;  // processing-phase wall clock (timeout checks)
 
   // Deep tracing (inert unless env.trace_enabled armed them in the ctor).
   granula::Tracer tracer_;

@@ -206,7 +206,7 @@ Result<AlgorithmOutput> RunBfs(JobContext& ctx, const Graph& graph,
     });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
-    ctx.EndSuperstep("bfs");
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep("bfs"));
     runtime.ReleaseFrontierBuffers();
     frontier.Advance();
   }
@@ -271,7 +271,7 @@ Result<AlgorithmOutput> RunPageRank(JobContext& ctx, const Graph& graph,
     output.double_values.swap(next);
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
-    ctx.EndSuperstep("pr");
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep("pr"));
   }
   return output;
 }
@@ -394,7 +394,7 @@ Result<AlgorithmOutput> RunWcc(JobContext& ctx, const Graph& graph) {
     });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
-    ctx.EndSuperstep("wcc");
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep("wcc"));
     runtime.ReleaseFrontierBuffers();
     frontier.Advance();
   }
@@ -447,7 +447,7 @@ Result<AlgorithmOutput> RunCdlp(JobContext& ctx, const Graph& graph,
     // CDLP label votes cannot be combined per machine (mode aggregation).
     runtime.ChargeRemoteValues(remote * 2);
     runtime.FlushMachineOps();
-    ctx.EndSuperstep("cdlp");
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep("cdlp"));
   }
   return output;
 }
@@ -553,7 +553,7 @@ Result<AlgorithmOutput> RunSssp(JobContext& ctx, const Graph& graph,
     });
     runtime.ChargeRemoteValues(remote);
     runtime.FlushMachineOps();
-    ctx.EndSuperstep("sssp");
+    GA_RETURN_IF_ERROR(ctx.EndSuperstep("sssp"));
     runtime.ReleaseFrontierBuffers();
     frontier.Advance();
   }

@@ -13,6 +13,7 @@
 #include "core/exec/scratch_pool.h"
 #include "granula/tracer.h"
 #include "platforms/worker_map.h"
+#include "resilience/engine_state.h"
 
 namespace ga::platform {
 
@@ -80,7 +81,7 @@ class SpmvRuntime {
       }
       ctx_.ledger().messages += remote_values;
     }
-    ctx_.EndSuperstep(label);
+    GA_RETURN_IF_ERROR(ctx_.EndSuperstep(label));
     for (int m = 0; m < ctx_.num_machines(); ++m) {
       ctx_.ReleaseMemory(m, buffer_bytes);
     }
@@ -167,6 +168,15 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
           static_cast<std::int64_t>(graph.num_adjacency_entries());
       std::vector<ExpandStats> stats_scratch;
       std::int64_t depth = 0;
+      GA_ASSIGN_OR_RETURN(const resilience::StateReader* resume,
+                          ctx.MaybeRestore());
+      if (resume != nullptr) {
+        GA_RETURN_IF_ERROR(resume->ReadScalar("bfs/depth", &depth));
+        GA_RETURN_IF_ERROR(
+            resume->ReadVector("bfs/depths", &output.int_values));
+        GA_RETURN_IF_ERROR(
+            resilience::LoadFrontier(*resume, "bfs/frontier", &frontier));
+      }
       while (!frontier.empty()) {
         ++depth;
         ExpandStats stats;
@@ -227,6 +237,16 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
             stats.touched, static_cast<std::uint64_t>(n), stats.remote,
             "bfs"));
         frontier.Advance();
+        // Guarded so non-checkpointed jobs build no std::function here
+        // (steady-state alloc discipline).
+        if (ctx.checkpoint_writes_enabled()) {
+          GA_RETURN_IF_ERROR(
+              ctx.MaybeCheckpoint([&](resilience::StateWriter& writer) {
+                writer.AddScalar("bfs/depth", depth);
+                writer.AddVector("bfs/depths", output.int_values);
+                resilience::SaveFrontier(writer, "bfs/frontier", frontier);
+              }));
+        }
       }
       return output;
     }
@@ -357,8 +377,17 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       exec::SlotBuffers<LabelCand> cands;
       std::vector<std::uint64_t> touched_scratch;
       const int max_rounds = static_cast<int>(n) + 2;
-      for (int round = 0; round < max_rounds && !frontier.empty();
-           ++round) {
+      std::int64_t round = 0;
+      GA_ASSIGN_OR_RETURN(const resilience::StateReader* resume,
+                          ctx.MaybeRestore());
+      if (resume != nullptr) {
+        GA_RETURN_IF_ERROR(resume->ReadScalar("wcc/round", &round));
+        GA_RETURN_IF_ERROR(
+            resume->ReadVector("wcc/labels", &output.int_values));
+        GA_RETURN_IF_ERROR(
+            resilience::LoadFrontier(*resume, "wcc/frontier", &frontier));
+      }
+      for (; round < max_rounds && !frontier.empty(); ++round) {
         std::uint64_t touched = 0;
         if (granula::TracedDecide(ctx.tracer(), frontier, total_scan,
                                   /*alpha=*/2) ==
@@ -423,6 +452,14 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
             touched, static_cast<std::uint64_t>(n),
             static_cast<std::uint64_t>(n), "wcc"));
         frontier.Advance();
+        if (ctx.checkpoint_writes_enabled()) {
+          GA_RETURN_IF_ERROR(
+              ctx.MaybeCheckpoint([&](resilience::StateWriter& writer) {
+                writer.AddScalar("wcc/round", round + 1);
+                writer.AddVector("wcc/labels", output.int_values);
+                resilience::SaveFrontier(writer, "wcc/frontier", frontier);
+              }));
+        }
       }
       return output;
     }
@@ -435,8 +472,15 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
       std::vector<double> next(n, 0.0);
       std::vector<double> dangling_scratch;
       std::vector<std::uint64_t> touched_scratch;
-      for (int iteration = 0; iteration < params.pagerank_iterations;
-           ++iteration) {
+      std::int64_t iteration = 0;
+      GA_ASSIGN_OR_RETURN(const resilience::StateReader* resume,
+                          ctx.MaybeRestore());
+      if (resume != nullptr) {
+        GA_RETURN_IF_ERROR(resume->ReadScalar("pr/iteration", &iteration));
+        GA_RETURN_IF_ERROR(
+            resume->ReadVector("pr/ranks", &output.double_values));
+      }
+      for (; iteration < params.pagerank_iterations; ++iteration) {
         const double dangling = exec::parallel_reduce(
             ctx.exec(), 0, n, 0.0,
             [&](const exec::Slice& slice, double& acc) {
@@ -478,6 +522,13 @@ Result<AlgorithmOutput> SpMatPlatform::Execute(
         GA_RETURN_IF_ERROR(runtime.EndSweep(
             touched, static_cast<std::uint64_t>(n),
             static_cast<std::uint64_t>(n), "pr"));
+        if (ctx.checkpoint_writes_enabled()) {
+          GA_RETURN_IF_ERROR(
+              ctx.MaybeCheckpoint([&](resilience::StateWriter& writer) {
+                writer.AddScalar("pr/iteration", iteration + 1);
+                writer.AddVector("pr/ranks", output.double_values);
+              }));
+        }
       }
       return output;
     }

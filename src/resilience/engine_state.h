@@ -1,0 +1,104 @@
+// Checkpoint serialization of the exec-layer engine structures
+// (ga::resilience, DESIGN.md §13).
+//
+// Engines checkpoint at superstep boundaries, where the double-buffered
+// structures are in their narrow state: the frontier's next side and
+// stage are empty (Advance just ran) and the message arena's non-current
+// counts are all zero (AdvanceSuperstep* just zeroed them). Both
+// therefore checkpoint as ONE side plus the side index; the restore path
+// rebuilds the structure with its normal Init/Reset call — which
+// recreates the empty side — and overwrites the current side wholesale.
+// Everything restored is bit-exact, so the supersteps that follow
+// accumulate on identical state and the job's outputs, ledger and
+// simulated metrics match the uninterrupted run byte for byte.
+#ifndef GRAPHALYTICS_RESILIENCE_ENGINE_STATE_H_
+#define GRAPHALYTICS_RESILIENCE_ENGINE_STATE_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "core/exec/frontier.h"
+#include "core/exec/message_arena.h"
+#include "core/status.h"
+#include "core/types.h"
+#include "resilience/checkpoint.h"
+
+namespace ga::resilience {
+
+inline void SaveFrontier(StateWriter& writer, const std::string& prefix,
+                         const exec::Frontier& frontier) {
+  writer.AddScalar(prefix + "/side",
+                   static_cast<std::int32_t>(frontier.current_side()));
+  writer.AddSpan<VertexIndex>(prefix + "/sparse", frontier.active());
+  writer.AddSpan<std::uint64_t>(prefix + "/bits",
+                                frontier.bits().words());
+  writer.AddScalar(prefix + "/degree_sum", frontier.active_degree_sum());
+}
+
+/// `frontier` must already be Init(n)'d for the same universe.
+inline Status LoadFrontier(const StateReader& reader,
+                           const std::string& prefix,
+                           exec::Frontier* frontier) {
+  std::int32_t side = 0;
+  GA_RETURN_IF_ERROR(reader.ReadScalar(prefix + "/side", &side));
+  std::int64_t degree_sum = 0;
+  GA_RETURN_IF_ERROR(
+      reader.ReadScalar(prefix + "/degree_sum", &degree_sum));
+  GA_ASSIGN_OR_RETURN(std::span<const VertexIndex> sparse,
+                      reader.Span<VertexIndex>(prefix + "/sparse"));
+  GA_ASSIGN_OR_RETURN(std::span<const std::uint64_t> bits,
+                      reader.Span<std::uint64_t>(prefix + "/bits"));
+  const auto n = static_cast<std::size_t>(frontier->universe());
+  if (side != 0 && side != 1) {
+    return Status::IoError("checkpoint frontier " + prefix +
+                           ": bad side " + std::to_string(side));
+  }
+  if (bits.size() != (n + 63) / 64 || sparse.size() > n) {
+    return Status::IoError("checkpoint frontier " + prefix +
+                           " does not fit a universe of " +
+                           std::to_string(n) + " vertices");
+  }
+  frontier->RestoreCurrent(side, sparse, bits, degree_sum);
+  return Status::Ok();
+}
+
+template <typename T>
+void SaveArena(StateWriter& writer, const std::string& prefix,
+               const exec::MessageArena<T>& arena) {
+  writer.AddScalar(prefix + "/side",
+                   static_cast<std::int32_t>(arena.current_side()));
+  writer.AddSpan<T>(prefix + "/values", arena.current_values());
+  writer.AddSpan<std::int64_t>(prefix + "/counts",
+                               arena.current_counts());
+  writer.AddScalar(prefix + "/total", arena.TotalMessages());
+}
+
+/// `arena` must already carry the same Reset/ResetUniform layout.
+template <typename T>
+Status LoadArena(const StateReader& reader, const std::string& prefix,
+                 exec::MessageArena<T>* arena) {
+  std::int32_t side = 0;
+  GA_RETURN_IF_ERROR(reader.ReadScalar(prefix + "/side", &side));
+  std::uint64_t total = 0;
+  GA_RETURN_IF_ERROR(reader.ReadScalar(prefix + "/total", &total));
+  GA_ASSIGN_OR_RETURN(std::span<const T> values,
+                      reader.Span<T>(prefix + "/values"));
+  GA_ASSIGN_OR_RETURN(std::span<const std::int64_t> counts,
+                      reader.Span<std::int64_t>(prefix + "/counts"));
+  if (side != 0 && side != 1) {
+    return Status::IoError("checkpoint arena " + prefix + ": bad side " +
+                           std::to_string(side));
+  }
+  if (counts.size() != static_cast<std::size_t>(arena->num_vertices()) ||
+      values.size() != arena->current_values().size()) {
+    return Status::IoError("checkpoint arena " + prefix +
+                           " does not match the job's message layout");
+  }
+  arena->RestoreCurrent(side, values, counts, total);
+  return Status::Ok();
+}
+
+}  // namespace ga::resilience
+
+#endif  // GRAPHALYTICS_RESILIENCE_ENGINE_STATE_H_

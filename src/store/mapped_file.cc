@@ -17,6 +17,14 @@
 
 namespace ga::store {
 
+namespace {
+void (*g_open_race_hook)(const std::string&) = nullptr;
+}  // namespace
+
+void MappedFile::SetOpenRaceTestHook(void (*hook)(const std::string& path)) {
+  g_open_race_hook = hook;
+}
+
 void MappedFile::Reset() {
   if (data_ == nullptr) return;
 #if GA_STORE_HAS_MMAP
@@ -53,12 +61,31 @@ Result<MappedFile> MappedFile::Open(const std::string& path) {
     ::close(fd);
     return file;
   }
+  if (g_open_race_hook != nullptr) g_open_race_hook(path);
   void* mapping =
       ::mmap(nullptr, file.size_, PROT_READ, MAP_PRIVATE, fd, 0);
-  ::close(fd);
   if (mapping == MAP_FAILED) {
+    const int err = errno;
+    ::close(fd);
     return Status::IoError("cannot mmap " + path + ": " +
-                           std::strerror(errno));
+                           std::strerror(err));
+  }
+  // Fail closed on the stat→mmap truncation race: mmap happily maps past
+  // EOF, but touching those pages raises SIGBUS. Re-check the size on the
+  // descriptor we actually mapped (not the path, which may have been
+  // atomically replaced — the mapping pins the old inode, which is safe).
+  struct stat st_after;
+  const int restat = ::fstat(fd, &st_after);
+  ::close(fd);
+  if (restat != 0 ||
+      static_cast<std::size_t>(st_after.st_size) < file.size_) {
+    ::munmap(mapping, file.size_);
+    file.size_ = 0;
+    return Status::IoError(
+        "file shrank while mapping " + path + " (" +
+        std::to_string(st.st_size) + " -> " +
+        std::to_string(restat == 0 ? st_after.st_size : -1) +
+        " bytes); refusing a mapping that would SIGBUS");
   }
   file.data_ = mapping;
   file.mapped_ = true;

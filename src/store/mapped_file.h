@@ -36,7 +36,19 @@ class MappedFile {
   MappedFile& operator=(const MappedFile&) = delete;
 
   /// Maps `path` read-only. Empty files yield a valid zero-size mapping.
+  ///
+  /// Fails closed against the stat→mmap truncation race: after mapping,
+  /// the still-open descriptor is fstat'ed again, and a file that shrank
+  /// in the window is rejected with kIoError instead of handing out a
+  /// mapping whose tail pages would SIGBUS on first read. (Writers in
+  /// this repo never truncate in place — ga::store replaces files by
+  /// atomic tmp+rename — but the reader must not trust that.)
   static Result<MappedFile> Open(const std::string& path);
+
+  /// Test hook: invoked between the initial fstat and the mmap of Open
+  /// (the truncation-race window). Null by default; the regression test
+  /// installs a callback that truncates the file under the reader.
+  static void SetOpenRaceTestHook(void (*hook)(const std::string& path));
 
   const std::byte* data() const {
     return static_cast<const std::byte*>(data_);

@@ -101,4 +101,17 @@ void MemoryAccountant::Reset() {
   std::fill(peak_.begin(), peak_.end(), 0);
 }
 
+Status MemoryAccountant::RestoreState(std::span<const std::int64_t> used,
+                                      std::span<const std::int64_t> peak) {
+  if (used.size() != used_.size() || peak.size() != peak_.size()) {
+    return Status::InvalidArgument(
+        "memory accountant restore: checkpoint covers " +
+        std::to_string(used.size()) + " machines, job has " +
+        std::to_string(used_.size()));
+  }
+  std::copy(used.begin(), used.end(), used_.begin());
+  std::copy(peak.begin(), peak.end(), peak_.begin());
+  return Status::Ok();
+}
+
 }  // namespace ga::sysmodel

@@ -95,6 +95,15 @@ class MemoryAccountant {
   void Release(int machine, std::int64_t bytes);
   void Reset();
 
+  /// Wholesale replacement of the per-machine used/peak state from a
+  /// superstep checkpoint (ga::resilience). Restoring both keeps later
+  /// Release calls balanced AND preserves the peak that drives the
+  /// swap-penalty decision, so a resumed job reports the same memory
+  /// behaviour as an uninterrupted one. kInvalidArgument on a machine-
+  /// count mismatch.
+  Status RestoreState(std::span<const std::int64_t> used,
+                      std::span<const std::int64_t> peak);
+
   std::int64_t used(int machine) const { return used_[machine]; }
   std::int64_t peak(int machine) const { return peak_[machine]; }
   std::int64_t capacity() const { return capacity_; }

@@ -9,6 +9,7 @@
 #include <cstdint>
 #include <map>
 #include <numeric>
+#include <string>
 #include <vector>
 
 #include "core/exec/alloc_stats.h"
@@ -30,6 +31,51 @@ TEST(ThreadPoolTest, ExecutesEveryChunkExactlyOnce) {
       EXPECT_EQ(seen[chunk].load(), 1) << "chunk " << chunk;
     }
   }
+}
+
+// A throwing chunk must not std::terminate the process: every chunk
+// still runs, and the exception of the LOWEST throwing chunk index is
+// rethrown on the submitting thread — so the surfaced failure is the
+// same at any thread count.
+TEST(ThreadPoolTest, ChunkExceptionPropagatesToSubmittingThread) {
+  for (int threads : {1, 2, 8}) {
+    ThreadPool pool(threads);
+    constexpr std::int64_t kChunks = 100;
+    std::vector<std::atomic<int>> seen(kChunks);
+    bool caught = false;
+    try {
+      pool.Execute(kChunks, [&](std::int64_t chunk) {
+        seen[chunk].fetch_add(1);
+        if (chunk == 42 || chunk == 77) {
+          throw StatusException(Status::Aborted(
+              "injected failure in chunk " + std::to_string(chunk)));
+        }
+      });
+    } catch (const StatusException& e) {
+      caught = true;
+      EXPECT_EQ(e.status().code(), StatusCode::kAborted) << threads;
+      // Lowest chunk index wins, regardless of which thread ran it.
+      EXPECT_NE(e.status().message().find("chunk 42"), std::string::npos)
+          << threads << " threads surfaced: " << e.status().message();
+    }
+    EXPECT_TRUE(caught) << threads << " threads swallowed the exception";
+    for (std::int64_t chunk = 0; chunk < kChunks; ++chunk) {
+      EXPECT_EQ(seen[chunk].load(), 1)
+          << "chunk " << chunk << " skipped after a peer threw ("
+          << threads << " threads)";
+    }
+  }
+}
+
+TEST(ThreadPoolTest, CreateRejectsNonPositiveThreadCounts) {
+  for (int bad : {0, -1, -64}) {
+    auto pool = ThreadPool::Create(bad);
+    ASSERT_FALSE(pool.ok()) << bad;
+    EXPECT_EQ(pool.status().code(), StatusCode::kInvalidArgument) << bad;
+  }
+  auto pool = ThreadPool::Create(2);
+  ASSERT_TRUE(pool.ok()) << pool.status().ToString();
+  EXPECT_EQ((*pool)->num_threads(), 2);
 }
 
 TEST(ThreadPoolTest, ReusableAcrossJobs) {

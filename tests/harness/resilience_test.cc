@@ -1,0 +1,122 @@
+// Hardened-runner behaviour under injected faults (docs/ROBUSTNESS.md):
+// bounded retry for transient failures, quarantine for deterministic
+// ones, wall-clock timeouts for stalls, and seed-deterministic fault
+// sequences at any --jobs value.
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "faults/faults.h"
+
+namespace ga::harness {
+namespace {
+
+BenchmarkConfig FastConfig() {
+  BenchmarkConfig config;
+  config.scale_divisor = 16384;
+  config.seed = 13;
+  config.retry_backoff_seconds = 0.001;  // keep test wall time tiny
+  return config;
+}
+
+JobSpec BfsJob() {
+  JobSpec spec;
+  spec.platform_id = "spmat";
+  spec.dataset_id = "R1";
+  spec.algorithm = Algorithm::kBfs;
+  return spec;
+}
+
+// abort_at_loop is a one-shot ordinal fault: the first attempt aborts,
+// the retry runs clean. Exactly the transient shape bounded retry is for.
+TEST(ResilienceTest, TransientAbortIsRetriedToCompletion) {
+  BenchmarkConfig config = FastConfig();
+  config.fault_spec = "abort_at_loop=3";
+  config.max_retries = 2;
+  BenchmarkRunner runner(config);
+  JobReport report = runner.RunWithPolicy(BfsJob());
+  EXPECT_EQ(report.outcome, JobOutcome::kCompleted)
+      << report.failure_cause << ": " << report.failure;
+  EXPECT_EQ(report.attempts, 2);
+  EXPECT_TRUE(report.output_validated);
+}
+
+// crash_at_superstep re-fires every attempt (a deterministic failure
+// retry cannot fix): retries exhaust and the cell is quarantined.
+TEST(ResilienceTest, DeterministicCrashExhaustsRetriesAndIsQuarantined) {
+  BenchmarkConfig config = FastConfig();
+  config.fault_spec = "crash_at_superstep=2";
+  config.max_retries = 1;
+  BenchmarkRunner runner(config);
+  JobReport report = runner.RunWithPolicy(BfsJob());
+  EXPECT_EQ(report.outcome, JobOutcome::kCrashed);
+  EXPECT_EQ(report.attempts, 2);  // first try + one retry
+  EXPECT_EQ(report.failure_code, StatusCode::kAborted);
+  EXPECT_EQ(report.failure_cause, "worker-abort");
+  EXPECT_FALSE(report.failure.empty());
+}
+
+// A stalled chunk trips the per-job wall timeout; the stall is one-shot,
+// so the retry completes within the deadline.
+TEST(ResilienceTest, StallTripsWallTimeoutThenRetrySucceeds) {
+  BenchmarkConfig config = FastConfig();
+  config.fault_spec = "stall_at_loop=1,stall_ms=600";
+  config.job_timeout_seconds = 0.15;
+  config.max_retries = 2;
+  BenchmarkRunner runner(config);
+  JobReport report = runner.RunWithPolicy(BfsJob());
+  EXPECT_EQ(report.outcome, JobOutcome::kCompleted)
+      << report.failure_cause << ": " << report.failure;
+  EXPECT_GE(report.attempts, 2);
+}
+
+// An injected allocation failure is an out-of-memory crash: per the
+// paper's harness it is a benchmark verdict, never retried.
+TEST(ResilienceTest, AllocationFailureIsNotRetried) {
+  BenchmarkConfig config = FastConfig();
+  config.fault_spec = "alloc_fail_at_charge=1";
+  config.max_retries = 3;
+  BenchmarkRunner runner(config);
+  JobReport report = runner.RunWithPolicy(BfsJob());
+  EXPECT_EQ(report.outcome, JobOutcome::kCrashed);
+  EXPECT_EQ(report.attempts, 1);
+  EXPECT_EQ(report.failure_code, StatusCode::kOutOfMemory);
+  EXPECT_EQ(report.failure_cause, "out-of-memory");
+}
+
+// A malformed fault spec must not take the suite down: the job is
+// quarantined as an infrastructure failure.
+TEST(ResilienceTest, MalformedFaultSpecIsQuarantinedAsInfrastructure) {
+  BenchmarkConfig config = FastConfig();
+  config.fault_spec = "explode_at_random=yes";
+  BenchmarkRunner runner(config);
+  JobReport report = runner.RunWithPolicy(BfsJob());
+  EXPECT_EQ(report.outcome, JobOutcome::kFailed);
+  EXPECT_EQ(report.failure_cause, "infrastructure");
+}
+
+// The same plan (same seed) reproduces the same failure, byte for byte
+// in the status message, across fresh runners and across host thread
+// counts — the property that makes chaos runs debuggable.
+TEST(ResilienceTest, FaultSequenceIsSeedDeterministicAcrossJobs) {
+  std::string reference;
+  for (int host_jobs : {1, 1, 2, 8}) {  // 1 twice: re-run reproducibility
+    BenchmarkConfig config = FastConfig();
+    config.host_jobs = host_jobs;
+    config.fault_spec = "crash_at_superstep=2,seed=99";
+    BenchmarkRunner runner(config);
+    JobReport report = runner.RunWithPolicy(BfsJob());
+    ASSERT_EQ(report.outcome, JobOutcome::kCrashed) << host_jobs;
+    if (reference.empty()) {
+      reference = report.failure;
+      ASSERT_FALSE(reference.empty());
+    } else {
+      EXPECT_EQ(report.failure, reference) << "-j" << host_jobs;
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ga::harness

@@ -1,0 +1,166 @@
+// Unit tests for the checkpoint file format (ga::resilience): write/read
+// round-trip, eager verification (checksums, job key, truncation), and
+// the atomic-write contract.
+#include "resilience/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstdint>
+#include <fstream>
+#include <string>
+#include <vector>
+
+namespace ga::resilience {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+StateWriter SampleState() {
+  StateWriter writer;
+  writer.AddScalar("ctx/supersteps", std::int64_t{7});
+  writer.AddScalar("ctx/sim_seconds", 3.14159);
+  writer.AddVector("engine/depths",
+                   std::vector<std::int64_t>{0, 1, 2, -1, 2});
+  writer.AddVector("engine/ranks",
+                   std::vector<double>{0.25, 0.5, 0.125, 0.0, 0.125});
+  writer.AddBytes("engine/empty", nullptr, 0);
+  return writer;
+}
+
+TEST(CheckpointTest, RoundTripsAllSections) {
+  const std::string path = TempPath("roundtrip.gackpt");
+  ASSERT_TRUE(WriteCheckpoint(path, 0xfeed, 7, SampleState()).ok());
+  ASSERT_TRUE(CheckpointExists(path));
+
+  auto reader = StateReader::Open(path, 0xfeed);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->superstep(), 7);
+
+  std::int64_t supersteps = 0;
+  ASSERT_TRUE(reader->ReadScalar("ctx/supersteps", &supersteps).ok());
+  EXPECT_EQ(supersteps, 7);
+  double sim_seconds = 0.0;
+  ASSERT_TRUE(reader->ReadScalar("ctx/sim_seconds", &sim_seconds).ok());
+  EXPECT_EQ(sim_seconds, 3.14159);  // bit-exact, not approximate
+
+  std::vector<std::int64_t> depths;
+  ASSERT_TRUE(reader->ReadVector("engine/depths", &depths).ok());
+  EXPECT_EQ(depths, (std::vector<std::int64_t>{0, 1, 2, -1, 2}));
+  auto ranks = reader->Span<double>("engine/ranks");
+  ASSERT_TRUE(ranks.ok());
+  ASSERT_EQ(ranks->size(), 5u);
+  EXPECT_EQ((*ranks)[2], 0.125);
+
+  EXPECT_TRUE(reader->Has("engine/empty"));
+  EXPECT_FALSE(reader->Has("engine/missing"));
+  EXPECT_EQ(reader->Bytes("engine/missing").status().code(),
+            StatusCode::kNotFound);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, MissingFileIsNotFound) {
+  auto reader = StateReader::Open(TempPath("never_written.gackpt"), 1);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CheckpointTest, JobKeyMismatchIsFailedPrecondition) {
+  const std::string path = TempPath("wrong_key.gackpt");
+  ASSERT_TRUE(WriteCheckpoint(path, 0xaaaa, 3, SampleState()).ok());
+  auto reader = StateReader::Open(path, 0xbbbb);
+  ASSERT_FALSE(reader.ok());
+  EXPECT_EQ(reader.status().code(), StatusCode::kFailedPrecondition)
+      << reader.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, PayloadCorruptionIsDetectedEagerly) {
+  const std::string path = TempPath("corrupt.gackpt");
+  StateWriter writer;
+  // One big section so a byte near the end of the file is provably
+  // inside the payload (alignment padding is at most 63 bytes).
+  writer.AddVector("engine/big",
+                   std::vector<std::int64_t>(1024, 0x0123456789abcdefLL));
+  ASSERT_TRUE(WriteCheckpoint(path, 0xfeed, 3, writer).ok());
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekg(-100, std::ios::end);
+    char byte = 0;
+    file.read(&byte, 1);
+    file.seekp(-100, std::ios::end);
+    byte = static_cast<char>(byte ^ 0x40);
+    file.write(&byte, 1);
+  }
+  auto reader = StateReader::Open(path, 0xfeed);
+  ASSERT_FALSE(reader.ok()) << "corrupted payload parsed";
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, HeaderCorruptionIsDetected) {
+  const std::string path = TempPath("corrupt_header.gackpt");
+  ASSERT_TRUE(WriteCheckpoint(path, 0xfeed, 3, SampleState()).ok());
+  {
+    std::fstream file(path,
+                      std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(file.is_open());
+    file.seekp(40, std::ios::beg);  // inside the header's superstep field
+    const char byte = 0x7f;
+    file.write(&byte, 1);
+  }
+  auto reader = StateReader::Open(path, 0xfeed);
+  ASSERT_FALSE(reader.ok()) << "corrupted header parsed";
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, TruncatedFileIsRejected) {
+  const std::string path = TempPath("truncated.gackpt");
+  ASSERT_TRUE(WriteCheckpoint(path, 0xfeed, 3, SampleState()).ok());
+  // Rewrite keeping only the first 80 bytes (header + part of the table).
+  std::vector<char> head(80);
+  {
+    std::ifstream in(path, std::ios::binary);
+    in.read(head.data(), static_cast<std::streamsize>(head.size()));
+    ASSERT_EQ(in.gcount(), static_cast<std::streamsize>(head.size()));
+  }
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(head.data(), static_cast<std::streamsize>(head.size()));
+  }
+  auto reader = StateReader::Open(path, 0xfeed);
+  ASSERT_FALSE(reader.ok()) << "truncated checkpoint parsed";
+  EXPECT_EQ(reader.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, OverwriteReplacesAtomically) {
+  const std::string path = TempPath("overwrite.gackpt");
+  ASSERT_TRUE(WriteCheckpoint(path, 0xfeed, 2, SampleState()).ok());
+  StateWriter next;
+  next.AddScalar("ctx/supersteps", std::int64_t{4});
+  ASSERT_TRUE(WriteCheckpoint(path, 0xfeed, 4, next).ok());
+  auto reader = StateReader::Open(path, 0xfeed);
+  ASSERT_TRUE(reader.ok()) << reader.status().ToString();
+  EXPECT_EQ(reader->superstep(), 4);
+  EXPECT_FALSE(reader->Has("engine/ranks"));  // fully replaced, not merged
+  std::remove(path.c_str());
+}
+
+TEST(CheckpointTest, JobKeySeparatesJobsButNotHostParallelism) {
+  const std::uint64_t key =
+      MakeJobKey("spmat", "bfs", 1000, 5000, 2, 8);
+  EXPECT_EQ(key, MakeJobKey("spmat", "bfs", 1000, 5000, 2, 8));
+  EXPECT_NE(key, MakeJobKey("bsplite", "bfs", 1000, 5000, 2, 8));
+  EXPECT_NE(key, MakeJobKey("spmat", "pr", 1000, 5000, 2, 8));
+  EXPECT_NE(key, MakeJobKey("spmat", "bfs", 1001, 5000, 2, 8));
+  EXPECT_NE(key, MakeJobKey("spmat", "bfs", 1000, 5000, 4, 8));
+}
+
+}  // namespace
+}  // namespace ga::resilience

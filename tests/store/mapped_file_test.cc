@@ -1,0 +1,114 @@
+// Regression tests for store::MappedFile's fail-closed behaviour against
+// the stat->mmap truncation race: a file that shrinks between the size
+// probe and the mapping must be rejected with kIoError, never handed out
+// as a mapping whose tail pages SIGBUS on first read.
+#include "store/mapped_file.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+namespace ga::store {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+void WriteBytes(const std::string& path, std::size_t size) {
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  for (std::size_t i = 0; i < size; ++i) {
+    std::fputc(static_cast<int>(i & 0xff), file);
+  }
+  ASSERT_EQ(std::fclose(file), 0);
+}
+
+// The hook fires inside Open's race window; it needs the victim path
+// without capture (plain function pointer), so pass it via a global.
+std::string* g_truncate_target = nullptr;
+std::size_t g_truncate_to = 0;
+
+void TruncateUnderReader(const std::string& path) {
+  if (g_truncate_target == nullptr || path != *g_truncate_target) return;
+  // Re-open with "r+" and truncate via freopen-less POSIX truncate: the
+  // portable way in the test is rewriting the file shorter in place.
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(file, nullptr);
+  for (std::size_t i = 0; i < g_truncate_to; ++i) std::fputc('x', file);
+  ASSERT_EQ(std::fclose(file), 0);
+}
+
+TEST(MappedFileTest, OpensAndReadsBackContent) {
+  const std::string path = TempPath("mapped_file_ok.bin");
+  WriteBytes(path, 4096 + 17);
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  ASSERT_EQ(file->size(), 4096u + 17u);
+  for (std::size_t i = 0; i < file->size(); i += 509) {
+    EXPECT_EQ(std::to_integer<int>(file->data()[i]),
+              static_cast<int>(i & 0xff))
+        << i;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(MappedFileTest, MissingFileIsError) {
+  auto file = MappedFile::Open(TempPath("does_not_exist.bin"));
+  EXPECT_FALSE(file.ok());
+}
+
+TEST(MappedFileTest, EmptyFileIsValidZeroSizeMapping) {
+  const std::string path = TempPath("mapped_file_empty.bin");
+  WriteBytes(path, 0);
+  auto file = MappedFile::Open(path);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->size(), 0u);
+  std::remove(path.c_str());
+}
+
+// The race regression: the file shrinks AFTER Open's initial fstat but
+// BEFORE the mapping is served. Open must detect the shrink on the
+// still-open descriptor and fail closed.
+TEST(MappedFileTest, TruncationUnderReaderFailsClosed) {
+  const std::string path = TempPath("mapped_file_race.bin");
+  WriteBytes(path, 3 * 4096);
+
+  std::string target = path;
+  g_truncate_target = &target;
+  g_truncate_to = 100;  // shrink mid-open: tail pages would SIGBUS
+  MappedFile::SetOpenRaceTestHook(&TruncateUnderReader);
+  auto file = MappedFile::Open(path);
+  MappedFile::SetOpenRaceTestHook(nullptr);
+  g_truncate_target = nullptr;
+
+  ASSERT_FALSE(file.ok())
+      << "a file truncated under the reader was served anyway";
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError)
+      << file.status().ToString();
+  std::remove(path.c_str());
+}
+
+// Growth in the window is benign (the mapping covers the original size);
+// Open must NOT reject it.
+TEST(MappedFileTest, GrowthUnderReaderIsServed) {
+  const std::string path = TempPath("mapped_file_grow.bin");
+  WriteBytes(path, 4096);
+
+  std::string target = path;
+  g_truncate_target = &target;
+  g_truncate_to = 2 * 4096;  // the hook rewrites LARGER this time
+  MappedFile::SetOpenRaceTestHook(&TruncateUnderReader);
+  auto file = MappedFile::Open(path);
+  MappedFile::SetOpenRaceTestHook(nullptr);
+  g_truncate_target = nullptr;
+
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ(file->size(), 4096u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ga::store

@@ -34,6 +34,7 @@
 // deployment scale, host parallelism and the persistent dataset cache.
 #include <algorithm>
 #include <cerrno>
+#include <functional>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -48,6 +49,7 @@
 
 #include "core/exec/thread_pool.h"
 #include "core/strings.h"
+#include "faults/faults.h"
 #include "granula/chrome_trace.h"
 #include "experiments/mutation_sweep.h"
 #include "experiments/plan.h"
@@ -148,11 +150,35 @@ void PrintUsage(std::FILE* stream) {
       "  --out FILE            write the sweep JSON artifact\n"
       "  --report FILE         also write the text report to FILE\n"
       "\n"
+      "resilience options (run + suite, docs/ROBUSTNESS.md):\n"
+      "  --faults SPEC         deterministic fault injection, e.g.\n"
+      "                        crash_at_superstep=3,seed=7 (keys:\n"
+      "                        crash_at_superstep, kill_at_superstep,\n"
+      "                        alloc_fail_at_charge, abort_at_loop,\n"
+      "                        stall_at_loop, stall_ms, corrupt_read,\n"
+      "                        seed); failing cells are quarantined and\n"
+      "                        the suite keeps going\n"
+      "  --timeout SEC         per-attempt wall-clock timeout, enforced\n"
+      "                        at superstep boundaries (0 = off)\n"
+      "  --retries N           retry retryable failures up to N times\n"
+      "  --backoff SEC         base backoff before retry k, doubled each\n"
+      "                        retry (default 0.05)\n"
+      "  --checkpoint-dir DIR  write superstep checkpoints under DIR\n"
+      "  --checkpoint-cadence N  checkpoint every N supersteps (default 1)\n"
+      "  --resume              restore jobs from their checkpoint when\n"
+      "                        one exists; restarted jobs are\n"
+      "                        byte-identical to uninterrupted ones\n"
+      "\n"
       "common:\n"
       "  --help                show this help\n"
       "\n"
+      "exit codes (run + suite): 0 success (or a --faults chaos run that\n"
+      "completed with quarantined cells), 2 usage error, 3 benchmark\n"
+      "failure, 4 crash (OOM/abort), 5 timeout, 6 infrastructure/io\n"
+      "error\n"
+      "\n"
       "environment: GA_SCALE_DIVISOR (default 1024), GA_SEED, GA_JOBS,\n"
-      "GA_DATA_DIR\n");
+      "GA_DATA_DIR, GA_FAULTS, GA_CHECKPOINT_DIR\n");
 }
 
 /// Parses --jobs values: non-negative integer, 0 = hardware concurrency.
@@ -170,6 +196,109 @@ bool ParseJobs(const char* text, int* jobs) {
   }
   *jobs = static_cast<int>(value);
   return true;
+}
+
+/// The resilience flags shared by run and suite mode, collected during
+/// flag parsing and applied onto the BenchmarkConfig afterwards.
+struct ResilienceArgs {
+  std::string faults;
+  std::string checkpoint_dir;
+  double timeout = -1.0;
+  double backoff = -1.0;
+  int retries = -1;
+  int cadence = -1;
+  bool resume = false;
+};
+
+/// Consumes `arg` if it is a resilience flag. Returns true when handled.
+bool ParseResilienceFlag(const std::string& arg,
+                         const std::function<const char*()>& next,
+                         ResilienceArgs* resilience) {
+  if (arg == "--faults") {
+    resilience->faults = next();
+  } else if (arg == "--timeout") {
+    resilience->timeout = std::atof(next());
+  } else if (arg == "--retries") {
+    resilience->retries = std::atoi(next());
+  } else if (arg == "--backoff") {
+    resilience->backoff = std::atof(next());
+  } else if (arg == "--checkpoint-dir") {
+    resilience->checkpoint_dir = next();
+  } else if (arg == "--checkpoint-cadence") {
+    resilience->cadence = std::atoi(next());
+  } else if (arg == "--resume") {
+    resilience->resume = true;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+/// A malformed --faults spec is a usage error, rejected before any job
+/// runs: the chaos-run exit-code exemption (below) would otherwise
+/// report a chaos experiment that never armed as green.
+bool ValidateFaultSpec(const std::string& spec) {
+  if (spec.empty()) return true;
+  auto plan = ga::faults::FaultPlan::Parse(spec);
+  if (!plan.ok()) {
+    std::fprintf(stderr, "--faults: %s\n",
+                 plan.status().ToString().c_str());
+    return false;
+  }
+  return true;
+}
+
+void ApplyResilienceArgs(const ResilienceArgs& resilience,
+                         ga::harness::BenchmarkConfig* config) {
+  if (!resilience.faults.empty()) config->fault_spec = resilience.faults;
+  if (resilience.timeout >= 0.0) {
+    config->job_timeout_seconds = resilience.timeout;
+  }
+  if (resilience.retries >= 0) config->max_retries = resilience.retries;
+  if (resilience.backoff >= 0.0) {
+    config->retry_backoff_seconds = resilience.backoff;
+  }
+  if (!resilience.checkpoint_dir.empty()) {
+    config->checkpoint_dir = resilience.checkpoint_dir;
+  }
+  if (resilience.cadence >= 1) config->checkpoint_cadence = resilience.cadence;
+  if (resilience.resume) config->resume = true;
+}
+
+/// Exit-code taxonomy (docs/ROBUSTNESS.md): the worst benchmark verdict
+/// across the reports. Unsupported cells are paper "-" entries, not
+/// failures. Infrastructure/io failures rank worst; then timeouts,
+/// crashes, plain failures.
+int JobExitSeverity(const ga::harness::JobReport& report) {
+  switch (report.outcome) {
+    case ga::harness::JobOutcome::kCompleted:
+    case ga::harness::JobOutcome::kUnsupported:
+      return 0;
+    case ga::harness::JobOutcome::kTimedOut:
+      return 5;
+    case ga::harness::JobOutcome::kCrashed:
+      return 4;
+    case ga::harness::JobOutcome::kFailed:
+      return report.failure_cause == "infrastructure" ||
+                     report.failure_code == ga::StatusCode::kIoError
+                 ? 6
+                 : 3;
+  }
+  return 3;
+}
+
+/// A --faults run is a chaos experiment: injected failures quarantining
+/// cells are the EXPECTED result, so they do not poison the exit code —
+/// the run is green as long as the harness itself completed and emitted
+/// its artifacts.
+int ExitCodeForReports(const std::vector<ga::harness::JobReport>& reports,
+                       bool chaos_run) {
+  if (chaos_run) return 0;
+  int worst = 0;
+  for (const ga::harness::JobReport& report : reports) {
+    worst = std::max(worst, JobExitSeverity(report));
+  }
+  return worst;
 }
 
 /// Writes a complete document to `path` (used for the --trace export).
@@ -199,6 +328,7 @@ int RunMode(const std::vector<std::string>& args) {
   std::string out_path;
   std::string data_dir;
   std::string trace_path;
+  ResilienceArgs resilience;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -225,6 +355,8 @@ int RunMode(const std::vector<std::string>& args) {
       out_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (ParseResilienceFlag(arg, next, &resilience)) {
+      // handled
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -240,6 +372,8 @@ int RunMode(const std::vector<std::string>& args) {
   if (jobs >= 0) config.host_jobs = jobs;
   if (!data_dir.empty()) config.data_dir = data_dir;
   config.trace_enabled = !trace_path.empty();
+  ApplyResilienceArgs(resilience, &config);
+  if (!ValidateFaultSpec(config.fault_spec)) return 2;
   ga::harness::BenchmarkRunner runner(config);
   std::printf("host threads: %d\n",
               runner.host_pool() != nullptr
@@ -251,7 +385,17 @@ int RunMode(const std::vector<std::string>& args) {
   if (config.trace_enabled) {
     std::printf("deep tracing enabled -> %s\n", trace_path.c_str());
   }
+  if (!config.fault_spec.empty()) {
+    std::printf("fault injection armed: %s\n", config.fault_spec.c_str());
+  }
+  if (!config.checkpoint_dir.empty()) {
+    std::printf("checkpoints -> %s (cadence %d%s)\n",
+                config.checkpoint_dir.c_str(),
+                std::max(config.checkpoint_cadence, 1),
+                config.resume ? ", resume" : "");
+  }
   ga::harness::ResultsDatabase database(config);
+  std::vector<ga::harness::JobReport> reports;
   ga::granula::ChromeTraceBuilder trace_builder;
   std::size_t traced_jobs = 0;
 
@@ -274,28 +418,26 @@ int RunMode(const std::vector<std::string>& args) {
         job.num_machines = machines;
         job.threads_per_machine = threads;
         job.repetitions = repetitions;
-        auto report = runner.Run(job);
-        if (!report.ok()) {
-          std::fprintf(stderr, "%s/%s/%s: %s\n", platform.c_str(),
-                       dataset.c_str(), algorithm_name.c_str(),
-                       report.status().ToString().c_str());
-          continue;
-        }
-        database.Record(*report);
-        if (report->archive != nullptr && report->archive->valid()) {
-          trace_builder.AddJob(*report->archive, platform + "/" + dataset +
-                                                     "/" + algorithm_name);
+        // Hardened execution: fault injection, timeout, bounded retry
+        // and quarantine per the config (docs/ROBUSTNESS.md). Always
+        // yields a report, so the matrix stays complete.
+        ga::harness::JobReport report = runner.RunWithPolicy(job);
+        database.Record(report);
+        if (report.archive != nullptr && report.archive->valid()) {
+          trace_builder.AddJob(*report.archive, platform + "/" + dataset +
+                                                    "/" + algorithm_name);
           ++traced_jobs;
         }
         table.AddRow(
             {platform, dataset, algorithm_name,
-             std::string(ga::harness::JobOutcomeName(report->outcome)),
-             report->completed()
-                 ? ga::harness::FormatSeconds(report->tproc_seconds)
+             std::string(ga::harness::JobOutcomeName(report.outcome)),
+             report.completed()
+                 ? ga::harness::FormatSeconds(report.tproc_seconds)
                  : "-",
-             report->completed()
-                 ? ga::harness::FormatThroughput(report->eps)
+             report.completed()
+                 ? ga::harness::FormatThroughput(report.eps)
                  : "-"});
+        reports.push_back(std::move(report));
       }
     }
   }
@@ -307,16 +449,16 @@ int RunMode(const std::vector<std::string>& args) {
     ga::Status written = database.WriteJsonFile(out_path);
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 1;
+      return 6;
     }
     std::printf("results database written to %s\n", out_path.c_str());
   }
   if (!trace_path.empty()) {
-    if (!WriteFileOrComplain(trace_path, trace_builder.Finish())) return 1;
+    if (!WriteFileOrComplain(trace_path, trace_builder.Finish())) return 6;
     std::printf("chrome trace (%zu jobs) written to %s\n", traced_jobs,
                 trace_path.c_str());
   }
-  return 0;
+  return ExitCodeForReports(reports, !config.fault_spec.empty());
 }
 
 int SuiteMode(const std::vector<std::string>& args) {
@@ -326,6 +468,7 @@ int SuiteMode(const std::vector<std::string>& args) {
   std::string report_path;
   std::string data_dir;
   std::string trace_path;
+  ResilienceArgs resilience;
 
   for (std::size_t i = 0; i < args.size(); ++i) {
     const std::string& arg = args[i];
@@ -344,6 +487,8 @@ int SuiteMode(const std::vector<std::string>& args) {
       report_path = next();
     } else if (arg == "--trace") {
       trace_path = next();
+    } else if (ParseResilienceFlag(arg, next, &resilience)) {
+      // handled
     } else if (arg == "--help" || arg == "-h") {
       PrintUsage(stdout);
       return 0;
@@ -365,6 +510,8 @@ int SuiteMode(const std::vector<std::string>& args) {
   if (jobs >= 0) config.host_jobs = jobs;
   if (!data_dir.empty()) config.data_dir = data_dir;
   config.trace_enabled = !trace_path.empty();
+  ApplyResilienceArgs(resilience, &config);
+  if (!ValidateFaultSpec(config.fault_spec)) return 2;
   ga::harness::BenchmarkRunner runner(config);
   std::printf("host threads: %d\n",
               runner.host_pool() != nullptr
@@ -376,11 +523,20 @@ int SuiteMode(const std::vector<std::string>& args) {
   if (config.trace_enabled) {
     std::printf("deep tracing enabled -> %s\n", trace_path.c_str());
   }
+  if (!config.fault_spec.empty()) {
+    std::printf("fault injection armed: %s\n", config.fault_spec.c_str());
+  }
+  if (!config.checkpoint_dir.empty()) {
+    std::printf("checkpoints -> %s (cadence %d%s)\n",
+                config.checkpoint_dir.c_str(),
+                std::max(config.checkpoint_cadence, 1),
+                config.resume ? ", resume" : "");
+  }
 
   auto result = ga::experiments::RunSuite(runner, *plan);
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
-    return 1;
+    return 6;
   }
 
   std::printf("%s", ga::experiments::RenderSuiteReport(*result).c_str());
@@ -389,7 +545,7 @@ int SuiteMode(const std::vector<std::string>& args) {
     ga::Status written = ga::experiments::WriteSuiteJson(*result, out_path);
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 1;
+      return 6;
     }
     std::printf("experiments database written to %s\n", out_path.c_str());
   }
@@ -398,7 +554,7 @@ int SuiteMode(const std::vector<std::string>& args) {
         ga::experiments::WriteSuiteReport(*result, report_path);
     if (!written.ok()) {
       std::fprintf(stderr, "%s\n", written.ToString().c_str());
-      return 1;
+      return 6;
     }
     std::printf("report written to %s\n", report_path.c_str());
   }
@@ -415,11 +571,11 @@ int SuiteMode(const std::vector<std::string>& args) {
                                      report.spec.dataset_id);
       ++traced_jobs;
     }
-    if (!WriteFileOrComplain(trace_path, trace_builder.Finish())) return 1;
+    if (!WriteFileOrComplain(trace_path, trace_builder.Finish())) return 6;
     std::printf("chrome trace (%zu jobs) written to %s\n", traced_jobs,
                 trace_path.c_str());
   }
-  return 0;
+  return ExitCodeForReports(result->reports, !config.fault_spec.empty());
 }
 
 // Shared flag state for the seven `data` submodes.
