@@ -1,0 +1,559 @@
+// Load/robustness gate for the ga::serve daemon (PR 9, docs/SERVING.md).
+//
+// Drives the in-process server (the same admission/residency/execution
+// path the socket listener feeds) through four phases:
+//
+//   calibrate   a few warm requests measure the base service time.
+//   overload    closed-loop clients at rising concurrency up to ~4x the
+//               executor capacity against a small admission queue:
+//               latency percentiles of admitted work, throughput, and
+//               shed rate per level. Gates: the daemon SHEDS under 4x
+//               (instead of queueing unboundedly) and the p99 of
+//               completed requests stays within the request deadline.
+//   memory      a budget sized at ~2/3 of the working set forces LRU
+//               eviction while jobs rotate datasets. Gates: resident
+//               bytes never exceed the budget and evictions happen.
+//               (VmRSS is recorded for the record, not gated: the
+//               process shares the heap with caches outside the
+//               governor's scope.)
+//   chaos       ~10% of requests carry a fault plan (crash injection).
+//               Gates: faulted requests fail cleanly, and every CLEAN
+//               completed response's output checksum is byte-identical
+//               to the same workload run in batch mode (platform
+//               RunJob) — overload machinery must never perturb
+//               results.
+//
+// Emits BENCH_PR9.json to argv[1] (default stdout); exits non-zero if
+// any gate fails. GA_SCALE_DIVISOR/GA_SEED/GA_JOBS/GA_DATA_DIR
+// configure scale, as everywhere in bench/.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cinttypes>
+#include <limits>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "algo/output.h"
+#include "bench/bench_common.h"
+#include "core/json_writer.h"
+#include "harness/dataset_registry.h"
+#include "platforms/platform.h"
+#include "serve/server.h"
+#include "store/snapshot.h"
+
+namespace ga::bench {
+namespace {
+
+using serve::Request;
+using serve::RequestOp;
+using serve::Response;
+using serve::ServeOptions;
+using serve::Server;
+
+struct Workload {
+  const char* dataset;
+  Algorithm algorithm;
+};
+
+// Small datasets, mixed traversal/iterative shapes: the request mix the
+// clients cycle through.
+constexpr Workload kWorkloads[] = {
+    {"R1", Algorithm::kBfs},
+    {"R2", Algorithm::kWcc},
+    {"R1", Algorithm::kPageRank},
+    {"R2", Algorithm::kBfs},
+};
+constexpr int kNumWorkloads =
+    static_cast<int>(sizeof(kWorkloads) / sizeof(kWorkloads[0]));
+
+double NowMs() {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string FnvHex(const std::string& text) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(
+                    store::Fnv1a64(text.data(), text.size())));
+  return hex;
+}
+
+/// Blocking submit: drives Server::Submit and waits for the response.
+Response SubmitAndWait(Server& server, const Request& request) {
+  std::mutex mutex;
+  std::condition_variable done;
+  Response result;
+  bool ready = false;
+  server.Submit(request, [&](const Response& response) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      result = response;
+      ready = true;
+    }
+    done.notify_one();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  done.wait(lock, [&] { return ready; });
+  return result;
+}
+
+Request MakeRequest(const std::string& id, const Workload& workload,
+                    double deadline_ms = 0.0) {
+  Request request;
+  request.op = RequestOp::kRun;
+  request.id = id;
+  request.dataset = workload.dataset;
+  request.algorithm = workload.algorithm;
+  request.deadline_ms = deadline_ms;
+  return request;
+}
+
+double Percentile(std::vector<double> sorted_ms, double p) {
+  if (sorted_ms.empty()) return 0.0;
+  std::sort(sorted_ms.begin(), sorted_ms.end());
+  const double rank = p * static_cast<double>(sorted_ms.size() - 1);
+  const std::size_t lo = static_cast<std::size_t>(rank);
+  const std::size_t hi = std::min(lo + 1, sorted_ms.size() - 1);
+  const double frac = rank - static_cast<double>(lo);
+  return sorted_ms[lo] * (1.0 - frac) + sorted_ms[hi] * frac;
+}
+
+std::int64_t ReadVmRssKb() {
+  std::FILE* status = std::fopen("/proc/self/status", "r");
+  if (status == nullptr) return -1;
+  char line[256];
+  std::int64_t kb = -1;
+  while (std::fgets(line, sizeof(line), status) != nullptr) {
+    if (std::strncmp(line, "VmRSS:", 6) == 0) {
+      std::sscanf(line + 6, "%" SCNd64, &kb);
+      break;
+    }
+  }
+  std::fclose(status);
+  return kb;
+}
+
+struct LevelResult {
+  int concurrency = 0;
+  std::int64_t completed = 0;
+  std::int64_t shed = 0;
+  std::int64_t timed_out = 0;
+  std::int64_t other = 0;
+  double wall_ms = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+  double throughput_rps = 0.0;
+  double shed_rate = 0.0;
+};
+
+/// Closed loop: `concurrency` clients, each `per_client` sequential
+/// requests against `server`. Latencies are recorded for COMPLETED
+/// requests (shed responses return in microseconds by design — mixing
+/// them in would flatter the percentiles).
+LevelResult RunClosedLoop(Server& server, int concurrency, int per_client,
+                          double deadline_ms, const char* id_prefix) {
+  LevelResult result;
+  result.concurrency = concurrency;
+  std::mutex mutex;
+  std::vector<double> latencies_ms;
+  const double start_ms = NowMs();
+  std::vector<std::thread> clients;
+  clients.reserve(static_cast<std::size_t>(concurrency));
+  std::atomic<std::int64_t> completed{0}, shed{0}, timed_out{0}, other{0};
+  for (int c = 0; c < concurrency; ++c) {
+    clients.emplace_back([&, c] {
+      for (int i = 0; i < per_client; ++i) {
+        const Workload& workload =
+            kWorkloads[(c * per_client + i) % kNumWorkloads];
+        const std::string id = std::string(id_prefix) + "-" +
+                               std::to_string(c) + "-" + std::to_string(i);
+        const double sent_ms = NowMs();
+        const Response response =
+            SubmitAndWait(server, MakeRequest(id, workload, deadline_ms));
+        const double latency = NowMs() - sent_ms;
+        if (response.status == "completed") {
+          completed.fetch_add(1);
+          std::lock_guard<std::mutex> lock(mutex);
+          latencies_ms.push_back(latency);
+        } else if (response.status == "shed") {
+          shed.fetch_add(1);
+        } else if (response.status == "timed-out") {
+          timed_out.fetch_add(1);
+        } else {
+          other.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  result.wall_ms = NowMs() - start_ms;
+  result.completed = completed.load();
+  result.shed = shed.load();
+  result.timed_out = timed_out.load();
+  result.other = other.load();
+  result.p50_ms = Percentile(latencies_ms, 0.50);
+  result.p95_ms = Percentile(latencies_ms, 0.95);
+  result.p99_ms = Percentile(latencies_ms, 0.99);
+  const std::int64_t total =
+      result.completed + result.shed + result.timed_out + result.other;
+  result.throughput_rps =
+      result.wall_ms > 0.0
+          ? 1000.0 * static_cast<double>(result.completed) / result.wall_ms
+          : 0.0;
+  result.shed_rate = total > 0 ? static_cast<double>(result.shed) /
+                                     static_cast<double>(total)
+                               : 0.0;
+  return result;
+}
+
+int Main(int argc, char** argv) {
+  const harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  PrintHeader("serve_load (PR 9 gate)",
+              "overload shedding, deadline-bounded latency, memory-budget "
+              "eviction, chaos byte-identity",
+              config);
+
+  bool pass = true;
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("artifact", "serve_load");
+  json.Field("scale_divisor", config.scale_divisor);
+  json.Field("seed", static_cast<std::int64_t>(config.seed));
+
+  // ---- Batch-mode reference checksums (chaos gate baseline) ----------
+  std::map<std::string, std::string> batch_fnv;
+  {
+    harness::DatasetRegistry registry(config);
+    exec::ThreadPool pool(config.host_jobs);
+    registry.set_host_pool(&pool);
+    for (const Workload& workload : kWorkloads) {
+      auto graph = registry.Load(workload.dataset);
+      auto params = registry.ParamsFor(workload.dataset);
+      auto platform = platform::CreatePlatform("bsplite");
+      if (!graph.ok() || !params.ok() || !platform.ok()) {
+        std::fprintf(stderr, "batch baseline failed for %s\n",
+                     workload.dataset);
+        return 1;
+      }
+      platform::ExecutionEnvironment env;
+      env.memory_budget_bytes = config.ScaledMemoryBudget();
+      env.overhead_scale =
+          1.0 / static_cast<double>(config.scale_divisor);
+      env.host_pool = &pool;
+      auto run =
+          (*platform)->RunJob(**graph, workload.algorithm, *params, env);
+      if (!run.ok()) {
+        std::fprintf(stderr, "batch run failed: %s\n",
+                     run.status().ToString().c_str());
+        return 1;
+      }
+      const std::string key = std::string(workload.dataset) + "/" +
+                              std::string(AlgorithmName(workload.algorithm));
+      batch_fnv[key] = FnvHex(FormatOutput(**graph, run->output));
+    }
+  }
+  std::printf("batch baselines: %zu workload checksums\n\n",
+              batch_fnv.size());
+
+  // ---- Phase 1: calibrate -------------------------------------------
+  double service_ms = 0.0;
+  {
+    ServeOptions options;
+    options.queue_capacity = 4;
+    options.workers = 1;
+    options.bench = config;
+    Server server(options);
+    if (!server.Start().ok()) return 1;
+    // One cold pass loads the datasets, one warm pass measures.
+    for (const Workload& w : kWorkloads) {
+      SubmitAndWait(server, MakeRequest("warm-" + std::string(w.dataset) +
+                                            AlgorithmName(w.algorithm).data(),
+                                        w));
+    }
+    const double start = NowMs();
+    int measured = 0;
+    for (const Workload& w : kWorkloads) {
+      const Response r = SubmitAndWait(
+          server,
+          MakeRequest("cal-" + std::string(w.dataset) +
+                          AlgorithmName(w.algorithm).data(),
+                      w));
+      if (r.status == "completed") ++measured;
+    }
+    service_ms =
+        measured > 0 ? (NowMs() - start) / measured : 1.0;
+    server.Drain();
+  }
+  json.Field("calibration_service_ms", service_ms);
+  std::printf("calibrated warm service time: %.2f ms/request\n\n",
+              service_ms);
+
+  // ---- Phase 2: overload sweep --------------------------------------
+  // One executor, a 2-deep queue: 3 in-flight requests saturate the
+  // server, so 12 closed-loop clients are 4x capacity. The deadline
+  // gives every admitted request ample room (50x warm service, >= 2s):
+  // a p99 above it means admitted work sat behind an unbounded backlog,
+  // which is exactly what admission control must prevent.
+  const double deadline_ms = std::max(2000.0, 50.0 * service_ms);
+  bool shed_at_overload = false;
+  bool p99_within_deadline = true;
+  {
+    ServeOptions options;
+    options.queue_capacity = 2;
+    options.workers = 1;
+    options.bench = config;
+    Server server(options);
+    if (!server.Start().ok()) return 1;
+    // Warm the residency so the sweep measures service, not datagen.
+    for (const Workload& w : kWorkloads) {
+      SubmitAndWait(server, MakeRequest("ow-" + std::string(w.dataset) +
+                                            AlgorithmName(w.algorithm).data(),
+                                        w));
+    }
+    json.Key("overload");
+    json.BeginObject();
+    json.Field("workers", 1);
+    json.Field("queue_capacity", 2);
+    json.Field("deadline_ms", deadline_ms);
+    json.Key("levels");
+    json.BeginArray();
+    for (int concurrency : {1, 3, 6, 12}) {
+      const LevelResult level = RunClosedLoop(
+          server, concurrency, /*per_client=*/8, deadline_ms,
+          ("load" + std::to_string(concurrency)).c_str());
+      json.BeginObject();
+      json.Field("concurrency", level.concurrency);
+      json.Field("completed", level.completed);
+      json.Field("shed", level.shed);
+      json.Field("timed_out", level.timed_out);
+      json.Field("other", level.other);
+      json.Field("throughput_rps", level.throughput_rps);
+      json.Field("shed_rate", level.shed_rate);
+      json.Field("p50_ms", level.p50_ms);
+      json.Field("p95_ms", level.p95_ms);
+      json.Field("p99_ms", level.p99_ms);
+      json.EndObject();
+      std::printf(
+          "concurrency %2d: %3lld ok %3lld shed (%.0f%%) %2lld late | "
+          "%.1f req/s | p50 %.1f p95 %.1f p99 %.1f ms\n",
+          level.concurrency, static_cast<long long>(level.completed),
+          static_cast<long long>(level.shed), 100.0 * level.shed_rate,
+          static_cast<long long>(level.timed_out), level.throughput_rps,
+          level.p50_ms, level.p95_ms, level.p99_ms);
+      if (concurrency >= 12 && level.shed > 0) shed_at_overload = true;
+      if (level.completed > 0 && level.p99_ms > deadline_ms) {
+        p99_within_deadline = false;
+      }
+    }
+    json.EndArray();
+    json.Field("shed_at_overload", shed_at_overload);
+    json.Field("p99_within_deadline", p99_within_deadline);
+    json.EndObject();
+    server.Drain();
+  }
+  if (!shed_at_overload) {
+    std::fprintf(stderr, "GATE FAIL: no shedding at 4x overload\n");
+    pass = false;
+  }
+  if (!p99_within_deadline) {
+    std::fprintf(stderr, "GATE FAIL: p99 of admitted work exceeds the "
+                         "deadline\n");
+    pass = false;
+  }
+  std::printf("\n");
+
+  // ---- Phase 3: memory budget ---------------------------------------
+  {
+    // Measure the working set per dataset (resident-bytes deltas under
+    // an unlimited budget), then rerun under a budget that fits the
+    // LARGEST dataset but not the whole set: every request can run, and
+    // rotating datasets must evict in LRU order.
+    std::int64_t working_set = 0;
+    std::int64_t largest = 0, smallest = 0;
+    {
+      ServeOptions options;
+      options.bench = config;
+      Server server(options);
+      if (!server.Start().ok()) return 1;
+      std::int64_t previous = 0;
+      smallest = std::numeric_limits<std::int64_t>::max();
+      for (const Workload& w : kWorkloads) {
+        SubmitAndWait(server,
+                      MakeRequest("ws-" + std::string(w.dataset) +
+                                      AlgorithmName(w.algorithm).data(),
+                                  w));
+        const std::int64_t resident = server.StatsSnapshot().resident_bytes;
+        const std::int64_t delta = resident - previous;  // 0 on a re-visit
+        if (delta > 0) {
+          largest = std::max(largest, delta);
+          smallest = std::min(smallest, delta);
+        }
+        previous = resident;
+      }
+      working_set = server.StatsSnapshot().resident_bytes;
+      server.Drain();
+    }
+    const std::int64_t budget = largest + smallest / 2;
+    ServeOptions options;
+    options.bench = config;
+    options.memory_budget_bytes = budget;
+    Server server(options);
+    if (!server.Start().ok()) return 1;
+    std::int64_t peak_resident = 0;
+    std::int64_t over_budget_samples = 0;
+    std::int64_t completed = 0;
+    constexpr int kMemoryRequests = 24;
+    for (int i = 0; i < kMemoryRequests; ++i) {
+      const Workload& w = kWorkloads[i % kNumWorkloads];
+      const Response response = SubmitAndWait(
+          server, MakeRequest("mem-" + std::to_string(i), w));
+      if (response.status == "completed") ++completed;
+      const std::int64_t resident = server.StatsSnapshot().resident_bytes;
+      peak_resident = std::max(peak_resident, resident);
+      if (resident > budget) ++over_budget_samples;
+    }
+    const serve::ServeStats stats = server.StatsSnapshot();
+    const std::int64_t rss_kb = ReadVmRssKb();
+    json.Key("memory");
+    json.BeginObject();
+    json.Field("working_set_bytes", working_set);
+    json.Field("budget_bytes", budget);
+    json.Field("requests", static_cast<std::int64_t>(kMemoryRequests));
+    json.Field("completed", completed);
+    json.Field("peak_resident_bytes", peak_resident);
+    json.Field("evictions", stats.evictions);
+    json.Field("residency_hits", stats.residency_hits);
+    json.Field("residency_misses", stats.residency_misses);
+    json.Field("over_budget_samples", over_budget_samples);
+    json.Field("vm_rss_kb", rss_kb);
+    json.EndObject();
+    std::printf("memory: budget %lld of %lld bytes, peak %lld, "
+                "%lld evictions, %lld/%d completed, RSS %lld kB\n\n",
+                static_cast<long long>(budget),
+                static_cast<long long>(working_set),
+                static_cast<long long>(peak_resident),
+                static_cast<long long>(stats.evictions),
+                static_cast<long long>(completed), kMemoryRequests,
+                static_cast<long long>(rss_kb));
+    server.Drain();
+    if (over_budget_samples > 0 || peak_resident > budget) {
+      std::fprintf(stderr, "GATE FAIL: resident bytes exceeded the "
+                           "budget\n");
+      pass = false;
+    }
+    if (stats.evictions == 0) {
+      std::fprintf(stderr, "GATE FAIL: no LRU evictions under budget "
+                           "pressure\n");
+      pass = false;
+    }
+    if (completed != kMemoryRequests) {
+      std::fprintf(stderr, "GATE FAIL: degradation was not graceful "
+                           "(%lld/%d completed)\n",
+                   static_cast<long long>(completed), kMemoryRequests);
+      pass = false;
+    }
+  }
+
+  // ---- Phase 4: chaos ------------------------------------------------
+  {
+    ServeOptions options;
+    options.bench = config;
+    options.workers = 2;
+    Server server(options);
+    if (!server.Start().ok()) return 1;
+    constexpr int kChaosRequests = 40;
+    std::int64_t faulted_failed = 0, faulted_completed = 0;
+    std::int64_t clean_completed = 0, clean_failed = 0, mismatches = 0;
+    for (int i = 0; i < kChaosRequests; ++i) {
+      const Workload& w = kWorkloads[i % kNumWorkloads];
+      Request request = MakeRequest("chaos-" + std::to_string(i), w);
+      const bool faulted = i % 10 == 0;  // 10% fault rate
+      if (faulted) {
+        request.faults = "crash_at_superstep=1,seed=" + std::to_string(i);
+      }
+      const Response response = SubmitAndWait(server, request);
+      if (faulted) {
+        if (response.status == "completed") {
+          ++faulted_completed;
+        } else {
+          ++faulted_failed;
+        }
+        continue;
+      }
+      if (response.status != "completed") {
+        ++clean_failed;
+        continue;
+      }
+      ++clean_completed;
+      const std::string key = std::string(w.dataset) + "/" +
+                              std::string(AlgorithmName(w.algorithm));
+      if (response.output_fnv != batch_fnv[key]) ++mismatches;
+    }
+    json.Key("chaos");
+    json.BeginObject();
+    json.Field("requests", static_cast<std::int64_t>(kChaosRequests));
+    json.Field("fault_rate", 0.1);
+    json.Field("faulted_failed", faulted_failed);
+    json.Field("faulted_completed", faulted_completed);
+    json.Field("clean_completed", clean_completed);
+    json.Field("clean_failed", clean_failed);
+    json.Field("batch_mismatches", mismatches);
+    json.EndObject();
+    std::printf("chaos: %lld faulted failed cleanly, %lld clean completed, "
+                "%lld batch mismatches\n\n",
+                static_cast<long long>(faulted_failed),
+                static_cast<long long>(clean_completed),
+                static_cast<long long>(mismatches));
+    server.Drain();
+    if (faulted_failed == 0) {
+      std::fprintf(stderr, "GATE FAIL: fault injection never fired\n");
+      pass = false;
+    }
+    if (clean_failed > 0) {
+      std::fprintf(stderr, "GATE FAIL: %lld clean requests failed during "
+                           "chaos\n",
+                   static_cast<long long>(clean_failed));
+      pass = false;
+    }
+    if (mismatches > 0) {
+      std::fprintf(stderr, "GATE FAIL: %lld clean outputs differ from "
+                           "batch mode\n",
+                   static_cast<long long>(mismatches));
+      pass = false;
+    }
+  }
+
+  json.Field("pass", pass);
+  json.EndObject();
+
+  const char* out_path = argc > 1 ? argv[1] : nullptr;
+  if (out_path != nullptr) {
+    std::FILE* out = std::fopen(out_path, "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", out_path);
+      return 1;
+    }
+    std::fprintf(out, "%s\n", json.str().c_str());
+    std::fclose(out);
+    std::printf("wrote %s\n", out_path);
+  } else {
+    std::printf("%s\n", json.str().c_str());
+  }
+  std::printf("serve_load: %s\n", pass ? "PASS" : "FAIL");
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main(int argc, char** argv) { return ga::bench::Main(argc, argv); }

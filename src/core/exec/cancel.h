@@ -1,0 +1,99 @@
+// CancelToken: cooperative cancellation + host-deadline signal for one
+// job (DESIGN.md §14).
+//
+// A token is armed by whoever owns the job's lifetime (the serve daemon
+// when a client disconnects or its deadline passes, a drain sequence, a
+// test) and *observed* at the two places engine work can be stopped
+// without corrupting shared state: the start of every exec chunk (so a
+// cancelled job stops within one chunk, not one superstep) and
+// JobContext::EndSuperstep (the resilience boundary, where the engine's
+// Status plumbing already propagates failures cleanly).
+//
+// Cancellation is inherently a wall-clock event, so WHEN a job observes
+// it is not deterministic — but the observation itself never mutates
+// engine state: a chunk either ran completely or threw before its body.
+// Jobs that are never cancelled pay one relaxed atomic load per chunk
+// (deadline-armed tokens add one steady_clock read), and tokenless runs
+// a null test — the batch path is unchanged.
+#ifndef GRAPHALYTICS_CORE_EXEC_CANCEL_H_
+#define GRAPHALYTICS_CORE_EXEC_CANCEL_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <limits>
+#include <string>
+
+#include "core/status.h"
+
+namespace ga::exec {
+
+class CancelToken {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  CancelToken() = default;
+
+  /// Arms explicit cancellation with a reason the job's failure Status
+  /// will carry ("client disconnected", "server draining", ...). First
+  /// caller wins; later calls are no-ops.
+  void Cancel(const std::string& reason) {
+    bool expected = false;
+    if (reason_claimed_.compare_exchange_strong(expected, true,
+                                                std::memory_order_acq_rel)) {
+      reason_ = reason;
+      cancelled_.store(true, std::memory_order_release);
+    }
+  }
+
+  /// Arms a host-time deadline; past it the token reads as expired and
+  /// status() reports kDeadlineExceeded. Unset by default.
+  void SetDeadline(Clock::time_point deadline) {
+    deadline_ns_.store(deadline.time_since_epoch().count(),
+                       std::memory_order_release);
+  }
+  void SetDeadlineAfter(std::chrono::nanoseconds budget) {
+    SetDeadline(Clock::now() + budget);
+  }
+
+  bool cancel_requested() const {
+    return cancelled_.load(std::memory_order_acquire);
+  }
+  bool deadline_expired() const {
+    const std::int64_t deadline =
+        deadline_ns_.load(std::memory_order_acquire);
+    return deadline != kNoDeadline &&
+           Clock::now().time_since_epoch().count() >= deadline;
+  }
+
+  /// The per-chunk test: explicit cancel OR expired deadline.
+  bool stop_requested() const {
+    return cancel_requested() || deadline_expired();
+  }
+
+  /// The Status a stopped job fails with: kCancelled with the armed
+  /// reason, or kDeadlineExceeded for a deadline expiry. Ok when the
+  /// token was never tripped (callers normally gate on stop_requested).
+  Status status() const {
+    if (cancel_requested()) {
+      return Status::Cancelled(reason_.empty() ? "job cancelled" : reason_);
+    }
+    if (deadline_expired()) {
+      return Status::DeadlineExceeded("request deadline expired");
+    }
+    return Status::Ok();
+  }
+
+ private:
+  static constexpr std::int64_t kNoDeadline =
+      std::numeric_limits<std::int64_t>::max();
+
+  std::atomic<bool> cancelled_{false};
+  std::atomic<bool> reason_claimed_{false};
+  std::atomic<std::int64_t> deadline_ns_{kNoDeadline};
+  std::string reason_;  // written once, before cancelled_ releases it
+};
+
+}  // namespace ga::exec
+
+#endif  // GRAPHALYTICS_CORE_EXEC_CANCEL_H_

@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/exec/cancel.h"
 #include "core/exec/counter_sheet.h"
 #include "core/exec/thread_pool.h"
 
@@ -64,6 +65,18 @@ class ExecContext {
   void set_counters(CounterSheet* sheet) { counters_ = sheet; }
   CounterSheet* counters() const { return counters_; }
 
+  /// Attaches a cooperative cancellation token (nullptr — the default —
+  /// detaches). With a token attached, every chunk a parallel construct
+  /// dispatches tests it BEFORE running its body and throws the token's
+  /// StatusException (kCancelled / kDeadlineExceeded) when tripped; the
+  /// ThreadPool surfaces the lowest-index chunk's exception on the
+  /// submitting thread and the platform job boundary converts it to a
+  /// Status. Remaining chunks still "run" (the pool's no-early-abort
+  /// contract) but each throws at its first instruction, so a cancelled
+  /// job stops within one chunk's work, not one superstep's.
+  void set_cancel_token(const CancelToken* token) { cancel_ = token; }
+  const CancelToken* cancel_token() const { return cancel_; }
+
   /// Slot count for a range of `size` items — a function of the size
   /// (and an optional per-call-site cap) alone, never of the thread
   /// count, which is what makes the decomposition deterministic. Loops
@@ -91,6 +104,7 @@ class ExecContext {
  private:
   ThreadPool* pool_ = nullptr;
   CounterSheet* counters_ = nullptr;
+  const CancelToken* cancel_ = nullptr;
 };
 
 static_assert(CounterSheet::kMaxSlots >= ExecContext::kMaxSlots,
@@ -114,9 +128,13 @@ void parallel_for(ExecContext& ctx, std::int64_t begin, std::int64_t end,
   // same failure sequence at any host thread count.
   if (ParallelLoopHook loop_hook = GetParallelLoopHook()) loop_hook();
   const ParallelChunkHook chunk_hook = GetParallelChunkHook();
+  const CancelToken* const cancel = ctx.cancel_token();
   // The timed and untimed paths run the identical slot sequence; timing
   // wraps the body without touching the decomposition.
   const auto run = [&](int slot) {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      throw StatusException(cancel->status());
+    }
     if (chunk_hook != nullptr) chunk_hook(slot);
     if (sheet != nullptr) {
       const std::int64_t chunk_begin = sheet->NowTicks();

@@ -1,0 +1,81 @@
+// Minimal JSON reader — the counterpart of core/json_writer.
+//
+// Parses one JSON document into a value tree. Built for the serve
+// protocol (one flat request object per line) and for re-reading the
+// artifacts this repo writes itself (results databases, bench JSON), so
+// it implements the full grammar but keeps the representation simple:
+// every number is a double, objects preserve insertion order (vector of
+// pairs — the writer emits deterministic key order, and round-trip
+// stability matters more than lookup speed at these sizes).
+#ifndef GRAPHALYTICS_CORE_JSON_READER_H_
+#define GRAPHALYTICS_CORE_JSON_READER_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "core/status.h"
+
+namespace ga::json {
+
+enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+
+class Value {
+ public:
+  Value() = default;
+
+  Kind kind() const { return kind_; }
+  bool is_null() const { return kind_ == Kind::kNull; }
+  bool is_bool() const { return kind_ == Kind::kBool; }
+  bool is_number() const { return kind_ == Kind::kNumber; }
+  bool is_string() const { return kind_ == Kind::kString; }
+  bool is_array() const { return kind_ == Kind::kArray; }
+  bool is_object() const { return kind_ == Kind::kObject; }
+
+  bool bool_value() const { return bool_; }
+  double number() const { return number_; }
+  const std::string& string() const { return string_; }
+  const std::vector<Value>& array() const { return array_; }
+  const std::vector<std::pair<std::string, Value>>& members() const {
+    return members_;
+  }
+
+  /// Object member lookup (first match); null when absent or not an
+  /// object.
+  const Value* Find(std::string_view key) const;
+
+  // Typed member accessors with defaults, for flat request objects.
+  std::string GetString(std::string_view key,
+                        const std::string& fallback = "") const;
+  double GetNumber(std::string_view key, double fallback = 0.0) const;
+  bool GetBool(std::string_view key, bool fallback = false) const;
+  bool Has(std::string_view key) const { return Find(key) != nullptr; }
+
+  static Value MakeNull() { return Value(); }
+  static Value MakeBool(bool b);
+  static Value MakeNumber(double n);
+  static Value MakeString(std::string s);
+  static Value MakeArray(std::vector<Value> items);
+  static Value MakeObject(std::vector<std::pair<std::string, Value>> members);
+
+ private:
+  Kind kind_ = Kind::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<Value> array_;
+  std::vector<std::pair<std::string, Value>> members_;
+};
+
+/// Parses exactly one JSON document (trailing whitespace allowed, any
+/// other trailing content is an error). kInvalidArgument with a byte
+/// offset on malformed input; inputs nested deeper than 64 levels are
+/// rejected (a parser driven by untrusted socket bytes must not be
+/// stack-depth-limited by its input).
+Result<Value> Parse(std::string_view text);
+
+}  // namespace ga::json
+
+#endif  // GRAPHALYTICS_CORE_JSON_READER_H_

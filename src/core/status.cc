@@ -26,6 +26,10 @@ std::string_view StatusCodeName(StatusCode code) {
       return "FAILED_PRECONDITION";
     case StatusCode::kAborted:
       return "ABORTED";
+    case StatusCode::kResourceExhausted:
+      return "RESOURCE_EXHAUSTED";
+    case StatusCode::kCancelled:
+      return "CANCELLED";
   }
   return "UNKNOWN";
 }

@@ -28,6 +28,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kAborted,          // Execution aborted mid-flight (worker exception,
                      // injected fault); retryable by the hardened runner.
+  kResourceExhausted, // Transient saturation: admission queue full, memory
+                      // budget contended (ga::serve load shedding). Unlike
+                      // kOutOfMemory this is retryable — back off and retry
+                      // after the hint the shedder returns.
+  kCancelled,        // Cooperative cancellation: the client disconnected,
+                     // explicitly cancelled, or the server is draining.
 };
 
 std::string_view StatusCodeName(StatusCode code);
@@ -69,6 +75,12 @@ class Status {
   }
   static Status Aborted(std::string message) {
     return Status(StatusCode::kAborted, std::move(message));
+  }
+  static Status ResourceExhausted(std::string message) {
+    return Status(StatusCode::kResourceExhausted, std::move(message));
+  }
+  static Status Cancelled(std::string message) {
+    return Status(StatusCode::kCancelled, std::move(message));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,12 +1,135 @@
 #include "harness/results_db.h"
 
-#include <fstream>
+#include <fcntl.h>
+#include <unistd.h>
 
+#include <fstream>
+#include <sstream>
+
+#include "core/json_reader.h"
 #include "core/json_writer.h"
 
 namespace ga::harness {
 
+namespace {
+
+void WriteRecordFields(JsonWriter& json, const JobReport& report) {
+  json.Field("platform", report.spec.platform_id);
+  json.Field("dataset", report.spec.dataset_id);
+  json.Field("algorithm", AlgorithmName(report.spec.algorithm));
+  json.Field("machines", report.spec.num_machines);
+  json.Field("threads", report.spec.threads_per_machine);
+  json.Field("outcome", JobOutcomeName(report.outcome));
+  if (report.completed()) {
+    json.Field("tproc_seconds", report.tproc_seconds);
+    json.Field("makespan_seconds", report.makespan_seconds);
+    json.Field("upload_seconds", report.upload_seconds);
+    json.Field("eps", report.eps);
+    json.Field("evps", report.evps);
+    json.Field("supersteps", report.supersteps);
+    json.Field("validated", report.output_validated);
+    if (report.tproc_samples.size() > 1) {
+      json.Field("tproc_cv", report.tproc_cv);
+    }
+  } else {
+    json.Field("failure", report.failure);
+    json.Field("failure_cause", report.failure_cause.empty()
+                                    ? std::string(FailureCauseName(
+                                          report.failure_code))
+                                    : report.failure_cause);
+  }
+  if (report.attempts > 1) json.Field("attempts", report.attempts);
+}
+
+}  // namespace
+
+std::string RecordJson(const JobReport& report) {
+  JsonWriter json;
+  json.BeginObject();
+  WriteRecordFields(json, report);
+  json.EndObject();
+  return json.str();
+}
+
+Status AppendRecord(const std::string& path, const JobReport& report) {
+  const std::string line = RecordJson(report) + "\n";
+  const int fd =
+      ::open(path.c_str(), O_WRONLY | O_CREAT | O_APPEND | O_CLOEXEC, 0644);
+  if (fd < 0) return Status::IoError("cannot open " + path + " for append");
+  // One write() for the whole line: O_APPEND makes the offset update and
+  // the write atomic against other appenders, so lines never tear.
+  std::size_t written = 0;
+  Status status = Status::Ok();
+  while (written < line.size()) {
+    const ssize_t n =
+        ::write(fd, line.data() + written, line.size() - written);
+    if (n < 0) {
+      status = Status::IoError("append failed for " + path);
+      break;
+    }
+    written += static_cast<std::size_t>(n);
+    if (written < line.size()) {
+      // A short write on a regular file means the device is full or the
+      // record is pathological; a second write() could tear the line, so
+      // give up rather than interleave with other appenders.
+      status = Status::IoError("short append for " + path +
+                               " (record may be torn)");
+      break;
+    }
+  }
+  ::close(fd);
+  return status;
+}
+
+Result<std::vector<std::string>> ReadJsonlRecords(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot read " + path);
+  std::vector<std::string> records;
+  std::string line;
+  int line_number = 0;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.find_first_not_of(" \t\r") == std::string::npos) continue;
+    auto parsed = json::Parse(line);
+    if (!parsed.ok() || !parsed->is_object()) {
+      return Status::InvalidArgument(
+          path + ":" + std::to_string(line_number) +
+          ": not a JSON object (torn or corrupt record)");
+    }
+    records.push_back(line);
+  }
+  return records;
+}
+
+Result<std::string> MergeJsonl(const std::string& jsonl_path,
+                               const BenchmarkConfig& config) {
+  GA_ASSIGN_OR_RETURN(std::vector<std::string> records,
+                      ReadJsonlRecords(jsonl_path));
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("format", "graphalytics-cpp results v1");
+  json.Key("configuration").BeginObject();
+  json.Field("scale_divisor", config.scale_divisor);
+  json.Field("seed", static_cast<std::uint64_t>(config.seed));
+  json.Field("sla_projected_seconds", config.sla_projected_seconds);
+  json.EndObject();
+  json.EndObject();
+  // The record lines are already rendered JSON; splice them into the
+  // results array verbatim rather than re-encoding through the writer.
+  std::string head = json.str();
+  const std::string::size_type close = head.rfind('}');
+  std::ostringstream out;
+  out << head.substr(0, close) << ",\"results\":[";
+  for (std::size_t i = 0; i < records.size(); ++i) {
+    if (i != 0) out << ",";
+    out << records[i];
+  }
+  out << "]}";
+  return out.str();
+}
+
 std::vector<const JobReport*> ResultsDatabase::Completed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   std::vector<const JobReport*> completed;
   for (const JobReport& report : reports_) {
     if (report.completed()) completed.push_back(&report);
@@ -16,6 +139,7 @@ std::vector<const JobReport*> ResultsDatabase::Completed() const {
 
 const JobReport* ResultsDatabase::BestFor(const std::string& dataset_id,
                                           Algorithm algorithm) const {
+  std::lock_guard<std::mutex> lock(mutex_);
   const JobReport* best = nullptr;
   for (const JobReport& report : reports_) {
     if (!report.completed() || report.spec.dataset_id != dataset_id ||
@@ -30,6 +154,7 @@ const JobReport* ResultsDatabase::BestFor(const std::string& dataset_id,
 }
 
 std::string ResultsDatabase::ToJson() const {
+  std::lock_guard<std::mutex> lock(mutex_);
   JsonWriter json;
   json.BeginObject();
   json.Field("format", "graphalytics-cpp results v1");
@@ -41,31 +166,7 @@ std::string ResultsDatabase::ToJson() const {
   json.Key("results").BeginArray();
   for (const JobReport& report : reports_) {
     json.BeginObject();
-    json.Field("platform", report.spec.platform_id);
-    json.Field("dataset", report.spec.dataset_id);
-    json.Field("algorithm", AlgorithmName(report.spec.algorithm));
-    json.Field("machines", report.spec.num_machines);
-    json.Field("threads", report.spec.threads_per_machine);
-    json.Field("outcome", JobOutcomeName(report.outcome));
-    if (report.completed()) {
-      json.Field("tproc_seconds", report.tproc_seconds);
-      json.Field("makespan_seconds", report.makespan_seconds);
-      json.Field("upload_seconds", report.upload_seconds);
-      json.Field("eps", report.eps);
-      json.Field("evps", report.evps);
-      json.Field("supersteps", report.supersteps);
-      json.Field("validated", report.output_validated);
-      if (report.tproc_samples.size() > 1) {
-        json.Field("tproc_cv", report.tproc_cv);
-      }
-    } else {
-      json.Field("failure", report.failure);
-      json.Field("failure_cause", report.failure_cause.empty()
-                                      ? std::string(FailureCauseName(
-                                            report.failure_code))
-                                      : report.failure_cause);
-    }
-    if (report.attempts > 1) json.Field("attempts", report.attempts);
+    WriteRecordFields(json, report);
     json.EndObject();
   }
   json.EndArray();

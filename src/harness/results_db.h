@@ -2,9 +2,18 @@
 // validated job reports and renders them as a machine-readable JSON
 // archive — the repository from which "validated results are stored in an
 // online repository to track benchmark results across platforms".
+//
+// Two write paths, both safe for concurrent writers:
+//   - Record(): in-process accumulation behind a mutex (the serve daemon
+//     records from several executor threads at once).
+//   - AppendRecord(): cross-process durable log — one JSON object per
+//     line, written with a single O_APPEND write() so concurrent daemons
+//     (or a daemon plus a batch run) never interleave bytes within a
+//     line. MergeJsonl() folds such a log back into the v1 document.
 #ifndef GRAPHALYTICS_HARNESS_RESULTS_DB_H_
 #define GRAPHALYTICS_HARNESS_RESULTS_DB_H_
 
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -14,14 +23,50 @@
 
 namespace ga::harness {
 
+/// One report as a single-line JSON object — the body shared by
+/// ToJson()'s results array and the append-only .jsonl log.
+std::string RecordJson(const JobReport& report);
+
+/// Appends `report` as one line to a .jsonl log. The line is staged in
+/// full and handed to the kernel as ONE write() on an O_APPEND
+/// descriptor, which POSIX makes atomic with respect to other appenders:
+/// concurrent writers (threads or processes) may interleave lines but
+/// never bytes within a line. Creates the file if absent.
+Status AppendRecord(const std::string& path, const JobReport& report);
+
+/// Reads an AppendRecord() log and returns its parsed per-line objects
+/// as verbatim JSON strings, skipping blank lines. Any line that is not
+/// a valid JSON object fails the whole merge with kInvalidArgument
+/// naming the line number — a torn line means a writer violated the
+/// single-write contract and the log cannot be trusted.
+Result<std::vector<std::string>> ReadJsonlRecords(const std::string& path);
+
+/// Folds a .jsonl log into one results-v1 document (same shape as
+/// ResultsDatabase::ToJson) so per-request logs from concurrent serve
+/// workers merge into the artifact the rest of the tooling reads.
+Result<std::string> MergeJsonl(const std::string& jsonl_path,
+                               const BenchmarkConfig& config);
+
 class ResultsDatabase {
  public:
   explicit ResultsDatabase(const BenchmarkConfig& config)
       : config_(config) {}
 
-  void Record(const JobReport& report) { reports_.push_back(report); }
+  /// Thread-safe: serve executors record concurrently.
+  void Record(const JobReport& report) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    reports_.push_back(report);
+  }
 
-  std::size_t size() const { return reports_.size(); }
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return reports_.size();
+  }
+
+  /// Readers below take the lock once and copy/scan; they are safe to
+  /// call while writers are active, and the returned pointers stay valid
+  /// only while no further Record() happens (reports_ may reallocate) —
+  /// callers drain writers first, as the CLI and daemon shutdown do.
   const std::vector<JobReport>& reports() const { return reports_; }
 
   /// Completed jobs only.
@@ -39,6 +84,7 @@ class ResultsDatabase {
 
  private:
   BenchmarkConfig config_;
+  mutable std::mutex mutex_;
   std::vector<JobReport> reports_;
 };
 

@@ -65,6 +65,10 @@ std::string_view FailureCauseName(StatusCode code) {
       return "failed-precondition";
     case StatusCode::kAborted:
       return "worker-abort";
+    case StatusCode::kResourceExhausted:
+      return "resource-exhausted";
+    case StatusCode::kCancelled:
+      return "cancelled";
   }
   return "error";
 }
@@ -74,6 +78,7 @@ bool IsRetryableFailure(StatusCode code) {
     case StatusCode::kAborted:           // worker crash / machine crash
     case StatusCode::kIoError:           // torn snapshot / checkpoint read
     case StatusCode::kDeadlineExceeded:  // wall-clock stall
+    case StatusCode::kResourceExhausted: // shed under load; back off, retry
       return true;
     default:
       return false;
@@ -121,7 +126,10 @@ Result<JobReport> BenchmarkRunner::Run(const JobSpec& spec,
   env.overhead_scale = 1.0 / static_cast<double>(config_.scale_divisor);
   env.host_pool = host_pool_.get();
   env.trace_enabled = config_.trace_enabled;
-  env.wall_timeout_seconds = config_.job_timeout_seconds;
+  env.wall_timeout_seconds = spec.wall_timeout_seconds >= 0.0
+                                 ? spec.wall_timeout_seconds
+                                 : config_.job_timeout_seconds;
+  env.cancel = spec.cancel;
   if (!config_.checkpoint_dir.empty()) {
     // A missing directory must not quarantine every cell with an io
     // error; the runner owns the directory the same way it owns the

@@ -33,6 +33,14 @@ struct JobSpec {
   /// Run manually-selected distributed backends even on one machine
   /// (paper §4.4-4.5 use GraphMat's D backend throughout).
   bool prefer_distributed_backend = false;
+  /// Cooperative cancellation token threaded into the job's execution
+  /// environment (not owned; must outlive the job). Null — the batch
+  /// default — runs uncancellable. The serve daemon arms one per request
+  /// with the client's deadline and disconnect signal.
+  const exec::CancelToken* cancel = nullptr;
+  /// Per-job wall-clock timeout override in host seconds; < 0 (default)
+  /// keeps the config's job_timeout_seconds, 0 disables, > 0 overrides.
+  double wall_timeout_seconds = -1.0;
 };
 
 enum class JobOutcome {

@@ -27,6 +27,7 @@ JobContext::JobContext(const sysmodel::ClusterModel& cluster,
       exec_(env.host_pool),
       worker_ops_(cluster.num_workers(), 0),
       machine_comm_(cluster.num_machines()) {
+  exec_.set_cancel_token(env_.cancel);
   if (env_.trace_enabled) {
     tracer_.Enable();
     sheet_.Enable();
@@ -123,6 +124,13 @@ Status JobContext::EndSuperstep(const std::string& label) {
         "job exceeded its wall-clock budget of " +
         std::to_string(env_.wall_timeout_seconds) + "s at superstep " +
         std::to_string(supersteps_));
+  }
+  // Cooperative cancellation: a token tripped between parallel loops
+  // (serial engine phases) is observed here at the latest, so a
+  // cancelled or deadline-expired job frees its ThreadPool slots no
+  // later than the next superstep boundary.
+  if (env_.cancel != nullptr && env_.cancel->stop_requested()) {
+    return env_.cancel->status();
   }
   return Status::Ok();
 }
@@ -308,6 +316,12 @@ Result<RunResult> Platform::RunJob(const Graph& graph, Algorithm algorithm,
   }
   if (algorithm == Algorithm::kSssp && !graph.is_weighted()) {
     return Status::FailedPrecondition("SSSP requires edge weights");
+  }
+  // A request cancelled while queued never starts: the serve admission
+  // path checks before dispatch, but a token can trip in the window
+  // between dispatch and here.
+  if (env.cancel != nullptr && env.cancel->stop_requested()) {
+    return env.cancel->status();
   }
 
   WallTimer wall;

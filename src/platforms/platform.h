@@ -132,6 +132,12 @@ struct ExecutionEnvironment {
   /// kDeadlineExceeded, which the hardened runner reports as kTimedOut.
   /// <= 0 disables the check.
   double wall_timeout_seconds = 0.0;
+  /// Cooperative cancellation token (not owned; must outlive the job).
+  /// Null — the default — runs uncancellable. When set, a tripped token
+  /// stops the job within one exec chunk (parallel loops throw its
+  /// status) and no later than the next superstep boundary; the job
+  /// fails with kCancelled or kDeadlineExceeded (DESIGN.md §14).
+  const exec::CancelToken* cancel = nullptr;
 };
 
 /// Deep-tracing summary of one job, filled only when tracing was enabled.

@@ -1,0 +1,136 @@
+#include "serve/admission.h"
+
+#include <algorithm>
+
+namespace ga::serve {
+
+namespace {
+
+/// Until the first completion calibrates the EWMA, hint with a nominal
+/// service time so early shed responses still carry a usable back-off.
+constexpr double kDefaultServiceMs = 50.0;
+
+}  // namespace
+
+AdmissionQueue::AdmissionQueue(int capacity, int workers)
+    : capacity_(std::max(capacity, 1)), workers_(std::max(workers, 1)) {}
+
+AdmitDecision AdmissionQueue::Submit(PendingJob job) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ++stats_.submitted;
+  AdmitDecision decision;
+  if (closed_) {
+    decision.outcome = AdmitOutcome::kClosed;
+    return decision;
+  }
+  job.seq = next_seq_++;
+  decision.retry_after_ms = HintLocked();
+  if (static_cast<int>(queue_.size()) < capacity_) {
+    queue_.push_back(std::move(job));
+    ++stats_.admitted;
+    stats_.depth = static_cast<int>(queue_.size());
+    decision.outcome = AdmitOutcome::kAdmitted;
+    lock.unlock();
+    ready_.notify_one();
+    return decision;
+  }
+  // Full: the victim candidate is the lowest-priority entry, youngest
+  // first among equals (seq is unique, so the scan is total-ordered and
+  // the choice deterministic).
+  std::size_t victim = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const bool lower =
+        queue_[i].request.priority < queue_[victim].request.priority ||
+        (queue_[i].request.priority == queue_[victim].request.priority &&
+         queue_[i].seq > queue_[victim].seq);
+    if (lower) victim = i;
+  }
+  if (job.request.priority > queue_[victim].request.priority) {
+    decision.victim = std::move(queue_[victim]);
+    queue_[victim] = std::move(job);
+    ++stats_.admitted;
+    ++stats_.shed_victims;
+    decision.outcome = AdmitOutcome::kAdmitted;
+    lock.unlock();
+    ready_.notify_one();
+    return decision;
+  }
+  ++stats_.shed_arrivals;
+  decision.outcome = AdmitOutcome::kShed;
+  return decision;
+}
+
+std::optional<PendingJob> AdmissionQueue::Pop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  ready_.wait(lock, [&] { return closed_ || !queue_.empty(); });
+  if (queue_.empty()) return std::nullopt;
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < queue_.size(); ++i) {
+    const bool better =
+        queue_[i].request.priority > queue_[best].request.priority ||
+        (queue_[i].request.priority == queue_[best].request.priority &&
+         queue_[i].seq < queue_[best].seq);
+    if (better) best = i;
+  }
+  PendingJob job = std::move(queue_[best]);
+  queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(best));
+  ++stats_.popped;
+  stats_.depth = static_cast<int>(queue_.size());
+  return job;
+}
+
+void AdmissionQueue::Close() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    closed_ = true;
+  }
+  ready_.notify_all();
+}
+
+bool AdmissionQueue::closed() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return closed_;
+}
+
+std::vector<PendingJob> AdmissionQueue::TakeAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<PendingJob> taken = std::move(queue_);
+  queue_.clear();
+  stats_.depth = 0;
+  return taken;
+}
+
+void AdmissionQueue::OnJobFinished(double service_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  ++stats_.finished;
+  stats_.service_ewma_ms = stats_.service_ewma_ms <= 0.0
+                               ? service_ms
+                               : 0.8 * stats_.service_ewma_ms +
+                                     0.2 * service_ms;
+}
+
+double AdmissionQueue::RetryAfterHintMs() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return HintLocked();
+}
+
+double AdmissionQueue::HintLocked() const {
+  const double ewma = stats_.service_ewma_ms > 0.0 ? stats_.service_ewma_ms
+                                                   : kDefaultServiceMs;
+  return (static_cast<double>(queue_.size()) + 1.0) * ewma /
+         static_cast<double>(workers_);
+}
+
+int AdmissionQueue::depth() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(queue_.size());
+}
+
+QueueStats AdmissionQueue::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  QueueStats snapshot = stats_;
+  snapshot.depth = static_cast<int>(queue_.size());
+  return snapshot;
+}
+
+}  // namespace ga::serve

@@ -1,0 +1,124 @@
+// Admission control for ga::serve: a bounded priority queue with
+// explicit, deterministic load shedding.
+//
+// The queue never grows past its capacity. When a request arrives at a
+// full queue the decision is a pure function of the queue's contents and
+// the request's priority — no clocks, no randomness — so the same
+// submit/pop/finish event trace produces the same admit/shed/displace
+// decisions at any host thread count (the shedding determinism the PR's
+// tests replay):
+//
+//   * depth < capacity            -> admit.
+//   * depth == capacity           -> find the victim candidate: the entry
+//     with the LOWEST priority; among equals, the YOUNGEST (highest
+//     arrival seq — older requests have waited longest and keep their
+//     slot). If the arrival's priority is strictly higher than the
+//     candidate's, the candidate is displaced (shed) and the arrival is
+//     admitted; otherwise the arrival itself is shed.
+//
+// Shed responses carry a retry-after hint derived from queue occupancy
+// and an EWMA of recent service times — advisory, not part of the
+// deterministic decision.
+//
+// Pop() serves the highest priority first, FIFO within a priority.
+#ifndef GRAPHALYTICS_SERVE_ADMISSION_H_
+#define GRAPHALYTICS_SERVE_ADMISSION_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <vector>
+
+#include "core/exec/cancel.h"
+#include "serve/protocol.h"
+
+namespace ga::serve {
+
+/// One admitted-or-pending request: the parsed request, its cancellation
+/// token (armed with the client deadline), and the completion callback
+/// that delivers the response (to a socket writer, a test promise, ...).
+struct PendingJob {
+  Request request;
+  std::shared_ptr<exec::CancelToken> cancel;
+  std::function<void(const Response&)> respond;
+  /// Arrival order, assigned by Submit; ties in priority break FIFO.
+  std::int64_t seq = 0;
+};
+
+enum class AdmitOutcome {
+  kAdmitted,  // queued (possibly displacing a lower-priority victim)
+  kShed,      // rejected: queue full of equal-or-higher priority work
+  kClosed,    // admission closed (server draining)
+};
+
+struct AdmitDecision {
+  AdmitOutcome outcome = AdmitOutcome::kShed;
+  /// Advisory back-off for shed requests (and for a displaced victim).
+  double retry_after_ms = 0.0;
+  /// The displaced lower-priority job, when admission evicted one. The
+  /// caller sheds it (responds kResourceExhausted) outside the queue
+  /// lock.
+  std::optional<PendingJob> victim;
+};
+
+struct QueueStats {
+  std::int64_t submitted = 0;
+  std::int64_t admitted = 0;
+  std::int64_t shed_arrivals = 0;  // arrivals rejected at the door
+  std::int64_t shed_victims = 0;   // queued jobs displaced by priority
+  std::int64_t popped = 0;
+  std::int64_t finished = 0;
+  int depth = 0;
+  double service_ewma_ms = 0.0;
+};
+
+class AdmissionQueue {
+ public:
+  /// `capacity` bounds the number of queued (not yet running) jobs;
+  /// `workers` is the executor count the retry hint divides by.
+  AdmissionQueue(int capacity, int workers);
+
+  /// Deterministic admit/shed decision as documented above. Thread-safe.
+  AdmitDecision Submit(PendingJob job);
+
+  /// Blocks until a job is available or the queue is closed AND empty
+  /// (then nullopt). Highest priority first, FIFO within a priority.
+  std::optional<PendingJob> Pop();
+
+  /// Stops admission (Submit returns kClosed) and wakes blocked Pop()
+  /// callers. Already-queued jobs still drain through Pop().
+  void Close();
+  bool closed() const;
+
+  /// Removes and returns every queued job (drain-with-cancel path).
+  std::vector<PendingJob> TakeAll();
+
+  /// Feeds one completed job's service time into the EWMA behind the
+  /// retry-after hint.
+  void OnJobFinished(double service_ms);
+
+  /// Current advisory hint: (depth + 1) * ewma / workers.
+  double RetryAfterHintMs() const;
+
+  int depth() const;
+  QueueStats stats() const;
+
+ private:
+  double HintLocked() const;
+
+  const int capacity_;
+  const int workers_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::vector<PendingJob> queue_;
+  bool closed_ = false;
+  std::int64_t next_seq_ = 0;
+  QueueStats stats_;
+};
+
+}  // namespace ga::serve
+
+#endif  // GRAPHALYTICS_SERVE_ADMISSION_H_

@@ -1,0 +1,197 @@
+#include "serve/residency.h"
+
+#include <algorithm>
+#include <chrono>
+
+namespace ga::serve {
+
+std::int64_t GraphResidentBytes(const Graph& graph) {
+  std::int64_t bytes = 0;
+  bytes += static_cast<std::int64_t>(graph.external_ids().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.edges().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.out_offsets().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.out_targets().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.out_weights().size_bytes());
+  // Undirected graphs alias the in-views onto the out-arrays; only
+  // directed graphs keep a separate in-CSC.
+  if (graph.is_directed()) {
+    bytes += static_cast<std::int64_t>(graph.in_offsets().size_bytes());
+    bytes += static_cast<std::int64_t>(graph.in_sources().size_bytes());
+    bytes += static_cast<std::int64_t>(graph.in_weights().size_bytes());
+  }
+  return bytes;
+}
+
+SnapshotResidency::SnapshotResidency(std::int64_t budget_bytes,
+                                     Loader loader, SizeEstimator estimator)
+    : budget_bytes_(budget_bytes > 0 ? budget_bytes : 0),
+      loader_(std::move(loader)),
+      estimator_(std::move(estimator)) {}
+
+bool SnapshotResidency::MakeRoomLocked(std::int64_t needed) {
+  if (budget_bytes_ <= 0) return true;
+  while (resident_bytes_ + needed > budget_bytes_) {
+    // LRU scan over idle, fully-loaded entries.
+    auto victim = entries_.end();
+    for (auto it = entries_.begin(); it != entries_.end(); ++it) {
+      if (it->second.pins > 0 || it->second.loading) continue;
+      if (victim == entries_.end() ||
+          it->second.last_use < victim->second.last_use) {
+        victim = it;
+      }
+    }
+    if (victim == entries_.end()) return false;  // everything pinned
+    resident_bytes_ -= victim->second.bytes;
+    entries_.erase(victim);
+    ++evictions_;
+  }
+  return true;
+}
+
+Result<std::shared_ptr<const Graph>> SnapshotResidency::Acquire(
+    const std::string& id, const exec::CancelToken* cancel) {
+  std::unique_lock<std::mutex> lock(mutex_);
+  // The miss path re-enters the hit path to build its handle; that
+  // re-entry is part of the same logical miss, not a cache hit.
+  bool just_loaded = false;
+  for (;;) {
+    if (cancel != nullptr && cancel->stop_requested()) {
+      return cancel->status();
+    }
+    auto it = entries_.find(id);
+    if (it != entries_.end() && !it->second.loading) {
+      Entry& entry = it->second;
+      entry.last_use = ++use_clock_;
+      ++entry.pins;
+      if (!just_loaded) ++hits_;
+      // The handle's deleter unpins under the lock and wakes waiters;
+      // the captured `keep` guarantees the graph outlives the handle
+      // even if the residency map no longer holds the entry.
+      std::shared_ptr<const Graph> keep = entry.graph;
+      const Graph* raw = keep.get();
+      return std::shared_ptr<const Graph>(
+          raw, [this, id, keep](const Graph*) mutable {
+            {
+              std::lock_guard<std::mutex> inner(mutex_);
+              auto entry_it = entries_.find(id);
+              if (entry_it != entries_.end()) --entry_it->second.pins;
+              keep.reset();
+            }
+            released_.notify_all();
+          });
+    }
+    if (it != entries_.end()) {
+      // Another job is loading this dataset; wait for it.
+      released_.wait_for(lock, std::chrono::milliseconds(20));
+      continue;
+    }
+    // Miss: reserve the estimate, evicting idle LRU entries for room.
+    const std::int64_t estimate =
+        estimator_ != nullptr ? std::max<std::int64_t>(estimator_(id), 0)
+                              : 0;
+    if (budget_bytes_ > 0 && estimate > budget_bytes_) {
+      return Status::ResourceExhausted(
+          "dataset " + id + " needs ~" + std::to_string(estimate) +
+          " bytes, over the " + std::to_string(budget_bytes_) +
+          "-byte residency budget");
+    }
+    if (!MakeRoomLocked(estimate)) {
+      // Every resident graph is pinned by running jobs: serialize — wait
+      // for a release instead of blowing the budget. Bounded by the
+      // cancel token's deadline, checked at the top of the loop.
+      released_.wait_for(lock, std::chrono::milliseconds(20));
+      continue;
+    }
+    Entry& entry = entries_[id];
+    entry.bytes = estimate;
+    entry.loading = true;
+    entry.last_use = ++use_clock_;
+    resident_bytes_ += estimate;
+    ++misses_;
+    lock.unlock();
+    auto loaded = loader_(id);
+    lock.lock();
+    auto loading_it = entries_.find(id);
+    if (!loaded.ok()) {
+      if (loading_it != entries_.end()) {
+        resident_bytes_ -= loading_it->second.bytes;
+        entries_.erase(loading_it);
+      }
+      released_.notify_all();
+      return loaded.status();
+    }
+    const std::int64_t actual = GraphResidentBytes(**loaded);
+    if (budget_bytes_ > 0 && actual > budget_bytes_) {
+      resident_bytes_ -= loading_it->second.bytes;
+      entries_.erase(loading_it);
+      released_.notify_all();
+      return Status::ResourceExhausted(
+          "dataset " + id + " is " + std::to_string(actual) +
+          " bytes resident, over the " + std::to_string(budget_bytes_) +
+          "-byte residency budget");
+    }
+    resident_bytes_ += actual - loading_it->second.bytes;
+    loading_it->second.bytes = actual;
+    loading_it->second.graph = std::move(*loaded);
+    loading_it->second.loading = false;
+    // The estimate may have undershot: best-effort correction against
+    // idle entries (the new graph itself is about to be pinned).
+    loading_it->second.pins = 1;  // pin through MakeRoom, unpinned below
+    MakeRoomLocked(0);
+    loading_it->second.pins = 0;
+    released_.notify_all();
+    just_loaded = true;
+    // Loop: the next iteration takes the hit path and builds the handle.
+  }
+}
+
+void SnapshotResidency::EvictIdle() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto it = entries_.begin(); it != entries_.end();) {
+      if (it->second.pins == 0 && !it->second.loading) {
+        resident_bytes_ -= it->second.bytes;
+        it = entries_.erase(it);
+        ++evictions_;
+      } else {
+        ++it;
+      }
+    }
+  }
+  released_.notify_all();
+}
+
+std::int64_t SnapshotResidency::resident_bytes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return resident_bytes_;
+}
+
+std::int64_t SnapshotResidency::evictions() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return evictions_;
+}
+
+std::int64_t SnapshotResidency::hits() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return hits_;
+}
+
+std::int64_t SnapshotResidency::misses() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return misses_;
+}
+
+std::vector<std::string> SnapshotResidency::ResidentIds() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::pair<std::int64_t, std::string>> by_use;
+  for (const auto& [id, entry] : entries_) {
+    by_use.emplace_back(entry.last_use, id);
+  }
+  std::sort(by_use.begin(), by_use.end());
+  std::vector<std::string> ids;
+  ids.reserve(by_use.size());
+  for (auto& [use, id] : by_use) ids.push_back(std::move(id));
+  return ids;
+}
+
+}  // namespace ga::serve

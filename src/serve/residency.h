@@ -1,0 +1,110 @@
+// Memory-budget governor for ga::serve: refcounted read-only residency
+// of dataset graphs shared across in-flight jobs, with LRU eviction
+// under a configurable byte budget.
+//
+// Jobs Acquire() a dataset and get back a shared handle; many jobs on
+// the same dataset share ONE resident graph (mmap'd `.gab` snapshots
+// stay zero-copy — the bytes are the page cache's, counted once). An
+// idle graph (no outstanding handles) stays resident as cache until the
+// budget needs the room, then is evicted in LRU order. Degradation under
+// pressure is graceful and explicit, never an OOM kill:
+//
+//   * budget has room (possibly after evicting idle LRU entries): load;
+//   * every resident graph is pinned by running jobs: Acquire WAITS for
+//     a release (serialize-rather-than-OOM), bounded by the request's
+//     cancel token / deadline — expiry surfaces kDeadlineExceeded, a
+//     drain cancel surfaces kCancelled;
+//   * the dataset alone exceeds the whole budget: kResourceExhausted
+//     immediately (retry cannot fix it, shed it loudly).
+//
+// The loader is injected so the server wires it to DatasetRegistry and
+// tests wire it to synthetic graphs with scripted sizes. Admission is
+// reserved against a size ESTIMATE before loading (the registry knows a
+// dataset's instance dimensions), then trued up to the actual resident
+// bytes after the load — so the budget is respected while the load is
+// in flight, not only after.
+#ifndef GRAPHALYTICS_SERVE_RESIDENCY_H_
+#define GRAPHALYTICS_SERVE_RESIDENCY_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/exec/cancel.h"
+#include "core/graph.h"
+#include "core/status.h"
+
+namespace ga::serve {
+
+/// Bytes a graph keeps resident: the sum of its array views (for
+/// storage-backed graphs this is the mapped snapshot's payload; the
+/// undirected in-view aliases are not double-counted).
+std::int64_t GraphResidentBytes(const Graph& graph);
+
+class SnapshotResidency {
+ public:
+  using Loader =
+      std::function<Result<std::shared_ptr<const Graph>>(const std::string&)>;
+  using SizeEstimator = std::function<std::int64_t(const std::string&)>;
+
+  /// `budget_bytes` <= 0 disables the budget (everything stays
+  /// resident). `estimator` pre-reserves budget before a load; null
+  /// reserves nothing and trues up after the load.
+  SnapshotResidency(std::int64_t budget_bytes, Loader loader,
+                    SizeEstimator estimator = nullptr);
+
+  /// Returns a shared handle to the resident graph, loading it on a
+  /// miss. Blocks under budget pressure until eviction frees room, the
+  /// token is cancelled, or its deadline expires. The handle pins the
+  /// graph against eviction; dropping the last handle makes it evictable
+  /// (it stays cached until the budget wants the room).
+  Result<std::shared_ptr<const Graph>> Acquire(
+      const std::string& id, const exec::CancelToken* cancel = nullptr);
+
+  /// Drops every idle entry (drain/tests). Pinned entries stay.
+  void EvictIdle();
+
+  std::int64_t budget_bytes() const { return budget_bytes_; }
+  std::int64_t resident_bytes() const;
+  std::int64_t evictions() const;
+  std::int64_t hits() const;
+  std::int64_t misses() const;
+  /// Resident ids in LRU order (oldest first); tests assert eviction
+  /// order through this.
+  std::vector<std::string> ResidentIds() const;
+
+ private:
+  struct Entry {
+    std::shared_ptr<const Graph> graph;  // null while loading
+    std::int64_t bytes = 0;              // estimate until loaded
+    std::int64_t last_use = 0;
+    int pins = 0;
+    bool loading = false;
+  };
+
+  /// Evicts idle entries (LRU first) until `needed` more bytes fit the
+  /// budget. True when they fit. Caller holds the lock.
+  bool MakeRoomLocked(std::int64_t needed);
+
+  const std::int64_t budget_bytes_;
+  Loader loader_;
+  SizeEstimator estimator_;
+
+  mutable std::mutex mutex_;
+  std::condition_variable released_;
+  std::map<std::string, Entry> entries_;
+  std::int64_t resident_bytes_ = 0;
+  std::int64_t use_clock_ = 0;
+  std::int64_t evictions_ = 0;
+  std::int64_t hits_ = 0;
+  std::int64_t misses_ = 0;
+};
+
+}  // namespace ga::serve
+
+#endif  // GRAPHALYTICS_SERVE_RESIDENCY_H_

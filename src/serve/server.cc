@@ -1,0 +1,601 @@
+#include "serve/server.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+#include "algo/output.h"
+#include "algo/reference.h"
+#include "core/json_writer.h"
+#include "faults/faults.h"
+#include "harness/results_db.h"
+#include "platforms/platform.h"
+#include "store/snapshot.h"
+
+namespace ga::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string FnvHex(const std::string& text) {
+  char hex[17];
+  std::snprintf(hex, sizeof(hex), "%016llx",
+                static_cast<unsigned long long>(
+                    store::Fnv1a64(text.data(), text.size())));
+  return hex;
+}
+
+/// Estimated resident bytes of a dataset instance, from catalogue
+/// dimensions alone — no load needed. Mirrors GraphResidentBytes: ids +
+/// canonical edges + out-CSR (+ in-CSC for directed graphs).
+std::int64_t EstimateDatasetBytes(const harness::DatasetSpec& spec,
+                                  std::int64_t divisor) {
+  const std::int64_t v =
+      std::max<std::int64_t>(spec.paper_vertices / divisor, 1);
+  const std::int64_t e =
+      std::max<std::int64_t>(spec.paper_edges / divisor, 1);
+  const bool directed = spec.directedness == Directedness::kDirected;
+  const std::int64_t adjacency = directed ? e : 2 * e;
+  std::int64_t bytes =
+      v * static_cast<std::int64_t>(sizeof(VertexId)) +
+      e * static_cast<std::int64_t>(sizeof(Edge)) +
+      (v + 1) * static_cast<std::int64_t>(sizeof(EdgeIndex)) +
+      adjacency * static_cast<std::int64_t>(sizeof(VertexIndex));
+  if (spec.weighted) {
+    bytes += adjacency * static_cast<std::int64_t>(sizeof(Weight));
+  }
+  if (directed) {
+    bytes += (v + 1) * static_cast<std::int64_t>(sizeof(EdgeIndex)) +
+             adjacency * static_cast<std::int64_t>(sizeof(VertexIndex));
+    if (spec.weighted) {
+      bytes += adjacency * static_cast<std::int64_t>(sizeof(Weight));
+    }
+  }
+  return bytes;
+}
+
+/// Benchmark parameters from a resident graph (the registry's rule: the
+/// BFS/SSSP root is the first vertex of maximum out-degree).
+AlgorithmParams ParamsFromGraph(const Graph& graph) {
+  AlgorithmParams params;
+  VertexIndex best = 0;
+  EdgeIndex best_degree = -1;
+  for (VertexIndex v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.OutDegree(v) > best_degree) {
+      best_degree = graph.OutDegree(v);
+      best = v;
+    }
+  }
+  if (graph.num_vertices() > 0) {
+    params.source_vertex = graph.ExternalId(best);
+  }
+  return params;
+}
+
+}  // namespace
+
+Server::Server(const ServeOptions& options)
+    : options_(options),
+      queue_(std::make_unique<AdmissionQueue>(options.queue_capacity,
+                                              options.workers)),
+      registry_(options.bench) {
+  residency_ = std::make_unique<SnapshotResidency>(
+      options_.memory_budget_bytes,
+      [this](const std::string& id) -> Result<std::shared_ptr<const Graph>> {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        GA_ASSIGN_OR_RETURN(const Graph* graph, registry_.Load(id));
+        // Residency owns the resident lifetime: dropping the entry
+        // evicts the registry's RAM cache so the bytes are actually
+        // reclaimed (a disk snapshot, if any, survives for the reload).
+        return std::shared_ptr<const Graph>(
+            graph, [this, id](const Graph*) {
+              std::lock_guard<std::mutex> inner(registry_mutex_);
+              registry_.Evict(id);
+            });
+      },
+      [this](const std::string& id) -> std::int64_t {
+        std::lock_guard<std::mutex> lock(registry_mutex_);
+        auto spec = registry_.Find(id);
+        if (!spec.ok()) return 0;
+        return EstimateDatasetBytes(*spec, options_.bench.scale_divisor);
+      });
+}
+
+Server::~Server() {
+  if (started_) Drain();
+}
+
+Status Server::Start() {
+  if (started_) return Status::FailedPrecondition("server already started");
+  if (options_.queue_capacity < 1) {
+    return Status::InvalidArgument("queue capacity must be >= 1");
+  }
+  if (options_.workers < 1) {
+    return Status::InvalidArgument("workers must be >= 1");
+  }
+  started_ = true;
+
+  worker_pools_.reserve(static_cast<std::size_t>(options_.workers));
+  executors_.reserve(static_cast<std::size_t>(options_.workers));
+  for (int i = 0; i < options_.workers; ++i) {
+    worker_pools_.push_back(
+        std::make_unique<exec::ThreadPool>(options_.bench.host_jobs));
+  }
+  // Dataset generation happens inside the residency loader, serialized
+  // by registry_mutex_ — its own pool, never a job's execution pool.
+  loader_pool_ = std::make_unique<exec::ThreadPool>(options_.bench.host_jobs);
+  registry_.set_host_pool(loader_pool_.get());
+  for (int i = 0; i < options_.workers; ++i) {
+    executors_.emplace_back([this, i] { ExecutorLoop(i); });
+  }
+
+  if (options_.socket_path.empty()) return Status::Ok();
+
+  if (::pipe(wake_pipe_) != 0) {
+    return Status::IoError("cannot create wake pipe");
+  }
+  ::fcntl(wake_pipe_[0], F_SETFL, O_NONBLOCK);
+  ::fcntl(wake_pipe_[1], F_SETFL, O_NONBLOCK);
+
+  ::unlink(options_.socket_path.c_str());
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) return Status::IoError("cannot create socket");
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("socket path too long: " +
+                                   options_.socket_path);
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::bind(listen_fd_, reinterpret_cast<sockaddr*>(&addr),
+             sizeof(addr)) != 0) {
+    return Status::IoError("cannot bind " + options_.socket_path + ": " +
+                           std::strerror(errno));
+  }
+  if (::listen(listen_fd_, 64) != 0) {
+    return Status::IoError("cannot listen on " + options_.socket_path);
+  }
+  acceptor_ = std::thread([this] { AcceptorLoop(); });
+  return Status::Ok();
+}
+
+void Server::Submit(const Request& request,
+                    std::function<void(const Response&)> respond) {
+  const std::string id = request.id;
+  if (drain_requested_.load(std::memory_order_acquire)) {
+    respond(ErrorResponse(
+        id, Status::FailedPrecondition("server draining; admission closed")));
+    return;
+  }
+  auto token = std::make_shared<exec::CancelToken>();
+  const double deadline_ms = request.deadline_ms > 0.0
+                                 ? request.deadline_ms
+                                 : options_.default_deadline_ms;
+  if (deadline_ms > 0.0) {
+    token->SetDeadlineAfter(std::chrono::nanoseconds(
+        static_cast<std::int64_t>(deadline_ms * 1e6)));
+  }
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    if (!inflight_.emplace(id, token).second) {
+      respond(ErrorResponse(
+          id, Status::AlreadyExists("request id \"" + id +
+                                    "\" is already in flight")));
+      return;
+    }
+  }
+  PendingJob job;
+  job.request = request;
+  job.cancel = token;
+  job.respond = respond;
+  AdmitDecision decision = queue_->Submit(std::move(job));
+  switch (decision.outcome) {
+    case AdmitOutcome::kAdmitted:
+      if (decision.victim.has_value()) {
+        FinishRequest(decision.victim->request.id);
+        if (decision.victim->respond) {
+          decision.victim->respond(ShedResponse(
+              decision.victim->request.id, decision.retry_after_ms,
+              "displaced by a higher-priority request"));
+        }
+      }
+      return;
+    case AdmitOutcome::kShed:
+      FinishRequest(id);
+      respond(ShedResponse(id, decision.retry_after_ms,
+                           "admission queue full"));
+      return;
+    case AdmitOutcome::kClosed:
+      FinishRequest(id);
+      respond(ErrorResponse(
+          id,
+          Status::FailedPrecondition("server draining; admission closed")));
+      return;
+  }
+}
+
+Response Server::Cancel(const std::string& id, const std::string& reason) {
+  std::shared_ptr<exec::CancelToken> token;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(id);
+    if (it != inflight_.end()) token = it->second;
+  }
+  if (token == nullptr) {
+    return ErrorResponse(
+        id, Status::NotFound("no in-flight request with id \"" + id + "\""));
+  }
+  token->Cancel(reason);
+  Response response;
+  response.id = id;
+  response.status = "cancel-requested";
+  return response;
+}
+
+ServeStats Server::StatsSnapshot() {
+  ServeStats snapshot;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot = stats_;
+  }
+  snapshot.queue = queue_->stats();
+  snapshot.resident_bytes = residency_->resident_bytes();
+  snapshot.evictions = residency_->evictions();
+  snapshot.residency_hits = residency_->hits();
+  snapshot.residency_misses = residency_->misses();
+  return snapshot;
+}
+
+Response Server::Stats() {
+  const ServeStats stats = StatsSnapshot();
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("submitted", stats.queue.submitted);
+  json.Field("admitted", stats.queue.admitted);
+  json.Field("shed_arrivals", stats.queue.shed_arrivals);
+  json.Field("shed_victims", stats.queue.shed_victims);
+  json.Field("queue_depth", stats.queue.depth);
+  json.Field("completed", stats.completed);
+  json.Field("failed", stats.failed);
+  json.Field("cancelled", stats.cancelled);
+  json.Field("timed_out", stats.timed_out);
+  json.Field("faulted_requests", stats.faulted_requests);
+  json.Field("resident_bytes", stats.resident_bytes);
+  json.Field("memory_budget_bytes", options_.memory_budget_bytes);
+  json.Field("evictions", stats.evictions);
+  json.Field("residency_hits", stats.residency_hits);
+  json.Field("residency_misses", stats.residency_misses);
+  json.EndObject();
+  Response response;
+  response.status = "stats";
+  response.stats_json = json.str();
+  return response;
+}
+
+void Server::RequestDrain() {
+  drain_requested_.store(true, std::memory_order_release);
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  }
+}
+
+Status Server::Drain() {
+  if (drained_.exchange(true)) return Status::Ok();
+  drain_requested_.store(true, std::memory_order_release);
+  queue_->Close();
+  if (wake_pipe_[1] >= 0) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t ignored = ::write(wake_pipe_[1], &byte, 1);
+  }
+  if (options_.drain == ServeOptions::DrainPolicy::kCancel) {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    for (auto& [id, token] : inflight_) {
+      token->Cancel("server draining");
+    }
+  }
+  // Executors drain the (closed) queue — quickly under the cancel
+  // policy, to completion under finish — then exit on the empty queue.
+  for (std::thread& executor : executors_) {
+    if (executor.joinable()) executor.join();
+  }
+  if (acceptor_.joinable()) acceptor_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  {
+    std::lock_guard<std::mutex> lock(connections_mutex_);
+    for (auto& connection : connections_) {
+      if (connection->fd >= 0) ::shutdown(connection->fd, SHUT_RDWR);
+    }
+    for (auto& connection : connections_) {
+      if (connection->reader.joinable()) connection->reader.join();
+      std::lock_guard<std::mutex> write_lock(connection->write_mutex);
+      if (connection->fd >= 0) {
+        ::close(connection->fd);
+        connection->fd = -1;
+      }
+    }
+    connections_.clear();
+  }
+  for (int i = 0; i < 2; ++i) {
+    if (wake_pipe_[i] >= 0) {
+      ::close(wake_pipe_[i]);
+      wake_pipe_[i] = -1;
+    }
+  }
+  residency_->EvictIdle();
+  return Status::Ok();
+}
+
+Status Server::ServeUntilDrained() {
+  if (!started_) return Status::FailedPrecondition("server not started");
+  while (!drain_requested_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  return Drain();
+}
+
+void Server::ExecutorLoop(int worker_index) {
+  exec::ThreadPool* pool =
+      worker_pools_[static_cast<std::size_t>(worker_index)].get();
+  while (auto job = queue_->Pop()) {
+    ExecuteJob(std::move(*job), pool);
+  }
+}
+
+void Server::ExecuteJob(PendingJob job, exec::ThreadPool* pool) {
+  const auto start = Clock::now();
+  Response response;
+  if (job.cancel != nullptr && job.cancel->stop_requested()) {
+    // Cancelled or expired while queued: never touches an executor slot
+    // beyond this check.
+    response = ErrorResponse(job.request.id, job.cancel->status());
+  } else {
+    response = RunRequest(job.request, job.cancel.get(), pool);
+  }
+  const double service_ms =
+      std::chrono::duration<double, std::milli>(Clock::now() - start)
+          .count();
+  queue_->OnJobFinished(service_ms);
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    if (response.status == "completed") {
+      ++stats_.completed;
+    } else if (response.status == "cancelled") {
+      ++stats_.cancelled;
+    } else if (response.status == "timed-out") {
+      ++stats_.timed_out;
+    } else {
+      ++stats_.failed;
+    }
+    if (!job.request.faults.empty()) ++stats_.faulted_requests;
+  }
+  RecordReport(job.request, response, response.tproc_seconds);
+  FinishRequest(job.request.id);
+  if (job.respond) job.respond(response);
+}
+
+Response Server::RunRequest(const Request& request,
+                            const exec::CancelToken* cancel,
+                            exec::ThreadPool* pool) {
+  auto platform = platform::CreatePlatform(request.platform);
+  if (!platform.ok()) {
+    return ErrorResponse(request.id, platform.status());
+  }
+  // Parse the fault plan BEFORE acquiring residency: a malformed plan is
+  // a usage error, not a run.
+  std::optional<faults::FaultPlan> fault_plan;
+  if (!request.faults.empty()) {
+    auto plan = faults::FaultPlan::Parse(request.faults);
+    if (!plan.ok()) return ErrorResponse(request.id, plan.status());
+    fault_plan = *plan;
+  }
+  auto graph_handle = residency_->Acquire(request.dataset, cancel);
+  if (!graph_handle.ok()) {
+    Response response = ErrorResponse(request.id, graph_handle.status());
+    if (graph_handle.status().code() == StatusCode::kResourceExhausted) {
+      response.retry_after_ms = queue_->RetryAfterHintMs();
+    }
+    return response;
+  }
+  const Graph& graph = **graph_handle;
+  const AlgorithmParams params = ParamsFromGraph(graph);
+
+  platform::ExecutionEnvironment env;
+  env.num_machines = request.num_machines;
+  env.threads_per_machine = request.threads_per_machine;
+  env.memory_budget_bytes = options_.bench.ScaledMemoryBudget();
+  env.overhead_scale =
+      1.0 / static_cast<double>(options_.bench.scale_divisor);
+  env.host_pool = pool;
+  env.cancel = cancel;
+
+  Result<platform::RunResult> run = [&]() -> Result<platform::RunResult> {
+    if (fault_plan.has_value()) {
+      // Chaos isolation: the fault injector is process-global, so a
+      // faulted request runs EXCLUSIVELY — no clean job shares the
+      // process while the injector is armed.
+      faults::FaultInjector injector(*fault_plan);
+      std::unique_lock<std::shared_mutex> exclusive(exec_mutex_);
+      faults::ScopedGlobalInjector scoped(&injector);
+      return (*platform)->RunJob(graph, request.algorithm, params, env);
+    }
+    std::shared_lock<std::shared_mutex> shared(exec_mutex_);
+    return (*platform)->RunJob(graph, request.algorithm, params, env);
+  }();
+  if (!run.ok()) return ErrorResponse(request.id, run.status());
+
+  Response response;
+  response.id = request.id;
+  response.status = "completed";
+  response.output_fnv = FnvHex(FormatOutput(graph, run->output));
+  response.tproc_seconds =
+      options_.bench.Project(run->metrics.processing_sim_seconds);
+  response.makespan_seconds =
+      options_.bench.Project(run->metrics.makespan_sim_seconds);
+  response.supersteps = run->metrics.supersteps;
+  if (request.validate) {
+    auto reference =
+        reference::Run(graph, request.algorithm, params, pool);
+    if (!reference.ok()) return ErrorResponse(request.id, reference.status());
+    Status valid = ValidateOutput(graph, *reference, run->output);
+    if (!valid.ok()) {
+      return ErrorResponse(request.id,
+                           Status::InvalidArgument("output validation: " +
+                                                   valid.ToString()));
+    }
+    response.validated = true;
+  }
+  return response;
+}
+
+void Server::RecordReport(const Request& request, const Response& response,
+                          double tproc_seconds) {
+  if (options_.results_jsonl.empty()) return;
+  harness::JobReport report;
+  report.spec.platform_id = request.platform;
+  report.spec.dataset_id = request.dataset;
+  report.spec.algorithm = request.algorithm;
+  report.spec.num_machines = request.num_machines;
+  report.spec.threads_per_machine = request.threads_per_machine;
+  if (response.status == "completed") {
+    report.outcome = harness::JobOutcome::kCompleted;
+    report.tproc_seconds = tproc_seconds;
+    report.makespan_seconds = response.makespan_seconds;
+    report.supersteps = response.supersteps;
+    report.output_validated = response.validated;
+  } else if (response.status == "timed-out") {
+    report.outcome = harness::JobOutcome::kTimedOut;
+    report.failure = response.message;
+    report.failure_cause = "wall-timeout";
+  } else if (response.status == "crashed") {
+    report.outcome = harness::JobOutcome::kCrashed;
+    report.failure = response.message;
+    report.failure_cause = "worker-abort";
+  } else if (response.status == "unsupported") {
+    report.outcome = harness::JobOutcome::kUnsupported;
+    report.failure = response.message;
+    report.failure_cause = "unsupported";
+  } else {
+    report.outcome = harness::JobOutcome::kFailed;
+    report.failure = response.message;
+    report.failure_cause =
+        response.status == "cancelled"
+            ? "cancelled"
+            : (response.status == "shed" ? "resource-exhausted"
+                                         : "failed");
+  }
+  // Best-effort: a full results log must not take the daemon down.
+  Status appended = harness::AppendRecord(options_.results_jsonl, report);
+  (void)appended;
+}
+
+void Server::FinishRequest(const std::string& id) {
+  std::lock_guard<std::mutex> lock(inflight_mutex_);
+  inflight_.erase(id);
+}
+
+void Server::AcceptorLoop() {
+  for (;;) {
+    pollfd fds[2];
+    fds[0].fd = listen_fd_;
+    fds[0].events = POLLIN;
+    fds[1].fd = wake_pipe_[0];
+    fds[1].events = POLLIN;
+    const int ready = ::poll(fds, 2, 250);
+    if (drain_requested_.load(std::memory_order_acquire)) return;
+    if (ready <= 0) continue;
+    if ((fds[1].revents & POLLIN) != 0) return;
+    if ((fds[0].revents & POLLIN) == 0) continue;
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    {
+      std::lock_guard<std::mutex> lock(connections_mutex_);
+      connections_.push_back(std::move(connection));
+    }
+    raw->reader = std::thread([this, raw] { ConnectionLoop(raw); });
+  }
+}
+
+void Server::ConnectionLoop(Connection* connection) {
+  std::string buffer;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(connection->fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    buffer.append(chunk, static_cast<std::size_t>(n));
+    std::size_t newline;
+    while ((newline = buffer.find('\n')) != std::string::npos) {
+      const std::string line = buffer.substr(0, newline);
+      buffer.erase(0, newline + 1);
+      if (!line.empty()) HandleLine(connection, line);
+    }
+  }
+  // Disconnected client: cancel its in-flight requests so they free
+  // their executor slots promptly instead of computing into the void.
+  std::vector<std::string> ids;
+  {
+    std::lock_guard<std::mutex> lock(connection->ids_mutex);
+    ids = connection->request_ids;
+  }
+  for (const std::string& id : ids) {
+    Cancel(id, "client disconnected");
+  }
+}
+
+void Server::HandleLine(Connection* connection, const std::string& line) {
+  auto request = ParseRequest(line);
+  if (!request.ok()) {
+    WriteResponse(connection, ErrorResponse("", request.status()));
+    return;
+  }
+  switch (request->op) {
+    case RequestOp::kRun: {
+      {
+        std::lock_guard<std::mutex> lock(connection->ids_mutex);
+        connection->request_ids.push_back(request->id);
+      }
+      Submit(*request, [this, connection](const Response& response) {
+        WriteResponse(connection, response);
+      });
+      return;
+    }
+    case RequestOp::kCancel:
+      WriteResponse(connection, Cancel(request->id, "client cancel"));
+      return;
+    case RequestOp::kStats:
+      WriteResponse(connection, Stats());
+      return;
+  }
+}
+
+void Server::WriteResponse(Connection* connection,
+                           const Response& response) {
+  const std::string line = FormatResponse(response) + "\n";
+  std::lock_guard<std::mutex> lock(connection->write_mutex);
+  if (connection->fd < 0) return;
+  // MSG_NOSIGNAL: a disconnected client must not SIGPIPE the daemon.
+  std::size_t written = 0;
+  while (written < line.size()) {
+    const ssize_t n = ::send(connection->fd, line.data() + written,
+                             line.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) return;  // client gone; the response is dropped
+    written += static_cast<std::size_t>(n);
+  }
+}
+
+}  // namespace ga::serve

@@ -357,5 +357,94 @@ TEST(ScratchPoolTest, SteadyStatePassesDoNotGrowScratch) {
       << "steady-state passes grew pooled scratch";
 }
 
+// A pre-cancelled token stops a loop before any body runs: every chunk
+// throws at its first instruction and the lowest chunk's kCancelled
+// surfaces on the submitting thread.
+TEST(ParallelForTest, PreCancelledTokenRunsNoBodies) {
+  for (int threads : {1, 4}) {
+    ThreadPool pool(threads);
+    ExecContext ctx(&pool);
+    CancelToken token;
+    token.Cancel("test cancel");
+    ctx.set_cancel_token(&token);
+    std::atomic<int> bodies{0};
+    bool caught = false;
+    try {
+      parallel_for(ctx, 0, 10'000,
+                   [&](const Slice&) { bodies.fetch_add(1); });
+    } catch (const StatusException& e) {
+      caught = true;
+      EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+      EXPECT_EQ(e.status().message(), "test cancel");
+    }
+    EXPECT_TRUE(caught);
+    EXPECT_EQ(bodies.load(), 0);
+  }
+}
+
+// Cancellation raised DURING a loop stops it within one chunk, not at
+// the loop boundary: on the serial path (1 thread, deterministic chunk
+// order) a body that cancels at chunk 3 means exactly 4 bodies run and
+// the loop surfaces kCancelled.
+TEST(ParallelForTest, MidLoopCancelStopsWithinOneChunk) {
+  ThreadPool pool(1);
+  ExecContext ctx(&pool);
+  CancelToken token;
+  ctx.set_cancel_token(&token);
+  constexpr std::int64_t kRange = 32 * ExecContext::kMinGrain;
+  const int num_slots = ExecContext::NumSlots(kRange);
+  ASSERT_GT(num_slots, 4);
+  std::atomic<int> bodies{0};
+  bool caught = false;
+  try {
+    parallel_for(ctx, 0, kRange, [&](const Slice& slice) {
+      bodies.fetch_add(1);
+      if (slice.slot == 3) token.Cancel("cancelled at chunk 3");
+    });
+  } catch (const StatusException& e) {
+    caught = true;
+    EXPECT_EQ(e.status().code(), StatusCode::kCancelled);
+  }
+  EXPECT_TRUE(caught);
+  EXPECT_EQ(bodies.load(), 4) << "loop ran past the cancelled chunk";
+}
+
+// An expired deadline reads as stop_requested and surfaces
+// kDeadlineExceeded; parallel_reduce shares parallel_for's check.
+TEST(ParallelReduceTest, ExpiredDeadlineSurfacesDeadlineExceeded) {
+  ThreadPool pool(2);
+  ExecContext ctx(&pool);
+  CancelToken token;
+  token.SetDeadlineAfter(std::chrono::nanoseconds(-1));  // already past
+  ASSERT_TRUE(token.deadline_expired());
+  ASSERT_TRUE(token.stop_requested());
+  EXPECT_EQ(token.status().code(), StatusCode::kDeadlineExceeded);
+  ctx.set_cancel_token(&token);
+  bool caught = false;
+  try {
+    parallel_reduce(
+        ctx, 0, 10'000, std::int64_t{0},
+        [](const Slice& slice, std::int64_t& acc) {
+          acc += slice.end - slice.begin;
+        },
+        [](std::int64_t& into, const std::int64_t& from) { into += from; });
+  } catch (const StatusException& e) {
+    caught = true;
+    EXPECT_EQ(e.status().code(), StatusCode::kDeadlineExceeded);
+  }
+  EXPECT_TRUE(caught);
+}
+
+// First Cancel wins the reason; later calls are no-ops.
+TEST(CancelTokenTest, FirstCancelReasonWins) {
+  CancelToken token;
+  EXPECT_FALSE(token.stop_requested());
+  EXPECT_TRUE(token.status().ok());
+  token.Cancel("first");
+  token.Cancel("second");
+  EXPECT_TRUE(token.cancel_requested());
+  EXPECT_EQ(token.status().message(), "first");
+}
+
 }  // namespace
 }  // namespace ga::exec

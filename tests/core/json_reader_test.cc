@@ -1,0 +1,119 @@
+// Tests for core/json_reader: the parser feeding the serve protocol and
+// the re-readers of this repo's own JSON artifacts.
+#include "core/json_reader.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/json_writer.h"
+
+namespace ga::json {
+namespace {
+
+TEST(JsonReaderTest, ParsesScalars) {
+  EXPECT_TRUE(Parse("null")->is_null());
+  EXPECT_TRUE(Parse("true")->bool_value());
+  EXPECT_FALSE(Parse("false")->bool_value());
+  EXPECT_DOUBLE_EQ(Parse("42")->number(), 42.0);
+  EXPECT_DOUBLE_EQ(Parse("-3.5e2")->number(), -350.0);
+  EXPECT_EQ(Parse("\"hi\"")->string(), "hi");
+}
+
+TEST(JsonReaderTest, ParsesFlatRequestObject) {
+  auto doc = Parse(
+      R"({"op":"run","id":"r1","priority":3,"validate":true,"deadline_ms":250.5})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_TRUE(doc->is_object());
+  EXPECT_EQ(doc->GetString("op"), "run");
+  EXPECT_EQ(doc->GetString("id"), "r1");
+  EXPECT_DOUBLE_EQ(doc->GetNumber("priority"), 3.0);
+  EXPECT_TRUE(doc->GetBool("validate"));
+  EXPECT_DOUBLE_EQ(doc->GetNumber("deadline_ms"), 250.5);
+  // Absent keys fall back.
+  EXPECT_EQ(doc->GetString("missing", "dflt"), "dflt");
+  EXPECT_DOUBLE_EQ(doc->GetNumber("missing", 7.0), 7.0);
+  EXPECT_FALSE(doc->Has("missing"));
+}
+
+TEST(JsonReaderTest, PreservesMemberInsertionOrder) {
+  auto doc = Parse(R"({"z":1,"a":2,"m":3})");
+  ASSERT_TRUE(doc.ok());
+  ASSERT_EQ(doc->members().size(), 3u);
+  EXPECT_EQ(doc->members()[0].first, "z");
+  EXPECT_EQ(doc->members()[1].first, "a");
+  EXPECT_EQ(doc->members()[2].first, "m");
+}
+
+TEST(JsonReaderTest, ParsesNestedArraysAndObjects) {
+  auto doc = Parse(R"({"results":[{"eps":1.5},{"eps":2.5}],"empty":[]})");
+  ASSERT_TRUE(doc.ok());
+  const Value* results = doc->Find("results");
+  ASSERT_NE(results, nullptr);
+  ASSERT_TRUE(results->is_array());
+  ASSERT_EQ(results->array().size(), 2u);
+  EXPECT_DOUBLE_EQ(results->array()[1].GetNumber("eps"), 2.5);
+  const Value* empty = doc->Find("empty");
+  ASSERT_NE(empty, nullptr);
+  EXPECT_TRUE(empty->is_array());
+  EXPECT_TRUE(empty->array().empty());
+}
+
+TEST(JsonReaderTest, DecodesEscapesAndUnicode) {
+  auto doc = Parse(R"("a\"b\\c\nd\tAé")");
+  ASSERT_TRUE(doc.ok());
+  EXPECT_EQ(doc->string(), "a\"b\\c\nd\tA\xc3\xa9");
+  // Surrogate pair: U+1F600 -> 4-byte UTF-8.
+  auto emoji = Parse(R"("😀")");
+  ASSERT_TRUE(emoji.ok());
+  EXPECT_EQ(emoji->string(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonReaderTest, RejectsMalformedInputWithByteOffset) {
+  for (const char* bad :
+       {"", "{", "[1,]", "{\"a\":}", "{\"a\" 1}", "tru", "\"unterminated",
+        "01", "1.", "-", "nan", "{\"a\":1}trailing", "\"bad\\q\""}) {
+    auto doc = Parse(bad);
+    EXPECT_FALSE(doc.ok()) << "input: " << bad;
+    if (!doc.ok()) {
+      EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+      EXPECT_NE(doc.status().message().find("at byte"), std::string::npos)
+          << doc.status().ToString();
+    }
+  }
+}
+
+TEST(JsonReaderTest, RejectsPathologicalNesting) {
+  // Untrusted socket bytes must not control parser stack depth.
+  std::string deep(1000, '[');
+  deep += std::string(1000, ']');
+  auto doc = Parse(deep);
+  ASSERT_FALSE(doc.ok());
+  EXPECT_EQ(doc.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonReaderTest, RoundTripsJsonWriterOutput) {
+  JsonWriter writer;
+  writer.BeginObject();
+  writer.Field("name", "kgs \"quoted\"");
+  writer.Field("count", std::int64_t{830000});
+  writer.Field("ratio", 2.5);
+  writer.Field("ok", true);
+  writer.Key("nested");
+  writer.BeginArray();
+  writer.Value(1.0);
+  writer.Value(2.0);
+  writer.EndArray();
+  writer.EndObject();
+  auto doc = Parse(writer.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("name"), "kgs \"quoted\"");
+  EXPECT_DOUBLE_EQ(doc->GetNumber("count"), 830000.0);
+  EXPECT_DOUBLE_EQ(doc->GetNumber("ratio"), 2.5);
+  EXPECT_TRUE(doc->GetBool("ok"));
+  ASSERT_TRUE(doc->Find("nested")->is_array());
+  EXPECT_EQ(doc->Find("nested")->array().size(), 2u);
+}
+
+}  // namespace
+}  // namespace ga::json

@@ -2,9 +2,13 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <filesystem>
 #include <fstream>
+#include <string>
+#include <thread>
+#include <vector>
 
 namespace ga::harness {
 namespace {
@@ -86,6 +90,114 @@ TEST(ResultsDatabaseTest, WritesJsonFile) {
 TEST(ResultsDatabaseTest, WriteToBadPathFails) {
   ResultsDatabase db(BenchmarkConfig{});
   EXPECT_FALSE(db.WriteJsonFile("/nonexistent/dir/results.json").ok());
+}
+
+TEST(ResultsJsonlTest, AppendReadRoundTripsRecords) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ga_jsonl_roundtrip.jsonl")
+          .string();
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendRecord(path, MakeReport("spmat", "R1", Algorithm::kBfs,
+                                            JobOutcome::kCompleted, 1.5))
+                  .ok());
+  ASSERT_TRUE(AppendRecord(path, MakeReport("bsplite", "R2", Algorithm::kWcc,
+                                            JobOutcome::kCrashed, 0.0))
+                  .ok());
+  auto records = ReadJsonlRecords(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  ASSERT_EQ(records->size(), 2u);
+  EXPECT_EQ((*records)[0],
+            RecordJson(MakeReport("spmat", "R1", Algorithm::kBfs,
+                                  JobOutcome::kCompleted, 1.5)));
+  EXPECT_NE((*records)[1].find("\"outcome\":\"crashed\""),
+            std::string::npos);
+  std::remove(path.c_str());
+}
+
+// The serve daemon's executors — and multiple daemons sharing one log —
+// append concurrently. Each record is one O_APPEND write(), so lines
+// never tear: every line read back must parse as a complete record.
+TEST(ResultsJsonlTest, ConcurrentAppendersNeverTearLines) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ga_jsonl_concurrent.jsonl")
+          .string();
+  std::remove(path.c_str());
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 50;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&path, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        // Distinct payload sizes per writer so torn interleavings could
+        // not accidentally reassemble into valid records.
+        JobReport report = MakeReport(
+            "writer" + std::to_string(t) + std::string(t * 7, 'x'),
+            "D" + std::to_string(i), Algorithm::kPageRank,
+            JobOutcome::kCompleted, t + i * 0.001);
+        ASSERT_TRUE(AppendRecord(path, report).ok());
+      }
+    });
+  }
+  for (std::thread& writer : writers) writer.join();
+  auto records = ReadJsonlRecords(path);
+  ASSERT_TRUE(records.ok()) << records.status().ToString();
+  EXPECT_EQ(records->size(),
+            static_cast<std::size_t>(kThreads * kPerThread));
+  // Every writer's every record arrived exactly once.
+  for (int t = 0; t < kThreads; ++t) {
+    const std::string marker =
+        "\"platform\":\"writer" + std::to_string(t) + std::string(t * 7, 'x') +
+        "\"";
+    int count = 0;
+    for (const std::string& line : *records) {
+      if (line.find(marker) != std::string::npos) ++count;
+    }
+    EXPECT_EQ(count, kPerThread) << "writer " << t;
+  }
+  std::remove(path.c_str());
+}
+
+TEST(ResultsJsonlTest, ReadRejectsTornRecords) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ga_jsonl_torn.jsonl")
+          .string();
+  {
+    std::ofstream out(path);
+    out << RecordJson(MakeReport("spmat", "R1", Algorithm::kBfs,
+                                 JobOutcome::kCompleted, 1.0))
+        << "\n";
+    out << "{\"outcome\":\"comp";  // torn mid-record
+  }
+  auto records = ReadJsonlRecords(path);
+  ASSERT_FALSE(records.ok());
+  EXPECT_NE(records.status().message().find("torn or corrupt"),
+            std::string::npos)
+      << records.status().ToString();
+  std::remove(path.c_str());
+}
+
+TEST(ResultsJsonlTest, MergeJsonlBuildsTheBatchDatabaseShape) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "ga_jsonl_merge.jsonl")
+          .string();
+  std::remove(path.c_str());
+  ASSERT_TRUE(AppendRecord(path, MakeReport("spmat", "R1", Algorithm::kBfs,
+                                            JobOutcome::kCompleted, 1.0))
+                  .ok());
+  ASSERT_TRUE(AppendRecord(path, MakeReport("bsplite", "R1", Algorithm::kBfs,
+                                            JobOutcome::kCompleted, 2.0))
+                  .ok());
+  BenchmarkConfig config;
+  config.scale_divisor = 256;
+  auto merged = MergeJsonl(path, config);
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  EXPECT_NE(merged->find("\"scale_divisor\":256"), std::string::npos);
+  EXPECT_NE(merged->find("\"platform\":\"spmat\""), std::string::npos);
+  EXPECT_NE(merged->find("\"platform\":\"bsplite\""), std::string::npos);
+  EXPECT_EQ(std::count(merged->begin(), merged->end(), '{'),
+            std::count(merged->begin(), merged->end(), '}'));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -1,0 +1,103 @@
+// Cancellation/deadline behaviour at the platform job boundary: a
+// tripped CancelToken must surface as a clean kCancelled /
+// kDeadlineExceeded Status from RunJob on every platform — no partial
+// output, no exception escaping — and a platform must stay fully usable
+// for the next (clean) job, which is what lets the serve daemon reuse
+// one executor across cancelled and healthy requests.
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "core/exec/thread_pool.h"
+#include "datagen/graph500.h"
+#include "platforms/platform.h"
+#include "testing/graph_fixtures.h"
+
+namespace ga::platform {
+namespace {
+
+Graph TestGraph() {
+  datagen::Graph500Config config;
+  config.scale = 10;
+  config.num_edges = 5000;
+  config.weighted = true;
+  config.seed = 3;
+  auto graph = datagen::GenerateGraph500(config);
+  EXPECT_TRUE(graph.ok());
+  return std::move(graph).value();
+}
+
+ExecutionEnvironment RoomyEnv(exec::ThreadPool* pool) {
+  ExecutionEnvironment env;
+  env.num_machines = 1;
+  env.threads_per_machine = 8;
+  env.memory_budget_bytes = 1LL << 30;
+  env.host_pool = pool;
+  return env;
+}
+
+TEST(PlatformCancelTest, PreCancelledTokenFailsJobWithCancelled) {
+  const Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  exec::ThreadPool pool(2);
+  for (const std::string& id : AllPlatformIds()) {
+    auto platform = CreatePlatform(id);
+    ASSERT_TRUE(platform.ok());
+    exec::CancelToken token;
+    token.Cancel("client disconnected");
+    ExecutionEnvironment env = RoomyEnv(&pool);
+    env.cancel = &token;
+    auto run = (*platform)->RunJob(graph, Algorithm::kBfs, params, env);
+    ASSERT_FALSE(run.ok()) << id;
+    EXPECT_EQ(run.status().code(), StatusCode::kCancelled) << id;
+    EXPECT_NE(run.status().message().find("client disconnected"),
+              std::string::npos)
+        << id << ": " << run.status().ToString();
+    // The platform is not poisoned: the same instance completes a clean
+    // job afterwards.
+    ExecutionEnvironment clean = RoomyEnv(&pool);
+    auto rerun = (*platform)->RunJob(graph, Algorithm::kBfs, params, clean);
+    EXPECT_TRUE(rerun.ok()) << id << ": " << rerun.status().ToString();
+  }
+}
+
+TEST(PlatformCancelTest, ExpiredDeadlineFailsJobWithDeadlineExceeded) {
+  const Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  exec::ThreadPool pool(2);
+  for (const std::string& id : AllPlatformIds()) {
+    auto platform = CreatePlatform(id);
+    ASSERT_TRUE(platform.ok());
+    exec::CancelToken token;
+    token.SetDeadlineAfter(std::chrono::nanoseconds(-1));
+    ExecutionEnvironment env = RoomyEnv(&pool);
+    env.cancel = &token;
+    auto run = (*platform)->RunJob(graph, Algorithm::kPageRank, params, env);
+    ASSERT_FALSE(run.ok()) << id;
+    EXPECT_EQ(run.status().code(), StatusCode::kDeadlineExceeded) << id;
+  }
+}
+
+TEST(PlatformCancelTest, UntrippedTokenDoesNotPerturbResults) {
+  const Graph graph = TestGraph();
+  AlgorithmParams params;
+  params.source_vertex = graph.ExternalId(0);
+  exec::ThreadPool pool(2);
+  auto platform = CreatePlatform("bsplite");
+  ASSERT_TRUE(platform.ok());
+  ExecutionEnvironment bare = RoomyEnv(&pool);
+  auto baseline = (*platform)->RunJob(graph, Algorithm::kBfs, params, bare);
+  ASSERT_TRUE(baseline.ok());
+  exec::CancelToken token;  // armed with nothing
+  ExecutionEnvironment tokened = RoomyEnv(&pool);
+  tokened.cancel = &token;
+  auto run = (*platform)->RunJob(graph, Algorithm::kBfs, params, tokened);
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->output.int_values, baseline->output.int_values);
+  EXPECT_EQ(run->metrics.supersteps, baseline->metrics.supersteps);
+}
+
+}  // namespace
+}  // namespace ga::platform

@@ -1,0 +1,181 @@
+// Tests for serve admission control. The load-shedding decision is a
+// pure function of queue contents + request priority (no clocks, no
+// randomness), so replaying one event trace must yield identical
+// admit/shed/displace decisions on every replay — and the `workers`
+// parameter (the serve analogue of --jobs) must never change a decision,
+// only the advisory retry hint.
+#include "serve/admission.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+namespace ga::serve {
+namespace {
+
+PendingJob MakeJob(const std::string& id, int priority = 0) {
+  PendingJob job;
+  job.request.id = id;
+  job.request.priority = priority;
+  return job;
+}
+
+TEST(AdmissionQueueTest, AdmitsUpToCapacityThenSheds) {
+  AdmissionQueue queue(2, 1);
+  EXPECT_EQ(queue.Submit(MakeJob("a")).outcome, AdmitOutcome::kAdmitted);
+  EXPECT_EQ(queue.Submit(MakeJob("b")).outcome, AdmitOutcome::kAdmitted);
+  AdmitDecision shed = queue.Submit(MakeJob("c"));
+  EXPECT_EQ(shed.outcome, AdmitOutcome::kShed);
+  EXPECT_GT(shed.retry_after_ms, 0.0);
+  EXPECT_FALSE(shed.victim.has_value());
+  const QueueStats stats = queue.stats();
+  EXPECT_EQ(stats.submitted, 3);
+  EXPECT_EQ(stats.admitted, 2);
+  EXPECT_EQ(stats.shed_arrivals, 1);
+  EXPECT_EQ(stats.depth, 2);
+}
+
+TEST(AdmissionQueueTest, HigherPriorityDisplacesYoungestLowest) {
+  AdmissionQueue queue(2, 1);
+  queue.Submit(MakeJob("old-low", 0));
+  queue.Submit(MakeJob("young-low", 0));
+  // Equal priority never displaces: the arrival itself is shed.
+  EXPECT_EQ(queue.Submit(MakeJob("equal", 0)).outcome, AdmitOutcome::kShed);
+  // Strictly higher priority displaces the YOUNGEST of the lowest
+  // priority tier — the oldest keeps the slot it has waited for.
+  AdmitDecision displaced = queue.Submit(MakeJob("vip", 5));
+  EXPECT_EQ(displaced.outcome, AdmitOutcome::kAdmitted);
+  ASSERT_TRUE(displaced.victim.has_value());
+  EXPECT_EQ(displaced.victim->request.id, "young-low");
+  EXPECT_EQ(queue.stats().shed_victims, 1);
+  // Pop order: highest priority first, FIFO within a priority.
+  EXPECT_EQ(queue.Pop()->request.id, "vip");
+  EXPECT_EQ(queue.Pop()->request.id, "old-low");
+}
+
+TEST(AdmissionQueueTest, PopIsPriorityThenFifo) {
+  AdmissionQueue queue(8, 1);
+  queue.Submit(MakeJob("a0", 0));
+  queue.Submit(MakeJob("b2", 2));
+  queue.Submit(MakeJob("c0", 0));
+  queue.Submit(MakeJob("d2", 2));
+  std::vector<std::string> order;
+  for (int i = 0; i < 4; ++i) order.push_back(queue.Pop()->request.id);
+  EXPECT_EQ(order, (std::vector<std::string>{"b2", "d2", "a0", "c0"}));
+}
+
+TEST(AdmissionQueueTest, CloseStopsAdmissionAndDrainsQueued) {
+  AdmissionQueue queue(4, 1);
+  queue.Submit(MakeJob("queued"));
+  queue.Close();
+  EXPECT_TRUE(queue.closed());
+  EXPECT_EQ(queue.Submit(MakeJob("late")).outcome, AdmitOutcome::kClosed);
+  // Already-queued work still drains, then Pop reports end-of-queue.
+  auto job = queue.Pop();
+  ASSERT_TRUE(job.has_value());
+  EXPECT_EQ(job->request.id, "queued");
+  EXPECT_FALSE(queue.Pop().has_value());
+}
+
+TEST(AdmissionQueueTest, TakeAllRemovesEverythingQueued) {
+  AdmissionQueue queue(4, 1);
+  queue.Submit(MakeJob("a"));
+  queue.Submit(MakeJob("b", 3));
+  std::vector<PendingJob> taken = queue.TakeAll();
+  EXPECT_EQ(taken.size(), 2u);
+  EXPECT_EQ(queue.depth(), 0);
+}
+
+// The determinism contract behind ISSUE's "same trace + seed => same
+// decisions at any --jobs": replay one interleaved submit/pop trace
+// against queues configured with different worker counts and require
+// bit-identical decision sequences.
+TEST(AdmissionQueueTest, TraceReplayIsDeterministicAtAnyWorkerCount) {
+  struct Event {
+    enum { kSubmit, kPop } kind;
+    std::string id;
+    int priority;
+  };
+  std::vector<Event> trace;
+  // A deterministic pseudo-trace: bursts that overflow capacity, mixed
+  // priorities, interleaved pops (seeded LCG, fixed forever).
+  std::uint64_t state = 20160809;
+  auto next = [&state] {
+    state = state * 6364136223846793005ULL + 1442695040888963407ULL;
+    return static_cast<int>(state >> 33);
+  };
+  for (int i = 0; i < 200; ++i) {
+    if (next() % 4 == 0) {
+      trace.push_back({Event::kPop, "", 0});
+    } else {
+      trace.push_back(
+          {Event::kSubmit, "r" + std::to_string(i), next() % 3});
+    }
+  }
+
+  auto replay = [&trace](int workers) {
+    AdmissionQueue queue(4, workers);
+    std::vector<std::string> decisions;
+    for (const Event& event : trace) {
+      if (event.kind == Event::kPop) {
+        if (queue.depth() > 0) {
+          decisions.push_back("pop:" + queue.Pop()->request.id);
+        }
+        continue;
+      }
+      AdmitDecision decision = queue.Submit(MakeJob(event.id,
+                                                    event.priority));
+      switch (decision.outcome) {
+        case AdmitOutcome::kAdmitted:
+          decisions.push_back(
+              decision.victim.has_value()
+                  ? "displace:" + decision.victim->request.id + "<-" +
+                        event.id
+                  : "admit:" + event.id);
+          break;
+        case AdmitOutcome::kShed:
+          decisions.push_back("shed:" + event.id);
+          break;
+        case AdmitOutcome::kClosed:
+          decisions.push_back("closed:" + event.id);
+          break;
+      }
+    }
+    return decisions;
+  };
+
+  const std::vector<std::string> base = replay(1);
+  EXPECT_FALSE(base.empty());
+  // Decisions are independent of the worker count and stable across
+  // replays.
+  EXPECT_EQ(replay(2), base);
+  EXPECT_EQ(replay(8), base);
+  EXPECT_EQ(replay(1), base);
+  // The trace must actually exercise every decision kind.
+  int sheds = 0, displaces = 0, admits = 0;
+  for (const std::string& d : base) {
+    if (d.rfind("shed:", 0) == 0) ++sheds;
+    if (d.rfind("displace:", 0) == 0) ++displaces;
+    if (d.rfind("admit:", 0) == 0) ++admits;
+  }
+  EXPECT_GT(sheds, 0);
+  EXPECT_GT(displaces, 0);
+  EXPECT_GT(admits, 0);
+}
+
+TEST(AdmissionQueueTest, RetryHintTracksServiceEwmaAndDepth) {
+  AdmissionQueue queue(4, 2);
+  const double initial = queue.RetryAfterHintMs();
+  EXPECT_GT(initial, 0.0);
+  // Feeding slow completions raises the hint; occupancy scales it.
+  for (int i = 0; i < 10; ++i) queue.OnJobFinished(1000.0);
+  EXPECT_GT(queue.RetryAfterHintMs(), initial);
+  const double idle_hint = queue.RetryAfterHintMs();
+  queue.Submit(MakeJob("a"));
+  queue.Submit(MakeJob("b"));
+  EXPECT_GT(queue.RetryAfterHintMs(), idle_hint);
+}
+
+}  // namespace
+}  // namespace ga::serve

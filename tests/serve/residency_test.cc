@@ -1,0 +1,221 @@
+// Tests for the serve memory-budget governor: refcounted residency,
+// LRU eviction under a byte budget, and the graceful degradation ladder
+// (evict idle -> wait for a release -> shed outright).
+#include "serve/residency.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "testing/graph_fixtures.h"
+
+namespace ga::serve {
+namespace {
+
+// A loader of real (tiny) graphs with scripted per-id sizes: the
+// residency layer is told each graph costs `scripted_bytes` via the
+// estimator, and the true-up uses the graph's actual bytes — tests pin
+// both paths by using the actual bytes as the script.
+class ScriptedLoader {
+ public:
+  void Script(const std::string& id, int cycle_vertices) {
+    graphs_[id] = std::make_shared<const Graph>(
+        ga::testing::MakeUndirectedCycle(cycle_vertices));
+    bytes_[id] = GraphResidentBytes(*graphs_[id]);
+  }
+
+  std::int64_t bytes(const std::string& id) const { return bytes_.at(id); }
+  int loads(const std::string& id) const {
+    auto it = loads_.find(id);
+    return it == loads_.end() ? 0 : it->second;
+  }
+
+  SnapshotResidency::Loader AsLoader() {
+    return [this](const std::string& id)
+               -> Result<std::shared_ptr<const Graph>> {
+      auto it = graphs_.find(id);
+      if (it == graphs_.end()) return Status::NotFound("no dataset " + id);
+      ++loads_[id];
+      return it->second;
+    };
+  }
+  SnapshotResidency::SizeEstimator AsEstimator() {
+    return [this](const std::string& id) -> std::int64_t {
+      auto it = bytes_.find(id);
+      return it == bytes_.end() ? 0 : it->second;
+    };
+  }
+
+ private:
+  std::map<std::string, std::shared_ptr<const Graph>> graphs_;
+  std::map<std::string, std::int64_t> bytes_;
+  std::map<std::string, int> loads_;
+};
+
+TEST(GraphResidentBytesTest, CountsArraysWithoutDoubleCountingAliases) {
+  const Graph directed = ga::testing::MakeDirectedPath(10);
+  const Graph undirected = ga::testing::MakeUndirectedCycle(10);
+  EXPECT_GT(GraphResidentBytes(directed), 0);
+  EXPECT_GT(GraphResidentBytes(undirected), 0);
+  // The directed total strictly exceeds the out-CSR alone (ids, edges,
+  // and the separate in-CSC all count).
+  EXPECT_GT(GraphResidentBytes(directed),
+            static_cast<std::int64_t>(
+                directed.out_offsets().size_bytes() +
+                directed.out_targets().size_bytes()));
+}
+
+TEST(SnapshotResidencyTest, SharesOneResidentGraphAcrossHandles) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  SnapshotResidency residency(0, loader.AsLoader(), loader.AsEstimator());
+  auto first = residency.Acquire("A");
+  auto second = residency.Acquire("A");
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(first->get(), second->get()) << "same resident graph shared";
+  EXPECT_EQ(loader.loads("A"), 1);
+  EXPECT_EQ(residency.hits(), 1);
+  EXPECT_EQ(residency.misses(), 1);
+  EXPECT_EQ(residency.resident_bytes(), loader.bytes("A"));
+}
+
+TEST(SnapshotResidencyTest, IdleEntriesStayCachedUntilBudgetWantsRoom) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  SnapshotResidency residency(0, loader.AsLoader(), loader.AsEstimator());
+  { auto handle = residency.Acquire("A"); ASSERT_TRUE(handle.ok()); }
+  // Handle dropped; unlimited budget keeps the graph resident as cache.
+  EXPECT_EQ(residency.resident_bytes(), loader.bytes("A"));
+  auto again = residency.Acquire("A");
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(loader.loads("A"), 1) << "cache hit must not reload";
+}
+
+TEST(SnapshotResidencyTest, EvictsIdleEntriesInLruOrder) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  loader.Script("B", 32);
+  loader.Script("C", 32);
+  const std::int64_t each = loader.bytes("A");
+  // Room for exactly two resident graphs.
+  SnapshotResidency residency(2 * each + each / 2, loader.AsLoader(),
+                              loader.AsEstimator());
+  { auto a = residency.Acquire("A"); ASSERT_TRUE(a.ok()); }
+  { auto b = residency.Acquire("B"); ASSERT_TRUE(b.ok()); }
+  // Touch A so B becomes the least recently used.
+  { auto a = residency.Acquire("A"); ASSERT_TRUE(a.ok()); }
+  EXPECT_EQ(residency.ResidentIds(),
+            (std::vector<std::string>{"B", "A"}));
+  // C needs room: the LRU entry (B) goes, A stays.
+  { auto c = residency.Acquire("C"); ASSERT_TRUE(c.ok()); }
+  EXPECT_EQ(residency.evictions(), 1);
+  EXPECT_EQ(residency.ResidentIds(),
+            (std::vector<std::string>{"A", "C"}));
+  EXPECT_LE(residency.resident_bytes(), residency.budget_bytes());
+  // Re-acquiring B is a fresh load.
+  { auto b = residency.Acquire("B"); ASSERT_TRUE(b.ok()); }
+  EXPECT_EQ(loader.loads("B"), 2);
+}
+
+TEST(SnapshotResidencyTest, PinnedEntriesAreNeverEvicted) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  loader.Script("B", 32);
+  SnapshotResidency residency(loader.bytes("A") + loader.bytes("B") / 2,
+                              loader.AsLoader(), loader.AsEstimator());
+  auto pinned = residency.Acquire("A");
+  ASSERT_TRUE(pinned.ok());
+  // B does not fit while A is pinned: Acquire must wait, bounded by the
+  // cancel deadline, and surface kDeadlineExceeded — never evict A.
+  exec::CancelToken deadline;
+  deadline.SetDeadlineAfter(std::chrono::milliseconds(60));
+  auto blocked = residency.Acquire("B", &deadline);
+  ASSERT_FALSE(blocked.ok());
+  EXPECT_EQ(blocked.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(residency.evictions(), 0);
+  EXPECT_EQ(residency.ResidentIds(),
+            (std::vector<std::string>{"A"}));
+}
+
+TEST(SnapshotResidencyTest, WaitingAcquireProceedsWhenPinReleases) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  loader.Script("B", 32);
+  SnapshotResidency residency(loader.bytes("A") + loader.bytes("B") / 2,
+                              loader.AsLoader(), loader.AsEstimator());
+  auto pinned = residency.Acquire("A");
+  ASSERT_TRUE(pinned.ok());
+  std::atomic<bool> acquired{false};
+  std::thread waiter([&] {
+    auto handle = residency.Acquire("B");  // serialize-rather-than-OOM
+    EXPECT_TRUE(handle.ok());
+    acquired.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(40));
+  EXPECT_FALSE(acquired.load()) << "must wait while A is pinned";
+  pinned->reset();  // release the pin: A becomes evictable
+  waiter.join();
+  EXPECT_TRUE(acquired.load());
+  EXPECT_GE(residency.evictions(), 1);
+  EXPECT_LE(residency.resident_bytes(), residency.budget_bytes());
+}
+
+TEST(SnapshotResidencyTest, DatasetLargerThanBudgetIsShedOutright) {
+  ScriptedLoader loader;
+  loader.Script("huge", 256);
+  SnapshotResidency residency(loader.bytes("huge") / 2, loader.AsLoader(),
+                              loader.AsEstimator());
+  auto handle = residency.Acquire("huge");
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(residency.resident_bytes(), 0);
+}
+
+TEST(SnapshotResidencyTest, CancelledAcquireReturnsCancelled) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  SnapshotResidency residency(0, loader.AsLoader(), loader.AsEstimator());
+  exec::CancelToken token;
+  token.Cancel("drain");
+  auto handle = residency.Acquire("A", &token);
+  ASSERT_FALSE(handle.ok());
+  EXPECT_EQ(handle.status().code(), StatusCode::kCancelled);
+}
+
+TEST(SnapshotResidencyTest, LoaderFailurePropagatesAndReleasesReservation) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  SnapshotResidency residency(4 * loader.bytes("A"), loader.AsLoader(),
+                              loader.AsEstimator());
+  auto missing = residency.Acquire("nope");
+  ASSERT_FALSE(missing.ok());
+  EXPECT_EQ(missing.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(residency.resident_bytes(), 0) << "reservation must roll back";
+  // The failure leaves the residency fully usable.
+  auto handle = residency.Acquire("A");
+  EXPECT_TRUE(handle.ok());
+}
+
+TEST(SnapshotResidencyTest, EvictIdleDropsOnlyUnpinned) {
+  ScriptedLoader loader;
+  loader.Script("A", 32);
+  loader.Script("B", 32);
+  SnapshotResidency residency(0, loader.AsLoader(), loader.AsEstimator());
+  auto pinned = residency.Acquire("A");
+  ASSERT_TRUE(pinned.ok());
+  { auto b = residency.Acquire("B"); ASSERT_TRUE(b.ok()); }
+  residency.EvictIdle();
+  EXPECT_EQ(residency.ResidentIds(),
+            (std::vector<std::string>{"A"}));
+  EXPECT_EQ(residency.resident_bytes(), loader.bytes("A"));
+}
+
+}  // namespace
+}  // namespace ga::serve

@@ -47,9 +47,12 @@
 
 #include <filesystem>
 
+#include <csignal>
+
 #include "core/exec/thread_pool.h"
 #include "core/strings.h"
 #include "faults/faults.h"
+#include "serve/server.h"
 #include "granula/chrome_trace.h"
 #include "experiments/mutation_sweep.h"
 #include "experiments/plan.h"
@@ -101,6 +104,11 @@ void PrintUsage(std::FILE* stream) {
       "  mutate streaming-mutation sweep: evolve a dataset through random\n"
       "         delta epochs; incremental PageRank/WCC vs full recompute,\n"
       "         byte-identity verified per epoch (see DESIGN.md Section 12)\n"
+      "  serve  overload-robust analytics daemon (docs/SERVING.md):\n"
+      "         line-delimited JSON requests over a unix socket, bounded\n"
+      "         admission queue with deterministic load shedding,\n"
+      "         per-request deadlines and cancellation, memory-budget\n"
+      "         residency with LRU eviction, graceful SIGINT/SIGTERM drain\n"
       "\n"
       "run options:\n"
       "  --platforms a,b,...   platform ids (default: all six)\n"
@@ -149,6 +157,26 @@ void PrintUsage(std::FILE* stream) {
       "  --data-dir DIR        persistent dataset cache, as above\n"
       "  --out FILE            write the sweep JSON artifact\n"
       "  --report FILE         also write the text report to FILE\n"
+      "\n"
+      "serve options:\n"
+      "  --socket PATH         unix socket to listen on (required)\n"
+      "  --queue-depth N       admission queue capacity (default: 8);\n"
+      "                        arrivals beyond it are shed with\n"
+      "                        RESOURCE_EXHAUSTED + retry_after_ms\n"
+      "  --workers N           concurrent executor threads (default: 1 =\n"
+      "                        jobs serialized, strongest memory mode)\n"
+      "  --memory-budget MB    residency budget for resident datasets in\n"
+      "                        MiB; LRU eviction under pressure (0 = off)\n"
+      "  --deadline-ms N       default request deadline, queue wait\n"
+      "                        included (0 = none; clients may override)\n"
+      "  --drain-policy P      finish|cancel: what happens to in-flight\n"
+      "                        jobs on SIGINT/SIGTERM (default: finish)\n"
+      "  --results FILE        append one JSON line per request (safe\n"
+      "                        across concurrent writers)\n"
+      "  --merge-results FILE  on drain, fold the --results log into a\n"
+      "                        results-v1 JSON document at FILE\n"
+      "  --jobs N              host threads per executor\n"
+      "  --data-dir DIR        persistent dataset cache, as above\n"
       "\n"
       "resilience options (run + suite, docs/ROBUSTNESS.md):\n"
       "  --faults SPEC         deterministic fault injection, e.g.\n"
@@ -1018,6 +1046,148 @@ int MutateMode(const std::vector<std::string>& args) {
   return 0;
 }
 
+// The serving daemon's drain trigger: the signal handler must be
+// async-signal-safe, so it only calls RequestDrain (an atomic store plus
+// a self-pipe write).
+ga::serve::Server* g_serve_server = nullptr;
+
+void ServeSignalHandler(int) {
+  if (g_serve_server != nullptr) g_serve_server->RequestDrain();
+}
+
+int ServeMode(const std::vector<std::string>& args) {
+  ga::serve::ServeOptions options;
+  int jobs = -1;
+  std::string data_dir;
+  std::string merge_path;
+
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : "";
+    };
+    if (arg == "--socket") {
+      options.socket_path = next();
+    } else if (arg == "--queue-depth") {
+      options.queue_capacity = std::atoi(next());
+      if (options.queue_capacity < 1) {
+        std::fprintf(stderr, "--queue-depth requires a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--workers") {
+      options.workers = std::atoi(next());
+      if (options.workers < 1) {
+        std::fprintf(stderr, "--workers requires a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--memory-budget") {
+      const long mib = std::atol(next());
+      if (mib < 0) {
+        std::fprintf(stderr, "--memory-budget requires MiB >= 0\n");
+        return 2;
+      }
+      options.memory_budget_bytes = static_cast<std::int64_t>(mib) << 20;
+    } else if (arg == "--deadline-ms") {
+      options.default_deadline_ms = std::atof(next());
+      if (options.default_deadline_ms < 0.0) {
+        std::fprintf(stderr, "--deadline-ms requires a value >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--drain-policy") {
+      const std::string policy = next();
+      if (policy == "finish") {
+        options.drain = ga::serve::ServeOptions::DrainPolicy::kFinish;
+      } else if (policy == "cancel") {
+        options.drain = ga::serve::ServeOptions::DrainPolicy::kCancel;
+      } else {
+        std::fprintf(stderr,
+                     "--drain-policy must be finish or cancel, got \"%s\"\n",
+                     policy.c_str());
+        return 2;
+      }
+    } else if (arg == "--results") {
+      options.results_jsonl = next();
+    } else if (arg == "--merge-results") {
+      merge_path = next();
+    } else if (arg == "--jobs") {
+      if (!ParseJobs(next(), &jobs)) return 2;
+    } else if (arg == "--data-dir") {
+      data_dir = next();
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown serve flag %s\n\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  if (options.socket_path.empty()) {
+    std::fprintf(stderr, "serve requires --socket PATH\n\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+  if (!merge_path.empty() && options.results_jsonl.empty()) {
+    std::fprintf(stderr, "--merge-results requires --results FILE\n");
+    return 2;
+  }
+
+  options.bench = ga::harness::BenchmarkConfig::FromEnv();
+  if (jobs >= 0) options.bench.host_jobs = jobs;
+  if (!data_dir.empty()) options.bench.data_dir = data_dir;
+
+  ga::serve::Server server(options);
+  ga::Status started = server.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s\n", started.ToString().c_str());
+    return 6;
+  }
+  g_serve_server = &server;
+  struct sigaction action {};
+  action.sa_handler = ServeSignalHandler;
+  ::sigaction(SIGINT, &action, nullptr);
+  ::sigaction(SIGTERM, &action, nullptr);
+
+  std::printf("serving on %s (queue %d, workers %d, budget %lld MiB, "
+              "deadline %.0f ms, drain %s)\n",
+              options.socket_path.c_str(), options.queue_capacity,
+              options.workers,
+              static_cast<long long>(options.memory_budget_bytes >> 20),
+              options.default_deadline_ms,
+              options.drain == ga::serve::ServeOptions::DrainPolicy::kFinish
+                  ? "finish"
+                  : "cancel");
+  std::fflush(stdout);
+
+  ga::Status drained = server.ServeUntilDrained();
+  g_serve_server = nullptr;
+  if (!drained.ok()) {
+    std::fprintf(stderr, "%s\n", drained.ToString().c_str());
+    return 6;
+  }
+  const ga::serve::ServeStats stats = server.StatsSnapshot();
+  std::printf("drained: %lld submitted, %lld completed, %lld shed, "
+              "%lld cancelled, %lld timed-out, %lld failed\n",
+              static_cast<long long>(stats.queue.submitted),
+              static_cast<long long>(stats.completed),
+              static_cast<long long>(stats.queue.shed_arrivals +
+                                     stats.queue.shed_victims),
+              static_cast<long long>(stats.cancelled),
+              static_cast<long long>(stats.timed_out),
+              static_cast<long long>(stats.failed));
+  if (!merge_path.empty()) {
+    auto merged = ga::harness::MergeJsonl(options.results_jsonl,
+                                          options.bench);
+    if (!merged.ok()) {
+      std::fprintf(stderr, "%s\n", merged.status().ToString().c_str());
+      return 6;
+    }
+    if (!WriteFileOrComplain(merge_path, *merged)) return 6;
+    std::printf("merged results written to %s\n", merge_path.c_str());
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1046,13 +1216,14 @@ int main(int argc, char** argv) {
     if (mode == "suite") return SuiteMode(args);
     if (mode == "data") return DataMode(args);
     if (mode == "mutate") return MutateMode(args);
+    if (mode == "serve") return ServeMode(args);
     if (mode == "help") {
       PrintUsage(stdout);
       return 0;
     }
     std::fprintf(stderr,
                  "unknown mode \"%s\" (valid modes: run, suite, data, "
-                 "mutate)\n\n",
+                 "mutate, serve)\n\n",
                  mode.c_str());
     PrintUsage(stderr);
     return 2;
