@@ -1,0 +1,290 @@
+// Bounded-overhead gate for the always-on service telemetry layer
+// (PR 10, docs/OBSERVABILITY.md): driving the serving daemon with
+// telemetry armed (stage histograms, admission/residency counters, exec
+// CounterSheet aggregation) must cost < 5% request wall time versus the
+// same path with telemetry::SetEnabled(false), geomean over the engine
+// kernels — and the telemetered outputs must be byte-identical to the
+// untelemetered ones at host_jobs 1, 2 and 8.
+//
+// Requests are submitted in-process (Server::Submit + a synchronous
+// waiter), so the measurement covers the full serve lifecycle the
+// instruments hook: admission, queue handoff, residency acquire, job
+// execution, serialization. Hand-rolled interleaved min-of-N timing (no
+// google-benchmark dependency). Emits BENCH_PR10.json to the path in
+// argv[1] (default: stdout).
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <condition_variable>
+#include <cstdio>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "bench/bench_common.h"
+#include "core/json_writer.h"
+#include "serve/server.h"
+#include "telemetry/metrics.h"
+
+namespace ga::bench {
+namespace {
+
+struct Kernel {
+  const char* platform_id;
+  Algorithm algorithm;
+};
+
+// At least one kernel per engine; BFS/PR cover the frontier and
+// fixed-iteration sweep shapes, CDLP/WCC the label-propagation shape.
+constexpr Kernel kKernels[] = {
+    {"spmat", Algorithm::kBfs},       {"spmat", Algorithm::kPageRank},
+    {"bsplite", Algorithm::kPageRank}, {"pushpull", Algorithm::kWcc},
+    {"gaslite", Algorithm::kCdlp},    {"nativekernel", Algorithm::kWcc},
+    {"dataflow", Algorithm::kBfs},
+};
+
+constexpr const char* kDataset = "R1";
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+/// Submit + block until the single response for this request arrives.
+serve::Response RunSync(serve::Server& server,
+                        const serve::Request& request) {
+  std::mutex mutex;
+  std::condition_variable arrived;
+  bool done = false;
+  serve::Response response;
+  server.Submit(request, [&](const serve::Response& r) {
+    {
+      std::lock_guard<std::mutex> lock(mutex);
+      response = r;
+      done = true;
+    }
+    arrived.notify_all();
+  });
+  std::unique_lock<std::mutex> lock(mutex);
+  arrived.wait(lock, [&] { return done; });
+  return response;
+}
+
+serve::Request RequestFor(const Kernel& kernel, std::int64_t sequence) {
+  serve::Request request;
+  request.op = serve::RequestOp::kRun;
+  request.id = std::string(kernel.platform_id) + "-" +
+               std::string(AlgorithmName(kernel.algorithm)) + "-" +
+               std::to_string(sequence);
+  request.dataset = kDataset;
+  request.platform = kernel.platform_id;
+  request.algorithm = kernel.algorithm;
+  return request;
+}
+
+serve::Response MustComplete(serve::Server& server,
+                             const serve::Request& request) {
+  serve::Response response = RunSync(server, request);
+  if (response.status != "completed") {
+    std::fprintf(stderr, "%s: %s (%s)\n", request.id.c_str(),
+                 response.status.c_str(), response.message.c_str());
+    std::abort();
+  }
+  return response;
+}
+
+/// One timed submit->response round trip with telemetry in the given
+/// state.
+double WallSecondsOnce(serve::Server& server, const Kernel& kernel,
+                       std::int64_t sequence, bool telemetered) {
+  telemetry::SetEnabled(telemetered);
+  const double begin = Now();
+  serve::Response response =
+      MustComplete(server, RequestFor(kernel, sequence));
+  const double elapsed = Now() - begin;
+  (void)response;
+  return elapsed;
+}
+
+/// Paired interleaved min-of-N timing: the untelemetered/telemetered
+/// runs alternate so scheduler noise and frequency drift hit both sides
+/// alike, and the rep count adapts to the kernel so sub-millisecond
+/// requests get enough reps for a stable minimum.
+struct PairedTiming {
+  double untelemetered_s = 0.0;
+  double telemetered_s = 0.0;
+  int reps = 0;
+};
+
+PairedTiming MeasurePair(serve::Server& server, const Kernel& kernel,
+                         std::int64_t* sequence) {
+  const double estimate =
+      WallSecondsOnce(server, kernel, (*sequence)++, /*telemetered=*/false);
+  const double target_total_s = 0.04;  // per configuration
+  const int reps = static_cast<int>(std::clamp(
+      target_total_s / std::max(estimate, 1e-6), 7.0, 150.0));
+  PairedTiming timing;
+  timing.reps = reps;
+  timing.untelemetered_s = 1e300;
+  timing.telemetered_s = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    timing.untelemetered_s =
+        std::min(timing.untelemetered_s,
+                 WallSecondsOnce(server, kernel, (*sequence)++,
+                                 /*telemetered=*/false));
+    timing.telemetered_s =
+        std::min(timing.telemetered_s,
+                 WallSecondsOnce(server, kernel, (*sequence)++,
+                                 /*telemetered=*/true));
+  }
+  return timing;
+}
+
+serve::ServeOptions OptionsFor(const harness::BenchmarkConfig& config,
+                               int host_jobs) {
+  serve::ServeOptions options;
+  options.queue_capacity = 4;
+  options.workers = 1;
+  options.bench = config;
+  options.bench.host_jobs = host_jobs;
+  return options;
+}
+
+int Main(int argc, char** argv) {
+  harness::BenchmarkConfig config = harness::BenchmarkConfig::FromEnv();
+  PrintHeader("telemetry_overhead (PR 10 gate)",
+              "service telemetry on vs off through the serving daemon: "
+              "<5% geomean request overhead, byte-identical outputs at "
+              "host_jobs 1/2/8",
+              config);
+
+  JsonWriter json;
+  json.BeginObject();
+  json.Field("artifact", std::string_view("telemetry_overhead"));
+  json.Field("scale_divisor", config.scale_divisor);
+  json.Field("dataset", std::string_view(kDataset));
+
+  // Phase 1 — byte-identity sweep: for every kernel and every host_jobs
+  // in {1, 2, 8}, the telemetered run must hand back the same output
+  // FNV and the same simulated metrics as the untelemetered jobs=1
+  // reference.
+  std::int64_t sequence = 0;
+  bool all_identical = true;
+  std::vector<std::string> reference_fnv;
+  json.Key("identity").BeginArray();
+  for (int host_jobs : {1, 2, 8}) {
+    serve::Server server(OptionsFor(config, host_jobs));
+    if (!server.Start().ok()) {
+      std::fprintf(stderr, "server start failed\n");
+      return 1;
+    }
+    for (std::size_t k = 0; k < std::size(kKernels); ++k) {
+      telemetry::SetEnabled(false);
+      const serve::Response off =
+          MustComplete(server, RequestFor(kKernels[k], sequence++));
+      telemetry::SetEnabled(true);
+      const serve::Response on =
+          MustComplete(server, RequestFor(kKernels[k], sequence++));
+      if (host_jobs == 1) reference_fnv.push_back(off.output_fnv);
+      const bool identical = off.output_fnv == reference_fnv[k] &&
+                             on.output_fnv == reference_fnv[k] &&
+                             off.tproc_seconds == on.tproc_seconds &&
+                             off.supersteps == on.supersteps;
+      all_identical = all_identical && identical;
+      json.BeginObject();
+      json.Field("platform", std::string_view(kKernels[k].platform_id));
+      json.Field("algorithm", AlgorithmName(kKernels[k].algorithm));
+      json.Field("host_jobs", host_jobs);
+      json.Field("output_fnv", on.output_fnv);
+      json.Field("identical", identical);
+      json.EndObject();
+      if (!identical) {
+        std::fprintf(stderr,
+                     "IDENTITY BREACH %s/%s jobs=%d: off=%s on=%s ref=%s\n",
+                     kKernels[k].platform_id,
+                     AlgorithmName(kKernels[k].algorithm).data(), host_jobs,
+                     off.output_fnv.c_str(), on.output_fnv.c_str(),
+                     reference_fnv[k].c_str());
+      }
+    }
+  }
+  json.EndArray();
+
+  // Phase 2 — paired timing on a serial pool (host_jobs = 1): measures
+  // the instrument hook cost, not scheduling noise.
+  serve::Server server(OptionsFor(config, /*host_jobs=*/1));
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "server start failed\n");
+    return 1;
+  }
+
+  harness::TextTable table(
+      "telemetry overhead, interleaved min-of-N (serve round trip)",
+      {"kernel", "telemetry off", "telemetry on", "overhead", "reps"});
+  json.Key("kernels").BeginArray();
+  double log_sum = 0.0;
+  int measured = 0;
+  for (const Kernel& kernel : kKernels) {
+    const PairedTiming timing = MeasurePair(server, kernel, &sequence);
+    const double ratio = timing.telemetered_s / timing.untelemetered_s;
+    log_sum += std::log(ratio);
+    ++measured;
+
+    const std::string name = std::string(kernel.platform_id) + "/" +
+                             std::string(AlgorithmName(kernel.algorithm));
+    char overhead_text[32];
+    std::snprintf(overhead_text, sizeof(overhead_text), "%+.2f%%",
+                  (ratio - 1.0) * 100.0);
+    table.AddRow({name, harness::FormatSeconds(timing.untelemetered_s),
+                  harness::FormatSeconds(timing.telemetered_s),
+                  overhead_text, std::to_string(timing.reps)});
+
+    json.BeginObject();
+    json.Field("platform", std::string_view(kernel.platform_id));
+    json.Field("algorithm", AlgorithmName(kernel.algorithm));
+    json.Field("untelemetered_s", timing.untelemetered_s);
+    json.Field("telemetered_s", timing.telemetered_s);
+    json.Field("reps", timing.reps);
+    json.Field("overhead_ratio", ratio);
+    json.EndObject();
+  }
+  json.EndArray();
+  telemetry::SetEnabled(true);  // leave the process in the default state
+
+  const double geomean =
+      measured > 0 ? std::exp(log_sum / measured) : 1.0;
+  const bool pass = geomean < 1.05 && all_identical;
+  json.Field("geomean_overhead_ratio", geomean);
+  json.Field("gate_max_ratio", 1.05);
+  json.Field("outputs_identical", all_identical);
+  json.Field("pass", pass);
+  json.EndObject();
+
+  std::printf("%s\n", table.Render().c_str());
+  std::printf("geomean overhead: %+.2f%% (gate: <5%%), outputs %s — %s\n",
+              (geomean - 1.0) * 100.0,
+              all_identical ? "identical" : "DIFFER",
+              pass ? "PASS" : "FAIL");
+
+  const std::string document = json.str();
+  if (argc > 1) {
+    std::FILE* file = std::fopen(argv[1], "wb");
+    if (file == nullptr) {
+      std::fprintf(stderr, "cannot write %s\n", argv[1]);
+      return 1;
+    }
+    std::fwrite(document.data(), 1, document.size(), file);
+    std::fputc('\n', file);
+    std::fclose(file);
+    std::printf("json written to %s\n", argv[1]);
+  } else {
+    std::printf("%s\n", document.c_str());
+  }
+  return pass ? 0 : 1;
+}
+
+}  // namespace
+}  // namespace ga::bench
+
+int main(int argc, char** argv) { return ga::bench::Main(argc, argv); }

@@ -61,9 +61,14 @@ class CounterSheet {
   static constexpr std::size_t kMaxSpansPerSlot = 1u << 14;
 
   /// Arms the sheet and starts its host-clock epoch. Disabled sheets
-  /// ignore every Note* call.
-  void Enable() {
+  /// ignore every Note* call. `retain_spans` false keeps only the
+  /// aggregate counters (chunks, busy ticks) and never touches the span
+  /// vectors — the always-on telemetry mode (ga::telemetry), where
+  /// per-chunk timelines would be dead weight and the recording path
+  /// must stay allocation-free.
+  void Enable(bool retain_spans = true) {
     enabled_ = true;
+    retain_spans_ = retain_spans;
     epoch_ = std::chrono::steady_clock::now();
     tick_epoch_ = 0;
     tick_epoch_ = NowTicks();
@@ -104,6 +109,7 @@ class CounterSheet {
     Row& row = rows_[slot];
     ++row.chunks;
     row.busy_ticks += end_ticks - begin_ticks;
+    if (!retain_spans_) return;
     if (row.spans.size() < kMaxSpansPerSlot) {
       // One up-front block per row beats the doubling realloc chain the
       // first superstep would otherwise pay (clear() keeps capacity, so
@@ -201,6 +207,7 @@ class CounterSheet {
   };
 
   bool enabled_ = false;
+  bool retain_spans_ = true;
   std::chrono::steady_clock::time_point epoch_{};
   std::int64_t tick_epoch_ = 0;
   double ns_per_tick_ = 0.0;

@@ -7,6 +7,7 @@
 #include "datagen/realproxy.h"
 #include "datagen/socialnet.h"
 #include "harness/scale.h"
+#include "telemetry/registry.h"
 
 namespace ga::harness {
 
@@ -45,6 +46,50 @@ std::string_view GeneratorName(DatasetSource source) {
 // only detect staleness through the key, and serving a pre-change
 // snapshot would silently diverge warm runs from cold ones.
 constexpr int kGeneratorRevision = 1;
+
+/// Process-global snapshot-cache counters (ga::telemetry). Cumulative
+/// bytes-mapped is a counter, not a gauge: residency/eviction already
+/// reports the live level, this tracks mmap traffic.
+struct StoreCounters {
+  telemetry::Counter* hits;
+  telemetry::Counter* misses;
+  telemetry::Counter* bytes_mapped;
+};
+
+const StoreCounters& StoreCacheCounters() {
+  static const StoreCounters counters = [] {
+    auto& registry = telemetry::Registry::Global();
+    StoreCounters c;
+    c.hits = registry.GetCounter(
+        "ga_store_snapshot_hits_total", {},
+        "Disk snapshot cache loads served by checksum-verified mmap.");
+    c.misses = registry.GetCounter(
+        "ga_store_snapshot_misses_total", {},
+        "Disk snapshot cache loads that fell through to generation.");
+    c.bytes_mapped = registry.GetCounter(
+        "ga_store_snapshot_bytes_mapped_total", {},
+        "Cumulative bytes of snapshot payload mapped on cache hits.");
+    return c;
+  }();
+  return counters;
+}
+
+/// Resident payload of a graph's array views (the undirected in-view
+/// aliases are not double-counted).
+std::int64_t GraphArrayBytes(const Graph& graph) {
+  std::int64_t bytes = 0;
+  bytes += static_cast<std::int64_t>(graph.external_ids().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.edges().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.out_offsets().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.out_targets().size_bytes());
+  bytes += static_cast<std::int64_t>(graph.out_weights().size_bytes());
+  if (graph.is_directed()) {
+    bytes += static_cast<std::int64_t>(graph.in_offsets().size_bytes());
+    bytes += static_cast<std::int64_t>(graph.in_sources().size_bytes());
+    bytes += static_cast<std::int64_t>(graph.in_weights().size_bytes());
+  }
+  return bytes;
+}
 
 }  // namespace
 
@@ -151,9 +196,12 @@ Result<const Graph*> DatasetRegistry::Load(const std::string& id) {
     if (snapshot.ok()) {
       auto owned = std::make_unique<Graph>(std::move(snapshot).value());
       const Graph* pointer = owned.get();
+      StoreCacheCounters().hits->Add(1);
+      StoreCacheCounters().bytes_mapped->Add(GraphArrayBytes(*pointer));
       cache_[id] = std::move(owned);
       return pointer;
     }
+    StoreCacheCounters().misses->Add(1);
   }
 
   const std::int64_t divisor = config_.scale_divisor;

@@ -9,6 +9,7 @@
 #include "algo/reference.h"
 #include "core/rng.h"
 #include "harness/metrics.h"
+#include "telemetry/registry.h"
 
 namespace ga::harness {
 
@@ -21,6 +22,22 @@ double NormalSample(SplitMix64* rng) {
   const double u2 = rng->NextDouble();
   return std::sqrt(-2.0 * std::log(u1)) *
          std::cos(2.0 * 3.14159265358979323846 * u2);
+}
+
+/// Process-global retry/quarantine counters (ga::telemetry): every
+/// BenchmarkRunner in the process folds into the same fleet view.
+telemetry::Counter* RetryCounter() {
+  static telemetry::Counter* counter = telemetry::Registry::Global().GetCounter(
+      "ga_harness_retries_total", {},
+      "Job attempts beyond the first (retry policy re-runs).");
+  return counter;
+}
+
+telemetry::Counter* QuarantineCounter() {
+  static telemetry::Counter* counter = telemetry::Registry::Global().GetCounter(
+      "ga_harness_quarantined_total", {},
+      "Jobs whose final verdict after the retry policy was not completed.");
+  return counter;
 }
 
 }  // namespace
@@ -274,6 +291,7 @@ JobReport BenchmarkRunner::RunWithPolicy(const JobSpec& spec) {
   const int attempts_allowed = 1 + std::max(config_.max_retries, 0);
   JobReport last;
   for (int attempt = 1; attempt <= attempts_allowed; ++attempt) {
+    if (attempt > 1) RetryCounter()->Add(1);
     if (attempt > 1 && config_.retry_backoff_seconds > 0.0) {
       const double backoff = config_.retry_backoff_seconds *
                              static_cast<double>(1LL << (attempt - 2));
@@ -292,13 +310,16 @@ JobReport BenchmarkRunner::RunWithPolicy(const JobSpec& spec) {
       last.failure_code = run.status().code();
       last.failure_cause = "infrastructure";
       last.attempts = attempt;
+      QuarantineCounter()->Add(1);
       return last;
     }
     last.attempts = attempt;
     if (last.completed() || !IsRetryableFailure(last.failure_code)) {
+      if (!last.completed()) QuarantineCounter()->Add(1);
       return last;
     }
   }
+  QuarantineCounter()->Add(1);
   return last;  // retries exhausted: quarantined with the final verdict
 }
 

@@ -34,6 +34,11 @@ JobContext::JobContext(const sysmodel::ClusterModel& cluster,
     exec_.set_counters(&sheet_);
     steal_base_ = env_.host_pool ? env_.host_pool->TotalSteals() : 0;
     alloc_base_ = exec::DataPathAllocEvents();
+  } else if (env_.metrics_sheet != nullptr) {
+    // Always-on service telemetry: the caller's aggregate-only sheet
+    // rides the same parallel_for hooks as deep tracing, without spans
+    // or per-superstep flushes.
+    exec_.set_counters(env_.metrics_sheet);
   }
 }
 

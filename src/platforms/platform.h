@@ -124,6 +124,14 @@ struct ExecutionEnvironment {
   /// Tracing never changes outputs, WorkLedger or simulated metrics
   /// (docs/OBSERVABILITY.md).
   bool trace_enabled = false;
+  /// Lightweight always-on exec telemetry (ga::telemetry): an externally
+  /// owned CounterSheet, Enable(false)'d by the caller (aggregate chunk
+  /// counts + busy ticks, no span retention), attached to the job's
+  /// ExecContext when deep tracing is off. The caller folds it with
+  /// FlushStep after the job. Never changes outputs or scheduling — the
+  /// sheet only observes the slot decomposition. Not owned; must outlive
+  /// the job. Ignored while trace_enabled (the traced sheet subsumes it).
+  exec::CounterSheet* metrics_sheet = nullptr;
   /// Superstep checkpoint/restart plan (ga::resilience, DESIGN.md §13).
   /// Default-constructed = no checkpointing, no resume.
   resilience::CheckpointPlan checkpoint;

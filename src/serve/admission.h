@@ -24,6 +24,7 @@
 #ifndef GRAPHALYTICS_SERVE_ADMISSION_H_
 #define GRAPHALYTICS_SERVE_ADMISSION_H_
 
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -46,6 +47,11 @@ struct PendingJob {
   std::function<void(const Response&)> respond;
   /// Arrival order, assigned by Submit; ties in priority break FIFO.
   std::int64_t seq = 0;
+  /// Arrival wall instant, stamped by the server before Submit — feeds
+  /// the queue-wait stage histogram (ga::telemetry) and the response's
+  /// queue_wait_ms. Purely observational: the admit/shed decision never
+  /// reads it, so shedding stays clock-free and deterministic.
+  std::chrono::steady_clock::time_point enqueued_at{};
 };
 
 enum class AdmitOutcome {

@@ -18,11 +18,14 @@ Result<Request> ParseRequest(const std::string& line) {
     request.op = RequestOp::kCancel;
   } else if (op == "stats") {
     request.op = RequestOp::kStats;
+  } else if (op == "metrics") {
+    request.op = RequestOp::kMetrics;
   } else {
     return Status::InvalidArgument("unknown op \"" + op + "\"");
   }
   request.id = doc.GetString("id");
-  if (request.op != RequestOp::kStats && request.id.empty()) {
+  if (request.op != RequestOp::kStats && request.op != RequestOp::kMetrics &&
+      request.id.empty()) {
     return Status::InvalidArgument("request needs an \"id\"");
   }
   if (request.op != RequestOp::kRun) return request;
@@ -71,6 +74,12 @@ std::string FormatResponse(const Response& response) {
     json.Field("supersteps", response.supersteps);
     json.Field("validated", response.validated);
   }
+  if (response.queue_wait_ms >= 0.0) {
+    json.Field("queue_wait_ms", response.queue_wait_ms);
+    json.Field("load_ms", response.load_ms);
+    json.Field("exec_ms", response.exec_ms);
+  }
+  if (!response.body.empty()) json.Field("body", response.body);
   json.EndObject();
   std::string rendered = json.str();
   if (!response.stats_json.empty()) {

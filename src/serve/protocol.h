@@ -7,7 +7,9 @@
 // Requests:
 //   {"op":"run","id":"r1","algorithm":"bfs","dataset":"R1", ...}
 //   {"op":"cancel","id":"r1"}           cancel an in-flight request
-//   {"op":"stats"}                      server counters snapshot
+//   {"op":"stats"}                      server counters snapshot (JSON)
+//   {"op":"metrics"}                    Prometheus text exposition,
+//                                       carried in the response's "body"
 //
 // Responses echo the request id and carry a status slug from the
 // JobOutcome/StatusCode taxonomy plus, for shed requests, a
@@ -23,7 +25,7 @@
 
 namespace ga::serve {
 
-enum class RequestOp { kRun, kCancel, kStats };
+enum class RequestOp { kRun, kCancel, kStats, kMetrics };
 
 struct Request {
   RequestOp op = RequestOp::kRun;
@@ -70,8 +72,18 @@ struct Response {
   double makespan_seconds = 0.0;
   int supersteps = 0;
   bool validated = false;
+  /// Completed runs: host wall-clock spent in each lifecycle stage —
+  /// waiting in the admission queue, acquiring residency (snapshot
+  /// load), executing the job. Emitted when queue_wait_ms >= 0 (the
+  /// server always stamps them; hand-built responses leave them -1).
+  double queue_wait_ms = -1.0;
+  double load_ms = -1.0;
+  double exec_ms = -1.0;
   /// stats responses: pre-rendered JSON object (spliced verbatim).
   std::string stats_json;
+  /// metrics responses: Prometheus text exposition, carried as one JSON
+  /// string field so the one-line-per-response framing holds.
+  std::string body;
 };
 
 /// Renders a response as one JSON line (no trailing newline).

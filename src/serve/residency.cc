@@ -44,6 +44,10 @@ bool SnapshotResidency::MakeRoomLocked(std::int64_t needed) {
     resident_bytes_ -= victim->second.bytes;
     entries_.erase(victim);
     ++evictions_;
+    if (telemetry_.evictions != nullptr) telemetry_.evictions->Add(1);
+    if (telemetry_.resident_bytes != nullptr) {
+      telemetry_.resident_bytes->Set(resident_bytes_);
+    }
   }
   return true;
 }
@@ -63,7 +67,10 @@ Result<std::shared_ptr<const Graph>> SnapshotResidency::Acquire(
       Entry& entry = it->second;
       entry.last_use = ++use_clock_;
       ++entry.pins;
-      if (!just_loaded) ++hits_;
+      if (!just_loaded) {
+        ++hits_;
+        if (telemetry_.hits != nullptr) telemetry_.hits->Add(1);
+      }
       // The handle's deleter unpins under the lock and wakes waiters;
       // the captured `keep` guarantees the graph outlives the handle
       // even if the residency map no longer holds the entry.
@@ -108,6 +115,10 @@ Result<std::shared_ptr<const Graph>> SnapshotResidency::Acquire(
     entry.last_use = ++use_clock_;
     resident_bytes_ += estimate;
     ++misses_;
+    if (telemetry_.misses != nullptr) telemetry_.misses->Add(1);
+    if (telemetry_.resident_bytes != nullptr) {
+      telemetry_.resident_bytes->Set(resident_bytes_);
+    }
     lock.unlock();
     auto loaded = loader_(id);
     lock.lock();
@@ -116,6 +127,9 @@ Result<std::shared_ptr<const Graph>> SnapshotResidency::Acquire(
       if (loading_it != entries_.end()) {
         resident_bytes_ -= loading_it->second.bytes;
         entries_.erase(loading_it);
+        if (telemetry_.resident_bytes != nullptr) {
+          telemetry_.resident_bytes->Set(resident_bytes_);
+        }
       }
       released_.notify_all();
       return loaded.status();
@@ -124,6 +138,9 @@ Result<std::shared_ptr<const Graph>> SnapshotResidency::Acquire(
     if (budget_bytes_ > 0 && actual > budget_bytes_) {
       resident_bytes_ -= loading_it->second.bytes;
       entries_.erase(loading_it);
+      if (telemetry_.resident_bytes != nullptr) {
+        telemetry_.resident_bytes->Set(resident_bytes_);
+      }
       released_.notify_all();
       return Status::ResourceExhausted(
           "dataset " + id + " is " + std::to_string(actual) +
@@ -131,6 +148,9 @@ Result<std::shared_ptr<const Graph>> SnapshotResidency::Acquire(
           "-byte residency budget");
     }
     resident_bytes_ += actual - loading_it->second.bytes;
+    if (telemetry_.resident_bytes != nullptr) {
+      telemetry_.resident_bytes->Set(resident_bytes_);
+    }
     loading_it->second.bytes = actual;
     loading_it->second.graph = std::move(*loaded);
     loading_it->second.loading = false;
@@ -153,6 +173,10 @@ void SnapshotResidency::EvictIdle() {
         resident_bytes_ -= it->second.bytes;
         it = entries_.erase(it);
         ++evictions_;
+        if (telemetry_.evictions != nullptr) telemetry_.evictions->Add(1);
+        if (telemetry_.resident_bytes != nullptr) {
+          telemetry_.resident_bytes->Set(resident_bytes_);
+        }
       } else {
         ++it;
       }

@@ -38,8 +38,19 @@
 #include "core/exec/cancel.h"
 #include "core/graph.h"
 #include "core/status.h"
+#include "telemetry/metrics.h"
 
 namespace ga::serve {
+
+/// Optional lock-free mirrors of the residency counters (ga::telemetry).
+/// Null members are skipped; the internal int64 counters stay
+/// authoritative for StatsSnapshot and the residency tests.
+struct ResidencyTelemetry {
+  telemetry::Counter* hits = nullptr;
+  telemetry::Counter* misses = nullptr;
+  telemetry::Counter* evictions = nullptr;
+  telemetry::Gauge* resident_bytes = nullptr;
+};
 
 /// Bytes a graph keeps resident: the sum of its array views (for
 /// storage-backed graphs this is the mapped snapshot's payload; the
@@ -78,6 +89,13 @@ class SnapshotResidency {
   /// order through this.
   std::vector<std::string> ResidentIds() const;
 
+  /// Installs telemetry mirrors (the server wires these to its metric
+  /// registry). Call before the first Acquire; instruments must outlive
+  /// this object.
+  void set_telemetry(const ResidencyTelemetry& telemetry) {
+    telemetry_ = telemetry;
+  }
+
  private:
   struct Entry {
     std::shared_ptr<const Graph> graph;  // null while loading
@@ -94,6 +112,7 @@ class SnapshotResidency {
   const std::int64_t budget_bytes_;
   Loader loader_;
   SizeEstimator estimator_;
+  ResidencyTelemetry telemetry_;
 
   mutable std::mutex mutex_;
   std::condition_variable released_;

@@ -6,23 +6,38 @@
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstring>
+#include <fstream>
 
 #include "algo/output.h"
 #include "algo/reference.h"
+#include "core/exec/counter_sheet.h"
 #include "core/json_writer.h"
 #include "faults/faults.h"
 #include "harness/results_db.h"
 #include "platforms/platform.h"
 #include "store/snapshot.h"
+#include "telemetry/metrics.h"
 
 namespace ga::serve {
 
 namespace {
 
 using Clock = std::chrono::steady_clock;
+
+/// Stage histograms record integer microseconds; the registry's 1e-6
+/// unit scale exposes them as Prometheus base-unit seconds.
+std::int64_t ElapsedMicros(Clock::time_point begin, Clock::time_point end) {
+  return std::chrono::duration_cast<std::chrono::microseconds>(end - begin)
+      .count();
+}
+
+double MicrosToMs(std::int64_t micros) {
+  return static_cast<double>(micros) / 1000.0;
+}
 
 std::string FnvHex(const std::string& text) {
   char hex[17];
@@ -106,6 +121,73 @@ Server::Server(const ServeOptions& options)
         if (!spec.ok()) return 0;
         return EstimateDatasetBytes(*spec, options_.bench.scale_divisor);
       });
+  RegisterInstruments();
+}
+
+void Server::RegisterInstruments() {
+  // Registration allocates and takes the registry mutex — done once
+  // here; every request-path Add/Record afterwards is lock-free and
+  // allocation-free through these cached pointers.
+  metrics_.completed = telemetry_registry_.GetCounter(
+      "ga_serve_requests_total", {{"outcome", "completed"}},
+      "Requests finished, by terminal outcome.");
+  metrics_.failed = telemetry_registry_.GetCounter("ga_serve_requests_total",
+                                         {{"outcome", "failed"}});
+  metrics_.cancelled = telemetry_registry_.GetCounter("ga_serve_requests_total",
+                                            {{"outcome", "cancelled"}});
+  metrics_.timed_out = telemetry_registry_.GetCounter("ga_serve_requests_total",
+                                            {{"outcome", "timed-out"}});
+  metrics_.faulted = telemetry_registry_.GetCounter(
+      "ga_serve_faulted_requests_total", {},
+      "Requests that carried a fault-injection plan.");
+  const std::string stage_help =
+      "Host wall-clock per request lifecycle stage, seconds.";
+  metrics_.stage_queue_wait = telemetry_registry_.GetHistogram(
+      "ga_serve_stage_seconds", {{"stage", "queue_wait"}}, stage_help, 1e-6);
+  metrics_.stage_load = telemetry_registry_.GetHistogram(
+      "ga_serve_stage_seconds", {{"stage", "load"}}, stage_help, 1e-6);
+  metrics_.stage_execute = telemetry_registry_.GetHistogram(
+      "ga_serve_stage_seconds", {{"stage", "execute"}}, stage_help, 1e-6);
+  metrics_.stage_serialize = telemetry_registry_.GetHistogram(
+      "ga_serve_stage_seconds", {{"stage", "serialize"}}, stage_help, 1e-6);
+  metrics_.inflight = telemetry_registry_.GetGauge(
+      "ga_serve_inflight_jobs", {}, "Jobs currently on an executor.");
+  metrics_.queue_depth = telemetry_registry_.GetGauge(
+      "ga_serve_queue_depth", {}, "Admitted jobs waiting for an executor.");
+  metrics_.exec_loops = telemetry_registry_.GetCounter(
+      "ga_exec_loops_total", {},
+      "parallel_for/parallel_reduce dispatches across served jobs.");
+  metrics_.exec_chunks = telemetry_registry_.GetCounter(
+      "ga_exec_chunks_total", {},
+      "Work-stealing chunks executed across served jobs.");
+  metrics_.exec_busy_ns = telemetry_registry_.GetCounter(
+      "ga_exec_chunk_busy_ns_total", {},
+      "Nanoseconds of slot busy time across served jobs.");
+  metrics_.exec_steals = telemetry_registry_.GetCounter(
+      "ga_exec_steals_total", {},
+      "Chunks stolen across executor pools during served jobs.");
+  ResidencyTelemetry residency_telemetry;
+  residency_telemetry.hits = telemetry_registry_.GetCounter(
+      "ga_serve_residency_total", {{"event", "hit"}},
+      "Residency cache events (hit/miss/eviction).");
+  residency_telemetry.misses = telemetry_registry_.GetCounter(
+      "ga_serve_residency_total", {{"event", "miss"}});
+  residency_telemetry.evictions = telemetry_registry_.GetCounter(
+      "ga_serve_residency_total", {{"event", "eviction"}});
+  residency_telemetry.resident_bytes = telemetry_registry_.GetGauge(
+      "ga_serve_resident_bytes", {},
+      "Bytes of dataset graphs currently resident.");
+  residency_->set_telemetry(residency_telemetry);
+}
+
+void Server::CountAdmission(const char* decision, int priority) {
+  if (!telemetry::Enabled()) return;
+  telemetry_registry_
+      .GetCounter("ga_serve_admission_total",
+                  {{"decision", decision},
+                   {"priority", std::to_string(priority)}},
+                  "Admission decisions, by decision and request priority.")
+      ->Add(1);
 }
 
 Server::~Server() {
@@ -134,6 +216,9 @@ Status Server::Start() {
   registry_.set_host_pool(loader_pool_.get());
   for (int i = 0; i < options_.workers; ++i) {
     executors_.emplace_back([this, i] { ExecutorLoop(i); });
+  }
+  if (!options_.metrics_jsonl.empty()) {
+    metrics_sampler_ = std::thread([this] { MetricsSamplerLoop(); });
   }
 
   if (options_.socket_path.empty()) return Status::Ok();
@@ -196,10 +281,14 @@ void Server::Submit(const Request& request,
   job.request = request;
   job.cancel = token;
   job.respond = respond;
+  job.enqueued_at = Clock::now();
   AdmitDecision decision = queue_->Submit(std::move(job));
+  metrics_.queue_depth->Set(queue_->depth());
   switch (decision.outcome) {
     case AdmitOutcome::kAdmitted:
+      CountAdmission("admitted", request.priority);
       if (decision.victim.has_value()) {
+        CountAdmission("displaced", decision.victim->request.priority);
         FinishRequest(decision.victim->request.id);
         if (decision.victim->respond) {
           decision.victim->respond(ShedResponse(
@@ -209,6 +298,7 @@ void Server::Submit(const Request& request,
       }
       return;
     case AdmitOutcome::kShed:
+      CountAdmission("shed", request.priority);
       FinishRequest(id);
       respond(ShedResponse(id, decision.retry_after_ms,
                            "admission queue full"));
@@ -241,11 +331,14 @@ Response Server::Cancel(const std::string& id, const std::string& reason) {
 }
 
 ServeStats Server::StatsSnapshot() {
+  // Assembled from the lock-free registry instruments — there is no
+  // stats mutex anywhere on the request path.
   ServeStats snapshot;
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    snapshot = stats_;
-  }
+  snapshot.completed = metrics_.completed->Value();
+  snapshot.failed = metrics_.failed->Value();
+  snapshot.cancelled = metrics_.cancelled->Value();
+  snapshot.timed_out = metrics_.timed_out->Value();
+  snapshot.faulted_requests = metrics_.faulted->Value();
   snapshot.queue = queue_->stats();
   snapshot.resident_bytes = residency_->resident_bytes();
   snapshot.evictions = residency_->evictions();
@@ -273,10 +366,43 @@ Response Server::Stats() {
   json.Field("evictions", stats.evictions);
   json.Field("residency_hits", stats.residency_hits);
   json.Field("residency_misses", stats.residency_misses);
+  json.Field("inflight", metrics_.inflight->Value());
+  json.Field("queue_capacity", options_.queue_capacity);
+  json.Field("workers", options_.workers);
+  json.Field("service_ewma_ms", stats.queue.service_ewma_ms);
+  // Per-stage latency distributions (milliseconds; recorded in µs).
+  json.Key("stages");
+  json.BeginObject();
+  const std::pair<const char*, telemetry::Histogram*> stages[] = {
+      {"queue_wait", metrics_.stage_queue_wait},
+      {"load", metrics_.stage_load},
+      {"execute", metrics_.stage_execute},
+      {"serialize", metrics_.stage_serialize},
+  };
+  for (const auto& [name, histogram] : stages) {
+    const telemetry::Histogram::Snapshot dist = histogram->Take();
+    json.Key(name);
+    json.BeginObject();
+    json.Field("count", dist.count);
+    json.Field("mean_ms", dist.MeanValue() / 1000.0);
+    json.Field("p50_ms", dist.Quantile(0.50) / 1000.0);
+    json.Field("p90_ms", dist.Quantile(0.90) / 1000.0);
+    json.Field("p99_ms", dist.Quantile(0.99) / 1000.0);
+    json.EndObject();
+  }
+  json.EndObject();
   json.EndObject();
   Response response;
   response.status = "stats";
   response.stats_json = json.str();
+  return response;
+}
+
+Response Server::Metrics() {
+  Response response;
+  response.status = "metrics";
+  response.body = telemetry::Registry::Global().RenderPrometheus() +
+                  telemetry_registry_.RenderPrometheus();
   return response;
 }
 
@@ -307,6 +433,12 @@ Status Server::Drain() {
   for (std::thread& executor : executors_) {
     if (executor.joinable()) executor.join();
   }
+  {
+    std::lock_guard<std::mutex> lock(sampler_mutex_);
+    sampler_stop_ = true;
+  }
+  sampler_cv_.notify_all();
+  if (metrics_sampler_.joinable()) metrics_sampler_.join();
   if (acceptor_.joinable()) acceptor_.join();
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
@@ -356,6 +488,15 @@ void Server::ExecutorLoop(int worker_index) {
 
 void Server::ExecuteJob(PendingJob job, exec::ThreadPool* pool) {
   const auto start = Clock::now();
+  // Queue-wait stage: submit-stamp to executor pickup. In-process tests
+  // that hand-build PendingJobs leave enqueued_at default; skip those.
+  std::int64_t queue_wait_us = -1;
+  if (job.enqueued_at != Clock::time_point{}) {
+    queue_wait_us = ElapsedMicros(job.enqueued_at, start);
+    metrics_.stage_queue_wait->Record(queue_wait_us);
+  }
+  metrics_.queue_depth->Set(queue_->depth());
+  metrics_.inflight->Add(1);
   Response response;
   if (job.cancel != nullptr && job.cancel->stop_requested()) {
     // Cancelled or expired while queued: never touches an executor slot
@@ -364,23 +505,26 @@ void Server::ExecuteJob(PendingJob job, exec::ThreadPool* pool) {
   } else {
     response = RunRequest(job.request, job.cancel.get(), pool);
   }
+  metrics_.inflight->Add(-1);
   const double service_ms =
       std::chrono::duration<double, std::milli>(Clock::now() - start)
           .count();
   queue_->OnJobFinished(service_ms);
-  {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
-    if (response.status == "completed") {
-      ++stats_.completed;
-    } else if (response.status == "cancelled") {
-      ++stats_.cancelled;
-    } else if (response.status == "timed-out") {
-      ++stats_.timed_out;
+  if (response.status == "completed") {
+    metrics_.completed->Add(1);
+    if (queue_wait_us >= 0) {
+      response.queue_wait_ms = MicrosToMs(queue_wait_us);
     } else {
-      ++stats_.failed;
+      response.queue_wait_ms = 0.0;
     }
-    if (!job.request.faults.empty()) ++stats_.faulted_requests;
+  } else if (response.status == "cancelled") {
+    metrics_.cancelled->Add(1);
+  } else if (response.status == "timed-out") {
+    metrics_.timed_out->Add(1);
+  } else {
+    metrics_.failed->Add(1);
   }
+  if (!job.request.faults.empty()) metrics_.faulted->Add(1);
   RecordReport(job.request, response, response.tproc_seconds);
   FinishRequest(job.request.id);
   if (job.respond) job.respond(response);
@@ -401,6 +545,7 @@ Response Server::RunRequest(const Request& request,
     if (!plan.ok()) return ErrorResponse(request.id, plan.status());
     fault_plan = *plan;
   }
+  const auto load_begin = Clock::now();
   auto graph_handle = residency_->Acquire(request.dataset, cancel);
   if (!graph_handle.ok()) {
     Response response = ErrorResponse(request.id, graph_handle.status());
@@ -409,6 +554,8 @@ Response Server::RunRequest(const Request& request,
     }
     return response;
   }
+  const std::int64_t load_us = ElapsedMicros(load_begin, Clock::now());
+  metrics_.stage_load->Record(load_us);
   const Graph& graph = **graph_handle;
   const AlgorithmParams params = ParamsFromGraph(graph);
 
@@ -421,6 +568,17 @@ Response Server::RunRequest(const Request& request,
   env.host_pool = pool;
   env.cancel = cancel;
 
+  // Aggregate-only exec counters ride the deep-tracing hooks without
+  // spans or allocation; purely observational, so outputs stay
+  // byte-identical with telemetry on or off.
+  exec::CounterSheet sheet;
+  if (telemetry::Enabled()) {
+    sheet.Enable(/*retain_spans=*/false);
+    env.metrics_sheet = &sheet;
+  }
+  const std::uint64_t steal_base = pool != nullptr ? pool->TotalSteals() : 0;
+
+  const auto exec_begin = Clock::now();
   Result<platform::RunResult> run = [&]() -> Result<platform::RunResult> {
     if (fault_plan.has_value()) {
       // Chaos isolation: the fault injector is process-global, so a
@@ -434,12 +592,31 @@ Response Server::RunRequest(const Request& request,
     std::shared_lock<std::shared_mutex> shared(exec_mutex_);
     return (*platform)->RunJob(graph, request.algorithm, params, env);
   }();
+  const std::int64_t exec_us = ElapsedMicros(exec_begin, Clock::now());
+  metrics_.stage_execute->Record(exec_us);
+  if (sheet.enabled()) {
+    // One serial fold after the job; job_totals absorbs every row.
+    sheet.FlushStep(0, nullptr);
+    const exec::CounterSheet::StepTotals& totals = sheet.job_totals();
+    metrics_.exec_loops->Add(static_cast<std::int64_t>(totals.loops));
+    metrics_.exec_chunks->Add(static_cast<std::int64_t>(totals.chunks));
+    metrics_.exec_busy_ns->Add(totals.busy_ns);
+    if (pool != nullptr) {
+      metrics_.exec_steals->Add(
+          static_cast<std::int64_t>(pool->TotalSteals() - steal_base));
+    }
+  }
   if (!run.ok()) return ErrorResponse(request.id, run.status());
 
   Response response;
   response.id = request.id;
   response.status = "completed";
+  response.load_ms = MicrosToMs(load_us);
+  response.exec_ms = MicrosToMs(exec_us);
+  const auto serialize_begin = Clock::now();
   response.output_fnv = FnvHex(FormatOutput(graph, run->output));
+  metrics_.stage_serialize->Record(
+      ElapsedMicros(serialize_begin, Clock::now()));
   response.tproc_seconds =
       options_.bench.Project(run->metrics.processing_sim_seconds);
   response.makespan_seconds =
@@ -580,6 +757,44 @@ void Server::HandleLine(Connection* connection, const std::string& line) {
     case RequestOp::kStats:
       WriteResponse(connection, Stats());
       return;
+    case RequestOp::kMetrics:
+      WriteResponse(connection, Metrics());
+      return;
+  }
+}
+
+void Server::MetricsSamplerLoop() {
+  const auto interval =
+      std::chrono::milliseconds(std::max(options_.metrics_interval_ms, 10));
+  std::unique_lock<std::mutex> lock(sampler_mutex_);
+  for (;;) {
+    if (sampler_cv_.wait_for(lock, interval,
+                             [this] { return sampler_stop_; })) {
+      return;
+    }
+    lock.unlock();
+    // One JSON object per line: a wall timestamp plus the JSON
+    // exposition of the global and server registries.
+    JsonWriter json;
+    json.BeginObject();
+    json.Field(
+        "ts_ms",
+        static_cast<std::int64_t>(
+            std::chrono::duration_cast<std::chrono::milliseconds>(
+                std::chrono::system_clock::now().time_since_epoch())
+                .count()));
+    json.Key("global");
+    json.BeginObject();
+    telemetry::Registry::Global().RenderJson(&json);
+    json.EndObject();
+    json.Key("server");
+    json.BeginObject();
+    telemetry_registry_.RenderJson(&json);
+    json.EndObject();
+    json.EndObject();
+    std::ofstream out(options_.metrics_jsonl, std::ios::app);
+    if (out) out << json.str() << "\n";
+    lock.lock();
   }
 }
 

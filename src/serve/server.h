@@ -28,6 +28,7 @@
 #define GRAPHALYTICS_SERVE_SERVER_H_
 
 #include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <functional>
 #include <map>
@@ -44,6 +45,7 @@
 #include "serve/admission.h"
 #include "serve/protocol.h"
 #include "serve/residency.h"
+#include "telemetry/registry.h"
 
 namespace ga::serve {
 
@@ -67,6 +69,10 @@ struct ServeOptions {
   /// Append-only .jsonl results log (harness::AppendRecord); empty
   /// disables. Safe across concurrent daemons.
   std::string results_jsonl;
+  /// Periodic telemetry snapshots, one JSON object per line, appended to
+  /// this path every metrics_interval_ms; empty disables the sampler.
+  std::string metrics_jsonl;
+  int metrics_interval_ms = 1000;
   enum class DrainPolicy {
     kFinish,  // complete queued + running jobs, then exit
     kCancel,  // cancel queued + running jobs, then exit
@@ -113,6 +119,11 @@ class Server {
   Response Stats();
   ServeStats StatsSnapshot();
 
+  /// Prometheus text exposition (telemetry::Registry::Global() plus this
+  /// server's own registry) as a response with body filled.
+  Response Metrics();
+  telemetry::Registry& metrics_registry() { return telemetry_registry_; }
+
   /// Signal-safe drain trigger: flips a flag and pokes the acceptor.
   /// The CLI's signal handler calls this; Run() (or a Drain() caller)
   /// notices and performs the actual drain.
@@ -142,6 +153,13 @@ class Server {
     std::vector<std::string> request_ids;  // cancelled on disconnect
     std::mutex ids_mutex;
   };
+
+  void RegisterInstruments();
+  void MetricsSamplerLoop();
+  /// Lazily registered `ga_serve_admission_total{decision,priority}`
+  /// series (priority values are client-chosen, so the label set is
+  /// discovered at runtime; the registry caches each series).
+  void CountAdmission(const char* decision, int priority);
 
   void ExecutorLoop(int worker_index);
   void ExecuteJob(PendingJob job, exec::ThreadPool* pool);
@@ -191,8 +209,34 @@ class Server {
   std::atomic<bool> drained_{false};
   bool started_ = false;
 
-  std::mutex stats_mutex_;
-  ServeStats stats_;
+  /// Per-server metric registry (tests spin up many servers per process;
+  /// a shared global registry would bleed counts between them). The
+  /// exposition endpoints render Global() + this. All request-path
+  /// counters live here — there is no mutex-guarded stats struct; the
+  /// ServeStats snapshot is assembled from these lock-free instruments.
+  telemetry::Registry telemetry_registry_;
+  struct Instruments {
+    telemetry::Counter* completed = nullptr;
+    telemetry::Counter* failed = nullptr;
+    telemetry::Counter* cancelled = nullptr;
+    telemetry::Counter* timed_out = nullptr;
+    telemetry::Counter* faulted = nullptr;
+    telemetry::Histogram* stage_queue_wait = nullptr;  // microseconds
+    telemetry::Histogram* stage_load = nullptr;
+    telemetry::Histogram* stage_execute = nullptr;
+    telemetry::Histogram* stage_serialize = nullptr;
+    telemetry::Gauge* inflight = nullptr;
+    telemetry::Gauge* queue_depth = nullptr;
+    telemetry::Counter* exec_loops = nullptr;
+    telemetry::Counter* exec_chunks = nullptr;
+    telemetry::Counter* exec_busy_ns = nullptr;
+    telemetry::Counter* exec_steals = nullptr;
+  } metrics_;
+
+  std::thread metrics_sampler_;
+  std::mutex sampler_mutex_;
+  std::condition_variable sampler_cv_;
+  bool sampler_stop_ = false;
 };
 
 }  // namespace ga::serve

@@ -1,0 +1,52 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace ga::telemetry {
+
+namespace {
+std::atomic<bool> g_enabled{true};
+}  // namespace
+
+bool Enabled() { return g_enabled.load(std::memory_order_relaxed); }
+void SetEnabled(bool on) {
+  g_enabled.store(on, std::memory_order_relaxed);
+}
+
+namespace internal {
+unsigned ThisThreadOrdinal() {
+  static std::atomic<unsigned> next{0};
+  thread_local const unsigned ordinal =
+      next.fetch_add(1, std::memory_order_relaxed);
+  return ordinal;
+}
+}  // namespace internal
+
+double Histogram::Snapshot::Quantile(double q) const {
+  if (count <= 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  // 1-based rank of the q-quantile in the sorted multiset (nearest-rank
+  // definition; ceil keeps p100 == the maximum's bucket).
+  const std::int64_t rank = std::clamp<std::int64_t>(
+      static_cast<std::int64_t>(
+          std::ceil(q * static_cast<double>(count))),
+      1, count);
+  std::int64_t cumulative = 0;
+  for (int b = 0; b < kNumBuckets; ++b) {
+    const std::int64_t in_bucket = buckets[b];
+    if (in_bucket <= 0) continue;
+    if (cumulative + in_bucket >= rank) {
+      const double lower = static_cast<double>(BucketLowerBound(b));
+      const double upper = static_cast<double>(BucketUpperBound(b));
+      const double inside = static_cast<double>(rank - cumulative);
+      return lower +
+             (upper - lower) * (inside / static_cast<double>(in_bucket));
+    }
+    cumulative += in_bucket;
+  }
+  // Unreachable when buckets sum to count; tolerate racy snapshots.
+  return static_cast<double>(BucketUpperBound(kNumBuckets - 1));
+}
+
+}  // namespace ga::telemetry

@@ -1,0 +1,238 @@
+#include "telemetry/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/json_writer.h"
+
+namespace ga::telemetry {
+
+namespace {
+
+/// Canonical label serialization: sorted by key, Prometheus-escaped
+/// values. Doubles as the series map key, so label order at the call
+/// site never splits a series.
+std::string CanonicalLabelKey(Labels* labels) {
+  std::sort(labels->begin(), labels->end());
+  std::string key;
+  for (std::size_t i = 0; i < labels->size(); ++i) {
+    if (i > 0) key += ',';
+    key += (*labels)[i].first;
+    key += "=\"";
+    key += EscapeLabelValue((*labels)[i].second);
+    key += '"';
+  }
+  return key;
+}
+
+std::string FormatDouble(double value) {
+  char buffer[40];
+  std::snprintf(buffer, sizeof(buffer), "%.9g", value);
+  return buffer;
+}
+
+void AppendSample(std::string* out, const std::string& name,
+                  const std::string& label_key,
+                  const std::string& extra_label,
+                  const std::string& value) {
+  *out += name;
+  if (!label_key.empty() || !extra_label.empty()) {
+    *out += '{';
+    *out += label_key;
+    if (!label_key.empty() && !extra_label.empty()) *out += ',';
+    *out += extra_label;
+    *out += '}';
+  }
+  *out += ' ';
+  *out += value;
+  *out += '\n';
+}
+
+}  // namespace
+
+std::string EscapeLabelValue(std::string_view value) {
+  std::string escaped;
+  escaped.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': escaped += "\\\\"; break;
+      case '"': escaped += "\\\""; break;
+      case '\n': escaped += "\\n"; break;
+      default: escaped += c;
+    }
+  }
+  return escaped;
+}
+
+Registry& Registry::Global() {
+  static Registry* global = new Registry();
+  return *global;
+}
+
+Registry::Series* Registry::GetSeries(const std::string& name,
+                                      const Labels& labels,
+                                      const std::string& help,
+                                      MetricKind kind, double unit_scale) {
+  Labels canonical = labels;
+  std::string label_key = CanonicalLabelKey(&canonical);
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [family_it, family_inserted] = families_.try_emplace(name);
+  Family& family = family_it->second;
+  if (family_inserted) {
+    family.kind = kind;
+    family.help = help;
+    family.unit_scale = unit_scale;
+  } else if (family.kind != kind) {
+    return nullptr;  // kind clash: caller gets a detached dummy
+  } else if (family.help.empty() && !help.empty()) {
+    family.help = help;
+  }
+  auto [series_it, series_inserted] =
+      family.series.try_emplace(std::move(label_key));
+  Series& series = series_it->second;
+  if (series_inserted) {
+    series.label_key = series_it->first;
+    series.labels = std::move(canonical);
+    switch (kind) {
+      case MetricKind::kCounter:
+        series.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        series.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        series.histogram = std::make_unique<Histogram>();
+        break;
+    }
+  }
+  return &series;
+}
+
+Counter* Registry::GetCounter(const std::string& name, const Labels& labels,
+                              const std::string& help) {
+  Series* series =
+      GetSeries(name, labels, help, MetricKind::kCounter, 1.0);
+  if (series != nullptr) return series->counter.get();
+  static Counter* detached = new Counter();
+  return detached;
+}
+
+Gauge* Registry::GetGauge(const std::string& name, const Labels& labels,
+                          const std::string& help) {
+  Series* series = GetSeries(name, labels, help, MetricKind::kGauge, 1.0);
+  if (series != nullptr) return series->gauge.get();
+  static Gauge* detached = new Gauge();
+  return detached;
+}
+
+Histogram* Registry::GetHistogram(const std::string& name,
+                                  const Labels& labels,
+                                  const std::string& help,
+                                  double unit_scale) {
+  Series* series =
+      GetSeries(name, labels, help, MetricKind::kHistogram, unit_scale);
+  if (series != nullptr) return series->histogram.get();
+  static Histogram* detached = new Histogram();
+  return detached;
+}
+
+std::string Registry::RenderPrometheus() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::string out;
+  for (const auto& [name, family] : families_) {
+    if (!family.help.empty()) {
+      out += "# HELP " + name + " " + family.help + "\n";
+    }
+    out += "# TYPE " + name + " ";
+    switch (family.kind) {
+      case MetricKind::kCounter: out += "counter\n"; break;
+      case MetricKind::kGauge: out += "gauge\n"; break;
+      case MetricKind::kHistogram: out += "histogram\n"; break;
+    }
+    for (const auto& [label_key, series] : family.series) {
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          AppendSample(&out, name, label_key, "",
+                       std::to_string(series.counter->Value()));
+          break;
+        case MetricKind::kGauge:
+          AppendSample(&out, name, label_key, "",
+                       std::to_string(series.gauge->Value()));
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram::Snapshot snapshot = series.histogram->Take();
+          // Cumulative `le` buckets; empty buckets are elided (the
+          // cumulative counts stay correct — Prometheus allows any
+          // subset of boundaries), +Inf always closes the series.
+          std::int64_t cumulative = 0;
+          for (int b = 0; b < Histogram::kNumBuckets; ++b) {
+            if (snapshot.buckets[b] == 0) continue;
+            cumulative += snapshot.buckets[b];
+            const double le =
+                static_cast<double>(Histogram::BucketUpperBound(b)) *
+                family.unit_scale;
+            AppendSample(&out, name + "_bucket", label_key,
+                         "le=\"" + FormatDouble(le) + "\"",
+                         std::to_string(cumulative));
+          }
+          AppendSample(&out, name + "_bucket", label_key, "le=\"+Inf\"",
+                       std::to_string(snapshot.count));
+          AppendSample(&out, name + "_sum", label_key, "",
+                       FormatDouble(static_cast<double>(snapshot.sum) *
+                                    family.unit_scale));
+          AppendSample(&out, name + "_count", label_key, "",
+                       std::to_string(snapshot.count));
+          break;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+void Registry::RenderJson(JsonWriter* json) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [name, family] : families_) {
+    json->Key(name).BeginArray();
+    for (const auto& [label_key, series] : family.series) {
+      json->BeginObject();
+      if (!series.labels.empty()) {
+        json->Key("labels").BeginObject();
+        for (const auto& [key, value] : series.labels) {
+          json->Field(key, std::string_view(value));
+        }
+        json->EndObject();
+      }
+      switch (family.kind) {
+        case MetricKind::kCounter:
+          json->Field("value", series.counter->Value());
+          break;
+        case MetricKind::kGauge:
+          json->Field("value", series.gauge->Value());
+          break;
+        case MetricKind::kHistogram: {
+          const Histogram::Snapshot snapshot = series.histogram->Take();
+          json->Field("count", snapshot.count);
+          json->Field("sum", static_cast<double>(snapshot.sum) *
+                                 family.unit_scale);
+          json->Field("p50", snapshot.Quantile(0.50) * family.unit_scale);
+          json->Field("p90", snapshot.Quantile(0.90) * family.unit_scale);
+          json->Field("p99", snapshot.Quantile(0.99) * family.unit_scale);
+          break;
+        }
+      }
+      json->EndObject();
+    }
+    json->EndArray();
+  }
+}
+
+std::vector<std::string> Registry::FamilyNames() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(families_.size());
+  for (const auto& [name, family] : families_) names.push_back(name);
+  return names;
+}
+
+}  // namespace ga::telemetry

@@ -1,0 +1,116 @@
+// Process-wide metric registry: stable naming, label support, and the
+// exposition formats (Prometheus text, JSON) for ga::telemetry
+// instruments.
+//
+// Registration (GetCounter / GetGauge / GetHistogram) takes a mutex,
+// builds strings and may allocate — callers do it ONCE at startup and
+// cache the returned pointer; the instruments themselves are lock-free
+// and allocation-free to record (telemetry/metrics.h). Returned pointers
+// stay valid for the registry's lifetime (instruments are never removed).
+//
+// Naming follows the Prometheus conventions: families are
+// `ga_<subsystem>_<what>[_total|_bytes|_seconds]`, snake_case, with
+// labels for bounded dimensions (stage, outcome, priority). The same
+// (name, labels) pair always returns the same instrument; a name reused
+// with a different instrument kind returns a detached dummy instead of
+// corrupting the family (programming error, surfaced by the unit tests).
+//
+// There is one process-global registry (Registry::Global()) for
+// subsystem-wide metrics (store cache, harness retries), and components
+// that need isolation — each ga::serve::Server, unit tests — own private
+// instances and render global + own at exposition time.
+#ifndef GRAPHALYTICS_TELEMETRY_REGISTRY_H_
+#define GRAPHALYTICS_TELEMETRY_REGISTRY_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace ga {
+class JsonWriter;
+}
+
+namespace ga::telemetry {
+
+/// Label key/value pairs. Order-insensitive: the registry canonicalises
+/// by sorting on key, so {a=1,b=2} and {b=2,a=1} are the same series.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+class Registry {
+ public:
+  Registry() = default;
+  Registry(const Registry&) = delete;
+  Registry& operator=(const Registry&) = delete;
+
+  /// The process-global registry for subsystem-wide metrics.
+  static Registry& Global();
+
+  /// Finds or creates the (name, labels) series in a counter family.
+  /// `help` is retained from the first registration that supplies one.
+  Counter* GetCounter(const std::string& name, const Labels& labels = {},
+                      const std::string& help = "");
+  Gauge* GetGauge(const std::string& name, const Labels& labels = {},
+                  const std::string& help = "");
+  /// `unit_scale` multiplies recorded integer values at exposition time
+  /// (1e-6 exposes microsecond recordings as Prometheus base-unit
+  /// seconds). Fixed per family by the first registration.
+  Histogram* GetHistogram(const std::string& name,
+                          const Labels& labels = {},
+                          const std::string& help = "",
+                          double unit_scale = 1.0);
+
+  /// Prometheus text exposition format (version 0.0.4): HELP/TYPE per
+  /// family, one sample line per series, histogram families expanded to
+  /// cumulative `_bucket{le=...}` + `_sum` + `_count`. Families and
+  /// series render in sorted order, so equal registry contents render
+  /// byte-identically.
+  std::string RenderPrometheus() const;
+
+  /// JSON exposition: an object keyed by family name; counter/gauge
+  /// series carry `value`, histogram series carry count/sum (scaled) and
+  /// deterministic p50/p90/p99. Written into an already-open object
+  /// scope of `json`.
+  void RenderJson(JsonWriter* json) const;
+
+  /// Registered family names in render order (tests).
+  std::vector<std::string> FamilyNames() const;
+
+ private:
+  struct Series {
+    std::string label_key;  // canonical `k1="v1",k2="v2"` serialization
+    Labels labels;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  struct Family {
+    MetricKind kind = MetricKind::kCounter;
+    std::string help;
+    double unit_scale = 1.0;
+    /// Keyed and rendered by the canonical label serialization.
+    std::map<std::string, Series> series;
+  };
+
+  Series* GetSeries(const std::string& name, const Labels& labels,
+                    const std::string& help, MetricKind kind,
+                    double unit_scale);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Family> families_;
+};
+
+/// Escapes a label value for the Prometheus text format (backslash,
+/// double quote, newline).
+std::string EscapeLabelValue(std::string_view value);
+
+}  // namespace ga::telemetry
+
+#endif  // GRAPHALYTICS_TELEMETRY_REGISTRY_H_

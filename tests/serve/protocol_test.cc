@@ -50,6 +50,12 @@ TEST(ParseRequestTest, ParsesCancelAndStats) {
   EXPECT_EQ(stats->op, RequestOp::kStats);
 }
 
+TEST(ParseRequestTest, ParsesMetricsWithoutId) {
+  auto metrics = ParseRequest(R"({"op":"metrics"})");
+  ASSERT_TRUE(metrics.ok());
+  EXPECT_EQ(metrics->op, RequestOp::kMetrics);
+}
+
 TEST(ParseRequestTest, RejectsMalformedRequests) {
   for (const char* bad : {
            "not json",
@@ -110,6 +116,35 @@ TEST(FormatResponseTest, StatsJsonIsSplicedAsObject) {
   ASSERT_NE(spliced, nullptr);
   ASSERT_TRUE(spliced->is_object());
   EXPECT_DOUBLE_EQ(spliced->GetNumber("submitted"), 3.0);
+}
+
+TEST(FormatResponseTest, StageTimingsAppearOnlyWhenMeasured) {
+  Response response;
+  response.id = "r1";
+  response.status = "completed";
+  // Default (-1) queue_wait_ms means no staging was measured: no fields.
+  std::string line = FormatResponse(response);
+  EXPECT_EQ(line.find("queue_wait_ms"), std::string::npos);
+  response.queue_wait_ms = 0.25;
+  response.load_ms = 1.5;
+  response.exec_ms = 12.0;
+  auto doc = json::Parse(FormatResponse(response));
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_DOUBLE_EQ(doc->GetNumber("queue_wait_ms"), 0.25);
+  EXPECT_DOUBLE_EQ(doc->GetNumber("load_ms"), 1.5);
+  EXPECT_DOUBLE_EQ(doc->GetNumber("exec_ms"), 12.0);
+}
+
+TEST(FormatResponseTest, MetricsBodyRidesAsJsonString) {
+  Response response;
+  response.status = "metrics";
+  response.body = "# TYPE ga_x counter\nga_x 1\n";
+  const std::string line = FormatResponse(response);
+  // One-line framing survives: the newlines live inside a JSON string.
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto doc = json::Parse(line);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetString("body"), response.body);
 }
 
 TEST(ErrorResponseTest, MapsStatusCodesToProtocolSlugs) {

@@ -16,6 +16,7 @@
 
 #include "algo/output.h"
 #include "core/exec/thread_pool.h"
+#include "core/json_reader.h"
 #include "harness/dataset_registry.h"
 #include "platforms/platform.h"
 #include "store/snapshot.h"
@@ -314,6 +315,94 @@ void HandleDrainSignal(int) {
 // The CLI wires SIGINT/SIGTERM to RequestDrain (async-signal-safe: an
 // atomic store plus a self-pipe write); ServeUntilDrained picks the flag
 // up and performs the actual drain off the signal path.
+
+TEST(ServerTelemetryTest, CompletedResponseCarriesStageTimings) {
+  ResponseCollector collector;
+  Server server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  server.Submit(RunRequestFor("t1", "R1"), collector.Callback());
+  Response response = collector.WaitFor("t1");
+  ASSERT_EQ(response.status, "completed") << response.message;
+  EXPECT_GE(response.queue_wait_ms, 0.0);
+  EXPECT_GE(response.load_ms, 0.0);
+  EXPECT_GT(response.exec_ms, 0.0);
+  // The rendered line surfaces them for socket clients.
+  const std::string line = FormatResponse(response);
+  EXPECT_NE(line.find("\"queue_wait_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"load_ms\":"), std::string::npos);
+  EXPECT_NE(line.find("\"exec_ms\":"), std::string::npos);
+}
+
+TEST(ServerTelemetryTest, StatsExposeStageDistributionsAndEwma) {
+  ResponseCollector collector;
+  Server server(BaseOptions());
+  ASSERT_TRUE(server.Start().ok());
+  server.Submit(RunRequestFor("s1", "R1"), collector.Callback());
+  ASSERT_EQ(collector.WaitFor("s1").status, "completed");
+  Response stats = server.Stats();
+  ASSERT_EQ(stats.status, "stats");
+  auto doc = json::Parse(stats.stats_json);
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  EXPECT_EQ(doc->GetNumber("completed"), 1.0);
+  EXPECT_GT(doc->GetNumber("service_ewma_ms"), 0.0);
+  EXPECT_EQ(doc->GetNumber("workers"), 1.0);
+  const json::Value* stages = doc->Find("stages");
+  ASSERT_NE(stages, nullptr);
+  for (const char* stage : {"queue_wait", "load", "execute", "serialize"}) {
+    const json::Value* entry = stages->Find(stage);
+    ASSERT_NE(entry, nullptr) << stage;
+    EXPECT_EQ(entry->GetNumber("count"), 1.0) << stage;
+    EXPECT_GE(entry->GetNumber("p99_ms"), entry->GetNumber("p50_ms"))
+        << stage;
+  }
+}
+
+TEST(ServerTelemetryTest, MetricsExposesCoreSeriesInPrometheusFormat) {
+  ResponseCollector collector;
+  ServeOptions options = BaseOptions();
+  options.queue_capacity = 1;
+  Server server(options);
+  ASSERT_TRUE(server.Start().ok());
+  server.Submit(RunRequestFor("m1", "R1"), collector.Callback());
+  ASSERT_EQ(collector.WaitFor("m1").status, "completed");
+  Response metrics = server.Metrics();
+  ASSERT_EQ(metrics.status, "metrics");
+  const std::string& body = metrics.body;
+  EXPECT_NE(body.find("# TYPE ga_serve_requests_total counter"),
+            std::string::npos);
+  EXPECT_NE(body.find("ga_serve_requests_total{outcome=\"completed\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("# TYPE ga_serve_stage_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(
+      body.find("ga_serve_stage_seconds_count{stage=\"execute\"} 1"),
+      std::string::npos);
+  EXPECT_NE(body.find("ga_serve_admission_total"), std::string::npos);
+  EXPECT_NE(body.find("ga_serve_residency_total{event=\"miss\"} 1"),
+            std::string::npos);
+  EXPECT_NE(body.find("ga_exec_chunks_total"), std::string::npos);
+  // The rendered response keeps the one-line framing: the exposition
+  // rides in a JSON string field.
+  const std::string line = FormatResponse(metrics);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  auto parsed = json::Parse(line);
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->GetString("body"), body);
+}
+
+TEST(ServerTelemetryTest, ServersKeepIsolatedCounters) {
+  // Two servers in one process must not bleed request counts into each
+  // other (the per-server registry contract).
+  ResponseCollector collector;
+  Server first(BaseOptions());
+  Server second(BaseOptions());
+  ASSERT_TRUE(first.Start().ok());
+  first.Submit(RunRequestFor("x1", "R1"), collector.Callback());
+  ASSERT_EQ(collector.WaitFor("x1").status, "completed");
+  EXPECT_EQ(first.StatsSnapshot().completed, 1);
+  EXPECT_EQ(second.StatsSnapshot().completed, 0);
+}
+
 TEST(ServerTest, SigtermTriggersGracefulDrain) {
   ResponseCollector collector;
   Server server(BaseOptions());

@@ -1,0 +1,161 @@
+// ga::telemetry registry tests: series identity, label canonicalisation,
+// kind-clash isolation, and both exposition formats (Prometheus text
+// 0.0.4 structure, JSON that round-trips through the repo's own parser).
+#include "telemetry/registry.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "core/json_reader.h"
+#include "core/json_writer.h"
+
+namespace ga::telemetry {
+namespace {
+
+TEST(RegistryTest, SameNameAndLabelsReturnTheSameInstrument) {
+  Registry registry;
+  Counter* a = registry.GetCounter("ga_test_total", {{"k", "v"}});
+  Counter* b = registry.GetCounter("ga_test_total", {{"k", "v"}});
+  EXPECT_EQ(a, b);
+  Counter* other = registry.GetCounter("ga_test_total", {{"k", "w"}});
+  EXPECT_NE(a, other);
+}
+
+TEST(RegistryTest, LabelOrderDoesNotSplitSeries) {
+  Registry registry;
+  Counter* a =
+      registry.GetCounter("ga_test_total", {{"a", "1"}, {"b", "2"}});
+  Counter* b =
+      registry.GetCounter("ga_test_total", {{"b", "2"}, {"a", "1"}});
+  EXPECT_EQ(a, b);
+}
+
+TEST(RegistryTest, KindClashReturnsDetachedInstrument) {
+  Registry registry;
+  Counter* counter = registry.GetCounter("ga_test_total");
+  counter->Add(3);
+  // Re-registering the family under a different kind is a programming
+  // error; the caller gets a usable dummy and the family is untouched.
+  Gauge* dummy = registry.GetGauge("ga_test_total");
+  ASSERT_NE(dummy, nullptr);
+  dummy->Set(99);
+  const std::string rendered = registry.RenderPrometheus();
+  EXPECT_NE(rendered.find("# TYPE ga_test_total counter"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("ga_test_total 3"), std::string::npos);
+  EXPECT_EQ(rendered.find("99"), std::string::npos);
+}
+
+TEST(RegistryTest, HelpIsRetainedFromFirstNonEmptyRegistration) {
+  Registry registry;
+  registry.GetCounter("ga_test_total", {{"k", "a"}});
+  registry.GetCounter("ga_test_total", {{"k", "b"}}, "What it counts.");
+  const std::string rendered = registry.RenderPrometheus();
+  EXPECT_NE(rendered.find("# HELP ga_test_total What it counts."),
+            std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusRenderStructure) {
+  Registry registry;
+  registry.GetCounter("ga_requests_total", {{"outcome", "completed"}},
+                      "Finished requests.")
+      ->Add(7);
+  registry.GetGauge("ga_depth", {}, "Queue depth.")->Set(4);
+  const std::string rendered = registry.RenderPrometheus();
+  EXPECT_NE(rendered.find("# HELP ga_requests_total Finished requests.\n"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("# TYPE ga_requests_total counter\n"),
+            std::string::npos);
+  EXPECT_NE(
+      rendered.find("ga_requests_total{outcome=\"completed\"} 7\n"),
+      std::string::npos);
+  EXPECT_NE(rendered.find("# TYPE ga_depth gauge\n"), std::string::npos);
+  EXPECT_NE(rendered.find("ga_depth 4\n"), std::string::npos);
+}
+
+TEST(RegistryTest, PrometheusHistogramIsCumulativeAndScaled) {
+  Registry registry;
+  // Record microseconds, expose seconds (unit scale 1e-6).
+  Histogram* histogram = registry.GetHistogram(
+      "ga_stage_seconds", {{"stage", "load"}}, "Stage latency.", 1e-6);
+  histogram->Record(1000);     // 1 ms
+  histogram->Record(1000);
+  histogram->Record(1000000);  // 1 s
+  const std::string rendered = registry.RenderPrometheus();
+  EXPECT_NE(rendered.find("# TYPE ga_stage_seconds histogram"),
+            std::string::npos);
+  EXPECT_NE(rendered.find("ga_stage_seconds_count{stage=\"load\"} 3"),
+            std::string::npos);
+  // Sum: 1002000 us = 1.002 s.
+  EXPECT_NE(rendered.find("ga_stage_seconds_sum{stage=\"load\"} 1.002"),
+            std::string::npos);
+  // The +Inf bucket always closes the series with the total count.
+  EXPECT_NE(
+      rendered.find("ga_stage_seconds_bucket{stage=\"load\",le=\"+Inf\"} 3"),
+      std::string::npos);
+  // Bucket counts are cumulative and monotone: the last finite `le`
+  // line carries 3 (2 from 1ms + 1 from 1s).
+  const std::size_t one_second_bucket = rendered.rfind("le=\"1.");
+  ASSERT_NE(one_second_bucket, std::string::npos);
+  const std::size_t line_end = rendered.find('\n', one_second_bucket);
+  const std::string line =
+      rendered.substr(one_second_bucket, line_end - one_second_bucket);
+  EXPECT_NE(line.find("} 3"), std::string::npos) << line;
+}
+
+TEST(RegistryTest, LabelValuesAreEscaped) {
+  Registry registry;
+  registry.GetCounter("ga_test_total", {{"path", "a\"b\\c\nd"}})->Add(1);
+  const std::string rendered = registry.RenderPrometheus();
+  EXPECT_NE(rendered.find("path=\"a\\\"b\\\\c\\nd\""), std::string::npos);
+}
+
+TEST(RegistryTest, JsonRenderParsesAndCarriesQuantiles) {
+  Registry registry;
+  registry.GetCounter("ga_requests_total", {{"outcome", "ok"}})->Add(5);
+  Histogram* histogram =
+      registry.GetHistogram("ga_stage_seconds", {{"stage", "x"}}, "", 1e-6);
+  for (int i = 0; i < 100; ++i) histogram->Record(2000);
+  JsonWriter json;
+  json.BeginObject();
+  registry.RenderJson(&json);
+  json.EndObject();
+  auto doc = json::Parse(json.str());
+  ASSERT_TRUE(doc.ok()) << doc.status().ToString();
+  const json::Value* requests = doc->Find("ga_requests_total");
+  ASSERT_NE(requests, nullptr);
+  ASSERT_TRUE(requests->is_array());
+  ASSERT_EQ(requests->array().size(), 1u);
+  EXPECT_EQ(requests->array()[0].GetNumber("value"), 5.0);
+  const json::Value* stages = doc->Find("ga_stage_seconds");
+  ASSERT_NE(stages, nullptr);
+  ASSERT_EQ(stages->array().size(), 1u);
+  const json::Value& stage = stages->array()[0];
+  EXPECT_EQ(stage.GetNumber("count"), 100.0);
+  // 2000 us recorded; p50 in seconds lands within the 2ms bucket.
+  EXPECT_GT(stage.GetNumber("p50"), 0.0015);
+  EXPECT_LT(stage.GetNumber("p50"), 0.0030);
+  const json::Value* labels = stage.Find("labels");
+  ASSERT_NE(labels, nullptr);
+  EXPECT_EQ(labels->GetString("stage"), "x");
+}
+
+TEST(RegistryTest, FamilyNamesAreSorted) {
+  Registry registry;
+  registry.GetCounter("ga_b_total");
+  registry.GetCounter("ga_a_total");
+  registry.GetGauge("ga_c");
+  const std::vector<std::string> names = registry.FamilyNames();
+  ASSERT_EQ(names.size(), 3u);
+  EXPECT_EQ(names[0], "ga_a_total");
+  EXPECT_EQ(names[1], "ga_b_total");
+  EXPECT_EQ(names[2], "ga_c");
+}
+
+TEST(RegistryTest, GlobalRegistryIsAProcessSingleton) {
+  EXPECT_EQ(&Registry::Global(), &Registry::Global());
+}
+
+}  // namespace
+}  // namespace ga::telemetry

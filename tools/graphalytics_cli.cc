@@ -48,8 +48,15 @@
 #include <filesystem>
 
 #include <csignal>
+#include <chrono>
+#include <thread>
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
 
 #include "core/exec/thread_pool.h"
+#include "core/json_reader.h"
 #include "core/strings.h"
 #include "faults/faults.h"
 #include "serve/server.h"
@@ -109,6 +116,9 @@ void PrintUsage(std::FILE* stream) {
       "         admission queue with deterministic load shedding,\n"
       "         per-request deadlines and cancellation, memory-budget\n"
       "         residency with LRU eviction, graceful SIGINT/SIGTERM drain\n"
+      "  top    live fleet view of a running serve daemon: queue depth,\n"
+      "         in-flight jobs, per-stage latency percentiles, shed rate,\n"
+      "         resident bytes vs budget (polls the stats op)\n"
       "\n"
       "run options:\n"
       "  --platforms a,b,...   platform ids (default: all six)\n"
@@ -175,8 +185,17 @@ void PrintUsage(std::FILE* stream) {
       "                        across concurrent writers)\n"
       "  --merge-results FILE  on drain, fold the --results log into a\n"
       "                        results-v1 JSON document at FILE\n"
+      "  --metrics-jsonl FILE  append a telemetry snapshot (one JSON line:\n"
+      "                        every ga_* metric) every interval\n"
+      "  --metrics-interval-ms N  sampler cadence (default: 1000)\n"
       "  --jobs N              host threads per executor\n"
       "  --data-dir DIR        persistent dataset cache, as above\n"
+      "\n"
+      "top options:\n"
+      "  --socket PATH         unix socket of the running daemon\n"
+      "  --interval-ms N       poll cadence (default: 1000)\n"
+      "  --frames N            exit after N frames (default: 0 = forever)\n"
+      "  --no-clear            append frames instead of redrawing\n"
       "\n"
       "resilience options (run + suite, docs/ROBUSTNESS.md):\n"
       "  --faults SPEC         deterministic fault injection, e.g.\n"
@@ -1109,6 +1128,15 @@ int ServeMode(const std::vector<std::string>& args) {
       options.results_jsonl = next();
     } else if (arg == "--merge-results") {
       merge_path = next();
+    } else if (arg == "--metrics-jsonl") {
+      options.metrics_jsonl = next();
+    } else if (arg == "--metrics-interval-ms") {
+      options.metrics_interval_ms = std::atoi(next());
+      if (options.metrics_interval_ms < 1) {
+        std::fprintf(stderr,
+                     "--metrics-interval-ms requires a positive integer\n");
+        return 2;
+      }
     } else if (arg == "--jobs") {
       if (!ParseJobs(next(), &jobs)) return 2;
     } else if (arg == "--data-dir") {
@@ -1188,6 +1216,183 @@ int ServeMode(const std::vector<std::string>& args) {
   return 0;
 }
 
+
+// ---------------------------------------------------------------------------
+// top mode: a live fleet view of a running daemon. A thin client: each
+// frame opens the unix socket, sends {"op":"stats"}, renders the JSON
+// snapshot, disconnects. Reconnect-per-frame keeps the client stateless
+// and survives daemon restarts between frames.
+
+/// One stats round-trip; empty string on any socket failure.
+std::string FetchStatsLine(const std::string& socket_path) {
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return "";
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (socket_path.size() >= sizeof(addr.sun_path)) {
+    ::close(fd);
+    return "";
+  }
+  std::strncpy(addr.sun_path, socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return "";
+  }
+  const std::string request = "{\"op\":\"stats\"}\n";
+  std::size_t written = 0;
+  while (written < request.size()) {
+    const ssize_t n = ::send(fd, request.data() + written,
+                             request.size() - written, MSG_NOSIGNAL);
+    if (n <= 0) {
+      ::close(fd);
+      return "";
+    }
+    written += static_cast<std::size_t>(n);
+  }
+  std::string line;
+  char chunk[4096];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof(chunk));
+    if (n <= 0) break;
+    line.append(chunk, static_cast<std::size_t>(n));
+    const std::size_t newline = line.find('\n');
+    if (newline != std::string::npos) {
+      line.resize(newline);
+      break;
+    }
+  }
+  ::close(fd);
+  return line;
+}
+
+void RenderStageRow(const ga::json::Value& stages, const char* name) {
+  const ga::json::Value* stage = stages.Find(name);
+  if (stage == nullptr) return;
+  std::printf("  %-11s %8.0f %9.2f %9.2f %9.2f %9.2f\n", name,
+              stage->GetNumber("count"), stage->GetNumber("mean_ms"),
+              stage->GetNumber("p50_ms"), stage->GetNumber("p90_ms"),
+              stage->GetNumber("p99_ms"));
+}
+
+int TopMode(const std::vector<std::string>& args) {
+  std::string socket_path;
+  int interval_ms = 1000;
+  long frames = 0;
+  bool clear_screen = true;
+  for (std::size_t i = 0; i < args.size(); ++i) {
+    const std::string& arg = args[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < args.size() ? args[++i].c_str() : "";
+    };
+    if (arg == "--socket") {
+      socket_path = next();
+    } else if (arg == "--interval-ms") {
+      interval_ms = std::atoi(next());
+      if (interval_ms < 1) {
+        std::fprintf(stderr, "--interval-ms requires a positive integer\n");
+        return 2;
+      }
+    } else if (arg == "--frames") {
+      frames = std::atol(next());
+      if (frames < 0) {
+        std::fprintf(stderr, "--frames requires an integer >= 0\n");
+        return 2;
+      }
+    } else if (arg == "--no-clear") {
+      clear_screen = false;
+    } else if (arg == "--help" || arg == "-h") {
+      PrintUsage(stdout);
+      return 0;
+    } else {
+      std::fprintf(stderr, "unknown top flag %s\n\n", arg.c_str());
+      PrintUsage(stderr);
+      return 2;
+    }
+  }
+  if (socket_path.empty()) {
+    std::fprintf(stderr, "top requires --socket PATH\n\n");
+    PrintUsage(stderr);
+    return 2;
+  }
+
+  long frame = 0;
+  int consecutive_failures = 0;
+  for (;;) {
+    const std::string line = FetchStatsLine(socket_path);
+    if (line.empty()) {
+      if (++consecutive_failures >= 3) {
+        std::fprintf(stderr, "cannot reach daemon at %s\n",
+                     socket_path.c_str());
+        return 6;
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+      continue;
+    }
+    consecutive_failures = 0;
+    auto doc = ga::json::Parse(line);
+    const ga::json::Value* stats =
+        doc.ok() ? doc->Find("stats") : nullptr;
+    if (stats == nullptr) {
+      std::fprintf(stderr, "malformed stats response: %s\n", line.c_str());
+      return 6;
+    }
+    ++frame;
+    if (clear_screen) std::printf("\033[H\033[2J");
+    const double submitted = stats->GetNumber("submitted");
+    const double shed = stats->GetNumber("shed_arrivals") +
+                        stats->GetNumber("shed_victims");
+    const double resident_mib =
+        stats->GetNumber("resident_bytes") / (1024.0 * 1024.0);
+    const double budget_mib =
+        stats->GetNumber("memory_budget_bytes") / (1024.0 * 1024.0);
+    std::printf("ga top — %s  (frame %ld, every %d ms)\n",
+                socket_path.c_str(), frame, interval_ms);
+    std::printf(
+        "queue    depth %.0f/%.0f   inflight %.0f/%.0f workers   "
+        "service ewma %.1f ms\n",
+        stats->GetNumber("queue_depth"), stats->GetNumber("queue_capacity"),
+        stats->GetNumber("inflight"), stats->GetNumber("workers"),
+        stats->GetNumber("service_ewma_ms"));
+    std::printf(
+        "requests submitted %.0f  completed %.0f  shed %.0f (%.1f%%)  "
+        "failed %.0f  cancelled %.0f  timed-out %.0f\n",
+        submitted, stats->GetNumber("completed"), shed,
+        submitted > 0 ? 100.0 * shed / submitted : 0.0,
+        stats->GetNumber("failed"), stats->GetNumber("cancelled"),
+        stats->GetNumber("timed_out"));
+    if (budget_mib > 0) {
+      std::printf(
+          "memory   resident %.1f MiB / %.1f MiB (%.0f%%)   hits %.0f  "
+          "misses %.0f  evictions %.0f\n",
+          resident_mib, budget_mib,
+          100.0 * resident_mib / budget_mib,
+          stats->GetNumber("residency_hits"),
+          stats->GetNumber("residency_misses"),
+          stats->GetNumber("evictions"));
+    } else {
+      std::printf(
+          "memory   resident %.1f MiB (no budget)   hits %.0f  "
+          "misses %.0f  evictions %.0f\n",
+          resident_mib, stats->GetNumber("residency_hits"),
+          stats->GetNumber("residency_misses"),
+          stats->GetNumber("evictions"));
+    }
+    const ga::json::Value* stages = stats->Find("stages");
+    if (stages != nullptr) {
+      std::printf("  %-11s %8s %9s %9s %9s %9s\n", "stage", "count",
+                  "mean ms", "p50 ms", "p90 ms", "p99 ms");
+      RenderStageRow(*stages, "queue_wait");
+      RenderStageRow(*stages, "load");
+      RenderStageRow(*stages, "execute");
+      RenderStageRow(*stages, "serialize");
+    }
+    std::fflush(stdout);
+    if (frames > 0 && frame >= frames) return 0;
+    std::this_thread::sleep_for(std::chrono::milliseconds(interval_ms));
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -1217,13 +1422,14 @@ int main(int argc, char** argv) {
     if (mode == "data") return DataMode(args);
     if (mode == "mutate") return MutateMode(args);
     if (mode == "serve") return ServeMode(args);
+    if (mode == "top") return TopMode(args);
     if (mode == "help") {
       PrintUsage(stdout);
       return 0;
     }
     std::fprintf(stderr,
                  "unknown mode \"%s\" (valid modes: run, suite, data, "
-                 "mutate, serve)\n\n",
+                 "mutate, serve, top)\n\n",
                  mode.c_str());
     PrintUsage(stderr);
     return 2;

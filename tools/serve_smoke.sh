@@ -2,9 +2,12 @@
 # Serve-daemon smoke (docs/SERVING.md): start the daemon on a unix
 # socket, drive a brief mixed load through a line-JSON client — clean
 # runs, a validated run, one fault-injected request, a shed burst past
-# the queue depth, and a stats snapshot — then SIGTERM the daemon and
-# require a graceful drain: exit 0, drain summary printed, socket
-# unlinked, and a results log whose every line parses.
+# the queue depth, a stats snapshot, and a telemetry scrape (the
+# `metrics` op must return valid Prometheus text with nonzero stage
+# histograms and shed counters; `top --frames 1` must render) — then
+# SIGTERM the daemon and require a graceful drain: exit 0, drain summary
+# printed, socket unlinked, and results + metrics logs whose every line
+# parses.
 #
 # Usage: tools/serve_smoke.sh [path/to/graphalytics_cli]
 set -u
@@ -15,10 +18,12 @@ trap 'rm -rf "$WORK"' EXIT
 SOCK="$WORK/serve.sock"
 LOG="$WORK/daemon.log"
 RESULTS="$WORK/results.jsonl"
+METRICS="$WORK/metrics.jsonl"
 
 GA_SCALE_DIVISOR=${GA_SCALE_DIVISOR:-4096} \
   "$CLI" serve --socket "$SOCK" --queue-depth 2 --workers 1 \
-  --deadline-ms 60000 --results "$RESULTS" >"$LOG" 2>&1 &
+  --deadline-ms 60000 --results "$RESULTS" \
+  --metrics-jsonl "$METRICS" --metrics-interval-ms 100 >"$LOG" 2>&1 &
 DAEMON=$!
 
 # Wait for the listener.
@@ -74,8 +79,69 @@ stats = recv()["stats"]
 assert stats["completed"] >= 3, stats
 assert stats["shed_arrivals"] + stats["shed_victims"] >= 1, stats
 assert stats["faulted_requests"] == 1, stats
+assert "stages" in stats and stats["stages"]["execute"]["count"] >= 3, stats
+assert stats["service_ewma_ms"] > 0, stats
+
+# Telemetry scrape: the metrics op returns Prometheus text format 0.0.4
+# in the "body" field. Validate the syntax line by line, then require
+# the core series with the counts this very load produced.
+import re
+send({"op": "metrics"})
+body = recv()["body"]
+assert body, "empty metrics body"
+NAME = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+sample_re = re.compile(
+    r"^(%s)(\{[^{}]*\})? (-?[0-9.eE+]+|\+Inf|NaN)$" % NAME)
+typed = set()
+samples = {}
+for line in body.splitlines():
+    if not line:
+        continue
+    if line.startswith("# HELP "):
+        continue
+    if line.startswith("# TYPE "):
+        parts = line.split()
+        assert parts[3] in ("counter", "gauge", "histogram"), line
+        typed.add(parts[2])
+        continue
+    m = sample_re.match(line)
+    assert m, "bad exposition line: %r" % line
+    samples[m.group(1) + (m.group(2) or "")] = float(m.group(3))
+    base = re.sub(r"_(bucket|sum|count)$", "", m.group(1))
+    assert m.group(1) in typed or base in typed, "untyped sample: " + line
+
+def series(prefix):
+    return {k: v for k, v in samples.items() if k.startswith(prefix)}
+
+# Stage histograms saw the completed runs (nonzero counts).
+execute_count = series('ga_serve_stage_seconds_count{stage="execute"}')
+assert execute_count and all(v >= 3 for v in execute_count.values()), \
+    execute_count
+for stage in ("queue_wait", "load", "serialize"):
+    sc = series('ga_serve_stage_seconds_count{stage="%s"}' % stage)
+    assert sc and all(v >= 3 for v in sc.values()), (stage, sc)
+# Cumulative buckets: the +Inf bucket closes each stage at its count.
+inf = series('ga_serve_stage_seconds_bucket{stage="execute",le="+Inf"}')
+assert list(inf.values()) == list(execute_count.values()), (inf, execute_count)
+# The shed burst shows up in the admission counters.
+shed_total = sum(series('ga_serve_admission_total{decision="shed"').values())
+displaced = sum(
+    series('ga_serve_admission_total{decision="displaced"').values())
+assert shed_total + displaced >= 1, series("ga_serve_admission_total")
+# Outcome counters and residency/gauge families are live.
+assert samples['ga_serve_requests_total{outcome="completed"}'] >= 3, samples
+assert sum(series('ga_serve_residency_total{event="miss"}').values()) >= 1
+assert "ga_serve_resident_bytes" in samples, sorted(samples)[:20]
+assert sum(series("ga_exec_chunks_total").values()) > 0, \
+    series("ga_exec_chunks_total")
+print("metrics scrape ok:", len(samples), "series")
 print("client ok:", json.dumps(stats))
 EOF
+
+# The live fleet view renders one frame against the same daemon.
+TOP=$("$CLI" top --socket "$SOCK" --frames 1 --no-clear) \
+  || { echo "FAIL: top"; kill "$DAEMON"; exit 1; }
+echo "$TOP" | grep -q "queue" || { echo "FAIL: top output: $TOP"; kill "$DAEMON"; exit 1; }
 
 # Graceful drain on SIGTERM: exit 0, summary line, socket unlinked.
 kill -TERM "$DAEMON"
@@ -96,6 +162,18 @@ for line in lines:
     record = json.loads(line)
     assert "outcome" in record, record
 print("results log ok:", len(lines), "records")
+EOF
+
+# Every periodic telemetry snapshot parses and carries both scopes.
+python3 - "$METRICS" <<'EOF' || { echo "FAIL: metrics log"; exit 1; }
+import json, sys
+lines = [l for l in open(sys.argv[1]) if l.strip()]
+assert lines, "empty metrics log"
+for line in lines:
+    record = json.loads(line)
+    assert "ts_ms" in record and "server" in record and "global" in record, \
+        record
+print("metrics log ok:", len(lines), "snapshots")
 EOF
 
 echo "PASS: serve smoke (drain exit 0, $(grep -c . "$RESULTS") records)"
